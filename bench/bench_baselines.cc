@@ -1,0 +1,110 @@
+// Experiment E5 (DESIGN.md): scenario-1 comparison — S2T-Clustering vs the
+// related methods demoed alongside it: T-OPTICS [7], TRACLUS [5] and
+// Convoys [4], on the same aircraft MOD.
+//
+// The paper's qualitative claim: S2T is the only one that is both
+// sub-trajectory-grained and time-aware while remaining competitive in
+// runtime; the co-movement method (Convoys) is parameter-heavy, TRACLUS
+// ignores time, T-OPTICS clusters whole trajectories only.
+
+#include <benchmark/benchmark.h>
+
+#include "baselines/convoys.h"
+#include "baselines/toptics.h"
+#include "baselines/traclus.h"
+#include "core/s2t_clustering.h"
+#include "datagen/aircraft.h"
+
+namespace {
+
+using namespace hermes;
+
+traj::TrajectoryStore MakeMod(size_t flights) {
+  datagen::AircraftScenarioParams p =
+      datagen::AircraftScenarioParams::Default();
+  p.num_flights = flights;
+  p.sample_dt = 20.0;
+  p.seed = 37;
+  auto scenario = datagen::GenerateAircraftScenario(p);
+  return std::move(scenario->store);
+}
+
+void BM_S2T(benchmark::State& state) {
+  const auto store = MakeMod(state.range(0));
+  core::S2TParams p;
+  p.SetSigma(1500.0).SetEpsilon(3000.0);
+  p.segmentation.min_part_length = 3;
+  p.sampling.sigma = 4000.0;
+  p.sampling.gain_stop_ratio = 0.1;
+  p.sampling.min_overlap_ratio = 0.3;
+  p.clustering.min_overlap_ratio = 0.3;
+  p.voting.min_overlap_ratio = 0.3;
+  core::S2TClustering s2t(p);
+  size_t clusters = 0;
+  for (auto _ : state) {
+    auto result = s2t.Run(store);
+    benchmark::DoNotOptimize(result);
+    clusters = result->NumClusters();
+  }
+  state.counters["clusters"] = static_cast<double>(clusters);
+}
+
+void BM_TOptics(benchmark::State& state) {
+  const auto store = MakeMod(state.range(0));
+  // Generous parameters: whole-trajectory clustering still struggles on
+  // this workload (flights only co-move on sub-trajectories) — which is
+  // the paper's motivation for sub-trajectory methods.
+  baselines::TOpticsParams p;
+  p.eps = 12000.0;
+  p.min_pts = 2;
+  p.min_overlap_ratio = 0.1;
+  size_t clusters = 0;
+  for (auto _ : state) {
+    auto result = baselines::RunTOptics(store, p);
+    benchmark::DoNotOptimize(result);
+    clusters = result.num_clusters;
+  }
+  state.counters["clusters"] = static_cast<double>(clusters);
+}
+
+void BM_Traclus(benchmark::State& state) {
+  const auto store = MakeMod(state.range(0));
+  baselines::TraclusParams p;
+  p.eps = 2500.0;
+  p.min_lns = 4;
+  size_t clusters = 0;
+  for (auto _ : state) {
+    auto result = baselines::RunTraclus(store, p);
+    benchmark::DoNotOptimize(result);
+    clusters = result.clusters.size();
+  }
+  state.counters["clusters"] = static_cast<double>(clusters);
+}
+
+void BM_Convoys(benchmark::State& state) {
+  const auto store = MakeMod(state.range(0));
+  // Lenient co-movement thresholds; the sensitivity of (eps, m, k) is the
+  // "hard-to-tune parameters" point the paper makes about these patterns.
+  baselines::ConvoyParams p;
+  p.eps = 6000.0;
+  p.m = 2;
+  p.k = 2;
+  p.snapshot_dt = 180.0;
+  size_t convoys = 0;
+  for (auto _ : state) {
+    auto result = baselines::DiscoverConvoys(store, p);
+    benchmark::DoNotOptimize(result);
+    convoys = result.size();
+  }
+  state.counters["convoys"] = static_cast<double>(convoys);
+}
+
+}  // namespace
+
+BENCHMARK(BM_S2T)->Arg(20)->Arg(40)->Arg(80)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_TOptics)->Arg(20)->Arg(40)->Arg(80)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Traclus)->Arg(20)->Arg(40)->Arg(80)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Convoys)->Arg(20)->Arg(40)->Arg(80)
+    ->Unit(benchmark::kMillisecond);

@@ -1,0 +1,125 @@
+// Experiment E6 (DESIGN.md): the scenario-2 headline — QuT-Clustering vs
+// the alternative pipeline "(i) temporal range query, (ii) build an R-tree
+// on the result, (iii) run S2T-Clustering", for varying temporal windows W.
+//
+// The paper's claim: QuT answers from the ReTraTree with boundary-only
+// work, so it wins by a wide margin for small W and stays ahead as W
+// grows. ReTraTree construction and the baseline's *global* index are both
+// setup (not measured per query).
+
+#include <benchmark/benchmark.h>
+
+#include "baselines/range_rebuild.h"
+#include "core/qut_clustering.h"
+#include "core/retratree.h"
+#include "datagen/aircraft.h"
+#include "rtree/str_bulk_load.h"
+#include "storage/env.h"
+
+namespace {
+
+using namespace hermes;  // Bench-local brevity.
+
+struct Fixture {
+  traj::TrajectoryStore store;
+  std::unique_ptr<storage::Env> env;
+  std::unique_ptr<core::ReTraTree> tree;
+  std::unique_ptr<rtree::RTree3D> global_index;
+  double t0 = 0.0;
+  double t1 = 0.0;
+
+  static core::S2TParams S2T() {
+    core::S2TParams p;
+    p.SetSigma(1500.0).SetEpsilon(3000.0);
+    p.segmentation.min_part_length = 3;
+    p.sampling.sigma = 4000.0;
+    p.sampling.gain_stop_ratio = 0.1;
+    p.sampling.min_overlap_ratio = 0.3;
+    p.clustering.min_overlap_ratio = 0.3;
+    p.voting.min_overlap_ratio = 0.3;
+    return p;
+  }
+
+  explicit Fixture(size_t flights) {
+    datagen::AircraftScenarioParams p =
+        datagen::AircraftScenarioParams::Default();
+    p.num_flights = flights;
+    p.sample_dt = 20.0;
+    p.time_span = 7200.0;
+    p.seed = 29;
+    auto scenario = datagen::GenerateAircraftScenario(p);
+    store = std::move(scenario->store);
+    std::tie(t0, t1) = store.TimeDomain();
+
+    env = storage::Env::NewMemEnv();
+    core::ReTraTreeParams tp;
+    tp.tau = (t1 - t0) / 4;
+    tp.delta = tp.tau / 4;
+    tp.t_align = tp.delta;
+    tp.d_assign = 3000.0;
+    tp.gamma = 24;
+    tp.origin = t0;
+    tp.s2t = S2T();
+    tree = std::move(core::ReTraTree::Open(env.get(), "bench_tree", tp))
+               .value();
+    (void)tree->InsertStore(store);
+    global_index =
+        std::move(rtree::BuildSegmentIndex(env.get(), "bench_glob.idx",
+                                           store))
+            .value();
+  }
+
+  /// Window covering `fraction` of the time domain, centered at the
+  /// midpoint where the traffic density is steady (the demo's progressive
+  /// widening from the landing phase into the cruise past).
+  std::pair<double, double> Window(double fraction) const {
+    const double mid = (t0 + t1) / 2;
+    const double half = (t1 - t0) * fraction / 2;
+    return {mid - half, mid + half};
+  }
+};
+
+Fixture& SharedFixture() {
+  static Fixture* fixture = new Fixture(120);
+  return *fixture;
+}
+
+void BM_QuTQuery(benchmark::State& state) {
+  Fixture& f = SharedFixture();
+  const double fraction = static_cast<double>(state.range(0)) / 100.0;
+  const auto [wi, we] = f.Window(fraction);
+  core::QuTClustering qut(f.tree.get());
+  size_t clusters = 0, members = 0;
+  for (auto _ : state) {
+    auto result = qut.Query(wi, we);
+    benchmark::DoNotOptimize(result);
+    clusters = result->clusters.size();
+    members = result->TotalMembers();
+  }
+  state.counters["W_pct"] = static_cast<double>(state.range(0));
+  state.counters["clusters"] = static_cast<double>(clusters);
+  state.counters["members"] = static_cast<double>(members);
+}
+
+void BM_RangeRebuildS2T(benchmark::State& state) {
+  Fixture& f = SharedFixture();
+  const double fraction = static_cast<double>(state.range(0)) / 100.0;
+  const auto [wi, we] = f.Window(fraction);
+  size_t clusters = 0;
+  for (auto _ : state) {
+    auto result = baselines::RunRangeRebuild(f.store, *f.global_index, wi,
+                                             we, Fixture::S2T());
+    benchmark::DoNotOptimize(result);
+    clusters = result->s2t.NumClusters();
+  }
+  state.counters["W_pct"] = static_cast<double>(state.range(0));
+  state.counters["clusters"] = static_cast<double>(clusters);
+}
+
+}  // namespace
+
+// W sweep: 5% .. 100% of the time domain.
+BENCHMARK(BM_QuTQuery)->Arg(5)->Arg(10)->Arg(25)->Arg(50)->Arg(100)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_RangeRebuildS2T)->Arg(5)->Arg(10)->Arg(25)->Arg(50)->Arg(100)
+    ->Unit(benchmark::kMillisecond);

@@ -1,0 +1,95 @@
+// Experiment E8 (DESIGN.md): the Fig. 2 maintenance loop — ReTraTree
+// insertion throughput and the gamma ablation (outlier-buffer threshold
+// that triggers the S2T re-clustering runs).
+
+#include <benchmark/benchmark.h>
+
+#include "core/retratree.h"
+#include "datagen/aircraft.h"
+#include "storage/env.h"
+
+namespace {
+
+using namespace hermes;
+
+traj::TrajectoryStore MakeMod(size_t flights) {
+  datagen::AircraftScenarioParams p =
+      datagen::AircraftScenarioParams::Default();
+  p.num_flights = flights;
+  p.sample_dt = 20.0;
+  p.seed = 41;
+  auto scenario = datagen::GenerateAircraftScenario(p);
+  return std::move(scenario->store);
+}
+
+core::ReTraTreeParams TreeParams(const traj::TrajectoryStore& store,
+                                 size_t gamma) {
+  const auto [t0, t1] = store.TimeDomain();
+  core::ReTraTreeParams tp;
+  tp.tau = (t1 - t0) / 4;
+  tp.delta = tp.tau / 4;
+  tp.t_align = tp.delta;
+  tp.d_assign = 3000.0;
+  tp.gamma = gamma;
+  tp.origin = t0;
+  tp.s2t.SetSigma(1500.0).SetEpsilon(3000.0);
+  tp.s2t.segmentation.min_part_length = 3;
+  tp.s2t.sampling.sigma = 4000.0;
+  tp.s2t.sampling.gain_stop_ratio = 0.1;
+  tp.s2t.sampling.min_overlap_ratio = 0.3;
+  tp.s2t.clustering.min_overlap_ratio = 0.3;
+  tp.s2t.voting.min_overlap_ratio = 0.3;
+  return tp;
+}
+
+/// Full build of the tree from a trajectory stream, gamma ablation.
+void BM_ReTraTreeBuild(benchmark::State& state) {
+  const auto store = MakeMod(80);
+  core::ReTraTreeStats stats;
+  size_t reps = 0;
+  int run = 0;
+  for (auto _ : state) {
+    auto env = storage::Env::NewMemEnv();
+    auto tree = std::move(core::ReTraTree::Open(
+                              env.get(), "t" + std::to_string(run++),
+                              TreeParams(store, state.range(0))))
+                    .value();
+    (void)tree->InsertStore(store);
+    benchmark::DoNotOptimize(tree);
+    stats = tree->stats();
+    reps = tree->TotalRepresentatives();
+  }
+  state.counters["gamma"] = static_cast<double>(state.range(0));
+  state.counters["pieces"] = static_cast<double>(stats.pieces_inserted);
+  state.counters["assigned"] =
+      static_cast<double>(stats.assigned_to_existing);
+  state.counters["s2t_runs"] = static_cast<double>(stats.s2t_runs);
+  state.counters["reps"] = static_cast<double>(reps);
+}
+
+/// Marginal insertion cost into an already-populated tree (the common
+/// steady-state path: assignment against existing representatives).
+void BM_ReTraTreeSteadyInsert(benchmark::State& state) {
+  const auto store = MakeMod(80);
+  auto env = storage::Env::NewMemEnv();
+  auto tree = std::move(core::ReTraTree::Open(env.get(), "steady",
+                                              TreeParams(store, 24)))
+                  .value();
+  (void)tree->InsertStore(store);
+  // Fresh trajectories to insert, one per iteration.
+  const auto extra = MakeMod(200);
+  size_t next = 80;
+  for (auto _ : state) {
+    (void)tree->Insert(extra.Get(next % extra.NumTrajectories()), next);
+    ++next;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+}  // namespace
+
+// The workload yields ~20 pieces per sub-chunk, so the sweep covers the
+// regime where the buffer threshold actually fires (4..24).
+BENCHMARK(BM_ReTraTreeBuild)->Arg(4)->Arg(8)->Arg(12)->Arg(24)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ReTraTreeSteadyInsert)->Unit(benchmark::kMicrosecond);

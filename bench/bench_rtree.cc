@@ -1,0 +1,126 @@
+// Experiment E9 (DESIGN.md): the pg3D-Rtree/GiST substrate — range-query
+// cost vs sequential scan across selectivities, insert vs STR bulk-load
+// construction, and buffer-pool behaviour.
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "rtree/rtree3d.h"
+#include "storage/env.h"
+
+namespace {
+
+using namespace hermes;
+
+std::vector<std::pair<geom::Mbb3D, uint64_t>> MakeBoxes(size_t n,
+                                                        uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::pair<geom::Mbb3D, uint64_t>> items;
+  items.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    const double x = rng.Uniform(0, 10000);
+    const double y = rng.Uniform(0, 10000);
+    const double t = rng.Uniform(0, 10000);
+    items.emplace_back(
+        geom::Mbb3D(x, y, t, x + 20, y + 20, t + 20), i);
+  }
+  return items;
+}
+
+/// Query box with roughly `pct`% volume selectivity.
+geom::Mbb3D QueryBox(double pct) {
+  const double side = 10000.0 * std::cbrt(pct / 100.0);
+  const double lo = (10000.0 - side) / 2;
+  return geom::Mbb3D(lo, lo, lo, lo + side, lo + side, lo + side);
+}
+
+void BM_RTreeRangeQuery(benchmark::State& state) {
+  auto env = storage::Env::NewMemEnv();
+  auto tree = std::move(rtree::RTree3D::Open(env.get(), "q.idx")).value();
+  auto items = MakeBoxes(50000, 3);
+  (void)tree->BulkLoad(rtree::StrOrder(items, 128));
+  const geom::Mbb3D query = QueryBox(static_cast<double>(state.range(0)));
+  size_t hits = 0;
+  for (auto _ : state) {
+    auto result = tree->Search(query);
+    benchmark::DoNotOptimize(result);
+    hits = result->size();
+  }
+  state.counters["selectivity_pct"] = static_cast<double>(state.range(0));
+  state.counters["hits"] = static_cast<double>(hits);
+}
+
+void BM_SequentialScan(benchmark::State& state) {
+  auto items = MakeBoxes(50000, 3);
+  const geom::Mbb3D query = QueryBox(static_cast<double>(state.range(0)));
+  size_t hits = 0;
+  for (auto _ : state) {
+    size_t h = 0;
+    for (const auto& [box, datum] : items) {
+      if (box.Intersects(query)) ++h;
+    }
+    benchmark::DoNotOptimize(h);
+    hits = h;
+  }
+  state.counters["selectivity_pct"] = static_cast<double>(state.range(0));
+  state.counters["hits"] = static_cast<double>(hits);
+}
+
+void BM_RTreeInsertBuild(benchmark::State& state) {
+  auto env = storage::Env::NewMemEnv();
+  auto items = MakeBoxes(state.range(0), 5);
+  int run = 0;
+  for (auto _ : state) {
+    auto tree = std::move(rtree::RTree3D::Open(
+                              env.get(), "ins" + std::to_string(run++) +
+                                             ".idx"))
+                    .value();
+    for (const auto& [box, datum] : items) {
+      (void)tree->Insert(box, datum);
+    }
+    benchmark::DoNotOptimize(tree);
+  }
+}
+
+void BM_RTreeStrBuild(benchmark::State& state) {
+  auto env = storage::Env::NewMemEnv();
+  auto items = MakeBoxes(state.range(0), 5);
+  int run = 0;
+  for (auto _ : state) {
+    auto tree = std::move(rtree::RTree3D::Open(
+                              env.get(), "str" + std::to_string(run++) +
+                                             ".idx"))
+                    .value();
+    (void)tree->BulkLoad(rtree::StrOrder(items, 128));
+    benchmark::DoNotOptimize(tree);
+  }
+}
+
+void BM_RTreeKnn(benchmark::State& state) {
+  auto env = storage::Env::NewMemEnv();
+  auto tree = std::move(rtree::RTree3D::Open(env.get(), "knn.idx")).value();
+  (void)tree->BulkLoad(rtree::StrOrder(MakeBoxes(50000, 7), 128));
+  size_t found = 0;
+  for (auto _ : state) {
+    auto result = tree->Knn({5000, 5000, 5000}, state.range(0));
+    benchmark::DoNotOptimize(result);
+    found = result->size();
+  }
+  state.counters["k"] = static_cast<double>(state.range(0));
+  state.counters["found"] = static_cast<double>(found);
+}
+
+}  // namespace
+
+BENCHMARK(BM_RTreeRangeQuery)->Arg(1)->Arg(5)->Arg(20)->Arg(60)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_SequentialScan)->Arg(1)->Arg(5)->Arg(20)->Arg(60)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_RTreeInsertBuild)->Arg(5000)->Arg(20000)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_RTreeStrBuild)->Arg(5000)->Arg(20000)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_RTreeKnn)->Arg(1)->Arg(10)->Arg(100)
+    ->Unit(benchmark::kMicrosecond);

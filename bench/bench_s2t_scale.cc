@@ -1,0 +1,63 @@
+// Experiment E5 companion (DESIGN.md): S2T-Clustering end-to-end runtime
+// and per-phase breakdown as the MOD grows — the "efficient and scalable
+// solutions for sub-trajectory clustering" claim.
+
+#include <benchmark/benchmark.h>
+
+#include "core/s2t_clustering.h"
+#include "datagen/aircraft.h"
+
+namespace {
+
+using namespace hermes;
+
+traj::TrajectoryStore MakeMod(size_t flights) {
+  datagen::AircraftScenarioParams p =
+      datagen::AircraftScenarioParams::Default();
+  p.num_flights = flights;
+  p.sample_dt = 20.0;
+  p.seed = 31;
+  auto scenario = datagen::GenerateAircraftScenario(p);
+  return std::move(scenario->store);
+}
+
+core::S2TParams Params() {
+  core::S2TParams p;
+  p.SetSigma(1500.0).SetEpsilon(3000.0);
+  p.segmentation.min_part_length = 3;
+  p.sampling.sigma = 4000.0;
+  p.sampling.gain_stop_ratio = 0.1;
+  p.sampling.min_overlap_ratio = 0.3;
+  p.clustering.min_overlap_ratio = 0.3;
+  p.voting.min_overlap_ratio = 0.3;
+  return p;
+}
+
+void BM_S2TFull(benchmark::State& state) {
+  const auto store = MakeMod(state.range(0));
+  core::S2TClustering s2t(Params());
+  core::S2TTimings timings;
+  size_t clusters = 0, outliers = 0, subs = 0;
+  for (auto _ : state) {
+    auto result = s2t.Run(store);
+    benchmark::DoNotOptimize(result);
+    timings = result->timings;
+    clusters = result->NumClusters();
+    outliers = result->NumOutliers();
+    subs = result->sub_trajectories.size();
+  }
+  state.counters["N"] = static_cast<double>(store.NumTrajectories());
+  state.counters["sub_trajs"] = static_cast<double>(subs);
+  state.counters["clusters"] = static_cast<double>(clusters);
+  state.counters["outliers"] = static_cast<double>(outliers);
+  state.counters["voting_ms"] = timings.voting_us / 1000.0;
+  state.counters["segmentation_ms"] = timings.segmentation_us / 1000.0;
+  state.counters["sampling_ms"] = timings.sampling_us / 1000.0;
+  state.counters["clustering_ms"] = timings.clustering_us / 1000.0;
+  state.counters["index_ms"] = timings.index_build_us / 1000.0;
+}
+
+}  // namespace
+
+BENCHMARK(BM_S2TFull)->Arg(20)->Arg(40)->Arg(80)->Arg(160)
+    ->Unit(benchmark::kMillisecond);

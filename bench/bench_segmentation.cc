@@ -1,0 +1,61 @@
+// Experiment E10 (DESIGN.md): NaTS ablation — cost of the exact O(m^2)
+// segmentation dynamic program vs trajectory length, and the lambda
+// sensitivity (how the split penalty shapes the number of parts).
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "segmentation/nats.h"
+
+namespace {
+
+using namespace hermes;
+
+std::vector<double> MakeSignal(size_t m, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> votes;
+  votes.reserve(m);
+  double level = 5.0;
+  for (size_t i = 0; i < m; ++i) {
+    if (i % 25 == 0) level = rng.Uniform(0, 12);  // Regime changes.
+    votes.push_back(level + rng.NextGaussian() * 0.4);
+  }
+  return votes;
+}
+
+void BM_NatsDp(benchmark::State& state) {
+  const auto votes = MakeSignal(state.range(0), 13);
+  segmentation::NatsParams p;
+  p.min_part_length = 4;
+  size_t parts = 0;
+  for (auto _ : state) {
+    auto result = segmentation::SegmentVotingSignal(votes, p);
+    benchmark::DoNotOptimize(result);
+    parts = result.size();
+  }
+  state.counters["m"] = static_cast<double>(state.range(0));
+  state.counters["parts"] = static_cast<double>(parts);
+}
+
+void BM_NatsLambdaSweep(benchmark::State& state) {
+  const auto votes = MakeSignal(400, 17);
+  segmentation::NatsParams p;
+  p.min_part_length = 4;
+  p.lambda_scale = static_cast<double>(state.range(0)) / 1000.0;
+  size_t parts = 0;
+  for (auto _ : state) {
+    auto result = segmentation::SegmentVotingSignal(votes, p);
+    benchmark::DoNotOptimize(result);
+    parts = result.size();
+  }
+  state.counters["lambda_scale_x1000"] =
+      static_cast<double>(state.range(0));
+  state.counters["parts"] = static_cast<double>(parts);
+}
+
+}  // namespace
+
+BENCHMARK(BM_NatsDp)->Arg(50)->Arg(100)->Arg(200)->Arg(400)->Arg(800)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_NatsLambdaSweep)->Arg(1)->Arg(10)->Arg(50)->Arg(200)->Arg(1000)
+    ->Unit(benchmark::kMicrosecond);

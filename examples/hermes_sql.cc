@@ -1,0 +1,67 @@
+// Preparatory phase of the demo: the Hermes SQL API. Runs a scripted
+// session exercising the datatypes and operands — including the paper's
+// `SELECT QUT(D, Wi, We, tau, delta, t, d, gamma)` statement — and then,
+// with `-i`, drops into an interactive shell.
+//
+//   $ ./hermes_sql            # scripted demo
+//   $ ./hermes_sql -i         # interactive: type SQL, 'quit' to exit
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "datagen/maritime.h"
+#include "sql/executor.h"
+
+int main(int argc, char** argv) {
+  using namespace hermes;
+  sql::Session session;
+
+  // Preload a maritime MOD so QUT/S2T have something realistic to chew on.
+  datagen::MaritimeScenarioParams mp;
+  mp.num_ships = 40;
+  mp.seed = 4;
+  auto maritime = datagen::GenerateMaritimeScenario(mp);
+  if (maritime.ok()) {
+    (void)session.RegisterStore("ships", std::move(maritime->store));
+  }
+
+  const char* script[] = {
+      "SELECT STATS(ships);",
+      "CREATE MOD demo;",
+      "INSERT INTO demo VALUES (1, 0, 0, 0), (1, 60, 500, 0), "
+      "(1, 120, 1000, 0), (2, 0, 0, 40), (2, 60, 500, 40), "
+      "(2, 120, 1000, 40);",
+      "SELECT STATS(demo);",
+      "SELECT RANGE(demo, 0, 90);",
+      "SELECT S2T(demo, 100, 200);",
+      "SELECT S2T(ships, 800, 1600);",
+      "SELECT QUT(ships, 0, 7200, 3600, 900, 225, 1600, 16);",
+  };
+  for (const char* stmt : script) {
+    std::printf("hermes=# %s\n", stmt);
+    auto result = session.Execute(stmt);
+    if (result.ok()) {
+      std::printf("%s\n", result->ToString().c_str());
+    } else {
+      std::printf("ERROR: %s\n\n", result.status().ToString().c_str());
+    }
+  }
+
+  if (argc > 1 && std::string(argv[1]) == "-i") {
+    std::printf("interactive mode; 'quit' to exit\n");
+    std::string line;
+    while (true) {
+      std::printf("hermes=# ");
+      if (!std::getline(std::cin, line) || line == "quit") break;
+      if (line.empty()) continue;
+      auto result = session.Execute(line);
+      if (result.ok()) {
+        std::printf("%s\n", result->ToString().c_str());
+      } else {
+        std::printf("ERROR: %s\n", result.status().ToString().c_str());
+      }
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,134 @@
+#include "baselines/convoys.h"
+
+#include <algorithm>
+#include <map>
+
+#include "baselines/dbscan.h"
+
+namespace hermes::baselines {
+
+namespace {
+/// A growing convoy candidate.
+struct Candidate {
+  std::set<traj::ObjectId> objects;
+  double start_time = 0.0;
+  double last_time = 0.0;
+};
+
+std::set<traj::ObjectId> Intersect(const std::set<traj::ObjectId>& a,
+                                   const std::set<traj::ObjectId>& b) {
+  std::set<traj::ObjectId> out;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::inserter(out, out.begin()));
+  return out;
+}
+}  // namespace
+
+std::vector<Convoy> DiscoverConvoys(const traj::TrajectoryStore& store,
+                                    const ConvoyParams& params) {
+  std::vector<Convoy> convoys;
+  const auto [t_lo, t_hi] = store.TimeDomain();
+  if (t_hi <= t_lo || store.NumTrajectories() == 0) return convoys;
+
+  std::vector<Candidate> candidates;
+  auto emit = [&](const Candidate& c) {
+    if (c.objects.size() < params.m) return;
+    const size_t life = static_cast<size_t>(
+                            (c.last_time - c.start_time) / params.snapshot_dt) +
+                        1;
+    if (life < params.k) return;
+    Convoy conv;
+    conv.objects = c.objects;
+    conv.start_time = c.start_time;
+    conv.end_time = c.last_time;
+    convoys.push_back(std::move(conv));
+  };
+
+  for (double t = t_lo; t <= t_hi + 1e-9; t += params.snapshot_dt) {
+    // Objects alive at t with their positions.
+    std::vector<geom::Point2D> positions;
+    std::vector<traj::ObjectId> ids;
+    for (const auto& traj : store.trajectories()) {
+      if (auto p = traj.PositionAt(t)) {
+        positions.push_back(*p);
+        ids.push_back(traj.object_id());
+      }
+    }
+    // Snapshot clusters.
+    const Labels labels = DbscanPoints(positions, params.eps, params.m);
+    std::map<int, std::set<traj::ObjectId>> snapshot_clusters;
+    for (size_t i = 0; i < ids.size(); ++i) {
+      if (labels[i] >= 0) snapshot_clusters[labels[i]].insert(ids[i]);
+    }
+
+    // Extend candidates (CMC intersection step).
+    std::vector<Candidate> next;
+    std::vector<bool> cluster_extended(snapshot_clusters.size(), false);
+    for (const Candidate& cand : candidates) {
+      bool extended = false;
+      size_t ci = 0;
+      for (const auto& [label, objs] : snapshot_clusters) {
+        auto common = Intersect(cand.objects, objs);
+        if (common.size() >= params.m) {
+          Candidate grown;
+          grown.objects = std::move(common);
+          grown.start_time = cand.start_time;
+          grown.last_time = t;
+          next.push_back(std::move(grown));
+          cluster_extended[ci] = true;
+          extended = true;
+        }
+        ++ci;
+      }
+      if (!extended) emit(cand);  // The candidate's life ends here.
+    }
+    // Every snapshot cluster also starts a fresh candidate (unless it only
+    // continues an existing one with the same object set).
+    size_t ci = 0;
+    for (const auto& [label, objs] : snapshot_clusters) {
+      if (objs.size() >= params.m) {
+        bool duplicate = false;
+        for (const Candidate& cand : next) {
+          if (cand.last_time == t && cand.objects == objs) {
+            duplicate = true;
+            break;
+          }
+        }
+        if (!duplicate) {
+          Candidate fresh;
+          fresh.objects = objs;
+          fresh.start_time = t;
+          fresh.last_time = t;
+          next.push_back(std::move(fresh));
+        }
+      }
+      ++ci;
+    }
+    candidates = std::move(next);
+  }
+  for (const Candidate& cand : candidates) emit(cand);
+
+  // Drop convoys strictly dominated by another (subset objects within a
+  // containing lifetime).
+  std::vector<Convoy> filtered;
+  for (size_t i = 0; i < convoys.size(); ++i) {
+    bool dominated = false;
+    for (size_t j = 0; j < convoys.size() && !dominated; ++j) {
+      if (i == j) continue;
+      const bool subset = std::includes(
+          convoys[j].objects.begin(), convoys[j].objects.end(),
+          convoys[i].objects.begin(), convoys[i].objects.end());
+      const bool within = convoys[j].start_time <= convoys[i].start_time &&
+                          convoys[j].end_time >= convoys[i].end_time;
+      const bool strictly_smaller =
+          convoys[i].objects.size() < convoys[j].objects.size() ||
+          (convoys[j].start_time < convoys[i].start_time ||
+           convoys[j].end_time > convoys[i].end_time);
+      if (subset && within && strictly_smaller) dominated = true;
+    }
+    if (!dominated) filtered.push_back(convoys[i]);
+  }
+  return filtered;
+}
+
+}  // namespace hermes::baselines

@@ -1,0 +1,41 @@
+#ifndef HERMES_BASELINES_CONVOYS_H_
+#define HERMES_BASELINES_CONVOYS_H_
+
+#include <set>
+#include <vector>
+
+#include "traj/trajectory_store.h"
+
+namespace hermes::baselines {
+
+/// \brief Parameters of convoy discovery (Jeung et al., VLDB 2008, CMC).
+struct ConvoyParams {
+  double eps = 100.0;        ///< DBSCAN radius per snapshot.
+  size_t m = 3;              ///< Minimum objects per convoy.
+  size_t k = 3;              ///< Minimum consecutive snapshots (lifetime).
+  double snapshot_dt = 60.0; ///< Snapshot grid step (seconds).
+};
+
+/// \brief A discovered convoy: an object set co-moving over
+/// [start_time, end_time] (inclusive snapshot bounds).
+struct Convoy {
+  std::set<traj::ObjectId> objects;
+  double start_time = 0.0;
+  double end_time = 0.0;
+
+  size_t Lifetime(double dt) const {
+    return static_cast<size_t>((end_time - start_time) / dt) + 1;
+  }
+};
+
+/// \brief Coherent Moving Cluster algorithm: density-based clusters per
+/// time snapshot, intersected across consecutive snapshots; convoys are
+/// candidates alive for >= k snapshots with >= m shared objects.
+/// Exemplifies the hard-to-tune co-movement parameters (m, k, eps) the
+/// paper contrasts with S2T/QuT.
+std::vector<Convoy> DiscoverConvoys(const traj::TrajectoryStore& store,
+                                    const ConvoyParams& params);
+
+}  // namespace hermes::baselines
+
+#endif  // HERMES_BASELINES_CONVOYS_H_

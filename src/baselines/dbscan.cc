@@ -1,0 +1,93 @@
+#include "baselines/dbscan.h"
+
+#include <cmath>
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+
+namespace hermes::baselines {
+
+namespace {
+/// Hashable grid cell.
+struct CellKey {
+  int64_t cx;
+  int64_t cy;
+  bool operator==(const CellKey& o) const { return cx == o.cx && cy == o.cy; }
+};
+struct CellHash {
+  size_t operator()(const CellKey& k) const {
+    return std::hash<int64_t>()(k.cx * 73856093LL ^ k.cy * 19349663LL);
+  }
+};
+}  // namespace
+
+Labels DbscanPoints(const std::vector<geom::Point2D>& points, double eps,
+                    size_t min_pts) {
+  const size_t n = points.size();
+  // Grid index with cell size eps: all eps-neighbors live in the 3x3
+  // neighborhood of a point's cell.
+  std::unordered_map<CellKey, std::vector<size_t>, CellHash> grid;
+  auto cell_of = [&](const geom::Point2D& p) {
+    return CellKey{static_cast<int64_t>(std::floor(p.x / eps)),
+                   static_cast<int64_t>(std::floor(p.y / eps))};
+  };
+  for (size_t i = 0; i < n; ++i) grid[cell_of(points[i])].push_back(i);
+
+  auto neighbors = [&](size_t i) {
+    std::vector<size_t> out;
+    const CellKey c = cell_of(points[i]);
+    const double eps2 = eps * eps;
+    for (int64_t dx = -1; dx <= 1; ++dx) {
+      for (int64_t dy = -1; dy <= 1; ++dy) {
+        auto it = grid.find({c.cx + dx, c.cy + dy});
+        if (it == grid.end()) continue;
+        for (size_t j : it->second) {
+          if (j != i && geom::SquaredDistance(points[i], points[j]) <= eps2) {
+            out.push_back(j);
+          }
+        }
+      }
+    }
+    return out;
+  };
+  return DbscanGeneric(n, neighbors, min_pts);
+}
+
+Labels DbscanGeneric(
+    size_t n, const std::function<std::vector<size_t>(size_t)>& neighbors,
+    size_t min_pts) {
+  constexpr int kUnvisited = -2;
+  constexpr int kNoise = -1;
+  Labels labels(n, kUnvisited);
+  int next_cluster = 0;
+
+  for (size_t i = 0; i < n; ++i) {
+    if (labels[i] != kUnvisited) continue;
+    std::vector<size_t> nb = neighbors(i);
+    if (nb.size() + 1 < min_pts) {
+      labels[i] = kNoise;
+      continue;
+    }
+    const int cid = next_cluster++;
+    labels[i] = cid;
+    std::deque<size_t> frontier(nb.begin(), nb.end());
+    while (!frontier.empty()) {
+      const size_t j = frontier.front();
+      frontier.pop_front();
+      if (labels[j] == kNoise) labels[j] = cid;  // Border point.
+      if (labels[j] != kUnvisited) continue;
+      labels[j] = cid;
+      std::vector<size_t> nb_j = neighbors(j);
+      if (nb_j.size() + 1 >= min_pts) {
+        for (size_t k : nb_j) {
+          if (labels[k] == kUnvisited || labels[k] == kNoise) {
+            frontier.push_back(k);
+          }
+        }
+      }
+    }
+  }
+  return labels;
+}
+
+}  // namespace hermes::baselines

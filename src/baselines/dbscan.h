@@ -1,0 +1,28 @@
+#ifndef HERMES_BASELINES_DBSCAN_H_
+#define HERMES_BASELINES_DBSCAN_H_
+
+#include <functional>
+#include <vector>
+
+#include "geom/point.h"
+
+namespace hermes::baselines {
+
+/// Cluster label of a point: >= 0 cluster id, -1 noise.
+using Labels = std::vector<int>;
+
+/// \brief DBSCAN over 2D points with a uniform-grid neighbor index
+/// (cell = eps). Used by the Convoys baseline's per-snapshot clustering.
+Labels DbscanPoints(const std::vector<geom::Point2D>& points, double eps,
+                    size_t min_pts);
+
+/// \brief Generic DBSCAN over `n` items with a caller-supplied
+/// eps-neighborhood oracle (excluding the item itself). Used by TRACLUS's
+/// line-segment grouping, where the distance is not a metric embedding.
+Labels DbscanGeneric(
+    size_t n, const std::function<std::vector<size_t>(size_t)>& neighbors,
+    size_t min_pts);
+
+}  // namespace hermes::baselines
+
+#endif  // HERMES_BASELINES_DBSCAN_H_

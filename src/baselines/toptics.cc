@@ -1,0 +1,105 @@
+#include "baselines/toptics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+#include <vector>
+
+#include "traj/distance.h"
+
+namespace hermes::baselines {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+TOpticsResult RunTOptics(const traj::TrajectoryStore& store,
+                         const TOpticsParams& params) {
+  const size_t n = store.NumTrajectories();
+  TOpticsResult result;
+  result.labels.assign(n, -1);
+  if (n == 0) return result;
+
+  // Pairwise time-aware distances (symmetric).
+  std::vector<std::vector<double>> dist(n, std::vector<double>(n, kInf));
+  for (size_t i = 0; i < n; ++i) {
+    dist[i][i] = 0.0;
+    for (size_t j = i + 1; j < n; ++j) {
+      const double d = traj::ClusteringDistance(store.Get(i), store.Get(j),
+                                                params.min_overlap_ratio);
+      dist[i][j] = dist[j][i] = d;
+    }
+  }
+
+  auto neighbors = [&](size_t i) {
+    std::vector<size_t> out;
+    for (size_t j = 0; j < n; ++j) {
+      if (j != i && dist[i][j] <= params.eps) out.push_back(j);
+    }
+    return out;
+  };
+  auto core_distance = [&](size_t i) {
+    std::vector<double> ds;
+    for (size_t j = 0; j < n; ++j) {
+      if (j != i && dist[i][j] <= params.eps) ds.push_back(dist[i][j]);
+    }
+    if (ds.size() + 1 < params.min_pts) return kInf;
+    std::nth_element(ds.begin(), ds.begin() + (params.min_pts - 2), ds.end());
+    return ds[params.min_pts - 2];  // (minPts-1)-th neighbor distance.
+  };
+
+  // OPTICS main loop with a lazily-filtered priority queue.
+  std::vector<bool> processed(n, false);
+  std::vector<double> reach(n, kInf);
+  result.ordering.reserve(n);
+  result.reachability.reserve(n);
+
+  using QItem = std::pair<double, size_t>;  // (reachability, id)
+  for (size_t seed = 0; seed < n; ++seed) {
+    if (processed[seed]) continue;
+    std::priority_queue<QItem, std::vector<QItem>, std::greater<QItem>> pq;
+    pq.push({kInf, seed});
+    while (!pq.empty()) {
+      auto [r, i] = pq.top();
+      pq.pop();
+      if (processed[i]) continue;
+      processed[i] = true;
+      result.ordering.push_back(i);
+      result.reachability.push_back(reach[i]);
+
+      const double core = core_distance(i);
+      if (!std::isfinite(core)) continue;
+      for (size_t j : neighbors(i)) {
+        if (processed[j]) continue;
+        const double new_reach = std::max(core, dist[i][j]);
+        if (new_reach < reach[j]) {
+          reach[j] = new_reach;
+          pq.push({new_reach, j});
+        }
+      }
+    }
+  }
+
+  // Flat extraction: a new cluster starts wherever reachability exceeds the
+  // threshold and the next point is density-reachable.
+  const double cut = params.extract_eps > 0.0 ? params.extract_eps : params.eps;
+  int current = -1;
+  for (size_t k = 0; k < result.ordering.size(); ++k) {
+    const size_t i = result.ordering[k];
+    if (result.reachability[k] > cut) {
+      if (core_distance(i) <= cut) {
+        current = static_cast<int>(result.num_clusters++);
+        result.labels[i] = current;
+      } else {
+        result.labels[i] = -1;
+        current = -1;
+      }
+    } else if (current >= 0) {
+      result.labels[i] = current;
+    }
+  }
+  return result;
+}
+
+}  // namespace hermes::baselines

@@ -1,0 +1,39 @@
+#ifndef HERMES_BASELINES_TOPTICS_H_
+#define HERMES_BASELINES_TOPTICS_H_
+
+#include <vector>
+
+#include "traj/trajectory_store.h"
+
+namespace hermes::baselines {
+
+/// \brief Parameters of T-OPTICS (Nanni & Pedreschi, JIIS 2006): OPTICS
+/// over whole trajectories with the time-synchronized average distance.
+struct TOpticsParams {
+  double eps = 500.0;            ///< Generating distance.
+  size_t min_pts = 4;            ///< Core-point threshold.
+  double min_overlap_ratio = 0.1;///< Temporal overlap needed for a finite
+                                 ///< distance.
+  /// Reachability threshold used for flat cluster extraction (defaults to
+  /// eps when <= 0).
+  double extract_eps = -1.0;
+};
+
+/// \brief The OPTICS ordering with reachability distances.
+struct TOpticsResult {
+  std::vector<traj::TrajectoryId> ordering;
+  std::vector<double> reachability;  ///< Parallel to `ordering`; inf = new
+                                     ///< cluster seed.
+  /// Flat clusters extracted at `extract_eps`: label per trajectory
+  /// (cluster id >= 0, -1 noise).
+  std::vector<int> labels;
+  size_t num_clusters = 0;
+};
+
+/// Runs T-OPTICS over all trajectories of the MOD.
+TOpticsResult RunTOptics(const traj::TrajectoryStore& store,
+                         const TOpticsParams& params);
+
+}  // namespace hermes::baselines
+
+#endif  // HERMES_BASELINES_TOPTICS_H_

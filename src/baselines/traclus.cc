@@ -1,0 +1,180 @@
+#include "baselines/traclus.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <unordered_set>
+
+#include "baselines/dbscan.h"
+#include "common/mathutil.h"
+
+namespace hermes::baselines {
+
+namespace {
+
+double Log2Safe(double x) { return std::log2(std::max(x, 1.0)); }
+
+/// L(H): description length of the hypothesis — the length of the
+/// candidate characteristic segment.
+double MdlModelCost(const geom::Point2D& a, const geom::Point2D& b) {
+  return Log2Safe(geom::Distance(a, b));
+}
+
+/// L(D|H): encoding cost of the original sub-polyline against the
+/// candidate segment — per contained segment, log2 of its perpendicular
+/// and angular distances to the candidate (Lee et al., Section 3.1).
+double MdlDataCost(const traj::Trajectory& t, size_t first, size_t last) {
+  const geom::Segment2D cand(t[first].xy(), t[last].xy());
+  double cost = 0.0;
+  for (size_t i = first; i < last; ++i) {
+    const geom::Segment2D piece(t[i].xy(), t[i + 1].xy());
+    const geom::TraclusComponents c = geom::TraclusComponentsOf(cand, piece);
+    cost += Log2Safe(c.perpendicular) + Log2Safe(c.angular);
+  }
+  return cost;
+}
+
+}  // namespace
+
+std::vector<size_t> PartitionCharacteristicPoints(const traj::Trajectory& t,
+                                                  double mdl_advantage) {
+  std::vector<size_t> cps;
+  if (t.size() == 0) return cps;
+  cps.push_back(0);
+  if (t.size() == 1) return cps;
+
+  size_t start = 0;
+  size_t length = 1;
+  while (start + length < t.size()) {
+    const size_t cur = start + length;
+    const double cost_par =
+        MdlModelCost(t[start].xy(), t[cur].xy()) + MdlDataCost(t, start, cur);
+    // No-partition cost: exact encoding of every segment.
+    double cost_nopar = 0.0;
+    for (size_t i = start; i < cur; ++i) {
+      cost_nopar += Log2Safe(geom::Distance(t[i].xy(), t[i + 1].xy()));
+    }
+    if (cost_par > cost_nopar + mdl_advantage) {
+      // Partitioning here would cost more than keeping raw points: emit the
+      // previous point as a characteristic point.
+      cps.push_back(cur - 1);
+      start = cur - 1;
+      length = 1;
+    } else {
+      ++length;
+    }
+  }
+  if (cps.back() != t.size() - 1) cps.push_back(t.size() - 1);
+  return cps;
+}
+
+TraclusResult RunTraclus(const traj::TrajectoryStore& store,
+                         const TraclusParams& params) {
+  TraclusResult result;
+
+  // Phase 1: partition every trajectory into characteristic segments.
+  for (traj::TrajectoryId tid = 0; tid < store.NumTrajectories(); ++tid) {
+    const traj::Trajectory& t = store.Get(tid);
+    const auto cps = PartitionCharacteristicPoints(t, params.mdl_advantage);
+    for (size_t k = 0; k + 1 < cps.size(); ++k) {
+      TraclusSegment seg;
+      seg.geometry = geom::Segment2D(t[cps[k]].xy(), t[cps[k + 1]].xy());
+      seg.source = tid;
+      if (seg.geometry.Length() > 0.0) result.segments.push_back(seg);
+    }
+  }
+
+  // Phase 2: density-based grouping with the weighted segment distance.
+  const size_t n = result.segments.size();
+  auto neighbors = [&](size_t i) {
+    std::vector<size_t> out;
+    for (size_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      const double d = geom::TraclusDistance(
+          result.segments[i].geometry, result.segments[j].geometry,
+          params.w_perpendicular, params.w_parallel, params.w_angular);
+      if (d <= params.eps) out.push_back(j);
+    }
+    return out;
+  };
+  const Labels labels = DbscanGeneric(n, neighbors, params.min_lns);
+
+  int max_label = -1;
+  for (int l : labels) max_label = std::max(max_label, l);
+  result.clusters.resize(static_cast<size_t>(max_label + 1));
+  for (size_t i = 0; i < n; ++i) {
+    if (labels[i] < 0) {
+      result.noise.push_back(i);
+    } else {
+      result.clusters[labels[i]].segment_indices.push_back(i);
+    }
+  }
+
+  // Representative trajectory per cluster: average-direction sweep.
+  for (auto& cluster : result.clusters) {
+    std::unordered_set<traj::TrajectoryId> sources;
+    geom::Point2D dir{0.0, 0.0};
+    for (size_t si : cluster.segment_indices) {
+      const auto& seg = result.segments[si];
+      sources.insert(seg.source);
+      geom::Point2D v = seg.geometry.b - seg.geometry.a;
+      // Align all segments to a common orientation before averaging.
+      if (v.x < 0.0 || (v.x == 0.0 && v.y < 0.0)) v = v * -1.0;
+      dir = dir + v;
+    }
+    cluster.distinct_trajectories = sources.size();
+    const double norm = geom::Norm(dir);
+    if (norm <= 0.0) continue;
+    dir = dir * (1.0 / norm);
+    const geom::Point2D perp{-dir.y, dir.x};
+
+    // Sweep endpoints ordered along the average direction.
+    struct Event {
+      double along;
+      size_t seg;
+    };
+    std::vector<Event> events;
+    for (size_t si : cluster.segment_indices) {
+      const auto& g = result.segments[si].geometry;
+      events.push_back({geom::Dot(g.a, dir), si});
+      events.push_back({geom::Dot(g.b, dir), si});
+    }
+    std::sort(events.begin(), events.end(),
+              [](const Event& a, const Event& b) { return a.along < b.along; });
+
+    double last_along = -std::numeric_limits<double>::infinity();
+    for (const Event& ev : events) {
+      if (ev.along - last_along < params.sweep_gamma) continue;
+      // Count segments crossing the sweep line, averaging their
+      // perpendicular coordinate at the crossing.
+      size_t crossing = 0;
+      double sum_perp = 0.0;
+      for (size_t si : cluster.segment_indices) {
+        const auto& g = result.segments[si].geometry;
+        double a0 = geom::Dot(g.a, dir);
+        double a1 = geom::Dot(g.b, dir);
+        geom::Point2D p0 = g.a;
+        geom::Point2D p1 = g.b;
+        if (a0 > a1) {
+          std::swap(a0, a1);
+          std::swap(p0, p1);
+        }
+        if (a0 <= ev.along && ev.along <= a1) {
+          ++crossing;
+          const double u =
+              a1 > a0 ? (ev.along - a0) / (a1 - a0) : 0.0;
+          const geom::Point2D at = p0 + (p1 - p0) * u;
+          sum_perp += geom::Dot(at, perp);
+        }
+      }
+      if (crossing >= params.sweep_min_lines) {
+        const double avg_perp = sum_perp / static_cast<double>(crossing);
+        cluster.representative.push_back(dir * ev.along + perp * avg_perp);
+        last_along = ev.along;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace hermes::baselines

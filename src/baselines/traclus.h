@@ -1,0 +1,61 @@
+#ifndef HERMES_BASELINES_TRACLUS_H_
+#define HERMES_BASELINES_TRACLUS_H_
+
+#include <vector>
+
+#include "geom/segment.h"
+#include "traj/trajectory_store.h"
+
+namespace hermes::baselines {
+
+/// \brief Parameters of TRACLUS (Lee, Han & Whang, SIGMOD 2007).
+struct TraclusParams {
+  double eps = 100.0;    ///< Segment-distance neighborhood radius.
+  size_t min_lns = 3;    ///< MinLns density threshold.
+  /// MDL partitioning cost advantage required to emit a characteristic
+  /// point (0 = standard MDL comparison).
+  double mdl_advantage = 0.0;
+  /// Weights of the three distance components.
+  double w_perpendicular = 1.0;
+  double w_parallel = 1.0;
+  double w_angular = 1.0;
+  /// Representative-trajectory sweep: min segments crossing the sweep line.
+  size_t sweep_min_lines = 3;
+  /// Min distance between consecutive representative points.
+  double sweep_gamma = 20.0;
+};
+
+/// \brief A partitioned characteristic segment with provenance.
+struct TraclusSegment {
+  geom::Segment2D geometry;
+  traj::TrajectoryId source = 0;
+};
+
+/// \brief One TRACLUS cluster: member segments + representative polyline.
+struct TraclusCluster {
+  std::vector<size_t> segment_indices;
+  std::vector<geom::Point2D> representative;
+  size_t distinct_trajectories = 0;
+};
+
+/// \brief Output of the full TRACLUS pipeline.
+struct TraclusResult {
+  std::vector<TraclusSegment> segments;  ///< All characteristic segments.
+  std::vector<TraclusCluster> clusters;
+  std::vector<size_t> noise;             ///< Segment indices not clustered.
+};
+
+/// \brief Approximate-MDL partitioning of one trajectory into
+/// characteristic points (returns sample indices, first and last included).
+std::vector<size_t> PartitionCharacteristicPoints(const traj::Trajectory& t,
+                                                  double mdl_advantage = 0.0);
+
+/// \brief Runs partition-and-group TRACLUS over a MOD. Spatial-only: the
+/// temporal dimension is ignored by design — this is exactly the
+/// limitation the Hermes framework addresses.
+TraclusResult RunTraclus(const traj::TrajectoryStore& store,
+                         const TraclusParams& params);
+
+}  // namespace hermes::baselines
+
+#endif  // HERMES_BASELINES_TRACLUS_H_

@@ -1,0 +1,47 @@
+#ifndef HERMES_CLUSTERING_GREEDY_CLUSTERING_H_
+#define HERMES_CLUSTERING_GREEDY_CLUSTERING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "traj/sub_trajectory.h"
+
+namespace hermes::clustering {
+
+/// \brief Parameters of the greedy clustering step of SaCO.
+struct ClusteringParams {
+  /// Maximum time-aware distance from a member to its representative.
+  double epsilon = 200.0;
+  /// Minimum temporal overlap ratio for membership.
+  double min_overlap_ratio = 0.5;
+};
+
+/// \brief One cluster: a representative plus its members (indices into the
+/// sub-trajectory array handed to `ClusterAroundRepresentatives`).
+struct Cluster {
+  size_t representative = 0;        ///< Index of the representative.
+  std::vector<size_t> members;      ///< Includes the representative itself.
+};
+
+/// \brief Output of greedy clustering: clusters around representatives,
+/// plus the sub-trajectories that fit nowhere (the outliers).
+struct ClusteringResult {
+  std::vector<Cluster> clusters;
+  std::vector<size_t> outliers;
+
+  size_t TotalMembers() const;
+  /// cluster index for each sub-trajectory, or -1 for outliers.
+  std::vector<int> Assignment(size_t n) const;
+};
+
+/// \brief Builds clusters "around" the representatives: every non-selected
+/// sub-trajectory joins the representative with the smallest time-aware
+/// distance if that distance is <= epsilon; otherwise it is an outlier.
+ClusteringResult ClusterAroundRepresentatives(
+    const std::vector<traj::SubTrajectory>& subs,
+    const std::vector<size_t>& representative_indices,
+    const ClusteringParams& params);
+
+}  // namespace hermes::clustering
+
+#endif  // HERMES_CLUSTERING_GREEDY_CLUSTERING_H_

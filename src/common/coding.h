@@ -1,0 +1,83 @@
+#ifndef HERMES_COMMON_CODING_H_
+#define HERMES_COMMON_CODING_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+namespace hermes {
+
+/// \brief Little-endian fixed-width binary encoding helpers (the
+/// RocksDB-style coding layer used by the storage and index formats).
+
+inline void PutFixed16(std::string* dst, uint16_t v) {
+  char buf[2];
+  std::memcpy(buf, &v, 2);
+  dst->append(buf, 2);
+}
+
+inline void PutFixed32(std::string* dst, uint32_t v) {
+  char buf[4];
+  std::memcpy(buf, &v, 4);
+  dst->append(buf, 4);
+}
+
+inline void PutFixed64(std::string* dst, uint64_t v) {
+  char buf[8];
+  std::memcpy(buf, &v, 8);
+  dst->append(buf, 8);
+}
+
+inline void PutDouble(std::string* dst, double v) {
+  char buf[8];
+  std::memcpy(buf, &v, 8);
+  dst->append(buf, 8);
+}
+
+inline uint16_t GetFixed16(const char* p) {
+  uint16_t v;
+  std::memcpy(&v, p, 2);
+  return v;
+}
+
+inline uint32_t GetFixed32(const char* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+
+inline uint64_t GetFixed64(const char* p) {
+  uint64_t v;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+
+inline double GetDouble(const char* p) {
+  double v;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+
+/// \brief Cursor for sequential decoding with bounds checking by the caller.
+class Decoder {
+ public:
+  Decoder(const char* data, size_t size) : p_(data), end_(data + size) {}
+  explicit Decoder(const std::string& s) : Decoder(s.data(), s.size()) {}
+
+  size_t remaining() const { return static_cast<size_t>(end_ - p_); }
+  bool ok() const { return p_ <= end_; }
+
+  uint16_t ReadFixed16() { return Advance(2), GetFixed16(p_ - 2); }
+  uint32_t ReadFixed32() { return Advance(4), GetFixed32(p_ - 4); }
+  uint64_t ReadFixed64() { return Advance(8), GetFixed64(p_ - 8); }
+  double ReadDouble() { return Advance(8), GetDouble(p_ - 8); }
+
+ private:
+  void Advance(size_t n) { p_ += n; }
+  const char* p_;
+  const char* end_;
+};
+
+}  // namespace hermes
+
+#endif  // HERMES_COMMON_CODING_H_

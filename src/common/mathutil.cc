@@ -1,0 +1,62 @@
+#include "common/mathutil.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hermes {
+
+double Clamp(double v, double lo, double hi) {
+  return std::max(lo, std::min(hi, v));
+}
+
+bool AlmostEqual(double a, double b, double abs_tol, double rel_tol) {
+  const double diff = std::fabs(a - b);
+  if (diff <= abs_tol) return true;
+  return diff <= rel_tol * std::max(std::fabs(a), std::fabs(b));
+}
+
+double Mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double Variance(const std::vector<double>& xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = Mean(xs);
+  double s = 0.0;
+  for (double x : xs) s += (x - m) * (x - m);
+  return s / static_cast<double>(xs.size());
+}
+
+std::vector<double> PrefixSum(const std::vector<double>& xs) {
+  std::vector<double> p(xs.size() + 1, 0.0);
+  for (size_t i = 0; i < xs.size(); ++i) p[i + 1] = p[i] + xs[i];
+  return p;
+}
+
+std::vector<double> PrefixSqSum(const std::vector<double>& xs) {
+  std::vector<double> p(xs.size() + 1, 0.0);
+  for (size_t i = 0; i < xs.size(); ++i) p[i + 1] = p[i] + xs[i] * xs[i];
+  return p;
+}
+
+double RangeSse(const std::vector<double>& prefix_sum,
+                const std::vector<double>& prefix_sq_sum, size_t first,
+                size_t last) {
+  const double n = static_cast<double>(last - first + 1);
+  const double s = prefix_sum[last + 1] - prefix_sum[first];
+  const double sq = prefix_sq_sum[last + 1] - prefix_sq_sum[first];
+  // SSE = sum(x^2) - (sum(x))^2 / n; clamp tiny negatives from rounding.
+  const double sse = sq - (s * s) / n;
+  return sse > 0.0 ? sse : 0.0;
+}
+
+double GaussianKernel(double d, double sigma) {
+  if (sigma <= 0.0) return d == 0.0 ? 1.0 : 0.0;
+  const double z = d / sigma;
+  return std::exp(-0.5 * z * z);
+}
+
+}  // namespace hermes

@@ -1,0 +1,56 @@
+#ifndef HERMES_COMMON_MATHUTIL_H_
+#define HERMES_COMMON_MATHUTIL_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace hermes {
+
+/// \brief Numeric helpers shared across modules.
+
+/// Clamps `v` to [lo, hi].
+double Clamp(double v, double lo, double hi);
+
+/// True when |a-b| <= abs_tol + rel_tol*max(|a|,|b|).
+bool AlmostEqual(double a, double b, double abs_tol = 1e-9,
+                 double rel_tol = 1e-9);
+
+/// Mean of a non-empty range; 0 for an empty one.
+double Mean(const std::vector<double>& xs);
+
+/// Population variance of a range; 0 when size < 2.
+double Variance(const std::vector<double>& xs);
+
+/// Sum of squared errors around the mean of xs[first..last] inclusive.
+/// Used by the NaTS segmentation dynamic program.
+double RangeSse(const std::vector<double>& prefix_sum,
+                const std::vector<double>& prefix_sq_sum, size_t first,
+                size_t last);
+
+/// Builds prefix sums (size n+1, element 0 is 0) for `xs`.
+std::vector<double> PrefixSum(const std::vector<double>& xs);
+
+/// Builds prefix sums of squares (size n+1) for `xs`.
+std::vector<double> PrefixSqSum(const std::vector<double>& xs);
+
+/// Composite Simpson integration of `f` over [a, b] with `n` (even,
+/// >= 2) subintervals.
+template <typename F>
+double SimpsonIntegrate(F f, double a, double b, int n) {
+  if (n < 2) n = 2;
+  if (n % 2 != 0) ++n;
+  const double h = (b - a) / n;
+  double sum = f(a) + f(b);
+  for (int i = 1; i < n; ++i) {
+    sum += f(a + i * h) * ((i % 2 == 0) ? 2.0 : 4.0);
+  }
+  return sum * h / 3.0;
+}
+
+/// Gaussian kernel exp(-d^2 / (2 sigma^2)); returns 0 for sigma <= 0
+/// unless d == 0 (degenerate kernel = indicator).
+double GaussianKernel(double d, double sigma);
+
+}  // namespace hermes
+
+#endif  // HERMES_COMMON_MATHUTIL_H_

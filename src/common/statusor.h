@@ -1,0 +1,79 @@
+#ifndef HERMES_COMMON_STATUSOR_H_
+#define HERMES_COMMON_STATUSOR_H_
+
+#include <cstdlib>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace hermes {
+
+/// \brief Either a value of type `T` or a non-OK `Status`.
+///
+/// Mirrors `arrow::Result` / `absl::StatusOr`. Accessing the value of an
+/// errored `StatusOr` aborts the process (programming error, not a runtime
+/// condition).
+template <typename T>
+class StatusOr {
+ public:
+  /// Implicit construction from a value (the common success path).
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT: implicit by design
+  /// Implicit construction from an error status.
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    if (status_.ok()) {
+      // An OK status without a value is a contract violation.
+      status_ = Status::Internal("StatusOr constructed from OK status");
+      std::abort();
+    }
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  T& value() & {
+    if (!ok()) std::abort();
+    return *value_;
+  }
+  const T& value() const& {
+    if (!ok()) std::abort();
+    return *value_;
+  }
+  T&& value() && {
+    if (!ok()) std::abort();
+    return std::move(*value_);
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  /// Returns the value or `fallback` when errored.
+  T ValueOr(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;  // OK iff value_ holds a value.
+  std::optional<T> value_;
+};
+
+/// \brief Assigns the value of a `StatusOr` expression to `lhs`, or
+/// propagates its error status.
+#define HERMES_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                 \
+  if (!tmp.ok()) return tmp.status();                \
+  lhs = std::move(tmp).value();
+
+#define HERMES_ASSIGN_OR_RETURN_CONCAT_(a, b) a##b
+#define HERMES_ASSIGN_OR_RETURN_CONCAT(a, b) \
+  HERMES_ASSIGN_OR_RETURN_CONCAT_(a, b)
+
+#define HERMES_ASSIGN_OR_RETURN(lhs, expr)                                   \
+  HERMES_ASSIGN_OR_RETURN_IMPL(                                              \
+      HERMES_ASSIGN_OR_RETURN_CONCAT(_statusor_tmp_, __LINE__), lhs, expr)
+
+}  // namespace hermes
+
+#endif  // HERMES_COMMON_STATUSOR_H_

@@ -1,0 +1,78 @@
+#ifndef HERMES_CORE_QUT_CLUSTERING_H_
+#define HERMES_CORE_QUT_CLUSTERING_H_
+
+#include <vector>
+
+#include "common/statusor.h"
+#include "core/retratree.h"
+
+namespace hermes::core {
+
+/// \brief Query-time parameters of QuT-Clustering (defaults derive from the
+/// owning ReTraTree's parameters).
+struct QuTParams {
+  /// Max spatial gap between consecutive cluster pieces for stitching
+  /// (defaults to the tree's d_assign when <= 0).
+  double stitch_distance = -1.0;
+  /// Max time gap at the stitch boundary (defaults to 1% of delta when < 0).
+  double stitch_time_gap = -1.0;
+  /// Minimum duration of a trimmed member to stay in the answer.
+  double min_member_duration = 1e-9;
+};
+
+/// \brief One answer cluster: a chain of representative pieces across
+/// consecutive sub-chunks plus all (window-trimmed) member
+/// sub-trajectories.
+struct QuTCluster {
+  std::vector<traj::SubTrajectory> representatives;
+  std::vector<traj::SubTrajectory> members;
+
+  double StartTime() const;
+  double EndTime() const;
+};
+
+/// \brief Work counters proving the progressive property (boundary-only
+/// recomputation).
+struct QuTStats {
+  size_t sub_chunks_visited = 0;
+  size_t sub_chunks_full = 0;      ///< Served without any recomputation.
+  size_t sub_chunks_partial = 0;   ///< Boundary sub-chunks (trim + recheck).
+  size_t members_read = 0;
+  size_t members_reassigned = 0;   ///< Boundary members demoted to outliers.
+  size_t stitches = 0;
+  int64_t elapsed_us = 0;
+};
+
+/// \brief Result of a QuT query: clusters and outliers restricted to W.
+struct QuTResult {
+  std::vector<QuTCluster> clusters;
+  std::vector<traj::SubTrajectory> outliers;
+  QuTStats stats;
+
+  size_t TotalMembers() const;
+};
+
+/// \brief QuT-Clustering (DMKD 2017): given a temporal window W, assembles
+/// the sub-trajectory clusters and outliers that temporally intersect W
+/// from the ReTraTree — without re-running the clustering pipeline.
+///
+/// Sub-chunks fully covered by W contribute their clusters as stored;
+/// boundary sub-chunks trim members to W and re-validate membership
+/// against the trimmed representative; cluster pieces of consecutive
+/// sub-chunks whose representatives are continuous at the boundary are
+/// stitched into one answer cluster.
+class QuTClustering {
+ public:
+  explicit QuTClustering(const ReTraTree* tree) : tree_(tree) {}
+
+  /// Runs `SELECT QUT(D, Wi, We, ...)`.
+  StatusOr<QuTResult> Query(double wi, double we,
+                            const QuTParams& params = QuTParams()) const;
+
+ private:
+  const ReTraTree* tree_;
+};
+
+}  // namespace hermes::core
+
+#endif  // HERMES_CORE_QUT_CLUSTERING_H_

@@ -1,0 +1,597 @@
+#include "core/retratree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/coding.h"
+#include "common/logging.h"
+#include "traj/distance.h"
+
+namespace hermes::core {
+
+namespace {
+/// Sub-chunk pieces must fit one heap-file record; longer pieces are split
+/// into consecutive runs of at most this many samples.
+constexpr size_t kMaxSamplesPerPiece = 300;
+}  // namespace
+
+std::string EncodeSubTrajectory(const traj::SubTrajectory& st) {
+  std::string out;
+  PutFixed64(&out, st.id);
+  PutFixed64(&out, st.source_trajectory);
+  PutFixed64(&out, st.object_id);
+  PutFixed64(&out, st.first_sample_index);
+  PutDouble(&out, st.mean_voting);
+  PutFixed32(&out, static_cast<uint32_t>(st.points.size()));
+  for (const auto& p : st.points.samples()) {
+    PutDouble(&out, p.x);
+    PutDouble(&out, p.y);
+    PutDouble(&out, p.t);
+  }
+  return out;
+}
+
+StatusOr<traj::SubTrajectory> DecodeSubTrajectory(const std::string& bytes) {
+  if (bytes.size() < 44) return Status::Corruption("sub-trajectory too short");
+  Decoder dec(bytes);
+  traj::SubTrajectory st;
+  st.id = dec.ReadFixed64();
+  st.source_trajectory = dec.ReadFixed64();
+  st.object_id = dec.ReadFixed64();
+  st.first_sample_index = dec.ReadFixed64();
+  st.mean_voting = dec.ReadDouble();
+  const uint32_t n = dec.ReadFixed32();
+  if (dec.remaining() != static_cast<size_t>(n) * 24) {
+    return Status::Corruption("sub-trajectory size mismatch");
+  }
+  traj::Trajectory points(st.object_id);
+  for (uint32_t i = 0; i < n; ++i) {
+    const double x = dec.ReadDouble();
+    const double y = dec.ReadDouble();
+    const double t = dec.ReadDouble();
+    HERMES_RETURN_NOT_OK(points.Append({x, y, t}));
+  }
+  st.points = std::move(points);
+  return st;
+}
+
+ReTraTree::ReTraTree(storage::Env* env, std::string dir,
+                     ReTraTreeParams params,
+                     std::unique_ptr<storage::PartitionManager> partitions)
+    : env_(env),
+      dir_(std::move(dir)),
+      params_(std::move(params)),
+      partitions_(std::move(partitions)) {}
+
+StatusOr<std::unique_ptr<ReTraTree>> ReTraTree::Open(storage::Env* env,
+                                                     const std::string& dir,
+                                                     ReTraTreeParams params) {
+  if (params.tau <= 0.0 || params.delta <= 0.0) {
+    return Status::InvalidArgument("tau and delta must be positive");
+  }
+  if (params.delta > params.tau) {
+    return Status::InvalidArgument("delta must not exceed tau");
+  }
+  // Snap delta so an integer number of sub-chunks tiles each chunk.
+  const double ratio = std::round(params.tau / params.delta);
+  params.delta = params.tau / std::max(1.0, ratio);
+
+  HERMES_ASSIGN_OR_RETURN(std::unique_ptr<storage::PartitionManager> pm,
+                          storage::PartitionManager::Open(env, dir));
+  auto tree = std::unique_ptr<ReTraTree>(
+      new ReTraTree(env, dir, std::move(params), std::move(pm)));
+  if (env->FileExists(tree->CatalogPath())) {
+    HERMES_RETURN_NOT_OK(tree->LoadCatalog());
+  }
+  return tree;
+}
+
+std::string ReTraTree::CatalogPath() const {
+  return dir_ + "/" + kReTraTreeCatalog;
+}
+
+namespace {
+constexpr uint32_t kCatalogMagic = 0x52545243u;  // "RTRC"
+constexpr uint32_t kCatalogVersion = 1;
+
+void PutString(std::string* dst, const std::string& s) {
+  PutFixed32(dst, static_cast<uint32_t>(s.size()));
+  dst->append(s);
+}
+}  // namespace
+
+Status ReTraTree::Save() {
+  HERMES_RETURN_NOT_OK(Flush());
+  std::string buf;
+  PutFixed32(&buf, kCatalogMagic);
+  PutFixed32(&buf, kCatalogVersion);
+  PutDouble(&buf, params_.tau);
+  PutDouble(&buf, params_.delta);
+  PutDouble(&buf, params_.t_align);
+  PutDouble(&buf, params_.d_assign);
+  PutFixed64(&buf, params_.gamma);
+  PutDouble(&buf, params_.origin);
+  PutFixed64(&buf, next_sub_id_);
+  PutFixed64(&buf, next_partition_seq_);
+
+  uint64_t num_subchunks = 0;
+  for (const auto& [ci, chunk] : chunks_) {
+    num_subchunks += chunk.sub_chunks.size();
+  }
+  PutFixed64(&buf, num_subchunks);
+  for (const auto& [ci, chunk] : chunks_) {
+    for (const auto& [si, sc] : chunk.sub_chunks) {
+      PutFixed64(&buf, static_cast<uint64_t>(sc.global_index));
+      PutString(&buf, sc.outlier_partition);
+      PutFixed64(&buf, sc.outlier_count);
+      PutFixed64(&buf, sc.recluster_watermark);
+      PutFixed64(&buf, sc.representatives.size());
+      for (const auto& entry : sc.representatives) {
+        PutString(&buf, entry->partition_name);
+        PutFixed64(&buf, entry->member_count);
+        PutString(&buf, EncodeSubTrajectory(entry->representative));
+      }
+    }
+  }
+
+  // Rewrite from scratch: WriteAt never truncates, and a shrinking
+  // catalog must not leave stale trailing bytes.
+  if (env_->FileExists(CatalogPath())) {
+    HERMES_RETURN_NOT_OK(env_->DeleteFile(CatalogPath()));
+  }
+  HERMES_ASSIGN_OR_RETURN(std::unique_ptr<storage::RandomRWFile> file,
+                          env_->NewRWFile(CatalogPath()));
+  HERMES_RETURN_NOT_OK(file->WriteAt(0, buf.size(), buf.data()));
+  return file->Sync();
+}
+
+Status ReTraTree::LoadCatalog() {
+  HERMES_ASSIGN_OR_RETURN(std::unique_ptr<storage::RandomRWFile> file,
+                          env_->NewRWFile(CatalogPath()));
+  HERMES_ASSIGN_OR_RETURN(uint64_t size, file->Size());
+  std::string buf;
+  buf.resize(size);
+  HERMES_RETURN_NOT_OK(file->ReadAt(0, size, buf.data()));
+
+  Decoder dec(buf);
+  if (dec.remaining() < 8 || dec.ReadFixed32() != kCatalogMagic) {
+    return Status::Corruption("bad ReTraTree catalog magic");
+  }
+  if (dec.ReadFixed32() != kCatalogVersion) {
+    return Status::Corruption("unsupported catalog version");
+  }
+  const double tau = dec.ReadDouble();
+  const double delta = dec.ReadDouble();
+  const double t_align = dec.ReadDouble();
+  const double d_assign = dec.ReadDouble();
+  const uint64_t gamma = dec.ReadFixed64();
+  const double origin = dec.ReadDouble();
+  if (std::fabs(tau - params_.tau) > 1e-9 ||
+      std::fabs(delta - params_.delta) > 1e-9 ||
+      std::fabs(origin - params_.origin) > 1e-9) {
+    return Status::InvalidArgument(
+        "ReTraTree catalog was built with different structural parameters");
+  }
+  params_.t_align = t_align;
+  params_.d_assign = d_assign;
+  params_.gamma = gamma;
+  next_sub_id_ = dec.ReadFixed64();
+  next_partition_seq_ = dec.ReadFixed64();
+
+  // Parse the variable-length remainder with a raw cursor (the fixed-width
+  // Decoder has no bytes reader).
+  size_t off = 4 + 4 + 8 * 4 + 8 + 8 + 8 + 8;
+  auto need = [&](size_t n) -> Status {
+    if (off + n > buf.size()) return Status::Corruption("catalog truncated");
+    return Status::OK();
+  };
+  auto get_u64 = [&](uint64_t* v) -> Status {
+    HERMES_RETURN_NOT_OK(need(8));
+    *v = GetFixed64(buf.data() + off);
+    off += 8;
+    return Status::OK();
+  };
+  auto get_str = [&](std::string* s) -> Status {
+    HERMES_RETURN_NOT_OK(need(4));
+    const uint32_t n = GetFixed32(buf.data() + off);
+    off += 4;
+    HERMES_RETURN_NOT_OK(need(n));
+    s->assign(buf.data() + off, n);
+    off += n;
+    return Status::OK();
+  };
+
+  uint64_t num_subchunks = 0;
+  HERMES_RETURN_NOT_OK(get_u64(&num_subchunks));
+  chunks_.clear();
+  for (uint64_t k = 0; k < num_subchunks; ++k) {
+    uint64_t raw_index = 0;
+    HERMES_RETURN_NOT_OK(get_u64(&raw_index));
+    const int64_t si = static_cast<int64_t>(raw_index);
+    const double start = params_.origin + si * params_.delta;
+    SubChunk* sc = GetOrCreateSubChunk(start + params_.delta / 2);
+    HERMES_RETURN_NOT_OK(get_str(&sc->outlier_partition));
+    HERMES_RETURN_NOT_OK(get_u64(&sc->outlier_count));
+    HERMES_RETURN_NOT_OK(get_u64(&sc->recluster_watermark));
+    uint64_t num_reps = 0;
+    HERMES_RETURN_NOT_OK(get_u64(&num_reps));
+    for (uint64_t r = 0; r < num_reps; ++r) {
+      auto entry = std::make_unique<RepresentativeEntry>();
+      HERMES_RETURN_NOT_OK(get_str(&entry->partition_name));
+      HERMES_RETURN_NOT_OK(get_u64(&entry->member_count));
+      std::string rep_bytes;
+      HERMES_RETURN_NOT_OK(get_str(&rep_bytes));
+      HERMES_ASSIGN_OR_RETURN(entry->representative,
+                              DecodeSubTrajectory(rep_bytes));
+      HERMES_ASSIGN_OR_RETURN(
+          entry->index,
+          rtree::RTree3D::Open(env_, dir_ + "/" + entry->partition_name +
+                                         ".idx"));
+      sc->representatives.push_back(std::move(entry));
+    }
+  }
+  return Status::OK();
+}
+
+int64_t ReTraTree::ChunkIndexOf(double t) const {
+  return static_cast<int64_t>(std::floor((t - params_.origin) / params_.tau));
+}
+
+int64_t ReTraTree::SubChunkIndexOf(double t) const {
+  return static_cast<int64_t>(
+      std::floor((t - params_.origin) / params_.delta));
+}
+
+SubChunk* ReTraTree::GetOrCreateSubChunk(double t) {
+  const int64_t ci = ChunkIndexOf(t);
+  auto [cit, cnew] = chunks_.try_emplace(ci);
+  Chunk& chunk = cit->second;
+  if (cnew) {
+    chunk.index = ci;
+    chunk.start = params_.origin + ci * params_.tau;
+    chunk.end = chunk.start + params_.tau;
+  }
+  const int64_t si = SubChunkIndexOf(t);
+  auto [sit, snew] = chunk.sub_chunks.try_emplace(si);
+  SubChunk& sc = sit->second;
+  if (snew) {
+    sc.global_index = si;
+    sc.start = params_.origin + si * params_.delta;
+    sc.end = sc.start + params_.delta;
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "sc%lld_out",
+                  static_cast<long long>(si));
+    sc.outlier_partition = buf;
+  }
+  return &sc;
+}
+
+Status ReTraTree::Insert(const traj::Trajectory& trajectory,
+                         traj::TrajectoryId source_id) {
+  if (trajectory.size() < 2) {
+    return Status::InvalidArgument("trajectory needs >= 2 samples");
+  }
+  // Split at sub-chunk boundaries (which include chunk boundaries).
+  const int64_t first = SubChunkIndexOf(trajectory.StartTime());
+  const int64_t last = SubChunkIndexOf(trajectory.EndTime());
+  for (int64_t si = first; si <= last; ++si) {
+    const double lo = params_.origin + si * params_.delta;
+    const double hi = lo + params_.delta;
+    traj::Trajectory piece = trajectory.Slice(lo, hi);
+    if (piece.size() < 2) continue;
+
+    // Long pieces are split to honor the record-size bound.
+    size_t offset = 0;
+    while (offset + 1 < piece.size()) {
+      const size_t take = std::min(kMaxSamplesPerPiece, piece.size() - offset);
+      traj::SubTrajectory st;
+      st.id = next_sub_id_++;
+      st.source_trajectory = source_id;
+      st.object_id = trajectory.object_id();
+      st.first_sample_index = offset;
+      traj::Trajectory part(trajectory.object_id());
+      for (size_t k = offset; k < offset + take; ++k) {
+        HERMES_RETURN_NOT_OK(part.Append(piece[k]));
+      }
+      st.points = std::move(part);
+      HERMES_RETURN_NOT_OK(InsertPiece(std::move(st), true));
+      if (offset + take >= piece.size()) break;
+      offset += take - 1;  // Overlap one sample to keep continuity.
+    }
+  }
+  return Status::OK();
+}
+
+Status ReTraTree::InsertStore(const traj::TrajectoryStore& store) {
+  for (traj::TrajectoryId tid = 0; tid < store.NumTrajectories(); ++tid) {
+    HERMES_RETURN_NOT_OK(Insert(store.Get(tid), tid));
+  }
+  return Status::OK();
+}
+
+Status ReTraTree::InsertPiece(traj::SubTrajectory piece,
+                              bool allow_recluster) {
+  ++stats_.pieces_inserted;
+  SubChunk* sc = GetOrCreateSubChunk(piece.StartTime());
+
+  // L3 assignment: closest representative within (d, t).
+  RepresentativeEntry* best = nullptr;
+  double best_dist = params_.d_assign;
+  for (auto& entry : sc->representatives) {
+    const traj::SubTrajectory& rep = entry->representative;
+    const double mismatch =
+        std::max(std::fabs(piece.StartTime() - rep.StartTime()),
+                 std::fabs(piece.EndTime() - rep.EndTime()));
+    if (mismatch > params_.t_align) continue;
+    const double d = traj::ClusteringDistance(piece.points, rep.points,
+                                              params_.min_overlap_ratio);
+    if (d <= best_dist) {
+      best_dist = d;
+      best = entry.get();
+    }
+  }
+  if (best != nullptr) {
+    ++stats_.assigned_to_existing;
+    return AppendMember(best, piece);
+  }
+
+  // Outlier path.
+  ++stats_.sent_to_outliers;
+  HERMES_ASSIGN_OR_RETURN(storage::HeapFile * hf,
+                          partitions_->GetOrCreate(sc->outlier_partition));
+  HERMES_ASSIGN_OR_RETURN(storage::RecordId rid,
+                          hf->Append(EncodeSubTrajectory(piece)));
+  (void)rid;
+  ++stats_.records_written;
+  ++sc->outlier_count;
+
+  if (allow_recluster && sc->outlier_count >= params_.gamma &&
+      sc->outlier_count >= sc->recluster_watermark) {
+    return ReclusterOutliers(sc);
+  }
+  return Status::OK();
+}
+
+Status ReTraTree::AppendMember(RepresentativeEntry* entry,
+                               const traj::SubTrajectory& member) {
+  HERMES_ASSIGN_OR_RETURN(storage::HeapFile * hf,
+                          partitions_->GetOrCreate(entry->partition_name));
+  HERMES_ASSIGN_OR_RETURN(storage::RecordId rid,
+                          hf->Append(EncodeSubTrajectory(member)));
+  ++stats_.records_written;
+  HERMES_RETURN_NOT_OK(entry->index->Insert(member.Bounds(), rid.Pack()));
+  ++entry->member_count;
+  return Status::OK();
+}
+
+Status ReTraTree::ReclusterOutliers(SubChunk* sc) {
+  ++stats_.s2t_runs;
+  // Read the buffered outliers back from disk.
+  HERMES_ASSIGN_OR_RETURN(std::vector<traj::SubTrajectory> buffered,
+                          ReadOutliers(*sc));
+
+  // Re-cluster them with S2T: each buffered piece acts as a trajectory of
+  // the temporary MOD.
+  traj::TrajectoryStore temp;
+  std::vector<size_t> temp_to_buffered;
+  for (size_t i = 0; i < buffered.size(); ++i) {
+    if (buffered[i].points.size() < 2) continue;
+    auto added = temp.Add(buffered[i].points);
+    if (!added.ok()) continue;
+    temp_to_buffered.push_back(i);
+  }
+  if (temp.NumTrajectories() < 2) return Status::OK();
+
+  S2TClustering s2t(params_.s2t);
+  HERMES_ASSIGN_OR_RETURN(S2TResult result, s2t.Run(temp));
+
+  // Drop and recreate the outlier partition; survivors are re-appended.
+  HERMES_RETURN_NOT_OK(partitions_->Drop(sc->outlier_partition));
+  sc->outlier_count = 0;
+
+  // Back-propagate discovered representatives (clusters big enough).
+  std::vector<bool> archived(result.sub_trajectories.size(), false);
+  for (const auto& cluster : result.clustering.clusters) {
+    if (cluster.members.size() < params_.min_new_cluster_size) continue;
+    auto entry = std::make_unique<RepresentativeEntry>();
+    traj::SubTrajectory rep =
+        result.sub_trajectories[cluster.representative];
+    // Restore provenance from the buffered piece the rep came from.
+    const size_t buf_idx =
+        temp_to_buffered[rep.source_trajectory];
+    rep.id = next_sub_id_++;
+    rep.source_trajectory = buffered[buf_idx].source_trajectory;
+    entry->representative = rep;
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "sc%lld_r%llu",
+                  static_cast<long long>(sc->global_index),
+                  static_cast<unsigned long long>(next_partition_seq_++));
+    entry->partition_name = buf;
+    HERMES_ASSIGN_OR_RETURN(
+        entry->index,
+        rtree::RTree3D::Open(env_, dir_ + "/" + entry->partition_name +
+                                       ".idx"));
+    RepresentativeEntry* raw = entry.get();
+    sc->representatives.push_back(std::move(entry));
+    ++stats_.representatives_created;
+
+    for (size_t m : cluster.members) {
+      traj::SubTrajectory member = result.sub_trajectories[m];
+      const size_t mbuf = temp_to_buffered[member.source_trajectory];
+      member.id = next_sub_id_++;
+      member.source_trajectory = buffered[mbuf].source_trajectory;
+      member.object_id = buffered[mbuf].object_id;
+      HERMES_RETURN_NOT_OK(AppendMember(raw, member));
+      archived[m] = true;
+    }
+  }
+
+  // Residual outliers re-enter the tree; the new representatives may now
+  // accommodate them, otherwise they land back in the (fresh) buffer.
+  for (size_t o : result.clustering.outliers) {
+    if (archived[o]) continue;
+    traj::SubTrajectory residue = result.sub_trajectories[o];
+    const size_t rbuf = temp_to_buffered[residue.source_trajectory];
+    residue.id = next_sub_id_++;
+    residue.source_trajectory = buffered[rbuf].source_trajectory;
+    residue.object_id = buffered[rbuf].object_id;
+    ++stats_.reinserted_after_s2t;
+    HERMES_RETURN_NOT_OK(InsertPiece(std::move(residue), false));
+  }
+  // Members of clusters that were too small also return to the buffer.
+  for (const auto& cluster : result.clustering.clusters) {
+    if (cluster.members.size() >= params_.min_new_cluster_size) continue;
+    for (size_t m : cluster.members) {
+      traj::SubTrajectory residue = result.sub_trajectories[m];
+      const size_t rbuf = temp_to_buffered[residue.source_trajectory];
+      residue.id = next_sub_id_++;
+      residue.source_trajectory = buffered[rbuf].source_trajectory;
+      residue.object_id = buffered[rbuf].object_id;
+      ++stats_.reinserted_after_s2t;
+      HERMES_RETURN_NOT_OK(InsertPiece(std::move(residue), false));
+    }
+  }
+  // Raise the trigger so residues alone cannot immediately re-fire S2T.
+  sc->recluster_watermark = sc->outlier_count + params_.gamma;
+  return Status::OK();
+}
+
+std::vector<const SubChunk*> ReTraTree::SubChunksIn(double t0,
+                                                    double t1) const {
+  std::vector<const SubChunk*> out;
+  for (const auto& [ci, chunk] : chunks_) {
+    if (chunk.end <= t0 || chunk.start >= t1) continue;
+    for (const auto& [si, sc] : chunk.sub_chunks) {
+      if (sc.end <= t0 || sc.start >= t1) continue;
+      out.push_back(&sc);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SubChunk* a, const SubChunk* b) {
+              return a->start < b->start;
+            });
+  return out;
+}
+
+StatusOr<std::vector<traj::SubTrajectory>> ReTraTree::ReadMembers(
+    const RepresentativeEntry& entry) const {
+  std::vector<traj::SubTrajectory> out;
+  HERMES_ASSIGN_OR_RETURN(storage::HeapFile * hf,
+                          partitions_->GetOrCreate(entry.partition_name));
+  Status decode_status = Status::OK();
+  HERMES_RETURN_NOT_OK(
+      hf->Scan([&](const storage::RecordId&, const std::string& rec) {
+        auto st = DecodeSubTrajectory(rec);
+        if (!st.ok()) {
+          decode_status = st.status();
+          return false;
+        }
+        ++stats_.records_read;
+        out.push_back(std::move(st).value());
+        return true;
+      }));
+  HERMES_RETURN_NOT_OK(decode_status);
+  return out;
+}
+
+StatusOr<std::vector<traj::SubTrajectory>> ReTraTree::ReadMembersInWindow(
+    const RepresentativeEntry& entry, double t0, double t1) const {
+  std::vector<traj::SubTrajectory> out;
+  HERMES_ASSIGN_OR_RETURN(storage::HeapFile * hf,
+                          partitions_->GetOrCreate(entry.partition_name));
+  // Time-only range: unbounded spatial extent.
+  const double kBig = 1e18;
+  geom::Mbb3D window(-kBig, -kBig, t0, kBig, kBig, t1);
+  HERMES_ASSIGN_OR_RETURN(std::vector<uint64_t> rids,
+                          entry.index->Search(window));
+  std::sort(rids.begin(), rids.end());
+  for (uint64_t packed : rids) {
+    HERMES_ASSIGN_OR_RETURN(std::string rec,
+                            hf->Read(storage::RecordId::Unpack(packed)));
+    HERMES_ASSIGN_OR_RETURN(traj::SubTrajectory st,
+                            DecodeSubTrajectory(rec));
+    ++stats_.records_read;
+    out.push_back(std::move(st));
+  }
+  return out;
+}
+
+StatusOr<std::vector<traj::SubTrajectory>> ReTraTree::ReadOutliers(
+    const SubChunk& sc) const {
+  std::vector<traj::SubTrajectory> out;
+  if (!partitions_->Exists(sc.outlier_partition)) return out;
+  HERMES_ASSIGN_OR_RETURN(storage::HeapFile * hf,
+                          partitions_->GetOrCreate(sc.outlier_partition));
+  Status decode_status = Status::OK();
+  HERMES_RETURN_NOT_OK(
+      hf->Scan([&](const storage::RecordId&, const std::string& rec) {
+        auto st = DecodeSubTrajectory(rec);
+        if (!st.ok()) {
+          decode_status = st.status();
+          return false;
+        }
+        ++stats_.records_read;
+        out.push_back(std::move(st).value());
+        return true;
+      }));
+  HERMES_RETURN_NOT_OK(decode_status);
+  return out;
+}
+
+size_t ReTraTree::TotalRepresentatives() const {
+  size_t n = 0;
+  for (const auto& [ci, chunk] : chunks_) {
+    for (const auto& [si, sc] : chunk.sub_chunks) {
+      n += sc.representatives.size();
+    }
+  }
+  return n;
+}
+
+Status ReTraTree::Validate() const {
+  for (const auto& [ci, chunk] : chunks_) {
+    if (chunk.index != ci) return Status::Corruption("chunk index mismatch");
+    for (const auto& [si, sc] : chunk.sub_chunks) {
+      if (sc.global_index != si) {
+        return Status::Corruption("sub-chunk index mismatch");
+      }
+      if (sc.start < chunk.start - 1e-9 || sc.end > chunk.end + 1e-9) {
+        return Status::Corruption("sub-chunk outside its chunk");
+      }
+      for (const auto& entry : sc.representatives) {
+        HERMES_RETURN_NOT_OK(entry->index->Validate());
+        if (entry->index->num_entries() != entry->member_count) {
+          return Status::Corruption("index/member count mismatch for " +
+                                    entry->partition_name);
+        }
+        HERMES_ASSIGN_OR_RETURN(auto members, ReadMembers(*entry));
+        if (members.size() != entry->member_count) {
+          return Status::Corruption("partition/member count mismatch for " +
+                                    entry->partition_name);
+        }
+        // Representative must live inside its sub-chunk.
+        const auto& rep = entry->representative;
+        if (rep.StartTime() < sc.start - 1e-6 ||
+            rep.EndTime() > sc.end + 1e-6) {
+          return Status::Corruption("representative outside sub-chunk");
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status ReTraTree::Flush() {
+  HERMES_RETURN_NOT_OK(partitions_->FlushAll());
+  for (auto& [ci, chunk] : chunks_) {
+    for (auto& [si, sc] : chunk.sub_chunks) {
+      for (auto& entry : sc.representatives) {
+        HERMES_RETURN_NOT_OK(entry->index->Flush());
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace hermes::core

@@ -1,0 +1,202 @@
+#ifndef HERMES_CORE_RETRATREE_H_
+#define HERMES_CORE_RETRATREE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/statusor.h"
+#include "core/s2t_clustering.h"
+#include "rtree/rtree3d.h"
+#include "storage/env.h"
+#include "storage/partition_manager.h"
+#include "traj/sub_trajectory.h"
+#include "traj/trajectory_store.h"
+
+namespace hermes::core {
+
+/// \brief Parameters of the ReTraTree (Representative Trajectory Tree).
+///
+/// The SQL signature `QUT(D, Wi, We, τ, δ, t, d, γ)` maps to:
+/// `tau`, `delta`, `t_align`, `d_assign`, `gamma`.
+struct ReTraTreeParams {
+  /// L1: temporal chunk width (τ).
+  double tau = 3600.0;
+  /// L2: sub-chunk width (δ); must divide into τ (enforced by rounding).
+  double delta = 900.0;
+  /// Max temporal misalignment between a piece and a representative for
+  /// assignment (t).
+  double t_align = 225.0;
+  /// Max time-aware distance between a piece and a representative for
+  /// cluster membership (d).
+  double d_assign = 200.0;
+  /// Outlier-partition size that triggers an S2T re-clustering run (γ).
+  size_t gamma = 64;
+  /// Minimum temporal overlap ratio used in distance evaluations.
+  double min_overlap_ratio = 0.5;
+  /// Minimum cluster size for a representative discovered by the buffer
+  /// S2T run to be back-propagated.
+  size_t min_new_cluster_size = 2;
+  /// Time origin of the chunk grid.
+  double origin = 0.0;
+  /// S2T configuration for outlier-buffer re-clustering runs.
+  S2TParams s2t;
+};
+
+/// \brief Maintenance counters (Fig. 2's loop, made observable).
+struct ReTraTreeStats {
+  uint64_t pieces_inserted = 0;
+  uint64_t assigned_to_existing = 0;
+  uint64_t sent_to_outliers = 0;
+  uint64_t s2t_runs = 0;
+  uint64_t representatives_created = 0;
+  uint64_t reinserted_after_s2t = 0;
+  uint64_t records_written = 0;
+  uint64_t records_read = 0;
+};
+
+/// \brief L3 entry: an in-memory representative plus its on-disk member
+/// partition ("pg3D-Rtree-k" in Fig. 2: heap file + 3D R-tree).
+struct RepresentativeEntry {
+  traj::SubTrajectory representative;
+  std::string partition_name;
+  size_t member_count = 0;
+  /// Per-partition member index over (x, y, t) bounds -> heap RecordId.
+  std::unique_ptr<rtree::RTree3D> index;
+};
+
+/// \brief L2 node: one sub-chunk of the time domain with its
+/// representatives and its outlier partition.
+struct SubChunk {
+  int64_t global_index = 0;
+  double start = 0.0;
+  double end = 0.0;
+  std::vector<std::unique_ptr<RepresentativeEntry>> representatives;
+  std::string outlier_partition;
+  size_t outlier_count = 0;
+  /// Next buffer size that may trigger re-clustering (prevents thrashing
+  /// when residues alone still exceed gamma).
+  size_t recluster_watermark = 0;
+};
+
+/// \brief L1 node: one temporal chunk holding its sub-chunks.
+struct Chunk {
+  int64_t index = 0;
+  double start = 0.0;
+  double end = 0.0;
+  std::map<int64_t, SubChunk> sub_chunks;  // Keyed by global sub-chunk index.
+};
+
+/// Binary (de)serialization of sub-trajectories for partition records.
+std::string EncodeSubTrajectory(const traj::SubTrajectory& st);
+StatusOr<traj::SubTrajectory> DecodeSubTrajectory(const std::string& bytes);
+
+/// Name of the catalog file a persistent ReTraTree keeps under its
+/// directory (in-memory levels L1–L3; L4 lives in the partitions).
+inline constexpr char kReTraTreeCatalog[] = "retratree.catalog";
+
+/// \brief The ReTraTree: a 4-level structure for time-aware sub-trajectory
+/// clustering (DMKD 2017).
+///
+///   L1  temporal chunks (width τ)            — in memory
+///   L2  sub-chunks (width δ)                 — in memory
+///   L3  cluster representatives              — in memory
+///   L4  member/outlier partitions + R-trees  — on disk
+///
+/// Insertion splits trajectories at chunk/sub-chunk boundaries, assigns
+/// each piece to the closest representative (within `d_assign`/`t_align`)
+/// or to the sub-chunk's outlier partition; when the partition exceeds γ,
+/// S2T-Clustering runs on it and its discovered representatives are
+/// back-propagated into L3 (the architecture loop of Fig. 2).
+class ReTraTree {
+ public:
+  /// Opens a tree storing partitions under `dir` of `env`. When a catalog
+  /// written by `Save` exists there, the in-memory levels are restored
+  /// from it (the passed structural parameters must match the persisted
+  /// ones).
+  static StatusOr<std::unique_ptr<ReTraTree>> Open(storage::Env* env,
+                                                   const std::string& dir,
+                                                   ReTraTreeParams params);
+
+  /// Persists the in-memory levels (L1–L3) to the catalog file and flushes
+  /// every partition and index. After `Save`, `Open` on the same dir
+  /// restores an equivalent tree.
+  Status Save();
+
+  /// Inserts a whole trajectory (id used for provenance only).
+  Status Insert(const traj::Trajectory& trajectory,
+                traj::TrajectoryId source_id);
+
+  /// Bulk-inserts every trajectory of a store.
+  Status InsertStore(const traj::TrajectoryStore& store);
+
+  const ReTraTreeParams& params() const { return params_; }
+  const std::map<int64_t, Chunk>& chunks() const { return chunks_; }
+  const ReTraTreeStats& stats() const { return stats_; }
+
+  /// Sub-chunks whose interval intersects [t0, t1), ordered by time.
+  std::vector<const SubChunk*> SubChunksIn(double t0, double t1) const;
+
+  /// Reads all members of a representative's partition.
+  StatusOr<std::vector<traj::SubTrajectory>> ReadMembers(
+      const RepresentativeEntry& entry) const;
+
+  /// Reads members whose lifespan intersects [t0, t1), using the
+  /// partition's pg3D-Rtree to avoid a full scan.
+  StatusOr<std::vector<traj::SubTrajectory>> ReadMembersInWindow(
+      const RepresentativeEntry& entry, double t0, double t1) const;
+
+  /// Reads the outlier partition of a sub-chunk.
+  StatusOr<std::vector<traj::SubTrajectory>> ReadOutliers(
+      const SubChunk& sc) const;
+
+  /// Total representatives across all sub-chunks.
+  size_t TotalRepresentatives() const;
+
+  /// Validates structural invariants (sub-chunk intervals, member counts,
+  /// index consistency).
+  Status Validate() const;
+
+  Status Flush();
+
+ private:
+  ReTraTree(storage::Env* env, std::string dir, ReTraTreeParams params,
+            std::unique_ptr<storage::PartitionManager> partitions);
+
+  int64_t ChunkIndexOf(double t) const;
+  int64_t SubChunkIndexOf(double t) const;
+
+  std::string CatalogPath() const;
+  Status LoadCatalog();
+
+  /// Returns (creating on demand) the sub-chunk containing time `t`.
+  SubChunk* GetOrCreateSubChunk(double t);
+
+  /// Routes one boundary-trimmed piece; `allow_recluster` guards against
+  /// recursion from the S2T loop.
+  Status InsertPiece(traj::SubTrajectory piece, bool allow_recluster);
+
+  /// Appends a member to a representative's partition + index.
+  Status AppendMember(RepresentativeEntry* entry,
+                      const traj::SubTrajectory& member);
+
+  /// The Fig. 2 loop: voting/segmentation/sampling over the outlier buffer,
+  /// new representatives back-propagated, members redistributed.
+  Status ReclusterOutliers(SubChunk* sc);
+
+  storage::Env* env_;
+  std::string dir_;
+  ReTraTreeParams params_;
+  std::unique_ptr<storage::PartitionManager> partitions_;
+
+  std::map<int64_t, Chunk> chunks_;
+  traj::SubTrajectoryId next_sub_id_ = 0;
+  uint64_t next_partition_seq_ = 0;
+  mutable ReTraTreeStats stats_;  // Read paths count records read.
+};
+
+}  // namespace hermes::core
+
+#endif  // HERMES_CORE_RETRATREE_H_

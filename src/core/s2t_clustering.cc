@@ -1,0 +1,76 @@
+#include "core/s2t_clustering.h"
+
+#include <chrono>
+
+#include "rtree/str_bulk_load.h"
+#include "storage/env.h"
+
+namespace hermes::core {
+
+namespace {
+int64_t NowUs() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+}  // namespace
+
+StatusOr<S2TResult> S2TClustering::Run(
+    const traj::TrajectoryStore& store) const {
+  S2TTimings timings;
+  if (!params_.use_index) {
+    return RunPhases(store, nullptr, timings);
+  }
+  auto env = storage::Env::NewMemEnv();
+  const int64_t t0 = NowUs();
+  HERMES_ASSIGN_OR_RETURN(
+      std::unique_ptr<rtree::RTree3D> index,
+      rtree::BuildSegmentIndex(env.get(), "s2t.idx", store));
+  timings.index_build_us = NowUs() - t0;
+  return RunPhases(store, index.get(), timings);
+}
+
+StatusOr<S2TResult> S2TClustering::RunWithIndex(
+    const traj::TrajectoryStore& store, const rtree::RTree3D& index) const {
+  return RunPhases(store, &index, S2TTimings{});
+}
+
+StatusOr<S2TResult> S2TClustering::RunPhases(const traj::TrajectoryStore& store,
+                                             const rtree::RTree3D* index,
+                                             S2TTimings timings) const {
+  S2TResult result;
+  result.timings = timings;
+
+  // Phase 1a: voting.
+  int64_t t0 = NowUs();
+  if (index != nullptr) {
+    HERMES_ASSIGN_OR_RETURN(
+        result.voting,
+        voting::ComputeVotingIndexed(store, *index, params_.voting));
+  } else {
+    HERMES_ASSIGN_OR_RETURN(
+        result.voting, voting::ComputeVotingNaive(store, params_.voting));
+  }
+  result.timings.voting_us = NowUs() - t0;
+
+  // Phase 1b: segmentation into homogeneous sub-trajectories.
+  t0 = NowUs();
+  result.sub_trajectories =
+      segmentation::SegmentStore(store, result.voting, params_.segmentation);
+  result.timings.segmentation_us = NowUs() - t0;
+
+  // Phase 2a: sampling of representatives.
+  t0 = NowUs();
+  result.representatives = sampling::SelectRepresentatives(
+      result.sub_trajectories, params_.sampling);
+  result.timings.sampling_us = NowUs() - t0;
+
+  // Phase 2b: greedy clustering + outlier isolation.
+  t0 = NowUs();
+  result.clustering = clustering::ClusterAroundRepresentatives(
+      result.sub_trajectories, result.representatives, params_.clustering);
+  result.timings.clustering_us = NowUs() - t0;
+  return result;
+}
+
+}  // namespace hermes::core

@@ -1,0 +1,103 @@
+#ifndef HERMES_CORE_S2T_CLUSTERING_H_
+#define HERMES_CORE_S2T_CLUSTERING_H_
+
+#include <vector>
+
+#include "clustering/greedy_clustering.h"
+#include "common/statusor.h"
+#include "rtree/rtree3d.h"
+#include "sampling/saco_sampling.h"
+#include "segmentation/nats.h"
+#include "traj/trajectory_store.h"
+#include "voting/voting.h"
+
+namespace hermes::core {
+
+/// \brief All parameters of Sampling-based Sub-Trajectory Clustering.
+///
+/// Phase 1 (NaTS): `voting` + `segmentation`; phase 2 (SaCO): `sampling` +
+/// `clustering`. `SetSigma`/`SetEpsilon` keep the bandwidths consistent
+/// across phases.
+struct S2TParams {
+  voting::VotingParams voting;
+  segmentation::NatsParams segmentation;
+  sampling::SamplingParams sampling;
+  clustering::ClusteringParams clustering;
+  /// Use the pg3D-Rtree voting engine (the in-DBMS fast path).
+  bool use_index = true;
+
+  /// Sets the spatial bandwidth sigma everywhere it appears.
+  S2TParams& SetSigma(double sigma) {
+    voting.sigma = sigma;
+    sampling.sigma = sigma;
+    return *this;
+  }
+  /// Sets the cluster radius epsilon.
+  S2TParams& SetEpsilon(double eps) {
+    clustering.epsilon = eps;
+    return *this;
+  }
+};
+
+/// \brief Wall-clock phase breakdown (microseconds), reported by the
+/// benchmark harness.
+struct S2TTimings {
+  int64_t index_build_us = 0;
+  int64_t voting_us = 0;
+  int64_t segmentation_us = 0;
+  int64_t sampling_us = 0;
+  int64_t clustering_us = 0;
+
+  int64_t TotalUs() const {
+    return index_build_us + voting_us + segmentation_us + sampling_us +
+           clustering_us;
+  }
+};
+
+/// \brief Full output of an S2T-Clustering run.
+struct S2TResult {
+  /// All sub-trajectories produced by NaTS (cluster members and outliers
+  /// index into this array).
+  std::vector<traj::SubTrajectory> sub_trajectories;
+  /// Indices of the sampled representatives, in selection order.
+  std::vector<size_t> representatives;
+  /// Clusters + outliers over `sub_trajectories`.
+  clustering::ClusteringResult clustering;
+  /// Raw voting descriptors (per trajectory, per segment).
+  voting::VotingResult voting;
+  S2TTimings timings;
+
+  size_t NumClusters() const { return clustering.clusters.size(); }
+  size_t NumOutliers() const { return clustering.outliers.size(); }
+};
+
+/// \brief Sampling-based Sub-Trajectory Clustering (EDBT 2017): voting →
+/// segmentation → sampling → greedy clustering + outlier detection, over a
+/// `TrajectoryStore`.
+class S2TClustering {
+ public:
+  explicit S2TClustering(S2TParams params) : params_(std::move(params)) {}
+
+  const S2TParams& params() const { return params_; }
+
+  /// Runs the full pipeline. When `params.use_index` a transient in-memory
+  /// pg3D-Rtree is STR-built over the MOD first (its cost is reported
+  /// separately in `timings.index_build_us`).
+  StatusOr<S2TResult> Run(const traj::TrajectoryStore& store) const;
+
+  /// Runs with a caller-provided segment index (e.g. the ReTraTree's
+  /// per-partition index, or the scenario-2 baseline's freshly built one).
+  StatusOr<S2TResult> RunWithIndex(const traj::TrajectoryStore& store,
+                                   const rtree::RTree3D& index) const;
+
+ private:
+  StatusOr<S2TResult> RunPhases(const traj::TrajectoryStore& store,
+                                const rtree::RTree3D* index,
+                                S2TTimings timings) const;
+
+  S2TParams params_;
+};
+
+}  // namespace hermes::core
+
+#endif  // HERMES_CORE_S2T_CLUSTERING_H_

@@ -1,0 +1,166 @@
+#include "datagen/aircraft.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace hermes::datagen {
+
+namespace {
+
+/// Unit vector for a heading (radians, standard math convention).
+geom::Point2D Heading(double radians) {
+  return {std::cos(radians), std::sin(radians)};
+}
+
+/// Appends straight flight from `from` toward `to` at `speed`, sampling
+/// every `dt`, adding cross-track noise; updates position/time in place.
+void FlyStraight(traj::Trajectory* out, geom::Point2D* pos, double* t,
+                 const geom::Point2D& to, double speed, double dt,
+                 double noise, Rng* rng) {
+  const geom::Point2D d = to - *pos;
+  const double len = geom::Norm(d);
+  if (len <= 1.0) return;
+  const geom::Point2D dir = d * (1.0 / len);
+  const geom::Point2D perp{-dir.y, dir.x};
+  const double duration = len / speed;
+  const int steps = std::max(1, static_cast<int>(duration / dt));
+  for (int i = 1; i <= steps; ++i) {
+    const double u = static_cast<double>(i) / steps;
+    const double wobble = (i == steps) ? 0.0 : rng->NextGaussian() * noise;
+    const geom::Point2D p = *pos + d * u + perp * wobble;
+    *t += duration / steps;
+    HERMES_CHECK_OK(out->Append({p.x, p.y, *t}));
+  }
+  *pos = to;
+}
+
+/// Appends an arc of `angle` radians around `center` starting at the
+/// current position, at `speed`.
+void FlyArc(traj::Trajectory* out, geom::Point2D* pos, double* t,
+            const geom::Point2D& center, double angle, double speed,
+            double dt) {
+  const geom::Point2D r0 = *pos - center;
+  const double radius = geom::Norm(r0);
+  if (radius <= 1.0) return;
+  const double arc_len = std::fabs(angle) * radius;
+  const double duration = arc_len / speed;
+  const int steps = std::max(2, static_cast<int>(duration / dt));
+  const double a0 = std::atan2(r0.y, r0.x);
+  for (int i = 1; i <= steps; ++i) {
+    const double a = a0 + angle * static_cast<double>(i) / steps;
+    const geom::Point2D p = center + geom::Point2D{std::cos(a), std::sin(a)} *
+                                         radius;
+    *t += duration / steps;
+    HERMES_CHECK_OK(out->Append({p.x, p.y, *t}));
+  }
+  *pos = center + Heading(a0 + angle) * radius;
+}
+
+}  // namespace
+
+AircraftScenarioParams AircraftScenarioParams::Default() {
+  AircraftScenarioParams p;
+  p.airports = {
+      {{0.0, 0.0}, 0.0},            // West airport, landing eastbound.
+      {{30000.0, -15000.0}, M_PI},  // East airport, landing westbound.
+  };
+  return p;
+}
+
+StatusOr<AircraftScenario> GenerateAircraftScenario(
+    const AircraftScenarioParams& params) {
+  if (params.airports.empty()) {
+    return Status::InvalidArgument("need at least one airport");
+  }
+  if (params.sample_dt <= 0.0 || params.cruise_speed <= 0.0) {
+    return Status::InvalidArgument("bad kinematic parameters");
+  }
+  AircraftScenario scenario;
+  Rng rng(params.seed);
+
+  for (size_t f = 0; f < params.num_flights; ++f) {
+    FlightInfo info;
+    info.object_id = f;
+    info.departure_time = rng.Uniform(0.0, params.time_span);
+    traj::Trajectory t(f);
+    double now = info.departure_time;
+
+    const bool outlier = rng.NextBool(params.outlier_fraction);
+    info.is_outlier = outlier;
+    if (outlier) {
+      // Stray overflight: random straight crossing of the area.
+      const double bearing = rng.Uniform(0.0, 2.0 * M_PI);
+      const double offset = rng.Uniform(-40000.0, 40000.0);
+      const geom::Point2D dir = Heading(bearing);
+      const geom::Point2D perp{-dir.y, dir.x};
+      geom::Point2D pos =
+          dir * -params.entry_radius + perp * offset;
+      HERMES_CHECK_OK(t.Append({pos.x, pos.y, now}));
+      FlyStraight(&t, &pos, &now, dir * params.entry_radius + perp * offset,
+                  params.cruise_speed, params.sample_dt,
+                  params.lateral_noise * 3.0, &rng);
+    } else {
+      info.airport = rng.NextBelow(params.airports.size());
+      const Airport& ap = params.airports[info.airport];
+      const geom::Point2D land_dir = Heading(ap.runway_heading);
+      // Approach fix sits `fix_distance` before the threshold.
+      const geom::Point2D fix =
+          ap.position - land_dir * params.fix_distance;
+
+      // Cruise entry: a random bearing in the half-plane behind the fix.
+      const double spread = rng.Uniform(-M_PI / 3.0, M_PI / 3.0);
+      const geom::Point2D entry =
+          fix - Heading(ap.runway_heading + spread) * params.entry_radius;
+      geom::Point2D pos = entry;
+      HERMES_CHECK_OK(t.Append({pos.x, pos.y, now}));
+
+      // Cruise to the fix.
+      FlyStraight(&t, &pos, &now, fix, params.cruise_speed, params.sample_dt,
+                  params.lateral_noise, &rng);
+
+      // Optional holding: racetrack loops anchored at the fix, oriented
+      // along the runway axis, offset to one side.
+      if (rng.NextBool(params.holding_probability)) {
+        info.has_holding = true;
+        info.holding_loops =
+            params.min_holding_loops +
+            static_cast<int>(rng.NextBelow(static_cast<uint64_t>(
+                params.max_holding_loops - params.min_holding_loops + 1)));
+        const geom::Point2D perp{-land_dir.y, land_dir.x};
+        const geom::Point2D leg_end = fix - land_dir * params.holding_leg;
+        for (int loop = 0; loop < info.holding_loops; ++loop) {
+          // Outbound leg (away from the airport).
+          FlyStraight(&t, &pos, &now, leg_end, params.holding_speed,
+                      params.sample_dt, params.lateral_noise * 0.3, &rng);
+          // Half turn.
+          FlyArc(&t, &pos, &now, leg_end + perp * params.holding_radius,
+                 M_PI, params.holding_speed, params.sample_dt);
+          // Inbound leg (parallel, offset by 2R).
+          FlyStraight(&t, &pos, &now,
+                      fix + perp * (2.0 * params.holding_radius),
+                      params.holding_speed, params.sample_dt,
+                      params.lateral_noise * 0.3, &rng);
+          // Half turn back onto the fix.
+          FlyArc(&t, &pos, &now, fix + perp * params.holding_radius, M_PI,
+                 params.holding_speed, params.sample_dt);
+        }
+      }
+
+      // Final approach: fix -> threshold along the shared corridor.
+      FlyStraight(&t, &pos, &now, ap.position, params.approach_speed,
+                  params.sample_dt, params.lateral_noise * 0.2, &rng);
+    }
+
+    if (t.size() >= 2) {
+      HERMES_ASSIGN_OR_RETURN(traj::TrajectoryId ignored,
+                              scenario.store.Add(std::move(t)));
+      (void)ignored;
+      scenario.flights.push_back(info);
+    }
+  }
+  return scenario;
+}
+
+}  // namespace hermes::datagen

@@ -1,0 +1,73 @@
+#ifndef HERMES_DATAGEN_AIRCRAFT_H_
+#define HERMES_DATAGEN_AIRCRAFT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/statusor.h"
+#include "geom/point.h"
+#include "traj/trajectory_store.h"
+
+namespace hermes::datagen {
+
+/// \brief One airport of the synthetic terminal area.
+struct Airport {
+  geom::Point2D position;       ///< Runway threshold (meters, local frame).
+  double runway_heading = 0.0;  ///< Radians; aircraft land flying this way.
+};
+
+/// \brief Parameters of the synthetic terminal-area scenario that stands in
+/// for the paper's (proprietary) London-area radar MOD.
+///
+/// The generator reproduces the structural features the demo exercises:
+/// shared approach corridors (dense sub-trajectory clusters), racetrack
+/// holding patterns near the approach fix (Fig. 4), a cruise phase that
+/// precedes the landing phase in time (scenario 2's widening window), and
+/// stray overflights (outliers).
+struct AircraftScenarioParams {
+  std::vector<Airport> airports;  ///< Default: two airports (LHR/LGW-like).
+  size_t num_flights = 60;
+  double outlier_fraction = 0.1;  ///< Stray overflights.
+  double holding_probability = 0.3;
+  int min_holding_loops = 1;
+  int max_holding_loops = 3;
+
+  double entry_radius = 90000.0;      ///< Cruise entry distance from fix (m).
+  double fix_distance = 20000.0;      ///< Approach fix to threshold (m).
+  double holding_leg = 8000.0;        ///< Racetrack straight leg (m).
+  double holding_radius = 2000.0;     ///< Racetrack half-turn radius (m).
+  double cruise_speed = 200.0;        ///< m/s.
+  double approach_speed = 80.0;       ///< m/s on final.
+  double holding_speed = 120.0;       ///< m/s in the hold.
+  double sample_dt = 10.0;            ///< Radar sampling period (s).
+  double time_span = 3600.0;          ///< Departure stagger window (s).
+  double lateral_noise = 150.0;       ///< Cross-track jitter sigma (m).
+  uint64_t seed = 42;
+
+  /// Two-airport default terminal area (30 km apart).
+  static AircraftScenarioParams Default();
+};
+
+/// \brief Metadata of one generated flight (for test oracles).
+struct FlightInfo {
+  traj::ObjectId object_id = 0;
+  size_t airport = 0;
+  bool is_outlier = false;
+  bool has_holding = false;
+  int holding_loops = 0;
+  double departure_time = 0.0;
+};
+
+/// \brief Result of scenario generation.
+struct AircraftScenario {
+  traj::TrajectoryStore store;
+  std::vector<FlightInfo> flights;
+};
+
+/// Generates the scenario deterministically from `params.seed`.
+StatusOr<AircraftScenario> GenerateAircraftScenario(
+    const AircraftScenarioParams& params);
+
+}  // namespace hermes::datagen
+
+#endif  // HERMES_DATAGEN_AIRCRAFT_H_

@@ -1,0 +1,91 @@
+#include "datagen/maritime.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace hermes::datagen {
+
+StatusOr<MaritimeScenario> GenerateMaritimeScenario(
+    const MaritimeScenarioParams& params) {
+  if (params.ports.size() < 2) {
+    return Status::InvalidArgument("need at least two ports");
+  }
+  MaritimeScenario scenario;
+  scenario.effective_lanes = params.lanes;
+  if (scenario.effective_lanes.empty()) {
+    for (size_t i = 0; i < params.ports.size(); ++i) {
+      for (size_t j = i + 1; j < params.ports.size(); ++j) {
+        scenario.effective_lanes.emplace_back(i, j);
+      }
+    }
+  }
+  Rng rng(params.seed);
+
+  for (size_t s = 0; s < params.num_ships; ++s) {
+    ShipInfo info;
+    info.object_id = s;
+    info.departure_time = rng.Uniform(0.0, params.time_span);
+    traj::Trajectory t(s);
+    double now = info.departure_time;
+
+    info.is_wanderer = rng.NextBool(params.wanderer_fraction);
+    if (info.is_wanderer) {
+      // Random-walk fishing vessel.
+      geom::Point2D pos{rng.Uniform(-20000.0, 100000.0),
+                        rng.Uniform(-20000.0, 80000.0)};
+      double heading = rng.Uniform(0.0, 2.0 * M_PI);
+      HERMES_CHECK_OK(t.Append({pos.x, pos.y, now}));
+      const int steps = 80 + static_cast<int>(rng.NextBelow(60));
+      for (int i = 0; i < steps; ++i) {
+        heading += rng.NextGaussian() * 0.35;
+        const double v =
+            std::max(1.0, params.ship_speed * 0.5 +
+                              rng.NextGaussian() * params.speed_jitter);
+        pos = pos + geom::Point2D{std::cos(heading), std::sin(heading)} *
+                        (v * params.sample_dt);
+        now += params.sample_dt;
+        HERMES_CHECK_OK(t.Append({pos.x, pos.y, now}));
+      }
+    } else {
+      info.lane = rng.NextBelow(scenario.effective_lanes.size());
+      auto [pa, pb] = scenario.effective_lanes[info.lane];
+      // Half the traffic runs the lane in reverse.
+      if (rng.NextBool(0.5)) std::swap(pa, pb);
+      const geom::Point2D from = params.ports[pa];
+      const geom::Point2D to = params.ports[pb];
+      const geom::Point2D d = to - from;
+      const double len = geom::Norm(d);
+      const geom::Point2D dir = d * (1.0 / len);
+      const geom::Point2D perp{-dir.y, dir.x};
+      const double offset = rng.NextGaussian() * params.lateral_sigma;
+
+      const double v = std::max(
+          2.0, params.ship_speed + rng.NextGaussian() * params.speed_jitter);
+      const double duration = len / v;
+      const int steps =
+          std::max(2, static_cast<int>(duration / params.sample_dt));
+      HERMES_CHECK_OK(t.Append(
+          {from.x + perp.x * offset, from.y + perp.y * offset, now}));
+      for (int i = 1; i <= steps; ++i) {
+        const double u = static_cast<double>(i) / steps;
+        const double wob =
+            offset + rng.NextGaussian() * params.lateral_sigma * 0.2;
+        const geom::Point2D p = from + d * u + perp * wob;
+        now += duration / steps;
+        HERMES_CHECK_OK(t.Append({p.x, p.y, now}));
+      }
+    }
+
+    if (t.size() >= 2) {
+      HERMES_ASSIGN_OR_RETURN(traj::TrajectoryId ignored,
+                              scenario.store.Add(std::move(t)));
+      (void)ignored;
+      scenario.ships.push_back(info);
+    }
+  }
+  return scenario;
+}
+
+}  // namespace hermes::datagen

@@ -1,0 +1,48 @@
+#ifndef HERMES_DATAGEN_MARITIME_H_
+#define HERMES_DATAGEN_MARITIME_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/statusor.h"
+#include "geom/point.h"
+#include "traj/trajectory_store.h"
+
+namespace hermes::datagen {
+
+/// \brief Synthetic AIS-like maritime scenario: ships follow shipping
+/// lanes between ports with lateral deviation; a fraction wanders freely.
+struct MaritimeScenarioParams {
+  std::vector<geom::Point2D> ports = {
+      {0.0, 0.0}, {80000.0, 10000.0}, {40000.0, 60000.0}};
+  /// Port index pairs forming lanes; empty = all pairs.
+  std::vector<std::pair<size_t, size_t>> lanes;
+  size_t num_ships = 50;
+  double wanderer_fraction = 0.1;
+  double ship_speed = 8.0;          ///< m/s (~16 kn).
+  double speed_jitter = 1.0;        ///< m/s sigma.
+  double lateral_sigma = 400.0;     ///< Cross-lane deviation (m).
+  double sample_dt = 120.0;         ///< AIS period (s).
+  double time_span = 4 * 3600.0;    ///< Departure stagger (s).
+  uint64_t seed = 7;
+};
+
+struct ShipInfo {
+  traj::ObjectId object_id = 0;
+  size_t lane = 0;        ///< Index into the effective lane list.
+  bool is_wanderer = false;
+  double departure_time = 0.0;
+};
+
+struct MaritimeScenario {
+  traj::TrajectoryStore store;
+  std::vector<ShipInfo> ships;
+  std::vector<std::pair<size_t, size_t>> effective_lanes;
+};
+
+StatusOr<MaritimeScenario> GenerateMaritimeScenario(
+    const MaritimeScenarioParams& params);
+
+}  // namespace hermes::datagen
+
+#endif  // HERMES_DATAGEN_MARITIME_H_

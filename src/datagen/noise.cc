@@ -1,0 +1,73 @@
+#include "datagen/noise.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace hermes::datagen {
+
+Status AddNoiseTrajectories(traj::TrajectoryStore* store, size_t count,
+                            const geom::Mbb3D& bounds, double speed,
+                            double sample_dt, uint64_t seed,
+                            traj::ObjectId first_object_id) {
+  if (bounds.empty() || sample_dt <= 0.0 || speed <= 0.0) {
+    return Status::InvalidArgument("bad noise parameters");
+  }
+  Rng rng(seed);
+  for (size_t i = 0; i < count; ++i) {
+    traj::Trajectory t(first_object_id + i);
+    double x = rng.Uniform(bounds.min_x, bounds.max_x);
+    double y = rng.Uniform(bounds.min_y, bounds.max_y);
+    double now = rng.Uniform(bounds.min_t,
+                             std::max(bounds.min_t, bounds.max_t - 1.0));
+    double heading = rng.Uniform(0.0, 2.0 * M_PI);
+    HERMES_RETURN_NOT_OK(t.Append({x, y, now}));
+    while (now + sample_dt <= bounds.max_t) {
+      heading += rng.NextGaussian() * 0.5;
+      x += std::cos(heading) * speed * sample_dt;
+      y += std::sin(heading) * speed * sample_dt;
+      now += sample_dt;
+      HERMES_RETURN_NOT_OK(t.Append({x, y, now}));
+      if (t.size() > 500) break;
+    }
+    if (t.size() >= 2) {
+      auto added = store->Add(std::move(t));
+      if (!added.ok()) return added.status();
+    }
+  }
+  return Status::OK();
+}
+
+traj::TrajectoryStore MakeParallelLanes(size_t lanes, size_t per_lane,
+                                        double lane_gap, double length,
+                                        double speed, double sample_dt,
+                                        uint64_t seed, double jitter,
+                                        double start_stagger) {
+  traj::TrajectoryStore store;
+  Rng rng(seed);
+  traj::ObjectId obj = 0;
+  for (size_t lane = 0; lane < lanes; ++lane) {
+    const double y = static_cast<double>(lane) * lane_gap;
+    for (size_t k = 0; k < per_lane; ++k) {
+      traj::Trajectory t(obj++);
+      double now = start_stagger > 0.0 ? rng.Uniform(0.0, start_stagger) : 0.0;
+      const int steps = std::max(2, static_cast<int>(length / (speed * sample_dt)));
+      for (int i = 0; i <= steps; ++i) {
+        const double x = speed * sample_dt * i;
+        const double wob = (i == 0 || i == steps)
+                               ? 0.0
+                               : rng.NextGaussian() * jitter;
+        HERMES_CHECK_OK(t.Append({x, y + wob, now}));
+        now += sample_dt;
+      }
+      HERMES_CHECK_OK(store.Add(std::move(t)).ok()
+                          ? Status::OK()
+                          : Status::Internal("add failed"));
+    }
+  }
+  return store;
+}
+
+}  // namespace hermes::datagen

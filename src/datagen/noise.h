@@ -1,0 +1,30 @@
+#ifndef HERMES_DATAGEN_NOISE_H_
+#define HERMES_DATAGEN_NOISE_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "geom/mbb.h"
+#include "traj/trajectory_store.h"
+
+namespace hermes::datagen {
+
+/// \brief Appends `count` random-walk trajectories inside `bounds` to an
+/// existing store (outlier injection for robustness tests).
+Status AddNoiseTrajectories(traj::TrajectoryStore* store, size_t count,
+                            const geom::Mbb3D& bounds, double speed,
+                            double sample_dt, uint64_t seed,
+                            traj::ObjectId first_object_id);
+
+/// \brief Builds a store of `count` parallel-lane trajectories: `lanes`
+/// groups of co-moving objects plus optional stragglers — the canonical
+/// ground-truth workload for clustering tests.
+traj::TrajectoryStore MakeParallelLanes(size_t lanes, size_t per_lane,
+                                        double lane_gap, double length,
+                                        double speed, double sample_dt,
+                                        uint64_t seed, double jitter = 1.0,
+                                        double start_stagger = 0.0);
+
+}  // namespace hermes::datagen
+
+#endif  // HERMES_DATAGEN_NOISE_H_

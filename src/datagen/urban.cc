@@ -1,0 +1,65 @@
+#include "datagen/urban.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "geom/point.h"
+
+namespace hermes::datagen {
+
+StatusOr<UrbanScenario> GenerateUrbanScenario(
+    const UrbanScenarioParams& params) {
+  if (params.grid_size < 2) {
+    return Status::InvalidArgument("grid must have >= 2 intersections");
+  }
+  UrbanScenario scenario;
+  Rng rng(params.seed);
+  const int64_t g = static_cast<int64_t>(params.grid_size);
+
+  for (size_t v = 0; v < params.num_vehicles; ++v) {
+    // Manhattan route between two random intersections: first along x,
+    // then along y (a common simple routing model).
+    int64_t x0 = static_cast<int64_t>(rng.NextBelow(g));
+    int64_t y0 = static_cast<int64_t>(rng.NextBelow(g));
+    int64_t x1 = static_cast<int64_t>(rng.NextBelow(g));
+    int64_t y1 = static_cast<int64_t>(rng.NextBelow(g));
+    if (x0 == x1 && y0 == y1) x1 = (x1 + 1) % g;
+
+    traj::Trajectory t(v);
+    double now = rng.Uniform(0.0, params.time_span);
+    geom::Point2D pos{x0 * params.block, y0 * params.block};
+    HERMES_CHECK_OK(t.Append({pos.x, pos.y, now}));
+
+    auto drive_to = [&](const geom::Point2D& target) {
+      const geom::Point2D d = target - pos;
+      const double len = geom::Norm(d);
+      if (len < 1.0) return;
+      const double speed = std::max(
+          3.0, params.speed + rng.NextGaussian() * params.speed_jitter);
+      const double duration = len / speed;
+      const int steps =
+          std::max(1, static_cast<int>(duration / params.sample_dt));
+      for (int i = 1; i <= steps; ++i) {
+        const double u = static_cast<double>(i) / steps;
+        now += duration / steps;
+        HERMES_CHECK_OK(
+            t.Append({pos.x + d.x * u, pos.y + d.y * u, now}));
+      }
+      pos = target;
+    };
+
+    drive_to({x1 * params.block, y0 * params.block});
+    drive_to({x1 * params.block, y1 * params.block});
+
+    if (t.size() >= 2) {
+      HERMES_ASSIGN_OR_RETURN(traj::TrajectoryId ignored,
+                              scenario.store.Add(std::move(t)));
+      (void)ignored;
+    }
+  }
+  return scenario;
+}
+
+}  // namespace hermes::datagen

@@ -1,0 +1,34 @@
+#ifndef HERMES_DATAGEN_URBAN_H_
+#define HERMES_DATAGEN_URBAN_H_
+
+#include <cstdint>
+
+#include "common/statusor.h"
+#include "traj/trajectory_store.h"
+
+namespace hermes::datagen {
+
+/// \brief Synthetic urban traffic: vehicles drive Manhattan routes on a
+/// regular street grid — a third movement domain (the demo notes maritime
+/// and urban traffic employ the same machinery as the aviation MOD).
+struct UrbanScenarioParams {
+  size_t grid_size = 8;        ///< Intersections per side.
+  double block = 500.0;        ///< Block edge length (m).
+  size_t num_vehicles = 60;
+  double speed = 12.0;         ///< m/s.
+  double speed_jitter = 2.0;
+  double sample_dt = 5.0;
+  double time_span = 1800.0;
+  uint64_t seed = 11;
+};
+
+struct UrbanScenario {
+  traj::TrajectoryStore store;
+};
+
+StatusOr<UrbanScenario> GenerateUrbanScenario(
+    const UrbanScenarioParams& params);
+
+}  // namespace hermes::datagen
+
+#endif  // HERMES_DATAGEN_URBAN_H_

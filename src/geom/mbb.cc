@@ -1,0 +1,97 @@
+#include "geom/mbb.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace hermes::geom {
+
+Mbb3D Mbb3D::FromSegment(const Point3D& a, const Point3D& b) {
+  Mbb3D box = FromPoint(a);
+  box.ExtendPoint(b);
+  return box;
+}
+
+void Mbb3D::Extend(const Mbb3D& o) {
+  if (o.empty()) return;
+  min_x = std::min(min_x, o.min_x);
+  min_y = std::min(min_y, o.min_y);
+  min_t = std::min(min_t, o.min_t);
+  max_x = std::max(max_x, o.max_x);
+  max_y = std::max(max_y, o.max_y);
+  max_t = std::max(max_t, o.max_t);
+}
+
+void Mbb3D::ExtendPoint(const Point3D& p) { Extend(FromPoint(p)); }
+
+bool Mbb3D::Intersects(const Mbb3D& o) const {
+  if (empty() || o.empty()) return false;
+  return min_x <= o.max_x && o.min_x <= max_x && min_y <= o.max_y &&
+         o.min_y <= max_y && min_t <= o.max_t && o.min_t <= max_t;
+}
+
+bool Mbb3D::Contains(const Mbb3D& o) const {
+  if (empty() || o.empty()) return false;
+  return min_x <= o.min_x && o.max_x <= max_x && min_y <= o.min_y &&
+         o.max_y <= max_y && min_t <= o.min_t && o.max_t <= max_t;
+}
+
+bool Mbb3D::ContainsPoint(const Point3D& p) const {
+  return Contains(FromPoint(p));
+}
+
+double Mbb3D::Volume() const {
+  if (empty()) return 0.0;
+  return (max_x - min_x) * (max_y - min_y) * (max_t - min_t);
+}
+
+double Mbb3D::Margin() const {
+  if (empty()) return 0.0;
+  return (max_x - min_x) + (max_y - min_y) + (max_t - min_t);
+}
+
+double Mbb3D::IntersectionVolume(const Mbb3D& o) const {
+  if (!Intersects(o)) return 0.0;
+  const double dx = std::min(max_x, o.max_x) - std::max(min_x, o.min_x);
+  const double dy = std::min(max_y, o.max_y) - std::max(min_y, o.min_y);
+  const double dt = std::min(max_t, o.max_t) - std::max(min_t, o.min_t);
+  return dx * dy * dt;
+}
+
+double Mbb3D::UnionVolume(const Mbb3D& o) const {
+  Mbb3D u = *this;
+  u.Extend(o);
+  return u.Volume();
+}
+
+Mbb3D Mbb3D::Expanded(double dxy, double dt) const {
+  if (empty()) return *this;
+  return Mbb3D(min_x - dxy, min_y - dxy, min_t - dt, max_x + dxy, max_y + dxy,
+               max_t + dt);
+}
+
+Point3D Mbb3D::Center() const {
+  return Point3D((min_x + max_x) / 2, (min_y + max_y) / 2,
+                 (min_t + max_t) / 2);
+}
+
+bool Mbb3D::operator==(const Mbb3D& o) const {
+  if (empty() && o.empty()) return true;
+  return min_x == o.min_x && min_y == o.min_y && min_t == o.min_t &&
+         max_x == o.max_x && max_y == o.max_y && max_t == o.max_t;
+}
+
+std::string Mbb3D::ToString() const {
+  if (empty()) return "[empty]";
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "[%.3f,%.3f,%.3f | %.3f,%.3f,%.3f]", min_x,
+                min_y, min_t, max_x, max_y, max_t);
+  return buf;
+}
+
+Mbb3D Union(const Mbb3D& a, const Mbb3D& b) {
+  Mbb3D u = a;
+  u.Extend(b);
+  return u;
+}
+
+}  // namespace hermes::geom

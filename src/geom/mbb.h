@@ -1,0 +1,75 @@
+#ifndef HERMES_GEOM_MBB_H_
+#define HERMES_GEOM_MBB_H_
+
+#include <limits>
+#include <string>
+
+#include "geom/point.h"
+
+namespace hermes::geom {
+
+/// \brief 3D minimum bounding box over (x, y, t) — the key type of the
+/// pg3D-Rtree operator class.
+///
+/// An empty box (default-constructed) has inverted bounds and behaves as the
+/// identity for `Extend`.
+struct Mbb3D {
+  double min_x = std::numeric_limits<double>::infinity();
+  double min_y = std::numeric_limits<double>::infinity();
+  double min_t = std::numeric_limits<double>::infinity();
+  double max_x = -std::numeric_limits<double>::infinity();
+  double max_y = -std::numeric_limits<double>::infinity();
+  double max_t = -std::numeric_limits<double>::infinity();
+
+  Mbb3D() = default;
+  Mbb3D(double x0, double y0, double t0, double x1, double y1, double t1)
+      : min_x(x0), min_y(y0), min_t(t0), max_x(x1), max_y(y1), max_t(t1) {}
+
+  /// Box covering a single spatio-temporal sample.
+  static Mbb3D FromPoint(const Point3D& p) {
+    return Mbb3D(p.x, p.y, p.t, p.x, p.y, p.t);
+  }
+
+  /// Box covering two samples (a 3D line segment's MBB).
+  static Mbb3D FromSegment(const Point3D& a, const Point3D& b);
+
+  bool empty() const { return min_x > max_x || min_y > max_y || min_t > max_t; }
+
+  /// Grows this box to cover `o`.
+  void Extend(const Mbb3D& o);
+  /// Grows this box to cover sample `p`.
+  void ExtendPoint(const Point3D& p);
+
+  /// True when the closed boxes share at least one point.
+  bool Intersects(const Mbb3D& o) const;
+  /// True when `o` lies fully inside this box.
+  bool Contains(const Mbb3D& o) const;
+  /// True when sample `p` lies inside this box.
+  bool ContainsPoint(const Point3D& p) const;
+
+  /// Volume in x*y*t units; 0 for empty or degenerate boxes.
+  double Volume() const;
+  /// Sum of side lengths (the R*-tree margin surrogate).
+  double Margin() const;
+  /// Volume of the intersection with `o` (0 when disjoint).
+  double IntersectionVolume(const Mbb3D& o) const;
+  /// Volume of the smallest box covering both.
+  double UnionVolume(const Mbb3D& o) const;
+
+  /// Returns a copy expanded by `dxy` in both spatial axes and `dt` in time.
+  Mbb3D Expanded(double dxy, double dt) const;
+
+  /// Center point of the box (undefined for empty boxes).
+  Point3D Center() const;
+
+  bool operator==(const Mbb3D& o) const;
+
+  std::string ToString() const;
+};
+
+/// The smallest box covering both arguments.
+Mbb3D Union(const Mbb3D& a, const Mbb3D& b);
+
+}  // namespace hermes::geom
+
+#endif  // HERMES_GEOM_MBB_H_

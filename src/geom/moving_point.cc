@@ -1,0 +1,84 @@
+#include "geom/moving_point.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/mathutil.h"
+
+namespace hermes::geom {
+
+double SeparationAt(const Segment3D& u, const Segment3D& v, double t) {
+  return Distance(u.At(t), v.At(t));
+}
+
+MovingDistance DistanceBetweenMoving(const Segment3D& u, const Segment3D& v) {
+  MovingDistance out;
+  const double t0 = std::max(u.a.t, v.a.t);
+  const double t1 = std::min(u.b.t, v.b.t);
+  if (t0 > t1) {
+    // Disjoint lifespans: no co-existence.
+    out.overlap = 0.0;
+    out.min_dist = out.max_dist = out.avg_dist =
+        std::numeric_limits<double>::infinity();
+    return out;
+  }
+
+  out.overlap = t1 - t0;
+  if (t1 - t0 <= 0.0) {
+    const double d = SeparationAt(u, v, t0);
+    out.min_dist = out.max_dist = out.avg_dist = d;
+    out.t_min = t0;
+    return out;
+  }
+
+  // Relative motion: p(t) = p0 + w * (t - t0) where w is the relative
+  // velocity; |p(t)|^2 = a s^2 + b s + c with s = t - t0.
+  const Point2D pu0 = u.At(t0);
+  const Point2D pv0 = v.At(t0);
+  const double du = u.duration();
+  const double dv = v.duration();
+  const Point2D vel_u =
+      du > 0.0 ? (u.b.xy() - u.a.xy()) * (1.0 / du) : Point2D{0.0, 0.0};
+  const Point2D vel_v =
+      dv > 0.0 ? (v.b.xy() - v.a.xy()) * (1.0 / dv) : Point2D{0.0, 0.0};
+  const Point2D p0 = pu0 - pv0;
+  const Point2D w = vel_u - vel_v;
+
+  const double a = Dot(w, w);
+  const double b = 2.0 * Dot(p0, w);
+  const double c = Dot(p0, p0);
+  const double span = t1 - t0;
+
+  auto dist_at = [&](double s) {
+    const double q = std::max(0.0, a * s * s + b * s + c);
+    return std::sqrt(q);
+  };
+
+  // Minimum of the quadratic (clamped to [0, span]).
+  double s_min = 0.0;
+  if (a > 0.0) s_min = Clamp(-b / (2.0 * a), 0.0, span);
+  const double d_start = dist_at(0.0);
+  const double d_end = dist_at(span);
+  const double d_mid = dist_at(s_min);
+  out.min_dist = std::min({d_start, d_end, d_mid});
+  out.max_dist = std::max(d_start, d_end);
+  out.t_min = t0 + (d_mid <= std::min(d_start, d_end)
+                        ? s_min
+                        : (d_start <= d_end ? 0.0 : span));
+
+  // Time-averaged separation via Simpson over the overlap. The integrand
+  // sqrt(quadratic) is smooth except for a kink where the separation
+  // approaches zero, so integrate the two sides of the minimum separately.
+  double integral = 0.0;
+  auto f = [&](double s) { return dist_at(s); };
+  if (s_min > 0.0 && s_min < span) {
+    integral = SimpsonIntegrate(f, 0.0, s_min, 16) +
+               SimpsonIntegrate(f, s_min, span, 16);
+  } else {
+    integral = SimpsonIntegrate(f, 0.0, span, 16);
+  }
+  out.avg_dist = integral / span;
+  return out;
+}
+
+}  // namespace hermes::geom

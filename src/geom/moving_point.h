@@ -1,0 +1,36 @@
+#ifndef HERMES_GEOM_MOVING_POINT_H_
+#define HERMES_GEOM_MOVING_POINT_H_
+
+#include "geom/segment.h"
+
+namespace hermes::geom {
+
+/// \brief Distance analysis between two linearly moving points over a
+/// common time interval — the time-aware core of Hermes.
+///
+/// Two objects moving linearly have a separation whose square is a
+/// quadratic polynomial in t; minimum and average separation over an
+/// interval therefore have cheap closed/semi-closed forms.
+struct MovingDistance {
+  double min_dist = 0.0;      ///< Minimum separation over the interval.
+  double max_dist = 0.0;      ///< Maximum separation over the interval.
+  double avg_dist = 0.0;      ///< Time-averaged separation.
+  double t_min = 0.0;         ///< Time at which `min_dist` is attained.
+  double overlap = 0.0;       ///< Duration of the analyzed interval.
+};
+
+/// \brief Computes the separation statistics between the moving points of
+/// `u` and `v` over the intersection of their lifespans.
+///
+/// Returns `overlap == 0` when the lifespans are disjoint (no co-existence,
+/// hence no time-aware relation). Instantaneous overlaps (a single shared
+/// time point) report the pointwise distance with `overlap == 0`.
+MovingDistance DistanceBetweenMoving(const Segment3D& u, const Segment3D& v);
+
+/// Separation of the two moving points at absolute time `t` (clamped to
+/// each segment's lifespan).
+double SeparationAt(const Segment3D& u, const Segment3D& v, double t);
+
+}  // namespace hermes::geom
+
+#endif  // HERMES_GEOM_MOVING_POINT_H_

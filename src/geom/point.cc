@@ -1,0 +1,52 @@
+#include "geom/point.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/logging.h"
+#include "common/mathutil.h"
+
+namespace hermes::geom {
+
+std::string Point2D::ToString() const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "(%.3f, %.3f)", x, y);
+  return buf;
+}
+
+std::string Point3D::ToString() const {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "(%.3f, %.3f @ %.3f)", x, y, t);
+  return buf;
+}
+
+double Distance(const Point2D& a, const Point2D& b) {
+  return std::sqrt(SquaredDistance(a, b));
+}
+
+double SquaredDistance(const Point2D& a, const Point2D& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return dx * dx + dy * dy;
+}
+
+double SpatialDistance(const Point3D& a, const Point3D& b) {
+  return Distance(a.xy(), b.xy());
+}
+
+double Dot(const Point2D& a, const Point2D& b) { return a.x * b.x + a.y * b.y; }
+
+double Cross(const Point2D& a, const Point2D& b) {
+  return a.x * b.y - a.y * b.x;
+}
+
+double Norm(const Point2D& a) { return std::sqrt(a.x * a.x + a.y * a.y); }
+
+Point2D InterpolateAt(const Point3D& a, const Point3D& b, double t) {
+  HERMES_DCHECK(a.t <= b.t) << "InterpolateAt requires a.t <= b.t";
+  if (b.t <= a.t) return a.xy();  // Degenerate zero-duration segment.
+  const double u = Clamp((t - a.t) / (b.t - a.t), 0.0, 1.0);
+  return {a.x + (b.x - a.x) * u, a.y + (b.y - a.y) * u};
+}
+
+}  // namespace hermes::geom

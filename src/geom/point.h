@@ -1,0 +1,70 @@
+#ifndef HERMES_GEOM_POINT_H_
+#define HERMES_GEOM_POINT_H_
+
+#include <string>
+
+namespace hermes::geom {
+
+/// \brief A 2D spatial point (meters in a local projected frame).
+struct Point2D {
+  double x = 0.0;
+  double y = 0.0;
+
+  Point2D() = default;
+  Point2D(double px, double py) : x(px), y(py) {}
+
+  Point2D operator+(const Point2D& o) const { return {x + o.x, y + o.y}; }
+  Point2D operator-(const Point2D& o) const { return {x - o.x, y - o.y}; }
+  Point2D operator*(double s) const { return {x * s, y * s}; }
+
+  bool operator==(const Point2D& o) const { return x == o.x && y == o.y; }
+
+  std::string ToString() const;
+};
+
+/// \brief A spatio-temporal sample: 2D position plus timestamp (seconds).
+///
+/// This is the atom of the Hermes trajectory model: a trajectory is an
+/// ordered sequence of `Point3D` with strictly increasing `t`.
+struct Point3D {
+  double x = 0.0;
+  double y = 0.0;
+  double t = 0.0;
+
+  Point3D() = default;
+  Point3D(double px, double py, double pt) : x(px), y(py), t(pt) {}
+
+  Point2D xy() const { return {x, y}; }
+
+  bool operator==(const Point3D& o) const {
+    return x == o.x && y == o.y && t == o.t;
+  }
+
+  std::string ToString() const;
+};
+
+/// Euclidean distance in the plane.
+double Distance(const Point2D& a, const Point2D& b);
+
+/// Squared Euclidean distance in the plane.
+double SquaredDistance(const Point2D& a, const Point2D& b);
+
+/// Spatial (x, y only) distance between two spatio-temporal samples.
+double SpatialDistance(const Point3D& a, const Point3D& b);
+
+/// Dot product of 2D vectors.
+double Dot(const Point2D& a, const Point2D& b);
+
+/// Z-component of the 2D cross product.
+double Cross(const Point2D& a, const Point2D& b);
+
+/// Euclidean norm of a 2D vector.
+double Norm(const Point2D& a);
+
+/// Linear interpolation between two spatio-temporal samples at time `t`.
+/// `t` is clamped to [a.t, b.t]. Requires a.t <= b.t.
+Point2D InterpolateAt(const Point3D& a, const Point3D& b, double t);
+
+}  // namespace hermes::geom
+
+#endif  // HERMES_GEOM_POINT_H_

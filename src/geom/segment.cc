@@ -1,0 +1,90 @@
+#include "geom/segment.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/mathutil.h"
+
+namespace hermes::geom {
+
+double ProjectOntoSegment(const Point2D& p, const Segment2D& s) {
+  const Point2D d = s.b - s.a;
+  const double len2 = Dot(d, d);
+  if (len2 <= 0.0) return 0.0;
+  return Clamp(Dot(p - s.a, d) / len2, 0.0, 1.0);
+}
+
+double PointSegmentDistance(const Point2D& p, const Segment2D& s) {
+  const double u = ProjectOntoSegment(p, s);
+  const Point2D proj = s.a + (s.b - s.a) * u;
+  return Distance(p, proj);
+}
+
+TraclusComponents TraclusComponentsOf(const Segment2D& longer,
+                                      const Segment2D& shorter) {
+  TraclusComponents c;
+  const Point2D dir = longer.b - longer.a;
+  const double len = Norm(dir);
+  if (len <= 0.0) {
+    // Degenerate: fall back to point distances.
+    c.perpendicular = (Distance(longer.a, shorter.a) +
+                       Distance(longer.a, shorter.b)) /
+                      2.0;
+    return c;
+  }
+
+  // Perpendicular distances of the shorter segment's endpoints to the
+  // longer segment's supporting line.
+  auto perp = [&](const Point2D& p) {
+    return std::fabs(Cross(dir, p - longer.a)) / len;
+  };
+  const double l_perp1 = perp(shorter.a);
+  const double l_perp2 = perp(shorter.b);
+  c.perpendicular = (l_perp1 + l_perp2 <= 0.0)
+                        ? 0.0
+                        : (l_perp1 * l_perp1 + l_perp2 * l_perp2) /
+                              (l_perp1 + l_perp2);
+
+  // Parallel distance: distance from the projection of the shorter
+  // segment's endpoints (onto the longer's line) to the nearer endpoint
+  // of the longer segment, taking the smaller of the two.
+  auto proj_param = [&](const Point2D& p) {
+    return Dot(p - longer.a, dir) / (len * len);  // Unclamped.
+  };
+  const double u1 = proj_param(shorter.a);
+  const double u2 = proj_param(shorter.b);
+  auto par_dist = [&](double u) {
+    // Distance along the line from the projection to the nearest end.
+    const double beyond = std::max({-u, u - 1.0, 0.0});
+    return beyond * len;
+  };
+  c.parallel = std::min(par_dist(u1), par_dist(u2));
+
+  // Angular distance: ||shorter|| * sin(theta) for theta in [0, pi/2];
+  // for obtuse angles TRACLUS uses ||shorter|| itself.
+  const Point2D sdir = shorter.b - shorter.a;
+  const double slen = Norm(sdir);
+  if (slen <= 0.0) {
+    c.angular = 0.0;
+  } else {
+    const double cos_theta = Clamp(Dot(dir, sdir) / (len * slen), -1.0, 1.0);
+    if (cos_theta < 0.0) {
+      c.angular = slen;
+    } else {
+      const double sin_theta = std::sqrt(std::max(0.0, 1.0 - cos_theta * cos_theta));
+      c.angular = slen * sin_theta;
+    }
+  }
+  return c;
+}
+
+double TraclusDistance(const Segment2D& s1, const Segment2D& s2, double w_perp,
+                       double w_par, double w_ang) {
+  const bool first_longer = s1.Length() >= s2.Length();
+  const Segment2D& longer = first_longer ? s1 : s2;
+  const Segment2D& shorter = first_longer ? s2 : s1;
+  const TraclusComponents c = TraclusComponentsOf(longer, shorter);
+  return w_perp * c.perpendicular + w_par * c.parallel + w_ang * c.angular;
+}
+
+}  // namespace hermes::geom

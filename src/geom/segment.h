@@ -1,0 +1,64 @@
+#ifndef HERMES_GEOM_SEGMENT_H_
+#define HERMES_GEOM_SEGMENT_H_
+
+#include "geom/mbb.h"
+#include "geom/point.h"
+
+namespace hermes::geom {
+
+/// \brief A 3D trajectory segment: the straight movement between two
+/// consecutive samples of one object. Requires a.t <= b.t.
+struct Segment3D {
+  Point3D a;
+  Point3D b;
+
+  Segment3D() = default;
+  Segment3D(const Point3D& pa, const Point3D& pb) : a(pa), b(pb) {}
+
+  double duration() const { return b.t - a.t; }
+  double SpatialLength() const { return SpatialDistance(a, b); }
+
+  /// Position of the moving point at time `t` (clamped to the lifespan).
+  Point2D At(double t) const { return InterpolateAt(a, b, t); }
+
+  Mbb3D Bounds() const { return Mbb3D::FromSegment(a, b); }
+};
+
+/// \brief Static 2D segment geometry used by the TRACLUS baseline.
+struct Segment2D {
+  Point2D a;
+  Point2D b;
+
+  Segment2D() = default;
+  Segment2D(const Point2D& pa, const Point2D& pb) : a(pa), b(pb) {}
+
+  double Length() const { return Distance(a, b); }
+};
+
+/// Distance from point `p` to the (closed) 2D segment `s`.
+double PointSegmentDistance(const Point2D& p, const Segment2D& s);
+
+/// Projection parameter u in [0,1] of `p` onto the line of `s`, clamped.
+double ProjectOntoSegment(const Point2D& p, const Segment2D& s);
+
+/// \brief The three TRACLUS distance components between 2D segments
+/// (Lee et al., SIGMOD 2007, Section 3.2). `longer` should be the longer
+/// segment; the helper `TraclusDistance` handles ordering.
+struct TraclusComponents {
+  double perpendicular = 0.0;
+  double parallel = 0.0;
+  double angular = 0.0;
+};
+
+TraclusComponents TraclusComponentsOf(const Segment2D& longer,
+                                      const Segment2D& shorter);
+
+/// Weighted TRACLUS distance w_perp*d_perp + w_par*d_par + w_ang*d_ang,
+/// ordering the segments internally so the longer one defines the frame.
+double TraclusDistance(const Segment2D& s1, const Segment2D& s2,
+                       double w_perp = 1.0, double w_par = 1.0,
+                       double w_ang = 1.0);
+
+}  // namespace hermes::geom
+
+#endif  // HERMES_GEOM_SEGMENT_H_

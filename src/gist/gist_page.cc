@@ -1,0 +1,4 @@
+#include "gist/gist_page.h"
+
+// All members are defined inline in the header; this translation unit exists
+// so the build graph mirrors the module layout.

@@ -1,0 +1,99 @@
+#ifndef HERMES_GIST_GIST_PAGE_H_
+#define HERMES_GIST_GIST_PAGE_H_
+
+#include <cstdint>
+#include <cstring>
+
+#include "storage/pager.h"
+
+namespace hermes::gist {
+
+/// \brief Typed view over a pager page holding one GiST node.
+///
+/// Node layout (offsets in bytes):
+///   0  : u8  is_leaf
+///   1  : u8  reserved
+///   2  : u16 num_entries
+///   4  : u32 reserved
+///   8.. : entries, each `key_size` key bytes followed by a u64 datum
+///         (leaf: user datum; internal: child page id).
+///
+/// Keys are opaque fixed-size byte strings; all interpretation lives in the
+/// operator class (the GiST extensibility contract).
+class GistNodeView {
+ public:
+  GistNodeView(storage::Page* page, size_t key_size)
+      : page_(page), key_size_(key_size) {}
+
+  static constexpr size_t kHeaderSize = 8;
+
+  size_t entry_size() const { return key_size_ + 8; }
+  /// Maximum entries a node can hold for this key size.
+  size_t Capacity() const {
+    return (storage::kPageSize - kHeaderSize) / entry_size();
+  }
+
+  bool is_leaf() const { return page_->data[0] != 0; }
+  void set_is_leaf(bool leaf) { page_->data[0] = leaf ? 1 : 0; }
+
+  uint16_t num_entries() const {
+    uint16_t n;
+    std::memcpy(&n, page_->data.data() + 2, 2);
+    return n;
+  }
+  void set_num_entries(uint16_t n) { std::memcpy(page_->data.data() + 2, &n, 2); }
+
+  /// Zeroes the node and sets its leaf flag.
+  void Init(bool leaf) {
+    std::memset(page_->data.data(), 0, storage::kPageSize);
+    set_is_leaf(leaf);
+    set_num_entries(0);
+  }
+
+  const char* KeyAt(size_t i) const {
+    return page_->data.data() + kHeaderSize + i * entry_size();
+  }
+  char* MutableKeyAt(size_t i) {
+    return page_->data.data() + kHeaderSize + i * entry_size();
+  }
+
+  uint64_t DatumAt(size_t i) const {
+    uint64_t v;
+    std::memcpy(&v, KeyAt(i) + key_size_, 8);
+    return v;
+  }
+  void SetDatumAt(size_t i, uint64_t v) {
+    std::memcpy(MutableKeyAt(i) + key_size_, &v, 8);
+  }
+
+  void SetKeyAt(size_t i, const void* key) {
+    std::memcpy(MutableKeyAt(i), key, key_size_);
+  }
+
+  /// Appends an entry; caller must check Capacity() first.
+  void Append(const void* key, uint64_t datum) {
+    const uint16_t n = num_entries();
+    SetKeyAt(n, key);
+    SetDatumAt(n, datum);
+    set_num_entries(n + 1);
+  }
+
+  /// Removes entry `i` by shifting the tail down.
+  void Remove(size_t i) {
+    const uint16_t n = num_entries();
+    if (i + 1 < n) {
+      std::memmove(MutableKeyAt(i), KeyAt(i + 1), (n - i - 1) * entry_size());
+    }
+    set_num_entries(n - 1);
+  }
+
+  storage::Page* page() const { return page_; }
+
+ private:
+  storage::Page* page_;
+  size_t key_size_;
+};
+
+}  // namespace hermes::gist
+
+#endif  // HERMES_GIST_GIST_PAGE_H_

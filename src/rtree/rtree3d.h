@@ -1,0 +1,81 @@
+#ifndef HERMES_RTREE_RTREE3D_H_
+#define HERMES_RTREE_RTREE3D_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/statusor.h"
+#include "geom/mbb.h"
+#include "geom/point.h"
+#include "gist/gist.h"
+#include "rtree/rtree_opclass.h"
+#include "storage/env.h"
+
+namespace hermes::rtree {
+
+/// \brief One search hit: the indexed box and the caller's datum.
+struct RTreeHit {
+  geom::Mbb3D box;
+  uint64_t datum = 0;
+};
+
+/// \brief Typed convenience facade over the GiST + pg3D-Rtree opclass: the
+/// index Hermes builds over trajectory segments and partition members.
+class RTree3D {
+ public:
+  /// Opens or creates an index file.
+  static StatusOr<std::unique_ptr<RTree3D>> Open(storage::Env* env,
+                                                 const std::string& fname,
+                                                 size_t cache_pages = 256);
+
+  Status Insert(const geom::Mbb3D& box, uint64_t datum);
+  Status Remove(const geom::Mbb3D& box, uint64_t datum);
+
+  /// Datums of all entries matching (`box`, `mode`).
+  StatusOr<std::vector<uint64_t>> Search(
+      const geom::Mbb3D& box, QueryMode mode = QueryMode::kIntersects) const;
+
+  /// Allocation-free variant for hot loops: clears and refills `out`
+  /// (capacity is reused across calls).
+  Status SearchInto(const geom::Mbb3D& box, QueryMode mode,
+                    std::vector<uint64_t>* out) const;
+
+  /// Like `Search` but returning the stored boxes too.
+  StatusOr<std::vector<RTreeHit>> SearchHits(
+      const geom::Mbb3D& box, QueryMode mode = QueryMode::kIntersects) const;
+
+  /// \brief k nearest entries to `p` by MINDIST over (x, y, t·time_scale):
+  /// best-first descent over the GiST nodes. `time_scale` converts seconds
+  /// into meters-equivalent so the 3 axes are commensurable.
+  StatusOr<std::vector<RTreeHit>> Knn(const geom::Point3D& p, size_t k,
+                                      double time_scale = 1.0) const;
+
+  /// Bulk load (STR order is produced by `StrBulkLoad`).
+  Status BulkLoad(const std::vector<std::pair<geom::Mbb3D, uint64_t>>& items,
+                  double fill_factor = 0.9);
+
+  uint64_t num_entries() const { return gist_->num_entries(); }
+  uint32_t height() const { return gist_->height(); }
+  Status Validate() const { return gist_->Validate(); }
+  Status Flush() { return gist_->Flush(); }
+
+  const gist::GistStats& stats() const { return gist_->stats(); }
+  void ResetStats() { gist_->ResetStats(); }
+  const storage::PagerStats& io_stats() const { return gist_->io_stats(); }
+
+ private:
+  explicit RTree3D(std::unique_ptr<gist::Gist> tree) : gist_(std::move(tree)) {}
+
+  std::unique_ptr<gist::Gist> gist_;
+};
+
+/// \brief Sort-Tile-Recursive ordering (Leutenegger et al.): returns the
+/// items reordered so consecutive runs form spatially compact leaves.
+std::vector<std::pair<geom::Mbb3D, uint64_t>> StrOrder(
+    std::vector<std::pair<geom::Mbb3D, uint64_t>> items, size_t leaf_capacity);
+
+}  // namespace hermes::rtree
+
+#endif  // HERMES_RTREE_RTREE3D_H_

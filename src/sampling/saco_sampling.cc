@@ -1,0 +1,60 @@
+#include "sampling/saco_sampling.h"
+
+#include <algorithm>
+
+#include "traj/distance.h"
+
+namespace hermes::sampling {
+
+double BaseScore(const traj::SubTrajectory& st) {
+  // Voting-weighted duration: a long, highly co-moved piece is the best
+  // cluster seed. Degenerate (instantaneous) pieces score 0.
+  return st.mean_voting * st.Duration();
+}
+
+std::vector<size_t> SelectRepresentatives(
+    const std::vector<traj::SubTrajectory>& subs,
+    const SamplingParams& params) {
+  std::vector<size_t> chosen;
+  const size_t n = subs.size();
+  if (n == 0 || params.max_representatives == 0) return chosen;
+
+  std::vector<double> base(n);
+  std::vector<double> max_sim(n, 0.0);  // Max similarity to the chosen set.
+  for (size_t i = 0; i < n; ++i) base[i] = BaseScore(subs[i]);
+
+  double first_gain = 0.0;
+  while (chosen.size() < params.max_representatives) {
+    size_t best = n;
+    double best_gain = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      if (max_sim[i] >= 1.0) continue;  // Already fully covered (or chosen).
+      const double gain = base[i] * (1.0 - max_sim[i]);
+      if (gain > best_gain) {
+        best_gain = gain;
+        best = i;
+      }
+    }
+    if (best == n || best_gain <= 0.0) break;
+    if (chosen.empty()) {
+      first_gain = best_gain;
+    } else if (best_gain < params.gain_stop_ratio * first_gain) {
+      break;
+    }
+    chosen.push_back(best);
+    max_sim[best] = 1.0;  // Never re-selected.
+
+    // Update coverage: everything similar to the new representative is now
+    // (partially) covered.
+    for (size_t i = 0; i < n; ++i) {
+      if (max_sim[i] >= 1.0) continue;
+      const double sim = traj::TimeAwareSimilarity(
+          subs[i].points, subs[best].points, params.sigma,
+          params.min_overlap_ratio);
+      max_sim[i] = std::max(max_sim[i], sim);
+    }
+  }
+  return chosen;
+}
+
+}  // namespace hermes::sampling

@@ -1,0 +1,69 @@
+#ifndef HERMES_SEGMENTATION_NATS_H_
+#define HERMES_SEGMENTATION_NATS_H_
+
+#include <vector>
+
+#include "common/statusor.h"
+#include "traj/sub_trajectory.h"
+#include "traj/trajectory_store.h"
+#include "voting/voting.h"
+
+namespace hermes::segmentation {
+
+/// \brief Parameters of Neighborhood-aware Trajectory Segmentation.
+struct NatsParams {
+  /// Split-penalty scale: the DP cost is Σ SSE(part) + λ·#parts with
+  /// λ = lambda_scale · Var(votes) · num_segments. Larger values produce
+  /// fewer, coarser sub-trajectories.
+  double lambda_scale = 0.05;
+  /// Minimum segments per part (w in the papers).
+  size_t min_part_length = 4;
+  /// Upper bound on parts per trajectory (0 = unbounded). With a bound the
+  /// DP prunes greedily (exact only when unbounded).
+  size_t max_parts = 0;
+};
+
+/// \brief One part of a segmentation: segment indices [first, last]
+/// (inclusive) of the source trajectory, with the mean vote of the part.
+struct SegmentationPart {
+  size_t first_segment = 0;
+  size_t last_segment = 0;
+  double mean_voting = 0.0;
+
+  size_t NumSegments() const { return last_segment - first_segment + 1; }
+};
+
+/// \brief Splits one voting signal into contiguous parts of homogeneous
+/// representativeness.
+///
+/// Exact O(m²) dynamic program minimizing penalized within-part SSE — the
+/// "homogeneous representativeness, irrespective of shape complexity"
+/// objective of NaTS. Returns at least one part for a non-empty signal.
+std::vector<SegmentationPart> SegmentVotingSignal(
+    const std::vector<double>& votes, const NatsParams& params);
+
+/// \brief Runs NaTS over every trajectory of the MOD: segments each voting
+/// signal and materializes the resulting sub-trajectories (ids assigned
+/// sequentially from 0).
+std::vector<traj::SubTrajectory> SegmentStore(
+    const traj::TrajectoryStore& store, const voting::VotingResult& voting,
+    const NatsParams& params);
+
+/// \brief Brute-force optimal segmentation for cross-checking the DP in
+/// tests (exponential; only for tiny inputs).
+std::vector<SegmentationPart> SegmentVotingSignalBruteForce(
+    const std::vector<double>& votes, const NatsParams& params);
+
+/// The penalized cost of a given segmentation of `votes` (Σ SSE + λ·parts);
+/// exposed for tests.
+double SegmentationCost(const std::vector<double>& votes,
+                        const std::vector<SegmentationPart>& parts,
+                        double lambda);
+
+/// Effective λ for a signal under `params`.
+double EffectiveLambda(const std::vector<double>& votes,
+                       const NatsParams& params);
+
+}  // namespace hermes::segmentation
+
+#endif  // HERMES_SEGMENTATION_NATS_H_

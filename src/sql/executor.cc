@@ -1,0 +1,324 @@
+#include "sql/executor.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <sstream>
+
+#include "baselines/convoys.h"
+#include "baselines/toptics.h"
+#include "baselines/traclus.h"
+#include "core/s2t_clustering.h"
+
+namespace hermes::sql {
+
+namespace {
+std::string Fmt(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.4g", v);
+  return buf;
+}
+std::string Fmt(size_t v) { return std::to_string(v); }
+}  // namespace
+
+std::string Table::ToString() const {
+  // Column widths.
+  std::vector<size_t> widths(columns.size(), 0);
+  for (size_t c = 0; c < columns.size(); ++c) widths[c] = columns[c].size();
+  for (const auto& row : rows) {
+    for (size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream out;
+  auto line = [&](const std::vector<std::string>& cells) {
+    for (size_t c = 0; c < widths.size(); ++c) {
+      out << "| " << (c < cells.size() ? cells[c] : "");
+      out << std::string(
+          widths[c] - std::min(widths[c],
+                               c < cells.size() ? cells[c].size() : 0),
+          ' ');
+      out << ' ';
+    }
+    out << "|\n";
+  };
+  line(columns);
+  for (size_t c = 0; c < widths.size(); ++c) {
+    out << "+" << std::string(widths[c] + 2, '-');
+  }
+  out << "+\n";
+  for (const auto& row : rows) line(row);
+  return out.str();
+}
+
+Session::Session(storage::Env* env, std::string data_dir)
+    : data_dir_(std::move(data_dir)) {
+  if (env == nullptr) {
+    owned_env_ = storage::Env::NewMemEnv();
+    env_ = owned_env_.get();
+  } else {
+    env_ = env;
+  }
+}
+
+Status Session::RegisterStore(const std::string& name,
+                              traj::TrajectoryStore store) {
+  std::string key = name;
+  for (char& c : key) c = static_cast<char>(std::toupper(c));
+  ModEntry entry;
+  entry.store = std::move(store);
+  mods_[key] = std::move(entry);
+  return Status::OK();
+}
+
+const traj::TrajectoryStore* Session::FindStore(
+    const std::string& name) const {
+  std::string key = name;
+  for (char& c : key) c = static_cast<char>(std::toupper(c));
+  auto it = mods_.find(key);
+  return it == mods_.end() ? nullptr : &it->second.store;
+}
+
+StatusOr<Session::ModEntry*> Session::FindMod(const std::string& name) {
+  auto it = mods_.find(name);
+  if (it == mods_.end()) return Status::NotFound("no MOD named " + name);
+  return &it->second;
+}
+
+StatusOr<Table> Session::Execute(const std::string& sql) {
+  HERMES_ASSIGN_OR_RETURN(Statement stmt, ParseStatement(sql));
+  return ExecuteStatement(stmt);
+}
+
+StatusOr<Table> Session::ExecuteScript(const std::string& sql) {
+  HERMES_ASSIGN_OR_RETURN(std::vector<Statement> stmts, ParseScript(sql));
+  if (stmts.empty()) return Status::InvalidArgument("empty script");
+  Table last;
+  for (const auto& stmt : stmts) {
+    HERMES_ASSIGN_OR_RETURN(last, ExecuteStatement(stmt));
+  }
+  return last;
+}
+
+StatusOr<Table> Session::ExecuteStatement(const Statement& stmt) {
+  Table table;
+  switch (stmt.kind) {
+    case Statement::Kind::kCreateMod: {
+      if (mods_.count(stmt.mod) > 0) {
+        return Status::AlreadyExists("MOD " + stmt.mod + " exists");
+      }
+      mods_[stmt.mod] = ModEntry{};
+      table.columns = {"status"};
+      table.rows = {{"CREATE MOD " + stmt.mod}};
+      return table;
+    }
+    case Statement::Kind::kDropMod: {
+      if (mods_.erase(stmt.mod) == 0) {
+        return Status::NotFound("no MOD named " + stmt.mod);
+      }
+      table.columns = {"status"};
+      table.rows = {{"DROP MOD " + stmt.mod}};
+      return table;
+    }
+    case Statement::Kind::kLoadMod: {
+      auto [it, inserted] = mods_.try_emplace(stmt.mod);
+      HERMES_RETURN_NOT_OK(it->second.store.LoadCsv(stmt.path));
+      it->second.tree.reset();
+      table.columns = {"status", "trajectories", "points"};
+      table.rows = {{"LOAD " + stmt.mod,
+                     Fmt(it->second.store.NumTrajectories()),
+                     Fmt(it->second.store.NumPoints())}};
+      return table;
+    }
+    case Statement::Kind::kInsert: {
+      HERMES_ASSIGN_OR_RETURN(ModEntry * entry, FindMod(stmt.mod));
+      // Group rows by object id; each group extends/creates a trajectory.
+      // For simplicity each INSERT materializes one trajectory per object.
+      std::map<uint64_t, traj::Trajectory> builders;
+      for (const auto& row : stmt.rows) {
+        const auto obj = static_cast<traj::ObjectId>(row[0]);
+        auto [bit, fresh] = builders.try_emplace(obj, traj::Trajectory(obj));
+        HERMES_RETURN_NOT_OK(bit->second.Append({row[2], row[3], row[1]}));
+      }
+      size_t added = 0;
+      for (auto& [obj, t] : builders) {
+        auto r = entry->store.Add(std::move(t));
+        if (!r.ok()) return r.status();
+        ++added;
+      }
+      entry->tree.reset();
+      table.columns = {"status", "trajectories_added"};
+      table.rows = {{"INSERT " + stmt.mod, Fmt(added)}};
+      return table;
+    }
+    case Statement::Kind::kSelect:
+      return ExecuteSelect(stmt);
+  }
+  return Status::Internal("unreachable");
+}
+
+StatusOr<Table> Session::ExecuteSelect(const Statement& stmt) {
+  HERMES_ASSIGN_OR_RETURN(ModEntry * entry, FindMod(stmt.mod));
+  Table table;
+
+  if (stmt.function == "STATS") {
+    const auto [t0, t1] = entry->store.TimeDomain();
+    const geom::Mbb3D b = entry->store.Bounds();
+    table.columns = {"trajectories", "points", "segments", "t_min", "t_max",
+                     "x_min", "x_max", "y_min", "y_max"};
+    table.rows = {{Fmt(entry->store.NumTrajectories()),
+                   Fmt(entry->store.NumPoints()),
+                   Fmt(entry->store.NumSegments()), Fmt(t0), Fmt(t1),
+                   Fmt(b.min_x), Fmt(b.max_x), Fmt(b.min_y), Fmt(b.max_y)}};
+    return table;
+  }
+
+  if (stmt.function == "RANGE") {
+    if (stmt.args.size() != 2) {
+      return Status::InvalidArgument("RANGE(D, Wi, We) takes 2 numbers");
+    }
+    const double wi = stmt.args[0];
+    const double we = stmt.args[1];
+    if (we <= wi) return Status::InvalidArgument("empty window");
+    table.columns = {"object_id", "points_in_window"};
+    for (const auto& t : entry->store.trajectories()) {
+      const traj::Trajectory sliced = t.Slice(wi, we);
+      if (sliced.size() >= 2) {
+        table.rows.push_back(
+            {Fmt(static_cast<size_t>(t.object_id())), Fmt(sliced.size())});
+      }
+    }
+    return table;
+  }
+
+  if (stmt.function == "S2T") {
+    if (stmt.args.size() != 2) {
+      return Status::InvalidArgument("S2T(D, sigma, eps) takes 2 numbers");
+    }
+    core::S2TParams params;
+    params.SetSigma(stmt.args[0]).SetEpsilon(stmt.args[1]);
+    core::S2TClustering s2t(params);
+    HERMES_ASSIGN_OR_RETURN(core::S2TResult result, s2t.Run(entry->store));
+    table.columns = {"cluster_id", "size", "rep_object", "start", "end"};
+    for (size_t ci = 0; ci < result.clustering.clusters.size(); ++ci) {
+      const auto& c = result.clustering.clusters[ci];
+      const auto& rep = result.sub_trajectories[c.representative];
+      table.rows.push_back({Fmt(ci), Fmt(c.members.size()),
+                            Fmt(static_cast<size_t>(rep.object_id)),
+                            Fmt(rep.StartTime()), Fmt(rep.EndTime())});
+    }
+    table.rows.push_back({"outliers", Fmt(result.clustering.outliers.size()),
+                          "-", "-", "-"});
+    return table;
+  }
+
+  if (stmt.function == "QUT") {
+    if (stmt.args.size() != 7) {
+      return Status::InvalidArgument(
+          "QUT(D, Wi, We, tau, delta, t, d, gamma) takes 7 numbers");
+    }
+    const double wi = stmt.args[0];
+    const double we = stmt.args[1];
+    const std::vector<double> tree_params(stmt.args.begin() + 2,
+                                          stmt.args.end());
+    if (entry->tree == nullptr || entry->tree_params != tree_params) {
+      core::ReTraTreeParams params;
+      params.tau = tree_params[0];
+      params.delta = tree_params[1];
+      params.t_align = tree_params[2];
+      params.d_assign = tree_params[3];
+      params.gamma = static_cast<size_t>(tree_params[4]);
+      params.s2t.SetSigma(params.d_assign).SetEpsilon(params.d_assign);
+      const std::string dir =
+          data_dir_ + "/tree_" + std::to_string(tree_seq_++);
+      HERMES_ASSIGN_OR_RETURN(entry->tree,
+                              core::ReTraTree::Open(env_, dir, params));
+      HERMES_RETURN_NOT_OK(entry->tree->InsertStore(entry->store));
+      entry->tree_params = tree_params;
+    }
+    core::QuTClustering qut(entry->tree.get());
+    HERMES_ASSIGN_OR_RETURN(core::QuTResult result, qut.Query(wi, we));
+    table.columns = {"cluster_id", "pieces", "members", "start", "end"};
+    for (size_t ci = 0; ci < result.clusters.size(); ++ci) {
+      const auto& c = result.clusters[ci];
+      table.rows.push_back({Fmt(ci), Fmt(c.representatives.size()),
+                            Fmt(c.members.size()), Fmt(c.StartTime()),
+                            Fmt(c.EndTime())});
+    }
+    table.rows.push_back(
+        {"outliers", "-", Fmt(result.outliers.size()), Fmt(wi), Fmt(we)});
+    return table;
+  }
+
+  if (stmt.function == "TRACLUS") {
+    if (stmt.args.size() != 2) {
+      return Status::InvalidArgument(
+          "TRACLUS(D, eps, min_lns) takes 2 numbers");
+    }
+    baselines::TraclusParams params;
+    params.eps = stmt.args[0];
+    params.min_lns = static_cast<size_t>(stmt.args[1]);
+    const baselines::TraclusResult result =
+        baselines::RunTraclus(entry->store, params);
+    table.columns = {"cluster_id", "segments", "trajectories", "rep_points"};
+    for (size_t ci = 0; ci < result.clusters.size(); ++ci) {
+      const auto& c = result.clusters[ci];
+      table.rows.push_back({Fmt(ci), Fmt(c.segment_indices.size()),
+                            Fmt(c.distinct_trajectories),
+                            Fmt(c.representative.size())});
+    }
+    table.rows.push_back({"noise", Fmt(result.noise.size()), "-", "-"});
+    return table;
+  }
+
+  if (stmt.function == "TOPTICS") {
+    if (stmt.args.size() != 2) {
+      return Status::InvalidArgument(
+          "TOPTICS(D, eps, min_pts) takes 2 numbers");
+    }
+    baselines::TOpticsParams params;
+    params.eps = stmt.args[0];
+    params.min_pts = static_cast<size_t>(stmt.args[1]);
+    const baselines::TOpticsResult result =
+        baselines::RunTOptics(entry->store, params);
+    table.columns = {"cluster_id", "trajectories"};
+    std::vector<size_t> sizes(result.num_clusters, 0);
+    size_t noise = 0;
+    for (int label : result.labels) {
+      if (label >= 0) {
+        ++sizes[label];
+      } else {
+        ++noise;
+      }
+    }
+    for (size_t ci = 0; ci < sizes.size(); ++ci) {
+      table.rows.push_back({Fmt(ci), Fmt(sizes[ci])});
+    }
+    table.rows.push_back({"noise", Fmt(noise)});
+    return table;
+  }
+
+  if (stmt.function == "CONVOYS") {
+    if (stmt.args.size() != 4) {
+      return Status::InvalidArgument(
+          "CONVOYS(D, eps, m, k, dt) takes 4 numbers");
+    }
+    baselines::ConvoyParams params;
+    params.eps = stmt.args[0];
+    params.m = static_cast<size_t>(stmt.args[1]);
+    params.k = static_cast<size_t>(stmt.args[2]);
+    params.snapshot_dt = stmt.args[3];
+    const auto convoys = baselines::DiscoverConvoys(entry->store, params);
+    table.columns = {"convoy_id", "objects", "start", "end"};
+    for (size_t ci = 0; ci < convoys.size(); ++ci) {
+      table.rows.push_back({Fmt(ci), Fmt(convoys[ci].objects.size()),
+                            Fmt(convoys[ci].start_time),
+                            Fmt(convoys[ci].end_time)});
+    }
+    return table;
+  }
+
+  return Status::NotSupported("unknown function " + stmt.function);
+}
+
+}  // namespace hermes::sql

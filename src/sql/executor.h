@@ -1,0 +1,67 @@
+#ifndef HERMES_SQL_EXECUTOR_H_
+#define HERMES_SQL_EXECUTOR_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/statusor.h"
+#include "core/qut_clustering.h"
+#include "core/retratree.h"
+#include "sql/parser.h"
+#include "storage/env.h"
+#include "traj/trajectory_store.h"
+
+namespace hermes::sql {
+
+/// \brief Tabular result of a statement (printable, test-inspectable).
+struct Table {
+  std::vector<std::string> columns;
+  std::vector<std::vector<std::string>> rows;
+
+  std::string ToString() const;
+};
+
+/// \brief An interactive Hermes session: named MODs, lazily-built
+/// ReTraTrees, and statement execution — the embedded counterpart of the
+/// demo's psql session against Hermes@PostgreSQL.
+class Session {
+ public:
+  /// `env` defaults to a private in-memory environment; pass a Posix env
+  /// + directory to persist ReTraTree partitions.
+  explicit Session(storage::Env* env = nullptr,
+                   std::string data_dir = "hermes_data");
+
+  /// Parses and executes one statement.
+  StatusOr<Table> Execute(const std::string& sql);
+
+  /// Executes a ';'-separated script, returning the last statement's table.
+  StatusOr<Table> ExecuteScript(const std::string& sql);
+
+  /// Direct access for embedding (e.g. loading a generated scenario).
+  Status RegisterStore(const std::string& name, traj::TrajectoryStore store);
+  const traj::TrajectoryStore* FindStore(const std::string& name) const;
+
+ private:
+  struct ModEntry {
+    traj::TrajectoryStore store;
+    std::unique_ptr<core::ReTraTree> tree;
+    /// (tau, delta, t, d, gamma) the tree was built with.
+    std::vector<double> tree_params;
+  };
+
+  StatusOr<Table> ExecuteStatement(const Statement& stmt);
+  StatusOr<Table> ExecuteSelect(const Statement& stmt);
+  StatusOr<ModEntry*> FindMod(const std::string& name);
+
+  std::unique_ptr<storage::Env> owned_env_;
+  storage::Env* env_;
+  std::string data_dir_;
+  std::map<std::string, ModEntry> mods_;
+  uint64_t tree_seq_ = 0;
+};
+
+}  // namespace hermes::sql
+
+#endif  // HERMES_SQL_EXECUTOR_H_

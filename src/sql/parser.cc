@@ -1,0 +1,147 @@
+#include "sql/parser.h"
+
+#include <array>
+
+namespace hermes::sql {
+
+namespace {
+
+/// Cursor over the token stream with convenience expectations.
+class Cursor {
+ public:
+  explicit Cursor(const std::vector<Token>& tokens) : tokens_(tokens) {}
+
+  const Token& Peek() const { return tokens_[pos_]; }
+  const Token& Next() { return tokens_[pos_++]; }
+  bool AtEnd() const { return Peek().kind == TokenKind::kEnd; }
+
+  Status ExpectKeyword(const std::string& kw) {
+    const Token& t = Next();
+    if (t.kind != TokenKind::kIdentifier || t.text != kw) {
+      return Status::InvalidArgument("expected " + kw + " near offset " +
+                                     std::to_string(t.position));
+    }
+    return Status::OK();
+  }
+
+  StatusOr<std::string> ExpectIdentifier() {
+    const Token& t = Next();
+    if (t.kind != TokenKind::kIdentifier) {
+      return Status::InvalidArgument("expected identifier near offset " +
+                                     std::to_string(t.position));
+    }
+    return t.text;
+  }
+
+  StatusOr<double> ExpectNumber() {
+    const Token& t = Next();
+    if (t.kind != TokenKind::kNumber) {
+      return Status::InvalidArgument("expected number near offset " +
+                                     std::to_string(t.position));
+    }
+    return t.number;
+  }
+
+  Status Expect(TokenKind kind, const char* what) {
+    const Token& t = Next();
+    if (t.kind != kind) {
+      return Status::InvalidArgument(std::string("expected ") + what +
+                                     " near offset " +
+                                     std::to_string(t.position));
+    }
+    return Status::OK();
+  }
+
+  bool Accept(TokenKind kind) {
+    if (Peek().kind == kind) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+ private:
+  const std::vector<Token>& tokens_;
+  size_t pos_ = 0;
+};
+
+StatusOr<Statement> ParseOne(Cursor* cur) {
+  Statement stmt;
+  HERMES_ASSIGN_OR_RETURN(std::string head, cur->ExpectIdentifier());
+
+  if (head == "CREATE") {
+    HERMES_RETURN_NOT_OK(cur->ExpectKeyword("MOD"));
+    stmt.kind = Statement::Kind::kCreateMod;
+    HERMES_ASSIGN_OR_RETURN(stmt.mod, cur->ExpectIdentifier());
+  } else if (head == "DROP") {
+    HERMES_RETURN_NOT_OK(cur->ExpectKeyword("MOD"));
+    stmt.kind = Statement::Kind::kDropMod;
+    HERMES_ASSIGN_OR_RETURN(stmt.mod, cur->ExpectIdentifier());
+  } else if (head == "LOAD") {
+    HERMES_RETURN_NOT_OK(cur->ExpectKeyword("MOD"));
+    stmt.kind = Statement::Kind::kLoadMod;
+    HERMES_ASSIGN_OR_RETURN(stmt.mod, cur->ExpectIdentifier());
+    HERMES_RETURN_NOT_OK(cur->ExpectKeyword("FROM"));
+    const Token& t = cur->Next();
+    if (t.kind != TokenKind::kString) {
+      return Status::InvalidArgument("expected 'path' near offset " +
+                                     std::to_string(t.position));
+    }
+    stmt.path = t.text;
+  } else if (head == "INSERT") {
+    HERMES_RETURN_NOT_OK(cur->ExpectKeyword("INTO"));
+    stmt.kind = Statement::Kind::kInsert;
+    HERMES_ASSIGN_OR_RETURN(stmt.mod, cur->ExpectIdentifier());
+    HERMES_RETURN_NOT_OK(cur->ExpectKeyword("VALUES"));
+    do {
+      HERMES_RETURN_NOT_OK(cur->Expect(TokenKind::kLParen, "("));
+      std::array<double, 4> row{};
+      for (int k = 0; k < 4; ++k) {
+        HERMES_ASSIGN_OR_RETURN(row[k], cur->ExpectNumber());
+        if (k < 3) HERMES_RETURN_NOT_OK(cur->Expect(TokenKind::kComma, ","));
+      }
+      HERMES_RETURN_NOT_OK(cur->Expect(TokenKind::kRParen, ")"));
+      stmt.rows.push_back(row);
+    } while (cur->Accept(TokenKind::kComma));
+  } else if (head == "SELECT") {
+    stmt.kind = Statement::Kind::kSelect;
+    HERMES_ASSIGN_OR_RETURN(stmt.function, cur->ExpectIdentifier());
+    HERMES_RETURN_NOT_OK(cur->Expect(TokenKind::kLParen, "("));
+    HERMES_ASSIGN_OR_RETURN(stmt.mod, cur->ExpectIdentifier());
+    while (cur->Accept(TokenKind::kComma)) {
+      HERMES_ASSIGN_OR_RETURN(double v, cur->ExpectNumber());
+      stmt.args.push_back(v);
+    }
+    HERMES_RETURN_NOT_OK(cur->Expect(TokenKind::kRParen, ")"));
+  } else {
+    return Status::InvalidArgument("unknown statement " + head);
+  }
+
+  cur->Accept(TokenKind::kSemicolon);
+  return stmt;
+}
+
+}  // namespace
+
+StatusOr<Statement> ParseStatement(const std::string& sql) {
+  HERMES_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
+  Cursor cur(tokens);
+  HERMES_ASSIGN_OR_RETURN(Statement stmt, ParseOne(&cur));
+  if (!cur.AtEnd()) {
+    return Status::InvalidArgument("trailing input after statement");
+  }
+  return stmt;
+}
+
+StatusOr<std::vector<Statement>> ParseScript(const std::string& sql) {
+  HERMES_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
+  Cursor cur(tokens);
+  std::vector<Statement> out;
+  while (!cur.AtEnd()) {
+    HERMES_ASSIGN_OR_RETURN(Statement stmt, ParseOne(&cur));
+    out.push_back(std::move(stmt));
+  }
+  return out;
+}
+
+}  // namespace hermes::sql

@@ -1,0 +1,48 @@
+#ifndef HERMES_SQL_PARSER_H_
+#define HERMES_SQL_PARSER_H_
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "common/statusor.h"
+#include "sql/tokenizer.h"
+
+namespace hermes::sql {
+
+/// \brief Parsed statement of the Hermes SQL dialect.
+///
+/// Supported forms (keywords case-insensitive):
+///   CREATE MOD name;
+///   DROP MOD name;
+///   LOAD MOD name FROM 'file.csv';
+///   INSERT INTO name VALUES (obj, t, x, y) [, (obj, t, x, y)]...;
+///   SELECT STATS(name);
+///   SELECT RANGE(name, Wi, We);
+///   SELECT S2T(name, sigma, eps);
+///   SELECT QUT(name, Wi, We, tau, delta, t, d, gamma);
+struct Statement {
+  enum class Kind {
+    kCreateMod,
+    kDropMod,
+    kLoadMod,
+    kInsert,
+    kSelect,
+  };
+  Kind kind = Kind::kSelect;
+  std::string mod;                        ///< Target MOD name (upper-cased).
+  std::string path;                       ///< LOAD source file.
+  std::vector<std::array<double, 4>> rows;///< INSERT (obj, t, x, y) tuples.
+  std::string function;                   ///< SELECT function name.
+  std::vector<double> args;               ///< SELECT numeric arguments.
+};
+
+/// Parses exactly one statement (trailing ';' optional).
+StatusOr<Statement> ParseStatement(const std::string& sql);
+
+/// Parses a ';'-separated script into statements.
+StatusOr<std::vector<Statement>> ParseScript(const std::string& sql);
+
+}  // namespace hermes::sql
+
+#endif  // HERMES_SQL_PARSER_H_

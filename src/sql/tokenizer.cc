@@ -1,0 +1,91 @@
+#include "sql/tokenizer.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace hermes::sql {
+
+StatusOr<std::vector<Token>> Tokenize(const std::string& input) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = input.size();
+  while (i < n) {
+    const char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '-' && i + 1 < n && input[i + 1] == '-') {
+      // Line comment.
+      while (i < n && input[i] != '\n') ++i;
+      continue;
+    }
+    Token tok;
+    tok.position = i;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t j = i;
+      while (j < n && (std::isalnum(static_cast<unsigned char>(input[j])) ||
+                       input[j] == '_')) {
+        ++j;
+      }
+      tok.kind = TokenKind::kIdentifier;
+      tok.text = input.substr(i, j - i);
+      for (char& ch : tok.text) {
+        ch = static_cast<char>(std::toupper(static_cast<unsigned char>(ch)));
+      }
+      i = j;
+    } else if (std::isdigit(static_cast<unsigned char>(c)) || c == '.' ||
+               ((c == '-' || c == '+') && i + 1 < n &&
+                (std::isdigit(static_cast<unsigned char>(input[i + 1])) ||
+                 input[i + 1] == '.'))) {
+      char* end = nullptr;
+      const double v = std::strtod(input.c_str() + i, &end);
+      if (end == input.c_str() + i) {
+        return Status::InvalidArgument("bad number at offset " +
+                                       std::to_string(i));
+      }
+      tok.kind = TokenKind::kNumber;
+      tok.number = v;
+      tok.text = input.substr(i, end - (input.c_str() + i));
+      i = static_cast<size_t>(end - input.c_str());
+    } else if (c == '\'') {
+      size_t j = i + 1;
+      std::string value;
+      while (j < n && input[j] != '\'') value.push_back(input[j++]);
+      if (j >= n) {
+        return Status::InvalidArgument("unterminated string at offset " +
+                                       std::to_string(i));
+      }
+      tok.kind = TokenKind::kString;
+      tok.text = value;
+      i = j + 1;
+    } else if (c == '(') {
+      tok.kind = TokenKind::kLParen;
+      tok.text = "(";
+      ++i;
+    } else if (c == ')') {
+      tok.kind = TokenKind::kRParen;
+      tok.text = ")";
+      ++i;
+    } else if (c == ',') {
+      tok.kind = TokenKind::kComma;
+      tok.text = ",";
+      ++i;
+    } else if (c == ';') {
+      tok.kind = TokenKind::kSemicolon;
+      tok.text = ";";
+      ++i;
+    } else {
+      return Status::InvalidArgument(std::string("unexpected character '") +
+                                     c + "' at offset " + std::to_string(i));
+    }
+    tokens.push_back(std::move(tok));
+  }
+  Token end_tok;
+  end_tok.kind = TokenKind::kEnd;
+  end_tok.position = n;
+  tokens.push_back(end_tok);
+  return tokens;
+}
+
+}  // namespace hermes::sql

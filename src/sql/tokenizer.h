@@ -1,0 +1,36 @@
+#ifndef HERMES_SQL_TOKENIZER_H_
+#define HERMES_SQL_TOKENIZER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/statusor.h"
+
+namespace hermes::sql {
+
+/// \brief Token kinds of the Hermes SQL dialect.
+enum class TokenKind {
+  kIdentifier,  ///< Bare word (keywords are identifiers, case-insensitive).
+  kNumber,      ///< Numeric literal.
+  kString,      ///< 'single-quoted' literal.
+  kLParen,
+  kRParen,
+  kComma,
+  kSemicolon,
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;    ///< Raw text (identifiers upper-cased).
+  double number = 0.0; ///< Valid for kNumber.
+  size_t position = 0; ///< Byte offset in the input (for errors).
+};
+
+/// \brief Splits `input` into tokens; fails with InvalidArgument on
+/// malformed literals or stray characters.
+StatusOr<std::vector<Token>> Tokenize(const std::string& input);
+
+}  // namespace hermes::sql
+
+#endif  // HERMES_SQL_TOKENIZER_H_

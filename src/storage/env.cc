@@ -1,0 +1,205 @@
+#include "storage/env.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <map>
+#include <mutex>
+
+namespace hermes::storage {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+// ---------------------------------------------------------------------------
+// POSIX environment
+// ---------------------------------------------------------------------------
+
+class PosixRWFile : public RandomRWFile {
+ public:
+  explicit PosixRWFile(std::FILE* f) : f_(f) {}
+  ~PosixRWFile() override {
+    if (f_ != nullptr) std::fclose(f_);
+  }
+
+  Status ReadAt(uint64_t offset, size_t n, char* buf) const override {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (std::fseek(f_, static_cast<long>(offset), SEEK_SET) != 0) {
+      return Status::IOError("seek failed");
+    }
+    const size_t got = std::fread(buf, 1, n, f_);
+    if (got != n) return Status::IOError("short read");
+    return Status::OK();
+  }
+
+  Status WriteAt(uint64_t offset, size_t n, const char* buf) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (std::fseek(f_, static_cast<long>(offset), SEEK_SET) != 0) {
+      return Status::IOError("seek failed");
+    }
+    const size_t put = std::fwrite(buf, 1, n, f_);
+    if (put != n) return Status::IOError("short write");
+    return Status::OK();
+  }
+
+  StatusOr<uint64_t> Size() const override {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (std::fseek(f_, 0, SEEK_END) != 0) return Status::IOError("seek failed");
+    const long sz = std::ftell(f_);
+    if (sz < 0) return Status::IOError("ftell failed");
+    return static_cast<uint64_t>(sz);
+  }
+
+  Status Sync() override {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (std::fflush(f_) != 0) return Status::IOError("flush failed");
+    return Status::OK();
+  }
+
+ private:
+  std::FILE* f_;
+  mutable std::mutex mu_;
+};
+
+class PosixEnv : public Env {
+ public:
+  StatusOr<std::unique_ptr<RandomRWFile>> NewRWFile(
+      const std::string& fname) override {
+    // "a" then reopen r+b so the file exists without truncation.
+    std::FILE* f = std::fopen(fname.c_str(), "r+b");
+    if (f == nullptr) {
+      f = std::fopen(fname.c_str(), "w+b");
+    }
+    if (f == nullptr) return Status::IOError("cannot open " + fname);
+    return std::unique_ptr<RandomRWFile>(new PosixRWFile(f));
+  }
+
+  bool FileExists(const std::string& fname) const override {
+    std::error_code ec;
+    return fs::exists(fname, ec) && fs::is_regular_file(fname, ec);
+  }
+
+  Status DeleteFile(const std::string& fname) override {
+    std::error_code ec;
+    if (!fs::remove(fname, ec) || ec) {
+      return Status::IOError("cannot delete " + fname);
+    }
+    return Status::OK();
+  }
+
+  Status CreateDirs(const std::string& dirname) override {
+    std::error_code ec;
+    fs::create_directories(dirname, ec);
+    if (ec) return Status::IOError("cannot create dir " + dirname);
+    return Status::OK();
+  }
+
+  StatusOr<std::vector<std::string>> ListDir(
+      const std::string& dirname) const override {
+    std::error_code ec;
+    std::vector<std::string> names;
+    for (const auto& entry : fs::directory_iterator(dirname, ec)) {
+      if (entry.is_regular_file()) names.push_back(entry.path().filename());
+    }
+    if (ec) return Status::IOError("cannot list dir " + dirname);
+    std::sort(names.begin(), names.end());
+    return names;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// In-memory environment
+// ---------------------------------------------------------------------------
+
+struct MemFileData {
+  std::vector<char> bytes;
+  std::mutex mu;
+};
+
+class MemRWFile : public RandomRWFile {
+ public:
+  explicit MemRWFile(std::shared_ptr<MemFileData> data)
+      : data_(std::move(data)) {}
+
+  Status ReadAt(uint64_t offset, size_t n, char* buf) const override {
+    std::lock_guard<std::mutex> lock(data_->mu);
+    if (offset + n > data_->bytes.size()) return Status::IOError("short read");
+    std::copy_n(data_->bytes.data() + offset, n, buf);
+    return Status::OK();
+  }
+
+  Status WriteAt(uint64_t offset, size_t n, const char* buf) override {
+    std::lock_guard<std::mutex> lock(data_->mu);
+    if (offset + n > data_->bytes.size()) data_->bytes.resize(offset + n);
+    std::copy_n(buf, n, data_->bytes.data() + offset);
+    return Status::OK();
+  }
+
+  StatusOr<uint64_t> Size() const override {
+    std::lock_guard<std::mutex> lock(data_->mu);
+    return static_cast<uint64_t>(data_->bytes.size());
+  }
+
+  Status Sync() override { return Status::OK(); }
+
+ private:
+  std::shared_ptr<MemFileData> data_;
+};
+
+class MemEnv : public Env {
+ public:
+  StatusOr<std::unique_ptr<RandomRWFile>> NewRWFile(
+      const std::string& fname) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto& slot = files_[fname];
+    if (slot == nullptr) slot = std::make_shared<MemFileData>();
+    return std::unique_ptr<RandomRWFile>(new MemRWFile(slot));
+  }
+
+  bool FileExists(const std::string& fname) const override {
+    std::lock_guard<std::mutex> lock(mu_);
+    return files_.count(fname) > 0;
+  }
+
+  Status DeleteFile(const std::string& fname) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (files_.erase(fname) == 0) {
+      return Status::NotFound("no such file " + fname);
+    }
+    return Status::OK();
+  }
+
+  Status CreateDirs(const std::string&) override { return Status::OK(); }
+
+  StatusOr<std::vector<std::string>> ListDir(
+      const std::string& dirname) const override {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<std::string> names;
+    std::string prefix = dirname;
+    if (!prefix.empty() && prefix.back() != '/') prefix += '/';
+    for (const auto& [name, data] : files_) {
+      if (name.rfind(prefix, 0) == 0) {
+        std::string rest = name.substr(prefix.size());
+        if (rest.find('/') == std::string::npos) names.push_back(rest);
+      }
+    }
+    std::sort(names.begin(), names.end());
+    return names;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::shared_ptr<MemFileData>> files_;
+};
+
+}  // namespace
+
+Env* Env::Posix() {
+  static PosixEnv* env = new PosixEnv();  // Never destroyed (static-safe).
+  return env;
+}
+
+std::unique_ptr<Env> Env::NewMemEnv() { return std::make_unique<MemEnv>(); }
+
+}  // namespace hermes::storage

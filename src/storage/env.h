@@ -1,0 +1,55 @@
+#ifndef HERMES_STORAGE_ENV_H_
+#define HERMES_STORAGE_ENV_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/statusor.h"
+
+namespace hermes::storage {
+
+/// \brief Random-access read/write file handle used by the pager.
+class RandomRWFile {
+ public:
+  virtual ~RandomRWFile() = default;
+
+  /// Reads exactly `n` bytes at `offset` into `buf`; short reads are errors.
+  virtual Status ReadAt(uint64_t offset, size_t n, char* buf) const = 0;
+  /// Writes `n` bytes at `offset`, extending the file if needed.
+  virtual Status WriteAt(uint64_t offset, size_t n, const char* buf) = 0;
+  /// Current file size in bytes.
+  virtual StatusOr<uint64_t> Size() const = 0;
+  /// Durability barrier (no-op for the in-memory Env).
+  virtual Status Sync() = 0;
+};
+
+/// \brief Filesystem abstraction (RocksDB-style `Env`), so the whole engine
+/// runs identically on the real filesystem and fully in memory (tests).
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  /// Opens (creating if absent) a random-access read/write file.
+  virtual StatusOr<std::unique_ptr<RandomRWFile>> NewRWFile(
+      const std::string& fname) = 0;
+
+  virtual bool FileExists(const std::string& fname) const = 0;
+  virtual Status DeleteFile(const std::string& fname) = 0;
+  /// Creates a directory (and parents). No-op when it exists.
+  virtual Status CreateDirs(const std::string& dirname) = 0;
+  /// Lists regular files directly under `dirname` (names only, sorted).
+  virtual StatusOr<std::vector<std::string>> ListDir(
+      const std::string& dirname) const = 0;
+
+  /// Process-wide POSIX environment.
+  static Env* Posix();
+  /// Creates a private in-memory environment.
+  static std::unique_ptr<Env> NewMemEnv();
+};
+
+}  // namespace hermes::storage
+
+#endif  // HERMES_STORAGE_ENV_H_

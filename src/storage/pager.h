@@ -1,0 +1,125 @@
+#ifndef HERMES_STORAGE_PAGER_H_
+#define HERMES_STORAGE_PAGER_H_
+
+#include <array>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "common/status.h"
+#include "common/statusor.h"
+#include "storage/env.h"
+
+namespace hermes::storage {
+
+/// Fixed page size of the engine (PostgreSQL-compatible 8 KiB).
+inline constexpr size_t kPageSize = 8192;
+
+using PageId = uint32_t;
+inline constexpr PageId kInvalidPage = 0xFFFFFFFFu;
+
+/// \brief A pinned in-memory page frame.
+struct Page {
+  PageId id = kInvalidPage;
+  std::array<char, kPageSize> data{};
+  bool dirty = false;
+  int pins = 0;
+};
+
+/// \brief I/O counters exposed for the benchmark harness.
+struct PagerStats {
+  uint64_t physical_reads = 0;
+  uint64_t physical_writes = 0;
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t evictions = 0;
+};
+
+/// \brief Page allocator + LRU buffer pool over one file.
+///
+/// Pages are allocated append-only (the engine frees space by dropping whole
+/// partition files, matching the ReTraTree storage discipline). Page reads
+/// pin frames; callers must `Unpin` when done. Dirty pages are written back
+/// on eviction and on `Flush`.
+class Pager {
+ public:
+  /// Opens `fname` under `env`. `cache_pages` bounds the buffer pool.
+  static StatusOr<std::unique_ptr<Pager>> Open(Env* env,
+                                               const std::string& fname,
+                                               size_t cache_pages = 256);
+
+  ~Pager();
+
+  Pager(const Pager&) = delete;
+  Pager& operator=(const Pager&) = delete;
+
+  /// Allocates a zeroed page at the end of the file; returns it pinned.
+  StatusOr<Page*> Allocate();
+
+  /// Fetches a page, reading from disk on a cache miss; returns it pinned.
+  StatusOr<Page*> Fetch(PageId id);
+
+  /// Releases a pin. Marks the page dirty when `dirty` is true.
+  void Unpin(Page* page, bool dirty);
+
+  /// Writes back all dirty pages and syncs the file.
+  Status Flush();
+
+  /// Number of pages in the file (allocated so far).
+  PageId num_pages() const { return num_pages_; }
+
+  const PagerStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = PagerStats{}; }
+
+ private:
+  Pager(Env* env, std::unique_ptr<RandomRWFile> file, size_t cache_pages);
+
+  Status EvictIfNeeded();
+  Status WriteBack(Page* page);
+
+  Env* env_;
+  std::unique_ptr<RandomRWFile> file_;
+  size_t cache_capacity_;
+  PageId num_pages_ = 0;
+
+  std::unordered_map<PageId, std::unique_ptr<Page>> frames_;
+  /// O(1) id -> frame fast path for the hot read paths (index descents);
+  /// entries are nullptr for non-resident pages.
+  std::vector<Page*> page_table_;
+  /// Approximate recency order (refreshed on miss, not on every hit — a
+  /// FIFO/LRU hybrid that keeps cache hits branch-cheap).
+  std::list<PageId> lru_;
+  std::unordered_map<PageId, std::list<PageId>::iterator> lru_pos_;
+
+  PagerStats stats_;
+};
+
+/// \brief RAII pin guard.
+class PinnedPage {
+ public:
+  PinnedPage(Pager* pager, Page* page) : pager_(pager), page_(page) {}
+  ~PinnedPage() {
+    if (page_ != nullptr) pager_->Unpin(page_, dirty_);
+  }
+  PinnedPage(const PinnedPage&) = delete;
+  PinnedPage& operator=(const PinnedPage&) = delete;
+  PinnedPage(PinnedPage&& o) noexcept
+      : pager_(o.pager_), page_(o.page_), dirty_(o.dirty_) {
+    o.page_ = nullptr;
+  }
+
+  Page* get() const { return page_; }
+  Page* operator->() const { return page_; }
+  void MarkDirty() { dirty_ = true; }
+
+ private:
+  Pager* pager_;
+  Page* page_;
+  bool dirty_ = false;
+};
+
+}  // namespace hermes::storage
+
+#endif  // HERMES_STORAGE_PAGER_H_

@@ -1,0 +1,73 @@
+#include "storage/partition_manager.h"
+
+#include <algorithm>
+#include <set>
+
+namespace hermes::storage {
+
+namespace {
+constexpr char kSuffix[] = ".part";
+}
+
+PartitionManager::PartitionManager(Env* env, std::string dir)
+    : env_(env), dir_(std::move(dir)) {}
+
+StatusOr<std::unique_ptr<PartitionManager>> PartitionManager::Open(
+    Env* env, const std::string& dir) {
+  HERMES_RETURN_NOT_OK(env->CreateDirs(dir));
+  return std::unique_ptr<PartitionManager>(new PartitionManager(env, dir));
+}
+
+std::string PartitionManager::FileName(const std::string& name) const {
+  return dir_ + "/" + name + kSuffix;
+}
+
+StatusOr<HeapFile*> PartitionManager::GetOrCreate(const std::string& name) {
+  auto it = open_.find(name);
+  if (it != open_.end()) return it->second.get();
+  HERMES_ASSIGN_OR_RETURN(std::unique_ptr<HeapFile> hf,
+                          HeapFile::Open(env_, FileName(name)));
+  HeapFile* raw = hf.get();
+  open_[name] = std::move(hf);
+  return raw;
+}
+
+bool PartitionManager::Exists(const std::string& name) const {
+  if (open_.count(name) > 0) return true;
+  return env_->FileExists(FileName(name));
+}
+
+Status PartitionManager::Drop(const std::string& name) {
+  auto it = open_.find(name);
+  if (it != open_.end()) {
+    open_.erase(it);  // Destructor flushes; file is deleted next.
+  } else if (!env_->FileExists(FileName(name))) {
+    return Status::NotFound("no partition " + name);
+  }
+  return env_->DeleteFile(FileName(name));
+}
+
+std::vector<std::string> PartitionManager::List() const {
+  std::set<std::string> names;
+  for (const auto& [name, hf] : open_) names.insert(name);
+  auto on_disk = env_->ListDir(dir_);
+  if (on_disk.ok()) {
+    for (const auto& fname : *on_disk) {
+      const size_t suffix_len = sizeof(kSuffix) - 1;
+      if (fname.size() > suffix_len &&
+          fname.compare(fname.size() - suffix_len, suffix_len, kSuffix) == 0) {
+        names.insert(fname.substr(0, fname.size() - suffix_len));
+      }
+    }
+  }
+  return std::vector<std::string>(names.begin(), names.end());
+}
+
+Status PartitionManager::FlushAll() {
+  for (auto& [name, hf] : open_) {
+    HERMES_RETURN_NOT_OK(hf->Flush());
+  }
+  return Status::OK();
+}
+
+}  // namespace hermes::storage

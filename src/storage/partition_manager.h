@@ -1,0 +1,56 @@
+#ifndef HERMES_STORAGE_PARTITION_MANAGER_H_
+#define HERMES_STORAGE_PARTITION_MANAGER_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/statusor.h"
+#include "storage/heap_file.h"
+
+namespace hermes::storage {
+
+/// \brief Named on-disk partitions backing the ReTraTree data level.
+///
+/// Each partition is one heap file in the manager's directory — the
+/// "pg3D-Rtree-k" member partitions and the outlier partitions of Fig. 2.
+/// Dropping a partition deletes its file (how ReTraTree reclaims space
+/// after re-clustering an outlier buffer).
+class PartitionManager {
+ public:
+  /// Creates a manager rooted at `dir` (created if absent).
+  static StatusOr<std::unique_ptr<PartitionManager>> Open(
+      Env* env, const std::string& dir);
+
+  /// Opens (creating if needed) the named partition.
+  StatusOr<HeapFile*> GetOrCreate(const std::string& name);
+
+  /// True when the partition exists (open or on disk).
+  bool Exists(const std::string& name) const;
+
+  /// Closes and deletes the named partition.
+  Status Drop(const std::string& name);
+
+  /// Names of all partitions (open handles plus on-disk files), sorted.
+  std::vector<std::string> List() const;
+
+  /// Flushes every open partition.
+  Status FlushAll();
+
+  const std::string& dir() const { return dir_; }
+
+ private:
+  PartitionManager(Env* env, std::string dir);
+
+  std::string FileName(const std::string& name) const;
+
+  Env* env_;
+  std::string dir_;
+  std::unordered_map<std::string, std::unique_ptr<HeapFile>> open_;
+};
+
+}  // namespace hermes::storage
+
+#endif  // HERMES_STORAGE_PARTITION_MANAGER_H_

@@ -1,0 +1,100 @@
+#include "traj/distance.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/mathutil.h"
+#include "geom/moving_point.h"
+
+namespace hermes::traj {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Positions of `t` at the sample times of both trajectories restricted to
+/// [t0, t1], merged and deduplicated, including both boundaries.
+std::vector<double> MergeBreakpoints(const Trajectory& a, const Trajectory& b,
+                                     double t0, double t1) {
+  std::vector<double> ts;
+  ts.push_back(t0);
+  for (const auto& p : a.samples()) {
+    if (p.t > t0 && p.t < t1) ts.push_back(p.t);
+  }
+  for (const auto& p : b.samples()) {
+    if (p.t > t0 && p.t < t1) ts.push_back(p.t);
+  }
+  ts.push_back(t1);
+  std::sort(ts.begin(), ts.end());
+  ts.erase(std::unique(ts.begin(), ts.end(),
+                       [](double x, double y) { return AlmostEqual(x, y); }),
+           ts.end());
+  return ts;
+}
+
+geom::Point3D SampleAt(const Trajectory& t, double time) {
+  auto p = t.PositionAt(time);
+  // Callers only ask inside the lifespan.
+  return {p->x, p->y, time};
+}
+}  // namespace
+
+TimeAwareDistance ComputeTimeAwareDistance(const Trajectory& a,
+                                           const Trajectory& b) {
+  TimeAwareDistance out;
+  if (a.size() < 2 || b.size() < 2) {
+    out.avg = out.min = kInf;
+    return out;
+  }
+  const double t0 = std::max(a.StartTime(), b.StartTime());
+  const double t1 = std::min(a.EndTime(), b.EndTime());
+  if (t0 >= t1) {
+    out.avg = out.min = kInf;
+    out.overlap = 0.0;
+    return out;
+  }
+  out.overlap = t1 - t0;
+  const double min_dur = std::min(a.Duration(), b.Duration());
+  out.overlap_ratio = min_dur > 0.0 ? out.overlap / min_dur : 0.0;
+
+  const std::vector<double> ts = MergeBreakpoints(a, b, t0, t1);
+  double integral = 0.0;
+  double min_d = kInf;
+  for (size_t i = 0; i + 1 < ts.size(); ++i) {
+    const double lo = ts[i];
+    const double hi = ts[i + 1];
+    if (hi <= lo) continue;
+    // Within (lo, hi) both objects move linearly, so the moving-point
+    // analysis is exact for this elementary interval.
+    geom::Segment3D sa(SampleAt(a, lo), SampleAt(a, hi));
+    geom::Segment3D sb(SampleAt(b, lo), SampleAt(b, hi));
+    const geom::MovingDistance md = geom::DistanceBetweenMoving(sa, sb);
+    integral += md.avg_dist * (hi - lo);
+    min_d = std::min(min_d, md.min_dist);
+  }
+  out.avg = integral / out.overlap;
+  out.min = min_d;
+  return out;
+}
+
+TimeAwareDistance ComputeTimeAwareDistance(const SubTrajectory& a,
+                                           const SubTrajectory& b) {
+  return ComputeTimeAwareDistance(a.points, b.points);
+}
+
+double ClusteringDistance(const Trajectory& a, const Trajectory& b,
+                          double min_overlap_ratio) {
+  const TimeAwareDistance d = ComputeTimeAwareDistance(a, b);
+  if (!d.Coexist() || d.overlap_ratio < min_overlap_ratio) return kInf;
+  return d.avg;
+}
+
+double TimeAwareSimilarity(const Trajectory& a, const Trajectory& b,
+                           double sigma, double min_overlap_ratio) {
+  const TimeAwareDistance d = ComputeTimeAwareDistance(a, b);
+  if (!d.Coexist() || d.overlap_ratio < min_overlap_ratio) return 0.0;
+  return GaussianKernel(d.avg, sigma) * Clamp(d.overlap_ratio, 0.0, 1.0);
+}
+
+}  // namespace hermes::traj

@@ -1,0 +1,48 @@
+#ifndef HERMES_TRAJ_DISTANCE_H_
+#define HERMES_TRAJ_DISTANCE_H_
+
+#include "traj/sub_trajectory.h"
+#include "traj/trajectory.h"
+
+namespace hermes::traj {
+
+/// \brief The time-aware distance between two (sub-)trajectories.
+///
+/// Defined over the intersection of the two lifespans: the positions are
+/// synchronized by linear interpolation and the Euclidean separation is
+/// averaged over time (piecewise-exact between breakpoints). When the
+/// lifespans are disjoint the distance is infinite — objects that never
+/// co-exist are never "close" in the time-aware sense. This is precisely
+/// the property TRACLUS lacks (spatial-only comparison).
+struct TimeAwareDistance {
+  double avg = 0.0;            ///< Time-averaged synchronized separation.
+  double min = 0.0;            ///< Minimum separation over the overlap.
+  double overlap = 0.0;        ///< Common lifespan duration (seconds).
+  double overlap_ratio = 0.0;  ///< overlap / min(duration_a, duration_b).
+
+  bool Coexist() const { return overlap > 0.0; }
+};
+
+/// Computes the time-aware distance between two polylines.
+TimeAwareDistance ComputeTimeAwareDistance(const Trajectory& a,
+                                           const Trajectory& b);
+
+/// Convenience overload on sub-trajectories.
+TimeAwareDistance ComputeTimeAwareDistance(const SubTrajectory& a,
+                                           const SubTrajectory& b);
+
+/// \brief Scalar distance used for clustering decisions: the average
+/// synchronized separation, or +inf when the temporal overlap ratio is
+/// below `min_overlap_ratio`.
+double ClusteringDistance(const Trajectory& a, const Trajectory& b,
+                          double min_overlap_ratio = 0.5);
+
+/// \brief Similarity in [0, 1]: Gaussian kernel of the clustering distance
+/// with bandwidth `sigma`, scaled by the temporal overlap ratio. 0 when the
+/// trajectories never co-exist.
+double TimeAwareSimilarity(const Trajectory& a, const Trajectory& b,
+                           double sigma, double min_overlap_ratio = 0.5);
+
+}  // namespace hermes::traj
+
+#endif  // HERMES_TRAJ_DISTANCE_H_

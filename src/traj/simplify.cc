@@ -1,0 +1,114 @@
+#include "traj/simplify.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "geom/segment.h"
+
+namespace hermes::traj {
+
+namespace {
+
+/// Recursive Douglas–Peucker over samples [first, last]; marks kept
+/// indices. Deviation combines the spatial distance to the chord with the
+/// time-synchronized displacement.
+void DouglasPeucker(const std::vector<geom::Point3D>& samples, size_t first,
+                    size_t last, double epsilon, std::vector<bool>* keep) {
+  if (last <= first + 1) return;
+  const geom::Point3D& a = samples[first];
+  const geom::Point3D& b = samples[last];
+  const geom::Segment2D chord(a.xy(), b.xy());
+
+  double worst = -1.0;
+  size_t worst_idx = first;
+  for (size_t i = first + 1; i < last; ++i) {
+    const double spatial = geom::PointSegmentDistance(samples[i].xy(), chord);
+    // Temporal guard: where would the simplified object be at t_i?
+    const geom::Point2D at_time = geom::InterpolateAt(a, b, samples[i].t);
+    const double temporal = geom::Distance(samples[i].xy(), at_time);
+    const double dev = std::max(spatial, temporal);
+    if (dev > worst) {
+      worst = dev;
+      worst_idx = i;
+    }
+  }
+  if (worst > epsilon) {
+    (*keep)[worst_idx] = true;
+    DouglasPeucker(samples, first, worst_idx, epsilon, keep);
+    DouglasPeucker(samples, worst_idx, last, epsilon, keep);
+  }
+}
+
+}  // namespace
+
+StatusOr<Trajectory> Simplify(const Trajectory& trajectory, double epsilon) {
+  if (epsilon <= 0.0) {
+    return Status::InvalidArgument("Simplify requires epsilon > 0");
+  }
+  if (trajectory.size() < 3) return trajectory;
+
+  const auto& samples = trajectory.samples();
+  std::vector<bool> keep(samples.size(), false);
+  keep.front() = keep.back() = true;
+  DouglasPeucker(samples, 0, samples.size() - 1, epsilon, &keep);
+
+  Trajectory out(trajectory.object_id());
+  for (size_t i = 0; i < samples.size(); ++i) {
+    if (keep[i]) {
+      HERMES_CHECK_OK(out.Append(samples[i]));
+    }
+  }
+  return out;
+}
+
+double MotionProfile::MeanSpeed() const {
+  if (speeds.empty()) return 0.0;
+  double s = 0.0;
+  for (double v : speeds) s += v;
+  return s / static_cast<double>(speeds.size());
+}
+
+double MotionProfile::MaxSpeed() const {
+  double m = 0.0;
+  for (double v : speeds) m = std::max(m, v);
+  return m;
+}
+
+MotionProfile ComputeMotionProfile(const Trajectory& trajectory) {
+  MotionProfile profile;
+  const size_t n = trajectory.NumSegments();
+  profile.speeds.reserve(n);
+  profile.headings.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const geom::Segment3D seg = trajectory.SegmentAt(i);
+    const double dur = seg.duration();
+    profile.speeds.push_back(dur > 0.0 ? seg.SpatialLength() / dur : 0.0);
+    const geom::Point2D d = seg.b.xy() - seg.a.xy();
+    profile.headings.push_back(std::atan2(d.y, d.x));
+  }
+  return profile;
+}
+
+double TotalTurning(const Trajectory& trajectory) {
+  const MotionProfile profile = ComputeMotionProfile(trajectory);
+  double total = 0.0;
+  for (size_t i = 1; i < profile.headings.size(); ++i) {
+    double dh = profile.headings[i] - profile.headings[i - 1];
+    while (dh > M_PI) dh -= 2 * M_PI;
+    while (dh < -M_PI) dh += 2 * M_PI;
+    total += std::fabs(dh);
+  }
+  return total;
+}
+
+bool LooksLikeLoop(const Trajectory& trajectory, double ratio) {
+  if (trajectory.size() < 4) return false;
+  const geom::Mbb3D box = trajectory.Bounds();
+  const double diag = std::hypot(box.max_x - box.min_x,
+                                 box.max_y - box.min_y);
+  if (diag <= 0.0) return trajectory.SpatialLength() > 0.0;
+  return trajectory.SpatialLength() > ratio * diag;
+}
+
+}  // namespace hermes::traj

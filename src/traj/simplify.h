@@ -1,0 +1,44 @@
+#ifndef HERMES_TRAJ_SIMPLIFY_H_
+#define HERMES_TRAJ_SIMPLIFY_H_
+
+#include <vector>
+
+#include "common/statusor.h"
+#include "traj/trajectory.h"
+
+namespace hermes::traj {
+
+/// \brief Douglas–Peucker simplification in the spatial plane with a
+/// temporal guard: a sample is also kept when dropping it would displace
+/// the interpolated position at its timestamp by more than `epsilon`
+/// (so the simplified trajectory stays a faithful *moving* object, not
+/// just a faithful polyline). Endpoints are always kept.
+///
+/// Returns InvalidArgument for epsilon <= 0; trajectories with fewer than
+/// three samples are returned unchanged.
+StatusOr<Trajectory> Simplify(const Trajectory& trajectory, double epsilon);
+
+/// \brief Per-segment motion profile of a trajectory.
+struct MotionProfile {
+  std::vector<double> speeds;    ///< m/s per segment (size = NumSegments).
+  std::vector<double> headings;  ///< Radians in (-pi, pi] per segment.
+
+  double MeanSpeed() const;
+  double MaxSpeed() const;
+};
+
+/// Computes speeds and headings for every segment.
+MotionProfile ComputeMotionProfile(const Trajectory& trajectory);
+
+/// \brief Total absolute heading change (radians) — large values indicate
+/// loops such as holding patterns (used by the Fig. 4 detector).
+double TotalTurning(const Trajectory& trajectory);
+
+/// \brief True when the trajectory loops: its path length exceeds
+/// `ratio` times its bounding-box diagonal (the holding-pattern signature
+/// from the aircraft demo).
+bool LooksLikeLoop(const Trajectory& trajectory, double ratio = 2.2);
+
+}  // namespace hermes::traj
+
+#endif  // HERMES_TRAJ_SIMPLIFY_H_

@@ -1,0 +1,24 @@
+#include "traj/sub_trajectory.h"
+
+#include <cstdio>
+
+namespace hermes::traj {
+
+std::string SubTrajectory::ToString() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "sub#%llu(obj=%llu, traj=%llu, n=%zu, [%.2f,%.2f], V=%.3f)",
+                static_cast<unsigned long long>(id),
+                static_cast<unsigned long long>(object_id),
+                static_cast<unsigned long long>(source_trajectory),
+                points.size(), StartTime(), EndTime(), mean_voting);
+  return buf;
+}
+
+SubTrajectory TrimToWindow(const SubTrajectory& st, double t0, double t1) {
+  SubTrajectory out = st;
+  out.points = st.points.Slice(t0, t1);
+  return out;
+}
+
+}  // namespace hermes::traj

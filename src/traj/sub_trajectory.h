@@ -1,0 +1,47 @@
+#ifndef HERMES_TRAJ_SUB_TRAJECTORY_H_
+#define HERMES_TRAJ_SUB_TRAJECTORY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "traj/trajectory.h"
+
+namespace hermes::traj {
+
+/// Identifier of a sub-trajectory within a clustering run / ReTraTree.
+using SubTrajectoryId = uint64_t;
+
+/// \brief A sub-trajectory: a contiguous piece of a source trajectory,
+/// materialized as its own polyline and carrying provenance plus the
+/// voting descriptor produced by NaTS.
+///
+/// Sub-trajectories are the unit of clustering in both S2T- and
+/// QuT-Clustering.
+struct SubTrajectory {
+  SubTrajectoryId id = 0;
+  TrajectoryId source_trajectory = 0;
+  ObjectId object_id = 0;
+  /// Index of the first source sample covered (provenance; boundary
+  /// samples introduced by temporal trimming keep the nearest index).
+  size_t first_sample_index = 0;
+  /// The movement itself.
+  Trajectory points;
+  /// Mean voting value over the covered segments (0 when unknown).
+  double mean_voting = 0.0;
+
+  double StartTime() const { return points.StartTime(); }
+  double EndTime() const { return points.EndTime(); }
+  double Duration() const { return points.Duration(); }
+  geom::Mbb3D Bounds() const { return points.Bounds(); }
+
+  std::string ToString() const;
+};
+
+/// \brief Trims `st` to the window [t0, t1]; result keeps provenance and
+/// voting descriptor. Returns an empty-points sub-trajectory when disjoint.
+SubTrajectory TrimToWindow(const SubTrajectory& st, double t0, double t1);
+
+}  // namespace hermes::traj
+
+#endif  // HERMES_TRAJ_SUB_TRAJECTORY_H_

@@ -1,0 +1,127 @@
+#include "traj/trajectory_store.h"
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace hermes::traj {
+
+StatusOr<TrajectoryId> TrajectoryStore::Add(Trajectory trajectory) {
+  HERMES_RETURN_NOT_OK(trajectory.Validate());
+  if (trajectory.empty()) {
+    return Status::InvalidArgument("empty trajectory");
+  }
+  const TrajectoryId id = trajectories_.size();
+  num_points_ += trajectory.size();
+  by_object_[trajectory.object_id()].push_back(id);
+  trajectories_.push_back(std::move(trajectory));
+  return id;
+}
+
+const Trajectory& TrajectoryStore::Get(TrajectoryId id) const {
+  HERMES_CHECK(id < trajectories_.size()) << "trajectory id out of range";
+  return trajectories_[id];
+}
+
+size_t TrajectoryStore::NumSegments() const {
+  size_t n = 0;
+  for (const auto& t : trajectories_) n += t.NumSegments();
+  return n;
+}
+
+std::vector<TrajectoryId> TrajectoryStore::TrajectoriesOf(
+    ObjectId object) const {
+  auto it = by_object_.find(object);
+  if (it == by_object_.end()) return {};
+  return it->second;
+}
+
+geom::Mbb3D TrajectoryStore::Bounds() const {
+  geom::Mbb3D box;
+  for (const auto& t : trajectories_) box.Extend(t.Bounds());
+  return box;
+}
+
+std::pair<double, double> TrajectoryStore::TimeDomain() const {
+  if (trajectories_.empty()) return {0.0, 0.0};
+  double lo = trajectories_.front().StartTime();
+  double hi = trajectories_.front().EndTime();
+  for (const auto& t : trajectories_) {
+    lo = std::min(lo, t.StartTime());
+    hi = std::max(hi, t.EndTime());
+  }
+  return {lo, hi};
+}
+
+geom::Segment3D TrajectoryStore::Resolve(const SegmentRef& ref) const {
+  return Get(ref.trajectory).SegmentAt(ref.segment_index);
+}
+
+Status TrajectoryStore::LoadCsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open " + path);
+
+  // Buffer per object id, preserving file order within each object.
+  std::map<ObjectId, Trajectory> builders;
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    if (line_no == 1 && line.find_first_not_of(
+                            "0123456789+-.eE, \t") != std::string::npos) {
+      continue;  // Header row.
+    }
+    std::istringstream ss(line);
+    std::string field;
+    double vals[4];
+    int k = 0;
+    while (k < 4 && std::getline(ss, field, ',')) {
+      try {
+        vals[k] = std::stod(field);
+      } catch (...) {
+        return Status::Corruption("bad CSV field at line " +
+                                  std::to_string(line_no));
+      }
+      ++k;
+    }
+    if (k != 4) {
+      return Status::Corruption("expected obj_id,t,x,y at line " +
+                                std::to_string(line_no));
+    }
+    const ObjectId obj = static_cast<ObjectId>(vals[0]);
+    auto [it, inserted] = builders.try_emplace(obj, Trajectory(obj));
+    Status st = it->second.Append({vals[2], vals[3], vals[1]});
+    if (!st.ok()) {
+      return Status::Corruption("line " + std::to_string(line_no) + ": " +
+                                st.message());
+    }
+  }
+  for (auto& [obj, t] : builders) {
+    HERMES_RETURN_NOT_OK(Add(std::move(t)).ok()
+                             ? Status::OK()
+                             : Status::Corruption("add failed"));
+  }
+  return Status::OK();
+}
+
+Status TrajectoryStore::SaveCsv(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open " + path);
+  out << "obj_id,t,x,y\n";
+  for (const auto& t : trajectories_) {
+    for (const auto& p : t.samples()) {
+      char buf[128];
+      std::snprintf(buf, sizeof(buf), "%llu,%.6f,%.6f,%.6f\n",
+                    static_cast<unsigned long long>(t.object_id()), p.t, p.x,
+                    p.y);
+      out << buf;
+    }
+  }
+  return out ? Status::OK() : Status::IOError("write failed");
+}
+
+}  // namespace hermes::traj

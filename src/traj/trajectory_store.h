@@ -1,0 +1,71 @@
+#ifndef HERMES_TRAJ_TRAJECTORY_STORE_H_
+#define HERMES_TRAJ_TRAJECTORY_STORE_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/statusor.h"
+#include "traj/trajectory.h"
+
+namespace hermes::traj {
+
+/// \brief Reference to one 3D segment inside a store: (trajectory, index).
+struct SegmentRef {
+  TrajectoryId trajectory = 0;
+  uint32_t segment_index = 0;
+
+  bool operator==(const SegmentRef& o) const {
+    return trajectory == o.trajectory && segment_index == o.segment_index;
+  }
+};
+
+/// \brief The Moving Object Database (MOD): an append-only collection of
+/// trajectories with aggregate statistics and CSV import/export.
+///
+/// This plays the role of the Hermes@PostgreSQL relation holding the raw
+/// trajectory data; on top of it the voting engine builds the pg3D-Rtree
+/// and the ReTraTree partitions its contents.
+class TrajectoryStore {
+ public:
+  TrajectoryStore() = default;
+
+  /// Adds a trajectory after validation; returns its id.
+  StatusOr<TrajectoryId> Add(Trajectory trajectory);
+
+  const Trajectory& Get(TrajectoryId id) const;
+  size_t NumTrajectories() const { return trajectories_.size(); }
+  size_t NumPoints() const { return num_points_; }
+  size_t NumSegments() const;
+
+  const std::vector<Trajectory>& trajectories() const { return trajectories_; }
+
+  /// Ids of all trajectories of one object (an object may have several
+  /// recorded trips).
+  std::vector<TrajectoryId> TrajectoriesOf(ObjectId object) const;
+
+  /// Bounding box over the whole MOD.
+  geom::Mbb3D Bounds() const;
+  /// [min start time, max end time] over the MOD; (0,0) when empty.
+  std::pair<double, double> TimeDomain() const;
+
+  /// Resolves a segment reference to its geometry.
+  geom::Segment3D Resolve(const SegmentRef& ref) const;
+
+  /// \brief Loads `obj_id,t,x,y` CSV rows (header optional). Rows of one
+  /// object must be time-ordered; each object yields one trajectory.
+  Status LoadCsv(const std::string& path);
+
+  /// Writes the store as `obj_id,t,x,y` CSV.
+  Status SaveCsv(const std::string& path) const;
+
+ private:
+  std::vector<Trajectory> trajectories_;
+  std::unordered_map<ObjectId, std::vector<TrajectoryId>> by_object_;
+  size_t num_points_ = 0;
+};
+
+}  // namespace hermes::traj
+
+#endif  // HERMES_TRAJ_TRAJECTORY_STORE_H_

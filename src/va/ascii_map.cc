@@ -1,0 +1,120 @@
+#include "va/ascii_map.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "va/exporters.h"
+
+namespace hermes::va {
+
+namespace {
+char GlyphFor(int cluster) {
+  if (cluster < 0) return '.';
+  return static_cast<char>('A' + (cluster % 26));
+}
+
+struct Canvas {
+  size_t width;
+  size_t height;
+  geom::Mbb3D bounds;
+  std::vector<char> cells;
+
+  Canvas(size_t w, size_t h, const geom::Mbb3D& b)
+      : width(w), height(h), bounds(b), cells(w * h, ' ') {}
+
+  void Plot(double x, double y, char glyph) {
+    if (bounds.max_x <= bounds.min_x || bounds.max_y <= bounds.min_y) return;
+    const double u = (x - bounds.min_x) / (bounds.max_x - bounds.min_x);
+    const double v = (y - bounds.min_y) / (bounds.max_y - bounds.min_y);
+    if (u < 0.0 || u > 1.0 || v < 0.0 || v > 1.0) return;
+    const size_t cx =
+        std::min(width - 1, static_cast<size_t>(u * (width - 1)));
+    const size_t cy =
+        std::min(height - 1, static_cast<size_t>((1.0 - v) * (height - 1)));
+    char& cell = cells[cy * width + cx];
+    // Cluster glyphs win over outlier dots.
+    if (cell == ' ' || cell == '.') cell = glyph;
+  }
+
+  std::string ToString() const {
+    std::string out;
+    out.reserve((width + 1) * height);
+    for (size_t y = 0; y < height; ++y) {
+      out.append(&cells[y * width], width);
+      out.push_back('\n');
+    }
+    return out;
+  }
+};
+
+void PlotSub(Canvas* canvas, int cluster, const traj::SubTrajectory& st) {
+  for (const auto& p : st.points.samples()) {
+    canvas->Plot(p.x, p.y, GlyphFor(cluster));
+  }
+}
+}  // namespace
+
+std::string RenderAsciiMap(const core::S2TResult& result, size_t width,
+                           size_t height) {
+  geom::Mbb3D bounds;
+  for (const auto& st : result.sub_trajectories) bounds.Extend(st.Bounds());
+  Canvas canvas(width, height, bounds);
+  for (size_t o : result.clustering.outliers) {
+    PlotSub(&canvas, -1, result.sub_trajectories[o]);
+  }
+  for (size_t ci = 0; ci < result.clustering.clusters.size(); ++ci) {
+    for (size_t m : result.clustering.clusters[ci].members) {
+      PlotSub(&canvas, static_cast<int>(ci), result.sub_trajectories[m]);
+    }
+  }
+  return canvas.ToString();
+}
+
+std::string RenderQuTAsciiMap(const core::QuTResult& result, size_t width,
+                              size_t height) {
+  geom::Mbb3D bounds;
+  for (const auto& c : result.clusters) {
+    for (const auto& m : c.members) bounds.Extend(m.Bounds());
+  }
+  for (const auto& o : result.outliers) bounds.Extend(o.Bounds());
+  Canvas canvas(width, height, bounds);
+  for (const auto& o : result.outliers) PlotSub(&canvas, -1, o);
+  for (size_t ci = 0; ci < result.clusters.size(); ++ci) {
+    for (const auto& m : result.clusters[ci].members) {
+      PlotSub(&canvas, static_cast<int>(ci), m);
+    }
+  }
+  return canvas.ToString();
+}
+
+std::string RenderAsciiHistogram(const core::S2TResult& result, size_t bins,
+                                 size_t max_width) {
+  const TimeHistogram h = BuildTimeHistogram(result, bins);
+  if (h.counts.empty()) return "(empty)\n";
+  size_t max_total = 1;
+  for (const auto& row : h.counts) {
+    size_t total = 0;
+    for (size_t c : row) total += c;
+    max_total = std::max(max_total, total);
+  }
+  std::string out;
+  const double width = (h.t1 - h.t0) / static_cast<double>(h.bins);
+  for (size_t b = 0; b < h.bins; ++b) {
+    char head[48];
+    std::snprintf(head, sizeof(head), "%9.0f |", h.t0 + b * width);
+    out += head;
+    const auto& row = h.counts[b];
+    for (size_t c = 0; c < row.size(); ++c) {
+      const int cluster =
+          (c + 1 == row.size()) ? -1 : static_cast<int>(c);
+      const size_t scaled =
+          (row[c] * max_width + max_total - 1) / max_total;
+      out.append(scaled, GlyphFor(cluster));
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+}  // namespace hermes::va

@@ -1,0 +1,27 @@
+#ifndef HERMES_VA_ASCII_MAP_H_
+#define HERMES_VA_ASCII_MAP_H_
+
+#include <string>
+
+#include "core/qut_clustering.h"
+#include "core/s2t_clustering.h"
+
+namespace hermes::va {
+
+/// \brief Terminal stand-in for the V-Analytics map display: renders
+/// cluster members as cluster-labelled characters ('A'..'Z' cycling;
+/// '.' = outliers) on a width x height character grid.
+std::string RenderAsciiMap(const core::S2TResult& result, size_t width = 100,
+                           size_t height = 32);
+
+std::string RenderQuTAsciiMap(const core::QuTResult& result,
+                              size_t width = 100, size_t height = 32);
+
+/// \brief Terminal time histogram (Fig. 1 middle): one row per time bin,
+/// cluster cardinality as a bar of cluster letters.
+std::string RenderAsciiHistogram(const core::S2TResult& result,
+                                 size_t bins = 24, size_t max_width = 72);
+
+}  // namespace hermes::va
+
+#endif  // HERMES_VA_ASCII_MAP_H_

@@ -1,0 +1,237 @@
+#include "va/exporters.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+
+namespace hermes::va {
+
+namespace {
+/// 12-color qualitative palette (ColorBrewer Paired-like).
+constexpr Color kPalette[] = {
+    {31, 119, 180}, {255, 127, 14}, {44, 160, 44},  {214, 39, 40},
+    {148, 103, 189}, {140, 86, 75},  {227, 119, 194}, {127, 127, 127},
+    {188, 189, 34}, {23, 190, 207}, {174, 199, 232}, {255, 187, 120},
+};
+constexpr Color kOutlierColor = {80, 80, 80};
+
+void WritePolyline(std::ofstream& out, int cluster_id, const Color& color,
+                   const traj::SubTrajectory& st) {
+  size_t seq = 0;
+  for (const auto& p : st.points.samples()) {
+    char buf[192];
+    std::snprintf(buf, sizeof(buf), "%d,%s,%llu,%llu,%zu,%.3f,%.3f,%.3f\n",
+                  cluster_id, color.ToHex().c_str(),
+                  static_cast<unsigned long long>(st.object_id),
+                  static_cast<unsigned long long>(st.id), seq++, p.x, p.y,
+                  p.t);
+    out << buf;
+  }
+}
+}  // namespace
+
+std::string Color::ToHex() const {
+  char buf[8];
+  std::snprintf(buf, sizeof(buf), "#%02x%02x%02x", r, g, b);
+  return buf;
+}
+
+Color ColorFor(int cluster_id) {
+  if (cluster_id < 0) return kOutlierColor;
+  return kPalette[static_cast<size_t>(cluster_id) %
+                  (sizeof(kPalette) / sizeof(kPalette[0]))];
+}
+
+Status ExportClusterMapCsv(const std::string& path,
+                           const core::S2TResult& result) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open " + path);
+  out << "cluster_id,color,object_id,sub_id,seq,x,y,t\n";
+  for (size_t ci = 0; ci < result.clustering.clusters.size(); ++ci) {
+    for (size_t m : result.clustering.clusters[ci].members) {
+      WritePolyline(out, static_cast<int>(ci), ColorFor(static_cast<int>(ci)),
+                    result.sub_trajectories[m]);
+    }
+  }
+  for (size_t o : result.clustering.outliers) {
+    WritePolyline(out, -1, kOutlierColor, result.sub_trajectories[o]);
+  }
+  return out ? Status::OK() : Status::IOError("write failed");
+}
+
+Status ExportQuTMapCsv(const std::string& path,
+                       const core::QuTResult& result) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open " + path);
+  out << "cluster_id,color,object_id,sub_id,seq,x,y,t\n";
+  for (size_t ci = 0; ci < result.clusters.size(); ++ci) {
+    for (const auto& m : result.clusters[ci].members) {
+      WritePolyline(out, static_cast<int>(ci), ColorFor(static_cast<int>(ci)),
+                    m);
+    }
+  }
+  for (const auto& o : result.outliers) {
+    WritePolyline(out, -1, kOutlierColor, o);
+  }
+  return out ? Status::OK() : Status::IOError("write failed");
+}
+
+namespace {
+template <typename MemberVisitor>
+TimeHistogram BuildHistogramImpl(size_t num_clusters, size_t bins,
+                                 const MemberVisitor& visit) {
+  TimeHistogram h;
+  h.bins = bins;
+  // Pass 1: time domain.
+  double t0 = std::numeric_limits<double>::infinity();
+  double t1 = -std::numeric_limits<double>::infinity();
+  visit([&](int, const traj::SubTrajectory& st) {
+    t0 = std::min(t0, st.StartTime());
+    t1 = std::max(t1, st.EndTime());
+  });
+  if (!(t1 > t0) || bins == 0) return h;
+  h.t0 = t0;
+  h.t1 = t1;
+  h.counts.assign(bins, std::vector<size_t>(num_clusters + 1, 0));
+  const double width = (t1 - t0) / static_cast<double>(bins);
+  // Pass 2: member alive per bin.
+  visit([&](int cluster, const traj::SubTrajectory& st) {
+    const size_t col =
+        cluster < 0 ? num_clusters : static_cast<size_t>(cluster);
+    size_t first = static_cast<size_t>((st.StartTime() - t0) / width);
+    size_t last = static_cast<size_t>((st.EndTime() - t0) / width);
+    first = std::min(first, bins - 1);
+    last = std::min(last, bins - 1);
+    for (size_t b = first; b <= last; ++b) ++h.counts[b][col];
+  });
+  return h;
+}
+}  // namespace
+
+TimeHistogram BuildTimeHistogram(const core::S2TResult& result, size_t bins) {
+  return BuildHistogramImpl(
+      result.clustering.clusters.size(), bins, [&](auto&& fn) {
+        for (size_t ci = 0; ci < result.clustering.clusters.size(); ++ci) {
+          for (size_t m : result.clustering.clusters[ci].members) {
+            fn(static_cast<int>(ci), result.sub_trajectories[m]);
+          }
+        }
+        for (size_t o : result.clustering.outliers) {
+          fn(-1, result.sub_trajectories[o]);
+        }
+      });
+}
+
+TimeHistogram BuildQuTTimeHistogram(const core::QuTResult& result,
+                                    size_t bins) {
+  return BuildHistogramImpl(
+      result.clusters.size(), bins, [&](auto&& fn) {
+        for (size_t ci = 0; ci < result.clusters.size(); ++ci) {
+          for (const auto& m : result.clusters[ci].members) {
+            fn(static_cast<int>(ci), m);
+          }
+        }
+        for (const auto& o : result.outliers) fn(-1, o);
+      });
+}
+
+namespace {
+Status WriteHistogramCsv(const std::string& path, const TimeHistogram& h) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open " + path);
+  out << "bin_start,bin_end,cluster_id,members_alive\n";
+  if (h.bins == 0 || h.counts.empty()) return Status::OK();
+  const double width = (h.t1 - h.t0) / static_cast<double>(h.bins);
+  const size_t cols = h.counts[0].size();
+  for (size_t b = 0; b < h.bins; ++b) {
+    for (size_t c = 0; c < cols; ++c) {
+      const int cluster_id =
+          (c + 1 == cols) ? -1 : static_cast<int>(c);  // Last col: outliers.
+      char buf[128];
+      std::snprintf(buf, sizeof(buf), "%.3f,%.3f,%d,%zu\n",
+                    h.t0 + b * width, h.t0 + (b + 1) * width, cluster_id,
+                    h.counts[b][c]);
+      out << buf;
+    }
+  }
+  return out ? Status::OK() : Status::IOError("write failed");
+}
+}  // namespace
+
+Status ExportTimeHistogramCsv(const std::string& path,
+                              const core::S2TResult& result, size_t bins) {
+  return WriteHistogramCsv(path, BuildTimeHistogram(result, bins));
+}
+
+Status ExportQuTTimeHistogramCsv(const std::string& path,
+                                 const core::QuTResult& result, size_t bins) {
+  return WriteHistogramCsv(path, BuildQuTTimeHistogram(result, bins));
+}
+
+Status Export3DShapesCsv(const std::string& path,
+                         const core::S2TResult& result,
+                         const std::string& series_name,
+                         bool representatives_only) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open " + path);
+  out << "series,cluster_id,kind,sub_id,seq,x,y,t\n";
+  auto write = [&](int cluster, const char* kind,
+                   const traj::SubTrajectory& st) {
+    size_t seq = 0;
+    for (const auto& p : st.points.samples()) {
+      char buf[224];
+      std::snprintf(buf, sizeof(buf), "%s,%d,%s,%llu,%zu,%.3f,%.3f,%.3f\n",
+                    series_name.c_str(), cluster, kind,
+                    static_cast<unsigned long long>(st.id), seq++, p.x, p.y,
+                    p.t);
+      out << buf;
+    }
+  };
+  for (size_t ci = 0; ci < result.clustering.clusters.size(); ++ci) {
+    const auto& cluster = result.clustering.clusters[ci];
+    write(static_cast<int>(ci), "rep",
+          result.sub_trajectories[cluster.representative]);
+    if (!representatives_only) {
+      for (size_t m : cluster.members) {
+        if (m == cluster.representative) continue;
+        write(static_cast<int>(ci), "member", result.sub_trajectories[m]);
+      }
+    }
+  }
+  return out ? Status::OK() : Status::IOError("write failed");
+}
+
+Status ExportGeoJson(const std::string& path, const core::S2TResult& result) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open " + path);
+  out << "{\"type\":\"FeatureCollection\",\"features\":[";
+  bool first = true;
+  auto write = [&](int cluster, const traj::SubTrajectory& st) {
+    if (!first) out << ",";
+    first = false;
+    out << "{\"type\":\"Feature\",\"properties\":{\"cluster\":" << cluster
+        << ",\"object\":" << st.object_id << ",\"color\":\""
+        << ColorFor(cluster).ToHex() << "\"},\"geometry\":{\"type\":"
+        << "\"LineString\",\"coordinates\":[";
+    for (size_t i = 0; i < st.points.size(); ++i) {
+      const auto& p = st.points[i];
+      if (i > 0) out << ",";
+      char buf[96];
+      std::snprintf(buf, sizeof(buf), "[%.3f,%.3f]", p.x, p.y);
+      out << buf;
+    }
+    out << "]}}";
+  };
+  for (size_t ci = 0; ci < result.clustering.clusters.size(); ++ci) {
+    for (size_t m : result.clustering.clusters[ci].members) {
+      write(static_cast<int>(ci), result.sub_trajectories[m]);
+    }
+  }
+  for (size_t o : result.clustering.outliers) {
+    write(-1, result.sub_trajectories[o]);
+  }
+  out << "]}";
+  return out ? Status::OK() : Status::IOError("write failed");
+}
+
+}  // namespace hermes::va

@@ -1,0 +1,68 @@
+#ifndef HERMES_VA_EXPORTERS_H_
+#define HERMES_VA_EXPORTERS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/qut_clustering.h"
+#include "core/s2t_clustering.h"
+
+namespace hermes::va {
+
+/// \brief RGB color assigned to a cluster (stable palette, cycling).
+struct Color {
+  uint8_t r = 0, g = 0, b = 0;
+  std::string ToHex() const;
+};
+
+/// Stable palette color for a cluster id (outliers use gray via id < 0).
+Color ColorFor(int cluster_id);
+
+/// \brief The data behind Fig. 1 (top): cluster-colored map polylines.
+/// CSV columns: cluster_id,color,object_id,sub_id,seq,x,y,t
+/// (cluster_id -1 = outlier).
+Status ExportClusterMapCsv(const std::string& path,
+                           const core::S2TResult& result);
+
+/// Same display for a QuT answer.
+Status ExportQuTMapCsv(const std::string& path, const core::QuTResult& result);
+
+/// \brief The data behind Fig. 1 (middle): evolution of cluster cardinality
+/// over time. CSV columns: bin_start,bin_end,cluster_id,members_alive.
+Status ExportTimeHistogramCsv(const std::string& path,
+                              const core::S2TResult& result, size_t bins);
+
+Status ExportQuTTimeHistogramCsv(const std::string& path,
+                                 const core::QuTResult& result, size_t bins);
+
+/// \brief The data behind Fig. 1 (bottom) / Fig. 3: 3D (x, y, t) shapes of
+/// cluster members or representatives.
+/// CSV columns: series,cluster_id,kind,seq,x,y,t  (kind: rep|member).
+Status Export3DShapesCsv(const std::string& path,
+                         const core::S2TResult& result,
+                         const std::string& series_name,
+                         bool representatives_only);
+
+/// \brief GeoJSON FeatureCollection of LineStrings with cluster properties
+/// (QGIS/Kepler-ready map display).
+Status ExportGeoJson(const std::string& path, const core::S2TResult& result);
+
+/// \brief Per-bin cluster cardinality table (the histogram's numbers),
+/// returned in memory for tests and terminal rendering.
+struct TimeHistogram {
+  double t0 = 0.0;
+  double t1 = 0.0;
+  size_t bins = 0;
+  /// counts[bin][cluster]; cluster index == result cluster order, the last
+  /// column is the outliers.
+  std::vector<std::vector<size_t>> counts;
+};
+
+TimeHistogram BuildTimeHistogram(const core::S2TResult& result, size_t bins);
+TimeHistogram BuildQuTTimeHistogram(const core::QuTResult& result,
+                                    size_t bins);
+
+}  // namespace hermes::va
+
+#endif  // HERMES_VA_EXPORTERS_H_

@@ -1,0 +1,217 @@
+#include "voting/voting.h"
+
+#include <algorithm>
+#include <cmath>
+#include <thread>
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "common/mathutil.h"
+#include "geom/moving_point.h"
+#include "rtree/str_bulk_load.h"
+
+namespace hermes::voting {
+
+double VotingResult::TotalVoting(traj::TrajectoryId tid) const {
+  double s = 0.0;
+  for (double v : votes[tid]) s += v;
+  return s;
+}
+
+double VotingResult::MeanVoting(traj::TrajectoryId tid) const {
+  if (votes[tid].empty()) return 0.0;
+  return TotalVoting(tid) / static_cast<double>(votes[tid].size());
+}
+
+namespace {
+
+/// Average synchronized distance between the moving point of `seg` and
+/// trajectory `other`, over the overlap of their lifespans; +inf when the
+/// overlap covers less than `min_overlap_ratio` of the segment's lifespan.
+double SegmentTrajectoryDistance(const geom::Segment3D& seg,
+                                 const traj::Trajectory& other,
+                                 double min_overlap_ratio) {
+  const double t0 = std::max(seg.a.t, other.StartTime());
+  const double t1 = std::min(seg.b.t, other.EndTime());
+  if (t0 >= t1) return std::numeric_limits<double>::infinity();
+  const double seg_dur = seg.duration();
+  if (seg_dur <= 0.0) return std::numeric_limits<double>::infinity();
+  if ((t1 - t0) / seg_dur < min_overlap_ratio) {
+    return std::numeric_limits<double>::infinity();
+  }
+
+  // Breakpoints: the other trajectory's sample times inside (t0, t1).
+  const auto& samples = other.samples();
+  auto it = std::lower_bound(
+      samples.begin(), samples.end(), t0,
+      [](const geom::Point3D& p, double v) { return p.t < v; });
+
+  double integral = 0.0;
+  double prev = t0;
+  auto piece = [&](double lo, double hi) {
+    if (hi <= lo) return;
+    auto pa = other.PositionAt(lo);
+    auto pb = other.PositionAt(hi);
+    geom::Segment3D other_piece({pa->x, pa->y, lo}, {pb->x, pb->y, hi});
+    const geom::MovingDistance md =
+        geom::DistanceBetweenMoving(seg, other_piece);
+    integral += md.avg_dist * (hi - lo);
+  };
+  for (; it != samples.end() && it->t < t1; ++it) {
+    if (it->t > prev) {
+      piece(prev, it->t);
+      prev = it->t;
+    }
+  }
+  piece(prev, t1);
+  return integral / (t1 - t0);
+}
+
+}  // namespace
+
+double VoteFor(const geom::Segment3D& seg, const traj::Trajectory& other,
+               const VotingParams& params) {
+  const double d =
+      SegmentTrajectoryDistance(seg, other, params.min_overlap_ratio);
+  if (!std::isfinite(d)) return 0.0;
+  if (d > params.cutoff_sigmas * params.sigma) return 0.0;  // Truncated.
+  return GaussianKernel(d, params.sigma);
+}
+
+StatusOr<VotingResult> ComputeVotingNaive(const traj::TrajectoryStore& store,
+                                          const VotingParams& params) {
+  if (params.sigma <= 0.0) {
+    return Status::InvalidArgument("sigma must be positive");
+  }
+  VotingResult result;
+  const size_t n = store.NumTrajectories();
+  result.votes.resize(n);
+  for (traj::TrajectoryId tid = 0; tid < n; ++tid) {
+    const traj::Trajectory& t = store.Get(tid);
+    result.votes[tid].assign(t.NumSegments(), 0.0);
+    for (size_t i = 0; i < t.NumSegments(); ++i) {
+      const geom::Segment3D seg = t.SegmentAt(i);
+      for (traj::TrajectoryId oid = 0; oid < n; ++oid) {
+        if (oid == tid) continue;
+        ++result.pairs_evaluated;
+        result.votes[tid][i] += VoteFor(seg, store.Get(oid), params);
+      }
+    }
+  }
+  return result;
+}
+
+namespace {
+
+/// Indexed voting for one trajectory; shared by the serial and parallel
+/// engines.
+Status VoteOneTrajectory(const traj::TrajectoryStore& store,
+                         const rtree::RTree3D& index,
+                         const VotingParams& params, traj::TrajectoryId tid,
+                         std::vector<double>* votes, uint64_t* pairs) {
+  const traj::Trajectory& t = store.Get(tid);
+  votes->assign(t.NumSegments(), 0.0);
+  const double radius = params.cutoff_sigmas * params.sigma;
+  std::vector<uint64_t> hits;  // Reused across segments.
+  std::vector<traj::TrajectoryId> candidates;
+  for (size_t i = 0; i < t.NumSegments(); ++i) {
+    const geom::Segment3D seg = t.SegmentAt(i);
+    // Range query: spatial expansion by the kernel truncation radius,
+    // exact lifespan in time. Any trajectory that could cast a non-zero
+    // vote has at least one segment intersecting this box.
+    const geom::Mbb3D query = seg.Bounds().Expanded(radius, 0.0);
+    HERMES_RETURN_NOT_OK(
+        index.SearchInto(query, rtree::QueryMode::kIntersects, &hits));
+    candidates.clear();
+    for (uint64_t datum : hits) {
+      const traj::SegmentRef ref = rtree::UnpackSegmentRef(datum);
+      if (ref.trajectory != tid) candidates.push_back(ref.trajectory);
+    }
+    std::sort(candidates.begin(), candidates.end());
+    candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                     candidates.end());
+    for (traj::TrajectoryId oid : candidates) {
+      ++*pairs;
+      (*votes)[i] += VoteFor(seg, store.Get(oid), params);
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+StatusOr<VotingResult> ComputeVotingIndexed(const traj::TrajectoryStore& store,
+                                            const rtree::RTree3D& index,
+                                            const VotingParams& params) {
+  if (params.sigma <= 0.0) {
+    return Status::InvalidArgument("sigma must be positive");
+  }
+  VotingResult result;
+  const size_t n = store.NumTrajectories();
+  result.votes.resize(n);
+  for (traj::TrajectoryId tid = 0; tid < n; ++tid) {
+    HERMES_RETURN_NOT_OK(VoteOneTrajectory(store, index, params, tid,
+                                           &result.votes[tid],
+                                           &result.pairs_evaluated));
+  }
+  return result;
+}
+
+StatusOr<VotingResult> ComputeVotingParallel(
+    const traj::TrajectoryStore& store, storage::Env* env,
+    const std::string& index_file, const VotingParams& params,
+    size_t num_threads) {
+  if (params.sigma <= 0.0) {
+    return Status::InvalidArgument("sigma must be positive");
+  }
+  if (num_threads == 0) {
+    return Status::InvalidArgument("need at least one thread");
+  }
+  if (!env->FileExists(index_file)) {
+    return Status::NotFound("no index file " + index_file);
+  }
+  const size_t n = store.NumTrajectories();
+  VotingResult result;
+  result.votes.resize(n);
+  num_threads = std::min(num_threads, std::max<size_t>(1, n));
+
+  std::vector<Status> statuses(num_threads, Status::OK());
+  std::vector<uint64_t> pairs(num_threads, 0);
+  std::vector<std::thread> workers;
+  workers.reserve(num_threads);
+  for (size_t w = 0; w < num_threads; ++w) {
+    workers.emplace_back([&, w]() {
+      // Private index handle: buffer pools must not be shared.
+      auto handle = rtree::RTree3D::Open(env, index_file);
+      if (!handle.ok()) {
+        statuses[w] = handle.status();
+        return;
+      }
+      for (traj::TrajectoryId tid = w; tid < n; tid += num_threads) {
+        Status st = VoteOneTrajectory(store, **handle, params, tid,
+                                      &result.votes[tid], &pairs[w]);
+        if (!st.ok()) {
+          statuses[w] = st;
+          return;
+        }
+      }
+    });
+  }
+  for (auto& t : workers) t.join();
+  for (const Status& st : statuses) {
+    HERMES_RETURN_NOT_OK(st);
+  }
+  for (uint64_t p : pairs) result.pairs_evaluated += p;
+  return result;
+}
+
+StatusOr<VotingResult> ComputeVoting(const traj::TrajectoryStore& store,
+                                     const VotingParams& params) {
+  auto env = storage::Env::NewMemEnv();
+  HERMES_ASSIGN_OR_RETURN(
+      std::unique_ptr<rtree::RTree3D> index,
+      rtree::BuildSegmentIndex(env.get(), "voting.idx", store));
+  return ComputeVotingIndexed(store, *index, params);
+}
+
+}  // namespace hermes::voting

@@ -1,0 +1,83 @@
+#ifndef HERMES_VOTING_VOTING_H_
+#define HERMES_VOTING_VOTING_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "common/statusor.h"
+#include "rtree/rtree3d.h"
+#include "storage/env.h"
+#include "traj/trajectory_store.h"
+
+namespace hermes::voting {
+
+/// \brief Parameters of the NaTS voting process.
+struct VotingParams {
+  /// Gaussian bandwidth of the vote kernel, in spatial units (meters).
+  double sigma = 100.0;
+  /// Kernel truncation radius, in sigmas: trajectories farther than
+  /// `cutoff_sigmas * sigma` everywhere during a segment's lifespan
+  /// contribute a 0 vote. Keeping the kernel compact makes the naive and
+  /// index-accelerated engines produce *identical* results.
+  double cutoff_sigmas = 3.0;
+  /// Minimum fraction of a segment's lifespan another trajectory must
+  /// co-exist with to cast a vote.
+  double min_overlap_ratio = 0.5;
+};
+
+/// \brief Per-trajectory voting descriptors: one value per 3D segment.
+///
+/// `votes[tid][i]` is the (fractional) number of other trajectories
+/// co-moving with segment i of trajectory tid — the paper's "value ranging
+/// from 0 to N ... how many trajectories co-move with that trajectory for a
+/// certain period of time".
+struct VotingResult {
+  std::vector<std::vector<double>> votes;
+  /// Candidate (segment, other-trajectory) pairs examined — the work metric
+  /// the index reduces.
+  uint64_t pairs_evaluated = 0;
+
+  double TotalVoting(traj::TrajectoryId tid) const;
+  double MeanVoting(traj::TrajectoryId tid) const;
+};
+
+/// \brief Computes voting descriptors for every trajectory in the MOD.
+///
+/// Two engines with identical output:
+///  - `ComputeVotingNaive` — the "corresponding PostgreSQL function":
+///    every segment is compared against every other trajectory, O(S·N).
+///  - `ComputeVotingIndexed` — the in-DBMS fast path: a pg3D-Rtree range
+///    query (segment MBB expanded by the kernel truncation radius) prunes
+///    the candidate set first.
+StatusOr<VotingResult> ComputeVotingNaive(const traj::TrajectoryStore& store,
+                                          const VotingParams& params);
+
+StatusOr<VotingResult> ComputeVotingIndexed(const traj::TrajectoryStore& store,
+                                            const rtree::RTree3D& index,
+                                            const VotingParams& params);
+
+/// Convenience: builds a temporary in-memory segment index, then runs the
+/// indexed engine.
+StatusOr<VotingResult> ComputeVoting(const traj::TrajectoryStore& store,
+                                     const VotingParams& params);
+
+/// \brief Multi-threaded indexed voting. `index_file` must name an
+/// existing segment index under `env` (e.g. built by
+/// `rtree::BuildSegmentIndex`); each worker opens its own read handle
+/// (the buffer pool is not shared across threads). Output is identical to
+/// the single-threaded engines.
+StatusOr<VotingResult> ComputeVotingParallel(
+    const traj::TrajectoryStore& store, storage::Env* env,
+    const std::string& index_file, const VotingParams& params,
+    size_t num_threads);
+
+/// \brief Vote cast by trajectory `other` for segment `seg`: the truncated
+/// Gaussian kernel of their time-synchronized average distance during the
+/// segment's lifespan. Exposed for tests.
+double VoteFor(const geom::Segment3D& seg, const traj::Trajectory& other,
+               const VotingParams& params);
+
+}  // namespace hermes::voting
+
+#endif  // HERMES_VOTING_VOTING_H_

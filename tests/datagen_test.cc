@@ -1,0 +1,227 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "datagen/aircraft.h"
+#include "datagen/maritime.h"
+#include "datagen/noise.h"
+#include "datagen/urban.h"
+
+namespace hermes::datagen {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Aircraft scenario
+// ---------------------------------------------------------------------------
+
+TEST(AircraftTest, DeterministicForSeed) {
+  AircraftScenarioParams p = AircraftScenarioParams::Default();
+  p.num_flights = 20;
+  auto a = GenerateAircraftScenario(p);
+  auto b = GenerateAircraftScenario(p);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->store.NumPoints(), b->store.NumPoints());
+  for (size_t tid = 0; tid < a->store.NumTrajectories(); ++tid) {
+    const auto& ta = a->store.Get(tid);
+    const auto& tb = b->store.Get(tid);
+    ASSERT_EQ(ta.size(), tb.size());
+    for (size_t i = 0; i < ta.size(); ++i) {
+      EXPECT_EQ(ta[i], tb[i]);
+    }
+  }
+}
+
+TEST(AircraftTest, FlightsAreValidTrajectories) {
+  AircraftScenarioParams p = AircraftScenarioParams::Default();
+  p.num_flights = 30;
+  auto scenario = GenerateAircraftScenario(p);
+  ASSERT_TRUE(scenario.ok());
+  EXPECT_EQ(scenario->store.NumTrajectories(), scenario->flights.size());
+  for (const auto& t : scenario->store.trajectories()) {
+    EXPECT_TRUE(t.Validate().ok());
+    EXPECT_GE(t.size(), 2u);
+  }
+}
+
+TEST(AircraftTest, NonOutliersLandAtTheirAirport) {
+  AircraftScenarioParams p = AircraftScenarioParams::Default();
+  p.num_flights = 40;
+  p.outlier_fraction = 0.0;
+  auto scenario = GenerateAircraftScenario(p);
+  ASSERT_TRUE(scenario.ok());
+  for (size_t i = 0; i < scenario->flights.size(); ++i) {
+    const FlightInfo& info = scenario->flights[i];
+    const auto& t = scenario->store.Get(i);
+    const geom::Point2D threshold = p.airports[info.airport].position;
+    EXPECT_LT(geom::Distance(t.back().xy(), threshold), 500.0)
+        << "flight " << i;
+  }
+}
+
+TEST(AircraftTest, HoldingFlightsAreLonger) {
+  AircraftScenarioParams p = AircraftScenarioParams::Default();
+  p.num_flights = 60;
+  p.outlier_fraction = 0.0;
+  p.holding_probability = 0.5;
+  auto scenario = GenerateAircraftScenario(p);
+  ASSERT_TRUE(scenario.ok());
+  double hold_len = 0, nohold_len = 0;
+  size_t holds = 0, noholds = 0;
+  for (size_t i = 0; i < scenario->flights.size(); ++i) {
+    const auto& t = scenario->store.Get(i);
+    if (scenario->flights[i].has_holding) {
+      hold_len += t.SpatialLength();
+      ++holds;
+    } else {
+      nohold_len += t.SpatialLength();
+      ++noholds;
+    }
+  }
+  ASSERT_GT(holds, 5u);
+  ASSERT_GT(noholds, 5u);
+  EXPECT_GT(hold_len / holds, nohold_len / noholds);
+}
+
+TEST(AircraftTest, HoldingLoopReturnsNearFix) {
+  // A holding flight passes near the approach fix multiple times.
+  AircraftScenarioParams p = AircraftScenarioParams::Default();
+  p.num_flights = 40;
+  p.outlier_fraction = 0.0;
+  p.holding_probability = 1.0;
+  p.min_holding_loops = 2;
+  p.max_holding_loops = 2;
+  auto scenario = GenerateAircraftScenario(p);
+  ASSERT_TRUE(scenario.ok());
+  for (size_t i = 0; i < scenario->flights.size(); ++i) {
+    const FlightInfo& info = scenario->flights[i];
+    const Airport& ap = p.airports[info.airport];
+    const geom::Point2D fix{
+        ap.position.x - std::cos(ap.runway_heading) * p.fix_distance,
+        ap.position.y - std::sin(ap.runway_heading) * p.fix_distance};
+    int near_fix_visits = 0;
+    bool was_near = false;
+    for (const auto& sample : scenario->store.Get(i).samples()) {
+      const bool near = geom::Distance(sample.xy(), fix) < 1500.0;
+      if (near && !was_near) ++near_fix_visits;
+      was_near = near;
+    }
+    EXPECT_GE(near_fix_visits, 2) << "flight " << i;
+  }
+}
+
+TEST(AircraftTest, RejectsBadParams) {
+  AircraftScenarioParams p = AircraftScenarioParams::Default();
+  p.airports.clear();
+  EXPECT_FALSE(GenerateAircraftScenario(p).ok());
+  p = AircraftScenarioParams::Default();
+  p.sample_dt = 0.0;
+  EXPECT_FALSE(GenerateAircraftScenario(p).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Maritime scenario
+// ---------------------------------------------------------------------------
+
+TEST(MaritimeTest, LaneShipsStayNearLane) {
+  MaritimeScenarioParams p;
+  p.num_ships = 30;
+  p.wanderer_fraction = 0.0;
+  p.lateral_sigma = 200.0;
+  auto scenario = GenerateMaritimeScenario(p);
+  ASSERT_TRUE(scenario.ok());
+  for (size_t i = 0; i < scenario->ships.size(); ++i) {
+    const ShipInfo& info = scenario->ships[i];
+    const auto [pa, pb] = scenario->effective_lanes[info.lane];
+    const geom::Segment2D lane(p.ports[pa], p.ports[pb]);
+    for (const auto& sample : scenario->store.Get(i).samples()) {
+      EXPECT_LT(geom::PointSegmentDistance(sample.xy(), lane), 2500.0);
+    }
+  }
+}
+
+TEST(MaritimeTest, DeterministicForSeed) {
+  MaritimeScenarioParams p;
+  p.num_ships = 15;
+  auto a = GenerateMaritimeScenario(p);
+  auto b = GenerateMaritimeScenario(p);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->store.NumPoints(), b->store.NumPoints());
+}
+
+TEST(MaritimeTest, NeedsTwoPorts) {
+  MaritimeScenarioParams p;
+  p.ports = {{0, 0}};
+  EXPECT_FALSE(GenerateMaritimeScenario(p).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Urban scenario
+// ---------------------------------------------------------------------------
+
+TEST(UrbanTest, VehiclesFollowGrid) {
+  UrbanScenarioParams p;
+  p.num_vehicles = 25;
+  auto scenario = GenerateUrbanScenario(p);
+  ASSERT_TRUE(scenario.ok());
+  EXPECT_GT(scenario->store.NumTrajectories(), 0u);
+  // Manhattan routes: every sample lies on a grid line (x or y is a
+  // multiple of the block length).
+  for (const auto& t : scenario->store.trajectories()) {
+    for (const auto& s : t.samples()) {
+      const double fx = std::fmod(s.x, p.block);
+      const double fy = std::fmod(s.y, p.block);
+      const bool on_x = fx < 1.0 || fx > p.block - 1.0;
+      const bool on_y = fy < 1.0 || fy > p.block - 1.0;
+      EXPECT_TRUE(on_x || on_y);
+    }
+  }
+}
+
+TEST(UrbanTest, RejectsTinyGrid) {
+  UrbanScenarioParams p;
+  p.grid_size = 1;
+  EXPECT_FALSE(GenerateUrbanScenario(p).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Noise / lanes helpers
+// ---------------------------------------------------------------------------
+
+TEST(NoiseTest, StaysWithinTimeBoundsAndValid) {
+  traj::TrajectoryStore store;
+  geom::Mbb3D bounds(0, 0, 100, 1000, 1000, 500);
+  ASSERT_TRUE(
+      AddNoiseTrajectories(&store, 5, bounds, 10.0, 10.0, 3, 50).ok());
+  EXPECT_EQ(store.NumTrajectories(), 5u);
+  for (const auto& t : store.trajectories()) {
+    EXPECT_TRUE(t.Validate().ok());
+    EXPECT_GE(t.StartTime(), 100.0);
+    EXPECT_LE(t.EndTime(), 500.0);
+    EXPECT_GE(t.object_id(), 50u);
+  }
+}
+
+TEST(NoiseTest, RejectsBadBounds) {
+  traj::TrajectoryStore store;
+  EXPECT_FALSE(
+      AddNoiseTrajectories(&store, 5, geom::Mbb3D(), 10.0, 10.0, 3, 0).ok());
+}
+
+TEST(LanesTest, GeometryMatchesSpec) {
+  traj::TrajectoryStore store =
+      MakeParallelLanes(3, 2, 100.0, 500.0, 10.0, 5.0, /*seed=*/1,
+                        /*jitter=*/0.0);
+  EXPECT_EQ(store.NumTrajectories(), 6u);
+  // Lane k objects have y == k*100 exactly (jitter 0).
+  for (size_t tid = 0; tid < 6; ++tid) {
+    const double expected_y = static_cast<double>(tid / 2) * 100.0;
+    for (const auto& s : store.Get(tid).samples()) {
+      EXPECT_DOUBLE_EQ(s.y, expected_y);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hermes::datagen

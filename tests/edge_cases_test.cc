@@ -1,0 +1,291 @@
+// Cross-module edge cases: behaviours at boundaries that the per-module
+// suites do not reach (negative time domains, parameter changes between
+// queries, stitching limits, degenerate inputs).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <thread>
+
+#include "core/qut_clustering.h"
+#include "core/retratree.h"
+#include "core/s2t_clustering.h"
+#include "datagen/noise.h"
+#include "rtree/str_bulk_load.h"
+#include "sql/executor.h"
+#include "storage/env.h"
+#include "va/exporters.h"
+#include "voting/voting.h"
+
+namespace hermes {
+namespace {
+
+traj::Trajectory Line(traj::ObjectId id, double y, double t0, double t1,
+                      double dt = 10.0) {
+  traj::Trajectory t(id);
+  for (double now = t0; now <= t1 + 1e-9; now += dt) {
+    EXPECT_TRUE(t.Append({(now - t0) * 10.0, y, now}).ok());
+  }
+  return t;
+}
+
+core::ReTraTreeParams SmallTree() {
+  core::ReTraTreeParams p;
+  p.tau = 400.0;
+  p.delta = 100.0;
+  p.t_align = 30.0;
+  p.d_assign = 80.0;
+  p.gamma = 8;
+  p.s2t.SetSigma(40.0).SetEpsilon(80.0);
+  p.s2t.segmentation.min_part_length = 2;
+  p.s2t.sampling.sigma = 120.0;
+  p.s2t.sampling.gain_stop_ratio = 0.2;
+  return p;
+}
+
+// ---------------------------------------------------------------------------
+// Negative / shifted time domains
+// ---------------------------------------------------------------------------
+
+TEST(EdgeCases, ReTraTreeHandlesNegativeTimes) {
+  auto env = storage::Env::NewMemEnv();
+  auto tree = core::ReTraTree::Open(env.get(), "neg", SmallTree());
+  ASSERT_TRUE(tree.ok());
+  // Trajectories living before the origin (t in [-395, -5]).
+  for (int k = 0; k < 12; ++k) {
+    ASSERT_TRUE((*tree)->Insert(Line(k, k * 10.0, -395, -5), k).ok());
+  }
+  ASSERT_TRUE((*tree)->Validate().ok());
+  EXPECT_FALSE((*tree)->chunks().empty());
+  for (const auto& [ci, chunk] : (*tree)->chunks()) {
+    EXPECT_LT(ci, 0);  // Negative chunk indices.
+  }
+  core::QuTClustering qut(tree->get());
+  auto result = qut.Query(-400, 0);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->TotalMembers() + result->outliers.size(), 0u);
+}
+
+TEST(EdgeCases, ReTraTreeOriginShiftAlignsChunks) {
+  auto env = storage::Env::NewMemEnv();
+  core::ReTraTreeParams p = SmallTree();
+  p.origin = 50.0;
+  auto tree = core::ReTraTree::Open(env.get(), "shift", p);
+  ASSERT_TRUE(tree.ok());
+  ASSERT_TRUE((*tree)->Insert(Line(1, 0, 50, 445), 0).ok());
+  const auto subchunks = (*tree)->SubChunksIn(50, 450);
+  ASSERT_EQ(subchunks.size(), 4u);
+  EXPECT_DOUBLE_EQ(subchunks.front()->start, 50.0);  // Grid starts at 50.
+}
+
+// ---------------------------------------------------------------------------
+// Stitching limits
+// ---------------------------------------------------------------------------
+
+TEST(EdgeCases, NoStitchAcrossTemporalGap) {
+  // Co-located lanes in sub-chunks 0 and 2 (nothing in 1): the cluster
+  // pieces are separated by a dead sub-chunk and must not merge.
+  auto env = storage::Env::NewMemEnv();
+  auto tree = core::ReTraTree::Open(env.get(), "gap", SmallTree());
+  ASSERT_TRUE(tree.ok());
+  for (int k = 0; k < 12; ++k) {
+    ASSERT_TRUE((*tree)->Insert(Line(k, k * 10.0, 0, 95), k).ok());
+    ASSERT_TRUE((*tree)->Insert(Line(100 + k, k * 10.0, 200, 295),
+                                100 + k)
+                    .ok());
+  }
+  core::QuTClustering qut(tree->get());
+  auto result = qut.Query(0, 400);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->stats.stitches, 0u);
+  for (const auto& cluster : result->clusters) {
+    // No cluster spans the dead zone (95, 200).
+    EXPECT_TRUE(cluster.EndTime() <= 100.0 + 1e-6 ||
+                cluster.StartTime() >= 200.0 - 1e-6);
+  }
+}
+
+TEST(EdgeCases, StitchRespectsSpatialGap) {
+  // Continuous in time but the flow teleports 10 km at the boundary:
+  // the representatives cannot be continuous, so no stitch.
+  auto env = storage::Env::NewMemEnv();
+  auto tree = core::ReTraTree::Open(env.get(), "tele", SmallTree());
+  ASSERT_TRUE(tree.ok());
+  for (int k = 0; k < 12; ++k) {
+    // Piece 1 in sub-chunk 0 at y ~ k*10.
+    ASSERT_TRUE((*tree)->Insert(Line(k, k * 10.0, 0, 95), k).ok());
+    // Piece 2 in sub-chunk 1 at y ~ 10000 + k*10.
+    ASSERT_TRUE(
+        (*tree)->Insert(Line(200 + k, 10000.0 + k * 10.0, 100, 195),
+                        200 + k)
+            .ok());
+  }
+  core::QuTClustering qut(tree->get());
+  auto result = qut.Query(0, 200);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->stats.stitches, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// SQL session dynamics
+// ---------------------------------------------------------------------------
+
+TEST(EdgeCases, QutTreeRebuiltOnParameterChange) {
+  sql::Session session;
+  traj::TrajectoryStore lanes = datagen::MakeParallelLanes(
+      1, 6, 10.0, 800.0, 10.0, 10.0, /*seed=*/3, /*jitter=*/1.0);
+  ASSERT_TRUE(session.RegisterStore("m", std::move(lanes)).ok());
+  ASSERT_TRUE(session.Execute("SELECT QUT(m, 0, 80, 40, 20, 6, 80, 6);").ok());
+  // Different tau: a new tree must be built (and still answer correctly).
+  auto result = session.Execute("SELECT QUT(m, 0, 80, 80, 20, 6, 80, 6);");
+  ASSERT_TRUE(result.ok());
+}
+
+TEST(EdgeCases, InsertInvalidatesExistingTree) {
+  sql::Session session;
+  traj::TrajectoryStore lanes = datagen::MakeParallelLanes(
+      1, 6, 10.0, 800.0, 10.0, 10.0, /*seed=*/3, /*jitter=*/1.0);
+  ASSERT_TRUE(session.RegisterStore("m", std::move(lanes)).ok());
+  ASSERT_TRUE(session.Execute("SELECT QUT(m, 0, 80, 40, 20, 6, 80, 6);").ok());
+  ASSERT_TRUE(
+      session.Execute("INSERT INTO m VALUES (99, 0, 0, 5), (99, 40, 400, 5);")
+          .ok());
+  // The rebuilt tree sees the new object.
+  auto result = session.Execute("SELECT QUT(m, 0, 80, 40, 20, 6, 80, 6);");
+  ASSERT_TRUE(result.ok());
+}
+
+// ---------------------------------------------------------------------------
+// Voting properties
+// ---------------------------------------------------------------------------
+
+TEST(EdgeCases, IdenticalCoMoversVoteNminusOne) {
+  // N identical trajectories: every segment receives N-1 full votes.
+  traj::TrajectoryStore store;
+  const int n = 6;
+  for (int k = 0; k < n; ++k) {
+    ASSERT_TRUE(store.Add(Line(k, 0.0, 0, 200)).ok());
+  }
+  voting::VotingParams vp{50.0, 3.0, 0.5};
+  auto votes = voting::ComputeVotingNaive(store, vp);
+  ASSERT_TRUE(votes.ok());
+  for (int k = 0; k < n; ++k) {
+    for (double v : votes->votes[k]) {
+      EXPECT_NEAR(v, n - 1.0, 1e-6);
+    }
+  }
+}
+
+TEST(EdgeCases, VotingOnEmptyStore) {
+  traj::TrajectoryStore store;
+  voting::VotingParams vp{50.0, 3.0, 0.5};
+  auto votes = voting::ComputeVotingNaive(store, vp);
+  ASSERT_TRUE(votes.ok());
+  EXPECT_TRUE(votes->votes.empty());
+}
+
+// ---------------------------------------------------------------------------
+// S2T degenerate inputs
+// ---------------------------------------------------------------------------
+
+TEST(EdgeCases, S2TSingleTrajectoryIsOutlier) {
+  traj::TrajectoryStore store;
+  ASSERT_TRUE(store.Add(Line(1, 0.0, 0, 200)).ok());
+  core::S2TParams p;
+  p.SetSigma(50.0).SetEpsilon(100.0);
+  core::S2TClustering s2t(p);
+  auto result = s2t.Run(store);
+  ASSERT_TRUE(result.ok());
+  // Nothing votes for it: no representative can be sampled.
+  EXPECT_EQ(result->NumClusters(), 0u);
+  EXPECT_GE(result->NumOutliers(), 1u);
+}
+
+TEST(EdgeCases, S2TEmptyStore) {
+  traj::TrajectoryStore store;
+  core::S2TParams p;
+  core::S2TClustering s2t(p);
+  auto result = s2t.Run(store);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->NumClusters(), 0u);
+  EXPECT_TRUE(result->sub_trajectories.empty());
+}
+
+// ---------------------------------------------------------------------------
+// VA on QuT answers
+// ---------------------------------------------------------------------------
+
+TEST(EdgeCases, QutMapCsvRoundTripCounts) {
+  auto env = storage::Env::NewMemEnv();
+  auto tree = core::ReTraTree::Open(env.get(), "vaq", SmallTree());
+  ASSERT_TRUE(tree.ok());
+  for (int k = 0; k < 12; ++k) {
+    ASSERT_TRUE((*tree)->Insert(Line(k, k * 10.0, 0, 95), k).ok());
+  }
+  core::QuTClustering qut(tree->get());
+  auto result = qut.Query(0, 100);
+  ASSERT_TRUE(result.ok());
+  const std::string path = "/tmp/hermes_qut_map.csv";
+  ASSERT_TRUE(va::ExportQuTMapCsv(path, *result).ok());
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  size_t lines = 0;
+  int c;
+  while ((c = std::fgetc(f)) != EOF) lines += (c == '\n');
+  std::fclose(f);
+  size_t expected = 1;  // Header.
+  for (const auto& cl : result->clusters) {
+    for (const auto& m : cl.members) expected += m.points.size();
+  }
+  for (const auto& o : result->outliers) expected += o.points.size();
+  EXPECT_EQ(lines, expected);
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Concurrency: independent read handles over one index file
+// ---------------------------------------------------------------------------
+
+TEST(EdgeCases, ConcurrentReadersSeeIdenticalAnswers) {
+  auto env = storage::Env::NewMemEnv();
+  traj::TrajectoryStore store = datagen::MakeParallelLanes(
+      4, 4, 100.0, 1000.0, 10.0, 10.0, /*seed=*/21, /*jitter=*/2.0);
+  {
+    auto built = rtree::BuildSegmentIndex(env.get(), "conc.idx", store);
+    ASSERT_TRUE(built.ok());
+    ASSERT_TRUE((*built)->Flush().ok());
+  }
+  const geom::Mbb3D query(0, 0, 10, 500, 400, 60);
+  // Reference answer from one handle.
+  auto ref_handle = rtree::RTree3D::Open(env.get(), "conc.idx");
+  ASSERT_TRUE(ref_handle.ok());
+  auto reference = (*ref_handle)->Search(query);
+  ASSERT_TRUE(reference.ok());
+  std::sort(reference->begin(), reference->end());
+
+  constexpr int kThreads = 4;
+  std::vector<std::thread> workers;
+  std::vector<bool> ok(kThreads, false);
+  for (int w = 0; w < kThreads; ++w) {
+    workers.emplace_back([&, w]() {
+      auto handle = rtree::RTree3D::Open(env.get(), "conc.idx");
+      if (!handle.ok()) return;
+      for (int round = 0; round < 50; ++round) {
+        auto got = (*handle)->Search(query);
+        if (!got.ok()) return;
+        std::sort(got->begin(), got->end());
+        if (*got != *reference) return;
+      }
+      ok[w] = true;
+    });
+  }
+  for (auto& t : workers) t.join();
+  for (int w = 0; w < kThreads; ++w) {
+    EXPECT_TRUE(ok[w]) << "worker " << w;
+  }
+}
+
+}  // namespace
+}  // namespace hermes

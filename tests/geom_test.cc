@@ -1,0 +1,319 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "geom/mbb.h"
+#include "geom/moving_point.h"
+#include "geom/point.h"
+#include "geom/segment.h"
+
+namespace hermes::geom {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Points
+// ---------------------------------------------------------------------------
+
+TEST(PointTest, ArithmeticOps) {
+  Point2D a{1.0, 2.0}, b{3.0, -1.0};
+  EXPECT_EQ((a + b), (Point2D{4.0, 1.0}));
+  EXPECT_EQ((a - b), (Point2D{-2.0, 3.0}));
+  EXPECT_EQ((a * 2.0), (Point2D{2.0, 4.0}));
+}
+
+TEST(PointTest, DistanceAndNorm) {
+  EXPECT_DOUBLE_EQ(Distance({0, 0}, {3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(SquaredDistance({0, 0}, {3, 4}), 25.0);
+  EXPECT_DOUBLE_EQ(Norm({3, 4}), 5.0);
+}
+
+TEST(PointTest, DotAndCross) {
+  EXPECT_DOUBLE_EQ(Dot({1, 0}, {0, 1}), 0.0);
+  EXPECT_DOUBLE_EQ(Dot({2, 3}, {4, 5}), 23.0);
+  EXPECT_DOUBLE_EQ(Cross({1, 0}, {0, 1}), 1.0);
+  EXPECT_DOUBLE_EQ(Cross({0, 1}, {1, 0}), -1.0);
+}
+
+TEST(PointTest, SpatialDistanceIgnoresTime) {
+  Point3D a{0, 0, 0}, b{3, 4, 999};
+  EXPECT_DOUBLE_EQ(SpatialDistance(a, b), 5.0);
+}
+
+TEST(PointTest, InterpolateAtMidpoint) {
+  Point3D a{0, 0, 0}, b{10, 20, 10};
+  const Point2D mid = InterpolateAt(a, b, 5.0);
+  EXPECT_DOUBLE_EQ(mid.x, 5.0);
+  EXPECT_DOUBLE_EQ(mid.y, 10.0);
+}
+
+TEST(PointTest, InterpolateClampsOutsideLifespan) {
+  Point3D a{0, 0, 0}, b{10, 0, 10};
+  EXPECT_DOUBLE_EQ(InterpolateAt(a, b, -5.0).x, 0.0);
+  EXPECT_DOUBLE_EQ(InterpolateAt(a, b, 15.0).x, 10.0);
+}
+
+TEST(PointTest, InterpolateDegenerateDuration) {
+  Point3D a{1, 2, 5}, b{9, 9, 5};
+  EXPECT_DOUBLE_EQ(InterpolateAt(a, b, 5.0).x, 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// Mbb3D
+// ---------------------------------------------------------------------------
+
+TEST(MbbTest, EmptyBoxBehaviour) {
+  Mbb3D box;
+  EXPECT_TRUE(box.empty());
+  EXPECT_DOUBLE_EQ(box.Volume(), 0.0);
+  EXPECT_FALSE(box.Intersects(box));
+  Mbb3D other(0, 0, 0, 1, 1, 1);
+  box.Extend(other);
+  EXPECT_EQ(box, other);  // Empty is the identity for Extend.
+}
+
+TEST(MbbTest, FromPointAndSegment) {
+  const Mbb3D p = Mbb3D::FromPoint({1, 2, 3});
+  EXPECT_TRUE(p.ContainsPoint({1, 2, 3}));
+  EXPECT_DOUBLE_EQ(p.Volume(), 0.0);
+  const Mbb3D s = Mbb3D::FromSegment({0, 5, 0}, {10, 1, 7});
+  EXPECT_DOUBLE_EQ(s.min_y, 1.0);
+  EXPECT_DOUBLE_EQ(s.max_y, 5.0);
+  EXPECT_DOUBLE_EQ(s.max_t, 7.0);
+}
+
+TEST(MbbTest, IntersectsSymmetricAndTouching) {
+  Mbb3D a(0, 0, 0, 1, 1, 1);
+  Mbb3D b(1, 1, 1, 2, 2, 2);  // Touches at the corner.
+  Mbb3D c(1.5, 0, 0, 3, 1, 1);
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_TRUE(b.Intersects(a));
+  EXPECT_FALSE(a.Intersects(c));
+}
+
+TEST(MbbTest, ContainsIsPartialOrder) {
+  Mbb3D outer(0, 0, 0, 10, 10, 10);
+  Mbb3D inner(2, 2, 2, 5, 5, 5);
+  EXPECT_TRUE(outer.Contains(inner));
+  EXPECT_FALSE(inner.Contains(outer));
+  EXPECT_TRUE(outer.Contains(outer));
+}
+
+TEST(MbbTest, VolumeAndMargin) {
+  Mbb3D box(0, 0, 0, 2, 3, 4);
+  EXPECT_DOUBLE_EQ(box.Volume(), 24.0);
+  EXPECT_DOUBLE_EQ(box.Margin(), 9.0);
+}
+
+TEST(MbbTest, IntersectionAndUnionVolume) {
+  Mbb3D a(0, 0, 0, 2, 2, 2);
+  Mbb3D b(1, 1, 1, 3, 3, 3);
+  EXPECT_DOUBLE_EQ(a.IntersectionVolume(b), 1.0);
+  EXPECT_DOUBLE_EQ(a.UnionVolume(b), 27.0);
+  Mbb3D c(5, 5, 5, 6, 6, 6);
+  EXPECT_DOUBLE_EQ(a.IntersectionVolume(c), 0.0);
+}
+
+TEST(MbbTest, ExpandedGrowsSpatialAndTemporal) {
+  Mbb3D box(0, 0, 0, 1, 1, 1);
+  Mbb3D e = box.Expanded(2.0, 3.0);
+  EXPECT_DOUBLE_EQ(e.min_x, -2.0);
+  EXPECT_DOUBLE_EQ(e.max_y, 3.0);
+  EXPECT_DOUBLE_EQ(e.min_t, -3.0);
+  EXPECT_DOUBLE_EQ(e.max_t, 4.0);
+}
+
+TEST(MbbTest, CenterOfBox) {
+  Mbb3D box(0, 2, 4, 2, 6, 8);
+  const Point3D c = box.Center();
+  EXPECT_DOUBLE_EQ(c.x, 1.0);
+  EXPECT_DOUBLE_EQ(c.y, 4.0);
+  EXPECT_DOUBLE_EQ(c.t, 6.0);
+}
+
+TEST(MbbTest, UnionCoversBothInputs) {
+  Mbb3D a(0, 0, 0, 1, 1, 1);
+  Mbb3D b(5, -2, 3, 6, 0, 4);
+  const Mbb3D u = Union(a, b);
+  EXPECT_TRUE(u.Contains(a));
+  EXPECT_TRUE(u.Contains(b));
+}
+
+// ---------------------------------------------------------------------------
+// 2D segment geometry
+// ---------------------------------------------------------------------------
+
+TEST(SegmentTest, PointSegmentDistanceInterior) {
+  Segment2D s({0, 0}, {10, 0});
+  EXPECT_DOUBLE_EQ(PointSegmentDistance({5, 3}, s), 3.0);
+}
+
+TEST(SegmentTest, PointSegmentDistanceBeyondEnds) {
+  Segment2D s({0, 0}, {10, 0});
+  EXPECT_DOUBLE_EQ(PointSegmentDistance({-3, 4}, s), 5.0);
+  EXPECT_DOUBLE_EQ(PointSegmentDistance({13, 4}, s), 5.0);
+}
+
+TEST(SegmentTest, ProjectionParameterClamped) {
+  Segment2D s({0, 0}, {10, 0});
+  EXPECT_DOUBLE_EQ(ProjectOntoSegment({5, 7}, s), 0.5);
+  EXPECT_DOUBLE_EQ(ProjectOntoSegment({-5, 0}, s), 0.0);
+  EXPECT_DOUBLE_EQ(ProjectOntoSegment({50, 0}, s), 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// TRACLUS distance components
+// ---------------------------------------------------------------------------
+
+TEST(TraclusDistanceTest, ParallelSegmentsPerpOnly) {
+  Segment2D longer({0, 0}, {10, 0});
+  Segment2D shorter({2, 3}, {8, 3});
+  const TraclusComponents c = TraclusComponentsOf(longer, shorter);
+  EXPECT_NEAR(c.perpendicular, 3.0, 1e-9);
+  EXPECT_NEAR(c.parallel, 0.0, 1e-9);  // Projections inside the longer.
+  EXPECT_NEAR(c.angular, 0.0, 1e-9);
+}
+
+TEST(TraclusDistanceTest, PerpendicularIsLehmerMean) {
+  Segment2D longer({0, 0}, {10, 0});
+  Segment2D shorter({2, 2}, {8, 4});
+  const TraclusComponents c = TraclusComponentsOf(longer, shorter);
+  // (l1^2 + l2^2) / (l1 + l2) with l1=2, l2=4.
+  EXPECT_NEAR(c.perpendicular, 20.0 / 6.0, 1e-9);
+}
+
+TEST(TraclusDistanceTest, ParallelDistanceBeyondEnd) {
+  Segment2D longer({0, 0}, {10, 0});
+  Segment2D shorter({12, 1}, {15, 1});
+  const TraclusComponents c = TraclusComponentsOf(longer, shorter);
+  EXPECT_NEAR(c.parallel, 2.0, 1e-9);  // Nearest projection 12 -> end 10.
+}
+
+TEST(TraclusDistanceTest, AngularUsesSinTheta) {
+  Segment2D longer({0, 0}, {10, 0});
+  Segment2D shorter({0, 0}, {3, 3});  // 45 degrees, length 3*sqrt(2).
+  const TraclusComponents c = TraclusComponentsOf(longer, shorter);
+  EXPECT_NEAR(c.angular, 3.0, 1e-9);  // len*sin(45) = 3.
+}
+
+TEST(TraclusDistanceTest, ObtuseAngleUsesFullLength) {
+  Segment2D longer({0, 0}, {10, 0});
+  Segment2D shorter({5, 0}, {2, 1});  // Points backwards.
+  const TraclusComponents c = TraclusComponentsOf(longer, shorter);
+  EXPECT_NEAR(c.angular, shorter.Length(), 1e-9);
+}
+
+TEST(TraclusDistanceTest, SymmetricViaOrdering) {
+  Segment2D a({0, 0}, {10, 0});
+  Segment2D b({2, 3}, {5, 4});
+  EXPECT_NEAR(TraclusDistance(a, b), TraclusDistance(b, a), 1e-9);
+}
+
+TEST(TraclusDistanceTest, IdenticalSegmentsZero) {
+  Segment2D a({1, 1}, {4, 5});
+  EXPECT_NEAR(TraclusDistance(a, a), 0.0, 1e-9);
+}
+
+TEST(TraclusDistanceTest, WeightsScaleComponents) {
+  Segment2D a({0, 0}, {10, 0});
+  Segment2D b({2, 3}, {8, 3});
+  const double base = TraclusDistance(a, b, 1.0, 1.0, 1.0);
+  const double doubled = TraclusDistance(a, b, 2.0, 1.0, 1.0);
+  EXPECT_NEAR(doubled, base + 3.0, 1e-9);  // Perp component is 3.
+}
+
+// ---------------------------------------------------------------------------
+// Moving-point distance
+// ---------------------------------------------------------------------------
+
+TEST(MovingPointTest, ParallelConstantSeparation) {
+  Segment3D u({0, 0, 0}, {10, 0, 10});
+  Segment3D v({0, 5, 0}, {10, 5, 10});
+  const MovingDistance d = DistanceBetweenMoving(u, v);
+  EXPECT_DOUBLE_EQ(d.overlap, 10.0);
+  EXPECT_NEAR(d.min_dist, 5.0, 1e-9);
+  EXPECT_NEAR(d.max_dist, 5.0, 1e-9);
+  EXPECT_NEAR(d.avg_dist, 5.0, 1e-9);
+}
+
+TEST(MovingPointTest, CrossingPathsMinNearZero) {
+  // Two objects crossing at t=5 at the same point.
+  Segment3D u({0, 0, 0}, {10, 0, 10});
+  Segment3D v({5, -5, 0}, {5, 5, 10});
+  const MovingDistance d = DistanceBetweenMoving(u, v);
+  EXPECT_NEAR(d.min_dist, 0.0, 1e-9);
+  EXPECT_NEAR(d.t_min, 5.0, 1e-9);
+  EXPECT_GT(d.avg_dist, 0.0);
+}
+
+TEST(MovingPointTest, DisjointLifespansInfinite) {
+  Segment3D u({0, 0, 0}, {1, 0, 1});
+  Segment3D v({0, 0, 5}, {1, 0, 6});
+  const MovingDistance d = DistanceBetweenMoving(u, v);
+  EXPECT_EQ(d.overlap, 0.0);
+  EXPECT_TRUE(std::isinf(d.min_dist));
+}
+
+TEST(MovingPointTest, InstantaneousOverlapPointDistance) {
+  Segment3D u({0, 0, 0}, {10, 0, 10});
+  Segment3D v({10, 3, 10}, {20, 3, 20});
+  const MovingDistance d = DistanceBetweenMoving(u, v);
+  EXPECT_EQ(d.overlap, 0.0);
+  EXPECT_NEAR(d.min_dist, 3.0, 1e-9);  // At the shared instant t=10.
+}
+
+TEST(MovingPointTest, PartialOverlapWindow) {
+  Segment3D u({0, 0, 0}, {10, 0, 10});
+  Segment3D v({0, 4, 5}, {10, 4, 15});
+  const MovingDistance d = DistanceBetweenMoving(u, v);
+  EXPECT_DOUBLE_EQ(d.overlap, 5.0);  // [5, 10].
+}
+
+TEST(MovingPointTest, SymmetricInArguments) {
+  Segment3D u({0, 0, 0}, {7, 3, 10});
+  Segment3D v({2, 8, 2}, {9, 1, 12});
+  const MovingDistance duv = DistanceBetweenMoving(u, v);
+  const MovingDistance dvu = DistanceBetweenMoving(v, u);
+  EXPECT_NEAR(duv.min_dist, dvu.min_dist, 1e-9);
+  EXPECT_NEAR(duv.avg_dist, dvu.avg_dist, 1e-9);
+  EXPECT_NEAR(duv.overlap, dvu.overlap, 1e-9);
+}
+
+TEST(MovingPointTest, AvgBetweenMinAndMax) {
+  Segment3D u({0, 0, 0}, {10, 0, 10});
+  Segment3D v({0, 2, 0}, {10, 8, 10});  // Diverging.
+  const MovingDistance d = DistanceBetweenMoving(u, v);
+  EXPECT_LE(d.min_dist, d.avg_dist);
+  EXPECT_LE(d.avg_dist, d.max_dist + 1e-9);
+}
+
+TEST(MovingPointTest, SeparationAtMatchesAnalysis) {
+  Segment3D u({0, 0, 0}, {10, 0, 10});
+  Segment3D v({0, 6, 0}, {10, 6, 10});
+  EXPECT_NEAR(SeparationAt(u, v, 3.0), 6.0, 1e-9);
+}
+
+// Property sweep: the linear-motion average equals the closed quadrature
+// for many random-ish configurations.
+class MovingPointSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(MovingPointSweep, AverageMatchesDenseSampling) {
+  const int k = GetParam();
+  // Deterministic pseudo-configuration derived from k.
+  Segment3D u({k * 1.0, -k * 0.5, 0}, {k * 1.0 + 10, k * 0.25, 10});
+  Segment3D v({-k * 0.3, k * 0.7, 0}, {12 - k * 0.2, -k * 0.4, 10});
+  const MovingDistance d = DistanceBetweenMoving(u, v);
+  // Dense numeric average.
+  const int steps = 2000;
+  double sum = 0.0;
+  for (int i = 0; i <= steps; ++i) {
+    sum += SeparationAt(u, v, 10.0 * i / steps);
+  }
+  const double dense_avg = sum / (steps + 1);
+  EXPECT_NEAR(d.avg_dist, dense_avg, dense_avg * 0.01 + 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Configs, MovingPointSweep,
+                         ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace hermes::geom

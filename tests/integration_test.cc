@@ -1,0 +1,264 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "baselines/range_rebuild.h"
+#include "baselines/traclus.h"
+#include "core/qut_clustering.h"
+#include "core/retratree.h"
+#include "core/s2t_clustering.h"
+#include "datagen/aircraft.h"
+#include "rtree/str_bulk_load.h"
+#include "sql/executor.h"
+#include "storage/env.h"
+#include "va/ascii_map.h"
+#include "va/exporters.h"
+
+namespace hermes {
+namespace {
+
+/// Small but realistic aircraft scenario shared by the pipeline tests.
+datagen::AircraftScenario SmallScenario() {
+  datagen::AircraftScenarioParams p =
+      datagen::AircraftScenarioParams::Default();
+  p.num_flights = 24;
+  p.outlier_fraction = 0.1;
+  p.holding_probability = 0.3;
+  p.time_span = 1200.0;
+  p.seed = 7;
+  auto scenario = datagen::GenerateAircraftScenario(p);
+  EXPECT_TRUE(scenario.ok());
+  return std::move(scenario).value();
+}
+
+core::S2TParams AircraftS2TParams() {
+  core::S2TParams params;
+  params.SetSigma(1500.0).SetEpsilon(3000.0);
+  params.segmentation.min_part_length = 3;
+  params.sampling.sigma = 4000.0;
+  params.sampling.gain_stop_ratio = 0.1;
+  params.sampling.max_representatives = 24;
+  params.sampling.min_overlap_ratio = 0.3;
+  params.clustering.min_overlap_ratio = 0.3;
+  params.voting.min_overlap_ratio = 0.3;
+  return params;
+}
+
+TEST(IntegrationTest, AircraftScenarioEndToEndS2T) {
+  datagen::AircraftScenario scenario = SmallScenario();
+  core::S2TClustering s2t(AircraftS2TParams());
+  auto result = s2t.Run(scenario.store);
+  ASSERT_TRUE(result.ok());
+  // Approach corridors form at least one cluster, and something is
+  // declared outlier (stray overflights exist).
+  EXPECT_GE(result->NumClusters(), 1u);
+  EXPECT_GT(result->sub_trajectories.size(),
+            scenario.store.NumTrajectories());
+}
+
+TEST(IntegrationTest, FullPipelineRetratreeQutAndVa) {
+  datagen::AircraftScenario scenario = SmallScenario();
+  auto env = storage::Env::NewMemEnv();
+
+  core::ReTraTreeParams tp;
+  const auto [t0, t1] = scenario.store.TimeDomain();
+  tp.tau = (t1 - t0) / 2;
+  tp.delta = tp.tau / 4;
+  tp.t_align = tp.delta;
+  tp.d_assign = 3000.0;
+  tp.gamma = 16;
+  tp.origin = t0;
+  tp.s2t = AircraftS2TParams();
+  auto tree = core::ReTraTree::Open(env.get(), "air_tree", tp);
+  ASSERT_TRUE(tree.ok());
+  ASSERT_TRUE((*tree)->InsertStore(scenario.store).ok());
+  ASSERT_TRUE((*tree)->Validate().ok());
+
+  core::QuTClustering qut(tree->get());
+  auto result = qut.Query(t0, t1 + 1);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->TotalMembers() + result->outliers.size(), 0u);
+
+  // VA export of the QuT answer renders without error.
+  const std::string map = va::RenderQuTAsciiMap(*result, 60, 20);
+  EXPECT_EQ(map.size(), 20u * 61u);
+}
+
+TEST(IntegrationTest, ProgressiveWindowWidening) {
+  // Scenario 2: analyst widens W into the past; results accumulate.
+  datagen::AircraftScenario scenario = SmallScenario();
+  auto env = storage::Env::NewMemEnv();
+  core::ReTraTreeParams tp;
+  const auto [t0, t1] = scenario.store.TimeDomain();
+  tp.tau = (t1 - t0) / 2;
+  tp.delta = tp.tau / 4;
+  tp.t_align = tp.delta;
+  tp.d_assign = 3000.0;
+  tp.gamma = 16;
+  tp.origin = t0;
+  tp.s2t = AircraftS2TParams();
+  auto tree = core::ReTraTree::Open(env.get(), "prog_tree", tp);
+  ASSERT_TRUE(tree.ok());
+  ASSERT_TRUE((*tree)->InsertStore(scenario.store).ok());
+
+  core::QuTClustering qut(tree->get());
+  size_t prev = 0;
+  for (double wi = t1 - tp.delta; wi >= t0; wi -= tp.delta) {
+    auto result = qut.Query(wi, t1 + 1);
+    ASSERT_TRUE(result.ok());
+    const size_t total = result->TotalMembers() + result->outliers.size();
+    EXPECT_GE(total, prev);
+    prev = total;
+  }
+}
+
+TEST(IntegrationTest, QutAndRangeRebuildSeeSameWindowData) {
+  datagen::AircraftScenario scenario = SmallScenario();
+  auto env = storage::Env::NewMemEnv();
+  const auto [t0, t1] = scenario.store.TimeDomain();
+
+  // ReTraTree + QuT.
+  core::ReTraTreeParams tp;
+  tp.tau = (t1 - t0) / 2;
+  tp.delta = tp.tau / 4;
+  tp.t_align = tp.delta;
+  tp.d_assign = 3000.0;
+  tp.gamma = 16;
+  tp.origin = t0;
+  tp.s2t = AircraftS2TParams();
+  auto tree = core::ReTraTree::Open(env.get(), "cmp_tree", tp);
+  ASSERT_TRUE(tree.ok());
+  ASSERT_TRUE((*tree)->InsertStore(scenario.store).ok());
+  core::QuTClustering qut(tree->get());
+  const double wi = t0 + (t1 - t0) / 4;
+  const double we = t0 + 3 * (t1 - t0) / 4;
+  auto qut_result = qut.Query(wi, we);
+  ASSERT_TRUE(qut_result.ok());
+
+  // Baseline on the same window.
+  auto gindex = rtree::BuildSegmentIndex(env.get(), "cmp.idx", scenario.store);
+  ASSERT_TRUE(gindex.ok());
+  auto baseline = baselines::RunRangeRebuild(scenario.store, **gindex, wi, we,
+                                             AircraftS2TParams());
+  ASSERT_TRUE(baseline.ok());
+
+  // Both answers cover the same set of objects present in the window.
+  std::set<traj::ObjectId> qut_objects;
+  for (const auto& c : qut_result->clusters) {
+    for (const auto& m : c.members) qut_objects.insert(m.object_id);
+  }
+  for (const auto& o : qut_result->outliers) qut_objects.insert(o.object_id);
+  std::set<traj::ObjectId> window_objects;
+  for (const auto& t : baseline->window_store.trajectories()) {
+    window_objects.insert(t.object_id());
+  }
+  EXPECT_EQ(qut_objects, window_objects);
+}
+
+TEST(IntegrationTest, SqlDrivesTheWholeEngine) {
+  datagen::AircraftScenario scenario = SmallScenario();
+  sql::Session session;
+  ASSERT_TRUE(session.RegisterStore("air", std::move(scenario.store)).ok());
+
+  auto stats = session.Execute("SELECT STATS(air);");
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->rows[0][0], "24");
+
+  auto s2t = session.Execute("SELECT S2T(air, 1500, 3000);");
+  ASSERT_TRUE(s2t.ok());
+  EXPECT_GE(s2t->rows.size(), 2u);
+
+  auto qut = session.Execute(
+      "SELECT QUT(air, 0, 3000, 1500, 375, 375, 3000, 16);");
+  ASSERT_TRUE(qut.ok());
+  EXPECT_GE(qut->rows.size(), 1u);
+}
+
+TEST(IntegrationTest, TimeAwareVsTraclusContrast) {
+  // The paper's core motivation: two flows sharing a corridor at
+  // different times. TRACLUS merges them; S2T keeps them apart.
+  traj::TrajectoryStore store;
+  for (int k = 0; k < 5; ++k) {  // Morning flow.
+    traj::Trajectory t(k);
+    for (int i = 0; i <= 30; ++i) {
+      ASSERT_TRUE(t.Append({i * 40.0, k * 12.0, i * 10.0}).ok());
+    }
+    ASSERT_TRUE(store.Add(std::move(t)).ok());
+  }
+  for (int k = 5; k < 10; ++k) {  // Evening flow, same corridor.
+    traj::Trajectory t(k);
+    for (int i = 0; i <= 30; ++i) {
+      ASSERT_TRUE(
+          t.Append({i * 40.0, (k - 5) * 12.0, 50000.0 + i * 10.0}).ok());
+    }
+    ASSERT_TRUE(store.Add(std::move(t)).ok());
+  }
+
+  // TRACLUS (space only): one bundle.
+  baselines::TraclusParams traclus_params;
+  traclus_params.eps = 60.0;
+  traclus_params.min_lns = 4;
+  const auto traclus = baselines::RunTraclus(store, traclus_params);
+  size_t biggest = 0;
+  for (const auto& c : traclus.clusters) {
+    std::set<traj::TrajectoryId> sources;
+    for (size_t si : c.segment_indices) {
+      sources.insert(traclus.segments[si].source);
+    }
+    bool morning = false, evening = false;
+    for (auto s : sources) (s < 5 ? morning : evening) = true;
+    if (morning && evening) biggest = std::max(biggest, sources.size());
+  }
+  EXPECT_GE(biggest, 8u);  // TRACLUS mixes the flows.
+
+  // S2T (time-aware): no cluster mixes them.
+  core::S2TParams params;
+  params.SetSigma(30.0).SetEpsilon(60.0);
+  params.segmentation.min_part_length = 3;
+  params.sampling.sigma = 120.0;
+  params.sampling.gain_stop_ratio = 0.2;
+  core::S2TClustering s2t(params);
+  auto result = s2t.Run(store);
+  ASSERT_TRUE(result.ok());
+  for (const auto& cluster : result->clustering.clusters) {
+    bool morning = false, evening = false;
+    for (size_t m : cluster.members) {
+      const auto obj = result->sub_trajectories[m].object_id;
+      (obj < 5 ? morning : evening) = true;
+    }
+    EXPECT_FALSE(morning && evening) << "S2T mixed temporally disjoint flows";
+  }
+}
+
+TEST(IntegrationTest, VaExportsForQutAnswer) {
+  datagen::AircraftScenario scenario = SmallScenario();
+  auto env = storage::Env::NewMemEnv();
+  core::ReTraTreeParams tp;
+  const auto [t0, t1] = scenario.store.TimeDomain();
+  tp.tau = (t1 - t0) / 2;
+  tp.delta = tp.tau / 4;
+  tp.t_align = tp.delta;
+  tp.d_assign = 3000.0;
+  tp.gamma = 16;
+  tp.origin = t0;
+  tp.s2t = AircraftS2TParams();
+  auto tree = core::ReTraTree::Open(env.get(), "va_tree", tp);
+  ASSERT_TRUE(tree.ok());
+  ASSERT_TRUE((*tree)->InsertStore(scenario.store).ok());
+  core::QuTClustering qut(tree->get());
+  auto result = qut.Query(t0, t1 + 1);
+  ASSERT_TRUE(result.ok());
+
+  const auto h = va::BuildQuTTimeHistogram(*result, 12);
+  if (result->TotalMembers() + result->outliers.size() > 0) {
+    ASSERT_EQ(h.bins, 12u);
+    size_t total = 0;
+    for (const auto& row : h.counts) {
+      for (size_t c : row) total += c;
+    }
+    EXPECT_GT(total, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace hermes

@@ -1,0 +1,304 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/retratree.h"
+#include "datagen/noise.h"
+#include "storage/env.h"
+#include "traj/distance.h"
+
+namespace hermes::core {
+namespace {
+
+ReTraTreeParams SmallTreeParams() {
+  ReTraTreeParams p;
+  p.tau = 400.0;
+  p.delta = 100.0;
+  p.t_align = 30.0;
+  p.d_assign = 80.0;
+  p.gamma = 8;
+  p.min_new_cluster_size = 2;
+  p.s2t.SetSigma(40.0).SetEpsilon(80.0);
+  p.s2t.segmentation.min_part_length = 2;
+  p.s2t.sampling.sigma = 120.0;
+  p.s2t.sampling.gain_stop_ratio = 0.2;
+  return p;
+}
+
+/// Straight-line trajectory along x at height y over [t0, t1].
+traj::Trajectory Line(traj::ObjectId id, double y, double t0, double t1,
+                      double dt = 10.0) {
+  traj::Trajectory t(id);
+  for (double now = t0; now <= t1 + 1e-9; now += dt) {
+    EXPECT_TRUE(t.Append({(now - t0) * 10.0, y, now}).ok());
+  }
+  return t;
+}
+
+class ReTraTreeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    env_ = storage::Env::NewMemEnv();
+    auto tree = ReTraTree::Open(env_.get(), "tree", SmallTreeParams());
+    ASSERT_TRUE(tree.ok());
+    tree_ = std::move(tree).value();
+  }
+  std::unique_ptr<storage::Env> env_;
+  std::unique_ptr<ReTraTree> tree_;
+};
+
+TEST_F(ReTraTreeTest, OpenValidatesParameters) {
+  ReTraTreeParams bad = SmallTreeParams();
+  bad.tau = -1.0;
+  EXPECT_FALSE(ReTraTree::Open(env_.get(), "bad1", bad).ok());
+  bad = SmallTreeParams();
+  bad.delta = bad.tau * 2;
+  EXPECT_FALSE(ReTraTree::Open(env_.get(), "bad2", bad).ok());
+}
+
+TEST_F(ReTraTreeTest, DeltaSnapsToDivideTau) {
+  ReTraTreeParams p = SmallTreeParams();
+  p.tau = 100.0;
+  p.delta = 33.0;  // Snaps to 100/3.
+  auto tree = ReTraTree::Open(env_.get(), "snap", p);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_NEAR((*tree)->params().delta, 100.0 / 3.0, 1e-9);
+}
+
+TEST_F(ReTraTreeTest, InsertSplitsAtSubChunkBoundaries) {
+  // A trajectory spanning [0, 350] with delta=100 creates sub-chunks
+  // 0..3 inside chunk 0.
+  ASSERT_TRUE(tree_->Insert(Line(1, 0, 0, 350), 0).ok());
+  ASSERT_EQ(tree_->chunks().size(), 1u);
+  const Chunk& chunk = tree_->chunks().begin()->second;
+  EXPECT_EQ(chunk.sub_chunks.size(), 4u);
+  // Pieces land in the outlier partitions (no representatives yet).
+  EXPECT_EQ(tree_->stats().sent_to_outliers, 4u);
+  EXPECT_EQ(tree_->stats().assigned_to_existing, 0u);
+}
+
+TEST_F(ReTraTreeTest, InsertSpanningChunks) {
+  ASSERT_TRUE(tree_->Insert(Line(1, 0, 300, 500), 0).ok());
+  EXPECT_EQ(tree_->chunks().size(), 2u);  // Chunks 0 and 1.
+}
+
+TEST_F(ReTraTreeTest, RejectsDegenerateTrajectory) {
+  traj::Trajectory t(1);
+  ASSERT_TRUE(t.Append({0, 0, 0}).ok());
+  EXPECT_TRUE(tree_->Insert(t, 0).IsInvalidArgument());
+}
+
+TEST_F(ReTraTreeTest, GammaTriggersS2TAndCreatesRepresentatives) {
+  // 12 co-moving objects in one sub-chunk: after gamma=8 buffered
+  // outliers, S2T runs and back-propagates representatives.
+  for (int k = 0; k < 12; ++k) {
+    ASSERT_TRUE(tree_->Insert(Line(k, k * 10.0, 0, 95), k).ok());
+  }
+  EXPECT_GE(tree_->stats().s2t_runs, 1u);
+  EXPECT_GE(tree_->TotalRepresentatives(), 1u);
+  // Later arrivals are assigned directly to the new representative.
+  ASSERT_TRUE(tree_->Insert(Line(50, 55.0, 0, 95), 50).ok());
+  EXPECT_GE(tree_->stats().assigned_to_existing, 1u);
+  ASSERT_TRUE(tree_->Validate().ok());
+}
+
+TEST_F(ReTraTreeTest, MembersArePersistedAndReadable) {
+  for (int k = 0; k < 12; ++k) {
+    ASSERT_TRUE(tree_->Insert(Line(k, k * 10.0, 0, 95), k).ok());
+  }
+  ASSERT_GE(tree_->TotalRepresentatives(), 1u);
+  size_t total_members = 0;
+  for (const auto& [ci, chunk] : tree_->chunks()) {
+    for (const auto& [si, sc] : chunk.sub_chunks) {
+      for (const auto& entry : sc.representatives) {
+        auto members = tree_->ReadMembers(*entry);
+        ASSERT_TRUE(members.ok());
+        EXPECT_EQ(members->size(), entry->member_count);
+        total_members += members->size();
+        for (const auto& m : *members) {
+          EXPECT_GE(m.points.size(), 2u);
+          // Members live inside the sub-chunk's interval.
+          EXPECT_GE(m.StartTime(), sc.start - 1e-6);
+          EXPECT_LE(m.EndTime(), sc.end + 1e-6);
+        }
+      }
+    }
+  }
+  EXPECT_GT(total_members, 0u);
+}
+
+TEST_F(ReTraTreeTest, ReadMembersInWindowFiltersByTime) {
+  ReTraTreeParams p = SmallTreeParams();
+  p.delta = 400.0;  // One sub-chunk = one chunk for this test.
+  p.t_align = 400.0;
+  auto tree = ReTraTree::Open(env_.get(), "win", p);
+  ASSERT_TRUE(tree.ok());
+  for (int k = 0; k < 12; ++k) {
+    ASSERT_TRUE((*tree)->Insert(Line(k, k * 10.0, 0, 395), k).ok());
+  }
+  ASSERT_GE((*tree)->TotalRepresentatives(), 1u);
+  const auto& chunk = (*tree)->chunks().begin()->second;
+  const auto& sc = chunk.sub_chunks.begin()->second;
+  const auto& entry = sc.representatives.front();
+  auto all = (*tree)->ReadMembers(*entry);
+  auto windowed = (*tree)->ReadMembersInWindow(*entry, 0.0, 50.0);
+  ASSERT_TRUE(all.ok());
+  ASSERT_TRUE(windowed.ok());
+  // The index read must return exactly the members whose lifespan
+  // intersects [0, 50] (re-segmentation can produce later-starting ones).
+  size_t expected = 0;
+  for (const auto& m : *all) {
+    if (m.StartTime() <= 50.0 && m.EndTime() >= 0.0) ++expected;
+  }
+  EXPECT_EQ(windowed->size(), expected);
+  EXPECT_LE(windowed->size(), all->size());
+  auto empty = (*tree)->ReadMembersInWindow(*entry, 10000.0, 20000.0);
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty->empty());
+}
+
+TEST_F(ReTraTreeTest, OutliersStayBufferedWhenNoClusterForms) {
+  // Far-apart objects cannot form clusters: everything stays outlier.
+  for (int k = 0; k < 6; ++k) {
+    ASSERT_TRUE(tree_->Insert(Line(k, k * 5000.0, 0, 95), k).ok());
+  }
+  EXPECT_EQ(tree_->TotalRepresentatives(), 0u);
+  const auto subchunks = tree_->SubChunksIn(0, 100);
+  ASSERT_EQ(subchunks.size(), 1u);
+  auto outliers = tree_->ReadOutliers(*subchunks[0]);
+  ASSERT_TRUE(outliers.ok());
+  EXPECT_EQ(outliers->size(), 6u);
+}
+
+TEST_F(ReTraTreeTest, SubChunksInSelectsWindow) {
+  ASSERT_TRUE(tree_->Insert(Line(1, 0, 0, 795), 0).ok());
+  EXPECT_EQ(tree_->SubChunksIn(0, 800).size(), 8u);
+  EXPECT_EQ(tree_->SubChunksIn(0, 100).size(), 1u);
+  EXPECT_EQ(tree_->SubChunksIn(150, 250).size(), 2u);
+  EXPECT_TRUE(tree_->SubChunksIn(10000, 20000).empty());
+  // Boundary: [100, 200) intersects only sub-chunk 1.
+  EXPECT_EQ(tree_->SubChunksIn(100, 200).size(), 1u);
+}
+
+TEST_F(ReTraTreeTest, SerializationRoundTrip) {
+  traj::SubTrajectory st;
+  st.id = 77;
+  st.source_trajectory = 5;
+  st.object_id = 9;
+  st.first_sample_index = 3;
+  st.mean_voting = 2.25;
+  st.points = Line(9, 42.0, 10, 60);
+  const std::string bytes = EncodeSubTrajectory(st);
+  auto back = DecodeSubTrajectory(bytes);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->id, 77u);
+  EXPECT_EQ(back->source_trajectory, 5u);
+  EXPECT_EQ(back->object_id, 9u);
+  EXPECT_EQ(back->first_sample_index, 3u);
+  EXPECT_DOUBLE_EQ(back->mean_voting, 2.25);
+  ASSERT_EQ(back->points.size(), st.points.size());
+  for (size_t i = 0; i < st.points.size(); ++i) {
+    EXPECT_DOUBLE_EQ(back->points[i].x, st.points[i].x);
+    EXPECT_DOUBLE_EQ(back->points[i].t, st.points[i].t);
+  }
+}
+
+TEST_F(ReTraTreeTest, DecodeRejectsCorruptBytes) {
+  EXPECT_TRUE(DecodeSubTrajectory("garbage").status().IsCorruption());
+  traj::SubTrajectory st;
+  st.points = Line(1, 0, 0, 50);
+  std::string bytes = EncodeSubTrajectory(st);
+  bytes.resize(bytes.size() - 5);  // Truncate.
+  EXPECT_TRUE(DecodeSubTrajectory(bytes).status().IsCorruption());
+}
+
+TEST_F(ReTraTreeTest, StatsAccounting) {
+  for (int k = 0; k < 12; ++k) {
+    ASSERT_TRUE(tree_->Insert(Line(k, k * 10.0, 0, 95), k).ok());
+  }
+  const ReTraTreeStats& s = tree_->stats();
+  EXPECT_EQ(s.pieces_inserted,
+            s.assigned_to_existing + s.sent_to_outliers);
+  EXPECT_GT(s.records_written, 0u);
+}
+
+TEST_F(ReTraTreeTest, InsertStoreProcessesEverything) {
+  traj::TrajectoryStore store = datagen::MakeParallelLanes(
+      2, 5, 50.0, 900.0, 10.0, 10.0, /*seed=*/3, /*jitter=*/1.0);
+  ASSERT_TRUE(tree_->InsertStore(store).ok());
+  EXPECT_GT(tree_->stats().pieces_inserted, 0u);
+  ASSERT_TRUE(tree_->Validate().ok());
+}
+
+TEST_F(ReTraTreeTest, SaveAndReopenRestoresStructure) {
+  for (int k = 0; k < 12; ++k) {
+    ASSERT_TRUE(tree_->Insert(Line(k, k * 10.0, 0, 95), k).ok());
+  }
+  ASSERT_GE(tree_->TotalRepresentatives(), 1u);
+  const size_t reps_before = tree_->TotalRepresentatives();
+  const auto chunks_before = tree_->chunks().size();
+  ASSERT_TRUE(tree_->Save().ok());
+  tree_.reset();  // Close everything.
+
+  auto reopened = ReTraTree::Open(env_.get(), "tree", SmallTreeParams());
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ((*reopened)->TotalRepresentatives(), reps_before);
+  EXPECT_EQ((*reopened)->chunks().size(), chunks_before);
+  ASSERT_TRUE((*reopened)->Validate().ok());
+
+  // The restored tree keeps serving: members readable, assignment works.
+  for (const auto& [ci, chunk] : (*reopened)->chunks()) {
+    for (const auto& [si, sc] : chunk.sub_chunks) {
+      for (const auto& entry : sc.representatives) {
+        auto members = (*reopened)->ReadMembers(*entry);
+        ASSERT_TRUE(members.ok());
+        EXPECT_EQ(members->size(), entry->member_count);
+      }
+    }
+  }
+  ASSERT_TRUE((*reopened)->Insert(Line(70, 55.0, 0, 95), 70).ok());
+  EXPECT_GE((*reopened)->stats().assigned_to_existing, 1u);
+}
+
+TEST_F(ReTraTreeTest, ReopenWithDifferentStructuralParamsFails) {
+  for (int k = 0; k < 12; ++k) {
+    ASSERT_TRUE(tree_->Insert(Line(k, k * 10.0, 0, 95), k).ok());
+  }
+  ASSERT_TRUE(tree_->Save().ok());
+  tree_.reset();
+
+  ReTraTreeParams other = SmallTreeParams();
+  other.tau = 800.0;  // Different chunking: the catalog must refuse.
+  EXPECT_TRUE(
+      ReTraTree::Open(env_.get(), "tree", other).status()
+          .IsInvalidArgument());
+}
+
+TEST_F(ReTraTreeTest, SaveIsIdempotentAcrossReopens) {
+  for (int k = 0; k < 12; ++k) {
+    ASSERT_TRUE(tree_->Insert(Line(k, k * 10.0, 0, 95), k).ok());
+  }
+  ASSERT_TRUE(tree_->Save().ok());
+  const size_t reps = tree_->TotalRepresentatives();
+  tree_.reset();
+  for (int round = 0; round < 3; ++round) {
+    auto reopened = ReTraTree::Open(env_.get(), "tree", SmallTreeParams());
+    ASSERT_TRUE(reopened.ok());
+    EXPECT_EQ((*reopened)->TotalRepresentatives(), reps);
+    ASSERT_TRUE((*reopened)->Save().ok());
+  }
+}
+
+TEST_F(ReTraTreeTest, RepresentativeAssignmentRespectsDistance) {
+  for (int k = 0; k < 12; ++k) {
+    ASSERT_TRUE(tree_->Insert(Line(k, k * 10.0, 0, 95), k).ok());
+  }
+  ASSERT_GE(tree_->TotalRepresentatives(), 1u);
+  const uint64_t outliers_before = tree_->stats().sent_to_outliers;
+  // A trajectory far from every representative must buffer as outlier.
+  ASSERT_TRUE(tree_->Insert(Line(99, 90000.0, 0, 95), 99).ok());
+  EXPECT_EQ(tree_->stats().sent_to_outliers, outliers_before + 1);
+}
+
+}  // namespace
+}  // namespace hermes::core

@@ -1,0 +1,265 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/rng.h"
+#include "rtree/rtree3d.h"
+#include "rtree/str_bulk_load.h"
+#include "storage/env.h"
+#include "traj/trajectory_store.h"
+
+namespace hermes::rtree {
+namespace {
+
+geom::Mbb3D RandomBox(Rng* rng, double extent, double size) {
+  const double x = rng->Uniform(0, extent);
+  const double y = rng->Uniform(0, extent);
+  const double t = rng->Uniform(0, extent);
+  return geom::Mbb3D(x, y, t, x + rng->Uniform(0.1, size),
+                     y + rng->Uniform(0.1, size),
+                     t + rng->Uniform(0.1, size));
+}
+
+class RTreeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    env_ = storage::Env::NewMemEnv();
+    auto tree = RTree3D::Open(env_.get(), "rt.idx");
+    ASSERT_TRUE(tree.ok());
+    tree_ = std::move(tree).value();
+  }
+  std::unique_ptr<storage::Env> env_;
+  std::unique_ptr<RTree3D> tree_;
+};
+
+TEST_F(RTreeTest, InsertSearchRemoveCycle) {
+  const geom::Mbb3D box(0, 0, 0, 1, 1, 1);
+  ASSERT_TRUE(tree_->Insert(box, 7).ok());
+  auto hits = tree_->Search(box);
+  ASSERT_TRUE(hits.ok());
+  ASSERT_EQ(hits->size(), 1u);
+  EXPECT_EQ((*hits)[0], 7u);
+  ASSERT_TRUE(tree_->Remove(box, 7).ok());
+  hits = tree_->Search(box);
+  ASSERT_TRUE(hits.ok());
+  EXPECT_TRUE(hits->empty());
+}
+
+TEST_F(RTreeTest, SearchModesAgainstBruteForce) {
+  Rng rng(42);
+  std::vector<geom::Mbb3D> boxes;
+  for (uint64_t i = 0; i < 600; ++i) {
+    boxes.push_back(RandomBox(&rng, 500.0, 40.0));
+    ASSERT_TRUE(tree_->Insert(boxes.back(), i).ok());
+  }
+  const geom::Mbb3D query(100, 100, 100, 320, 320, 320);
+
+  auto sorted = [](std::vector<uint64_t> v) {
+    std::sort(v.begin(), v.end());
+    return v;
+  };
+
+  std::vector<uint64_t> want_intersect, want_contained, want_contains;
+  for (uint64_t i = 0; i < boxes.size(); ++i) {
+    if (boxes[i].Intersects(query)) want_intersect.push_back(i);
+    if (query.Contains(boxes[i])) want_contained.push_back(i);
+    if (boxes[i].Contains(query)) want_contains.push_back(i);
+  }
+  auto got = tree_->Search(query, QueryMode::kIntersects);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(sorted(*got), want_intersect);
+  got = tree_->Search(query, QueryMode::kContainedBy);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(sorted(*got), want_contained);
+  got = tree_->Search(query, QueryMode::kContains);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(sorted(*got), want_contains);
+}
+
+TEST_F(RTreeTest, SearchHitsReturnStoredBoxes) {
+  const geom::Mbb3D box(3, 4, 5, 6, 7, 8);
+  ASSERT_TRUE(tree_->Insert(box, 11).ok());
+  auto hits = tree_->SearchHits(box);
+  ASSERT_TRUE(hits.ok());
+  ASSERT_EQ(hits->size(), 1u);
+  EXPECT_EQ((*hits)[0].box, box);
+  EXPECT_EQ((*hits)[0].datum, 11u);
+}
+
+TEST_F(RTreeTest, KnnFindsNearestByMindist) {
+  Rng rng(8);
+  std::vector<geom::Mbb3D> boxes;
+  for (uint64_t i = 0; i < 400; ++i) {
+    boxes.push_back(RandomBox(&rng, 1000.0, 5.0));
+    ASSERT_TRUE(tree_->Insert(boxes.back(), i).ok());
+  }
+  const geom::Point3D q{500, 500, 500};
+  auto knn = tree_->Knn(q, 10);
+  ASSERT_TRUE(knn.ok());
+  ASSERT_EQ(knn->size(), 10u);
+
+  // Brute-force k nearest by MINDIST.
+  auto mindist = [&](const geom::Mbb3D& b) {
+    auto axis = [](double v, double lo, double hi) {
+      if (v < lo) return lo - v;
+      if (v > hi) return v - hi;
+      return 0.0;
+    };
+    const double dx = axis(q.x, b.min_x, b.max_x);
+    const double dy = axis(q.y, b.min_y, b.max_y);
+    const double dt = axis(q.t, b.min_t, b.max_t);
+    return dx * dx + dy * dy + dt * dt;
+  };
+  std::vector<double> dists;
+  for (const auto& b : boxes) dists.push_back(mindist(b));
+  std::vector<double> sorted_dists = dists;
+  std::sort(sorted_dists.begin(), sorted_dists.end());
+  // Result distances must match the k smallest, in order.
+  for (size_t k = 0; k < knn->size(); ++k) {
+    EXPECT_NEAR(mindist((*knn)[k].box), sorted_dists[k], 1e-9);
+  }
+}
+
+TEST_F(RTreeTest, KnnZeroAndOversizedK) {
+  ASSERT_TRUE(tree_->Insert(geom::Mbb3D(0, 0, 0, 1, 1, 1), 1).ok());
+  auto zero = tree_->Knn({0, 0, 0}, 0);
+  ASSERT_TRUE(zero.ok());
+  EXPECT_TRUE(zero->empty());
+  auto more = tree_->Knn({0, 0, 0}, 10);
+  ASSERT_TRUE(more.ok());
+  EXPECT_EQ(more->size(), 1u);  // Only one entry exists.
+}
+
+TEST_F(RTreeTest, BulkLoadLargeAndValidate) {
+  Rng rng(77);
+  std::vector<std::pair<geom::Mbb3D, uint64_t>> items;
+  for (uint64_t i = 0; i < 5000; ++i) {
+    items.emplace_back(RandomBox(&rng, 2000.0, 10.0), i);
+  }
+  auto ordered = StrOrder(items, 128);
+  ASSERT_TRUE(tree_->BulkLoad(ordered).ok());
+  EXPECT_EQ(tree_->num_entries(), 5000u);
+  ASSERT_TRUE(tree_->Validate().ok());
+
+  const geom::Mbb3D query(0, 0, 0, 300, 300, 300);
+  std::vector<uint64_t> expected;
+  for (const auto& [box, datum] : items) {
+    if (box.Intersects(query)) expected.push_back(datum);
+  }
+  std::sort(expected.begin(), expected.end());
+  auto got = tree_->Search(query);
+  ASSERT_TRUE(got.ok());
+  std::sort(got->begin(), got->end());
+  EXPECT_EQ(*got, expected);
+}
+
+TEST_F(RTreeTest, StrOrderImprovesLocality) {
+  // STR-ordered bulk load should visit fewer nodes for a point query than
+  // a randomly-ordered one.
+  Rng rng(123);
+  std::vector<std::pair<geom::Mbb3D, uint64_t>> items;
+  for (uint64_t i = 0; i < 4000; ++i) {
+    items.emplace_back(RandomBox(&rng, 1000.0, 4.0), i);
+  }
+  auto str_tree = RTree3D::Open(env_.get(), "str.idx");
+  ASSERT_TRUE(str_tree.ok());
+  ASSERT_TRUE((*str_tree)->BulkLoad(StrOrder(items, 128)).ok());
+  auto random_tree = RTree3D::Open(env_.get(), "rand.idx");
+  ASSERT_TRUE(random_tree.ok());
+  ASSERT_TRUE((*random_tree)->BulkLoad(items).ok());  // Insertion order.
+
+  const geom::Mbb3D probe(500, 500, 500, 520, 520, 520);
+  (*str_tree)->ResetStats();
+  (*random_tree)->ResetStats();
+  ASSERT_TRUE((*str_tree)->Search(probe).ok());
+  ASSERT_TRUE((*random_tree)->Search(probe).ok());
+  EXPECT_LE((*str_tree)->stats().nodes_visited,
+            (*random_tree)->stats().nodes_visited);
+}
+
+TEST_F(RTreeTest, SegmentRefPackUnpack) {
+  traj::SegmentRef ref{123456, 789};
+  const traj::SegmentRef back = UnpackSegmentRef(PackSegmentRef(ref));
+  EXPECT_EQ(back.trajectory, ref.trajectory);
+  EXPECT_EQ(back.segment_index, ref.segment_index);
+}
+
+TEST_F(RTreeTest, BuildSegmentIndexCoversStore) {
+  traj::TrajectoryStore store;
+  for (int k = 0; k < 10; ++k) {
+    traj::Trajectory t(k);
+    for (int i = 0; i < 20; ++i) {
+      ASSERT_TRUE(t.Append({i * 10.0, k * 100.0, i * 1.0}).ok());
+    }
+    ASSERT_TRUE(store.Add(std::move(t)).ok());
+  }
+  auto index = BuildSegmentIndex(env_.get(), "segs.idx", store);
+  ASSERT_TRUE(index.ok());
+  EXPECT_EQ((*index)->num_entries(), store.NumSegments());
+  ASSERT_TRUE((*index)->Validate().ok());
+
+  // Query a time slab: every trajectory has segments in [5, 8].
+  const double kBig = 1e18;
+  auto hits = (*index)->Search(geom::Mbb3D(-kBig, -kBig, 5.0, kBig, kBig, 8.0));
+  ASSERT_TRUE(hits.ok());
+  std::set<traj::TrajectoryId> tids;
+  for (uint64_t d : *hits) tids.insert(UnpackSegmentRef(d).trajectory);
+  EXPECT_EQ(tids.size(), 10u);
+}
+
+TEST_F(RTreeTest, InsertAndBulkBuildSameAnswers) {
+  traj::TrajectoryStore store;
+  for (int k = 0; k < 6; ++k) {
+    traj::Trajectory t(k);
+    for (int i = 0; i < 15; ++i) {
+      ASSERT_TRUE(t.Append({i * 7.0 + k, k * 50.0, i * 2.0}).ok());
+    }
+    ASSERT_TRUE(store.Add(std::move(t)).ok());
+  }
+  auto bulk = BuildSegmentIndex(env_.get(), "bulk.idx", store);
+  auto incr = BuildSegmentIndexByInsert(env_.get(), "incr.idx", store);
+  ASSERT_TRUE(bulk.ok());
+  ASSERT_TRUE(incr.ok());
+  const geom::Mbb3D query(0, 0, 3.0, 100, 300, 9.0);
+  auto a = (*bulk)->Search(query);
+  auto b = (*incr)->Search(query);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  std::sort(a->begin(), a->end());
+  std::sort(b->begin(), b->end());
+  EXPECT_EQ(*a, *b);
+}
+
+// Parameterized: brute-force equivalence across dataset sizes.
+class RTreeSizeSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(RTreeSizeSweep, MatchesBruteForce) {
+  auto env = storage::Env::NewMemEnv();
+  auto tree = RTree3D::Open(env.get(), "sweep.idx");
+  ASSERT_TRUE(tree.ok());
+  Rng rng(GetParam());
+  std::vector<geom::Mbb3D> boxes;
+  for (int i = 0; i < GetParam(); ++i) {
+    boxes.push_back(RandomBox(&rng, 300.0, 25.0));
+    ASSERT_TRUE((*tree)->Insert(boxes.back(), i).ok());
+  }
+  ASSERT_TRUE((*tree)->Validate().ok());
+  const geom::Mbb3D query(50, 50, 50, 180, 180, 180);
+  std::vector<uint64_t> expected;
+  for (size_t i = 0; i < boxes.size(); ++i) {
+    if (boxes[i].Intersects(query)) expected.push_back(i);
+  }
+  auto got = (*tree)->Search(query);
+  ASSERT_TRUE(got.ok());
+  std::sort(got->begin(), got->end());
+  EXPECT_EQ(*got, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, RTreeSizeSweep,
+                         ::testing::Values(1, 10, 100, 145, 146, 147, 500,
+                                           1500));
+
+}  // namespace
+}  // namespace hermes::rtree

@@ -1,0 +1,201 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "clustering/greedy_clustering.h"
+#include "sampling/saco_sampling.h"
+
+namespace hermes {
+namespace {
+
+using clustering::ClusterAroundRepresentatives;
+using clustering::ClusteringParams;
+using sampling::SamplingParams;
+using sampling::SelectRepresentatives;
+
+/// Builds a sub-trajectory moving along x at `y`, over [t0, t0+dur].
+traj::SubTrajectory Sub(traj::SubTrajectoryId id, double y, double t0,
+                        double dur, double voting, int samples = 11) {
+  traj::SubTrajectory st;
+  st.id = id;
+  st.object_id = id;
+  st.mean_voting = voting;
+  traj::Trajectory t(id);
+  for (int i = 0; i < samples; ++i) {
+    const double u = static_cast<double>(i) / (samples - 1);
+    EXPECT_TRUE(t.Append({u * 1000.0, y, t0 + u * dur}).ok());
+  }
+  st.points = std::move(t);
+  return st;
+}
+
+SamplingParams DefaultSampling() {
+  SamplingParams p;
+  p.max_representatives = 8;
+  p.gain_stop_ratio = 0.05;
+  p.sigma = 50.0;
+  p.min_overlap_ratio = 0.5;
+  return p;
+}
+
+// ---------------------------------------------------------------------------
+// SaCO sampling
+// ---------------------------------------------------------------------------
+
+TEST(SamplingTest, EmptyInputNoReps) {
+  EXPECT_TRUE(SelectRepresentatives({}, DefaultSampling()).empty());
+}
+
+TEST(SamplingTest, PicksHighestScoredFirst) {
+  std::vector<traj::SubTrajectory> subs;
+  subs.push_back(Sub(0, 0, 0, 100, /*voting=*/1.0));
+  subs.push_back(Sub(1, 5000, 0, 100, /*voting=*/9.0));  // Far lane, hot.
+  subs.push_back(Sub(2, 10000, 0, 100, /*voting=*/4.0));
+  const auto reps = SelectRepresentatives(subs, DefaultSampling());
+  ASSERT_FALSE(reps.empty());
+  EXPECT_EQ(reps[0], 1u);
+}
+
+TEST(SamplingTest, CoverageSuppressesNearDuplicates) {
+  // Two nearly identical hot sub-trajectories plus one distant cool one:
+  // greedy must pick one of the twins, then the distant one.
+  std::vector<traj::SubTrajectory> subs;
+  subs.push_back(Sub(0, 0, 0, 100, 9.0));
+  subs.push_back(Sub(1, 1, 0, 100, 8.9));      // Twin of 0.
+  subs.push_back(Sub(2, 8000, 0, 100, 3.0));   // Far away.
+  SamplingParams p = DefaultSampling();
+  p.max_representatives = 2;
+  const auto reps = SelectRepresentatives(subs, p);
+  ASSERT_EQ(reps.size(), 2u);
+  EXPECT_EQ(reps[0], 0u);
+  EXPECT_EQ(reps[1], 2u);  // Not the twin.
+}
+
+TEST(SamplingTest, MaxRepresentativesBound) {
+  std::vector<traj::SubTrajectory> subs;
+  for (int i = 0; i < 20; ++i) {
+    subs.push_back(Sub(i, i * 5000.0, 0, 100, 5.0));
+  }
+  SamplingParams p = DefaultSampling();
+  p.max_representatives = 4;
+  EXPECT_EQ(SelectRepresentatives(subs, p).size(), 4u);
+}
+
+TEST(SamplingTest, GainStopRatioTerminatesEarly) {
+  std::vector<traj::SubTrajectory> subs;
+  subs.push_back(Sub(0, 0, 0, 100, 100.0));      // Dominant.
+  subs.push_back(Sub(1, 9000, 0, 100, 0.5));     // Tiny gain.
+  subs.push_back(Sub(2, 18000, 0, 100, 0.4));
+  SamplingParams p = DefaultSampling();
+  p.gain_stop_ratio = 0.05;  // 5% of first gain = 5.0 > 0.5.
+  const auto reps = SelectRepresentatives(subs, p);
+  EXPECT_EQ(reps.size(), 1u);
+}
+
+TEST(SamplingTest, ZeroVotingNeverSelected) {
+  std::vector<traj::SubTrajectory> subs;
+  subs.push_back(Sub(0, 0, 0, 100, 0.0));
+  subs.push_back(Sub(1, 100, 0, 100, 0.0));
+  EXPECT_TRUE(SelectRepresentatives(subs, DefaultSampling()).empty());
+}
+
+TEST(SamplingTest, BaseScoreWeighsVotingAndDuration) {
+  const auto short_hot = Sub(0, 0, 0, 10, 8.0);
+  const auto long_warm = Sub(1, 0, 0, 100, 2.0);
+  EXPECT_GT(sampling::BaseScore(long_warm), sampling::BaseScore(short_hot));
+}
+
+// ---------------------------------------------------------------------------
+// Greedy clustering
+// ---------------------------------------------------------------------------
+
+TEST(ClusteringTest, MembersJoinNearestRep) {
+  std::vector<traj::SubTrajectory> subs;
+  subs.push_back(Sub(0, 0, 0, 100, 5.0));      // Rep A.
+  subs.push_back(Sub(1, 1000, 0, 100, 5.0));   // Rep B.
+  subs.push_back(Sub(2, 30, 0, 100, 1.0));     // Near A.
+  subs.push_back(Sub(3, 960, 0, 100, 1.0));    // Near B.
+  ClusteringParams p{/*epsilon=*/100.0, /*min_overlap_ratio=*/0.5};
+  const auto result = ClusterAroundRepresentatives(subs, {0, 1}, p);
+  ASSERT_EQ(result.clusters.size(), 2u);
+  EXPECT_TRUE(result.outliers.empty());
+  const auto assign = result.Assignment(subs.size());
+  EXPECT_EQ(assign[2], assign[0]);
+  EXPECT_EQ(assign[3], assign[1]);
+  EXPECT_NE(assign[0], assign[1]);
+}
+
+TEST(ClusteringTest, FarSubTrajectoriesAreOutliers) {
+  std::vector<traj::SubTrajectory> subs;
+  subs.push_back(Sub(0, 0, 0, 100, 5.0));
+  subs.push_back(Sub(1, 5000, 0, 100, 1.0));  // Way beyond epsilon.
+  ClusteringParams p{100.0, 0.5};
+  const auto result = ClusterAroundRepresentatives(subs, {0}, p);
+  ASSERT_EQ(result.clusters.size(), 1u);
+  ASSERT_EQ(result.outliers.size(), 1u);
+  EXPECT_EQ(result.outliers[0], 1u);
+}
+
+TEST(ClusteringTest, TemporalMisalignmentMakesOutliers) {
+  std::vector<traj::SubTrajectory> subs;
+  subs.push_back(Sub(0, 0, 0, 100, 5.0));
+  subs.push_back(Sub(1, 0, 500, 100, 1.0));  // Same path, later time.
+  ClusteringParams p{100.0, 0.5};
+  const auto result = ClusterAroundRepresentatives(subs, {0}, p);
+  EXPECT_EQ(result.outliers.size(), 1u);
+}
+
+TEST(ClusteringTest, RepresentativeIsMemberOfOwnCluster) {
+  std::vector<traj::SubTrajectory> subs;
+  subs.push_back(Sub(0, 0, 0, 100, 5.0));
+  const auto result =
+      ClusterAroundRepresentatives(subs, {0}, ClusteringParams{});
+  ASSERT_EQ(result.clusters.size(), 1u);
+  ASSERT_EQ(result.clusters[0].members.size(), 1u);
+  EXPECT_EQ(result.clusters[0].members[0], 0u);
+}
+
+TEST(ClusteringTest, NoRepsEverythingOutlier) {
+  std::vector<traj::SubTrajectory> subs;
+  subs.push_back(Sub(0, 0, 0, 100, 5.0));
+  subs.push_back(Sub(1, 10, 0, 100, 5.0));
+  const auto result =
+      ClusterAroundRepresentatives(subs, {}, ClusteringParams{});
+  EXPECT_TRUE(result.clusters.empty());
+  EXPECT_EQ(result.outliers.size(), 2u);
+}
+
+TEST(ClusteringTest, AssignmentAndTotalsConsistent) {
+  std::vector<traj::SubTrajectory> subs;
+  for (int i = 0; i < 12; ++i) {
+    subs.push_back(Sub(i, (i % 3) * 1000.0 + (i / 3) * 10.0, 0, 100, 2.0));
+  }
+  ClusteringParams p{100.0, 0.5};
+  const auto result = ClusterAroundRepresentatives(subs, {0, 1, 2}, p);
+  EXPECT_EQ(result.TotalMembers() + result.outliers.size(), subs.size());
+  const auto assign = result.Assignment(subs.size());
+  size_t assigned = 0;
+  for (int a : assign) assigned += (a >= 0);
+  EXPECT_EQ(assigned, result.TotalMembers());
+}
+
+// Epsilon sweep: more permissive epsilon never creates more outliers.
+class EpsilonSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(EpsilonSweep, OutliersMonotoneInEpsilon) {
+  std::vector<traj::SubTrajectory> subs;
+  for (int i = 0; i < 10; ++i) {
+    subs.push_back(Sub(i, i * 40.0, 0, 100, 2.0));
+  }
+  ClusteringParams tight{GetParam(), 0.5};
+  ClusteringParams loose{GetParam() * 2.0, 0.5};
+  const auto a = ClusterAroundRepresentatives(subs, {0}, tight);
+  const auto b = ClusterAroundRepresentatives(subs, {0}, loose);
+  EXPECT_GE(a.outliers.size(), b.outliers.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Epsilons, EpsilonSweep,
+                         ::testing::Values(20.0, 50.0, 120.0, 250.0));
+
+}  // namespace
+}  // namespace hermes

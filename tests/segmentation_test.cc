@@ -1,0 +1,215 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "segmentation/nats.h"
+#include "voting/voting.h"
+
+namespace hermes::segmentation {
+namespace {
+
+NatsParams SmallParams() {
+  NatsParams p;
+  p.min_part_length = 2;
+  p.lambda_scale = 0.05;
+  return p;
+}
+
+TEST(NatsTest, EmptySignalYieldsNoParts) {
+  EXPECT_TRUE(SegmentVotingSignal({}, SmallParams()).empty());
+}
+
+TEST(NatsTest, ShortSignalSinglePart) {
+  const auto parts = SegmentVotingSignal({1.0, 2.0, 3.0}, SmallParams());
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0].first_segment, 0u);
+  EXPECT_EQ(parts[0].last_segment, 2u);
+  EXPECT_NEAR(parts[0].mean_voting, 2.0, 1e-12);
+}
+
+TEST(NatsTest, ConstantSignalNeverSplits) {
+  const std::vector<double> votes(40, 5.0);
+  const auto parts = SegmentVotingSignal(votes, SmallParams());
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0].NumSegments(), 40u);
+  EXPECT_NEAR(parts[0].mean_voting, 5.0, 1e-12);
+}
+
+TEST(NatsTest, StepSignalSplitsAtTheStep) {
+  // 20 segments at vote 1, then 20 at vote 9: the DP must cut at 20.
+  std::vector<double> votes;
+  votes.insert(votes.end(), 20, 1.0);
+  votes.insert(votes.end(), 20, 9.0);
+  const auto parts = SegmentVotingSignal(votes, SmallParams());
+  ASSERT_EQ(parts.size(), 2u);
+  EXPECT_EQ(parts[0].first_segment, 0u);
+  EXPECT_EQ(parts[0].last_segment, 19u);
+  EXPECT_EQ(parts[1].first_segment, 20u);
+  EXPECT_EQ(parts[1].last_segment, 39u);
+  EXPECT_NEAR(parts[0].mean_voting, 1.0, 1e-9);
+  EXPECT_NEAR(parts[1].mean_voting, 9.0, 1e-9);
+}
+
+TEST(NatsTest, ThreeLevelSignal) {
+  std::vector<double> votes;
+  votes.insert(votes.end(), 10, 1.0);
+  votes.insert(votes.end(), 10, 10.0);
+  votes.insert(votes.end(), 10, 2.0);
+  const auto parts = SegmentVotingSignal(votes, SmallParams());
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[1].first_segment, 10u);
+  EXPECT_EQ(parts[1].last_segment, 19u);
+}
+
+TEST(NatsTest, PartsArePartition) {
+  Rng rng(42);
+  std::vector<double> votes;
+  for (int i = 0; i < 60; ++i) votes.push_back(rng.Uniform(0, 10));
+  const auto parts = SegmentVotingSignal(votes, SmallParams());
+  ASSERT_FALSE(parts.empty());
+  EXPECT_EQ(parts.front().first_segment, 0u);
+  EXPECT_EQ(parts.back().last_segment, 59u);
+  for (size_t i = 1; i < parts.size(); ++i) {
+    EXPECT_EQ(parts[i].first_segment, parts[i - 1].last_segment + 1);
+  }
+}
+
+TEST(NatsTest, MinPartLengthEnforced) {
+  std::vector<double> votes;
+  for (int i = 0; i < 30; ++i) votes.push_back((i % 2 == 0) ? 0.0 : 10.0);
+  NatsParams p = SmallParams();
+  p.min_part_length = 5;
+  const auto parts = SegmentVotingSignal(votes, p);
+  for (const auto& part : parts) {
+    EXPECT_GE(part.NumSegments(), 5u);
+  }
+}
+
+TEST(NatsTest, MaxPartsBoundRespected) {
+  std::vector<double> votes;
+  for (int b = 0; b < 6; ++b) {
+    votes.insert(votes.end(), 8, b * 5.0);
+  }
+  NatsParams p = SmallParams();
+  p.max_parts = 3;
+  const auto parts = SegmentVotingSignal(votes, p);
+  EXPECT_LE(parts.size(), 3u);
+}
+
+TEST(NatsTest, LargerLambdaFewerParts) {
+  Rng rng(17);
+  std::vector<double> votes;
+  for (int b = 0; b < 8; ++b) {
+    const double level = rng.Uniform(0, 20);
+    for (int i = 0; i < 6; ++i) votes.push_back(level + rng.Uniform(-0.5, 0.5));
+  }
+  NatsParams fine = SmallParams();
+  fine.lambda_scale = 0.001;
+  NatsParams coarse = SmallParams();
+  coarse.lambda_scale = 2.0;
+  EXPECT_GE(SegmentVotingSignal(votes, fine).size(),
+            SegmentVotingSignal(votes, coarse).size());
+}
+
+TEST(NatsTest, DpMatchesBruteForceCost) {
+  // Exhaustive cross-check on small random signals.
+  for (uint64_t seed = 0; seed < 8; ++seed) {
+    Rng rng(seed);
+    std::vector<double> votes;
+    const int m = 8 + static_cast<int>(seed) % 4;
+    for (int i = 0; i < m; ++i) votes.push_back(rng.Uniform(0, 10));
+    NatsParams p = SmallParams();
+    const auto dp = SegmentVotingSignal(votes, p);
+    const auto bf = SegmentVotingSignalBruteForce(votes, p);
+    const double lambda = EffectiveLambda(votes, p);
+    EXPECT_NEAR(SegmentationCost(votes, dp, lambda),
+                SegmentationCost(votes, bf, lambda), 1e-9)
+        << "seed " << seed;
+  }
+}
+
+TEST(NatsTest, SegmentStoreMaterializesSubTrajectories) {
+  // One trajectory with a co-movement episode in the middle.
+  traj::TrajectoryStore store;
+  auto line = [&](traj::ObjectId id, double y, double t0, double t1) {
+    traj::Trajectory t(id);
+    for (int i = 0; i <= 40; ++i) {
+      const double u = i / 40.0;
+      EXPECT_TRUE(
+          t.Append({u * 1000.0, y, t0 + u * (t1 - t0)}).ok());
+    }
+    return t;
+  };
+  ASSERT_TRUE(store.Add(line(1, 0, 0, 400)).ok());
+  // Companion only during the middle third (same x range scaled in time).
+  traj::Trajectory companion(2);
+  for (int i = 0; i <= 13; ++i) {
+    const double t = 133 + i * 10.0;
+    const double x = 1000.0 * t / 400.0;
+    ASSERT_TRUE(companion.Append({x, 10.0, t}).ok());
+  }
+  ASSERT_TRUE(store.Add(std::move(companion)).ok());
+
+  voting::VotingParams vp{50.0, 3.0, 0.5};
+  auto votes = voting::ComputeVotingNaive(store, vp);
+  ASSERT_TRUE(votes.ok());
+
+  NatsParams p;
+  p.min_part_length = 3;
+  const auto subs = SegmentStore(store, *votes, p);
+  ASSERT_GE(subs.size(), 3u);  // Trajectory 1 splits around the episode.
+  // Sub-trajectories must cover their sources contiguously.
+  size_t from_first = 0;
+  for (const auto& st : subs) {
+    if (st.source_trajectory == 0) ++from_first;
+    EXPECT_GE(st.points.size(), 2u);
+    EXPECT_TRUE(st.points.Validate().ok());
+  }
+  EXPECT_GE(from_first, 2u);
+}
+
+TEST(NatsTest, SegmentStoreAssignsSequentialIds) {
+  traj::TrajectoryStore store = [] {
+    traj::TrajectoryStore s;
+    for (int k = 0; k < 3; ++k) {
+      traj::Trajectory t(k);
+      for (int i = 0; i <= 10; ++i) {
+        EXPECT_TRUE(t.Append({i * 10.0, k * 100.0, i * 1.0}).ok());
+      }
+      EXPECT_TRUE(s.Add(std::move(t)).ok());
+    }
+    return s;
+  }();
+  voting::VotingParams vp{50.0, 3.0, 0.5};
+  auto votes = voting::ComputeVotingNaive(store, vp);
+  ASSERT_TRUE(votes.ok());
+  const auto subs = SegmentStore(store, *votes, SmallParams());
+  for (size_t i = 0; i < subs.size(); ++i) {
+    EXPECT_EQ(subs[i].id, i);
+  }
+}
+
+// Lambda-scale sweep property: part count is monotonically non-increasing
+// in lambda.
+class LambdaSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(LambdaSweep, MoreLambdaNeverMoreParts) {
+  Rng rng(1234);
+  std::vector<double> votes;
+  for (int i = 0; i < 48; ++i) {
+    votes.push_back((i / 12) * 3.0 + rng.Uniform(-0.4, 0.4));
+  }
+  NatsParams base = SmallParams();
+  base.lambda_scale = GetParam();
+  NatsParams bigger = base;
+  bigger.lambda_scale = GetParam() * 4.0;
+  EXPECT_GE(SegmentVotingSignal(votes, base).size(),
+            SegmentVotingSignal(votes, bigger).size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, LambdaSweep,
+                         ::testing::Values(0.005, 0.02, 0.1, 0.5));
+
+}  // namespace
+}  // namespace hermes::segmentation

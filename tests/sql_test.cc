@@ -1,0 +1,288 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "datagen/noise.h"
+#include "sql/executor.h"
+#include "sql/parser.h"
+#include "sql/tokenizer.h"
+
+namespace hermes::sql {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Tokenizer
+// ---------------------------------------------------------------------------
+
+TEST(TokenizerTest, BasicStatement) {
+  auto tokens = Tokenize("SELECT QUT(d, 0, 100);");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_EQ(tokens->size(), 11u);  // incl. kEnd.
+  EXPECT_EQ((*tokens)[0].kind, TokenKind::kIdentifier);
+  EXPECT_EQ((*tokens)[0].text, "SELECT");
+  EXPECT_EQ((*tokens)[1].text, "QUT");
+  EXPECT_EQ((*tokens)[2].kind, TokenKind::kLParen);
+  EXPECT_EQ((*tokens)[3].text, "D");  // Upper-cased.
+  EXPECT_EQ((*tokens)[5].kind, TokenKind::kNumber);
+  EXPECT_DOUBLE_EQ((*tokens)[5].number, 0.0);
+}
+
+TEST(TokenizerTest, NumbersSignedAndScientific) {
+  auto tokens = Tokenize("-1.5 +2e3 .25 7");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_DOUBLE_EQ((*tokens)[0].number, -1.5);
+  EXPECT_DOUBLE_EQ((*tokens)[1].number, 2000.0);
+  EXPECT_DOUBLE_EQ((*tokens)[2].number, 0.25);
+  EXPECT_DOUBLE_EQ((*tokens)[3].number, 7.0);
+}
+
+TEST(TokenizerTest, StringsAndComments) {
+  auto tokens = Tokenize("LOAD MOD m FROM 'a b.csv'; -- comment\n");
+  ASSERT_TRUE(tokens.ok());
+  bool found = false;
+  for (const auto& t : *tokens) {
+    if (t.kind == TokenKind::kString) {
+      EXPECT_EQ(t.text, "a b.csv");
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(TokenizerTest, UnterminatedStringFails) {
+  EXPECT_TRUE(Tokenize("LOAD MOD m FROM 'oops").status().IsInvalidArgument());
+}
+
+TEST(TokenizerTest, StrayCharacterFails) {
+  EXPECT_TRUE(Tokenize("SELECT @").status().IsInvalidArgument());
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+TEST(ParserTest, CreateDropLoad) {
+  auto create = ParseStatement("CREATE MOD flights;");
+  ASSERT_TRUE(create.ok());
+  EXPECT_EQ(create->kind, Statement::Kind::kCreateMod);
+  EXPECT_EQ(create->mod, "FLIGHTS");
+
+  auto drop = ParseStatement("drop mod flights");
+  ASSERT_TRUE(drop.ok());
+  EXPECT_EQ(drop->kind, Statement::Kind::kDropMod);
+
+  auto load = ParseStatement("LOAD MOD flights FROM '/tmp/f.csv';");
+  ASSERT_TRUE(load.ok());
+  EXPECT_EQ(load->kind, Statement::Kind::kLoadMod);
+  EXPECT_EQ(load->path, "/tmp/f.csv");
+}
+
+TEST(ParserTest, InsertMultipleRows) {
+  auto stmt = ParseStatement(
+      "INSERT INTO d VALUES (1, 0, 10, 20), (1, 5, 11, 21);");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ(stmt->kind, Statement::Kind::kInsert);
+  ASSERT_EQ(stmt->rows.size(), 2u);
+  EXPECT_DOUBLE_EQ(stmt->rows[1][1], 5.0);
+  EXPECT_DOUBLE_EQ(stmt->rows[1][3], 21.0);
+}
+
+TEST(ParserTest, SelectQutSignature) {
+  auto stmt = ParseStatement(
+      "SELECT QUT(D, 0, 3600, 900, 300, 75, 150, 32);");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ(stmt->kind, Statement::Kind::kSelect);
+  EXPECT_EQ(stmt->function, "QUT");
+  EXPECT_EQ(stmt->mod, "D");
+  ASSERT_EQ(stmt->args.size(), 7u);
+  EXPECT_DOUBLE_EQ(stmt->args[2], 900.0);
+}
+
+TEST(ParserTest, ErrorsAreDescriptive) {
+  EXPECT_TRUE(ParseStatement("FROB x").status().IsInvalidArgument());
+  EXPECT_TRUE(ParseStatement("SELECT S2T d").status().IsInvalidArgument());
+  EXPECT_TRUE(ParseStatement("CREATE TABLE t").status().IsInvalidArgument());
+  EXPECT_TRUE(ParseStatement("SELECT QUT(d, 1").status().IsInvalidArgument());
+  EXPECT_TRUE(
+      ParseStatement("CREATE MOD a; extra").status().IsInvalidArgument());
+}
+
+TEST(ParserTest, ScriptSplitsStatements) {
+  auto script = ParseScript(
+      "CREATE MOD a; INSERT INTO a VALUES (1,0,0,0),(1,1,1,1); "
+      "SELECT STATS(a);");
+  ASSERT_TRUE(script.ok());
+  EXPECT_EQ(script->size(), 3u);
+}
+
+// ---------------------------------------------------------------------------
+// Executor
+// ---------------------------------------------------------------------------
+
+class SqlSessionTest : public ::testing::Test {
+ protected:
+  Session session_;
+};
+
+TEST_F(SqlSessionTest, CreateInsertStats) {
+  ASSERT_TRUE(session_.Execute("CREATE MOD d;").ok());
+  ASSERT_TRUE(session_
+                  .Execute("INSERT INTO d VALUES (1, 0, 0, 0), (1, 10, 100, "
+                           "0), (2, 0, 0, 50), (2, 10, 100, 50);")
+                  .ok());
+  auto stats = session_.Execute("SELECT STATS(d);");
+  ASSERT_TRUE(stats.ok());
+  ASSERT_EQ(stats->rows.size(), 1u);
+  EXPECT_EQ(stats->rows[0][0], "2");  // Trajectories.
+  EXPECT_EQ(stats->rows[0][1], "4");  // Points.
+}
+
+TEST_F(SqlSessionTest, DuplicateCreateFails) {
+  ASSERT_TRUE(session_.Execute("CREATE MOD d;").ok());
+  EXPECT_TRUE(session_.Execute("CREATE MOD d;").status().IsAlreadyExists());
+}
+
+TEST_F(SqlSessionTest, DropThenMissing) {
+  ASSERT_TRUE(session_.Execute("CREATE MOD d;").ok());
+  ASSERT_TRUE(session_.Execute("DROP MOD d;").ok());
+  EXPECT_TRUE(session_.Execute("SELECT STATS(d);").status().IsNotFound());
+  EXPECT_TRUE(session_.Execute("DROP MOD d;").status().IsNotFound());
+}
+
+TEST_F(SqlSessionTest, RangeQueryFiltersWindow) {
+  ASSERT_TRUE(session_.Execute("CREATE MOD d;").ok());
+  ASSERT_TRUE(session_
+                  .Execute("INSERT INTO d VALUES (1, 0, 0, 0), (1, 100, 10, "
+                           "0), (2, 500, 0, 0), (2, 600, 10, 0);")
+                  .ok());
+  auto result = session_.Execute("SELECT RANGE(d, 0, 200);");
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->rows.size(), 1u);  // Only object 1.
+  EXPECT_EQ(result->rows[0][0], "1");
+}
+
+TEST_F(SqlSessionTest, S2TOverRegisteredScenario) {
+  traj::TrajectoryStore lanes = datagen::MakeParallelLanes(
+      2, 4, 2000.0, 800.0, 10.0, 10.0, /*seed=*/3, /*jitter=*/1.0);
+  ASSERT_TRUE(session_.RegisterStore("lanes", std::move(lanes)).ok());
+  auto result = session_.Execute("SELECT S2T(lanes, 30, 60);");
+  ASSERT_TRUE(result.ok());
+  // Rows: clusters + the outlier summary line.
+  ASSERT_GE(result->rows.size(), 3u);
+  EXPECT_EQ(result->rows.back()[0], "outliers");
+}
+
+TEST_F(SqlSessionTest, QutBuildsTreeAndAnswers) {
+  traj::TrajectoryStore lanes = datagen::MakeParallelLanes(
+      2, 6, 5000.0, 1600.0, 10.0, 10.0, /*seed=*/5, /*jitter=*/1.0);
+  ASSERT_TRUE(session_.RegisterStore("lanes", std::move(lanes)).ok());
+  auto result = session_.Execute(
+      "SELECT QUT(lanes, 0, 160, 80, 40, 12, 80, 8);");
+  ASSERT_TRUE(result.ok());
+  ASSERT_GE(result->rows.size(), 1u);
+  // Re-running with the same tree parameters reuses the tree.
+  auto again = session_.Execute(
+      "SELECT QUT(lanes, 40, 120, 80, 40, 12, 80, 8);");
+  ASSERT_TRUE(again.ok());
+}
+
+TEST_F(SqlSessionTest, QutArgumentCountValidated) {
+  ASSERT_TRUE(session_.Execute("CREATE MOD d;").ok());
+  EXPECT_TRUE(session_.Execute("SELECT QUT(d, 1, 2);").status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(session_.Execute("SELECT S2T(d, 1);").status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(session_.Execute("SELECT RANGE(d, 5, 5);").status()
+                  .IsInvalidArgument());
+}
+
+TEST_F(SqlSessionTest, UnknownFunctionRejected) {
+  ASSERT_TRUE(session_.Execute("CREATE MOD d;").ok());
+  EXPECT_TRUE(
+      session_.Execute("SELECT FOO(d, 1);").status().IsNotSupported());
+}
+
+TEST_F(SqlSessionTest, LoadFromCsvFile) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "hermes_sql_load.csv")
+          .string();
+  {
+    std::ofstream out(path);
+    out << "obj_id,t,x,y\n";
+    for (int i = 0; i < 10; ++i) {
+      out << "7," << i * 10 << "," << i * 100 << ",0\n";
+    }
+  }
+  auto result = session_.Execute("LOAD MOD fleet FROM '" + path + "';");
+  ASSERT_TRUE(result.ok());
+  auto stats = session_.Execute("SELECT STATS(fleet);");
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->rows[0][0], "1");
+  EXPECT_EQ(stats->rows[0][1], "10");
+  std::filesystem::remove(path);
+}
+
+TEST_F(SqlSessionTest, ExecuteScriptReturnsLastResult) {
+  auto result = session_.ExecuteScript(
+      "CREATE MOD d; INSERT INTO d VALUES (1,0,0,0),(1,1,1,1); "
+      "SELECT STATS(d);");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->columns[0], "trajectories");
+}
+
+TEST_F(SqlSessionTest, TraclusFunctionRuns) {
+  traj::TrajectoryStore lanes = datagen::MakeParallelLanes(
+      1, 6, 10.0, 800.0, 10.0, 10.0, /*seed=*/9, /*jitter=*/1.0);
+  ASSERT_TRUE(session_.RegisterStore("bundle", std::move(lanes)).ok());
+  auto result = session_.Execute("SELECT TRACLUS(bundle, 60, 3);");
+  ASSERT_TRUE(result.ok());
+  ASSERT_GE(result->rows.size(), 2u);  // >=1 cluster + noise row.
+  EXPECT_EQ(result->rows.back()[0], "noise");
+  EXPECT_TRUE(
+      session_.Execute("SELECT TRACLUS(bundle, 60);").status()
+          .IsInvalidArgument());
+}
+
+TEST_F(SqlSessionTest, TOpticsFunctionRuns) {
+  traj::TrajectoryStore lanes = datagen::MakeParallelLanes(
+      2, 4, 2000.0, 800.0, 10.0, 10.0, /*seed=*/11, /*jitter=*/1.0);
+  ASSERT_TRUE(session_.RegisterStore("lanes2", std::move(lanes)).ok());
+  auto result = session_.Execute("SELECT TOPTICS(lanes2, 300, 3);");
+  ASSERT_TRUE(result.ok());
+  ASSERT_GE(result->rows.size(), 3u);  // 2 clusters + noise row.
+  EXPECT_EQ(result->rows.back()[0], "noise");
+}
+
+TEST_F(SqlSessionTest, ConvoysFunctionRuns) {
+  traj::TrajectoryStore lanes = datagen::MakeParallelLanes(
+      1, 5, 10.0, 800.0, 10.0, 10.0, /*seed=*/13, /*jitter=*/1.0);
+  ASSERT_TRUE(session_.RegisterStore("fleet", std::move(lanes)).ok());
+  auto result = session_.Execute("SELECT CONVOYS(fleet, 80, 3, 3, 20);");
+  ASSERT_TRUE(result.ok());
+  ASSERT_GE(result->rows.size(), 1u);
+  EXPECT_EQ(result->columns[0], "convoy_id");
+  EXPECT_TRUE(
+      session_.Execute("SELECT CONVOYS(fleet, 80, 3);").status()
+          .IsInvalidArgument());
+}
+
+TEST_F(SqlSessionTest, TableRendersAligned) {
+  Table t;
+  t.columns = {"a", "long_column"};
+  t.rows = {{"1", "x"}, {"22", "yy"}};
+  const std::string s = t.ToString();
+  EXPECT_NE(s.find("| a "), std::string::npos);
+  EXPECT_NE(s.find("long_column"), std::string::npos);
+  EXPECT_NE(s.find("+--"), std::string::npos);
+}
+
+TEST_F(SqlSessionTest, FindStoreIsCaseInsensitive) {
+  ASSERT_TRUE(session_.Execute("CREATE MOD Mixed;").ok());
+  EXPECT_NE(session_.FindStore("mixed"), nullptr);
+  EXPECT_NE(session_.FindStore("MIXED"), nullptr);
+  EXPECT_EQ(session_.FindStore("other"), nullptr);
+}
+
+}  // namespace
+}  // namespace hermes::sql

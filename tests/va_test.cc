@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "core/s2t_clustering.h"
+#include "datagen/noise.h"
+#include "va/ascii_map.h"
+#include "va/exporters.h"
+
+namespace hermes::va {
+namespace {
+
+std::string TempFile(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+size_t CountLines(const std::string& path) {
+  std::ifstream in(path);
+  size_t n = 0;
+  std::string line;
+  while (std::getline(in, line)) ++n;
+  return n;
+}
+
+class VaTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    store_ = datagen::MakeParallelLanes(2, 4, 2000.0, 800.0, 10.0, 10.0,
+                                        /*seed=*/3, /*jitter=*/1.0);
+    core::S2TParams params;
+    params.SetSigma(30.0).SetEpsilon(60.0);
+    params.segmentation.min_part_length = 2;
+    params.sampling.sigma = 120.0;
+    params.sampling.gain_stop_ratio = 0.2;
+    core::S2TClustering s2t(params);
+    auto result = s2t.Run(store_);
+    ASSERT_TRUE(result.ok());
+    result_ = std::move(result).value();
+    ASSERT_GE(result_.NumClusters(), 2u);
+  }
+
+  traj::TrajectoryStore store_;
+  core::S2TResult result_;
+};
+
+TEST_F(VaTest, ColorPaletteStableAndDistinct) {
+  EXPECT_EQ(ColorFor(0).ToHex(), ColorFor(0).ToHex());
+  EXPECT_NE(ColorFor(0).ToHex(), ColorFor(1).ToHex());
+  EXPECT_EQ(ColorFor(0).ToHex(), ColorFor(12).ToHex());  // Palette cycles.
+  EXPECT_EQ(ColorFor(-1).ToHex(), "#505050");            // Outlier gray.
+  EXPECT_EQ(ColorFor(0).ToHex().size(), 7u);
+}
+
+TEST_F(VaTest, ClusterMapCsvWellFormed) {
+  const std::string path = TempFile("hermes_map.csv");
+  ASSERT_TRUE(ExportClusterMapCsv(path, result_).ok());
+  std::ifstream in(path);
+  std::string header;
+  std::getline(in, header);
+  EXPECT_EQ(header, "cluster_id,color,object_id,sub_id,seq,x,y,t");
+  // Every sample of every sub-trajectory appears exactly once.
+  size_t expected = 0;
+  for (const auto& st : result_.sub_trajectories) expected += st.points.size();
+  EXPECT_EQ(CountLines(path), expected + 1);
+  std::filesystem::remove(path);
+}
+
+TEST_F(VaTest, TimeHistogramSumsMatchMembers) {
+  const TimeHistogram h = BuildTimeHistogram(result_, 10);
+  ASSERT_EQ(h.bins, 10u);
+  ASSERT_EQ(h.counts.size(), 10u);
+  // Every member contributes to at least one bin.
+  size_t total = 0;
+  for (const auto& row : h.counts) {
+    for (size_t c : row) total += c;
+  }
+  EXPECT_GE(total, result_.clustering.TotalMembers());
+  // Column count = clusters + outlier column.
+  EXPECT_EQ(h.counts[0].size(), result_.NumClusters() + 1);
+}
+
+TEST_F(VaTest, TimeHistogramCsvWellFormed) {
+  const std::string path = TempFile("hermes_hist.csv");
+  ASSERT_TRUE(ExportTimeHistogramCsv(path, result_, 8).ok());
+  EXPECT_EQ(CountLines(path), 1 + 8 * (result_.NumClusters() + 1));
+  std::filesystem::remove(path);
+}
+
+TEST_F(VaTest, ShapesCsvRepsOnlySmaller) {
+  const std::string reps_path = TempFile("hermes_reps.csv");
+  const std::string all_path = TempFile("hermes_all.csv");
+  ASSERT_TRUE(Export3DShapesCsv(reps_path, result_, "runA", true).ok());
+  ASSERT_TRUE(Export3DShapesCsv(all_path, result_, "runA", false).ok());
+  EXPECT_LT(CountLines(reps_path), CountLines(all_path));
+  std::filesystem::remove(reps_path);
+  std::filesystem::remove(all_path);
+}
+
+TEST_F(VaTest, GeoJsonIsStructurallySound) {
+  const std::string path = TempFile("hermes_map.geojson");
+  ASSERT_TRUE(ExportGeoJson(path, result_).ok());
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string json = ss.str();
+  EXPECT_EQ(json.find("{\"type\":\"FeatureCollection\""), 0u);
+  EXPECT_EQ(json.back(), '}');
+  // Balanced braces (crude but effective structural check).
+  int depth = 0;
+  for (char c : json) {
+    if (c == '{') ++depth;
+    if (c == '}') --depth;
+    EXPECT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+  std::filesystem::remove(path);
+}
+
+TEST_F(VaTest, ExportersFailOnBadPath) {
+  EXPECT_TRUE(
+      ExportClusterMapCsv("/nonexistent/dir/x.csv", result_).IsIOError());
+  EXPECT_TRUE(
+      ExportTimeHistogramCsv("/nonexistent/dir/x.csv", result_, 4)
+          .IsIOError());
+  EXPECT_TRUE(ExportGeoJson("/nonexistent/dir/x.csv", result_).IsIOError());
+}
+
+TEST_F(VaTest, AsciiMapShowsClusters) {
+  const std::string map = RenderAsciiMap(result_, 80, 24);
+  // 24 lines of 80 chars.
+  EXPECT_EQ(map.size(), 24u * 81u);
+  EXPECT_NE(map.find('A'), std::string::npos);
+  EXPECT_NE(map.find('B'), std::string::npos);
+}
+
+TEST_F(VaTest, AsciiHistogramRendersBins) {
+  const std::string hist = RenderAsciiHistogram(result_, 6, 40);
+  size_t lines = 0;
+  for (char c : hist) lines += (c == '\n');
+  EXPECT_EQ(lines, 6u);
+}
+
+TEST_F(VaTest, EmptyResultRendersGracefully) {
+  core::S2TResult empty;
+  const TimeHistogram h = BuildTimeHistogram(empty, 5);
+  EXPECT_TRUE(h.counts.empty());
+  EXPECT_EQ(RenderAsciiHistogram(empty, 5, 40), "(empty)\n");
+}
+
+}  // namespace
+}  // namespace hermes::va
