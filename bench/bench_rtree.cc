@@ -4,9 +4,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cmath>
 
 #include "common/rng.h"
+#include "exec/exec_context.h"
 #include "rtree/rtree3d.h"
 #include "storage/env.h"
 
@@ -98,6 +100,41 @@ void BM_RTreeStrBuild(benchmark::State& state) {
   }
 }
 
+// STR ordering with the sort phases fanned out over an ExecContext;
+// reports speedup against the 1-thread run from the same process.
+void BM_RTreeStrOrderParallel(benchmark::State& state) {
+  auto items = MakeBoxes(200000, 11);
+  static double seq_ms = 0.0;
+  if (seq_ms == 0.0) {
+    auto copy = items;
+    const auto t0 = std::chrono::steady_clock::now();
+    auto ordered = rtree::StrOrder(std::move(copy), 128, nullptr);
+    benchmark::DoNotOptimize(ordered);
+    seq_ms = std::chrono::duration<double, std::milli>(
+                 std::chrono::steady_clock::now() - t0)
+                 .count();
+  }
+  exec::ExecContext ctx(state.range(0));
+  double iter_ms_sum = 0.0;
+  size_t iters = 0;
+  for (auto _ : state) {
+    auto copy = items;
+    const auto t0 = std::chrono::steady_clock::now();
+    auto ordered = rtree::StrOrder(std::move(copy), 128, &ctx);
+    benchmark::DoNotOptimize(ordered);
+    iter_ms_sum += std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - t0)
+                       .count();
+    ++iters;
+  }
+  state.counters["threads"] = static_cast<double>(state.range(0));
+  state.counters["seq_ms"] = seq_ms;
+  if (iters > 0 && iter_ms_sum > 0.0) {
+    state.counters["speedup"] =
+        seq_ms / (iter_ms_sum / static_cast<double>(iters));
+  }
+}
+
 void BM_RTreeKnn(benchmark::State& state) {
   auto env = storage::Env::NewMemEnv();
   auto tree = std::move(rtree::RTree3D::Open(env.get(), "knn.idx")).value();
@@ -121,6 +158,8 @@ BENCHMARK(BM_SequentialScan)->Arg(1)->Arg(5)->Arg(20)->Arg(60)
 BENCHMARK(BM_RTreeInsertBuild)->Arg(5000)->Arg(20000)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_RTreeStrBuild)->Arg(5000)->Arg(20000)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_RTreeStrOrderParallel)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_RTreeKnn)->Arg(1)->Arg(10)->Arg(100)
     ->Unit(benchmark::kMicrosecond);

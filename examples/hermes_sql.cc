@@ -35,6 +35,7 @@ int main(int argc, char** argv) {
       "SELECT STATS(demo);",
       "SELECT RANGE(demo, 0, 90);",
       "SELECT S2T(demo, 100, 200);",
+      "SET hermes.threads = 4;",  // Analytic statements now fan out.
       "SELECT S2T(ships, 800, 1600);",
       "SELECT QUT(ships, 0, 7200, 3600, 900, 225, 1600, 16);",
   };

@@ -58,15 +58,18 @@ StatusOr<traj::SubTrajectory> DecodeSubTrajectory(const std::string& bytes) {
 
 ReTraTree::ReTraTree(storage::Env* env, std::string dir,
                      ReTraTreeParams params,
-                     std::unique_ptr<storage::PartitionManager> partitions)
+                     std::unique_ptr<storage::PartitionManager> partitions,
+                     exec::ExecContext* exec)
     : env_(env),
       dir_(std::move(dir)),
       params_(std::move(params)),
-      partitions_(std::move(partitions)) {}
+      partitions_(std::move(partitions)),
+      exec_(exec) {}
 
 StatusOr<std::unique_ptr<ReTraTree>> ReTraTree::Open(storage::Env* env,
                                                      const std::string& dir,
-                                                     ReTraTreeParams params) {
+                                                     ReTraTreeParams params,
+                                                     exec::ExecContext* exec) {
   if (params.tau <= 0.0 || params.delta <= 0.0) {
     return Status::InvalidArgument("tau and delta must be positive");
   }
@@ -80,7 +83,7 @@ StatusOr<std::unique_ptr<ReTraTree>> ReTraTree::Open(storage::Env* env,
   HERMES_ASSIGN_OR_RETURN(std::unique_ptr<storage::PartitionManager> pm,
                           storage::PartitionManager::Open(env, dir));
   auto tree = std::unique_ptr<ReTraTree>(
-      new ReTraTree(env, dir, std::move(params), std::move(pm)));
+      new ReTraTree(env, dir, std::move(params), std::move(pm), exec));
   if (env->FileExists(tree->CatalogPath())) {
     HERMES_RETURN_NOT_OK(tree->LoadCatalog());
   }
@@ -384,7 +387,8 @@ Status ReTraTree::ReclusterOutliers(SubChunk* sc) {
   if (temp.NumTrajectories() < 2) return Status::OK();
 
   S2TClustering s2t(params_.s2t);
-  HERMES_ASSIGN_OR_RETURN(S2TResult result, s2t.Run(temp));
+  HERMES_ASSIGN_OR_RETURN(S2TResult result, s2t.Run(temp, exec_));
+  stats_.s2t_timings += result.timings;
 
   // Drop and recreate the outlier partition; survivors are re-appended.
   HERMES_RETURN_NOT_OK(partitions_->Drop(sc->outlier_partition));

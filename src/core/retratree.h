@@ -45,7 +45,8 @@ struct ReTraTreeParams {
   S2TParams s2t;
 };
 
-/// \brief Maintenance counters (Fig. 2's loop, made observable).
+/// \brief Maintenance counters (Fig. 2's loop, made observable), plus the
+/// wall time the buffer re-clustering runs spent per phase.
 struct ReTraTreeStats {
   uint64_t pieces_inserted = 0;
   uint64_t assigned_to_existing = 0;
@@ -55,6 +56,9 @@ struct ReTraTreeStats {
   uint64_t reinserted_after_s2t = 0;
   uint64_t records_written = 0;
   uint64_t records_read = 0;
+  /// Cumulative phase breakdown of all S2T re-clustering runs (µs),
+  /// including the columnar arena snapshots they build.
+  S2TTimings s2t_timings;
 };
 
 /// \brief L3 entry: an in-memory representative plus its on-disk member
@@ -115,10 +119,12 @@ class ReTraTree {
   /// Opens a tree storing partitions under `dir` of `env`. When a catalog
   /// written by `Save` exists there, the in-memory levels are restored
   /// from it (the passed structural parameters must match the persisted
-  /// ones).
-  static StatusOr<std::unique_ptr<ReTraTree>> Open(storage::Env* env,
-                                                   const std::string& dir,
-                                                   ReTraTreeParams params);
+  /// ones). `exec` (optional, not owned, must outlive the tree) is handed
+  /// to the S2T re-clustering runs of the maintenance loop so their
+  /// arena build, index build, and vote kernel fan out.
+  static StatusOr<std::unique_ptr<ReTraTree>> Open(
+      storage::Env* env, const std::string& dir, ReTraTreeParams params,
+      exec::ExecContext* exec = nullptr);
 
   /// Persists the in-memory levels (L1–L3) to the catalog file and flushes
   /// every partition and index. After `Save`, `Open` on the same dir
@@ -163,7 +169,8 @@ class ReTraTree {
 
  private:
   ReTraTree(storage::Env* env, std::string dir, ReTraTreeParams params,
-            std::unique_ptr<storage::PartitionManager> partitions);
+            std::unique_ptr<storage::PartitionManager> partitions,
+            exec::ExecContext* exec);
 
   int64_t ChunkIndexOf(double t) const;
   int64_t SubChunkIndexOf(double t) const;
@@ -190,6 +197,7 @@ class ReTraTree {
   std::string dir_;
   ReTraTreeParams params_;
   std::unique_ptr<storage::PartitionManager> partitions_;
+  exec::ExecContext* exec_;  // Not owned; nullptr = sequential.
 
   std::map<int64_t, Chunk> chunks_;
   traj::SubTrajectoryId next_sub_id_ = 0;

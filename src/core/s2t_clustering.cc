@@ -15,29 +15,42 @@ int64_t NowUs() {
 }
 }  // namespace
 
-StatusOr<S2TResult> S2TClustering::Run(
-    const traj::TrajectoryStore& store) const {
+StatusOr<S2TResult> S2TClustering::Run(const traj::TrajectoryStore& store,
+                                       exec::ExecContext* ctx) const {
   S2TTimings timings;
+  int64_t t0 = NowUs();
+  const traj::SegmentArena arena = traj::SegmentArena::Build(store, ctx);
+  timings.arena_build_us = NowUs() - t0;
+
   if (!params_.use_index) {
-    return RunPhases(store, nullptr, timings);
+    return RunPhases(arena, store, nullptr, timings, ctx);
   }
   auto env = storage::Env::NewMemEnv();
-  const int64_t t0 = NowUs();
+  t0 = NowUs();
   HERMES_ASSIGN_OR_RETURN(
       std::unique_ptr<rtree::RTree3D> index,
-      rtree::BuildSegmentIndex(env.get(), "s2t.idx", store));
+      rtree::BuildSegmentIndex(env.get(), "s2t.idx", arena,
+                               /*fill_factor=*/0.9, /*cache_pages=*/512,
+                               ctx));
   timings.index_build_us = NowUs() - t0;
-  return RunPhases(store, index.get(), timings);
+  return RunPhases(arena, store, index.get(), timings, ctx);
 }
 
 StatusOr<S2TResult> S2TClustering::RunWithIndex(
-    const traj::TrajectoryStore& store, const rtree::RTree3D& index) const {
-  return RunPhases(store, &index, S2TTimings{});
+    const traj::TrajectoryStore& store, const rtree::RTree3D& index,
+    exec::ExecContext* ctx) const {
+  S2TTimings timings;
+  const int64_t t0 = NowUs();
+  const traj::SegmentArena arena = traj::SegmentArena::Build(store, ctx);
+  timings.arena_build_us = NowUs() - t0;
+  return RunPhases(arena, store, &index, timings, ctx);
 }
 
-StatusOr<S2TResult> S2TClustering::RunPhases(const traj::TrajectoryStore& store,
+StatusOr<S2TResult> S2TClustering::RunPhases(const traj::SegmentArena& arena,
+                                             const traj::TrajectoryStore& store,
                                              const rtree::RTree3D* index,
-                                             S2TTimings timings) const {
+                                             S2TTimings timings,
+                                             exec::ExecContext* ctx) const {
   S2TResult result;
   result.timings = timings;
 
@@ -46,10 +59,12 @@ StatusOr<S2TResult> S2TClustering::RunPhases(const traj::TrajectoryStore& store,
   if (index != nullptr) {
     HERMES_ASSIGN_OR_RETURN(
         result.voting,
-        voting::ComputeVotingIndexed(store, *index, params_.voting));
+        voting::ComputeVotingIndexed(arena, store, *index, params_.voting,
+                                     ctx));
   } else {
     HERMES_ASSIGN_OR_RETURN(
-        result.voting, voting::ComputeVotingNaive(store, params_.voting));
+        result.voting,
+        voting::ComputeVotingNaive(arena, store, params_.voting, ctx));
   }
   result.timings.voting_us = NowUs() - t0;
 
@@ -70,6 +85,16 @@ StatusOr<S2TResult> S2TClustering::RunPhases(const traj::TrajectoryStore& store,
   result.clustering = clustering::ClusterAroundRepresentatives(
       result.sub_trajectories, result.representatives, params_.clustering);
   result.timings.clustering_us = NowUs() - t0;
+
+  if (ctx != nullptr) {
+    auto& stats = ctx->stats();
+    stats.RecordPhaseUs("s2t_voting", result.timings.voting_us);
+    stats.RecordPhaseUs("s2t_segmentation", result.timings.segmentation_us);
+    stats.RecordPhaseUs("s2t_sampling", result.timings.sampling_us);
+    stats.RecordPhaseUs("s2t_clustering", result.timings.clustering_us);
+    stats.RecordPhaseUs("s2t_index_build", result.timings.index_build_us);
+    stats.RecordPhaseUs("s2t_arena_build", result.timings.arena_build_us);
+  }
   return result;
 }
 

@@ -5,9 +5,11 @@
 
 #include "clustering/greedy_clustering.h"
 #include "common/statusor.h"
+#include "exec/exec_context.h"
 #include "rtree/rtree3d.h"
 #include "sampling/saco_sampling.h"
 #include "segmentation/nats.h"
+#include "traj/segment_arena.h"
 #include "traj/trajectory_store.h"
 #include "voting/voting.h"
 
@@ -26,9 +28,13 @@ struct S2TParams {
   /// Use the pg3D-Rtree voting engine (the in-DBMS fast path).
   bool use_index = true;
 
-  /// Sets the spatial bandwidth sigma everywhere it appears.
+  /// Sets the spatial bandwidth sigma everywhere it appears. All three
+  /// phases that interpret the bandwidth (voting, NaTS segmentation,
+  /// SaCO sampling) receive the same value, so a single call cannot leave
+  /// them silently diverged.
   S2TParams& SetSigma(double sigma) {
     voting.sigma = sigma;
+    segmentation.sigma = sigma;
     sampling.sigma = sigma;
     return *this;
   }
@@ -42,6 +48,7 @@ struct S2TParams {
 /// \brief Wall-clock phase breakdown (microseconds), reported by the
 /// benchmark harness.
 struct S2TTimings {
+  int64_t arena_build_us = 0;
   int64_t index_build_us = 0;
   int64_t voting_us = 0;
   int64_t segmentation_us = 0;
@@ -49,8 +56,19 @@ struct S2TTimings {
   int64_t clustering_us = 0;
 
   int64_t TotalUs() const {
-    return index_build_us + voting_us + segmentation_us + sampling_us +
-           clustering_us;
+    return arena_build_us + index_build_us + voting_us + segmentation_us +
+           sampling_us + clustering_us;
+  }
+
+  /// Field-wise accumulation (e.g. the ReTraTree's cumulative S2T stats).
+  S2TTimings& operator+=(const S2TTimings& o) {
+    arena_build_us += o.arena_build_us;
+    index_build_us += o.index_build_us;
+    voting_us += o.voting_us;
+    segmentation_us += o.segmentation_us;
+    sampling_us += o.sampling_us;
+    clustering_us += o.clustering_us;
+    return *this;
   }
 };
 
@@ -80,20 +98,28 @@ class S2TClustering {
 
   const S2TParams& params() const { return params_; }
 
-  /// Runs the full pipeline. When `params.use_index` a transient in-memory
-  /// pg3D-Rtree is STR-built over the MOD first (its cost is reported
-  /// separately in `timings.index_build_us`).
-  StatusOr<S2TResult> Run(const traj::TrajectoryStore& store) const;
+  /// Runs the full pipeline. A columnar `SegmentArena` is snapshotted
+  /// first and shared by index construction and voting (its cost is
+  /// reported in `timings.arena_build_us`); when `params.use_index` a
+  /// transient in-memory pg3D-Rtree is STR-built over the arena (reported
+  /// in `timings.index_build_us`). `ctx` parallelizes the arena build,
+  /// the STR sort phases, and the vote kernel; results are identical at
+  /// any thread count.
+  StatusOr<S2TResult> Run(const traj::TrajectoryStore& store,
+                          exec::ExecContext* ctx = nullptr) const;
 
   /// Runs with a caller-provided segment index (e.g. the ReTraTree's
   /// per-partition index, or the scenario-2 baseline's freshly built one).
   StatusOr<S2TResult> RunWithIndex(const traj::TrajectoryStore& store,
-                                   const rtree::RTree3D& index) const;
+                                   const rtree::RTree3D& index,
+                                   exec::ExecContext* ctx = nullptr) const;
 
  private:
-  StatusOr<S2TResult> RunPhases(const traj::TrajectoryStore& store,
+  StatusOr<S2TResult> RunPhases(const traj::SegmentArena& arena,
+                                const traj::TrajectoryStore& store,
                                 const rtree::RTree3D* index,
-                                S2TTimings timings) const;
+                                S2TTimings timings,
+                                exec::ExecContext* ctx) const;
 
   S2TParams params_;
 };

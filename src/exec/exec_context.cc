@@ -1,0 +1,22 @@
+#include "exec/exec_context.h"
+
+#include <thread>
+
+namespace hermes::exec {
+
+ExecContext::ExecContext(size_t threads) : threads_(threads) {
+  if (threads_ == 0) {
+    threads_ = std::thread::hardware_concurrency();
+    if (threads_ == 0) threads_ = 1;
+  }
+}
+
+ThreadPool* ExecContext::pool() {
+  if (threads_ <= 1) return nullptr;
+  std::call_once(pool_once_, [this]() {
+    pool_ = std::make_unique<ThreadPool>(threads_);
+  });
+  return pool_.get();
+}
+
+}  // namespace hermes::exec

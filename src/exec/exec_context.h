@@ -1,0 +1,96 @@
+#ifndef HERMES_EXEC_EXEC_CONTEXT_H_
+#define HERMES_EXEC_EXEC_CONTEXT_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "exec/thread_pool.h"
+
+namespace hermes::exec {
+
+/// \brief Accumulated execution statistics of one context: per-phase wall
+/// times and named counters, filled in by the layers a context is threaded
+/// through (arena build, voting, segmentation, index build, ...).
+///
+/// All mutators are thread-safe; phases recorded under the same name
+/// accumulate.
+class ExecStats {
+ public:
+  void RecordPhaseUs(const std::string& phase, int64_t us) {
+    std::lock_guard<std::mutex> lock(mu_);
+    phase_us_[phase] += us;
+  }
+  void AddCounter(const std::string& name, int64_t delta) {
+    std::lock_guard<std::mutex> lock(mu_);
+    counters_[name] += delta;
+  }
+
+  int64_t PhaseUs(const std::string& phase) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = phase_us_.find(phase);
+    return it == phase_us_.end() ? 0 : it->second;
+  }
+  int64_t Counter(const std::string& name) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second;
+  }
+
+  /// Snapshot of all phase timings (for reports / benches).
+  std::map<std::string, int64_t> PhaseTimings() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return phase_us_;
+  }
+
+  void Reset() {
+    std::lock_guard<std::mutex> lock(mu_);
+    phase_us_.clear();
+    counters_.clear();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, int64_t> phase_us_;
+  std::map<std::string, int64_t> counters_;
+};
+
+/// \brief Handle threaded through the voting → segmentation → clustering
+/// hot path: how many threads a consumer may use, the shared `ThreadPool`
+/// that provides them, and the statistics sink.
+///
+/// A context with `threads() == 1` never spawns a pool — every consumer
+/// runs inline, so sequential callers pay nothing. The pool is created
+/// lazily on first parallel use and reused for the lifetime of the
+/// context. Contexts are cheap to construct; long-lived owners (a SQL
+/// `Session`, a benchmark) should reuse one so the pool warm-up is paid
+/// once.
+class ExecContext {
+ public:
+  /// `threads == 0` means "hardware concurrency".
+  explicit ExecContext(size_t threads = 1);
+
+  ExecContext(const ExecContext&) = delete;
+  ExecContext& operator=(const ExecContext&) = delete;
+
+  size_t threads() const { return threads_; }
+
+  /// The worker pool, created on first call. Only meaningful when
+  /// `threads() > 1`; returns nullptr for sequential contexts.
+  ThreadPool* pool();
+
+  ExecStats& stats() { return stats_; }
+  const ExecStats& stats() const { return stats_; }
+
+ private:
+  size_t threads_;
+  std::once_flag pool_once_;
+  std::unique_ptr<ThreadPool> pool_;
+  ExecStats stats_;
+};
+
+}  // namespace hermes::exec
+
+#endif  // HERMES_EXEC_EXEC_CONTEXT_H_

@@ -1,0 +1,54 @@
+#include "exec/parallel_for.h"
+
+#include <condition_variable>
+#include <mutex>
+
+namespace hermes::exec {
+
+size_t NumChunks(size_t n, size_t grain) {
+  if (n == 0) return 0;
+  if (grain == 0) grain = 1;
+  return (n + grain - 1) / grain;
+}
+
+std::pair<size_t, size_t> ChunkBounds(size_t n, size_t grain, size_t c) {
+  if (grain == 0) grain = 1;
+  const size_t begin = c * grain;
+  const size_t end = begin + grain < n ? begin + grain : n;
+  return {begin, end};
+}
+
+void ParallelFor(ExecContext* ctx, size_t n, size_t grain,
+                 const std::function<void(size_t, size_t, size_t)>& fn) {
+  if (n == 0) return;
+  if (grain == 0) grain = 1;
+  const size_t chunks = NumChunks(n, grain);
+
+  ThreadPool* pool = ctx != nullptr ? ctx->pool() : nullptr;
+  if (pool == nullptr || chunks == 1) {
+    for (size_t c = 0; c < chunks; ++c) {
+      const auto [begin, end] = ChunkBounds(n, grain, c);
+      fn(begin, end, c);
+    }
+    return;
+  }
+
+  std::mutex mu;
+  std::condition_variable cv;
+  size_t remaining = chunks;
+  for (size_t c = 0; c < chunks; ++c) {
+    pool->Submit([&, c]() {
+      const auto [begin, end] = ChunkBounds(n, grain, c);
+      fn(begin, end, c);
+      // Notify while holding the lock: the caller destroys mu/cv as soon
+      // as it observes remaining == 0, so an unlocked notify could touch
+      // freed stack memory.
+      std::lock_guard<std::mutex> lock(mu);
+      if (--remaining == 0) cv.notify_one();
+    });
+  }
+  std::unique_lock<std::mutex> lock(mu);
+  cv.wait(lock, [&]() { return remaining == 0; });
+}
+
+}  // namespace hermes::exec

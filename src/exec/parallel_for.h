@@ -1,0 +1,35 @@
+#ifndef HERMES_EXEC_PARALLEL_FOR_H_
+#define HERMES_EXEC_PARALLEL_FOR_H_
+
+#include <cstddef>
+#include <functional>
+
+#include "exec/exec_context.h"
+
+namespace hermes::exec {
+
+/// \brief Deterministic chunking of the index range [0, n): `NumChunks`
+/// and `ChunkBounds` depend only on (n, grain) — never on the thread
+/// count — so per-chunk accumulators merged in chunk order produce the
+/// same result at any parallelism level.
+size_t NumChunks(size_t n, size_t grain);
+
+/// Chunk `c`'s half-open sub-range [begin, end) of [0, n).
+std::pair<size_t, size_t> ChunkBounds(size_t n, size_t grain, size_t c);
+
+/// \brief Runs `fn(begin, end, chunk_index)` over every chunk of [0, n).
+///
+/// Sequential contexts (or n <= grain) run all chunks inline, in order, on
+/// the calling thread. Parallel contexts fan the chunks out to the
+/// context's pool and block until every chunk has finished. Chunk
+/// boundaries are identical in both modes (see `ChunkBounds`), which is
+/// what makes deterministic merging possible.
+///
+/// `fn` must not throw. Chunks may run in any order and concurrently;
+/// `fn` must only write to chunk-private or index-partitioned state.
+void ParallelFor(ExecContext* ctx, size_t n, size_t grain,
+                 const std::function<void(size_t, size_t, size_t)>& fn);
+
+}  // namespace hermes::exec
+
+#endif  // HERMES_EXEC_PARALLEL_FOR_H_

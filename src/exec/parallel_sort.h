@@ -1,0 +1,43 @@
+#ifndef HERMES_EXEC_PARALLEL_SORT_H_
+#define HERMES_EXEC_PARALLEL_SORT_H_
+
+#include <algorithm>
+#include <cstddef>
+
+#include "exec/parallel_for.h"
+
+namespace hermes::exec {
+
+/// \brief Comparison sort fanned out over an `ExecContext`: sorted chunks
+/// produced in parallel, then merged with sequential `std::inplace_merge`
+/// passes. Falls back to `std::sort` for sequential contexts or small
+/// inputs.
+///
+/// With a total-order comparator (no ties) the output is the unique sorted
+/// permutation, identical at any thread count; with ties the merge is
+/// stable per pass but may order equal elements differently than
+/// `std::sort` — callers that need determinism should break ties
+/// explicitly (e.g. on a datum).
+template <typename It, typename Comp>
+void ParallelSort(ExecContext* ctx, It begin, It end, Comp comp) {
+  const size_t n = static_cast<size_t>(end - begin);
+  constexpr size_t kMinParallel = 4096;
+  if (ctx == nullptr || ctx->threads() <= 1 || n < kMinParallel) {
+    std::sort(begin, end, comp);
+    return;
+  }
+  const size_t grain = (n + ctx->threads() - 1) / ctx->threads();
+  ParallelFor(ctx, n, grain, [&](size_t lo, size_t hi, size_t /*chunk*/) {
+    std::sort(begin + lo, begin + hi, comp);
+  });
+  for (size_t width = grain; width < n; width *= 2) {
+    for (size_t lo = 0; lo + width < n; lo += 2 * width) {
+      const size_t hi = lo + 2 * width < n ? lo + 2 * width : n;
+      std::inplace_merge(begin + lo, begin + lo + width, begin + hi, comp);
+    }
+  }
+}
+
+}  // namespace hermes::exec
+
+#endif  // HERMES_EXEC_PARALLEL_SORT_H_

@@ -1,0 +1,45 @@
+#ifndef HERMES_EXEC_THREAD_POOL_H_
+#define HERMES_EXEC_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hermes::exec {
+
+/// \brief A fixed-size pool of worker threads draining a FIFO task queue.
+///
+/// Workers are spawned in the constructor and joined in the destructor;
+/// the pool never grows or shrinks. `Submit` is thread-safe. Tasks must
+/// not throw (the library is Status-based and exception-free); a throwing
+/// task terminates the process.
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Enqueues `task` for execution on some worker.
+  void Submit(std::function<void()> task);
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace hermes::exec
+
+#endif  // HERMES_EXEC_THREAD_POOL_H_

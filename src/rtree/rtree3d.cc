@@ -4,6 +4,9 @@
 #include <cmath>
 #include <queue>
 
+#include "exec/parallel_for.h"
+#include "exec/parallel_sort.h"
+
 namespace hermes::rtree {
 
 StatusOr<std::unique_ptr<RTree3D>> RTree3D::Open(storage::Env* env,
@@ -125,8 +128,8 @@ Status RTree3D::BulkLoad(
 }
 
 std::vector<std::pair<geom::Mbb3D, uint64_t>> StrOrder(
-    std::vector<std::pair<geom::Mbb3D, uint64_t>> items,
-    size_t leaf_capacity) {
+    std::vector<std::pair<geom::Mbb3D, uint64_t>> items, size_t leaf_capacity,
+    exec::ExecContext* ctx) {
   if (items.size() <= leaf_capacity || leaf_capacity == 0) return items;
   const double n = static_cast<double>(items.size());
   const double leaves = std::ceil(n / static_cast<double>(leaf_capacity));
@@ -135,27 +138,39 @@ std::vector<std::pair<geom::Mbb3D, uint64_t>> StrOrder(
   const size_t s1 = static_cast<size_t>(std::ceil(std::cbrt(leaves)));
   const size_t s2 = s1;
 
+  // Comparators tie-break on the datum so the order (and hence the tree
+  // layout) is a pure function of the item set, independent of the sort
+  // algorithm and thread count.
   auto center = [](const geom::Mbb3D& b) { return b.Center(); };
-  std::sort(items.begin(), items.end(), [&](const auto& a, const auto& b) {
-    return center(a.first).x < center(b.first).x;
-  });
+  auto by_axis = [&](auto axis) {
+    return [&, axis](const auto& a, const auto& b) {
+      const double ca = axis(center(a.first));
+      const double cb = axis(center(b.first));
+      if (ca != cb) return ca < cb;
+      return a.second < b.second;
+    };
+  };
+  exec::ParallelSort(ctx, items.begin(), items.end(),
+                     by_axis([](const geom::Point3D& p) { return p.x; }));
   const size_t slab =
       (items.size() + s1 - 1) / s1;  // Items per x-slab (ceil).
-  for (size_t i = 0; i < items.size(); i += slab) {
-    const size_t end = std::min(i + slab, items.size());
-    std::sort(items.begin() + i, items.begin() + end,
-              [&](const auto& a, const auto& b) {
-                return center(a.first).y < center(b.first).y;
-              });
-    const size_t run = (end - i + s2 - 1) / s2;
-    for (size_t j = i; j < end; j += run) {
-      const size_t rend = std::min(j + run, end);
-      std::sort(items.begin() + j, items.begin() + rend,
-                [&](const auto& a, const auto& b) {
-                  return center(a.first).t < center(b.first).t;
-                });
+  const size_t num_slabs = (items.size() + slab - 1) / slab;
+  // Slabs are disjoint ranges; sorting them is embarrassingly parallel.
+  exec::ParallelFor(ctx, num_slabs, /*grain=*/1,
+                    [&](size_t sbegin, size_t send, size_t /*chunk*/) {
+    for (size_t s = sbegin; s < send; ++s) {
+      const size_t i = s * slab;
+      const size_t end = std::min(i + slab, items.size());
+      std::sort(items.begin() + i, items.begin() + end,
+                by_axis([](const geom::Point3D& p) { return p.y; }));
+      const size_t run = (end - i + s2 - 1) / s2;
+      for (size_t j = i; j < end; j += run) {
+        const size_t rend = std::min(j + run, end);
+        std::sort(items.begin() + j, items.begin() + rend,
+                  by_axis([](const geom::Point3D& p) { return p.t; }));
+      }
     }
-  }
+  });
   return items;
 }
 

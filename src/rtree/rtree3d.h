@@ -7,6 +7,7 @@
 
 #include "common/status.h"
 #include "common/statusor.h"
+#include "exec/exec_context.h"
 #include "geom/mbb.h"
 #include "geom/point.h"
 #include "gist/gist.h"
@@ -73,8 +74,19 @@ class RTree3D {
 
 /// \brief Sort-Tile-Recursive ordering (Leutenegger et al.): returns the
 /// items reordered so consecutive runs form spatially compact leaves.
+///
+/// The exec-aware overload parallelizes the sort phases (the global x-sort
+/// and the per-slab y/t sorts) over `ctx`. Comparators tie-break on the
+/// datum, so the ordering is deterministic at any thread count.
 std::vector<std::pair<geom::Mbb3D, uint64_t>> StrOrder(
-    std::vector<std::pair<geom::Mbb3D, uint64_t>> items, size_t leaf_capacity);
+    std::vector<std::pair<geom::Mbb3D, uint64_t>> items, size_t leaf_capacity,
+    exec::ExecContext* ctx);
+
+inline std::vector<std::pair<geom::Mbb3D, uint64_t>> StrOrder(
+    std::vector<std::pair<geom::Mbb3D, uint64_t>> items,
+    size_t leaf_capacity) {
+  return StrOrder(std::move(items), leaf_capacity, nullptr);
+}
 
 }  // namespace hermes::rtree
 

@@ -6,8 +6,10 @@
 #include <vector>
 
 #include "common/statusor.h"
+#include "exec/exec_context.h"
 #include "rtree/rtree3d.h"
 #include "storage/env.h"
+#include "traj/segment_arena.h"
 #include "traj/trajectory_store.h"
 
 namespace hermes::rtree {
@@ -21,9 +23,16 @@ inline traj::SegmentRef UnpackSegmentRef(uint64_t datum) {
   return {datum >> 32, static_cast<uint32_t>(datum & 0xFFFFFFFFu)};
 }
 
-/// \brief Builds a segment-level pg3D-Rtree over an entire MOD using STR
-/// bulk loading (the fast index-construction path used when the scenario-2
-/// baseline re-indexes a range-query result).
+/// \brief Builds a segment-level pg3D-Rtree over a columnar arena snapshot
+/// using STR bulk loading (the fast index-construction path used when the
+/// scenario-2 baseline re-indexes a range-query result). Item collection
+/// and the STR sort phases fan out over `ctx`.
+StatusOr<std::unique_ptr<RTree3D>> BuildSegmentIndex(
+    storage::Env* env, const std::string& fname,
+    const traj::SegmentArena& arena, double fill_factor = 0.9,
+    size_t cache_pages = 512, exec::ExecContext* ctx = nullptr);
+
+/// Store-walking convenience: snapshots an arena, then builds from it.
 StatusOr<std::unique_ptr<RTree3D>> BuildSegmentIndex(
     storage::Env* env, const std::string& fname,
     const traj::TrajectoryStore& store, double fill_factor = 0.9,

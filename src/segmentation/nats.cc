@@ -15,7 +15,12 @@ double EffectiveLambda(const std::vector<double>& votes,
   const double var = Variance(votes);
   double lambda =
       params.lambda_scale * var * static_cast<double>(votes.size());
-  if (lambda <= 0.0) lambda = 1e-9;  // Constant signal: any split costs.
+  if (lambda <= 0.0) {
+    // Constant signal: every partition has zero SSE, so any positive
+    // penalty selects the single-part optimum. Anchor the floor to the
+    // configured bandwidth to stay clear of denormals when sigma is tiny.
+    lambda = 1e-12 * std::max(params.sigma, 1e-3);
+  }
   return lambda;
 }
 

@@ -21,6 +21,12 @@ struct NatsParams {
   /// Upper bound on parts per trajectory (0 = unbounded). With a bound the
   /// DP prunes greedily (exact only when unbounded).
   size_t max_parts = 0;
+  /// Bandwidth of the vote kernel that produced the signal being
+  /// segmented, in the same spatial units as `voting::VotingParams::sigma`.
+  /// Kept in sync with the voting and sampling phases by
+  /// `core::S2TParams::SetSigma`; it anchors the numerical floor of the
+  /// split penalty for degenerate (constant) signals.
+  double sigma = 100.0;
 };
 
 /// \brief One part of a segmentation: segment indices [first, last]

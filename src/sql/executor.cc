@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cmath>
 #include <cstdio>
 #include <sstream>
 
@@ -151,6 +152,32 @@ StatusOr<Table> Session::ExecuteStatement(const Statement& stmt) {
       table.rows = {{"INSERT " + stmt.mod, Fmt(added)}};
       return table;
     }
+    case Statement::Kind::kSet: {
+      if (stmt.setting != "HERMES.THREADS") {
+        return Status::NotSupported("unknown setting " + stmt.setting);
+      }
+      const double v = stmt.set_value;
+      if (v < 1.0 || v != std::floor(v) || v > 1024.0) {
+        return Status::InvalidArgument(
+            "hermes.threads must be an integer in [1, 1024]");
+      }
+      const auto n = static_cast<size_t>(v);
+      if (n != threads_) {
+        threads_ = n;
+        // A context's thread count is fixed at construction; changing the
+        // setting swaps in a fresh context (and pool) for later statements.
+        // Lazily-built trees hold the old context, so drop them too.
+        for (auto& [name, entry] : mods_) {
+          entry.tree.reset();
+          entry.tree_params.clear();
+        }
+        exec_ = threads_ > 1 ? std::make_unique<exec::ExecContext>(threads_)
+                             : nullptr;
+      }
+      table.columns = {"status"};
+      table.rows = {{"SET HERMES.THREADS = " + std::to_string(n)}};
+      return table;
+    }
     case Statement::Kind::kSelect:
       return ExecuteSelect(stmt);
   }
@@ -198,7 +225,8 @@ StatusOr<Table> Session::ExecuteSelect(const Statement& stmt) {
     core::S2TParams params;
     params.SetSigma(stmt.args[0]).SetEpsilon(stmt.args[1]);
     core::S2TClustering s2t(params);
-    HERMES_ASSIGN_OR_RETURN(core::S2TResult result, s2t.Run(entry->store));
+    HERMES_ASSIGN_OR_RETURN(core::S2TResult result,
+                            s2t.Run(entry->store, exec_.get()));
     table.columns = {"cluster_id", "size", "rep_object", "start", "end"};
     for (size_t ci = 0; ci < result.clustering.clusters.size(); ++ci) {
       const auto& c = result.clustering.clusters[ci];
@@ -231,8 +259,8 @@ StatusOr<Table> Session::ExecuteSelect(const Statement& stmt) {
       params.s2t.SetSigma(params.d_assign).SetEpsilon(params.d_assign);
       const std::string dir =
           data_dir_ + "/tree_" + std::to_string(tree_seq_++);
-      HERMES_ASSIGN_OR_RETURN(entry->tree,
-                              core::ReTraTree::Open(env_, dir, params));
+      HERMES_ASSIGN_OR_RETURN(
+          entry->tree, core::ReTraTree::Open(env_, dir, params, exec_.get()));
       HERMES_RETURN_NOT_OK(entry->tree->InsertStore(entry->store));
       entry->tree_params = tree_params;
     }

@@ -9,6 +9,7 @@
 #include "common/statusor.h"
 #include "core/qut_clustering.h"
 #include "core/retratree.h"
+#include "exec/exec_context.h"
 #include "sql/parser.h"
 #include "storage/env.h"
 #include "traj/trajectory_store.h"
@@ -43,6 +44,12 @@ class Session {
   Status RegisterStore(const std::string& name, traj::TrajectoryStore store);
   const traj::TrajectoryStore* FindStore(const std::string& name) const;
 
+  /// Worker threads granted to S2T/QUT statements (`SET hermes.threads`).
+  size_t threads() const { return threads_; }
+
+  /// The session's execution context (nullptr while `threads() == 1`).
+  exec::ExecContext* exec_context() { return exec_.get(); }
+
  private:
   struct ModEntry {
     traj::TrajectoryStore store;
@@ -60,6 +67,10 @@ class Session {
   std::string data_dir_;
   std::map<std::string, ModEntry> mods_;
   uint64_t tree_seq_ = 0;
+  /// Parallelism of analytic statements; owned pool lives as long as the
+  /// setting is unchanged. nullptr = sequential (threads_ == 1).
+  size_t threads_ = 1;
+  std::unique_ptr<exec::ExecContext> exec_;
 };
 
 }  // namespace hermes::sql

@@ -103,6 +103,16 @@ StatusOr<Statement> ParseOne(Cursor* cur) {
       HERMES_RETURN_NOT_OK(cur->Expect(TokenKind::kRParen, ")"));
       stmt.rows.push_back(row);
     } while (cur->Accept(TokenKind::kComma));
+  } else if (head == "SET") {
+    // SET hermes.threads = N (PostgreSQL-style run-time setting).
+    stmt.kind = Statement::Kind::kSet;
+    HERMES_ASSIGN_OR_RETURN(stmt.setting, cur->ExpectIdentifier());
+    while (cur->Accept(TokenKind::kDot)) {
+      HERMES_ASSIGN_OR_RETURN(std::string part, cur->ExpectIdentifier());
+      stmt.setting += "." + part;
+    }
+    HERMES_RETURN_NOT_OK(cur->Expect(TokenKind::kEquals, "="));
+    HERMES_ASSIGN_OR_RETURN(stmt.set_value, cur->ExpectNumber());
   } else if (head == "SELECT") {
     stmt.kind = Statement::Kind::kSelect;
     HERMES_ASSIGN_OR_RETURN(stmt.function, cur->ExpectIdentifier());

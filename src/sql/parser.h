@@ -21,6 +21,7 @@ namespace hermes::sql {
 ///   SELECT RANGE(name, Wi, We);
 ///   SELECT S2T(name, sigma, eps);
 ///   SELECT QUT(name, Wi, We, tau, delta, t, d, gamma);
+///   SET hermes.threads = N;
 struct Statement {
   enum class Kind {
     kCreateMod,
@@ -28,6 +29,7 @@ struct Statement {
     kLoadMod,
     kInsert,
     kSelect,
+    kSet,
   };
   Kind kind = Kind::kSelect;
   std::string mod;                        ///< Target MOD name (upper-cased).
@@ -35,6 +37,8 @@ struct Statement {
   std::vector<std::array<double, 4>> rows;///< INSERT (obj, t, x, y) tuples.
   std::string function;                   ///< SELECT function name.
   std::vector<double> args;               ///< SELECT numeric arguments.
+  std::string setting;                    ///< SET name, e.g. "HERMES.THREADS".
+  double set_value = 0.0;                 ///< SET right-hand side.
 };
 
 /// Parses exactly one statement (trailing ';' optional).

@@ -34,7 +34,9 @@ StatusOr<std::vector<Token>> Tokenize(const std::string& input) {
         ch = static_cast<char>(std::toupper(static_cast<unsigned char>(ch)));
       }
       i = j;
-    } else if (std::isdigit(static_cast<unsigned char>(c)) || c == '.' ||
+    } else if (std::isdigit(static_cast<unsigned char>(c)) ||
+               (c == '.' && i + 1 < n &&
+                std::isdigit(static_cast<unsigned char>(input[i + 1]))) ||
                ((c == '-' || c == '+') && i + 1 < n &&
                 (std::isdigit(static_cast<unsigned char>(input[i + 1])) ||
                  input[i + 1] == '.'))) {
@@ -74,6 +76,14 @@ StatusOr<std::vector<Token>> Tokenize(const std::string& input) {
     } else if (c == ';') {
       tok.kind = TokenKind::kSemicolon;
       tok.text = ";";
+      ++i;
+    } else if (c == '.') {
+      tok.kind = TokenKind::kDot;
+      tok.text = ".";
+      ++i;
+    } else if (c == '=') {
+      tok.kind = TokenKind::kEquals;
+      tok.text = "=";
       ++i;
     } else {
       return Status::InvalidArgument(std::string("unexpected character '") +

@@ -17,6 +17,8 @@ enum class TokenKind {
   kRParen,
   kComma,
   kSemicolon,
+  kDot,     ///< '.' (setting-name separator, e.g. hermes.threads).
+  kEquals,  ///< '=' (SET assignment).
   kEnd,
 };
 

@@ -1,0 +1,65 @@
+#include "traj/segment_arena.h"
+
+#include <chrono>
+
+#include "exec/parallel_for.h"
+
+namespace hermes::traj {
+
+namespace {
+int64_t NowUs() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+}  // namespace
+
+SegmentArena SegmentArena::Build(const TrajectoryStore& store,
+                                 exec::ExecContext* ctx) {
+  const int64_t start = NowUs();
+  SegmentArena arena;
+  const size_t n = store.NumTrajectories();
+  arena.offsets_.resize(n + 1, 0);
+  for (TrajectoryId tid = 0; tid < n; ++tid) {
+    arena.offsets_[tid + 1] =
+        arena.offsets_[tid] + store.Get(tid).NumSegments();
+  }
+  const size_t rows = arena.offsets_[n];
+  arena.ax_.resize(rows);
+  arena.ay_.resize(rows);
+  arena.bx_.resize(rows);
+  arena.by_.resize(rows);
+  arena.t0_.resize(rows);
+  arena.t1_.resize(rows);
+  arena.owner_.resize(rows);
+  arena.segment_index_.resize(rows);
+
+  // Each chunk of trajectories fills a disjoint row range, so the parallel
+  // fill needs no synchronization and matches the sequential layout.
+  constexpr size_t kGrain = 16;
+  exec::ParallelFor(ctx, n, kGrain,
+                    [&](size_t begin, size_t end, size_t /*chunk*/) {
+    for (TrajectoryId tid = begin; tid < end; ++tid) {
+      const Trajectory& t = store.Get(tid);
+      const auto& samples = t.samples();
+      size_t r = arena.offsets_[tid];
+      for (size_t i = 0; i + 1 < samples.size(); ++i, ++r) {
+        arena.ax_[r] = samples[i].x;
+        arena.ay_[r] = samples[i].y;
+        arena.t0_[r] = samples[i].t;
+        arena.bx_[r] = samples[i + 1].x;
+        arena.by_[r] = samples[i + 1].y;
+        arena.t1_[r] = samples[i + 1].t;
+        arena.owner_[r] = tid;
+        arena.segment_index_[r] = static_cast<uint32_t>(i);
+      }
+    }
+  });
+
+  if (ctx != nullptr) {
+    ctx->stats().RecordPhaseUs("arena_build", NowUs() - start);
+  }
+  return arena;
+}
+
+}  // namespace hermes::traj

@@ -1,0 +1,88 @@
+#ifndef HERMES_TRAJ_SEGMENT_ARENA_H_
+#define HERMES_TRAJ_SEGMENT_ARENA_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "exec/exec_context.h"
+#include "geom/mbb.h"
+#include "geom/segment.h"
+#include "traj/trajectory_store.h"
+
+namespace hermes::traj {
+
+/// \brief Structure-of-arrays snapshot of every 3D segment of a
+/// `TrajectoryStore`, built once and shared by all passes of the voting →
+/// segmentation → clustering hot path (and by STR index construction).
+///
+/// The AoS `Trajectory` API re-derives each segment's geometry
+/// (`SegmentAt` + `Bounds`) on every pass; the arena materializes the
+/// per-segment endpoints and bounding boxes as contiguous columns, so
+/// repeated sweeps are cache-linear and trivially partitionable across
+/// threads. Rows are ordered by (trajectory id, segment index) — the CSR
+/// `offsets` array maps a trajectory to its contiguous row range — and the
+/// layout is identical at any build thread count.
+///
+/// The arena is an immutable snapshot: it does not observe trajectories
+/// appended to the store after `Build`.
+class SegmentArena {
+ public:
+  SegmentArena() = default;
+
+  /// Builds the snapshot. When `ctx` provides more than one thread the
+  /// per-trajectory fill is parallelized (the output is byte-identical to
+  /// the sequential build). The build time is recorded in `ctx->stats()`
+  /// under phase "arena_build".
+  static SegmentArena Build(const TrajectoryStore& store,
+                            exec::ExecContext* ctx = nullptr);
+
+  size_t num_segments() const { return ax_.size(); }
+  size_t num_trajectories() const { return offsets_.empty() ? 0 : offsets_.size() - 1; }
+  bool empty() const { return ax_.empty(); }
+
+  /// Rows of trajectory `tid`: [offsets()[tid], offsets()[tid + 1]).
+  const std::vector<size_t>& offsets() const { return offsets_; }
+  size_t RowBegin(TrajectoryId tid) const { return offsets_[tid]; }
+  size_t RowEnd(TrajectoryId tid) const { return offsets_[tid + 1]; }
+
+  // Endpoint columns (segment rows; time strictly increases: t0 < t1).
+  const std::vector<double>& ax() const { return ax_; }
+  const std::vector<double>& ay() const { return ay_; }
+  const std::vector<double>& bx() const { return bx_; }
+  const std::vector<double>& by() const { return by_; }
+  const std::vector<double>& t0() const { return t0_; }
+  const std::vector<double>& t1() const { return t1_; }
+
+  /// Owning trajectory of each row.
+  const std::vector<TrajectoryId>& owner() const { return owner_; }
+  /// Segment index of each row inside its trajectory.
+  const std::vector<uint32_t>& segment_index() const { return segment_index_; }
+
+  /// Row `r` reconstructed as the AoS segment.
+  geom::Segment3D SegmentOf(size_t r) const {
+    return geom::Segment3D({ax_[r], ay_[r], t0_[r]}, {bx_[r], by_[r], t1_[r]});
+  }
+
+  /// MBB of row `r` (computed from the endpoints; segments are straight so
+  /// the endpoint extremes bound the motion).
+  geom::Mbb3D BoundsOf(size_t r) const {
+    return geom::Mbb3D(ax_[r] < bx_[r] ? ax_[r] : bx_[r],
+                       ay_[r] < by_[r] ? ay_[r] : by_[r], t0_[r],
+                       ax_[r] < bx_[r] ? bx_[r] : ax_[r],
+                       ay_[r] < by_[r] ? by_[r] : ay_[r], t1_[r]);
+  }
+
+  SegmentRef RefOf(size_t r) const {
+    return {owner_[r], segment_index_[r]};
+  }
+
+ private:
+  std::vector<size_t> offsets_;
+  std::vector<double> ax_, ay_, bx_, by_, t0_, t1_;
+  std::vector<TrajectoryId> owner_;
+  std::vector<uint32_t> segment_index_;
+};
+
+}  // namespace hermes::traj
+
+#endif  // HERMES_TRAJ_SEGMENT_ARENA_H_

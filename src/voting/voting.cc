@@ -1,12 +1,12 @@
 #include "voting/voting.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
-#include <thread>
-#include <unordered_set>
 
 #include "common/logging.h"
 #include "common/mathutil.h"
+#include "exec/parallel_for.h"
 #include "geom/moving_point.h"
 #include "rtree/str_bulk_load.h"
 
@@ -24,6 +24,12 @@ double VotingResult::MeanVoting(traj::TrajectoryId tid) const {
 }
 
 namespace {
+
+int64_t NowUs() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
 
 /// Average synchronized distance between the moving point of `seg` and
 /// trajectory `other`, over the overlap of their lifespans; +inf when the
@@ -67,6 +73,64 @@ double SegmentTrajectoryDistance(const geom::Segment3D& seg,
   return integral / (t1 - t0);
 }
 
+/// Per-trajectory candidate lists in CSR form: candidates of segment row r
+/// are `tids[offsets[r] .. offsets[r + 1])`, sorted and deduplicated. Rows
+/// are arena rows, so the layout is shared by probe and kernel phases.
+struct CandidateLists {
+  std::vector<size_t> offsets;
+  std::vector<traj::TrajectoryId> tids;
+};
+
+/// The vote kernel: Gaussian-kernel integration of every (segment,
+/// candidate) pair — the dominant cost of voting. Partitioned by
+/// trajectory: each chunk owns a contiguous trajectory range and writes
+/// only its own `votes` entries, with the same accumulation order as a
+/// sequential sweep, so results are bit-identical at any thread count.
+void RunVoteKernel(const traj::SegmentArena& arena,
+                   const traj::TrajectoryStore& store,
+                   const VotingParams& params, const CandidateLists& cands,
+                   exec::ExecContext* ctx, VotingResult* result) {
+  const int64_t start = NowUs();
+  const size_t n = store.NumTrajectories();
+  exec::ParallelFor(ctx, n, /*grain=*/1,
+                    [&](size_t begin, size_t end, size_t /*chunk*/) {
+    for (traj::TrajectoryId tid = begin; tid < end; ++tid) {
+      std::vector<double>& votes = result->votes[tid];
+      for (size_t r = arena.RowBegin(tid); r < arena.RowEnd(tid); ++r) {
+        const geom::Segment3D seg = arena.SegmentOf(r);
+        double& vote = votes[arena.segment_index()[r]];
+        for (size_t k = cands.offsets[r]; k < cands.offsets[r + 1]; ++k) {
+          vote += VoteFor(seg, store.Get(cands.tids[k]), params);
+        }
+      }
+    }
+  });
+  if (ctx != nullptr) {
+    ctx->stats().RecordPhaseUs("voting_kernel", NowUs() - start);
+  }
+}
+
+Status ValidateVotingInputs(const traj::SegmentArena& arena,
+                            const traj::TrajectoryStore& store,
+                            const VotingParams& params) {
+  if (params.sigma <= 0.0) {
+    return Status::InvalidArgument("sigma must be positive");
+  }
+  if (arena.num_trajectories() != store.NumTrajectories()) {
+    return Status::InvalidArgument(
+        "segment arena is stale: trajectory count differs from store");
+  }
+  return Status::OK();
+}
+
+void SizeResult(const traj::TrajectoryStore& store, VotingResult* result) {
+  const size_t n = store.NumTrajectories();
+  result->votes.resize(n);
+  for (traj::TrajectoryId tid = 0; tid < n; ++tid) {
+    result->votes[tid].assign(store.Get(tid).NumSegments(), 0.0);
+  }
+}
+
 }  // namespace
 
 double VoteFor(const geom::Segment3D& seg, const traj::Trajectory& other,
@@ -78,48 +142,65 @@ double VoteFor(const geom::Segment3D& seg, const traj::Trajectory& other,
   return GaussianKernel(d, params.sigma);
 }
 
-StatusOr<VotingResult> ComputeVotingNaive(const traj::TrajectoryStore& store,
-                                          const VotingParams& params) {
-  if (params.sigma <= 0.0) {
-    return Status::InvalidArgument("sigma must be positive");
-  }
+StatusOr<VotingResult> ComputeVotingNaive(const traj::SegmentArena& arena,
+                                          const traj::TrajectoryStore& store,
+                                          const VotingParams& params,
+                                          exec::ExecContext* ctx) {
+  HERMES_RETURN_NOT_OK(ValidateVotingInputs(arena, store, params));
   VotingResult result;
+  SizeResult(store, &result);
   const size_t n = store.NumTrajectories();
-  result.votes.resize(n);
-  for (traj::TrajectoryId tid = 0; tid < n; ++tid) {
-    const traj::Trajectory& t = store.Get(tid);
-    result.votes[tid].assign(t.NumSegments(), 0.0);
-    for (size_t i = 0; i < t.NumSegments(); ++i) {
-      const geom::Segment3D seg = t.SegmentAt(i);
-      for (traj::TrajectoryId oid = 0; oid < n; ++oid) {
-        if (oid == tid) continue;
-        ++result.pairs_evaluated;
-        result.votes[tid][i] += VoteFor(seg, store.Get(oid), params);
+  if (n > 1) {
+    result.pairs_evaluated =
+        static_cast<uint64_t>(arena.num_segments()) * (n - 1);
+  }
+
+  // Candidates are implicit (every other trajectory), so there is no CSR
+  // materialization; the loop preserves the oid = 0..n-1 accumulation
+  // order of a sequential sweep within each trajectory-owned chunk.
+  const int64_t start = NowUs();
+  exec::ParallelFor(ctx, n, /*grain=*/1,
+                    [&](size_t begin, size_t end, size_t /*chunk*/) {
+    for (traj::TrajectoryId tid = begin; tid < end; ++tid) {
+      std::vector<double>& votes = result.votes[tid];
+      for (size_t r = arena.RowBegin(tid); r < arena.RowEnd(tid); ++r) {
+        const geom::Segment3D seg = arena.SegmentOf(r);
+        double& vote = votes[arena.segment_index()[r]];
+        for (traj::TrajectoryId oid = 0; oid < n; ++oid) {
+          if (oid == tid) continue;
+          vote += VoteFor(seg, store.Get(oid), params);
+        }
       }
     }
+  });
+  if (ctx != nullptr) {
+    ctx->stats().RecordPhaseUs("voting_kernel", NowUs() - start);
   }
   return result;
 }
 
-namespace {
+StatusOr<VotingResult> ComputeVotingIndexed(const traj::SegmentArena& arena,
+                                            const traj::TrajectoryStore& store,
+                                            const rtree::RTree3D& index,
+                                            const VotingParams& params,
+                                            exec::ExecContext* ctx) {
+  HERMES_RETURN_NOT_OK(ValidateVotingInputs(arena, store, params));
+  VotingResult result;
+  SizeResult(store, &result);
 
-/// Indexed voting for one trajectory; shared by the serial and parallel
-/// engines.
-Status VoteOneTrajectory(const traj::TrajectoryStore& store,
-                         const rtree::RTree3D& index,
-                         const VotingParams& params, traj::TrajectoryId tid,
-                         std::vector<double>* votes, uint64_t* pairs) {
-  const traj::Trajectory& t = store.Get(tid);
-  votes->assign(t.NumSegments(), 0.0);
+  // Probe phase (calling thread only: the index handle's buffer pool is
+  // not thread-safe). Range query: spatial expansion by the kernel
+  // truncation radius, exact lifespan in time. Any trajectory that could
+  // cast a non-zero vote has at least one segment intersecting the box.
+  const int64_t probe_start = NowUs();
   const double radius = params.cutoff_sigmas * params.sigma;
+  CandidateLists cands;
+  cands.offsets.resize(arena.num_segments() + 1, 0);
   std::vector<uint64_t> hits;  // Reused across segments.
   std::vector<traj::TrajectoryId> candidates;
-  for (size_t i = 0; i < t.NumSegments(); ++i) {
-    const geom::Segment3D seg = t.SegmentAt(i);
-    // Range query: spatial expansion by the kernel truncation radius,
-    // exact lifespan in time. Any trajectory that could cast a non-zero
-    // vote has at least one segment intersecting this box.
-    const geom::Mbb3D query = seg.Bounds().Expanded(radius, 0.0);
+  for (size_t r = 0; r < arena.num_segments(); ++r) {
+    const traj::TrajectoryId tid = arena.owner()[r];
+    const geom::Mbb3D query = arena.BoundsOf(r).Expanded(radius, 0.0);
     HERMES_RETURN_NOT_OK(
         index.SearchInto(query, rtree::QueryMode::kIntersects, &hits));
     candidates.clear();
@@ -130,15 +211,26 @@ Status VoteOneTrajectory(const traj::TrajectoryStore& store,
     std::sort(candidates.begin(), candidates.end());
     candidates.erase(std::unique(candidates.begin(), candidates.end()),
                      candidates.end());
-    for (traj::TrajectoryId oid : candidates) {
-      ++*pairs;
-      (*votes)[i] += VoteFor(seg, store.Get(oid), params);
-    }
+    cands.tids.insert(cands.tids.end(), candidates.begin(), candidates.end());
+    cands.offsets[r + 1] = cands.tids.size();
   }
-  return Status::OK();
+  result.pairs_evaluated = cands.tids.size();
+  if (ctx != nullptr) {
+    ctx->stats().RecordPhaseUs("voting_probe", NowUs() - probe_start);
+  }
+
+  RunVoteKernel(arena, store, params, cands, ctx, &result);
+  return result;
 }
 
-}  // namespace
+StatusOr<VotingResult> ComputeVotingNaive(const traj::TrajectoryStore& store,
+                                          const VotingParams& params) {
+  if (params.sigma <= 0.0) {
+    return Status::InvalidArgument("sigma must be positive");
+  }
+  const traj::SegmentArena arena = traj::SegmentArena::Build(store);
+  return ComputeVotingNaive(arena, store, params, nullptr);
+}
 
 StatusOr<VotingResult> ComputeVotingIndexed(const traj::TrajectoryStore& store,
                                             const rtree::RTree3D& index,
@@ -146,15 +238,8 @@ StatusOr<VotingResult> ComputeVotingIndexed(const traj::TrajectoryStore& store,
   if (params.sigma <= 0.0) {
     return Status::InvalidArgument("sigma must be positive");
   }
-  VotingResult result;
-  const size_t n = store.NumTrajectories();
-  result.votes.resize(n);
-  for (traj::TrajectoryId tid = 0; tid < n; ++tid) {
-    HERMES_RETURN_NOT_OK(VoteOneTrajectory(store, index, params, tid,
-                                           &result.votes[tid],
-                                           &result.pairs_evaluated));
-  }
-  return result;
+  const traj::SegmentArena arena = traj::SegmentArena::Build(store);
+  return ComputeVotingIndexed(arena, store, index, params, nullptr);
 }
 
 StatusOr<VotingResult> ComputeVotingParallel(
@@ -170,39 +255,11 @@ StatusOr<VotingResult> ComputeVotingParallel(
   if (!env->FileExists(index_file)) {
     return Status::NotFound("no index file " + index_file);
   }
-  const size_t n = store.NumTrajectories();
-  VotingResult result;
-  result.votes.resize(n);
-  num_threads = std::min(num_threads, std::max<size_t>(1, n));
-
-  std::vector<Status> statuses(num_threads, Status::OK());
-  std::vector<uint64_t> pairs(num_threads, 0);
-  std::vector<std::thread> workers;
-  workers.reserve(num_threads);
-  for (size_t w = 0; w < num_threads; ++w) {
-    workers.emplace_back([&, w]() {
-      // Private index handle: buffer pools must not be shared.
-      auto handle = rtree::RTree3D::Open(env, index_file);
-      if (!handle.ok()) {
-        statuses[w] = handle.status();
-        return;
-      }
-      for (traj::TrajectoryId tid = w; tid < n; tid += num_threads) {
-        Status st = VoteOneTrajectory(store, **handle, params, tid,
-                                      &result.votes[tid], &pairs[w]);
-        if (!st.ok()) {
-          statuses[w] = st;
-          return;
-        }
-      }
-    });
-  }
-  for (auto& t : workers) t.join();
-  for (const Status& st : statuses) {
-    HERMES_RETURN_NOT_OK(st);
-  }
-  for (uint64_t p : pairs) result.pairs_evaluated += p;
-  return result;
+  HERMES_ASSIGN_OR_RETURN(std::unique_ptr<rtree::RTree3D> index,
+                          rtree::RTree3D::Open(env, index_file));
+  exec::ExecContext ctx(num_threads);
+  const traj::SegmentArena arena = traj::SegmentArena::Build(store, &ctx);
+  return ComputeVotingIndexed(arena, store, *index, params, &ctx);
 }
 
 StatusOr<VotingResult> ComputeVoting(const traj::TrajectoryStore& store,

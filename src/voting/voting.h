@@ -6,8 +6,10 @@
 
 #include "common/status.h"
 #include "common/statusor.h"
+#include "exec/exec_context.h"
 #include "rtree/rtree3d.h"
 #include "storage/env.h"
+#include "traj/segment_arena.h"
 #include "traj/trajectory_store.h"
 
 namespace hermes::voting {
@@ -50,6 +52,28 @@ struct VotingResult {
 ///  - `ComputeVotingIndexed` — the in-DBMS fast path: a pg3D-Rtree range
 ///    query (segment MBB expanded by the kernel truncation radius) prunes
 ///    the candidate set first.
+///
+/// Both consume a columnar `SegmentArena` snapshot and an optional
+/// `ExecContext`. The vote kernel is partitioned by trajectory: every
+/// trajectory's votes are produced by exactly one chunk with the same
+/// per-segment, per-candidate accumulation order as the sequential engine,
+/// so the result is bit-for-bit identical at any thread count. Index
+/// probing stays on the calling thread (a pg3D-Rtree handle owns a
+/// non-thread-safe buffer pool); the Gaussian-kernel integration — the
+/// dominant cost — is what fans out.
+StatusOr<VotingResult> ComputeVotingNaive(const traj::SegmentArena& arena,
+                                          const traj::TrajectoryStore& store,
+                                          const VotingParams& params,
+                                          exec::ExecContext* ctx = nullptr);
+
+StatusOr<VotingResult> ComputeVotingIndexed(const traj::SegmentArena& arena,
+                                            const traj::TrajectoryStore& store,
+                                            const rtree::RTree3D& index,
+                                            const VotingParams& params,
+                                            exec::ExecContext* ctx = nullptr);
+
+/// Store-walking convenience overloads: snapshot an arena, then run the
+/// arena engine sequentially (the pre-arena API surface).
 StatusOr<VotingResult> ComputeVotingNaive(const traj::TrajectoryStore& store,
                                           const VotingParams& params);
 
@@ -62,11 +86,11 @@ StatusOr<VotingResult> ComputeVotingIndexed(const traj::TrajectoryStore& store,
 StatusOr<VotingResult> ComputeVoting(const traj::TrajectoryStore& store,
                                      const VotingParams& params);
 
-/// \brief Multi-threaded indexed voting. `index_file` must name an
-/// existing segment index under `env` (e.g. built by
-/// `rtree::BuildSegmentIndex`); each worker opens its own read handle
-/// (the buffer pool is not shared across threads). Output is identical to
-/// the single-threaded engines.
+/// \brief Multi-threaded indexed voting over a persisted index.
+/// `index_file` must name an existing segment index under `env` (e.g.
+/// built by `rtree::BuildSegmentIndex`). Probing uses one private read
+/// handle; the vote kernel fans out over `num_threads`. Output is
+/// identical to the single-threaded engines.
 StatusOr<VotingResult> ComputeVotingParallel(
     const traj::TrajectoryStore& store, storage::Env* env,
     const std::string& index_file, const VotingParams& params,

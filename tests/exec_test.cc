@@ -1,0 +1,219 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "datagen/noise.h"
+#include "exec/exec_context.h"
+#include "exec/parallel_for.h"
+#include "exec/parallel_sort.h"
+#include "exec/thread_pool.h"
+#include "traj/segment_arena.h"
+
+namespace hermes::exec {
+namespace {
+
+TEST(ThreadPoolTest, RunsEverySubmittedTask) {
+  // Sync state outlives the pool (reverse destruction order), and tasks
+  // notify under the mutex so the waiter can never observe completion
+  // while a task still holds a reference to cv.
+  std::mutex mu;
+  std::condition_variable cv;
+  int count = 0;
+  constexpr int kTasks = 100;
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4u);
+  for (int i = 0; i < kTasks; ++i) {
+    pool.Submit([&]() {
+      std::lock_guard<std::mutex> lock(mu);
+      if (++count == kTasks) cv.notify_one();
+    });
+  }
+  std::unique_lock<std::mutex> lock(mu);
+  cv.wait(lock, [&]() { return count == kTasks; });
+  EXPECT_EQ(count, kTasks);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueue) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&]() { count.fetch_add(1); });
+    }
+  }  // Join.
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ChunkingTest, ChunksCoverRangeExactly) {
+  for (size_t n : {0u, 1u, 7u, 64u, 1000u}) {
+    for (size_t grain : {1u, 3u, 16u, 2000u}) {
+      const size_t chunks = NumChunks(n, grain);
+      size_t covered = 0;
+      size_t expected_begin = 0;
+      for (size_t c = 0; c < chunks; ++c) {
+        const auto [begin, end] = ChunkBounds(n, grain, c);
+        EXPECT_EQ(begin, expected_begin);
+        EXPECT_GT(end, begin);
+        EXPECT_LE(end, n);
+        covered += end - begin;
+        expected_begin = end;
+      }
+      EXPECT_EQ(covered, n) << "n=" << n << " grain=" << grain;
+    }
+  }
+}
+
+TEST(ParallelForTest, SequentialAndParallelVisitEveryIndexOnce) {
+  constexpr size_t kN = 10000;
+  for (size_t threads : {1u, 2u, 4u}) {
+    ExecContext ctx(threads);
+    std::vector<int> visits(kN, 0);
+    ParallelFor(&ctx, kN, 64, [&](size_t begin, size_t end, size_t) {
+      for (size_t i = begin; i < end; ++i) ++visits[i];
+    });
+    EXPECT_EQ(std::accumulate(visits.begin(), visits.end(), 0),
+              static_cast<int>(kN));
+  }
+}
+
+TEST(ParallelForTest, ChunkIndicesAreDense) {
+  ExecContext ctx(4);
+  constexpr size_t kN = 1000;
+  constexpr size_t kGrain = 10;
+  std::vector<int> seen(NumChunks(kN, kGrain), 0);
+  std::mutex mu;
+  ParallelFor(&ctx, kN, kGrain, [&](size_t, size_t, size_t chunk) {
+    std::lock_guard<std::mutex> lock(mu);
+    ++seen[chunk];
+  });
+  for (int s : seen) EXPECT_EQ(s, 1);
+}
+
+TEST(ParallelForTest, NullContextRunsInline) {
+  std::vector<int> order;
+  ParallelFor(nullptr, 5, 2, [&](size_t begin, size_t end, size_t) {
+    for (size_t i = begin; i < end; ++i) order.push_back(static_cast<int>(i));
+  });
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ParallelSortTest, MatchesSequentialSortWithTotalOrder) {
+  std::vector<uint64_t> data(50000);
+  uint64_t x = 88172645463325252ull;
+  for (auto& v : data) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    v = x;
+  }
+  auto expected = data;
+  std::sort(expected.begin(), expected.end());
+  for (size_t threads : {1u, 2u, 4u, 8u}) {
+    auto copy = data;
+    ExecContext ctx(threads);
+    ParallelSort(&ctx, copy.begin(), copy.end(), std::less<uint64_t>());
+    EXPECT_EQ(copy, expected) << "threads=" << threads;
+  }
+}
+
+TEST(ExecContextTest, SequentialContextHasNoPool) {
+  ExecContext ctx(1);
+  EXPECT_EQ(ctx.threads(), 1u);
+  EXPECT_EQ(ctx.pool(), nullptr);
+  ExecContext par(3);
+  EXPECT_EQ(par.threads(), 3u);
+  EXPECT_NE(par.pool(), nullptr);
+  EXPECT_EQ(par.pool(), par.pool());  // Lazy singleton per context.
+}
+
+TEST(ExecContextTest, StatsAccumulateAcrossPhases) {
+  ExecContext ctx(1);
+  ctx.stats().RecordPhaseUs("voting", 100);
+  ctx.stats().RecordPhaseUs("voting", 50);
+  ctx.stats().AddCounter("pairs", 7);
+  EXPECT_EQ(ctx.stats().PhaseUs("voting"), 150);
+  EXPECT_EQ(ctx.stats().Counter("pairs"), 7);
+  EXPECT_EQ(ctx.stats().PhaseUs("missing"), 0);
+  ctx.stats().Reset();
+  EXPECT_EQ(ctx.stats().PhaseUs("voting"), 0);
+}
+
+}  // namespace
+}  // namespace hermes::exec
+
+namespace hermes::traj {
+namespace {
+
+TEST(SegmentArenaTest, LayoutMatchesStore) {
+  TrajectoryStore store = datagen::MakeParallelLanes(
+      3, 2, 50.0, 600.0, 10.0, 10.0, /*seed=*/4, /*jitter=*/2.0);
+  const SegmentArena arena = SegmentArena::Build(store);
+  ASSERT_EQ(arena.num_trajectories(), store.NumTrajectories());
+  ASSERT_EQ(arena.num_segments(), store.NumSegments());
+  for (TrajectoryId tid = 0; tid < store.NumTrajectories(); ++tid) {
+    const Trajectory& t = store.Get(tid);
+    ASSERT_EQ(arena.RowEnd(tid) - arena.RowBegin(tid), t.NumSegments());
+    for (size_t i = 0; i < t.NumSegments(); ++i) {
+      const size_t r = arena.RowBegin(tid) + i;
+      const geom::Segment3D expected = t.SegmentAt(i);
+      const geom::Segment3D got = arena.SegmentOf(r);
+      EXPECT_EQ(got.a.x, expected.a.x);
+      EXPECT_EQ(got.a.y, expected.a.y);
+      EXPECT_EQ(got.a.t, expected.a.t);
+      EXPECT_EQ(got.b.x, expected.b.x);
+      EXPECT_EQ(got.b.y, expected.b.y);
+      EXPECT_EQ(got.b.t, expected.b.t);
+      EXPECT_TRUE(arena.BoundsOf(r) == expected.Bounds());
+      EXPECT_EQ(arena.owner()[r], tid);
+      EXPECT_EQ(arena.segment_index()[r], i);
+      EXPECT_TRUE(arena.RefOf(r) ==
+                  (SegmentRef{tid, static_cast<uint32_t>(i)}));
+    }
+  }
+}
+
+TEST(SegmentArenaTest, ParallelBuildIsByteIdentical) {
+  TrajectoryStore store = datagen::MakeParallelLanes(
+      4, 4, 40.0, 900.0, 10.0, 10.0, /*seed=*/8, /*jitter=*/1.5);
+  const SegmentArena seq = SegmentArena::Build(store);
+  exec::ExecContext ctx(4);
+  const SegmentArena par = SegmentArena::Build(store, &ctx);
+  ASSERT_EQ(par.num_segments(), seq.num_segments());
+  EXPECT_EQ(par.offsets(), seq.offsets());
+  EXPECT_EQ(par.ax(), seq.ax());
+  EXPECT_EQ(par.ay(), seq.ay());
+  EXPECT_EQ(par.bx(), seq.bx());
+  EXPECT_EQ(par.by(), seq.by());
+  EXPECT_EQ(par.t0(), seq.t0());
+  EXPECT_EQ(par.t1(), seq.t1());
+  EXPECT_EQ(par.owner(), seq.owner());
+  EXPECT_EQ(par.segment_index(), seq.segment_index());
+  EXPECT_GT(ctx.stats().PhaseUs("arena_build"), 0);
+}
+
+TEST(SegmentArenaTest, EmptyStoreAndPointTrajectories) {
+  TrajectoryStore store;
+  const SegmentArena empty = SegmentArena::Build(store);
+  EXPECT_EQ(empty.num_segments(), 0u);
+  EXPECT_TRUE(empty.empty());
+
+  // A single-sample trajectory contributes zero rows but keeps CSR sane.
+  Trajectory lone(9);
+  ASSERT_TRUE(lone.Append({1.0, 2.0, 3.0}).ok());
+  ASSERT_TRUE(store.Add(std::move(lone)).ok());
+  Trajectory pair(10);
+  ASSERT_TRUE(pair.Append({0.0, 0.0, 0.0}).ok());
+  ASSERT_TRUE(pair.Append({1.0, 1.0, 1.0}).ok());
+  ASSERT_TRUE(store.Add(std::move(pair)).ok());
+  const SegmentArena arena = SegmentArena::Build(store);
+  EXPECT_EQ(arena.num_trajectories(), 2u);
+  EXPECT_EQ(arena.num_segments(), 1u);
+  EXPECT_EQ(arena.RowBegin(0), arena.RowEnd(0));
+  EXPECT_EQ(arena.RowEnd(1) - arena.RowBegin(1), 1u);
+  EXPECT_EQ(arena.owner()[0], 1u);
+}
+
+}  // namespace
+}  // namespace hermes::traj

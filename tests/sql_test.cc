@@ -284,5 +284,55 @@ TEST_F(SqlSessionTest, FindStoreIsCaseInsensitive) {
   EXPECT_EQ(session_.FindStore("other"), nullptr);
 }
 
+TEST(ParserTest, SetStatement) {
+  auto stmt = ParseStatement("SET hermes.threads = 4;");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ(stmt->kind, Statement::Kind::kSet);
+  EXPECT_EQ(stmt->setting, "HERMES.THREADS");
+  EXPECT_DOUBLE_EQ(stmt->set_value, 4.0);
+  EXPECT_TRUE(ParseStatement("SET hermes.threads 4;")
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(ParseStatement("SET = 4;").status().IsInvalidArgument());
+}
+
+TEST_F(SqlSessionTest, SetThreadsControlsSessionParallelism) {
+  EXPECT_EQ(session_.threads(), 1u);
+  EXPECT_EQ(session_.exec_context(), nullptr);
+
+  auto result = session_.Execute("SET hermes.threads = 4;");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->rows[0][0], "SET HERMES.THREADS = 4");
+  EXPECT_EQ(session_.threads(), 4u);
+  ASSERT_NE(session_.exec_context(), nullptr);
+  EXPECT_EQ(session_.exec_context()->threads(), 4u);
+
+  // Back to sequential: the context is dropped.
+  ASSERT_TRUE(session_.Execute("SET hermes.threads = 1;").ok());
+  EXPECT_EQ(session_.exec_context(), nullptr);
+
+  EXPECT_TRUE(session_.Execute("SET hermes.threads = 0;")
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(session_.Execute("SET hermes.threads = 2.5;")
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(session_.Execute("SET hermes.workers = 2;")
+                  .status()
+                  .IsNotSupported());
+}
+
+TEST_F(SqlSessionTest, S2TResultsAreThreadCountInvariant) {
+  traj::TrajectoryStore lanes = datagen::MakeParallelLanes(
+      2, 4, 2000.0, 800.0, 10.0, 10.0, /*seed=*/3, /*jitter=*/1.0);
+  ASSERT_TRUE(session_.RegisterStore("parlanes", std::move(lanes)).ok());
+  auto seq = session_.Execute("SELECT S2T(parlanes, 30, 60);");
+  ASSERT_TRUE(seq.ok());
+  ASSERT_TRUE(session_.Execute("SET hermes.threads = 4;").ok());
+  auto par = session_.Execute("SELECT S2T(parlanes, 30, 60);");
+  ASSERT_TRUE(par.ok());
+  EXPECT_EQ(seq->rows, par->rows);
+}
+
 }  // namespace
 }  // namespace hermes::sql
