@@ -15,6 +15,15 @@ int64_t NowUs() {
 }
 }  // namespace
 
+void S2TTimings::ExportTo(exec::ExecStats* stats) const {
+  stats->RecordPhaseUs("s2t_arena_build", arena_build_us);
+  stats->RecordPhaseUs("s2t_index_build", index_build_us);
+  stats->RecordPhaseUs("s2t_voting", voting_us);
+  stats->RecordPhaseUs("s2t_segmentation", segmentation_us);
+  stats->RecordPhaseUs("s2t_sampling", sampling_us);
+  stats->RecordPhaseUs("s2t_clustering", clustering_us);
+}
+
 StatusOr<S2TResult> S2TClustering::Run(const traj::TrajectoryStore& store,
                                        exec::ExecContext* ctx) const {
   S2TTimings timings;

@@ -60,6 +60,11 @@ struct S2TTimings {
            sampling_us + clustering_us;
   }
 
+  /// Records every phase into `stats` under "s2t_<phase>" keys (repeat
+  /// exports accumulate). This is how a SQL session surfaces the
+  /// breakdown as typed columns (`SHOW STATS`) instead of log scraping.
+  void ExportTo(exec::ExecStats* stats) const;
+
   /// Field-wise accumulation (e.g. the ReTraTree's cumulative S2T stats).
   S2TTimings& operator+=(const S2TTimings& o) {
     arena_build_us += o.arena_build_us;

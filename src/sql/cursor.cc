@@ -1,0 +1,18 @@
+#include "sql/cursor.h"
+
+namespace hermes::sql {
+
+StatusOr<Table> RowCursor::ToTable() {
+  Table table;
+  table.columns = columns_;
+  std::vector<Value> row;
+  while (true) {
+    HERMES_ASSIGN_OR_RETURN(bool more, Next(&row));
+    if (!more) break;
+    table.rows.push_back(std::move(row));
+    row.clear();
+  }
+  return table;
+}
+
+}  // namespace hermes::sql

@@ -2,9 +2,8 @@
 
 #include <algorithm>
 #include <cctype>
-#include <cmath>
-#include <cstdio>
-#include <sstream>
+#include <chrono>
+#include <utility>
 
 #include "baselines/convoys.h"
 #include "baselines/toptics.h"
@@ -14,43 +13,95 @@
 namespace hermes::sql {
 
 namespace {
-std::string Fmt(double v) {
-  char buf[64];
-  std::snprintf(buf, sizeof(buf), "%.4g", v);
-  return buf;
+
+int64_t NowUs() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
 }
-std::string Fmt(size_t v) { return std::to_string(v); }
+
+/// Executor errors carry the statement location of the offending token,
+/// same shape as tokenizer/parser diagnostics.
+std::string At(size_t pos, const std::string& tok) {
+  return ErrorLocation(pos, tok);
+}
+
+/// Resolves a scalar: the literal itself, or the bound value of `$N`.
+StatusOr<Value> EvalScalar(const ScalarExpr& e,
+                           const std::vector<Value>& binds) {
+  if (e.param == 0) return e.value;
+  if (e.param > static_cast<int>(binds.size())) {
+    return Status::InvalidArgument("parameter $" + std::to_string(e.param) +
+                                   " not bound" + At(e.pos, e.text));
+  }
+  return binds[e.param - 1];
+}
+
+/// Resolves a scalar that must be numeric, widening ints to double.
+StatusOr<double> EvalNumber(const ScalarExpr& e,
+                            const std::vector<Value>& binds) {
+  HERMES_ASSIGN_OR_RETURN(Value v, EvalScalar(e, binds));
+  if (!v.is_numeric()) {
+    return Status::InvalidArgument(
+        std::string("expected a number, got ") + ValueTypeName(v.type()) +
+        At(e.pos, e.text));
+  }
+  return v.AsDouble();
+}
+
+std::unique_ptr<RowCursor> MakeCursor(Table table) {
+  return std::make_unique<TableCursor>(std::move(table));
+}
+
+/// Single-column acknowledgment table ("CREATE MOD X", ...).
+Table Ack(std::string status) {
+  Table table;
+  table.columns = {{"status", ValueType::kString}};
+  table.rows = {{Value::Str(std::move(status))}};
+  return table;
+}
+
 }  // namespace
 
-std::string Table::ToString() const {
-  // Column widths.
-  std::vector<size_t> widths(columns.size(), 0);
-  for (size_t c = 0; c < columns.size(); ++c) widths[c] = columns[c].size();
-  for (const auto& row : rows) {
-    for (size_t c = 0; c < row.size() && c < widths.size(); ++c) {
-      widths[c] = std::max(widths[c], row[c].size());
-    }
+// ---------------------------------------------------------------------------
+// PreparedStatement
+// ---------------------------------------------------------------------------
+
+PreparedStatement::PreparedStatement(Session* session, Statement stmt)
+    : session_(session),
+      stmt_(std::move(stmt)),
+      binds_(static_cast<size_t>(stmt_.num_params)),
+      bound_(static_cast<size_t>(stmt_.num_params), false) {}
+
+Status PreparedStatement::Bind(int index, Value v) {
+  if (index < 1 || index > stmt_.num_params) {
+    return Status::InvalidArgument(
+        "bind index $" + std::to_string(index) + " out of range; statement "
+        "has " + std::to_string(stmt_.num_params) + " parameter(s)");
   }
-  std::ostringstream out;
-  auto line = [&](const std::vector<std::string>& cells) {
-    for (size_t c = 0; c < widths.size(); ++c) {
-      out << "| " << (c < cells.size() ? cells[c] : "");
-      out << std::string(
-          widths[c] - std::min(widths[c],
-                               c < cells.size() ? cells[c].size() : 0),
-          ' ');
-      out << ' ';
-    }
-    out << "|\n";
-  };
-  line(columns);
-  for (size_t c = 0; c < widths.size(); ++c) {
-    out << "+" << std::string(widths[c] + 2, '-');
-  }
-  out << "+\n";
-  for (const auto& row : rows) line(row);
-  return out.str();
+  binds_[index - 1] = std::move(v);
+  bound_[index - 1] = true;
+  return Status::OK();
 }
+
+StatusOr<std::unique_ptr<RowCursor>> PreparedStatement::ExecuteCursor() {
+  for (size_t i = 0; i < bound_.size(); ++i) {
+    if (!bound_[i]) {
+      return Status::InvalidArgument("parameter $" + std::to_string(i + 1) +
+                                     " not bound");
+    }
+  }
+  return session_->ExecuteStatement(stmt_, binds_);
+}
+
+StatusOr<Table> PreparedStatement::Execute() {
+  HERMES_ASSIGN_OR_RETURN(std::unique_ptr<RowCursor> cursor, ExecuteCursor());
+  return cursor->ToTable();
+}
+
+// ---------------------------------------------------------------------------
+// Session: construction + registry
+// ---------------------------------------------------------------------------
 
 Session::Session(storage::Env* env, std::string data_dir)
     : data_dir_(std::move(data_dir)) {
@@ -60,12 +111,82 @@ Session::Session(storage::Env* env, std::string data_dir)
   } else {
     env_ = env;
   }
+  RegisterSettings();
+}
+
+void Session::RegisterSettings() {
+  // Registration of compile-time-known settings cannot fail; the (void)
+  // casts acknowledge the Status.
+  (void)settings_.Register(
+      "hermes.threads", Value::Int(1),
+      "worker threads for analytic statements (1 = sequential)",
+      [](const Value& v) {
+        if (v.AsInt() < 1 || v.AsInt() > 1024) {
+          return Status::InvalidArgument(
+              "hermes.threads must be an integer in [1, 1024], got " +
+              v.ToString());
+        }
+        return Status::OK();
+      },
+      [this](const Value& v) {
+        const auto n = static_cast<size_t>(v.AsInt());
+        if (n != threads_) {
+          threads_ = n;
+          // A context's thread count is fixed at construction; changing
+          // the setting swaps in a fresh context (and pool) for later
+          // statements. Lazily-built trees hold the old context, so drop
+          // them too. The retiring context's phase timings fold into the
+          // session archive so SHOW STATS keeps accumulating.
+          for (auto& [name, entry] : mods_) {
+            entry.tree.reset();
+            entry.tree_params.clear();
+          }
+          if (exec_ != nullptr) {
+            for (const auto& [phase, us] : exec_->stats().PhaseTimings()) {
+              session_stats_.RecordPhaseUs(phase, us);
+            }
+          }
+          exec_ = threads_ > 1 ? std::make_unique<exec::ExecContext>(threads_)
+                               : nullptr;
+        }
+        return Status::OK();
+      });
+  auto positive = [](const char* name) {
+    return [name](const Value& v) {
+      if (!(v.AsDouble() > 0.0)) {
+        return Status::InvalidArgument(std::string(name) +
+                                       " must be > 0, got " + v.ToString());
+      }
+      return Status::OK();
+    };
+  };
+  (void)settings_.Register(
+      "hermes.sigma", Value::Double(100.0),
+      "default S2T spatial bandwidth sigma when the statement omits it",
+      positive("hermes.sigma"));
+  (void)settings_.Register(
+      "hermes.epsilon", Value::Double(200.0),
+      "default S2T cluster radius epsilon when the statement omits it",
+      positive("hermes.epsilon"));
+  (void)settings_.Register(
+      "hermes.use_index", Value::Int(1),
+      "voting engine: 1/on = pg3D-Rtree index probe, 0/off = naive sweep",
+      [](const Value& v) {
+        if (v.AsInt() != 0 && v.AsInt() != 1) {
+          return Status::InvalidArgument(
+              "hermes.use_index must be 0/1 (or off/on), got " +
+              v.ToString());
+        }
+        return Status::OK();
+      });
 }
 
 Status Session::RegisterStore(const std::string& name,
                               traj::TrajectoryStore store) {
   std::string key = name;
-  for (char& c : key) c = static_cast<char>(std::toupper(c));
+  for (char& c : key) {
+    c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  }
   ModEntry entry;
   entry.store = std::move(store);
   mods_[key] = std::move(entry);
@@ -75,7 +196,9 @@ Status Session::RegisterStore(const std::string& name,
 const traj::TrajectoryStore* Session::FindStore(
     const std::string& name) const {
   std::string key = name;
-  for (char& c : key) c = static_cast<char>(std::toupper(c));
+  for (char& c : key) {
+    c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  }
   auto it = mods_.find(key);
   return it == mods_.end() ? nullptr : &it->second.store;
 }
@@ -86,50 +209,94 @@ StatusOr<Session::ModEntry*> Session::FindMod(const std::string& name) {
   return &it->second;
 }
 
+// ---------------------------------------------------------------------------
+// Session: entry points
+// ---------------------------------------------------------------------------
+
 StatusOr<Table> Session::Execute(const std::string& sql) {
+  HERMES_ASSIGN_OR_RETURN(std::unique_ptr<RowCursor> cursor,
+                          ExecuteCursor(sql));
+  return cursor->ToTable();
+}
+
+StatusOr<std::unique_ptr<RowCursor>> Session::ExecuteCursor(
+    const std::string& sql) {
   HERMES_ASSIGN_OR_RETURN(Statement stmt, ParseStatement(sql));
-  return ExecuteStatement(stmt);
+  if (stmt.num_params > 0) {
+    return Status::InvalidArgument(
+        "statement has $N placeholders; use Session::Prepare and Bind");
+  }
+  return ExecuteStatement(stmt, {});
+}
+
+StatusOr<PreparedStatement> Session::Prepare(const std::string& sql) {
+  HERMES_ASSIGN_OR_RETURN(Statement stmt, ParseStatement(sql));
+  return PreparedStatement(this, std::move(stmt));
 }
 
 StatusOr<Table> Session::ExecuteScript(const std::string& sql) {
   HERMES_ASSIGN_OR_RETURN(std::vector<Statement> stmts, ParseScript(sql));
   if (stmts.empty()) return Status::InvalidArgument("empty script");
   Table last;
-  for (const auto& stmt : stmts) {
-    HERMES_ASSIGN_OR_RETURN(last, ExecuteStatement(stmt));
+  for (size_t k = 0; k < stmts.size(); ++k) {
+    auto prefix = [&] { return "statement " + std::to_string(k + 1) + ": "; };
+    if (stmts[k].num_params > 0) {
+      return Status::InvalidArgument(
+          prefix() + "script statements cannot carry $N placeholders");
+    }
+    auto cursor = ExecuteStatement(stmts[k], {});
+    if (!cursor.ok()) {
+      return Status(cursor.status().code(),
+                    prefix() + cursor.status().message());
+    }
+    auto table = (*cursor)->ToTable();
+    if (!table.ok()) {
+      return Status(table.status().code(),
+                    prefix() + table.status().message());
+    }
+    last = std::move(*table);
   }
   return last;
 }
 
-StatusOr<Table> Session::ExecuteStatement(const Statement& stmt) {
-  Table table;
+// ---------------------------------------------------------------------------
+// Session: statement dispatch
+// ---------------------------------------------------------------------------
+
+StatusOr<std::unique_ptr<RowCursor>> Session::ExecuteStatement(
+    const Statement& stmt, const std::vector<Value>& binds) {
   switch (stmt.kind) {
     case Statement::Kind::kCreateMod: {
       if (mods_.count(stmt.mod) > 0) {
         return Status::AlreadyExists("MOD " + stmt.mod + " exists");
       }
       mods_[stmt.mod] = ModEntry{};
-      table.columns = {"status"};
-      table.rows = {{"CREATE MOD " + stmt.mod}};
-      return table;
+      return MakeCursor(Ack("CREATE MOD " + stmt.mod));
     }
     case Statement::Kind::kDropMod: {
       if (mods_.erase(stmt.mod) == 0) {
         return Status::NotFound("no MOD named " + stmt.mod);
       }
-      table.columns = {"status"};
-      table.rows = {{"DROP MOD " + stmt.mod}};
-      return table;
+      return MakeCursor(Ack("DROP MOD " + stmt.mod));
     }
     case Statement::Kind::kLoadMod: {
       auto [it, inserted] = mods_.try_emplace(stmt.mod);
-      HERMES_RETURN_NOT_OK(it->second.store.LoadCsv(stmt.path));
+      Status load = it->second.store.LoadCsv(stmt.path);
+      if (!load.ok()) {
+        // A failed load must not leave a phantom empty MOD behind.
+        if (inserted) mods_.erase(it);
+        return load;
+      }
       it->second.tree.reset();
-      table.columns = {"status", "trajectories", "points"};
-      table.rows = {{"LOAD " + stmt.mod,
-                     Fmt(it->second.store.NumTrajectories()),
-                     Fmt(it->second.store.NumPoints())}};
-      return table;
+      Table table;
+      table.columns = {{"status", ValueType::kString},
+                       {"trajectories", ValueType::kInt},
+                       {"points", ValueType::kInt}};
+      table.rows = {
+          {Value::Str("LOAD " + stmt.mod),
+           Value::Int(static_cast<int64_t>(it->second.store.NumTrajectories())),
+           Value::Int(static_cast<int64_t>(it->second.store.NumPoints()))}};
+      return MakeCursor(std::move(table));
     }
     case Statement::Kind::kInsert: {
       HERMES_ASSIGN_OR_RETURN(ModEntry * entry, FindMod(stmt.mod));
@@ -137,9 +304,13 @@ StatusOr<Table> Session::ExecuteStatement(const Statement& stmt) {
       // For simplicity each INSERT materializes one trajectory per object.
       std::map<uint64_t, traj::Trajectory> builders;
       for (const auto& row : stmt.rows) {
-        const auto obj = static_cast<traj::ObjectId>(row[0]);
+        std::array<double, 4> cell{};
+        for (int k = 0; k < 4; ++k) {
+          HERMES_ASSIGN_OR_RETURN(cell[k], EvalNumber(row[k], binds));
+        }
+        const auto obj = static_cast<traj::ObjectId>(cell[0]);
         auto [bit, fresh] = builders.try_emplace(obj, traj::Trajectory(obj));
-        HERMES_RETURN_NOT_OK(bit->second.Append({row[2], row[3], row[1]}));
+        HERMES_RETURN_NOT_OK(bit->second.Append({cell[2], cell[3], cell[1]}));
       }
       size_t added = 0;
       for (auto& [obj, t] : builders) {
@@ -148,107 +319,266 @@ StatusOr<Table> Session::ExecuteStatement(const Statement& stmt) {
         ++added;
       }
       entry->tree.reset();
-      table.columns = {"status", "trajectories_added"};
-      table.rows = {{"INSERT " + stmt.mod, Fmt(added)}};
-      return table;
+      Table table;
+      table.columns = {{"status", ValueType::kString},
+                       {"trajectories_added", ValueType::kInt}};
+      table.rows = {{Value::Str("INSERT " + stmt.mod),
+                     Value::Int(static_cast<int64_t>(added))}};
+      return MakeCursor(std::move(table));
     }
     case Statement::Kind::kSet: {
-      if (stmt.setting != "HERMES.THREADS") {
-        return Status::NotSupported("unknown setting " + stmt.setting);
+      HERMES_ASSIGN_OR_RETURN(Value v, EvalScalar(stmt.set_value, binds));
+      Status st = settings_.Set(stmt.setting, std::move(v));
+      if (!st.ok()) {
+        return Status(st.code(), st.message() +
+                                     At(stmt.setting_pos, stmt.setting));
       }
-      const double v = stmt.set_value;
-      if (v < 1.0 || v != std::floor(v) || v > 1024.0) {
-        return Status::InvalidArgument(
-            "hermes.threads must be an integer in [1, 1024]");
-      }
-      const auto n = static_cast<size_t>(v);
-      if (n != threads_) {
-        threads_ = n;
-        // A context's thread count is fixed at construction; changing the
-        // setting swaps in a fresh context (and pool) for later statements.
-        // Lazily-built trees hold the old context, so drop them too.
-        for (auto& [name, entry] : mods_) {
-          entry.tree.reset();
-          entry.tree_params.clear();
-        }
-        exec_ = threads_ > 1 ? std::make_unique<exec::ExecContext>(threads_)
-                             : nullptr;
-      }
-      table.columns = {"status"};
-      table.rows = {{"SET HERMES.THREADS = " + std::to_string(n)}};
-      return table;
+      // Echo the stored (coerced) value, not the literal spelling.
+      HERMES_ASSIGN_OR_RETURN(Value stored, settings_.Get(stmt.setting));
+      return MakeCursor(
+          Ack("SET " + stmt.setting + " = " + stored.ToString()));
     }
+    case Statement::Kind::kShow:
+      return ExecuteShow(stmt);
     case Statement::Kind::kSelect:
-      return ExecuteSelect(stmt);
+      return ExecuteSelect(stmt, binds);
   }
   return Status::Internal("unreachable");
 }
 
-StatusOr<Table> Session::ExecuteSelect(const Statement& stmt) {
-  HERMES_ASSIGN_OR_RETURN(ModEntry * entry, FindMod(stmt.mod));
+StatusOr<std::unique_ptr<RowCursor>> Session::ExecuteShow(
+    const Statement& stmt) {
+  if (stmt.setting == "stats") {
+    // Session-accumulated stats plus the live exec context's, merged.
+    std::map<std::string, int64_t> merged = session_stats_.PhaseTimings();
+    if (exec_ != nullptr) {
+      for (const auto& [phase, us] : exec_->stats().PhaseTimings()) {
+        merged[phase] += us;
+      }
+    }
+    Table table;
+    table.columns = {{"phase", ValueType::kString},
+                     {"total_us", ValueType::kInt}};
+    for (const auto& [phase, us] : merged) {
+      table.rows.push_back({Value::Str(phase), Value::Int(us)});
+    }
+    return MakeCursor(std::move(table));
+  }
+
   Table table;
+  table.columns = {{"name", ValueType::kString},
+                   {"value", ValueType::kNull},  // Native type per setting.
+                   {"type", ValueType::kString},
+                   {"description", ValueType::kString}};
+  auto row = [](const Settings::Setting& s) {
+    return std::vector<Value>{Value::Str(s.name), s.value,
+                              Value::Str(ValueTypeName(s.type())),
+                              Value::Str(s.description)};
+  };
+  if (stmt.setting == "all") {
+    for (const Settings::Setting* s : settings_.All()) {
+      table.rows.push_back(row(*s));
+    }
+    return MakeCursor(std::move(table));
+  }
+  const Settings::Setting* s = settings_.Find(stmt.setting);
+  if (s == nullptr) {
+    return Status::NotSupported("unrecognized setting " + stmt.setting +
+                                At(stmt.setting_pos, stmt.setting));
+  }
+  table.rows.push_back(row(*s));
+  return MakeCursor(std::move(table));
+}
+
+// ---------------------------------------------------------------------------
+// Session: SELECT functions
+// ---------------------------------------------------------------------------
+
+StatusOr<std::unique_ptr<RowCursor>> Session::ExecuteSelect(
+    const Statement& stmt, const std::vector<Value>& binds) {
+  std::string mod = stmt.mod;
+  if (stmt.mod_param > 0) {
+    // The MOD position itself was a `$N`; its binding names the dataset.
+    const Value& v = binds[stmt.mod_param - 1];
+    if (v.type() != ValueType::kString) {
+      return Status::InvalidArgument(
+          "MOD placeholder $" + std::to_string(stmt.mod_param) +
+          " must be bound to a string, got " + ValueTypeName(v.type()) +
+          At(stmt.mod_pos, "$" + std::to_string(stmt.mod_param)));
+    }
+    mod = v.AsString();
+    for (char& c : mod) {
+      c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+    }
+  }
+  HERMES_ASSIGN_OR_RETURN(ModEntry * entry, FindMod(mod));
+  auto at_fn = [&stmt] { return At(stmt.function_pos, stmt.function); };
+
+  // Evaluates all scalar arguments up front (they are few and cheap);
+  // streaming applies to result rows, not inputs.
+  std::vector<double> args;
+  args.reserve(stmt.args.size());
+  for (const auto& arg : stmt.args) {
+    HERMES_ASSIGN_OR_RETURN(double v, EvalNumber(arg, binds));
+    args.push_back(v);
+  }
 
   if (stmt.function == "STATS") {
     const auto [t0, t1] = entry->store.TimeDomain();
     const geom::Mbb3D b = entry->store.Bounds();
-    table.columns = {"trajectories", "points", "segments", "t_min", "t_max",
-                     "x_min", "x_max", "y_min", "y_max"};
-    table.rows = {{Fmt(entry->store.NumTrajectories()),
-                   Fmt(entry->store.NumPoints()),
-                   Fmt(entry->store.NumSegments()), Fmt(t0), Fmt(t1),
-                   Fmt(b.min_x), Fmt(b.max_x), Fmt(b.min_y), Fmt(b.max_y)}};
-    return table;
+    Table table;
+    table.columns = {{"trajectories", ValueType::kInt},
+                     {"points", ValueType::kInt},
+                     {"segments", ValueType::kInt},
+                     {"t_min", ValueType::kDouble},
+                     {"t_max", ValueType::kDouble},
+                     {"x_min", ValueType::kDouble},
+                     {"x_max", ValueType::kDouble},
+                     {"y_min", ValueType::kDouble},
+                     {"y_max", ValueType::kDouble}};
+    table.rows = {
+        {Value::Int(static_cast<int64_t>(entry->store.NumTrajectories())),
+         Value::Int(static_cast<int64_t>(entry->store.NumPoints())),
+         Value::Int(static_cast<int64_t>(entry->store.NumSegments())),
+         Value::Double(t0), Value::Double(t1), Value::Double(b.min_x),
+         Value::Double(b.max_x), Value::Double(b.min_y),
+         Value::Double(b.max_y)}};
+    return MakeCursor(std::move(table));
   }
 
   if (stmt.function == "RANGE") {
-    if (stmt.args.size() != 2) {
-      return Status::InvalidArgument("RANGE(D, Wi, We) takes 2 numbers");
+    if (args.size() != 2) {
+      return Status::InvalidArgument("RANGE(D, Wi, We) takes 2 numbers" +
+                                     at_fn());
     }
-    const double wi = stmt.args[0];
-    const double we = stmt.args[1];
-    if (we <= wi) return Status::InvalidArgument("empty window");
-    table.columns = {"object_id", "points_in_window"};
-    for (const auto& t : entry->store.trajectories()) {
-      const traj::Trajectory sliced = t.Slice(wi, we);
-      if (sliced.size() >= 2) {
-        table.rows.push_back(
-            {Fmt(static_cast<size_t>(t.object_id())), Fmt(sliced.size())});
+    const double wi = args[0];
+    const double we = args[1];
+    if (we <= wi) {
+      return Status::InvalidArgument("empty window" + at_fn());
+    }
+    // Streams one row per qualifying trajectory; the slice happens in
+    // Next(), so a caller reading k rows slices only ~k trajectories.
+    const traj::TrajectoryStore* store = &entry->store;
+    size_t idx = 0;
+    GeneratorCursor::Generator gen =
+        [store, wi, we, idx](std::vector<Value>* row) mutable
+        -> StatusOr<bool> {
+      const auto& trajs = store->trajectories();
+      while (idx < trajs.size()) {
+        const traj::Trajectory& t = trajs[idx++];
+        const traj::Trajectory sliced = t.Slice(wi, we);
+        if (sliced.size() >= 2) {
+          *row = {Value::Int(static_cast<int64_t>(t.object_id())),
+                  Value::Int(static_cast<int64_t>(sliced.size()))};
+          return true;
+        }
       }
-    }
-    return table;
+      return false;
+    };
+    return std::unique_ptr<RowCursor>(std::make_unique<GeneratorCursor>(
+        std::vector<Column>{{"object_id", ValueType::kInt},
+                            {"points_in_window", ValueType::kInt}},
+        std::move(gen)));
   }
 
-  if (stmt.function == "S2T") {
-    if (stmt.args.size() != 2) {
-      return Status::InvalidArgument("S2T(D, sigma, eps) takes 2 numbers");
+  if (stmt.function == "S2T" || stmt.function == "S2T_MEMBERS") {
+    if (args.size() > 2) {
+      return Status::InvalidArgument(
+          stmt.function + "(D[, sigma[, eps]]) takes at most 2 numbers" +
+          at_fn());
     }
+    // Trailing args omitted -> session defaults (SET hermes.sigma/...).
+    const double sigma =
+        args.size() >= 1 ? args[0] : settings_.Get("hermes.sigma")->AsDouble();
+    const double eps = args.size() >= 2
+                           ? args[1]
+                           : settings_.Get("hermes.epsilon")->AsDouble();
     core::S2TParams params;
-    params.SetSigma(stmt.args[0]).SetEpsilon(stmt.args[1]);
+    params.SetSigma(sigma).SetEpsilon(eps);
+    params.use_index = settings_.Get("hermes.use_index")->AsInt() != 0;
     core::S2TClustering s2t(params);
     HERMES_ASSIGN_OR_RETURN(core::S2TResult result,
                             s2t.Run(entry->store, exec_.get()));
-    table.columns = {"cluster_id", "size", "rep_object", "start", "end"};
-    for (size_t ci = 0; ci < result.clustering.clusters.size(); ++ci) {
-      const auto& c = result.clustering.clusters[ci];
-      const auto& rep = result.sub_trajectories[c.representative];
-      table.rows.push_back({Fmt(ci), Fmt(c.members.size()),
-                            Fmt(static_cast<size_t>(rep.object_id)),
-                            Fmt(rep.StartTime()), Fmt(rep.EndTime())});
+    // A live context records the s2t_* phases itself (core::RunPhases);
+    // exporting here too would double-count them in SHOW STATS.
+    if (exec_ == nullptr) result.timings.ExportTo(&session_stats_);
+
+    if (stmt.function == "S2T") {
+      Table table;
+      table.columns = {{"cluster_id", ValueType::kInt},
+                       {"size", ValueType::kInt},
+                       {"rep_object", ValueType::kInt},
+                       {"start", ValueType::kDouble},
+                       {"end", ValueType::kDouble}};
+      for (size_t ci = 0; ci < result.clustering.clusters.size(); ++ci) {
+        const auto& c = result.clustering.clusters[ci];
+        const auto& rep = result.sub_trajectories[c.representative];
+        table.rows.push_back(
+            {Value::Int(static_cast<int64_t>(ci)),
+             Value::Int(static_cast<int64_t>(c.members.size())),
+             Value::Int(static_cast<int64_t>(rep.object_id)),
+             Value::Double(rep.StartTime()), Value::Double(rep.EndTime())});
+      }
+      table.rows.push_back(
+          {Value::Str("outliers"),
+           Value::Int(static_cast<int64_t>(result.clustering.outliers.size())),
+           Value::Null(), Value::Null(), Value::Null()});
+      return MakeCursor(std::move(table));
     }
-    table.rows.push_back({"outliers", Fmt(result.clustering.outliers.size()),
-                          "-", "-", "-"});
-    return table;
+
+    // S2T_MEMBERS: one row per cluster member (clusters in order), then
+    // one per outlier with a NULL cluster_id. The clustering ran eagerly
+    // above (it is the dominant cost); rows materialize on demand.
+    struct MembersState {
+      core::S2TResult result;
+      size_t ci = 0, mi = 0, oi = 0;
+    };
+    auto state = std::make_shared<MembersState>();
+    state->result = std::move(result);
+    GeneratorCursor::Generator gen =
+        [state](std::vector<Value>* row) -> StatusOr<bool> {
+      const auto& r = state->result;
+      auto fill = [&](Value cluster_id, size_t sub_index) {
+        const traj::SubTrajectory& sub = r.sub_trajectories[sub_index];
+        *row = {std::move(cluster_id),
+                Value::Int(static_cast<int64_t>(sub.object_id)),
+                Value::Double(sub.StartTime()), Value::Double(sub.EndTime()),
+                Value::Int(static_cast<int64_t>(sub.points.size()))};
+      };
+      while (state->ci < r.clustering.clusters.size()) {
+        const auto& c = r.clustering.clusters[state->ci];
+        if (state->mi < c.members.size()) {
+          fill(Value::Int(static_cast<int64_t>(state->ci)),
+               c.members[state->mi++]);
+          return true;
+        }
+        ++state->ci;
+        state->mi = 0;
+      }
+      if (state->oi < r.clustering.outliers.size()) {
+        fill(Value::Null(), r.clustering.outliers[state->oi++]);
+        return true;
+      }
+      return false;
+    };
+    return std::unique_ptr<RowCursor>(std::make_unique<GeneratorCursor>(
+        std::vector<Column>{{"cluster_id", ValueType::kInt},
+                            {"object_id", ValueType::kInt},
+                            {"start", ValueType::kDouble},
+                            {"end", ValueType::kDouble},
+                            {"points", ValueType::kInt}},
+        std::move(gen)));
   }
 
   if (stmt.function == "QUT") {
-    if (stmt.args.size() != 7) {
+    if (args.size() != 7) {
       return Status::InvalidArgument(
-          "QUT(D, Wi, We, tau, delta, t, d, gamma) takes 7 numbers");
+          "QUT(D, Wi, We, tau, delta, t, d, gamma) takes 7 numbers" +
+          at_fn());
     }
-    const double wi = stmt.args[0];
-    const double we = stmt.args[1];
-    const std::vector<double> tree_params(stmt.args.begin() + 2,
-                                          stmt.args.end());
+    const double wi = args[0];
+    const double we = args[1];
+    const std::vector<double> tree_params(args.begin() + 2, args.end());
     if (entry->tree == nullptr || entry->tree_params != tree_params) {
       core::ReTraTreeParams params;
       params.tau = tree_params[0];
@@ -263,53 +593,81 @@ StatusOr<Table> Session::ExecuteSelect(const Statement& stmt) {
           entry->tree, core::ReTraTree::Open(env_, dir, params, exec_.get()));
       HERMES_RETURN_NOT_OK(entry->tree->InsertStore(entry->store));
       entry->tree_params = tree_params;
+      // Same coverage as the S2T branch: without a live context (which
+      // records for itself) the fresh tree's cumulative S2T timings are
+      // exactly this build's — archive them for SHOW STATS.
+      if (exec_ == nullptr) {
+        entry->tree->stats().s2t_timings.ExportTo(&session_stats_);
+      }
     }
     core::QuTClustering qut(entry->tree.get());
+    const int64_t t0 = NowUs();
     HERMES_ASSIGN_OR_RETURN(core::QuTResult result, qut.Query(wi, we));
-    table.columns = {"cluster_id", "pieces", "members", "start", "end"};
+    session_stats_.RecordPhaseUs("qut_query", NowUs() - t0);
+    Table table;
+    table.columns = {{"cluster_id", ValueType::kInt},
+                     {"pieces", ValueType::kInt},
+                     {"members", ValueType::kInt},
+                     {"start", ValueType::kDouble},
+                     {"end", ValueType::kDouble}};
     for (size_t ci = 0; ci < result.clusters.size(); ++ci) {
       const auto& c = result.clusters[ci];
-      table.rows.push_back({Fmt(ci), Fmt(c.representatives.size()),
-                            Fmt(c.members.size()), Fmt(c.StartTime()),
-                            Fmt(c.EndTime())});
+      table.rows.push_back(
+          {Value::Int(static_cast<int64_t>(ci)),
+           Value::Int(static_cast<int64_t>(c.representatives.size())),
+           Value::Int(static_cast<int64_t>(c.members.size())),
+           Value::Double(c.StartTime()), Value::Double(c.EndTime())});
     }
     table.rows.push_back(
-        {"outliers", "-", Fmt(result.outliers.size()), Fmt(wi), Fmt(we)});
-    return table;
+        {Value::Str("outliers"), Value::Null(),
+         Value::Int(static_cast<int64_t>(result.outliers.size())),
+         Value::Double(wi), Value::Double(we)});
+    return MakeCursor(std::move(table));
   }
 
   if (stmt.function == "TRACLUS") {
-    if (stmt.args.size() != 2) {
+    if (args.size() != 2) {
       return Status::InvalidArgument(
-          "TRACLUS(D, eps, min_lns) takes 2 numbers");
+          "TRACLUS(D, eps, min_lns) takes 2 numbers" + at_fn());
     }
     baselines::TraclusParams params;
-    params.eps = stmt.args[0];
-    params.min_lns = static_cast<size_t>(stmt.args[1]);
+    params.eps = args[0];
+    params.min_lns = static_cast<size_t>(args[1]);
     const baselines::TraclusResult result =
         baselines::RunTraclus(entry->store, params);
-    table.columns = {"cluster_id", "segments", "trajectories", "rep_points"};
+    Table table;
+    table.columns = {{"cluster_id", ValueType::kInt},
+                     {"segments", ValueType::kInt},
+                     {"trajectories", ValueType::kInt},
+                     {"rep_points", ValueType::kInt}};
     for (size_t ci = 0; ci < result.clusters.size(); ++ci) {
       const auto& c = result.clusters[ci];
-      table.rows.push_back({Fmt(ci), Fmt(c.segment_indices.size()),
-                            Fmt(c.distinct_trajectories),
-                            Fmt(c.representative.size())});
+      table.rows.push_back(
+          {Value::Int(static_cast<int64_t>(ci)),
+           Value::Int(static_cast<int64_t>(c.segment_indices.size())),
+           Value::Int(static_cast<int64_t>(c.distinct_trajectories)),
+           Value::Int(static_cast<int64_t>(c.representative.size()))});
     }
-    table.rows.push_back({"noise", Fmt(result.noise.size()), "-", "-"});
-    return table;
+    table.rows.push_back(
+        {Value::Str("noise"),
+         Value::Int(static_cast<int64_t>(result.noise.size())), Value::Null(),
+         Value::Null()});
+    return MakeCursor(std::move(table));
   }
 
   if (stmt.function == "TOPTICS") {
-    if (stmt.args.size() != 2) {
+    if (args.size() != 2) {
       return Status::InvalidArgument(
-          "TOPTICS(D, eps, min_pts) takes 2 numbers");
+          "TOPTICS(D, eps, min_pts) takes 2 numbers" + at_fn());
     }
     baselines::TOpticsParams params;
-    params.eps = stmt.args[0];
-    params.min_pts = static_cast<size_t>(stmt.args[1]);
+    params.eps = args[0];
+    params.min_pts = static_cast<size_t>(args[1]);
     const baselines::TOpticsResult result =
         baselines::RunTOptics(entry->store, params);
-    table.columns = {"cluster_id", "trajectories"};
+    Table table;
+    table.columns = {{"cluster_id", ValueType::kInt},
+                     {"trajectories", ValueType::kInt}};
     std::vector<size_t> sizes(result.num_clusters, 0);
     size_t noise = 0;
     for (int label : result.labels) {
@@ -320,33 +678,41 @@ StatusOr<Table> Session::ExecuteSelect(const Statement& stmt) {
       }
     }
     for (size_t ci = 0; ci < sizes.size(); ++ci) {
-      table.rows.push_back({Fmt(ci), Fmt(sizes[ci])});
+      table.rows.push_back({Value::Int(static_cast<int64_t>(ci)),
+                            Value::Int(static_cast<int64_t>(sizes[ci]))});
     }
-    table.rows.push_back({"noise", Fmt(noise)});
-    return table;
+    table.rows.push_back(
+        {Value::Str("noise"), Value::Int(static_cast<int64_t>(noise))});
+    return MakeCursor(std::move(table));
   }
 
   if (stmt.function == "CONVOYS") {
-    if (stmt.args.size() != 4) {
+    if (args.size() != 4) {
       return Status::InvalidArgument(
-          "CONVOYS(D, eps, m, k, dt) takes 4 numbers");
+          "CONVOYS(D, eps, m, k, dt) takes 4 numbers" + at_fn());
     }
     baselines::ConvoyParams params;
-    params.eps = stmt.args[0];
-    params.m = static_cast<size_t>(stmt.args[1]);
-    params.k = static_cast<size_t>(stmt.args[2]);
-    params.snapshot_dt = stmt.args[3];
+    params.eps = args[0];
+    params.m = static_cast<size_t>(args[1]);
+    params.k = static_cast<size_t>(args[2]);
+    params.snapshot_dt = args[3];
     const auto convoys = baselines::DiscoverConvoys(entry->store, params);
-    table.columns = {"convoy_id", "objects", "start", "end"};
+    Table table;
+    table.columns = {{"convoy_id", ValueType::kInt},
+                     {"objects", ValueType::kInt},
+                     {"start", ValueType::kDouble},
+                     {"end", ValueType::kDouble}};
     for (size_t ci = 0; ci < convoys.size(); ++ci) {
-      table.rows.push_back({Fmt(ci), Fmt(convoys[ci].objects.size()),
-                            Fmt(convoys[ci].start_time),
-                            Fmt(convoys[ci].end_time)});
+      table.rows.push_back(
+          {Value::Int(static_cast<int64_t>(ci)),
+           Value::Int(static_cast<int64_t>(convoys[ci].objects.size())),
+           Value::Double(convoys[ci].start_time),
+           Value::Double(convoys[ci].end_time)});
     }
-    return table;
+    return MakeCursor(std::move(table));
   }
 
-  return Status::NotSupported("unknown function " + stmt.function);
+  return Status::NotSupported("unknown function " + stmt.function + at_fn());
 }
 
 }  // namespace hermes::sql

@@ -10,23 +10,59 @@
 #include "core/qut_clustering.h"
 #include "core/retratree.h"
 #include "exec/exec_context.h"
+#include "sql/cursor.h"
 #include "sql/parser.h"
+#include "sql/settings.h"
+#include "sql/value.h"
 #include "storage/env.h"
 #include "traj/trajectory_store.h"
 
 namespace hermes::sql {
 
-/// \brief Tabular result of a statement (printable, test-inspectable).
-struct Table {
-  std::vector<std::string> columns;
-  std::vector<std::vector<std::string>> rows;
+class Session;
 
-  std::string ToString() const;
+/// \brief A parsed-once, execute-many statement handle.
+///
+/// `Session::Prepare` tokenizes and parses a statement with `$N`
+/// placeholders exactly once; `Bind` supplies typed values and `Execute` /
+/// `ExecuteCursor` run the cached parse tree — so maintenance loops and
+/// benches re-executing the same shape pay no per-call parsing.
+/// Bindings persist across executions; re-`Bind` to change one.
+class PreparedStatement {
+ public:
+  /// Binds the 1-based placeholder `$index`. Fails with `InvalidArgument`
+  /// when `index` is outside [1, num_params()].
+  Status Bind(int index, Value v);
+
+  /// Executes with the current bindings; every placeholder must be bound.
+  StatusOr<Table> Execute();
+
+  /// Cursor-returning flavor (see `Session::ExecuteCursor`).
+  StatusOr<std::unique_ptr<RowCursor>> ExecuteCursor();
+
+  /// Number of distinct `$N` placeholders (the highest N).
+  int num_params() const { return stmt_.num_params; }
+
+ private:
+  friend class Session;
+  PreparedStatement(Session* session, Statement stmt);
+
+  Session* session_;
+  Statement stmt_;
+  std::vector<Value> binds_;   ///< Slot i holds the value of `$(i+1)`.
+  std::vector<bool> bound_;
 };
 
 /// \brief An interactive Hermes session: named MODs, lazily-built
-/// ReTraTrees, and statement execution — the embedded counterpart of the
-/// demo's psql session against Hermes@PostgreSQL.
+/// ReTraTrees, a GUC-style settings registry, and statement execution —
+/// the embedded counterpart of the demo's psql session against
+/// Hermes@PostgreSQL.
+///
+/// Registered settings (see `docs/SQL.md`):
+///   hermes.threads    int     worker threads for analytic statements
+///   hermes.sigma      double  default S2T spatial bandwidth
+///   hermes.epsilon    double  default S2T cluster radius
+///   hermes.use_index  int     0/1 (off/on): pg3D-Rtree voting engine
 class Session {
  public:
   /// `env` defaults to a private in-memory environment; pass a Posix env
@@ -34,15 +70,38 @@ class Session {
   explicit Session(storage::Env* env = nullptr,
                    std::string data_dir = "hermes_data");
 
-  /// Parses and executes one statement.
+  // Pinned in place: the settings registry's on-change hooks and every
+  // PreparedStatement/RowCursor hold a pointer to this session.
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+  Session(Session&&) = delete;
+  Session& operator=(Session&&) = delete;
+
+  /// Parses and executes one statement, materializing the full result.
+  /// (Implemented as `ExecuteCursor` drained into a `Table`.)
   StatusOr<Table> Execute(const std::string& sql);
 
-  /// Executes a ';'-separated script, returning the last statement's table.
+  /// Parses and executes one statement, returning a pull-based cursor.
+  /// `RANGE` and `S2T_MEMBERS` produce rows incrementally; other
+  /// statements return a cursor over their materialized table. The cursor
+  /// borrows session state: it must not outlive the session, and DDL on
+  /// the MOD it reads invalidates it.
+  StatusOr<std::unique_ptr<RowCursor>> ExecuteCursor(const std::string& sql);
+
+  /// Parses a statement with `$N` placeholders into a reusable handle.
+  StatusOr<PreparedStatement> Prepare(const std::string& sql);
+
+  /// Executes a ';'-separated script, returning the last statement's
+  /// table. Empty statements are skipped; an error in statement k aborts
+  /// the script with the statement's 1-based ordinal prefixed.
   StatusOr<Table> ExecuteScript(const std::string& sql);
 
   /// Direct access for embedding (e.g. loading a generated scenario).
   Status RegisterStore(const std::string& name, traj::TrajectoryStore store);
   const traj::TrajectoryStore* FindStore(const std::string& name) const;
+
+  /// The run-time settings registry (`SET` / `SHOW` surface).
+  const Settings& settings() const { return settings_; }
 
   /// Worker threads granted to S2T/QUT statements (`SET hermes.threads`).
   size_t threads() const { return threads_; }
@@ -50,7 +109,13 @@ class Session {
   /// The session's execution context (nullptr while `threads() == 1`).
   exec::ExecContext* exec_context() { return exec_.get(); }
 
+  /// Session-accumulated statistics (S2T phase breakdowns, QUT query
+  /// wall times) — the typed source behind `SHOW STATS`.
+  const exec::ExecStats& stats() const { return session_stats_; }
+
  private:
+  friend class PreparedStatement;
+
   struct ModEntry {
     traj::TrajectoryStore store;
     std::unique_ptr<core::ReTraTree> tree;
@@ -58,8 +123,12 @@ class Session {
     std::vector<double> tree_params;
   };
 
-  StatusOr<Table> ExecuteStatement(const Statement& stmt);
-  StatusOr<Table> ExecuteSelect(const Statement& stmt);
+  void RegisterSettings();
+  StatusOr<std::unique_ptr<RowCursor>> ExecuteStatement(
+      const Statement& stmt, const std::vector<Value>& binds);
+  StatusOr<std::unique_ptr<RowCursor>> ExecuteSelect(
+      const Statement& stmt, const std::vector<Value>& binds);
+  StatusOr<std::unique_ptr<RowCursor>> ExecuteShow(const Statement& stmt);
   StatusOr<ModEntry*> FindMod(const std::string& name);
 
   std::unique_ptr<storage::Env> owned_env_;
@@ -67,8 +136,10 @@ class Session {
   std::string data_dir_;
   std::map<std::string, ModEntry> mods_;
   uint64_t tree_seq_ = 0;
-  /// Parallelism of analytic statements; owned pool lives as long as the
-  /// setting is unchanged. nullptr = sequential (threads_ == 1).
+  Settings settings_;
+  exec::ExecStats session_stats_;
+  /// Parallelism of analytic statements; kept in sync with the
+  /// hermes.threads setting by its on-change hook. nullptr = sequential.
   size_t threads_ = 1;
   std::unique_ptr<exec::ExecContext> exec_;
 };

@@ -5,6 +5,11 @@
 
 namespace hermes::sql {
 
+std::string ErrorLocation(size_t position, const std::string& token) {
+  return " at position " + std::to_string(position) +
+         (token.empty() ? " near end of input" : " near '" + token + "'");
+}
+
 StatusOr<std::vector<Token>> Tokenize(const std::string& input) {
   std::vector<Token> tokens;
   size_t i = 0;
@@ -43,19 +48,41 @@ StatusOr<std::vector<Token>> Tokenize(const std::string& input) {
       char* end = nullptr;
       const double v = std::strtod(input.c_str() + i, &end);
       if (end == input.c_str() + i) {
-        return Status::InvalidArgument("bad number at offset " +
+        return Status::InvalidArgument("bad number at position " +
                                        std::to_string(i));
       }
       tok.kind = TokenKind::kNumber;
       tok.number = v;
       tok.text = input.substr(i, end - (input.c_str() + i));
+      tok.is_integer =
+          tok.text.find_first_not_of("+-0123456789") == std::string::npos;
       i = static_cast<size_t>(end - input.c_str());
+    } else if (c == '$') {
+      size_t j = i + 1;
+      while (j < n && std::isdigit(static_cast<unsigned char>(input[j]))) ++j;
+      if (j == i + 1) {
+        return Status::InvalidArgument(
+            "expected digits after '$' at position " + std::to_string(i));
+      }
+      tok.kind = TokenKind::kParam;
+      tok.text = input.substr(i, j - i);
+      // <= 3 digits keeps the atoi below overflow-free.
+      if (j - i - 1 > 3) {
+        return Status::InvalidArgument("parameter index out of range [1, 999]" +
+                                       ErrorLocation(i, tok.text));
+      }
+      tok.param_index = std::atoi(input.c_str() + i + 1);
+      if (tok.param_index < 1 || tok.param_index > 999) {
+        return Status::InvalidArgument("parameter index out of range [1, 999]" +
+                                       ErrorLocation(i, tok.text));
+      }
+      i = j;
     } else if (c == '\'') {
       size_t j = i + 1;
       std::string value;
       while (j < n && input[j] != '\'') value.push_back(input[j++]);
       if (j >= n) {
-        return Status::InvalidArgument("unterminated string at offset " +
+        return Status::InvalidArgument("unterminated string at position " +
                                        std::to_string(i));
       }
       tok.kind = TokenKind::kString;
@@ -86,8 +113,8 @@ StatusOr<std::vector<Token>> Tokenize(const std::string& input) {
       tok.text = "=";
       ++i;
     } else {
-      return Status::InvalidArgument(std::string("unexpected character '") +
-                                     c + "' at offset " + std::to_string(i));
+      return Status::InvalidArgument("unexpected character" +
+                                     ErrorLocation(i, std::string(1, c)));
     }
     tokens.push_back(std::move(tok));
   }

@@ -13,6 +13,7 @@ enum class TokenKind {
   kIdentifier,  ///< Bare word (keywords are identifiers, case-insensitive).
   kNumber,      ///< Numeric literal.
   kString,      ///< 'single-quoted' literal.
+  kParam,       ///< '$N' prepared-statement placeholder (1-based).
   kLParen,
   kRParen,
   kComma,
@@ -26,12 +27,21 @@ struct Token {
   TokenKind kind = TokenKind::kEnd;
   std::string text;    ///< Raw text (identifiers upper-cased).
   double number = 0.0; ///< Valid for kNumber.
+  int param_index = 0; ///< Valid for kParam: the N of '$N' (>= 1).
   size_t position = 0; ///< Byte offset in the input (for errors).
+  /// True when the literal spelling has no '.', exponent, or 'inf'/'nan'
+  /// — i.e. the number reads as an integer. Valid for kNumber.
+  bool is_integer = false;
 };
 
 /// \brief Splits `input` into tokens; fails with InvalidArgument on
 /// malformed literals or stray characters.
 StatusOr<std::vector<Token>> Tokenize(const std::string& input);
+
+/// \brief " at position N near 'tok'" — the uniform location suffix of
+/// tokenizer, parser, and executor diagnostics. An empty `token` renders
+/// as "near end of input".
+std::string ErrorLocation(size_t position, const std::string& token);
 
 }  // namespace hermes::sql
 

@@ -1,0 +1,79 @@
+#include "sql/value.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace hermes::sql {
+
+const char* ValueTypeName(ValueType type) {
+  switch (type) {
+    case ValueType::kNull:
+      return "null";
+    case ValueType::kInt:
+      return "int";
+    case ValueType::kDouble:
+      return "double";
+    case ValueType::kString:
+      return "string";
+  }
+  return "unknown";
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return "";
+    case ValueType::kInt:
+      return std::to_string(std::get<int64_t>(v_));
+    case ValueType::kDouble: {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.4g", std::get<double>(v_));
+      return buf;
+    }
+    case ValueType::kString:
+      return std::get<std::string>(v_);
+  }
+  return "";
+}
+
+std::string Table::ToString() const {
+  // Column widths over the rendered cells.
+  std::vector<size_t> widths(columns.size(), 0);
+  for (size_t c = 0; c < columns.size(); ++c) widths[c] = columns[c].name.size();
+  std::vector<std::vector<std::string>> rendered;
+  rendered.reserve(rows.size());
+  for (const auto& row : rows) {
+    std::vector<std::string> cells;
+    cells.reserve(row.size());
+    for (const auto& v : row) cells.push_back(v.ToString());
+    for (size_t c = 0; c < cells.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], cells[c].size());
+    }
+    rendered.push_back(std::move(cells));
+  }
+  std::ostringstream out;
+  auto line = [&](const std::vector<std::string>& cells) {
+    for (size_t c = 0; c < widths.size(); ++c) {
+      out << "| " << (c < cells.size() ? cells[c] : "");
+      out << std::string(
+          widths[c] - std::min(widths[c],
+                               c < cells.size() ? cells[c].size() : 0),
+          ' ');
+      out << ' ';
+    }
+    out << "|\n";
+  };
+  std::vector<std::string> header;
+  header.reserve(columns.size());
+  for (const auto& col : columns) header.push_back(col.name);
+  line(header);
+  for (size_t c = 0; c < widths.size(); ++c) {
+    out << "+" << std::string(widths[c] + 2, '-');
+  }
+  out << "+\n";
+  for (const auto& cells : rendered) line(cells);
+  return out.str();
+}
+
+}  // namespace hermes::sql

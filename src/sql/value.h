@@ -1,0 +1,112 @@
+#ifndef HERMES_SQL_VALUE_H_
+#define HERMES_SQL_VALUE_H_
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace hermes::sql {
+
+/// \brief Runtime type of a `Value` (and the declared type of a `Column`).
+///
+/// `kNull` doubles as "untyped / mixed" when used as a column declaration
+/// (e.g. the `value` column of `SHOW ALL`, which carries one datum per
+/// registered setting in that setting's native type).
+enum class ValueType {
+  kNull = 0,
+  kInt,
+  kDouble,
+  kString,
+};
+
+/// Human-readable name of a value type ("null", "int", "double", "string").
+const char* ValueTypeName(ValueType type);
+
+/// \brief A typed SQL datum: null, int64, double, or string.
+///
+/// `Value` is what executor paths emit and what prepared statements bind —
+/// the embedded counterpart of a PostgreSQL `Datum`. Accessors are strict:
+/// reading a value as the wrong type aborts (programming error, mirroring
+/// `StatusOr`); `AsDouble()` additionally accepts ints (numeric widening,
+/// the one promotion SQL arithmetic needs).
+class Value {
+ public:
+  /// Default-constructed values are NULL.
+  Value() = default;
+
+  static Value Null() { return Value(); }
+  static Value Int(int64_t v) {
+    Value out;
+    out.v_ = v;
+    return out;
+  }
+  static Value Double(double v) {
+    Value out;
+    out.v_ = v;
+    return out;
+  }
+  static Value Str(std::string v) {
+    Value out;
+    out.v_ = std::move(v);
+    return out;
+  }
+
+  ValueType type() const { return static_cast<ValueType>(v_.index()); }
+  bool is_null() const { return type() == ValueType::kNull; }
+  bool is_numeric() const {
+    return type() == ValueType::kInt || type() == ValueType::kDouble;
+  }
+
+  int64_t AsInt() const {
+    if (type() != ValueType::kInt) std::abort();
+    return std::get<int64_t>(v_);
+  }
+  double AsDouble() const {
+    if (type() == ValueType::kInt) {
+      return static_cast<double>(std::get<int64_t>(v_));
+    }
+    if (type() != ValueType::kDouble) std::abort();
+    return std::get<double>(v_);
+  }
+  const std::string& AsString() const {
+    if (type() != ValueType::kString) std::abort();
+    return std::get<std::string>(v_);
+  }
+
+  /// Display form: "" for null, decimal ints, "%.4g" doubles, raw strings.
+  std::string ToString() const;
+
+  /// Exact equality: type and payload (Int(2) != Double(2.0)).
+  bool operator==(const Value& o) const { return v_ == o.v_; }
+  bool operator!=(const Value& o) const { return !(*this == o); }
+
+ private:
+  std::variant<std::monostate, int64_t, double, std::string> v_;
+};
+
+/// \brief A result column: display name plus declared value type.
+/// `ValueType::kNull` declares a mixed-type column (summary rows may mix
+/// types regardless — the declaration describes the data rows).
+struct Column {
+  std::string name;
+  ValueType type = ValueType::kString;
+
+  Column() = default;
+  Column(std::string n, ValueType t) : name(std::move(n)), type(t) {}
+};
+
+/// \brief Tabular result of a statement: typed columns + `Value` rows.
+/// Tests and benches assert on the typed cells; `ToString()` renders the
+/// aligned psql-style display form.
+struct Table {
+  std::vector<Column> columns;
+  std::vector<std::vector<Value>> rows;
+
+  std::string ToString() const;
+};
+
+}  // namespace hermes::sql
+
+#endif  // HERMES_SQL_VALUE_H_

@@ -162,7 +162,7 @@ TEST(IntegrationTest, SqlDrivesTheWholeEngine) {
 
   auto stats = session.Execute("SELECT STATS(air);");
   ASSERT_TRUE(stats.ok());
-  EXPECT_EQ(stats->rows[0][0], "24");
+  EXPECT_EQ(stats->rows[0][0], sql::Value::Int(24));
 
   auto s2t = session.Execute("SELECT S2T(air, 1500, 3000);");
   ASSERT_TRUE(s2t.ok());

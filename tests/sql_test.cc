@@ -4,12 +4,126 @@
 #include <fstream>
 
 #include "datagen/noise.h"
+#include "sql/cursor.h"
 #include "sql/executor.h"
 #include "sql/parser.h"
+#include "sql/settings.h"
 #include "sql/tokenizer.h"
+#include "sql/value.h"
 
 namespace hermes::sql {
 namespace {
+
+// ---------------------------------------------------------------------------
+// Value
+// ---------------------------------------------------------------------------
+
+TEST(ValueTest, TypesAndAccessors) {
+  EXPECT_TRUE(Value::Null().is_null());
+  EXPECT_EQ(Value().type(), ValueType::kNull);
+  EXPECT_EQ(Value::Int(42).type(), ValueType::kInt);
+  EXPECT_EQ(Value::Int(42).AsInt(), 42);
+  EXPECT_EQ(Value::Double(1.5).type(), ValueType::kDouble);
+  EXPECT_DOUBLE_EQ(Value::Double(1.5).AsDouble(), 1.5);
+  EXPECT_EQ(Value::Str("hi").type(), ValueType::kString);
+  EXPECT_EQ(Value::Str("hi").AsString(), "hi");
+  // Numeric widening: ints read as doubles.
+  EXPECT_DOUBLE_EQ(Value::Int(7).AsDouble(), 7.0);
+  EXPECT_TRUE(Value::Int(7).is_numeric());
+  EXPECT_TRUE(Value::Double(7).is_numeric());
+  EXPECT_FALSE(Value::Str("7").is_numeric());
+}
+
+TEST(ValueTest, EqualityIsTypeExact) {
+  EXPECT_EQ(Value::Int(2), Value::Int(2));
+  EXPECT_NE(Value::Int(2), Value::Double(2.0));
+  EXPECT_NE(Value::Int(2), Value::Str("2"));
+  EXPECT_EQ(Value::Null(), Value::Null());
+  EXPECT_NE(Value::Null(), Value::Int(0));
+}
+
+TEST(ValueTest, DisplayForm) {
+  EXPECT_EQ(Value::Null().ToString(), "");
+  EXPECT_EQ(Value::Int(1234).ToString(), "1234");
+  EXPECT_EQ(Value::Double(0.5).ToString(), "0.5");
+  EXPECT_EQ(Value::Double(12345.678).ToString(), "1.235e+04");  // %.4g.
+  EXPECT_EQ(Value::Str("x y").ToString(), "x y");
+}
+
+// ---------------------------------------------------------------------------
+// Settings registry
+// ---------------------------------------------------------------------------
+
+TEST(SettingsTest, RegisterSetGet) {
+  Settings settings;
+  ASSERT_TRUE(settings.Register("hermes.alpha", Value::Double(1.0),
+                                "test knob").ok());
+  EXPECT_TRUE(settings.Register("HERMES.ALPHA", Value::Double(2.0), "dup")
+                  .IsAlreadyExists());
+  EXPECT_DOUBLE_EQ(settings.Get("hermes.alpha")->AsDouble(), 1.0);
+  ASSERT_TRUE(settings.Set("HERMES.alpha", Value::Double(2.5)).ok());
+  EXPECT_DOUBLE_EQ(settings.Get("hermes.alpha")->AsDouble(), 2.5);
+  EXPECT_TRUE(settings.Get("hermes.beta").status().IsNotSupported());
+  EXPECT_TRUE(
+      settings.Set("hermes.beta", Value::Int(1)).IsNotSupported());
+}
+
+TEST(SettingsTest, CoercionRules) {
+  Settings settings;
+  ASSERT_TRUE(settings.Register("k.int", Value::Int(1), "int knob").ok());
+  ASSERT_TRUE(settings.Register("k.dbl", Value::Double(1.0), "dbl").ok());
+  // Integral double -> int.
+  ASSERT_TRUE(settings.Set("k.int", Value::Double(4.0)).ok());
+  EXPECT_EQ(*settings.Get("k.int"), Value::Int(4));
+  // Fractional double -> error, value unchanged.
+  EXPECT_TRUE(settings.Set("k.int", Value::Double(2.5))
+                  .IsInvalidArgument());
+  EXPECT_EQ(*settings.Get("k.int"), Value::Int(4));
+  // Int widens for a double knob.
+  ASSERT_TRUE(settings.Set("k.dbl", Value::Int(3)).ok());
+  EXPECT_EQ(*settings.Get("k.dbl"), Value::Double(3.0));
+  // Strings never coerce to numerics.
+  EXPECT_TRUE(settings.Set("k.dbl", Value::Str("3")).IsInvalidArgument());
+  EXPECT_TRUE(settings.Set("k.int", Value::Null()).IsInvalidArgument());
+}
+
+TEST(SettingsTest, ValidatorRejectsBeforeStateChanges) {
+  Settings settings;
+  int hook_calls = 0;
+  ASSERT_TRUE(settings
+                  .Register(
+                      "k.pos", Value::Int(1), "positive",
+                      [](const Value& v) {
+                        return v.AsInt() > 0
+                                   ? Status::OK()
+                                   : Status::InvalidArgument("must be > 0");
+                      },
+                      [&hook_calls](const Value&) {
+                        ++hook_calls;
+                        return Status::OK();
+                      })
+                  .ok());
+  EXPECT_TRUE(settings.Set("k.pos", Value::Int(0)).IsInvalidArgument());
+  EXPECT_EQ(hook_calls, 0);  // Rejected before the hook fired.
+  EXPECT_EQ(*settings.Get("k.pos"), Value::Int(1));
+  ASSERT_TRUE(settings.Set("k.pos", Value::Int(9)).ok());
+  EXPECT_EQ(hook_calls, 1);
+}
+
+TEST(SettingsTest, FailedHookRestoresPreviousValue) {
+  Settings settings;
+  ASSERT_TRUE(settings
+                  .Register("k.h", Value::Int(1), "hooked", nullptr,
+                            [](const Value& v) {
+                              return v.AsInt() == 13
+                                         ? Status::Internal("unlucky")
+                                         : Status::OK();
+                            })
+                  .ok());
+  ASSERT_TRUE(settings.Set("k.h", Value::Int(7)).ok());
+  EXPECT_TRUE(settings.Set("k.h", Value::Int(13)).IsInternal());
+  EXPECT_EQ(*settings.Get("k.h"), Value::Int(7));
+}
 
 // ---------------------------------------------------------------------------
 // Tokenizer
@@ -32,9 +146,12 @@ TEST(TokenizerTest, NumbersSignedAndScientific) {
   auto tokens = Tokenize("-1.5 +2e3 .25 7");
   ASSERT_TRUE(tokens.ok());
   EXPECT_DOUBLE_EQ((*tokens)[0].number, -1.5);
+  EXPECT_FALSE((*tokens)[0].is_integer);
   EXPECT_DOUBLE_EQ((*tokens)[1].number, 2000.0);
+  EXPECT_FALSE((*tokens)[1].is_integer);
   EXPECT_DOUBLE_EQ((*tokens)[2].number, 0.25);
   EXPECT_DOUBLE_EQ((*tokens)[3].number, 7.0);
+  EXPECT_TRUE((*tokens)[3].is_integer);
 }
 
 TEST(TokenizerTest, StringsAndComments) {
@@ -50,12 +167,29 @@ TEST(TokenizerTest, StringsAndComments) {
   EXPECT_TRUE(found);
 }
 
+TEST(TokenizerTest, Placeholders) {
+  auto tokens = Tokenize("SELECT RANGE(d, $1, $23)");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_EQ((*tokens)[5].kind, TokenKind::kParam);
+  EXPECT_EQ((*tokens)[5].param_index, 1);
+  EXPECT_EQ((*tokens)[5].text, "$1");
+  ASSERT_EQ((*tokens)[7].kind, TokenKind::kParam);
+  EXPECT_EQ((*tokens)[7].param_index, 23);
+
+  EXPECT_TRUE(Tokenize("SELECT $").status().IsInvalidArgument());
+  EXPECT_TRUE(Tokenize("SELECT $0").status().IsInvalidArgument());
+  EXPECT_TRUE(Tokenize("SELECT $1000").status().IsInvalidArgument());
+  EXPECT_TRUE(Tokenize("SELECT $99999999999").status().IsInvalidArgument());
+}
+
 TEST(TokenizerTest, UnterminatedStringFails) {
   EXPECT_TRUE(Tokenize("LOAD MOD m FROM 'oops").status().IsInvalidArgument());
 }
 
 TEST(TokenizerTest, StrayCharacterFails) {
-  EXPECT_TRUE(Tokenize("SELECT @").status().IsInvalidArgument());
+  const Status status = Tokenize("SELECT @").status();
+  EXPECT_TRUE(status.IsInvalidArgument());
+  EXPECT_NE(status.message().find("at position 7"), std::string::npos);
 }
 
 // ---------------------------------------------------------------------------
@@ -84,8 +218,8 @@ TEST(ParserTest, InsertMultipleRows) {
   ASSERT_TRUE(stmt.ok());
   EXPECT_EQ(stmt->kind, Statement::Kind::kInsert);
   ASSERT_EQ(stmt->rows.size(), 2u);
-  EXPECT_DOUBLE_EQ(stmt->rows[1][1], 5.0);
-  EXPECT_DOUBLE_EQ(stmt->rows[1][3], 21.0);
+  EXPECT_EQ(stmt->rows[1][1].value, Value::Int(5));
+  EXPECT_EQ(stmt->rows[1][3].value, Value::Int(21));
 }
 
 TEST(ParserTest, SelectQutSignature) {
@@ -96,7 +230,81 @@ TEST(ParserTest, SelectQutSignature) {
   EXPECT_EQ(stmt->function, "QUT");
   EXPECT_EQ(stmt->mod, "D");
   ASSERT_EQ(stmt->args.size(), 7u);
-  EXPECT_DOUBLE_EQ(stmt->args[2], 900.0);
+  EXPECT_EQ(stmt->args[2].value, Value::Int(900));
+  EXPECT_EQ(stmt->num_params, 0);
+}
+
+TEST(ParserTest, NumericLiteralsKeepTheirSpelledType) {
+  auto stmt = ParseStatement("SELECT S2T(d, 30, 60.5);");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ(stmt->args[0].value, Value::Int(30));
+  EXPECT_EQ(stmt->args[1].value, Value::Double(60.5));
+  // Integer spellings beyond int64 range degrade to double, not UB.
+  auto huge = ParseStatement("SELECT S2T(d, 99999999999999999999);");
+  ASSERT_TRUE(huge.ok());
+  EXPECT_EQ(huge->args[0].value.type(), ValueType::kDouble);
+}
+
+TEST(ParserTest, Placeholders) {
+  auto stmt = ParseStatement("SELECT RANGE(d, $1, $2);");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ(stmt->num_params, 2);
+  EXPECT_EQ(stmt->args[0].param, 1);
+  EXPECT_EQ(stmt->args[1].param, 2);
+
+  auto insert = ParseStatement("INSERT INTO d VALUES ($1, $2, $3, $4);");
+  ASSERT_TRUE(insert.ok());
+  EXPECT_EQ(insert->num_params, 4);
+
+  auto set = ParseStatement("SET hermes.threads = $1;");
+  ASSERT_TRUE(set.ok());
+  EXPECT_EQ(set->num_params, 1);
+  EXPECT_EQ(set->set_value.param, 1);
+}
+
+TEST(ParserTest, SetStatementValueForms) {
+  auto stmt = ParseStatement("SET hermes.threads = 4;");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ(stmt->kind, Statement::Kind::kSet);
+  EXPECT_EQ(stmt->setting, "hermes.threads");
+  EXPECT_EQ(stmt->set_value.value, Value::Int(4));
+
+  auto dbl = ParseStatement("SET hermes.sigma = 1.5;");
+  ASSERT_TRUE(dbl.ok());
+  EXPECT_EQ(dbl->set_value.value, Value::Double(1.5));
+
+  auto on = ParseStatement("SET hermes.use_index = on;");
+  ASSERT_TRUE(on.ok());
+  EXPECT_EQ(on->set_value.value, Value::Int(1));
+  auto off = ParseStatement("SET hermes.use_index = FALSE;");
+  ASSERT_TRUE(off.ok());
+  EXPECT_EQ(off->set_value.value, Value::Int(0));
+
+  auto str = ParseStatement("SET hermes.mode = 'fast';");
+  ASSERT_TRUE(str.ok());
+  EXPECT_EQ(str->set_value.value, Value::Str("fast"));
+
+  EXPECT_TRUE(ParseStatement("SET hermes.threads 4;")
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(ParseStatement("SET = 4;").status().IsInvalidArgument());
+}
+
+TEST(ParserTest, ShowStatement) {
+  auto one = ParseStatement("SHOW hermes.threads;");
+  ASSERT_TRUE(one.ok());
+  EXPECT_EQ(one->kind, Statement::Kind::kShow);
+  EXPECT_EQ(one->setting, "hermes.threads");
+
+  auto all = ParseStatement("SHOW ALL;");
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all->setting, "all");
+
+  auto stats = ParseStatement("show stats");
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->setting, "stats");
+
+  EXPECT_TRUE(ParseStatement("SHOW;").status().IsInvalidArgument());
 }
 
 TEST(ParserTest, ErrorsAreDescriptive) {
@@ -108,12 +316,39 @@ TEST(ParserTest, ErrorsAreDescriptive) {
       ParseStatement("CREATE MOD a; extra").status().IsInvalidArgument());
 }
 
+TEST(ParserTest, ErrorsCarryPositionAndToken) {
+  {
+    const Status status = ParseStatement("SELECT S2T d").status();
+    EXPECT_NE(status.message().find("at position 11"), std::string::npos)
+        << status.message();
+    EXPECT_NE(status.message().find("near 'D'"), std::string::npos);
+  }
+  {
+    const Status status = ParseStatement("CREATE TABLE t").status();
+    EXPECT_NE(status.message().find("at position 7"), std::string::npos)
+        << status.message();
+    EXPECT_NE(status.message().find("near 'TABLE'"), std::string::npos);
+  }
+  {
+    // Truncated input points at end-of-input, not a stale token.
+    const Status status = ParseStatement("SELECT QUT(d, 1").status();
+    EXPECT_NE(status.message().find("near end of input"), std::string::npos)
+        << status.message();
+  }
+}
+
 TEST(ParserTest, ScriptSplitsStatements) {
   auto script = ParseScript(
       "CREATE MOD a; INSERT INTO a VALUES (1,0,0,0),(1,1,1,1); "
       "SELECT STATS(a);");
   ASSERT_TRUE(script.ok());
   EXPECT_EQ(script->size(), 3u);
+}
+
+TEST(ParserTest, ScriptSkipsEmptyStatements) {
+  auto script = ParseScript(";;CREATE MOD a;; ;SELECT STATS(a);;;");
+  ASSERT_TRUE(script.ok());
+  EXPECT_EQ(script->size(), 2u);
 }
 
 // ---------------------------------------------------------------------------
@@ -134,8 +369,12 @@ TEST_F(SqlSessionTest, CreateInsertStats) {
   auto stats = session_.Execute("SELECT STATS(d);");
   ASSERT_TRUE(stats.ok());
   ASSERT_EQ(stats->rows.size(), 1u);
-  EXPECT_EQ(stats->rows[0][0], "2");  // Trajectories.
-  EXPECT_EQ(stats->rows[0][1], "4");  // Points.
+  EXPECT_EQ(stats->columns[0].name, "trajectories");
+  EXPECT_EQ(stats->columns[0].type, ValueType::kInt);
+  EXPECT_EQ(stats->rows[0][0], Value::Int(2));  // Trajectories.
+  EXPECT_EQ(stats->rows[0][1], Value::Int(4));  // Points.
+  EXPECT_EQ(stats->columns[3].type, ValueType::kDouble);
+  EXPECT_EQ(stats->rows[0][4], Value::Double(10.0));  // t_max.
 }
 
 TEST_F(SqlSessionTest, DuplicateCreateFails) {
@@ -159,7 +398,7 @@ TEST_F(SqlSessionTest, RangeQueryFiltersWindow) {
   auto result = session_.Execute("SELECT RANGE(d, 0, 200);");
   ASSERT_TRUE(result.ok());
   ASSERT_EQ(result->rows.size(), 1u);  // Only object 1.
-  EXPECT_EQ(result->rows[0][0], "1");
+  EXPECT_EQ(result->rows[0][0], Value::Int(1));
 }
 
 TEST_F(SqlSessionTest, S2TOverRegisteredScenario) {
@@ -170,7 +409,10 @@ TEST_F(SqlSessionTest, S2TOverRegisteredScenario) {
   ASSERT_TRUE(result.ok());
   // Rows: clusters + the outlier summary line.
   ASSERT_GE(result->rows.size(), 3u);
-  EXPECT_EQ(result->rows.back()[0], "outliers");
+  EXPECT_EQ(result->rows.back()[0], Value::Str("outliers"));
+  // Data rows are typed: cluster ids int, rep times double.
+  EXPECT_EQ(result->rows[0][0], Value::Int(0));
+  EXPECT_EQ(result->rows[0][3].type(), ValueType::kDouble);
 }
 
 TEST_F(SqlSessionTest, QutBuildsTreeAndAnswers) {
@@ -187,14 +429,19 @@ TEST_F(SqlSessionTest, QutBuildsTreeAndAnswers) {
   ASSERT_TRUE(again.ok());
 }
 
-TEST_F(SqlSessionTest, QutArgumentCountValidated) {
+TEST_F(SqlSessionTest, ArgumentCountValidatedWithPosition) {
   ASSERT_TRUE(session_.Execute("CREATE MOD d;").ok());
   EXPECT_TRUE(session_.Execute("SELECT QUT(d, 1, 2);").status()
                   .IsInvalidArgument());
-  EXPECT_TRUE(session_.Execute("SELECT S2T(d, 1);").status()
+  EXPECT_TRUE(session_.Execute("SELECT S2T(d, 1, 2, 3);").status()
                   .IsInvalidArgument());
   EXPECT_TRUE(session_.Execute("SELECT RANGE(d, 5, 5);").status()
                   .IsInvalidArgument());
+  // Executor errors carry the offending token's position.
+  const Status status = session_.Execute("SELECT QUT(d, 1, 2);").status();
+  EXPECT_NE(status.message().find("at position 7 near 'QUT'"),
+            std::string::npos)
+      << status.message();
 }
 
 TEST_F(SqlSessionTest, UnknownFunctionRejected) {
@@ -216,19 +463,21 @@ TEST_F(SqlSessionTest, LoadFromCsvFile) {
   }
   auto result = session_.Execute("LOAD MOD fleet FROM '" + path + "';");
   ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->rows[0][1], Value::Int(1));
   auto stats = session_.Execute("SELECT STATS(fleet);");
   ASSERT_TRUE(stats.ok());
-  EXPECT_EQ(stats->rows[0][0], "1");
-  EXPECT_EQ(stats->rows[0][1], "10");
+  EXPECT_EQ(stats->rows[0][0], Value::Int(1));
+  EXPECT_EQ(stats->rows[0][1], Value::Int(10));
   std::filesystem::remove(path);
 }
 
-TEST_F(SqlSessionTest, ExecuteScriptReturnsLastResult) {
-  auto result = session_.ExecuteScript(
-      "CREATE MOD d; INSERT INTO d VALUES (1,0,0,0),(1,1,1,1); "
-      "SELECT STATS(d);");
-  ASSERT_TRUE(result.ok());
-  EXPECT_EQ(result->columns[0], "trajectories");
+TEST_F(SqlSessionTest, FailedLoadLeavesNoPhantomMod) {
+  EXPECT_FALSE(
+      session_.Execute("LOAD MOD ghost FROM '/nonexistent/x.csv';").ok());
+  // The failed load must not register an empty MOD...
+  EXPECT_TRUE(session_.Execute("SELECT STATS(ghost);").status().IsNotFound());
+  // ...and the name stays available.
+  EXPECT_TRUE(session_.Execute("CREATE MOD ghost;").ok());
 }
 
 TEST_F(SqlSessionTest, TraclusFunctionRuns) {
@@ -238,7 +487,7 @@ TEST_F(SqlSessionTest, TraclusFunctionRuns) {
   auto result = session_.Execute("SELECT TRACLUS(bundle, 60, 3);");
   ASSERT_TRUE(result.ok());
   ASSERT_GE(result->rows.size(), 2u);  // >=1 cluster + noise row.
-  EXPECT_EQ(result->rows.back()[0], "noise");
+  EXPECT_EQ(result->rows.back()[0], Value::Str("noise"));
   EXPECT_TRUE(
       session_.Execute("SELECT TRACLUS(bundle, 60);").status()
           .IsInvalidArgument());
@@ -251,7 +500,7 @@ TEST_F(SqlSessionTest, TOpticsFunctionRuns) {
   auto result = session_.Execute("SELECT TOPTICS(lanes2, 300, 3);");
   ASSERT_TRUE(result.ok());
   ASSERT_GE(result->rows.size(), 3u);  // 2 clusters + noise row.
-  EXPECT_EQ(result->rows.back()[0], "noise");
+  EXPECT_EQ(result->rows.back()[0], Value::Str("noise"));
 }
 
 TEST_F(SqlSessionTest, ConvoysFunctionRuns) {
@@ -261,20 +510,10 @@ TEST_F(SqlSessionTest, ConvoysFunctionRuns) {
   auto result = session_.Execute("SELECT CONVOYS(fleet, 80, 3, 3, 20);");
   ASSERT_TRUE(result.ok());
   ASSERT_GE(result->rows.size(), 1u);
-  EXPECT_EQ(result->columns[0], "convoy_id");
+  EXPECT_EQ(result->columns[0].name, "convoy_id");
   EXPECT_TRUE(
       session_.Execute("SELECT CONVOYS(fleet, 80, 3);").status()
           .IsInvalidArgument());
-}
-
-TEST_F(SqlSessionTest, TableRendersAligned) {
-  Table t;
-  t.columns = {"a", "long_column"};
-  t.rows = {{"1", "x"}, {"22", "yy"}};
-  const std::string s = t.ToString();
-  EXPECT_NE(s.find("| a "), std::string::npos);
-  EXPECT_NE(s.find("long_column"), std::string::npos);
-  EXPECT_NE(s.find("+--"), std::string::npos);
 }
 
 TEST_F(SqlSessionTest, FindStoreIsCaseInsensitive) {
@@ -284,17 +523,66 @@ TEST_F(SqlSessionTest, FindStoreIsCaseInsensitive) {
   EXPECT_EQ(session_.FindStore("other"), nullptr);
 }
 
-TEST(ParserTest, SetStatement) {
-  auto stmt = ParseStatement("SET hermes.threads = 4;");
-  ASSERT_TRUE(stmt.ok());
-  EXPECT_EQ(stmt->kind, Statement::Kind::kSet);
-  EXPECT_EQ(stmt->setting, "HERMES.THREADS");
-  EXPECT_DOUBLE_EQ(stmt->set_value, 4.0);
-  EXPECT_TRUE(ParseStatement("SET hermes.threads 4;")
-                  .status()
-                  .IsInvalidArgument());
-  EXPECT_TRUE(ParseStatement("SET = 4;").status().IsInvalidArgument());
+// ---------------------------------------------------------------------------
+// Table rendering
+// ---------------------------------------------------------------------------
+
+TEST(TableTest, ToStringGoldenAlignment) {
+  Table t;
+  t.columns = {{"a", ValueType::kInt}, {"long_column", ValueType::kString}};
+  t.rows = {{Value::Int(1), Value::Str("x")},
+            {Value::Int(22), Value::Str("yy")},
+            {Value::Str("sum"), Value::Null()}};
+  EXPECT_EQ(t.ToString(),
+            "| a   | long_column |\n"
+            "+-----+-------------+\n"
+            "| 1   | x           |\n"
+            "| 22  | yy          |\n"
+            "| sum |             |\n");
 }
+
+// ---------------------------------------------------------------------------
+// Script semantics
+// ---------------------------------------------------------------------------
+
+TEST_F(SqlSessionTest, ExecuteScriptReturnsLastResult) {
+  auto result = session_.ExecuteScript(
+      "CREATE MOD d; INSERT INTO d VALUES (1,0,0,0),(1,1,1,1); "
+      "SELECT STATS(d);");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->columns[0].name, "trajectories");
+}
+
+TEST_F(SqlSessionTest, ExecuteScriptSkipsEmptyStatements) {
+  auto result = session_.ExecuteScript(
+      ";;CREATE MOD d;; INSERT INTO d VALUES (1,0,0,0),(1,1,1,1);"
+      ";SELECT STATS(d);;");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->rows[0][0], Value::Int(1));
+}
+
+TEST_F(SqlSessionTest, ExecuteScriptReportsFailingStatementOrdinal) {
+  // Statement 2 fails (no such MOD); statement 3 must not run.
+  auto result = session_.ExecuteScript(
+      "CREATE MOD a; SELECT STATS(missing); CREATE MOD b;");
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsNotFound());
+  EXPECT_NE(result.status().message().find("statement 2:"),
+            std::string::npos)
+      << result.status().message();
+  // The script stopped: MOD b was never created, MOD a was.
+  EXPECT_TRUE(session_.Execute("SELECT STATS(b);").status().IsNotFound());
+  EXPECT_TRUE(session_.Execute("SELECT STATS(a);").ok());
+}
+
+TEST_F(SqlSessionTest, ExecuteScriptEmptyFails) {
+  EXPECT_TRUE(session_.ExecuteScript("").status().IsInvalidArgument());
+  EXPECT_TRUE(session_.ExecuteScript(";;;").status().IsInvalidArgument());
+}
+
+// ---------------------------------------------------------------------------
+// Settings via SQL: SET / SHOW
+// ---------------------------------------------------------------------------
 
 TEST_F(SqlSessionTest, SetThreadsControlsSessionParallelism) {
   EXPECT_EQ(session_.threads(), 1u);
@@ -302,7 +590,7 @@ TEST_F(SqlSessionTest, SetThreadsControlsSessionParallelism) {
 
   auto result = session_.Execute("SET hermes.threads = 4;");
   ASSERT_TRUE(result.ok());
-  EXPECT_EQ(result->rows[0][0], "SET HERMES.THREADS = 4");
+  EXPECT_EQ(result->rows[0][0], Value::Str("SET hermes.threads = 4"));
   EXPECT_EQ(session_.threads(), 4u);
   ASSERT_NE(session_.exec_context(), nullptr);
   EXPECT_EQ(session_.exec_context()->threads(), 4u);
@@ -310,17 +598,360 @@ TEST_F(SqlSessionTest, SetThreadsControlsSessionParallelism) {
   // Back to sequential: the context is dropped.
   ASSERT_TRUE(session_.Execute("SET hermes.threads = 1;").ok());
   EXPECT_EQ(session_.exec_context(), nullptr);
+}
 
-  EXPECT_TRUE(session_.Execute("SET hermes.threads = 0;")
+TEST_F(SqlSessionTest, SettingsValidateAtTheBoundary) {
+  // Regression: 0 / negative / non-integer / out-of-range values used to
+  // slip through as silent casts; the registry must reject them all with
+  // InvalidArgument and leave the setting untouched.
+  for (const char* bad :
+       {"SET hermes.threads = 0;", "SET hermes.threads = -2;",
+        "SET hermes.threads = 2.5;", "SET hermes.threads = 1e9;",
+        "SET hermes.threads = 99999999999999999999;",
+        "SET hermes.threads = 'four';"}) {
+    EXPECT_TRUE(session_.Execute(bad).status().IsInvalidArgument()) << bad;
+    EXPECT_EQ(session_.threads(), 1u) << bad;
+  }
+  EXPECT_TRUE(session_.Execute("SET hermes.sigma = 0;")
                   .status()
                   .IsInvalidArgument());
-  EXPECT_TRUE(session_.Execute("SET hermes.threads = 2.5;")
+  EXPECT_TRUE(session_.Execute("SET hermes.epsilon = -1;")
                   .status()
                   .IsInvalidArgument());
+  EXPECT_TRUE(session_.Execute("SET hermes.use_index = 2;")
+                  .status()
+                  .IsInvalidArgument());
+  // Unknown knobs are NotSupported (distinct from bad values).
   EXPECT_TRUE(session_.Execute("SET hermes.workers = 2;")
                   .status()
                   .IsNotSupported());
 }
+
+TEST_F(SqlSessionTest, ShowSingleSettingAndAll) {
+  ASSERT_TRUE(session_.Execute("SET hermes.threads = 2;").ok());
+  auto one = session_.Execute("SHOW hermes.threads;");
+  ASSERT_TRUE(one.ok());
+  ASSERT_EQ(one->rows.size(), 1u);
+  EXPECT_EQ(one->rows[0][0], Value::Str("hermes.threads"));
+  EXPECT_EQ(one->rows[0][1], Value::Int(2));  // Typed, not a string.
+  EXPECT_EQ(one->rows[0][2], Value::Str("int"));
+
+  auto all = session_.Execute("SHOW ALL;");
+  ASSERT_TRUE(all.ok());
+  ASSERT_GE(all->rows.size(), 4u);
+  bool saw_sigma = false, saw_use_index = false;
+  for (const auto& row : all->rows) {
+    if (row[0] == Value::Str("hermes.sigma")) {
+      saw_sigma = true;
+      EXPECT_EQ(row[1].type(), ValueType::kDouble);
+    }
+    if (row[0] == Value::Str("hermes.use_index")) {
+      saw_use_index = true;
+      EXPECT_EQ(row[1], Value::Int(1));
+    }
+  }
+  EXPECT_TRUE(saw_sigma);
+  EXPECT_TRUE(saw_use_index);
+
+  EXPECT_TRUE(
+      session_.Execute("SHOW hermes.nope;").status().IsNotSupported());
+}
+
+TEST_F(SqlSessionTest, S2TUsesSessionDefaultsWhenArgsOmitted) {
+  traj::TrajectoryStore lanes = datagen::MakeParallelLanes(
+      2, 4, 2000.0, 800.0, 10.0, 10.0, /*seed=*/3, /*jitter=*/1.0);
+  ASSERT_TRUE(session_.RegisterStore("lanes", std::move(lanes)).ok());
+
+  auto explicit_args = session_.Execute("SELECT S2T(lanes, 30, 60);");
+  ASSERT_TRUE(explicit_args.ok());
+
+  ASSERT_TRUE(session_.Execute("SET hermes.sigma = 30;").ok());
+  ASSERT_TRUE(session_.Execute("SET hermes.epsilon = 60;").ok());
+  auto defaults = session_.Execute("SELECT S2T(lanes);");
+  ASSERT_TRUE(defaults.ok());
+  EXPECT_EQ(explicit_args->rows, defaults->rows);
+
+  // One trailing arg: sigma explicit, epsilon from the session default.
+  auto partial = session_.Execute("SELECT S2T(lanes, 30);");
+  ASSERT_TRUE(partial.ok());
+  EXPECT_EQ(explicit_args->rows, partial->rows);
+}
+
+TEST_F(SqlSessionTest, UseIndexSettingSwitchesEngineBitExactly) {
+  traj::TrajectoryStore lanes = datagen::MakeParallelLanes(
+      2, 4, 2000.0, 800.0, 10.0, 10.0, /*seed=*/7, /*jitter=*/1.0);
+  ASSERT_TRUE(session_.RegisterStore("lanes", std::move(lanes)).ok());
+  auto indexed = session_.Execute("SELECT S2T(lanes, 30, 60);");
+  ASSERT_TRUE(indexed.ok());
+  ASSERT_TRUE(session_.Execute("SET hermes.use_index = off;").ok());
+  auto naive = session_.Execute("SELECT S2T(lanes, 30, 60);");
+  ASSERT_TRUE(naive.ok());
+  EXPECT_EQ(indexed->rows, naive->rows);  // Engines agree exactly.
+}
+
+TEST_F(SqlSessionTest, ShowStatsAccumulatesTypedTimings) {
+  traj::TrajectoryStore lanes = datagen::MakeParallelLanes(
+      2, 4, 2000.0, 800.0, 10.0, 10.0, /*seed=*/3, /*jitter=*/1.0);
+  ASSERT_TRUE(session_.RegisterStore("lanes", std::move(lanes)).ok());
+  ASSERT_TRUE(session_.Execute("SELECT S2T(lanes, 30, 60);").ok());
+  auto stats = session_.Execute("SHOW STATS;");
+  ASSERT_TRUE(stats.ok());
+  ASSERT_EQ(stats->columns.size(), 2u);
+  EXPECT_EQ(stats->columns[1].type, ValueType::kInt);
+  bool saw_voting = false;
+  for (const auto& row : stats->rows) {
+    if (row[0] == Value::Str("s2t_voting")) {
+      saw_voting = true;
+      EXPECT_GE(row[1].AsInt(), 0);
+    }
+  }
+  EXPECT_TRUE(saw_voting);
+  // The session accessor exposes the same numbers typed.
+  EXPECT_GE(session_.stats().PhaseUs("s2t_segmentation"), 0);
+}
+
+TEST_F(SqlSessionTest, QutTreeBuildTimingsArchivedSequentially) {
+  traj::TrajectoryStore lanes = datagen::MakeParallelLanes(
+      2, 6, 5000.0, 1600.0, 10.0, 10.0, /*seed=*/5, /*jitter=*/1.0);
+  ASSERT_TRUE(session_.RegisterStore("lanes", std::move(lanes)).ok());
+  ASSERT_TRUE(
+      session_.Execute("SELECT QUT(lanes, 0, 160, 80, 40, 12, 80, 8);").ok());
+  // Even without a live context, the tree build's S2T phases land in the
+  // session archive (regression: SHOW STATS coverage depended on
+  // hermes.threads).
+  const auto phases = session_.stats().PhaseTimings();
+  EXPECT_EQ(phases.count("s2t_voting"), 1u);
+  EXPECT_EQ(phases.count("qut_query"), 1u);
+}
+
+TEST_F(SqlSessionTest, ShowStatsNotDoubleCountedWithLiveContext) {
+  traj::TrajectoryStore lanes = datagen::MakeParallelLanes(
+      2, 4, 2000.0, 800.0, 10.0, 10.0, /*seed=*/3, /*jitter=*/1.0);
+  ASSERT_TRUE(session_.RegisterStore("lanes", std::move(lanes)).ok());
+  ASSERT_TRUE(session_.Execute("SET hermes.threads = 2;").ok());
+  ASSERT_TRUE(session_.Execute("SELECT S2T(lanes, 30, 60);").ok());
+  // With a live context the core records the s2t_* phases into it; the
+  // session archive must NOT hold a second copy (regression: SHOW STATS
+  // double-counted every phase while threads > 1).
+  EXPECT_EQ(session_.stats().PhaseTimings().count("s2t_voting"), 0u);
+  auto stats = session_.Execute("SHOW STATS;");
+  ASSERT_TRUE(stats.ok());
+  bool saw_voting = false;
+  for (const auto& row : stats->rows) {
+    if (row[0] == Value::Str("s2t_voting")) saw_voting = true;
+  }
+  EXPECT_TRUE(saw_voting);
+  // Retiring the context (threads back to 1) folds its timings into the
+  // session archive, so the breakdown survives the swap.
+  ASSERT_TRUE(session_.Execute("SET hermes.threads = 1;").ok());
+  EXPECT_EQ(session_.stats().PhaseTimings().count("s2t_voting"), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Prepared statements
+// ---------------------------------------------------------------------------
+
+TEST_F(SqlSessionTest, PreparedRangeExecutesWithBoundValues) {
+  ASSERT_TRUE(session_.Execute("CREATE MOD d;").ok());
+  ASSERT_TRUE(session_
+                  .Execute("INSERT INTO d VALUES (1, 0, 0, 0), (1, 100, 10, "
+                           "0), (2, 500, 0, 0), (2, 600, 10, 0);")
+                  .ok());
+  auto prepared = session_.Prepare("SELECT RANGE(d, $1, $2);");
+  ASSERT_TRUE(prepared.ok());
+  EXPECT_EQ(prepared->num_params(), 2);
+
+  ASSERT_TRUE(prepared->Bind(1, Value::Double(0)).ok());
+  ASSERT_TRUE(prepared->Bind(2, Value::Double(200)).ok());
+  auto bound = prepared->Execute();
+  ASSERT_TRUE(bound.ok());
+  auto direct = session_.Execute("SELECT RANGE(d, 0, 200);");
+  ASSERT_TRUE(direct.ok());
+  EXPECT_EQ(bound->rows, direct->rows);
+
+  // Re-bind one parameter and re-execute — no re-parse, new window.
+  ASSERT_TRUE(prepared->Bind(2, Value::Double(700)).ok());
+  auto wider = prepared->Execute();
+  ASSERT_TRUE(wider.ok());
+  EXPECT_EQ(wider->rows.size(), 2u);
+}
+
+TEST_F(SqlSessionTest, PreparedRangeWithModPlaceholder) {
+  ASSERT_TRUE(session_.Execute("CREATE MOD d;").ok());
+  ASSERT_TRUE(session_
+                  .Execute("INSERT INTO d VALUES (1, 0, 0, 0), (1, 100, 10, "
+                           "0), (2, 500, 0, 0), (2, 600, 10, 0);")
+                  .ok());
+  // The MOD position itself is a placeholder: the acceptance shape
+  // `SELECT RANGE($1, $2, $3)` from the issue.
+  auto prepared = session_.Prepare("SELECT RANGE($1, $2, $3);");
+  ASSERT_TRUE(prepared.ok());
+  EXPECT_EQ(prepared->num_params(), 3);
+  ASSERT_TRUE(prepared->Bind(1, Value::Str("d")).ok());
+  ASSERT_TRUE(prepared->Bind(2, Value::Double(0)).ok());
+  ASSERT_TRUE(prepared->Bind(3, Value::Double(200)).ok());
+  auto bound = prepared->Execute();
+  ASSERT_TRUE(bound.ok()) << bound.status().ToString();
+  auto direct = session_.Execute("SELECT RANGE(d, 0, 200);");
+  ASSERT_TRUE(direct.ok());
+  EXPECT_EQ(bound->rows, direct->rows);
+  // A non-string MOD binding is a typed error; an unknown name NotFound.
+  ASSERT_TRUE(prepared->Bind(1, Value::Int(7)).ok());
+  EXPECT_TRUE(prepared->Execute().status().IsInvalidArgument());
+  ASSERT_TRUE(prepared->Bind(1, Value::Str("missing")).ok());
+  EXPECT_TRUE(prepared->Execute().status().IsNotFound());
+}
+
+TEST_F(SqlSessionTest, PreparedBindingErrors) {
+  ASSERT_TRUE(session_.Execute("CREATE MOD d;").ok());
+  auto prepared = session_.Prepare("SELECT RANGE(d, $1, $2);");
+  ASSERT_TRUE(prepared.ok());
+  EXPECT_TRUE(prepared->Bind(0, Value::Int(1)).IsInvalidArgument());
+  EXPECT_TRUE(prepared->Bind(3, Value::Int(1)).IsInvalidArgument());
+  // Unbound $2: execution refuses.
+  ASSERT_TRUE(prepared->Bind(1, Value::Int(0)).ok());
+  const Status status = prepared->Execute().status();
+  EXPECT_TRUE(status.IsInvalidArgument());
+  EXPECT_NE(status.message().find("$2"), std::string::npos);
+  // Binding a non-number surfaces at execution with a typed error.
+  ASSERT_TRUE(prepared->Bind(2, Value::Str("oops")).ok());
+  EXPECT_TRUE(prepared->Execute().status().IsInvalidArgument());
+}
+
+TEST_F(SqlSessionTest, PreparedInsertReusedByMaintenanceLoop) {
+  ASSERT_TRUE(session_.Execute("CREATE MOD d;").ok());
+  auto insert = session_.Prepare("INSERT INTO d VALUES ($1, $2, $3, $4);");
+  ASSERT_TRUE(insert.ok());
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(insert->Bind(1, Value::Int(100 + i)).ok());
+    ASSERT_TRUE(insert->Bind(2, Value::Double(0)).ok());
+    ASSERT_TRUE(insert->Bind(3, Value::Double(i)).ok());
+    ASSERT_TRUE(insert->Bind(4, Value::Double(0)).ok());
+    auto ack = insert->Execute();
+    ASSERT_TRUE(ack.ok());
+    EXPECT_EQ(ack->rows[0][1], Value::Int(1));
+  }
+  auto stats = session_.Execute("SELECT STATS(d);");
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->rows[0][0], Value::Int(5));
+}
+
+TEST_F(SqlSessionTest, PreparedSetStatement) {
+  auto set = session_.Prepare("SET hermes.threads = $1;");
+  ASSERT_TRUE(set.ok());
+  ASSERT_TRUE(set->Bind(1, Value::Int(2)).ok());
+  ASSERT_TRUE(set->Execute().ok());
+  EXPECT_EQ(session_.threads(), 2u);
+  // Bad bound value hits the same boundary validation.
+  ASSERT_TRUE(set->Bind(1, Value::Int(0)).ok());
+  EXPECT_TRUE(set->Execute().status().IsInvalidArgument());
+  EXPECT_EQ(session_.threads(), 2u);
+}
+
+TEST_F(SqlSessionTest, UnpreparedExecuteRejectsPlaceholders) {
+  ASSERT_TRUE(session_.Execute("CREATE MOD d;").ok());
+  EXPECT_TRUE(session_.Execute("SELECT RANGE(d, $1, $2);")
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(session_.ExecuteScript("CREATE MOD e; SELECT RANGE(e, $1, 2);")
+                  .status()
+                  .IsInvalidArgument());
+}
+
+// ---------------------------------------------------------------------------
+// Cursors
+// ---------------------------------------------------------------------------
+
+TEST_F(SqlSessionTest, RangeCursorMatchesExecute) {
+  ASSERT_TRUE(session_.Execute("CREATE MOD d;").ok());
+  ASSERT_TRUE(session_
+                  .Execute("INSERT INTO d VALUES (1, 0, 0, 0), (1, 100, 10, "
+                           "0), (2, 0, 0, 9), (2, 100, 10, 9), "
+                           "(3, 500, 0, 0), (3, 600, 10, 0);")
+                  .ok());
+  auto table = session_.Execute("SELECT RANGE(d, 0, 200);");
+  ASSERT_TRUE(table.ok());
+
+  auto cursor = session_.ExecuteCursor("SELECT RANGE(d, 0, 200);");
+  ASSERT_TRUE(cursor.ok());
+  ASSERT_EQ((*cursor)->columns().size(), 2u);
+  EXPECT_EQ((*cursor)->columns()[0].name, "object_id");
+  std::vector<std::vector<Value>> streamed;
+  std::vector<Value> row;
+  while (true) {
+    auto more = (*cursor)->Next(&row);
+    ASSERT_TRUE(more.ok());
+    if (!*more) break;
+    streamed.push_back(row);
+  }
+  EXPECT_EQ(streamed, table->rows);
+  // Exhausted cursors stay exhausted.
+  auto again = (*cursor)->Next(&row);
+  ASSERT_TRUE(again.ok());
+  EXPECT_FALSE(*again);
+}
+
+TEST_F(SqlSessionTest, CursorCanStopEarly) {
+  ASSERT_TRUE(session_.Execute("CREATE MOD d;").ok());
+  for (int obj = 0; obj < 20; ++obj) {
+    std::string sql = "INSERT INTO d VALUES (" + std::to_string(obj) +
+                      ", 0, 0, 0), (" + std::to_string(obj) + ", 10, 5, 0);";
+    ASSERT_TRUE(session_.Execute(sql).ok());
+  }
+  auto cursor = session_.ExecuteCursor("SELECT RANGE(d, 0, 100);");
+  ASSERT_TRUE(cursor.ok());
+  // Read only the first three rows; dropping the cursor abandons the rest
+  // without materializing them.
+  std::vector<Value> row;
+  for (int i = 0; i < 3; ++i) {
+    auto more = (*cursor)->Next(&row);
+    ASSERT_TRUE(more.ok());
+    ASSERT_TRUE(*more);
+    EXPECT_EQ(row[0], Value::Int(i));
+  }
+}
+
+TEST_F(SqlSessionTest, S2TMembersCursorStreamsEveryMember) {
+  traj::TrajectoryStore lanes = datagen::MakeParallelLanes(
+      2, 4, 2000.0, 800.0, 10.0, 10.0, /*seed=*/3, /*jitter=*/1.0);
+  ASSERT_TRUE(session_.RegisterStore("lanes", std::move(lanes)).ok());
+  auto summary = session_.Execute("SELECT S2T(lanes, 30, 60);");
+  ASSERT_TRUE(summary.ok());
+  // Total members across clusters + outliers, from the typed summary.
+  int64_t expected = 0;
+  for (const auto& r : summary->rows) expected += r[1].AsInt();
+
+  auto cursor = session_.ExecuteCursor("SELECT S2T_MEMBERS(lanes, 30, 60);");
+  ASSERT_TRUE(cursor.ok());
+  int64_t streamed = 0;
+  int64_t outlier_rows = 0;
+  std::vector<Value> row;
+  while (true) {
+    auto more = (*cursor)->Next(&row);
+    ASSERT_TRUE(more.ok());
+    if (!*more) break;
+    ++streamed;
+    if (row[0].is_null()) ++outlier_rows;
+    EXPECT_EQ(row[1].type(), ValueType::kInt);     // object_id.
+    EXPECT_EQ(row[2].type(), ValueType::kDouble);  // start.
+  }
+  EXPECT_EQ(streamed, expected);
+  EXPECT_EQ(outlier_rows, summary->rows.back()[1].AsInt());
+}
+
+TEST_F(SqlSessionTest, MaterializingStatementsStillCursor) {
+  ASSERT_TRUE(session_.Execute("CREATE MOD d;").ok());
+  auto cursor = session_.ExecuteCursor("SELECT STATS(d);");
+  ASSERT_TRUE(cursor.ok());
+  auto table = (*cursor)->ToTable();
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->rows.size(), 1u);
+  EXPECT_EQ(table->rows[0][0], Value::Int(0));
+}
+
+// ---------------------------------------------------------------------------
+// Thread-count invariance (unchanged contract)
+// ---------------------------------------------------------------------------
 
 TEST_F(SqlSessionTest, S2TResultsAreThreadCountInvariant) {
   traj::TrajectoryStore lanes = datagen::MakeParallelLanes(

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Warn-only diff of two BENCH_s2t.json files (perf-trajectory tracking).
+
+Usage: bench_diff.py OLD.json NEW.json [--threshold RATIO]
+
+Matches runs by (flights, threads) and compares wall_ms plus each
+per-phase *_ms field. Regressions beyond the threshold (default 1.25x)
+are printed as GitHub Actions ::warning:: lines; the exit code is always
+0 — CI hosts are noisy, so this records the trajectory without gating.
+"""
+
+import argparse
+import json
+import sys
+
+PHASES = [
+    "wall_ms",
+    "arena_build_ms",
+    "index_build_ms",
+    "voting_ms",
+    "segmentation_ms",
+    "sampling_ms",
+    "clustering_ms",
+]
+# Below this, ratios are timer noise, not signal.
+MIN_MS = 1.0
+
+
+def load_runs(path):
+    with open(path) as f:
+        data = json.load(f)
+    return {(r["flights"], r["threads"]): r for r in data.get("runs", [])}
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("old")
+    parser.add_argument("new")
+    parser.add_argument("--threshold", type=float, default=1.25,
+                        help="warn when new > old * THRESHOLD (default 1.25)")
+    args = parser.parse_args()
+
+    try:
+        old_runs = load_runs(args.old)
+        new_runs = load_runs(args.new)
+    except (OSError, ValueError, KeyError) as e:
+        print(f"bench_diff: cannot compare ({e}); skipping")
+        return 0
+
+    warned = 0
+    compared = 0
+    for key in sorted(set(old_runs) & set(new_runs)):
+        old, new = old_runs[key], new_runs[key]
+        flights, threads = key
+        for phase in PHASES:
+            if phase not in old or phase not in new:
+                continue
+            o, n = float(old[phase]), float(new[phase])
+            compared += 1
+            if o < MIN_MS and n < MIN_MS:
+                continue
+            if n > max(o, MIN_MS) * args.threshold:
+                print(f"::warning title=bench_s2t regression::"
+                      f"flights={flights} threads={threads} {phase}: "
+                      f"{o:.3f}ms -> {n:.3f}ms "
+                      f"({n / max(o, 1e-9):.2f}x)")
+                warned += 1
+    only_old = sorted(set(old_runs) - set(new_runs))
+    only_new = sorted(set(new_runs) - set(old_runs))
+    if only_old:
+        print(f"bench_diff: points dropped since previous run: {only_old}")
+    if only_new:
+        print(f"bench_diff: new points (no baseline): {only_new}")
+    print(f"bench_diff: compared {compared} phase totals over "
+          f"{len(set(old_runs) & set(new_runs))} matching points; "
+          f"{warned} regression warning(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
