@@ -1,7 +1,10 @@
 // Experiment E5 companion (DESIGN.md): S2T-Clustering end-to-end runtime
 // and per-phase breakdown as the MOD grows — the "efficient and scalable
 // solutions for sub-trajectory clustering" claim — plus a thread sweep of
-// the arena/exec fast path at the largest MOD.
+// the exec fast path at the largest MOD. The sweep now covers every
+// parallel phase: arena build, STR sorts, voting probe (per-chunk index
+// handles) + kernel, and both NaTS segmentation passes, with the
+// probe/kernel and DP/materialize splits reported separately.
 //
 // Besides the usual console report, every (N, threads) point is appended
 // to `BENCH_s2t.json` in the working directory, so successive PRs can
@@ -84,7 +87,12 @@ void BM_S2TFull(benchmark::State& state) {
   state.counters["arena_ms"] = timings.arena_build_us / 1000.0;
   state.counters["index_ms"] = timings.index_build_us / 1000.0;
   state.counters["voting_ms"] = timings.voting_us / 1000.0;
+  state.counters["voting_probe_ms"] = timings.voting_probe_us / 1000.0;
+  state.counters["voting_kernel_ms"] = timings.voting_kernel_us / 1000.0;
   state.counters["segmentation_ms"] = timings.segmentation_us / 1000.0;
+  state.counters["segmentation_dp_ms"] = timings.segmentation_dp_us / 1000.0;
+  state.counters["segmentation_materialize_ms"] =
+      timings.segmentation_materialize_us / 1000.0;
   state.counters["sampling_ms"] = timings.sampling_us / 1000.0;
   state.counters["clustering_ms"] = timings.clustering_us / 1000.0;
 
@@ -129,13 +137,20 @@ void WriteJson(const char* path) {
         "\"sub_trajectories\": %zu, \"clusters\": %zu, \"outliers\": %zu, "
         "\"wall_ms\": %.3f, \"arena_build_ms\": %.3f, "
         "\"index_build_ms\": %.3f, \"voting_ms\": %.3f, "
-        "\"segmentation_ms\": %.3f, \"sampling_ms\": %.3f, "
+        "\"voting_probe_ms\": %.3f, \"voting_kernel_ms\": %.3f, "
+        "\"segmentation_ms\": %.3f, \"segmentation_dp_ms\": %.3f, "
+        "\"segmentation_materialize_ms\": %.3f, \"sampling_ms\": %.3f, "
         "\"clustering_ms\": %.3f}%s\n",
         r.flights, r.threads, r.segments, r.sub_trajs, r.clusters, r.outliers,
         r.wall_ms, r.timings.arena_build_us / 1000.0,
         r.timings.index_build_us / 1000.0, r.timings.voting_us / 1000.0,
-        r.timings.segmentation_us / 1000.0, r.timings.sampling_us / 1000.0,
-        r.timings.clustering_us / 1000.0, i + 1 < recs.size() ? "," : "");
+        r.timings.voting_probe_us / 1000.0,
+        r.timings.voting_kernel_us / 1000.0,
+        r.timings.segmentation_us / 1000.0,
+        r.timings.segmentation_dp_us / 1000.0,
+        r.timings.segmentation_materialize_us / 1000.0,
+        r.timings.sampling_us / 1000.0, r.timings.clustering_us / 1000.0,
+        i + 1 < recs.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);

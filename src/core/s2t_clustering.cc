@@ -19,7 +19,12 @@ void S2TTimings::ExportTo(exec::ExecStats* stats) const {
   stats->RecordPhaseUs("s2t_arena_build", arena_build_us);
   stats->RecordPhaseUs("s2t_index_build", index_build_us);
   stats->RecordPhaseUs("s2t_voting", voting_us);
+  stats->RecordPhaseUs("s2t_voting_probe", voting_probe_us);
+  stats->RecordPhaseUs("s2t_voting_kernel", voting_kernel_us);
   stats->RecordPhaseUs("s2t_segmentation", segmentation_us);
+  stats->RecordPhaseUs("s2t_segmentation_dp", segmentation_dp_us);
+  stats->RecordPhaseUs("s2t_segmentation_materialize",
+                       segmentation_materialize_us);
   stats->RecordPhaseUs("s2t_sampling", sampling_us);
   stats->RecordPhaseUs("s2t_clustering", clustering_us);
 }
@@ -32,7 +37,7 @@ StatusOr<S2TResult> S2TClustering::Run(const traj::TrajectoryStore& store,
   timings.arena_build_us = NowUs() - t0;
 
   if (!params_.use_index) {
-    return RunPhases(arena, store, nullptr, timings, ctx);
+    return RunPhases(arena, store, nullptr, nullptr, timings, ctx);
   }
   auto env = storage::Env::NewMemEnv();
   t0 = NowUs();
@@ -42,7 +47,11 @@ StatusOr<S2TResult> S2TClustering::Run(const traj::TrajectoryStore& store,
                                /*fill_factor=*/0.9, /*cache_pages=*/512,
                                ctx));
   timings.index_build_us = NowUs() - t0;
-  return RunPhases(arena, store, index.get(), timings, ctx);
+  // The freshly bulk-loaded (and flushed) file backs the parallel probe's
+  // per-chunk read handles.
+  const voting::IndexProbeSource probe{env.get(), "s2t.idx",
+                                       /*cache_pages=*/512};
+  return RunPhases(arena, store, index.get(), &probe, timings, ctx);
 }
 
 StatusOr<S2TResult> S2TClustering::RunWithIndex(
@@ -52,14 +61,13 @@ StatusOr<S2TResult> S2TClustering::RunWithIndex(
   const int64_t t0 = NowUs();
   const traj::SegmentArena arena = traj::SegmentArena::Build(store, ctx);
   timings.arena_build_us = NowUs() - t0;
-  return RunPhases(arena, store, &index, timings, ctx);
+  return RunPhases(arena, store, &index, nullptr, timings, ctx);
 }
 
-StatusOr<S2TResult> S2TClustering::RunPhases(const traj::SegmentArena& arena,
-                                             const traj::TrajectoryStore& store,
-                                             const rtree::RTree3D* index,
-                                             S2TTimings timings,
-                                             exec::ExecContext* ctx) const {
+StatusOr<S2TResult> S2TClustering::RunPhases(
+    const traj::SegmentArena& arena, const traj::TrajectoryStore& store,
+    const rtree::RTree3D* index, const voting::IndexProbeSource* probe,
+    S2TTimings timings, exec::ExecContext* ctx) const {
   S2TResult result;
   result.timings = timings;
 
@@ -69,19 +77,24 @@ StatusOr<S2TResult> S2TClustering::RunPhases(const traj::SegmentArena& arena,
     HERMES_ASSIGN_OR_RETURN(
         result.voting,
         voting::ComputeVotingIndexed(arena, store, *index, params_.voting,
-                                     ctx));
+                                     ctx, probe));
   } else {
     HERMES_ASSIGN_OR_RETURN(
         result.voting,
         voting::ComputeVotingNaive(arena, store, params_.voting, ctx));
   }
   result.timings.voting_us = NowUs() - t0;
+  result.timings.voting_probe_us = result.voting.probe_us;
+  result.timings.voting_kernel_us = result.voting.kernel_us;
 
   // Phase 1b: segmentation into homogeneous sub-trajectories.
   t0 = NowUs();
-  result.sub_trajectories =
-      segmentation::SegmentStore(store, result.voting, params_.segmentation);
+  segmentation::SegmentationTimings seg_timings;
+  result.sub_trajectories = segmentation::SegmentStore(
+      store, result.voting, params_.segmentation, ctx, &seg_timings);
   result.timings.segmentation_us = NowUs() - t0;
+  result.timings.segmentation_dp_us = seg_timings.dp_us;
+  result.timings.segmentation_materialize_us = seg_timings.materialize_us;
 
   // Phase 2a: sampling of representatives.
   t0 = NowUs();
@@ -95,15 +108,7 @@ StatusOr<S2TResult> S2TClustering::RunPhases(const traj::SegmentArena& arena,
       result.sub_trajectories, result.representatives, params_.clustering);
   result.timings.clustering_us = NowUs() - t0;
 
-  if (ctx != nullptr) {
-    auto& stats = ctx->stats();
-    stats.RecordPhaseUs("s2t_voting", result.timings.voting_us);
-    stats.RecordPhaseUs("s2t_segmentation", result.timings.segmentation_us);
-    stats.RecordPhaseUs("s2t_sampling", result.timings.sampling_us);
-    stats.RecordPhaseUs("s2t_clustering", result.timings.clustering_us);
-    stats.RecordPhaseUs("s2t_index_build", result.timings.index_build_us);
-    stats.RecordPhaseUs("s2t_arena_build", result.timings.arena_build_us);
-  }
+  if (ctx != nullptr) result.timings.ExportTo(&ctx->stats());
   return result;
 }
 

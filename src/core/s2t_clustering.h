@@ -54,6 +54,14 @@ struct S2TTimings {
   int64_t segmentation_us = 0;
   int64_t sampling_us = 0;
   int64_t clustering_us = 0;
+  // Sub-phases (not part of TotalUs): the probe/kernel split of voting_us
+  // and the DP/materialize split of segmentation_us — the four phases the
+  // exec engine fans out, tracked separately so thread sweeps show where
+  // the speedup lands.
+  int64_t voting_probe_us = 0;
+  int64_t voting_kernel_us = 0;
+  int64_t segmentation_dp_us = 0;
+  int64_t segmentation_materialize_us = 0;
 
   int64_t TotalUs() const {
     return arena_build_us + index_build_us + voting_us + segmentation_us +
@@ -73,6 +81,10 @@ struct S2TTimings {
     segmentation_us += o.segmentation_us;
     sampling_us += o.sampling_us;
     clustering_us += o.clustering_us;
+    voting_probe_us += o.voting_probe_us;
+    voting_kernel_us += o.voting_kernel_us;
+    segmentation_dp_us += o.segmentation_dp_us;
+    segmentation_materialize_us += o.segmentation_materialize_us;
     return *this;
   }
 };
@@ -108,13 +120,17 @@ class S2TClustering {
   /// reported in `timings.arena_build_us`); when `params.use_index` a
   /// transient in-memory pg3D-Rtree is STR-built over the arena (reported
   /// in `timings.index_build_us`). `ctx` parallelizes the arena build,
-  /// the STR sort phases, and the vote kernel; results are identical at
-  /// any thread count.
+  /// the STR sort phases, the voting probe (per-chunk read handles over
+  /// the freshly built index file) and kernel, and both NaTS segmentation
+  /// passes; results are identical at any thread count.
   StatusOr<S2TResult> Run(const traj::TrajectoryStore& store,
                           exec::ExecContext* ctx = nullptr) const;
 
   /// Runs with a caller-provided segment index (e.g. the ReTraTree's
   /// per-partition index, or the scenario-2 baseline's freshly built one).
+  /// The probe stays on the calling thread here — a borrowed handle's
+  /// backing file is not known to be re-openable — but every other phase
+  /// still fans out over `ctx`.
   StatusOr<S2TResult> RunWithIndex(const traj::TrajectoryStore& store,
                                    const rtree::RTree3D& index,
                                    exec::ExecContext* ctx = nullptr) const;
@@ -123,6 +139,7 @@ class S2TClustering {
   StatusOr<S2TResult> RunPhases(const traj::SegmentArena& arena,
                                 const traj::TrajectoryStore& store,
                                 const rtree::RTree3D* index,
+                                const voting::IndexProbeSource* probe,
                                 S2TTimings timings,
                                 exec::ExecContext* ctx) const;
 

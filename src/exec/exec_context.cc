@@ -14,7 +14,8 @@ ExecContext::ExecContext(size_t threads) : threads_(threads) {
 ThreadPool* ExecContext::pool() {
   if (threads_ <= 1) return nullptr;
   std::call_once(pool_once_, [this]() {
-    pool_ = std::make_unique<ThreadPool>(threads_);
+    // The ParallelFor caller is the threads_-th executor.
+    pool_ = std::make_unique<ThreadPool>(threads_ - 1);
   });
   return pool_.get();
 }

@@ -78,7 +78,10 @@ class ExecContext {
   size_t threads() const { return threads_; }
 
   /// The worker pool, created on first call. Only meaningful when
-  /// `threads() > 1`; returns nullptr for sequential contexts.
+  /// `threads() > 1`; returns nullptr for sequential contexts. The pool
+  /// holds `threads() - 1` workers: `ParallelFor`'s calling thread always
+  /// drains chunks alongside the workers, so total concurrency is exactly
+  /// `threads()` without oversubscribing the machine.
   ThreadPool* pool();
 
   ExecStats& stats() { return stats_; }

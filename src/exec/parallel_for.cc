@@ -1,6 +1,9 @@
 #include "exec/parallel_for.h"
 
+#include <atomic>
 #include <condition_variable>
+#include <exception>
+#include <memory>
 #include <mutex>
 
 namespace hermes::exec {
@@ -18,6 +21,62 @@ std::pair<size_t, size_t> ChunkBounds(size_t n, size_t grain, size_t c) {
   return {begin, end};
 }
 
+namespace {
+
+/// Shared fan-out state. Heap-allocated and shared_ptr-owned because
+/// helper tasks submitted to the pool can outlive the `ParallelFor` call
+/// that spawned them: a helper that wakes up after the caller drained
+/// everything must still be able to read `next`/`chunks` safely before
+/// bowing out.
+struct FanOutState {
+  size_t n = 0;
+  size_t grain = 0;
+  size_t chunks = 0;
+  /// Only dereferenced by threads that claimed a chunk; every claimed
+  /// chunk completes before the caller (who owns the function) returns.
+  const std::function<void(size_t, size_t, size_t)>* fn = nullptr;
+
+  /// Claim cursor: fetch_add hands each chunk to exactly one thread.
+  std::atomic<size_t> next{0};
+
+  std::mutex mu;
+  std::condition_variable cv;
+  size_t done = 0;  ///< Chunks finished or abandoned; guarded by mu.
+  std::exception_ptr error;  ///< First failure; guarded by mu.
+};
+
+/// Claims and executes chunks until the cursor runs dry. Runs on the
+/// calling thread and on any pool worker that picked up a helper task;
+/// both use the same code path, so the caller can never block behind a
+/// queue that nobody is draining (the re-entrancy guarantee).
+void DrainChunks(FanOutState* s) {
+  for (;;) {
+    const size_t c = s->next.fetch_add(1, std::memory_order_relaxed);
+    if (c >= s->chunks) return;
+    std::exception_ptr eptr;
+    try {
+      const auto [begin, end] = ChunkBounds(s->n, s->grain, c);
+      (*s->fn)(begin, end, c);
+    } catch (...) {
+      eptr = std::current_exception();
+    }
+    std::lock_guard<std::mutex> lock(s->mu);
+    ++s->done;
+    if (eptr != nullptr && s->error == nullptr) {
+      s->error = eptr;
+      // Abandon unclaimed chunks: mark them done so the caller's wait
+      // terminates, and park the cursor past the end so no thread claims
+      // them. Claimed in-flight chunks still finish normally.
+      const size_t skipped_from =
+          s->next.exchange(s->chunks, std::memory_order_relaxed);
+      if (skipped_from < s->chunks) s->done += s->chunks - skipped_from;
+    }
+    if (s->done >= s->chunks) s->cv.notify_all();
+  }
+}
+
+}  // namespace
+
 void ParallelFor(ExecContext* ctx, size_t n, size_t grain,
                  const std::function<void(size_t, size_t, size_t)>& fn) {
   if (n == 0) return;
@@ -33,22 +92,30 @@ void ParallelFor(ExecContext* ctx, size_t n, size_t grain,
     return;
   }
 
-  std::mutex mu;
-  std::condition_variable cv;
-  size_t remaining = chunks;
-  for (size_t c = 0; c < chunks; ++c) {
-    pool->Submit([&, c]() {
-      const auto [begin, end] = ChunkBounds(n, grain, c);
-      fn(begin, end, c);
-      // Notify while holding the lock: the caller destroys mu/cv as soon
-      // as it observes remaining == 0, so an unlocked notify could touch
-      // freed stack memory.
-      std::lock_guard<std::mutex> lock(mu);
-      if (--remaining == 0) cv.notify_one();
-    });
+  auto state = std::make_shared<FanOutState>();
+  state->n = n;
+  state->grain = grain;
+  state->chunks = chunks;
+  state->fn = &fn;
+
+  ctx->stats().AddCounter("exec_fanouts", 1);
+  if (ThreadPool::Current() == pool) {
+    ctx->stats().AddCounter("exec_nested_fanouts", 1);
   }
-  std::unique_lock<std::mutex> lock(mu);
-  cv.wait(lock, [&]() { return remaining == 0; });
+
+  // One helper task per worker that could usefully join (the caller
+  // covers one chunk stream itself). Helpers that run late — or never,
+  // when the pool is saturated by the outer fan-out — find the cursor
+  // exhausted and return without touching `fn`.
+  const size_t helpers = std::min(pool->num_threads(), chunks - 1);
+  for (size_t i = 0; i < helpers; ++i) {
+    pool->Submit([state]() { DrainChunks(state.get()); });
+  }
+  DrainChunks(state.get());
+
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->cv.wait(lock, [&]() { return state->done >= state->chunks; });
+  if (state->error != nullptr) std::rethrow_exception(state->error);
 }
 
 }  // namespace hermes::exec

@@ -20,13 +20,27 @@ std::pair<size_t, size_t> ChunkBounds(size_t n, size_t grain, size_t c);
 /// \brief Runs `fn(begin, end, chunk_index)` over every chunk of [0, n).
 ///
 /// Sequential contexts (or n <= grain) run all chunks inline, in order, on
-/// the calling thread. Parallel contexts fan the chunks out to the
-/// context's pool and block until every chunk has finished. Chunk
-/// boundaries are identical in both modes (see `ChunkBounds`), which is
-/// what makes deterministic merging possible.
+/// the calling thread. Parallel contexts share the chunks between the
+/// calling thread and the context's pool: chunks are claimed from an
+/// atomic cursor, the caller drains chunks alongside the pool's workers,
+/// and the call returns once every chunk has finished. Chunk boundaries
+/// are identical in both modes (see `ChunkBounds`), which is what makes
+/// deterministic merging possible.
 ///
-/// `fn` must not throw. Chunks may run in any order and concurrently;
-/// `fn` must only write to chunk-private or index-partitioned state.
+/// **Re-entrancy:** `ParallelFor` may be called from inside a pool worker
+/// (a nested fan-out). The caller always participates in draining, so the
+/// nested call completes even when every other worker is busy or the pool
+/// has a single worker — at worst all nested chunks run inline on the
+/// calling worker. Nested fan-outs are counted in the context's stats
+/// under the "exec_nested_fanouts" counter ("exec_fanouts" counts every
+/// parallel fan-out).
+///
+/// If `fn` throws, the first exception (in chunk completion order) is
+/// captured and rethrown on the calling thread after every claimed chunk
+/// has finished; remaining unclaimed chunks are abandoned. Pool workers
+/// never see the exception (the ThreadPool task contract stays nothrow).
+/// Chunks may run in any order and concurrently; `fn` must only write to
+/// chunk-private or index-partitioned state.
 void ParallelFor(ExecContext* ctx, size_t n, size_t grain,
                  const std::function<void(size_t, size_t, size_t)>& fn);
 

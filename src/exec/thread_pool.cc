@@ -2,6 +2,12 @@
 
 namespace hermes::exec {
 
+namespace {
+thread_local ThreadPool* current_pool = nullptr;
+}  // namespace
+
+ThreadPool* ThreadPool::Current() { return current_pool; }
+
 ThreadPool::ThreadPool(size_t num_threads) {
   if (num_threads == 0) num_threads = 1;
   workers_.reserve(num_threads);
@@ -28,6 +34,7 @@ void ThreadPool::Submit(std::function<void()> task) {
 }
 
 void ThreadPool::WorkerLoop() {
+  current_pool = this;
   for (;;) {
     std::function<void()> task;
     {

@@ -16,7 +16,8 @@ namespace hermes::exec {
 /// Workers are spawned in the constructor and joined in the destructor;
 /// the pool never grows or shrinks. `Submit` is thread-safe. Tasks must
 /// not throw (the library is Status-based and exception-free); a throwing
-/// task terminates the process.
+/// task terminates the process. `ParallelFor` wraps its chunk bodies in a
+/// catch-all precisely so user exceptions never reach the queue.
 class ThreadPool {
  public:
   explicit ThreadPool(size_t num_threads);
@@ -29,6 +30,13 @@ class ThreadPool {
 
   /// Enqueues `task` for execution on some worker.
   void Submit(std::function<void()> task);
+
+  /// The pool whose worker is executing the calling thread, or nullptr
+  /// when called from outside any pool. This is what lets `ParallelFor`
+  /// detect a nested fan-out (a worker fanning out onto its own pool) and
+  /// fall back to draining chunks on the calling thread instead of
+  /// blocking a worker on its own queue.
+  static ThreadPool* Current();
 
  private:
   void WorkerLoop();

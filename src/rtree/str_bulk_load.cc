@@ -36,6 +36,10 @@ StatusOr<std::unique_ptr<RTree3D>> BuildSegmentIndex(
   auto items = CollectSegments(arena, ctx);
   items = StrOrder(std::move(items), LeafCapacity(fill_factor), ctx);
   HERMES_RETURN_NOT_OK(index->BulkLoad(items, fill_factor));
+  // Write the finished tree through to the file: the parallel voting
+  // probe opens additional read-only handles over it, which must not see
+  // pages still sitting dirty in this handle's buffer pool.
+  HERMES_RETURN_NOT_OK(index->Flush());
   return index;
 }
 

@@ -1,14 +1,24 @@
 #include "segmentation/nats.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <functional>
 #include <limits>
 
 #include "common/logging.h"
 #include "common/mathutil.h"
+#include "exec/parallel_for.h"
 
 namespace hermes::segmentation {
+
+namespace {
+int64_t NowUs() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+}  // namespace
 
 double EffectiveLambda(const std::vector<double>& votes,
                        const NatsParams& params) {
@@ -150,30 +160,65 @@ std::vector<SegmentationPart> SegmentVotingSignalBruteForce(
 
 std::vector<traj::SubTrajectory> SegmentStore(
     const traj::TrajectoryStore& store, const voting::VotingResult& voting,
-    const NatsParams& params) {
-  std::vector<traj::SubTrajectory> subs;
-  traj::SubTrajectoryId next_id = 0;
+    const NatsParams& params, exec::ExecContext* ctx,
+    SegmentationTimings* timings) {
   HERMES_CHECK(voting.votes.size() == store.NumTrajectories())
       << "voting/store mismatch";
-  for (traj::TrajectoryId tid = 0; tid < store.NumTrajectories(); ++tid) {
-    const traj::Trajectory& t = store.Get(tid);
-    if (t.NumSegments() == 0) continue;
-    const auto parts = SegmentVotingSignal(voting.votes[tid], params);
-    for (const auto& part : parts) {
-      traj::SubTrajectory st;
-      st.id = next_id++;
-      st.source_trajectory = tid;
-      st.object_id = t.object_id();
-      st.first_sample_index = part.first_segment;
-      st.mean_voting = part.mean_voting;
-      traj::Trajectory piece(t.object_id());
-      // Segments [first, last] cover samples [first, last+1].
-      for (size_t s = part.first_segment; s <= part.last_segment + 1; ++s) {
-        HERMES_CHECK_OK(piece.Append(t[s]));
-      }
-      st.points = std::move(piece);
-      subs.push_back(std::move(st));
+  const size_t n = store.NumTrajectories();
+
+  // Pass 1: the per-trajectory DPs are independent — fan out, one chunk
+  // owning each trajectory's part list.
+  int64_t t0 = NowUs();
+  std::vector<std::vector<SegmentationPart>> parts(n);
+  exec::ParallelFor(ctx, n, /*grain=*/1,
+                    [&](size_t begin, size_t end, size_t /*chunk*/) {
+    for (traj::TrajectoryId tid = begin; tid < end; ++tid) {
+      if (store.Get(tid).NumSegments() == 0) continue;
+      parts[tid] = SegmentVotingSignal(voting.votes[tid], params);
     }
+  });
+  const int64_t dp_us = NowUs() - t0;
+
+  // Pass 2: prefix-sum part counts in trajectory order — base[tid] is the
+  // first sub-trajectory id of trajectory tid, exactly the value a
+  // sequential `next_id++` sweep would hand out — then materialize each
+  // trajectory's pieces into its pre-assigned slots.
+  t0 = NowUs();
+  std::vector<size_t> base(n + 1, 0);
+  for (size_t tid = 0; tid < n; ++tid) {
+    base[tid + 1] = base[tid] + parts[tid].size();
+  }
+  std::vector<traj::SubTrajectory> subs(base[n]);
+  exec::ParallelFor(ctx, n, /*grain=*/1,
+                    [&](size_t begin, size_t end, size_t /*chunk*/) {
+    for (traj::TrajectoryId tid = begin; tid < end; ++tid) {
+      const traj::Trajectory& t = store.Get(tid);
+      for (size_t k = 0; k < parts[tid].size(); ++k) {
+        const SegmentationPart& part = parts[tid][k];
+        traj::SubTrajectory& st = subs[base[tid] + k];
+        st.id = base[tid] + k;
+        st.source_trajectory = tid;
+        st.object_id = t.object_id();
+        st.first_sample_index = part.first_segment;
+        st.mean_voting = part.mean_voting;
+        traj::Trajectory piece(t.object_id());
+        // Segments [first, last] cover samples [first, last+1].
+        for (size_t s = part.first_segment; s <= part.last_segment + 1; ++s) {
+          HERMES_CHECK_OK(piece.Append(t[s]));
+        }
+        st.points = std::move(piece);
+      }
+    }
+  });
+  const int64_t materialize_us = NowUs() - t0;
+
+  if (ctx != nullptr) {
+    ctx->stats().RecordPhaseUs("segmentation_dp", dp_us);
+    ctx->stats().RecordPhaseUs("segmentation_materialize", materialize_us);
+  }
+  if (timings != nullptr) {
+    timings->dp_us = dp_us;
+    timings->materialize_us = materialize_us;
   }
   return subs;
 }

@@ -1,9 +1,11 @@
 #ifndef HERMES_SEGMENTATION_NATS_H_
 #define HERMES_SEGMENTATION_NATS_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "common/statusor.h"
+#include "exec/exec_context.h"
 #include "traj/sub_trajectory.h"
 #include "traj/trajectory_store.h"
 #include "voting/voting.h"
@@ -48,12 +50,34 @@ struct SegmentationPart {
 std::vector<SegmentationPart> SegmentVotingSignal(
     const std::vector<double>& votes, const NatsParams& params);
 
+/// \brief Wall-clock breakdown of one `SegmentStore` run (microseconds).
+struct SegmentationTimings {
+  /// Pass 1: the per-trajectory dynamic programs.
+  int64_t dp_us = 0;
+  /// Pass 2: prefix-sum id assignment + sub-trajectory materialization.
+  int64_t materialize_us = 0;
+};
+
 /// \brief Runs NaTS over every trajectory of the MOD: segments each voting
 /// signal and materializes the resulting sub-trajectories (ids assigned
 /// sequentially from 0).
+///
+/// Two passes, both riding `ParallelFor` when `ctx` is parallel:
+///  1. The per-trajectory DPs (independent by construction) fan out; each
+///     trajectory's part list is produced by exactly one chunk.
+///  2. Part counts are prefix-summed in trajectory order into the global
+///     sub-trajectory id space, then every trajectory materializes its
+///     pieces into its pre-assigned output slots in parallel.
+/// Because ids come from the prefix sum — a pure function of the per-
+/// trajectory part counts — output is bit-identical at any thread count.
+///
+/// Pass timings are recorded into `ctx`'s stats ("segmentation_dp",
+/// "segmentation_materialize") and, when `timings` is non-null, returned
+/// field-wise for the S2T per-phase breakdown.
 std::vector<traj::SubTrajectory> SegmentStore(
     const traj::TrajectoryStore& store, const voting::VotingResult& voting,
-    const NatsParams& params);
+    const NatsParams& params, exec::ExecContext* ctx = nullptr,
+    SegmentationTimings* timings = nullptr);
 
 /// \brief Brute-force optimal segmentation for cross-checking the DP in
 /// tests (exponential; only for tiny inputs).

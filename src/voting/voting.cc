@@ -105,9 +105,116 @@ void RunVoteKernel(const traj::SegmentArena& arena,
       }
     }
   });
+  result->kernel_us = NowUs() - start;
   if (ctx != nullptr) {
-    ctx->stats().RecordPhaseUs("voting_kernel", NowUs() - start);
+    ctx->stats().RecordPhaseUs("voting_kernel", result->kernel_us);
   }
+}
+
+/// Candidates of arena row `r`, against index handle `index`: owners of
+/// every segment intersecting the row's MBB expanded by the kernel
+/// truncation radius, minus the row's own trajectory, sorted +
+/// deduplicated. This per-row list is a pure function of (index file,
+/// row), which is what lets the parallel probe stitch per-chunk output
+/// back together bit-identically.
+Status ProbeRow(const traj::SegmentArena& arena, const rtree::RTree3D& index,
+                double radius, size_t r, std::vector<uint64_t>* hits,
+                std::vector<traj::TrajectoryId>* candidates) {
+  const traj::TrajectoryId tid = arena.owner()[r];
+  const geom::Mbb3D query = arena.BoundsOf(r).Expanded(radius, 0.0);
+  HERMES_RETURN_NOT_OK(
+      index.SearchInto(query, rtree::QueryMode::kIntersects, hits));
+  candidates->clear();
+  for (uint64_t datum : *hits) {
+    const traj::SegmentRef ref = rtree::UnpackSegmentRef(datum);
+    if (ref.trajectory != tid) candidates->push_back(ref.trajectory);
+  }
+  std::sort(candidates->begin(), candidates->end());
+  candidates->erase(std::unique(candidates->begin(), candidates->end()),
+                    candidates->end());
+  return Status::OK();
+}
+
+/// The probe phase: per-segment candidate lists in CSR form. Fans out over
+/// `ctx` when `probe` names the index's backing file — each chunk opens a
+/// private read-only handle (buffer pools are not thread-safe, files are)
+/// — and falls back to a sequential sweep over the caller's `index`
+/// handle otherwise.
+StatusOr<CandidateLists> ProbeCandidates(const traj::SegmentArena& arena,
+                                         const rtree::RTree3D& index,
+                                         const VotingParams& params,
+                                         exec::ExecContext* ctx,
+                                         const IndexProbeSource* probe) {
+  const size_t rows = arena.num_segments();
+  const double radius = params.cutoff_sigmas * params.sigma;
+  CandidateLists cands;
+  cands.offsets.assign(rows + 1, 0);
+
+  const size_t threads = ctx != nullptr ? ctx->threads() : 1;
+  const bool parallel = threads > 1 && rows > 1 && probe != nullptr &&
+                        probe->env != nullptr;
+  if (!parallel) {
+    std::vector<uint64_t> hits;  // Reused across segments.
+    std::vector<traj::TrajectoryId> candidates;
+    for (size_t r = 0; r < rows; ++r) {
+      HERMES_RETURN_NOT_OK(
+          ProbeRow(arena, index, radius, r, &hits, &candidates));
+      cands.tids.insert(cands.tids.end(), candidates.begin(),
+                        candidates.end());
+      cands.offsets[r + 1] = cands.tids.size();
+    }
+    return cands;
+  }
+
+  // One chunk (and one private handle) per thread; the handles are opened
+  // up front on the calling thread, so the fan-out body does pure reads.
+  const size_t grain = (rows + threads - 1) / threads;
+  const size_t chunks = exec::NumChunks(rows, grain);
+  std::vector<std::unique_ptr<rtree::RTree3D>> handles(chunks);
+  for (auto& handle : handles) {
+    HERMES_ASSIGN_OR_RETURN(
+        handle,
+        rtree::RTree3D::Open(probe->env, probe->fname, probe->cache_pages));
+  }
+  std::vector<std::vector<traj::TrajectoryId>> chunk_tids(chunks);
+  std::vector<Status> chunk_status(chunks, Status::OK());
+  std::vector<uint32_t> row_counts(rows, 0);
+  exec::ParallelFor(ctx, rows, grain,
+                    [&](size_t begin, size_t end, size_t chunk) {
+    const rtree::RTree3D& handle = *handles[chunk];
+    std::vector<uint64_t> hits;
+    std::vector<traj::TrajectoryId> candidates;
+    for (size_t r = begin; r < end; ++r) {
+      const Status st =
+          ProbeRow(arena, handle, radius, r, &hits, &candidates);
+      if (!st.ok()) {
+        chunk_status[chunk] = st;
+        return;
+      }
+      row_counts[r] = static_cast<uint32_t>(candidates.size());
+      chunk_tids[chunk].insert(chunk_tids[chunk].end(), candidates.begin(),
+                               candidates.end());
+    }
+  });
+  for (const Status& st : chunk_status) {
+    HERMES_RETURN_NOT_OK(st);
+  }
+
+  // Stitch the CSR back together in row order. Chunks cover ascending,
+  // disjoint row ranges, so concatenating per-chunk lists in chunk order
+  // reproduces the sequential layout exactly.
+  for (size_t r = 0; r < rows; ++r) {
+    cands.offsets[r + 1] = cands.offsets[r] + row_counts[r];
+  }
+  cands.tids.reserve(cands.offsets[rows]);
+  for (const auto& tids : chunk_tids) {
+    cands.tids.insert(cands.tids.end(), tids.begin(), tids.end());
+  }
+  if (ctx != nullptr) {
+    ctx->stats().AddCounter("voting_probe_handles",
+                            static_cast<int64_t>(chunks));
+  }
+  return cands;
 }
 
 Status ValidateVotingInputs(const traj::SegmentArena& arena,
@@ -173,8 +280,9 @@ StatusOr<VotingResult> ComputeVotingNaive(const traj::SegmentArena& arena,
       }
     }
   });
+  result.kernel_us = NowUs() - start;
   if (ctx != nullptr) {
-    ctx->stats().RecordPhaseUs("voting_kernel", NowUs() - start);
+    ctx->stats().RecordPhaseUs("voting_kernel", result.kernel_us);
   }
   return result;
 }
@@ -183,40 +291,23 @@ StatusOr<VotingResult> ComputeVotingIndexed(const traj::SegmentArena& arena,
                                             const traj::TrajectoryStore& store,
                                             const rtree::RTree3D& index,
                                             const VotingParams& params,
-                                            exec::ExecContext* ctx) {
+                                            exec::ExecContext* ctx,
+                                            const IndexProbeSource* probe) {
   HERMES_RETURN_NOT_OK(ValidateVotingInputs(arena, store, params));
   VotingResult result;
   SizeResult(store, &result);
 
-  // Probe phase (calling thread only: the index handle's buffer pool is
-  // not thread-safe). Range query: spatial expansion by the kernel
-  // truncation radius, exact lifespan in time. Any trajectory that could
-  // cast a non-zero vote has at least one segment intersecting the box.
+  // Probe phase. Range query: spatial expansion by the kernel truncation
+  // radius, exact lifespan in time. Any trajectory that could cast a
+  // non-zero vote has at least one segment intersecting the box.
   const int64_t probe_start = NowUs();
-  const double radius = params.cutoff_sigmas * params.sigma;
-  CandidateLists cands;
-  cands.offsets.resize(arena.num_segments() + 1, 0);
-  std::vector<uint64_t> hits;  // Reused across segments.
-  std::vector<traj::TrajectoryId> candidates;
-  for (size_t r = 0; r < arena.num_segments(); ++r) {
-    const traj::TrajectoryId tid = arena.owner()[r];
-    const geom::Mbb3D query = arena.BoundsOf(r).Expanded(radius, 0.0);
-    HERMES_RETURN_NOT_OK(
-        index.SearchInto(query, rtree::QueryMode::kIntersects, &hits));
-    candidates.clear();
-    for (uint64_t datum : hits) {
-      const traj::SegmentRef ref = rtree::UnpackSegmentRef(datum);
-      if (ref.trajectory != tid) candidates.push_back(ref.trajectory);
-    }
-    std::sort(candidates.begin(), candidates.end());
-    candidates.erase(std::unique(candidates.begin(), candidates.end()),
-                     candidates.end());
-    cands.tids.insert(cands.tids.end(), candidates.begin(), candidates.end());
-    cands.offsets[r + 1] = cands.tids.size();
-  }
+  HERMES_ASSIGN_OR_RETURN(
+      const CandidateLists cands,
+      ProbeCandidates(arena, index, params, ctx, probe));
   result.pairs_evaluated = cands.tids.size();
+  result.probe_us = NowUs() - probe_start;
   if (ctx != nullptr) {
-    ctx->stats().RecordPhaseUs("voting_probe", NowUs() - probe_start);
+    ctx->stats().RecordPhaseUs("voting_probe", result.probe_us);
   }
 
   RunVoteKernel(arena, store, params, cands, ctx, &result);
@@ -259,7 +350,8 @@ StatusOr<VotingResult> ComputeVotingParallel(
                           rtree::RTree3D::Open(env, index_file));
   exec::ExecContext ctx(num_threads);
   const traj::SegmentArena arena = traj::SegmentArena::Build(store, &ctx);
-  return ComputeVotingIndexed(arena, store, *index, params, &ctx);
+  const IndexProbeSource probe{env, index_file, /*cache_pages=*/256};
+  return ComputeVotingIndexed(arena, store, *index, params, &ctx, &probe);
 }
 
 StatusOr<VotingResult> ComputeVoting(const traj::TrajectoryStore& store,

@@ -39,9 +39,26 @@ struct VotingResult {
   /// Candidate (segment, other-trajectory) pairs examined — the work metric
   /// the index reduces.
   uint64_t pairs_evaluated = 0;
+  /// Wall time of the index probe phase (0 for the naive engine, which has
+  /// no probe) and of the vote kernel — the S2T per-phase breakdown's
+  /// sub-phases of `voting_us`.
+  int64_t probe_us = 0;
+  int64_t kernel_us = 0;
 
   double TotalVoting(traj::TrajectoryId tid) const;
   double MeanVoting(traj::TrajectoryId tid) const;
+};
+
+/// \brief Where the probe phase can open additional read-only pg3D-Rtree
+/// handles over the index being probed (the `ComputeVotingParallel`
+/// trick): each `ParallelFor` chunk gets a private handle — and with it a
+/// private, non-thread-safe buffer pool — over the shared immutable index
+/// file. The file must hold the complete index (builders flush after bulk
+/// load) and must not be written while voting runs.
+struct IndexProbeSource {
+  storage::Env* env = nullptr;
+  std::string fname;
+  size_t cache_pages = 256;
 };
 
 /// \brief Computes voting descriptors for every trajectory in the MOD.
@@ -57,10 +74,16 @@ struct VotingResult {
 /// `ExecContext`. The vote kernel is partitioned by trajectory: every
 /// trajectory's votes are produced by exactly one chunk with the same
 /// per-segment, per-candidate accumulation order as the sequential engine,
-/// so the result is bit-for-bit identical at any thread count. Index
-/// probing stays on the calling thread (a pg3D-Rtree handle owns a
-/// non-thread-safe buffer pool); the Gaussian-kernel integration — the
-/// dominant cost — is what fans out.
+/// so the result is bit-for-bit identical at any thread count.
+///
+/// The indexed engine's probe phase fans out too when `probe` names the
+/// index's backing file: each chunk probes through its own read-only
+/// handle, and per-segment candidate lists (sorted + deduplicated per
+/// segment, exactly as in the sequential sweep) are stitched back in
+/// segment order — so the CSR candidate structure, and with it the votes,
+/// stay bit-identical at any thread count. Without a `probe` source the
+/// probe stays on the calling thread (the caller's handle owns a
+/// non-thread-safe buffer pool).
 StatusOr<VotingResult> ComputeVotingNaive(const traj::SegmentArena& arena,
                                           const traj::TrajectoryStore& store,
                                           const VotingParams& params,
@@ -70,7 +93,9 @@ StatusOr<VotingResult> ComputeVotingIndexed(const traj::SegmentArena& arena,
                                             const traj::TrajectoryStore& store,
                                             const rtree::RTree3D& index,
                                             const VotingParams& params,
-                                            exec::ExecContext* ctx = nullptr);
+                                            exec::ExecContext* ctx = nullptr,
+                                            const IndexProbeSource* probe =
+                                                nullptr);
 
 /// Store-walking convenience overloads: snapshot an arena, then run the
 /// arena engine sequentially (the pre-arena API surface).
@@ -88,8 +113,9 @@ StatusOr<VotingResult> ComputeVoting(const traj::TrajectoryStore& store,
 
 /// \brief Multi-threaded indexed voting over a persisted index.
 /// `index_file` must name an existing segment index under `env` (e.g.
-/// built by `rtree::BuildSegmentIndex`). Probing uses one private read
-/// handle; the vote kernel fans out over `num_threads`. Output is
+/// built by `rtree::BuildSegmentIndex`). Both phases fan out over
+/// `num_threads`: the probe through per-chunk read handles on
+/// `index_file`, the vote kernel over trajectory chunks. Output is
 /// identical to the single-threaded engines.
 StatusOr<VotingResult> ComputeVotingParallel(
     const traj::TrajectoryStore& store, storage::Env* env,

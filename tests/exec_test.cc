@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <numeric>
+#include <stdexcept>
 #include <vector>
 
 #include "datagen/noise.h"
@@ -97,6 +98,129 @@ TEST(ParallelForTest, NullContextRunsInline) {
     for (size_t i = begin; i < end; ++i) order.push_back(static_cast<int>(i));
   });
   EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ThreadPoolTest, CurrentIdentifiesWorkerThreads) {
+  EXPECT_EQ(ThreadPool::Current(), nullptr);
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  ThreadPool* seen = nullptr;
+  ThreadPool pool(2);
+  pool.Submit([&]() {
+    ThreadPool* current = ThreadPool::Current();
+    std::lock_guard<std::mutex> lock(mu);
+    seen = current;
+    done = true;
+    cv.notify_one();
+  });
+  std::unique_lock<std::mutex> lock(mu);
+  cv.wait(lock, [&]() { return done; });
+  EXPECT_EQ(seen, &pool);
+  EXPECT_EQ(ThreadPool::Current(), nullptr);  // Still outside, here.
+}
+
+TEST(ParallelForTest, NestedFanOutCompletes) {
+  // A chunk body fanning out again on the same context must complete:
+  // the nested caller drains chunks itself, so it can never block on a
+  // queue that nobody services.
+  ExecContext ctx(4);
+  constexpr size_t kOuter = 6;
+  constexpr size_t kInner = 40;
+  std::vector<std::vector<int>> hits(kOuter, std::vector<int>(kInner, 0));
+  ParallelFor(&ctx, kOuter, 1, [&](size_t ob, size_t oe, size_t) {
+    for (size_t o = ob; o < oe; ++o) {
+      ParallelFor(&ctx, kInner, 4, [&](size_t ib, size_t ie, size_t) {
+        for (size_t i = ib; i < ie; ++i) ++hits[o][i];
+      });
+    }
+  });
+  for (const auto& row : hits) {
+    for (int h : row) EXPECT_EQ(h, 1);
+  }
+  EXPECT_GE(ctx.stats().Counter("exec_fanouts"), 7);
+}
+
+TEST(ParallelForTest, NestedFanOutFromPoolSizeOneDoesNotDeadlock) {
+  // threads=2 means a pool of exactly one worker (the ParallelFor caller
+  // is the second executor) — the regression trap on a 1-CPU CI runner.
+  // Fanning out *from* that lone worker used to deadlock: the nested call
+  // parked chunks on the pool's queue and waited for a worker that was
+  // itself. Now the nested caller drains every chunk inline.
+  ExecContext ctx(2);
+  ASSERT_NE(ctx.pool(), nullptr);
+  ASSERT_EQ(ctx.pool()->num_threads(), 1u);
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  std::vector<int> sums(32, 0);
+  ctx.pool()->Submit([&]() {
+    ParallelFor(&ctx, 32, 4, [&](size_t begin, size_t end, size_t) {
+      for (size_t i = begin; i < end; ++i) ++sums[i];
+    });
+    std::lock_guard<std::mutex> lock(mu);
+    done = true;
+    cv.notify_one();
+  });
+  std::unique_lock<std::mutex> lock(mu);
+  cv.wait(lock, [&]() { return done; });
+  for (int s : sums) EXPECT_EQ(s, 1);
+  EXPECT_EQ(ctx.stats().Counter("exec_nested_fanouts"), 1);
+  EXPECT_EQ(ctx.stats().Counter("exec_fanouts"), 1);
+}
+
+TEST(ParallelForTest, CompletesWhileEveryWorkerIsBusy) {
+  // Saturate the pool with a task that blocks until we say otherwise;
+  // ParallelFor must still finish (the caller drains all chunks).
+  ExecContext ctx(2);
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  ctx.pool()->Submit([&]() {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&]() { return release; });
+  });
+  std::atomic<int> count{0};
+  ParallelFor(&ctx, 100, 1, [&](size_t begin, size_t end, size_t) {
+    count.fetch_add(static_cast<int>(end - begin));
+  });
+  EXPECT_EQ(count.load(), 100);
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+}
+
+TEST(ParallelForTest, ExceptionPropagatesToCaller) {
+  ExecContext ctx(4);
+  EXPECT_THROW(
+      ParallelFor(&ctx, 100, 1,
+                  [&](size_t, size_t, size_t chunk) {
+                    if (chunk == 57) throw std::runtime_error("boom");
+                  }),
+      std::runtime_error);
+  // The pool survives the exception and keeps executing fan-outs.
+  std::atomic<int> count{0};
+  ParallelFor(&ctx, 64, 1, [&](size_t begin, size_t end, size_t) {
+    count.fetch_add(static_cast<int>(end - begin));
+  });
+  EXPECT_EQ(count.load(), 64);
+}
+
+TEST(ParallelForTest, ExceptionPropagatesFromNestedFanOut) {
+  ExecContext ctx(2);
+  std::atomic<int> outer_failures{0};
+  ParallelFor(&ctx, 4, 1, [&](size_t, size_t, size_t) {
+    try {
+      ParallelFor(&ctx, 8, 1, [&](size_t, size_t, size_t chunk) {
+        if (chunk == 3) throw std::runtime_error("inner");
+      });
+    } catch (const std::runtime_error&) {
+      outer_failures.fetch_add(1);
+    }
+  });
+  EXPECT_EQ(outer_failures.load(), 4);
 }
 
 TEST(ParallelSortTest, MatchesSequentialSortWithTotalOrder) {

@@ -169,6 +169,121 @@ TEST(NatsTest, SegmentStoreMaterializesSubTrajectories) {
   EXPECT_GE(from_first, 2u);
 }
 
+TEST(NatsTest, TwoPassIdAssignmentGolden) {
+  // Fixed fixture with hand-checked DP optima, so a refactor of the
+  // two-pass (segment, then prefix-sum ids) scheme can never silently
+  // renumber sub-trajectories or move their boundaries.
+  //
+  //   t0: 12 samples / 11 segments, step signal 5×1.0 then 6×9.0
+  //       → parts [0,4], [5,10]
+  //   t1:  8 samples /  7 segments, constant signal → one part [0,6]
+  //   t2:  1 sample  /  0 segments → no parts (skipped trajectory)
+  //   t3: 13 samples / 12 segments, levels 4×0, 4×8, 4×2
+  //       → parts [0,3], [4,7], [8,11]
+  traj::TrajectoryStore store;
+  auto add = [&](traj::ObjectId oid, size_t samples) {
+    traj::Trajectory t(oid);
+    for (size_t i = 0; i < samples; ++i) {
+      ASSERT_TRUE(t.Append({i * 10.0, oid * 100.0, i * 1.0}).ok());
+    }
+    ASSERT_TRUE(store.Add(std::move(t)).ok());
+  };
+  add(100, 12);
+  add(101, 8);
+  add(102, 1);
+  add(103, 13);
+
+  voting::VotingResult votes;
+  votes.votes.resize(4);
+  votes.votes[0] = {1, 1, 1, 1, 1, 9, 9, 9, 9, 9, 9};
+  votes.votes[1] = {5, 5, 5, 5, 5, 5, 5};
+  votes.votes[2] = {};
+  votes.votes[3] = {0, 0, 0, 0, 8, 8, 8, 8, 2, 2, 2, 2};
+
+  struct Golden {
+    traj::SubTrajectoryId id;
+    traj::TrajectoryId source;
+    size_t first_sample;
+    size_t num_points;
+    double mean_voting;
+  };
+  const std::vector<Golden> golden = {
+      {0, 0, 0, 6, 1.0}, {1, 0, 5, 7, 9.0}, {2, 1, 0, 8, 5.0},
+      {3, 3, 0, 5, 0.0}, {4, 3, 4, 5, 8.0}, {5, 3, 8, 5, 2.0},
+  };
+
+  for (size_t threads : {1u, 4u}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    exec::ExecContext ctx(threads);
+    const auto subs = SegmentStore(store, votes, SmallParams(), &ctx);
+    ASSERT_EQ(subs.size(), golden.size());
+    for (size_t i = 0; i < golden.size(); ++i) {
+      EXPECT_EQ(subs[i].id, golden[i].id) << "sub " << i;
+      EXPECT_EQ(subs[i].source_trajectory, golden[i].source) << "sub " << i;
+      EXPECT_EQ(subs[i].first_sample_index, golden[i].first_sample)
+          << "sub " << i;
+      EXPECT_EQ(subs[i].points.size(), golden[i].num_points) << "sub " << i;
+      EXPECT_NEAR(subs[i].mean_voting, golden[i].mean_voting, 1e-12)
+          << "sub " << i;
+      // Segment offsets: the piece starts at source sample
+      // first_sample_index and is contiguous.
+      const traj::Trajectory& src = store.Get(subs[i].source_trajectory);
+      for (size_t s = 0; s < subs[i].points.size(); ++s) {
+        EXPECT_EQ(subs[i].points[s].t,
+                  src[golden[i].first_sample + s].t)
+            << "sub " << i << " sample " << s;
+      }
+    }
+  }
+}
+
+TEST(NatsTest, ParallelSegmentStoreMatchesSequential) {
+  // Randomized store + real voting signals: the parallel two-pass result
+  // must be field-for-field identical to the sequential sweep.
+  traj::TrajectoryStore store;
+  Rng rng(99);
+  for (int k = 0; k < 12; ++k) {
+    traj::Trajectory t(k);
+    const size_t len = 8 + static_cast<size_t>(rng.Uniform(0, 30));
+    for (size_t i = 0; i < len; ++i) {
+      ASSERT_TRUE(t.Append({i * 10.0 + rng.Uniform(-2, 2),
+                            k * 40.0 + rng.Uniform(-2, 2), i * 1.0})
+                      .ok());
+    }
+    ASSERT_TRUE(store.Add(std::move(t)).ok());
+  }
+  voting::VotingParams vp{50.0, 3.0, 0.5};
+  auto votes = voting::ComputeVotingNaive(store, vp);
+  ASSERT_TRUE(votes.ok());
+
+  const auto seq = SegmentStore(store, *votes, SmallParams());
+  for (size_t threads : {2u, 4u, 8u}) {
+    exec::ExecContext ctx(threads);
+    SegmentationTimings timings;
+    const auto par = SegmentStore(store, *votes, SmallParams(), &ctx,
+                                  &timings);
+    ASSERT_EQ(par.size(), seq.size()) << "threads=" << threads;
+    for (size_t i = 0; i < seq.size(); ++i) {
+      EXPECT_EQ(par[i].id, seq[i].id);
+      EXPECT_EQ(par[i].source_trajectory, seq[i].source_trajectory);
+      EXPECT_EQ(par[i].object_id, seq[i].object_id);
+      EXPECT_EQ(par[i].first_sample_index, seq[i].first_sample_index);
+      EXPECT_EQ(par[i].mean_voting, seq[i].mean_voting);
+      ASSERT_EQ(par[i].points.size(), seq[i].points.size());
+      for (size_t s = 0; s < seq[i].points.size(); ++s) {
+        EXPECT_EQ(par[i].points[s].x, seq[i].points[s].x);
+        EXPECT_EQ(par[i].points[s].y, seq[i].points[s].y);
+        EXPECT_EQ(par[i].points[s].t, seq[i].points[s].t);
+      }
+    }
+    EXPECT_GE(timings.dp_us, 0);
+    EXPECT_GE(timings.materialize_us, 0);
+    const auto phases = ctx.stats().PhaseTimings();
+    EXPECT_EQ(phases.count("segmentation_dp"), 1u);
+    EXPECT_EQ(phases.count("segmentation_materialize"), 1u);
+  }
+}
+
 TEST(NatsTest, SegmentStoreAssignsSequentialIds) {
   traj::TrajectoryStore store = [] {
     traj::TrajectoryStore s;

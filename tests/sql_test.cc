@@ -710,6 +710,55 @@ TEST_F(SqlSessionTest, ShowStatsAccumulatesTypedTimings) {
   EXPECT_GE(session_.stats().PhaseUs("s2t_segmentation"), 0);
 }
 
+TEST_F(SqlSessionTest, ThreadsSettingMidSessionKeepsS2TBitIdentical) {
+  // `SET hermes.threads` must take effect mid-session without changing a
+  // single output bit: the member listing of a 4-thread run — every
+  // parallel phase engaged (probe handles, vote kernel, NaTS two-pass) —
+  // equals the 1-thread run row for row.
+  traj::TrajectoryStore lanes = datagen::MakeParallelLanes(
+      2, 5, 2000.0, 800.0, 10.0, 10.0, /*seed=*/9, /*jitter=*/1.0);
+  ASSERT_TRUE(session_.RegisterStore("lanes", std::move(lanes)).ok());
+
+  auto seq = session_.Execute("SELECT S2T_MEMBERS(lanes, 30, 60);");
+  ASSERT_TRUE(seq.ok());
+  ASSERT_GE(seq->rows.size(), 2u);
+  EXPECT_EQ(session_.exec_context(), nullptr);
+
+  ASSERT_TRUE(session_.Execute("SET hermes.threads = 4;").ok());
+  auto par = session_.Execute("SELECT S2T_MEMBERS(lanes, 30, 60);");
+  ASSERT_TRUE(par.ok());
+  ASSERT_EQ(session_.threads(), 4u);
+  EXPECT_EQ(seq->rows, par->rows);  // Bit-identical, not merely similar.
+
+  // SHOW STATS surfaces the newly parallel phases' timings, merged across
+  // the sequential archive and the live 4-thread context.
+  auto stats = session_.Execute("SHOW STATS;");
+  ASSERT_TRUE(stats.ok());
+  bool saw_probe = false, saw_kernel = false, saw_dp = false,
+       saw_materialize = false;
+  for (const auto& row : stats->rows) {
+    if (row[0] == Value::Str("s2t_voting_probe")) saw_probe = true;
+    if (row[0] == Value::Str("s2t_voting_kernel")) saw_kernel = true;
+    if (row[0] == Value::Str("s2t_segmentation_dp")) saw_dp = true;
+    if (row[0] == Value::Str("s2t_segmentation_materialize")) {
+      saw_materialize = true;
+    }
+    if (row[0].type() == ValueType::kString) {
+      EXPECT_GE(row[1].AsInt(), 0) << row[0].ToString();
+    }
+  }
+  EXPECT_TRUE(saw_probe);
+  EXPECT_TRUE(saw_kernel);
+  EXPECT_TRUE(saw_dp);
+  EXPECT_TRUE(saw_materialize);
+
+  // And back down to 1 thread: still the same rows.
+  ASSERT_TRUE(session_.Execute("SET hermes.threads = 1;").ok());
+  auto seq_again = session_.Execute("SELECT S2T_MEMBERS(lanes, 30, 60);");
+  ASSERT_TRUE(seq_again.ok());
+  EXPECT_EQ(seq->rows, seq_again->rows);
+}
+
 TEST_F(SqlSessionTest, QutTreeBuildTimingsArchivedSequentially) {
   traj::TrajectoryStore lanes = datagen::MakeParallelLanes(
       2, 6, 5000.0, 1600.0, 10.0, 10.0, /*seed=*/5, /*jitter=*/1.0);

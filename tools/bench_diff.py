@@ -18,7 +18,11 @@ PHASES = [
     "arena_build_ms",
     "index_build_ms",
     "voting_ms",
+    "voting_probe_ms",
+    "voting_kernel_ms",
     "segmentation_ms",
+    "segmentation_dp_ms",
+    "segmentation_materialize_ms",
     "sampling_ms",
     "clustering_ms",
 ]
