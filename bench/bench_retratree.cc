@@ -1,16 +1,35 @@
 // Experiment E8 (DESIGN.md): the Fig. 2 maintenance loop — ReTraTree
-// insertion throughput and the gamma ablation (outlier-buffer threshold
-// that triggers the S2T re-clustering runs).
+// insertion throughput, the gamma ablation (outlier-buffer threshold that
+// triggers the S2T re-clustering runs), and the batch-vs-sequential
+// ingest thread sweep of the two-phase `InsertBatch` pipeline.
+//
+// Besides the console report, every ingest-sweep point is appended to
+// `BENCH_ingest.json` in the working directory (one record per
+// (mode, threads) with the split/apply phase breakdown), so successive
+// PRs can track the ingest perf trajectory mechanically — the companion
+// of bench_s2t_scale's BENCH_s2t.json.
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
 #include "core/retratree.h"
 #include "datagen/aircraft.h"
+#include "exec/exec_context.h"
 #include "storage/env.h"
 
 namespace {
 
 using namespace hermes;
+
+int64_t NowUs() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
 
 traj::TrajectoryStore MakeMod(size_t flights) {
   datagen::AircraftScenarioParams p =
@@ -40,6 +59,23 @@ core::ReTraTreeParams TreeParams(const traj::TrajectoryStore& store,
   tp.s2t.clustering.min_overlap_ratio = 0.3;
   tp.s2t.voting.min_overlap_ratio = 0.3;
   return tp;
+}
+
+struct IngestRecord {
+  std::string mode;  // "sequential" (per-trajectory loop) or "batch".
+  size_t threads = 0;
+  size_t flights = 0;
+  size_t pieces = 0;
+  size_t s2t_runs = 0;
+  size_t reps = 0;
+  double wall_ms = 0.0;
+  double ingest_split_ms = 0.0;
+  double ingest_apply_ms = 0.0;
+};
+
+std::vector<IngestRecord>& Records() {
+  static auto* records = new std::vector<IngestRecord>();
+  return *records;
 }
 
 /// Full build of the tree from a trajectory stream, gamma ablation.
@@ -86,6 +122,103 @@ void BM_ReTraTreeSteadyInsert(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 
+/// Batch-vs-sequential ingest thread sweep. Arg 0 is the thread count;
+/// 0 means the sequential per-trajectory Insert loop (the pre-batch
+/// baseline), >= 1 runs InsertStore's two-phase batch pipeline.
+void BM_ReTraTreeIngest(benchmark::State& state) {
+  constexpr size_t kFlights = 80;
+  const auto store = MakeMod(kFlights);
+  const auto threads = static_cast<size_t>(state.range(0));
+  const bool batch = threads >= 1;
+  core::ReTraTreeStats stats;
+  size_t reps = 0;
+  double wall_ms = 0.0;
+  int run = 0;
+  for (auto _ : state) {
+    auto env = storage::Env::NewMemEnv();
+    exec::ExecContext ctx(batch ? std::max<size_t>(threads, 1) : 1);
+    exec::ExecContext* exec = threads > 1 ? &ctx : nullptr;
+    auto tree = std::move(core::ReTraTree::Open(
+                              env.get(), "i" + std::to_string(run++),
+                              TreeParams(store, 12), exec))
+                    .value();
+    const int64_t start = NowUs();
+    if (batch) {
+      (void)tree->InsertStore(store, exec);
+    } else {
+      for (traj::TrajectoryId tid = 0; tid < store.NumTrajectories();
+           ++tid) {
+        (void)tree->Insert(store.Get(tid), tid);
+      }
+    }
+    wall_ms = (NowUs() - start) / 1000.0;
+    benchmark::DoNotOptimize(tree);
+    stats = tree->stats();
+    reps = tree->TotalRepresentatives();
+  }
+  state.counters["threads"] = static_cast<double>(threads);
+  state.counters["pieces"] = static_cast<double>(stats.pieces_inserted);
+  state.counters["s2t_runs"] = static_cast<double>(stats.s2t_runs);
+  state.counters["reps"] = static_cast<double>(reps);
+  state.counters["split_ms"] = stats.ingest_split_us / 1000.0;
+  state.counters["apply_ms"] = stats.ingest_apply_us / 1000.0;
+
+  IngestRecord rec;
+  rec.mode = batch ? "batch" : "sequential";
+  rec.threads = std::max<size_t>(threads, 1);
+  rec.flights = kFlights;
+  rec.pieces = stats.pieces_inserted;
+  rec.s2t_runs = stats.s2t_runs;
+  rec.reps = reps;
+  rec.wall_ms = wall_ms;
+  rec.ingest_split_ms = stats.ingest_split_us / 1000.0;
+  rec.ingest_apply_ms = stats.ingest_apply_us / 1000.0;
+  Records().push_back(rec);
+}
+
+void WriteJson(const char* path) {
+  if (Records().empty()) {
+    // A filtered run that skipped the ingest sweep must not clobber a
+    // previous measurement with an empty baseline.
+    std::fprintf(stderr, "no ingest records; leaving %s untouched\n", path);
+    return;
+  }
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return;
+  }
+  // The harness calls each benchmark several times while calibrating the
+  // iteration count; keep only the final (measured) record per point.
+  std::vector<IngestRecord> recs;
+  for (const auto& r : Records()) {
+    bool replaced = false;
+    for (auto& kept : recs) {
+      if (kept.mode == r.mode && kept.threads == r.threads) {
+        kept = r;
+        replaced = true;
+        break;
+      }
+    }
+    if (!replaced) recs.push_back(r);
+  }
+  std::fprintf(f, "{\n  \"bench\": \"retratree_ingest\",\n  \"runs\": [\n");
+  for (size_t i = 0; i < recs.size(); ++i) {
+    const auto& r = recs[i];
+    std::fprintf(
+        f,
+        "    {\"mode\": \"%s\", \"threads\": %zu, \"flights\": %zu, "
+        "\"pieces\": %zu, \"s2t_runs\": %zu, \"reps\": %zu, "
+        "\"wall_ms\": %.3f, \"ingest_split_ms\": %.3f, "
+        "\"ingest_apply_ms\": %.3f}%s\n",
+        r.mode.c_str(), r.threads, r.flights, r.pieces, r.s2t_runs, r.reps,
+        r.wall_ms, r.ingest_split_ms, r.ingest_apply_ms,
+        i + 1 < recs.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+}
+
 }  // namespace
 
 // The workload yields ~20 pieces per sub-chunk, so the sweep covers the
@@ -93,3 +226,15 @@ void BM_ReTraTreeSteadyInsert(benchmark::State& state) {
 BENCHMARK(BM_ReTraTreeBuild)->Arg(4)->Arg(8)->Arg(12)->Arg(24)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_ReTraTreeSteadyInsert)->Unit(benchmark::kMicrosecond);
+// 0 = sequential per-trajectory loop baseline; 1/2/4/8 = batch sweep.
+BENCHMARK(BM_ReTraTreeIngest)->Arg(0)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  WriteJson("BENCH_ingest.json");
+  return 0;
+}

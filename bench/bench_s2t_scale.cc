@@ -109,6 +109,12 @@ void BM_S2TFull(benchmark::State& state) {
 }
 
 void WriteJson(const char* path) {
+  if (Records().empty()) {
+    // A filtered run that skipped BM_S2TFull must not clobber a previous
+    // measurement with an empty baseline.
+    std::fprintf(stderr, "no records; leaving %s untouched\n", path);
+    return;
+  }
   std::FILE* f = std::fopen(path, "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", path);

@@ -1,11 +1,13 @@
 #include "core/retratree.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 
 #include "common/coding.h"
 #include "common/logging.h"
+#include "exec/parallel_for.h"
 #include "traj/distance.h"
 
 namespace hermes::core {
@@ -14,6 +16,15 @@ namespace {
 /// Sub-chunk pieces must fit one heap-file record; longer pieces are split
 /// into consecutive runs of at most this many samples.
 constexpr size_t kMaxSamplesPerPiece = 300;
+
+/// Trajectories per chunk of the batch split fan-out.
+constexpr size_t kSplitGrain = 8;
+
+int64_t NowUs() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
 }  // namespace
 
 std::string EncodeSubTrajectory(const traj::SubTrajectory& st) {
@@ -96,7 +107,9 @@ std::string ReTraTree::CatalogPath() const {
 
 namespace {
 constexpr uint32_t kCatalogMagic = 0x52545243u;  // "RTRC"
-constexpr uint32_t kCatalogVersion = 1;
+// v2: per-sub-chunk derived_seq/rep_seq replace the global partition
+// sequence (the per-sub-chunk id scheme behind batch/sequential parity).
+constexpr uint32_t kCatalogVersion = 2;
 
 void PutString(std::string* dst, const std::string& s) {
   PutFixed32(dst, static_cast<uint32_t>(s.size()));
@@ -116,7 +129,6 @@ Status ReTraTree::Save() {
   PutFixed64(&buf, params_.gamma);
   PutDouble(&buf, params_.origin);
   PutFixed64(&buf, next_sub_id_);
-  PutFixed64(&buf, next_partition_seq_);
 
   uint64_t num_subchunks = 0;
   for (const auto& [ci, chunk] : chunks_) {
@@ -129,6 +141,8 @@ Status ReTraTree::Save() {
       PutString(&buf, sc.outlier_partition);
       PutFixed64(&buf, sc.outlier_count);
       PutFixed64(&buf, sc.recluster_watermark);
+      PutFixed64(&buf, sc.derived_seq);
+      PutFixed64(&buf, sc.rep_seq);
       PutFixed64(&buf, sc.representatives.size());
       for (const auto& entry : sc.representatives) {
         PutString(&buf, entry->partition_name);
@@ -180,11 +194,11 @@ Status ReTraTree::LoadCatalog() {
   params_.d_assign = d_assign;
   params_.gamma = gamma;
   next_sub_id_ = dec.ReadFixed64();
-  next_partition_seq_ = dec.ReadFixed64();
 
   // Parse the variable-length remainder with a raw cursor (the fixed-width
-  // Decoder has no bytes reader).
-  size_t off = 4 + 4 + 8 * 4 + 8 + 8 + 8 + 8;
+  // Decoder has no bytes reader). Header: magic, version, 5 doubles + gamma
+  // (6 x 8), next_sub_id.
+  size_t off = 4 + 4 + 8 * 6 + 8;
   auto need = [&](size_t n) -> Status {
     if (off + n > buf.size()) return Status::Corruption("catalog truncated");
     return Status::OK();
@@ -212,11 +226,12 @@ Status ReTraTree::LoadCatalog() {
     uint64_t raw_index = 0;
     HERMES_RETURN_NOT_OK(get_u64(&raw_index));
     const int64_t si = static_cast<int64_t>(raw_index);
-    const double start = params_.origin + si * params_.delta;
-    SubChunk* sc = GetOrCreateSubChunk(start + params_.delta / 2);
+    SubChunk* sc = GetOrCreateSubChunkByIndex(si);
     HERMES_RETURN_NOT_OK(get_str(&sc->outlier_partition));
     HERMES_RETURN_NOT_OK(get_u64(&sc->outlier_count));
     HERMES_RETURN_NOT_OK(get_u64(&sc->recluster_watermark));
+    HERMES_RETURN_NOT_OK(get_u64(&sc->derived_seq));
+    HERMES_RETURN_NOT_OK(get_u64(&sc->rep_seq));
     uint64_t num_reps = 0;
     HERMES_RETURN_NOT_OK(get_u64(&num_reps));
     for (uint64_t r = 0; r < num_reps; ++r) {
@@ -247,7 +262,12 @@ int64_t ReTraTree::SubChunkIndexOf(double t) const {
 }
 
 SubChunk* ReTraTree::GetOrCreateSubChunk(double t) {
-  const int64_t ci = ChunkIndexOf(t);
+  return GetOrCreateSubChunkByIndex(SubChunkIndexOf(t));
+}
+
+SubChunk* ReTraTree::GetOrCreateSubChunkByIndex(int64_t si) {
+  const double mid = params_.origin + si * params_.delta + params_.delta / 2;
+  const int64_t ci = ChunkIndexOf(mid);
   auto [cit, cnew] = chunks_.try_emplace(ci);
   Chunk& chunk = cit->second;
   if (cnew) {
@@ -255,7 +275,6 @@ SubChunk* ReTraTree::GetOrCreateSubChunk(double t) {
     chunk.start = params_.origin + ci * params_.tau;
     chunk.end = chunk.start + params_.tau;
   }
-  const int64_t si = SubChunkIndexOf(t);
   auto [sit, snew] = chunk.sub_chunks.try_emplace(si);
   SubChunk& sc = sit->second;
   if (snew) {
@@ -270,11 +289,21 @@ SubChunk* ReTraTree::GetOrCreateSubChunk(double t) {
   return &sc;
 }
 
-Status ReTraTree::Insert(const traj::Trajectory& trajectory,
-                         traj::TrajectoryId source_id) {
-  if (trajectory.size() < 2) {
-    return Status::InvalidArgument("trajectory needs >= 2 samples");
-  }
+uint64_t ReTraTree::NextDerivedId(SubChunk* sc) {
+  const int64_t si = sc->global_index;
+  const uint64_t key = si >= 0
+                           ? (static_cast<uint64_t>(si) << 1)
+                           : ((static_cast<uint64_t>(-(si + 1)) << 1) | 1);
+  HERMES_CHECK(key < (uint64_t{1} << 39))
+      << "sub-chunk index " << si << " outside the derived-id key space";
+  HERMES_CHECK(sc->derived_seq < (uint64_t{1} << 24))
+      << "derived-id space of sub-chunk " << si << " exhausted";
+  return (uint64_t{1} << 63) | (key << 24) | sc->derived_seq++;
+}
+
+Status ReTraTree::SplitTrajectory(const traj::Trajectory& trajectory,
+                                  traj::TrajectoryId source_id,
+                                  std::vector<PendingPiece>* out) const {
   // Split at sub-chunk boundaries (which include chunk boundaries).
   const int64_t first = SubChunkIndexOf(trajectory.StartTime());
   const int64_t last = SubChunkIndexOf(trajectory.EndTime());
@@ -288,17 +317,17 @@ Status ReTraTree::Insert(const traj::Trajectory& trajectory,
     size_t offset = 0;
     while (offset + 1 < piece.size()) {
       const size_t take = std::min(kMaxSamplesPerPiece, piece.size() - offset);
-      traj::SubTrajectory st;
-      st.id = next_sub_id_++;
-      st.source_trajectory = source_id;
-      st.object_id = trajectory.object_id();
-      st.first_sample_index = offset;
+      PendingPiece pp;
+      pp.sub_chunk = si;
+      pp.st.source_trajectory = source_id;
+      pp.st.object_id = trajectory.object_id();
+      pp.st.first_sample_index = offset;
       traj::Trajectory part(trajectory.object_id());
       for (size_t k = offset; k < offset + take; ++k) {
         HERMES_RETURN_NOT_OK(part.Append(piece[k]));
       }
-      st.points = std::move(part);
-      HERMES_RETURN_NOT_OK(InsertPiece(std::move(st), true));
+      pp.st.points = std::move(part);
+      out->push_back(std::move(pp));
       if (offset + take >= piece.size()) break;
       offset += take - 1;  // Overlap one sample to keep continuity.
     }
@@ -306,18 +335,120 @@ Status ReTraTree::Insert(const traj::Trajectory& trajectory,
   return Status::OK();
 }
 
-Status ReTraTree::InsertStore(const traj::TrajectoryStore& store) {
-  for (traj::TrajectoryId tid = 0; tid < store.NumTrajectories(); ++tid) {
-    HERMES_RETURN_NOT_OK(Insert(store.Get(tid), tid));
+Status ReTraTree::Insert(const traj::Trajectory& trajectory,
+                         traj::TrajectoryId source_id) {
+  if (trajectory.size() < 2) {
+    return Status::InvalidArgument("trajectory needs >= 2 samples");
+  }
+  std::vector<PendingPiece> pieces;
+  HERMES_RETURN_NOT_OK(SplitTrajectory(trajectory, source_id, &pieces));
+  for (PendingPiece& pp : pieces) {
+    pp.st.id = next_sub_id_++;
+    SubChunk* sc = GetOrCreateSubChunkByIndex(pp.sub_chunk);
+    HERMES_RETURN_NOT_OK(InsertPiece(sc, std::move(pp.st), true, exec_));
   }
   return Status::OK();
 }
 
-Status ReTraTree::InsertPiece(traj::SubTrajectory piece,
-                              bool allow_recluster) {
-  ++stats_.pieces_inserted;
-  SubChunk* sc = GetOrCreateSubChunk(piece.StartTime());
+Status ReTraTree::InsertStore(const traj::TrajectoryStore& store,
+                              exec::ExecContext* exec) {
+  return InsertBatch(store, exec != nullptr ? exec : exec_);
+}
 
+Status ReTraTree::InsertBatch(const traj::TrajectoryStore& store,
+                              exec::ExecContext* exec) {
+  exec::ExecContext* ctx = exec != nullptr ? exec : exec_;
+  const size_t n = store.NumTrajectories();
+  if (n == 0) return Status::OK();
+
+  // ---- Phase 1: split. Pure per-trajectory work fans out; ids are then
+  // pre-assigned by prefix sum in (trajectory, piece) order — the exact
+  // order a sequential Insert loop draws them from next_sub_id_.
+  const int64_t split_start = NowUs();
+  std::vector<std::vector<PendingPiece>> per_traj(n);
+  std::vector<Status> split_status(exec::NumChunks(n, kSplitGrain),
+                                   Status::OK());
+  exec::ParallelFor(ctx, n, kSplitGrain,
+                    [&](size_t begin, size_t end, size_t chunk) {
+    for (traj::TrajectoryId tid = begin; tid < end; ++tid) {
+      const traj::Trajectory& t = store.Get(tid);
+      if (t.size() < 2) {
+        split_status[chunk] = Status::InvalidArgument(
+            "trajectory " + std::to_string(tid) + " needs >= 2 samples");
+        return;
+      }
+      const Status st = SplitTrajectory(t, tid, &per_traj[tid]);
+      if (!st.ok()) {
+        split_status[chunk] = st;
+        return;
+      }
+    }
+  });
+  for (const Status& st : split_status) {
+    HERMES_RETURN_NOT_OK(st);
+  }
+
+  // Pre-assign ids in (trajectory, piece) order — the exact order a
+  // sequential Insert loop draws them from next_sub_id_ — while bucketing
+  // pieces per sub-chunk in the same global order. Every L1/L2 node is
+  // created up front so the apply fan-out never mutates the chunk maps.
+  std::map<int64_t, std::vector<traj::SubTrajectory>> buckets;
+  for (size_t tid = 0; tid < n; ++tid) {
+    for (PendingPiece& pp : per_traj[tid]) {
+      pp.st.id = next_sub_id_++;
+      buckets[pp.sub_chunk].push_back(std::move(pp.st));
+    }
+  }
+  struct ApplyTask {
+    SubChunk* sc;
+    std::vector<traj::SubTrajectory> pieces;
+  };
+  std::vector<ApplyTask> tasks;
+  tasks.reserve(buckets.size());
+  for (auto& [si, pieces] : buckets) {
+    tasks.push_back({GetOrCreateSubChunkByIndex(si), std::move(pieces)});
+  }
+  const int64_t split_us = NowUs() - split_start;
+
+  // ---- Phase 2: apply, one task per sub-chunk. Each task touches only
+  // its sub-chunk's representatives, partitions, indexes, and id/name
+  // sequences; the partition manager and the stats are the only shared
+  // state, both mutex-guarded.
+  const int64_t apply_start = NowUs();
+  std::vector<Status> apply_status(tasks.size(), Status::OK());
+  exec::ParallelFor(ctx, tasks.size(), /*grain=*/1,
+                    [&](size_t begin, size_t end, size_t /*chunk*/) {
+    for (size_t k = begin; k < end; ++k) {
+      for (traj::SubTrajectory& piece : tasks[k].pieces) {
+        const Status st =
+            InsertPiece(tasks[k].sc, std::move(piece), true, ctx);
+        if (!st.ok()) {
+          apply_status[k] = st;
+          break;
+        }
+      }
+    }
+  });
+  for (const Status& st : apply_status) {
+    HERMES_RETURN_NOT_OK(st);
+  }
+  const int64_t apply_us = NowUs() - apply_start;
+
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.ingest_split_us += split_us;
+    stats_.ingest_apply_us += apply_us;
+  }
+  if (ctx != nullptr) {
+    ctx->stats().RecordPhaseUs("ingest_split", split_us);
+    ctx->stats().RecordPhaseUs("ingest_apply", apply_us);
+  }
+  return Status::OK();
+}
+
+Status ReTraTree::InsertPiece(SubChunk* sc, traj::SubTrajectory piece,
+                              bool allow_recluster,
+                              exec::ExecContext* ctx) {
   // L3 assignment: closest representative within (d, t).
   RepresentativeEntry* best = nullptr;
   double best_dist = params_.d_assign;
@@ -335,23 +466,31 @@ Status ReTraTree::InsertPiece(traj::SubTrajectory piece,
     }
   }
   if (best != nullptr) {
-    ++stats_.assigned_to_existing;
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.pieces_inserted;
+      ++stats_.assigned_to_existing;
+    }
     return AppendMember(best, piece);
   }
 
   // Outlier path.
-  ++stats_.sent_to_outliers;
   HERMES_ASSIGN_OR_RETURN(storage::HeapFile * hf,
                           partitions_->GetOrCreate(sc->outlier_partition));
   HERMES_ASSIGN_OR_RETURN(storage::RecordId rid,
                           hf->Append(EncodeSubTrajectory(piece)));
   (void)rid;
-  ++stats_.records_written;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.pieces_inserted;
+    ++stats_.sent_to_outliers;
+    ++stats_.records_written;
+  }
   ++sc->outlier_count;
 
   if (allow_recluster && sc->outlier_count >= params_.gamma &&
       sc->outlier_count >= sc->recluster_watermark) {
-    return ReclusterOutliers(sc);
+    return ReclusterOutliers(sc, ctx);
   }
   return Status::OK();
 }
@@ -362,14 +501,17 @@ Status ReTraTree::AppendMember(RepresentativeEntry* entry,
                           partitions_->GetOrCreate(entry->partition_name));
   HERMES_ASSIGN_OR_RETURN(storage::RecordId rid,
                           hf->Append(EncodeSubTrajectory(member)));
-  ++stats_.records_written;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.records_written;
+  }
   HERMES_RETURN_NOT_OK(entry->index->Insert(member.Bounds(), rid.Pack()));
   ++entry->member_count;
   return Status::OK();
 }
 
-Status ReTraTree::ReclusterOutliers(SubChunk* sc) {
-  ++stats_.s2t_runs;
+Status ReTraTree::ReclusterOutliers(SubChunk* sc,
+                                    exec::ExecContext* ctx) {
   // Read the buffered outliers back from disk.
   HERMES_ASSIGN_OR_RETURN(std::vector<traj::SubTrajectory> buffered,
                           ReadOutliers(*sc));
@@ -387,8 +529,12 @@ Status ReTraTree::ReclusterOutliers(SubChunk* sc) {
   if (temp.NumTrajectories() < 2) return Status::OK();
 
   S2TClustering s2t(params_.s2t);
-  HERMES_ASSIGN_OR_RETURN(S2TResult result, s2t.Run(temp, exec_));
-  stats_.s2t_timings += result.timings;
+  HERMES_ASSIGN_OR_RETURN(S2TResult result, s2t.Run(temp, ctx));
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.s2t_runs;
+    stats_.s2t_timings += result.timings;
+  }
 
   // Drop and recreate the outlier partition; survivors are re-appended.
   HERMES_RETURN_NOT_OK(partitions_->Drop(sc->outlier_partition));
@@ -404,13 +550,13 @@ Status ReTraTree::ReclusterOutliers(SubChunk* sc) {
     // Restore provenance from the buffered piece the rep came from.
     const size_t buf_idx =
         temp_to_buffered[rep.source_trajectory];
-    rep.id = next_sub_id_++;
+    rep.id = NextDerivedId(sc);
     rep.source_trajectory = buffered[buf_idx].source_trajectory;
     entry->representative = rep;
     char buf[64];
     std::snprintf(buf, sizeof(buf), "sc%lld_r%llu",
                   static_cast<long long>(sc->global_index),
-                  static_cast<unsigned long long>(next_partition_seq_++));
+                  static_cast<unsigned long long>(sc->rep_seq++));
     entry->partition_name = buf;
     HERMES_ASSIGN_OR_RETURN(
         entry->index,
@@ -418,12 +564,15 @@ Status ReTraTree::ReclusterOutliers(SubChunk* sc) {
                                        ".idx"));
     RepresentativeEntry* raw = entry.get();
     sc->representatives.push_back(std::move(entry));
-    ++stats_.representatives_created;
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.representatives_created;
+    }
 
     for (size_t m : cluster.members) {
       traj::SubTrajectory member = result.sub_trajectories[m];
       const size_t mbuf = temp_to_buffered[member.source_trajectory];
-      member.id = next_sub_id_++;
+      member.id = NextDerivedId(sc);
       member.source_trajectory = buffered[mbuf].source_trajectory;
       member.object_id = buffered[mbuf].object_id;
       HERMES_RETURN_NOT_OK(AppendMember(raw, member));
@@ -433,15 +582,21 @@ Status ReTraTree::ReclusterOutliers(SubChunk* sc) {
 
   // Residual outliers re-enter the tree; the new representatives may now
   // accommodate them, otherwise they land back in the (fresh) buffer.
+  // Residues are sub-pieces of this sub-chunk's buffered pieces, so they
+  // stay inside `sc` — which keeps the apply fan-out's sub-chunk ownership
+  // intact.
   for (size_t o : result.clustering.outliers) {
     if (archived[o]) continue;
     traj::SubTrajectory residue = result.sub_trajectories[o];
     const size_t rbuf = temp_to_buffered[residue.source_trajectory];
-    residue.id = next_sub_id_++;
+    residue.id = NextDerivedId(sc);
     residue.source_trajectory = buffered[rbuf].source_trajectory;
     residue.object_id = buffered[rbuf].object_id;
-    ++stats_.reinserted_after_s2t;
-    HERMES_RETURN_NOT_OK(InsertPiece(std::move(residue), false));
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.reinserted_after_s2t;
+    }
+    HERMES_RETURN_NOT_OK(InsertPiece(sc, std::move(residue), false, ctx));
   }
   // Members of clusters that were too small also return to the buffer.
   for (const auto& cluster : result.clustering.clusters) {
@@ -449,11 +604,14 @@ Status ReTraTree::ReclusterOutliers(SubChunk* sc) {
     for (size_t m : cluster.members) {
       traj::SubTrajectory residue = result.sub_trajectories[m];
       const size_t rbuf = temp_to_buffered[residue.source_trajectory];
-      residue.id = next_sub_id_++;
+      residue.id = NextDerivedId(sc);
       residue.source_trajectory = buffered[rbuf].source_trajectory;
       residue.object_id = buffered[rbuf].object_id;
-      ++stats_.reinserted_after_s2t;
-      HERMES_RETURN_NOT_OK(InsertPiece(std::move(residue), false));
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.reinserted_after_s2t;
+      }
+      HERMES_RETURN_NOT_OK(InsertPiece(sc, std::move(residue), false, ctx));
     }
   }
   // Raise the trigger so residues alone cannot immediately re-fire S2T.
@@ -491,11 +649,14 @@ StatusOr<std::vector<traj::SubTrajectory>> ReTraTree::ReadMembers(
           decode_status = st.status();
           return false;
         }
-        ++stats_.records_read;
         out.push_back(std::move(st).value());
         return true;
       }));
   HERMES_RETURN_NOT_OK(decode_status);
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.records_read += out.size();
+  }
   return out;
 }
 
@@ -515,8 +676,11 @@ StatusOr<std::vector<traj::SubTrajectory>> ReTraTree::ReadMembersInWindow(
                             hf->Read(storage::RecordId::Unpack(packed)));
     HERMES_ASSIGN_OR_RETURN(traj::SubTrajectory st,
                             DecodeSubTrajectory(rec));
-    ++stats_.records_read;
     out.push_back(std::move(st));
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.records_read += out.size();
   }
   return out;
 }
@@ -535,11 +699,14 @@ StatusOr<std::vector<traj::SubTrajectory>> ReTraTree::ReadOutliers(
           decode_status = st.status();
           return false;
         }
-        ++stats_.records_read;
         out.push_back(std::move(st).value());
         return true;
       }));
   HERMES_RETURN_NOT_OK(decode_status);
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.records_read += out.size();
+  }
   return out;
 }
 

@@ -3,6 +3,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -47,6 +48,10 @@ struct ReTraTreeParams {
 
 /// \brief Maintenance counters (Fig. 2's loop, made observable), plus the
 /// wall time the buffer re-clustering runs spent per phase.
+///
+/// All counters are order-independent sums, so a batch ingest reports the
+/// same totals as the sequential loop at any thread count (timing fields
+/// excepted — they are wall clocks).
 struct ReTraTreeStats {
   uint64_t pieces_inserted = 0;
   uint64_t assigned_to_existing = 0;
@@ -56,6 +61,10 @@ struct ReTraTreeStats {
   uint64_t reinserted_after_s2t = 0;
   uint64_t records_written = 0;
   uint64_t records_read = 0;
+  /// Batch-ingest phase split (µs): parallel split/segmentation of the
+  /// batch vs the per-sub-chunk apply fan-out.
+  int64_t ingest_split_us = 0;
+  int64_t ingest_apply_us = 0;
   /// Cumulative phase breakdown of all S2T re-clustering runs (µs),
   /// including the columnar arena snapshots they build.
   S2TTimings s2t_timings;
@@ -83,6 +92,15 @@ struct SubChunk {
   /// Next buffer size that may trigger re-clustering (prevents thrashing
   /// when residues alone still exceed gamma).
   size_t recluster_watermark = 0;
+  /// Sequence of derived sub-trajectory ids handed out by this sub-chunk's
+  /// re-clustering runs (see `ReTraTree::NextDerivedId`). Per-sub-chunk so
+  /// concurrent apply tasks never contend — and so the ids are a pure
+  /// function of the sub-chunk's own insertion history, which is what
+  /// makes batch and sequential ingest bit-identical.
+  uint64_t derived_seq = 0;
+  /// Sequence behind this sub-chunk's representative partition names
+  /// ("sc<i>_r<seq>"); per-sub-chunk for the same reason.
+  uint64_t rep_seq = 0;
 };
 
 /// \brief L1 node: one temporal chunk holding its sub-chunks.
@@ -135,8 +153,31 @@ class ReTraTree {
   Status Insert(const traj::Trajectory& trajectory,
                 traj::TrajectoryId source_id);
 
-  /// Bulk-inserts every trajectory of a store.
-  Status InsertStore(const traj::TrajectoryStore& store);
+  /// Bulk-inserts every trajectory of a store by delegating to
+  /// `InsertBatch`. `exec` overrides the tree's own context for this batch
+  /// (nullptr = use the tree's; a tree without one applies sequentially).
+  Status InsertStore(const traj::TrajectoryStore& store,
+                     exec::ExecContext* exec = nullptr);
+
+  /// \brief Two-phase batch ingest — the Fig. 2 maintenance loop made
+  /// thread-scalable.
+  ///
+  /// Phase 1 (split) fans out over trajectories: each is sliced at
+  /// sub-chunk boundaries and bound by `kMaxSamplesPerPiece`, and every
+  /// piece receives its sub-trajectory id up front via a prefix sum over
+  /// per-trajectory piece counts — exactly the ids the sequential
+  /// `Insert` loop's `next_sub_id_++` would hand out. Phase 2 (apply)
+  /// fans out one task per sub-chunk: L3 assignment, heap-file append,
+  /// pg3D-Rtree insert, and outlier re-clustering all run concurrently
+  /// because each sub-chunk owns disjoint partitions and per-sub-chunk
+  /// derived-id/partition-name sequences. The resulting catalog is
+  /// bit-identical to the sequential loop at any thread count.
+  ///
+  /// A trajectory with fewer than 2 samples fails the whole batch with
+  /// `InvalidArgument` before any mutation (the sequential loop would
+  /// abort mid-way instead).
+  Status InsertBatch(const traj::TrajectoryStore& store,
+                     exec::ExecContext* exec);
 
   const ReTraTreeParams& params() const { return params_; }
   const std::map<int64_t, Chunk>& chunks() const { return chunks_; }
@@ -172,6 +213,13 @@ class ReTraTree {
             std::unique_ptr<storage::PartitionManager> partitions,
             exec::ExecContext* exec);
 
+  /// One boundary-trimmed, size-bounded piece awaiting apply, tagged with
+  /// the sub-chunk it was bucketed into.
+  struct PendingPiece {
+    int64_t sub_chunk = 0;
+    traj::SubTrajectory st;
+  };
+
   int64_t ChunkIndexOf(double t) const;
   int64_t SubChunkIndexOf(double t) const;
 
@@ -180,18 +228,42 @@ class ReTraTree {
 
   /// Returns (creating on demand) the sub-chunk containing time `t`.
   SubChunk* GetOrCreateSubChunk(double t);
+  /// Same, addressed by global sub-chunk index (the batch path's bucket
+  /// key, so bucketing and lookup cannot disagree on boundary times).
+  SubChunk* GetOrCreateSubChunkByIndex(int64_t si);
 
-  /// Routes one boundary-trimmed piece; `allow_recluster` guards against
-  /// recursion from the S2T loop.
-  Status InsertPiece(traj::SubTrajectory piece, bool allow_recluster);
+  /// Splits a trajectory at sub-chunk boundaries and the record-size bound
+  /// into pieces with provenance but *no ids yet* (pure: no tree state is
+  /// touched) — shared by `Insert` and the batch split phase so the two
+  /// paths cannot diverge.
+  Status SplitTrajectory(const traj::Trajectory& trajectory,
+                         traj::TrajectoryId source_id,
+                         std::vector<PendingPiece>* out) const;
+
+  /// Routes one piece into `sc`; `allow_recluster` guards against
+  /// recursion from the S2T loop. Only touches `sc`-owned state (plus the
+  /// stats under their mutex), which is what makes the per-sub-chunk
+  /// apply fan-out safe. `ctx` is handed to any S2T re-clustering run the
+  /// piece triggers (a batch's override context, or the tree's own).
+  Status InsertPiece(SubChunk* sc, traj::SubTrajectory piece,
+                     bool allow_recluster, exec::ExecContext* ctx);
 
   /// Appends a member to a representative's partition + index.
   Status AppendMember(RepresentativeEntry* entry,
                       const traj::SubTrajectory& member);
 
   /// The Fig. 2 loop: voting/segmentation/sampling over the outlier buffer,
-  /// new representatives back-propagated, members redistributed.
-  Status ReclusterOutliers(SubChunk* sc);
+  /// new representatives back-propagated, members redistributed. The S2T
+  /// run fans out over `ctx` (results are bit-identical either way).
+  Status ReclusterOutliers(SubChunk* sc, exec::ExecContext* ctx);
+
+  /// Id for a sub-trajectory derived by a re-clustering run (new
+  /// representative, re-labeled member, or residue): bit 63 set, the
+  /// zig-zagged sub-chunk index in bits [62:24], and the sub-chunk's own
+  /// sequence in bits [23:0]. Disjoint from the piece-id space
+  /// (`next_sub_id_`), so pre-assigning piece ids by prefix sum stays
+  /// exact no matter how many ids re-clustering consumes.
+  uint64_t NextDerivedId(SubChunk* sc);
 
   storage::Env* env_;
   std::string dir_;
@@ -201,8 +273,9 @@ class ReTraTree {
 
   std::map<int64_t, Chunk> chunks_;
   traj::SubTrajectoryId next_sub_id_ = 0;
-  uint64_t next_partition_seq_ = 0;
   mutable ReTraTreeStats stats_;  // Read paths count records read.
+  /// Serializes stats updates from concurrent apply tasks.
+  mutable std::mutex stats_mu_;
 };
 
 }  // namespace hermes::core

@@ -591,13 +591,19 @@ StatusOr<std::unique_ptr<RowCursor>> Session::ExecuteSelect(
           data_dir_ + "/tree_" + std::to_string(tree_seq_++);
       HERMES_ASSIGN_OR_RETURN(
           entry->tree, core::ReTraTree::Open(env_, dir, params, exec_.get()));
-      HERMES_RETURN_NOT_OK(entry->tree->InsertStore(entry->store));
+      HERMES_RETURN_NOT_OK(
+          entry->tree->InsertStore(entry->store, exec_.get()));
       entry->tree_params = tree_params;
       // Same coverage as the S2T branch: without a live context (which
-      // records for itself) the fresh tree's cumulative S2T timings are
-      // exactly this build's — archive them for SHOW STATS.
+      // records for itself) the fresh tree's cumulative S2T timings — and
+      // the batch-ingest phase split — are exactly this build's; archive
+      // them for SHOW STATS.
       if (exec_ == nullptr) {
         entry->tree->stats().s2t_timings.ExportTo(&session_stats_);
+        session_stats_.RecordPhaseUs("ingest_split",
+                                     entry->tree->stats().ingest_split_us);
+        session_stats_.RecordPhaseUs("ingest_apply",
+                                     entry->tree->stats().ingest_apply_us);
       }
     }
     core::QuTClustering qut(entry->tree.get());

@@ -23,6 +23,7 @@ std::string PartitionManager::FileName(const std::string& name) const {
 }
 
 StatusOr<HeapFile*> PartitionManager::GetOrCreate(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = open_.find(name);
   if (it != open_.end()) return it->second.get();
   HERMES_ASSIGN_OR_RETURN(std::unique_ptr<HeapFile> hf,
@@ -33,11 +34,13 @@ StatusOr<HeapFile*> PartitionManager::GetOrCreate(const std::string& name) {
 }
 
 bool PartitionManager::Exists(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
   if (open_.count(name) > 0) return true;
   return env_->FileExists(FileName(name));
 }
 
 Status PartitionManager::Drop(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = open_.find(name);
   if (it != open_.end()) {
     open_.erase(it);  // Destructor flushes; file is deleted next.
@@ -48,6 +51,7 @@ Status PartitionManager::Drop(const std::string& name) {
 }
 
 std::vector<std::string> PartitionManager::List() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::set<std::string> names;
   for (const auto& [name, hf] : open_) names.insert(name);
   auto on_disk = env_->ListDir(dir_);
@@ -64,6 +68,7 @@ std::vector<std::string> PartitionManager::List() const {
 }
 
 Status PartitionManager::FlushAll() {
+  std::lock_guard<std::mutex> lock(mu_);
   for (auto& [name, hf] : open_) {
     HERMES_RETURN_NOT_OK(hf->Flush());
   }

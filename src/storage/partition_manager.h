@@ -2,6 +2,7 @@
 #define HERMES_STORAGE_PARTITION_MANAGER_H_
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -18,6 +19,15 @@ namespace hermes::storage {
 /// "pg3D-Rtree-k" member partitions and the outlier partitions of Fig. 2.
 /// Dropping a partition deletes its file (how ReTraTree reclaims space
 /// after re-clustering an outlier buffer).
+///
+/// Concurrency contract: the manager's own catalog (open handles, create,
+/// drop, list) is mutex-guarded, so concurrent ingest tasks may open and
+/// drop *different* partitions freely — the batch apply fan-out relies on
+/// this. The returned `HeapFile*` handles are NOT thread-safe: callers
+/// must ensure each partition is used by at most one task at a time
+/// (ReTraTree guarantees it by giving every apply task disjoint
+/// sub-chunks, whose partitions are disjoint by construction), and must
+/// not race a handle's use against `Drop` of the same partition.
 class PartitionManager {
  public:
   /// Creates a manager rooted at `dir` (created if absent).
@@ -48,6 +58,8 @@ class PartitionManager {
 
   Env* env_;
   std::string dir_;
+  /// Guards `open_` against concurrent GetOrCreate/Drop from apply tasks.
+  mutable std::mutex mu_;
   std::unordered_map<std::string, std::unique_ptr<HeapFile>> open_;
 };
 

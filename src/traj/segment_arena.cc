@@ -2,7 +2,8 @@
 
 #include <chrono>
 
-#include "exec/parallel_for.h"
+#include "common/logging.h"
+#include "traj/trajectory_store.h"
 
 namespace hermes::traj {
 
@@ -14,52 +15,98 @@ int64_t NowUs() {
 }
 }  // namespace
 
+const std::vector<size_t>& SegmentArena::offsets() const {
+  static const std::vector<size_t> kEmpty;
+  return offsets_ == nullptr ? kEmpty : *offsets_;
+}
+
 SegmentArena SegmentArena::Build(const TrajectoryStore& store,
                                  exec::ExecContext* ctx) {
   const int64_t start = NowUs();
-  SegmentArena arena;
-  const size_t n = store.NumTrajectories();
-  arena.offsets_.resize(n + 1, 0);
-  for (TrajectoryId tid = 0; tid < n; ++tid) {
-    arena.offsets_[tid + 1] =
-        arena.offsets_[tid] + store.Get(tid).NumSegments();
-  }
-  const size_t rows = arena.offsets_[n];
-  arena.ax_.resize(rows);
-  arena.ay_.resize(rows);
-  arena.bx_.resize(rows);
-  arena.by_.resize(rows);
-  arena.t0_.resize(rows);
-  arena.t1_.resize(rows);
-  arena.owner_.resize(rows);
-  arena.segment_index_.resize(rows);
-
-  // Each chunk of trajectories fills a disjoint row range, so the parallel
-  // fill needs no synchronization and matches the sequential layout.
-  constexpr size_t kGrain = 16;
-  exec::ParallelFor(ctx, n, kGrain,
-                    [&](size_t begin, size_t end, size_t /*chunk*/) {
-    for (TrajectoryId tid = begin; tid < end; ++tid) {
-      const Trajectory& t = store.Get(tid);
-      const auto& samples = t.samples();
-      size_t r = arena.offsets_[tid];
-      for (size_t i = 0; i + 1 < samples.size(); ++i, ++r) {
-        arena.ax_[r] = samples[i].x;
-        arena.ay_[r] = samples[i].y;
-        arena.t0_[r] = samples[i].t;
-        arena.bx_[r] = samples[i + 1].x;
-        arena.by_[r] = samples[i + 1].y;
-        arena.t1_[r] = samples[i + 1].t;
-        arena.owner_[r] = tid;
-        arena.segment_index_[r] = static_cast<uint32_t>(i);
-      }
-    }
-  });
-
+  SegmentArena arena = store.ArenaSnapshot();
   if (ctx != nullptr) {
     ctx->stats().RecordPhaseUs("arena_build", NowUs() - start);
   }
   return arena;
+}
+
+void SegmentArenaBuilder::Append(const Trajectory& t, TrajectoryId tid) {
+  std::lock_guard<std::mutex> lock(mu_);
+  HERMES_CHECK(tid + 1 == offsets_.size())
+      << "arena append out of order: tid " << tid << " with "
+      << offsets_.size() - 1 << " trajectories appended";
+  const auto& samples = t.samples();
+  const size_t segs = t.NumSegments();
+  for (size_t i = 0; i < segs; ++i) {
+    if ((rows_ & SegmentBlock::kMask) == 0) {
+      blocks_.push_back(std::make_shared<SegmentBlock>());
+      ++counters_.blocks_allocated;
+    }
+    SegmentBlock& b = *blocks_.back();
+    const size_t s = rows_ & SegmentBlock::kMask;
+    b.ax[s] = samples[i].x;
+    b.ay[s] = samples[i].y;
+    b.t0[s] = samples[i].t;
+    b.bx[s] = samples[i + 1].x;
+    b.by[s] = samples[i + 1].y;
+    b.t1[s] = samples[i + 1].t;
+    b.owner[s] = tid;
+    b.segment_index[s] = static_cast<uint32_t>(i);
+    ++rows_;
+  }
+  offsets_.push_back(rows_);
+  counters_.rows_appended += segs;
+  epoch_valid_ = false;
+}
+
+SegmentArena SegmentArenaBuilder::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!epoch_valid_) {
+    SegmentArena epoch;
+    epoch.blocks_.assign(blocks_.begin(), blocks_.end());
+    epoch.offsets_ = std::make_shared<const std::vector<size_t>>(offsets_);
+    epoch.rows_ = rows_;
+    cached_epoch_ = std::move(epoch);
+    epoch_valid_ = true;
+    ++counters_.epochs_published;
+  }
+  return cached_epoch_;
+}
+
+SegmentArenaCounters SegmentArenaBuilder::counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_;
+}
+
+void SegmentArenaBuilder::CopyFrom(const SegmentArenaBuilder& o) {
+  std::lock_guard<std::mutex> lock(o.mu_);
+  blocks_ = o.blocks_;
+  // Full blocks are immutable forever and may be shared; a partially
+  // filled tail is still append-mutable in `o`, so the copy gets its own.
+  if (!blocks_.empty() && (o.rows_ & SegmentBlock::kMask) != 0) {
+    blocks_.back() = std::make_shared<SegmentBlock>(*o.blocks_.back());
+  }
+  offsets_ = o.offsets_;
+  rows_ = o.rows_;
+  counters_ = o.counters_;
+  cached_epoch_ = o.cached_epoch_;
+  epoch_valid_ = o.epoch_valid_;
+}
+
+void SegmentArenaBuilder::MoveFrom(SegmentArenaBuilder&& o) {
+  std::lock_guard<std::mutex> lock(o.mu_);
+  blocks_ = std::move(o.blocks_);
+  offsets_ = std::move(o.offsets_);
+  rows_ = o.rows_;
+  counters_ = o.counters_;
+  cached_epoch_ = std::move(o.cached_epoch_);
+  epoch_valid_ = o.epoch_valid_;
+  o.blocks_.clear();
+  o.offsets_ = {0};
+  o.rows_ = 0;
+  o.counters_ = {};
+  o.cached_epoch_ = {};
+  o.epoch_valid_ = false;
 }
 
 }  // namespace hermes::traj

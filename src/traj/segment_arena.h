@@ -1,86 +1,190 @@
 #ifndef HERMES_TRAJ_SEGMENT_ARENA_H_
 #define HERMES_TRAJ_SEGMENT_ARENA_H_
 
+#include <array>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <vector>
 
 #include "exec/exec_context.h"
 #include "geom/mbb.h"
 #include "geom/segment.h"
-#include "traj/trajectory_store.h"
+#include "traj/trajectory.h"
 
 namespace hermes::traj {
 
-/// \brief Structure-of-arrays snapshot of every 3D segment of a
-/// `TrajectoryStore`, built once and shared by all passes of the voting →
-/// segmentation → clustering hot path (and by STR index construction).
+class TrajectoryStore;
+
+/// \brief One fixed-capacity column block of the chunked segment arena.
 ///
-/// The AoS `Trajectory` API re-derives each segment's geometry
-/// (`SegmentAt` + `Bounds`) on every pass; the arena materializes the
-/// per-segment endpoints and bounding boxes as contiguous columns, so
-/// repeated sweeps are cache-linear and trivially partitionable across
-/// threads. Rows are ordered by (trajectory id, segment index) — the CSR
-/// `offsets` array maps a trajectory to its contiguous row range — and the
-/// layout is identical at any build thread count.
+/// Rows are written once, in append order, and a block is never touched
+/// again after it fills — which is what lets snapshots share blocks with
+/// an appending builder instead of copying them.
+struct SegmentBlock {
+  static constexpr size_t kShift = 12;
+  static constexpr size_t kRows = size_t{1} << kShift;  // 4096 rows.
+  static constexpr size_t kMask = kRows - 1;
+
+  std::array<double, kRows> ax, ay, bx, by, t0, t1;
+  std::array<TrajectoryId, kRows> owner;
+  std::array<uint32_t, kRows> segment_index;
+};
+
+/// Observability counters of a `SegmentArenaBuilder`; the regression tests
+/// assert that appends never re-materialize existing blocks
+/// (`full_rebuilds` stays 0 and block identity is stable across epochs).
+struct SegmentArenaCounters {
+  uint64_t rows_appended = 0;
+  uint64_t blocks_allocated = 0;
+  uint64_t epochs_published = 0;
+  /// Full re-materializations of already-appended rows. The append path
+  /// never performs one; the counter exists so tests can prove it.
+  uint64_t full_rebuilds = 0;
+};
+
+/// \brief Structure-of-arrays view of every 3D segment of a
+/// `TrajectoryStore`, shared by all passes of the voting → segmentation →
+/// clustering hot path (and by STR index construction).
 ///
-/// The arena is an immutable snapshot: it does not observe trajectories
-/// appended to the store after `Build`.
+/// A `SegmentArena` is one immutable *epoch* published by a
+/// `SegmentArenaBuilder` (see `TrajectoryStore::ArenaSnapshot`): it holds
+/// shared ownership of fixed-capacity column blocks plus an offsets table
+/// frozen at publication time. Rows are ordered by (trajectory id, segment
+/// index) — the CSR `offsets` array maps a trajectory to its contiguous
+/// row range — and the layout depends only on insertion order, never on
+/// thread counts. The view never observes rows appended after it was
+/// taken, so voting and STR bulk load can sweep a stable epoch while
+/// ingest keeps appending to the builder.
 class SegmentArena {
  public:
   SegmentArena() = default;
 
-  /// Builds the snapshot. When `ctx` provides more than one thread the
-  /// per-trajectory fill is parallelized (the output is byte-identical to
-  /// the sequential build). The build time is recorded in `ctx->stats()`
-  /// under phase "arena_build".
+  /// Snapshots the store's incrementally-maintained arena (appends since
+  /// the last snapshot are published as a new epoch; nothing is rebuilt).
+  /// The snapshot cost is recorded in `ctx->stats()` under "arena_build".
   static SegmentArena Build(const TrajectoryStore& store,
                             exec::ExecContext* ctx = nullptr);
 
-  size_t num_segments() const { return ax_.size(); }
-  size_t num_trajectories() const { return offsets_.empty() ? 0 : offsets_.size() - 1; }
-  bool empty() const { return ax_.empty(); }
+  size_t num_segments() const { return rows_; }
+  size_t num_trajectories() const {
+    return offsets_ == nullptr || offsets_->empty() ? 0 : offsets_->size() - 1;
+  }
+  bool empty() const { return rows_ == 0; }
 
   /// Rows of trajectory `tid`: [offsets()[tid], offsets()[tid + 1]).
-  const std::vector<size_t>& offsets() const { return offsets_; }
-  size_t RowBegin(TrajectoryId tid) const { return offsets_[tid]; }
-  size_t RowEnd(TrajectoryId tid) const { return offsets_[tid + 1]; }
+  const std::vector<size_t>& offsets() const;
+  size_t RowBegin(TrajectoryId tid) const { return (*offsets_)[tid]; }
+  size_t RowEnd(TrajectoryId tid) const { return (*offsets_)[tid + 1]; }
 
   // Endpoint columns (segment rows; time strictly increases: t0 < t1).
-  const std::vector<double>& ax() const { return ax_; }
-  const std::vector<double>& ay() const { return ay_; }
-  const std::vector<double>& bx() const { return bx_; }
-  const std::vector<double>& by() const { return by_; }
-  const std::vector<double>& t0() const { return t0_; }
-  const std::vector<double>& t1() const { return t1_; }
+  double ax(size_t r) const { return block(r).ax[sub(r)]; }
+  double ay(size_t r) const { return block(r).ay[sub(r)]; }
+  double bx(size_t r) const { return block(r).bx[sub(r)]; }
+  double by(size_t r) const { return block(r).by[sub(r)]; }
+  double t0(size_t r) const { return block(r).t0[sub(r)]; }
+  double t1(size_t r) const { return block(r).t1[sub(r)]; }
 
-  /// Owning trajectory of each row.
-  const std::vector<TrajectoryId>& owner() const { return owner_; }
-  /// Segment index of each row inside its trajectory.
-  const std::vector<uint32_t>& segment_index() const { return segment_index_; }
+  /// Owning trajectory of row `r`.
+  TrajectoryId owner(size_t r) const { return block(r).owner[sub(r)]; }
+  /// Segment index of row `r` inside its trajectory.
+  uint32_t segment_index(size_t r) const {
+    return block(r).segment_index[sub(r)];
+  }
 
   /// Row `r` reconstructed as the AoS segment.
   geom::Segment3D SegmentOf(size_t r) const {
-    return geom::Segment3D({ax_[r], ay_[r], t0_[r]}, {bx_[r], by_[r], t1_[r]});
+    const SegmentBlock& b = block(r);
+    const size_t i = sub(r);
+    return geom::Segment3D({b.ax[i], b.ay[i], b.t0[i]},
+                           {b.bx[i], b.by[i], b.t1[i]});
   }
 
   /// MBB of row `r` (computed from the endpoints; segments are straight so
   /// the endpoint extremes bound the motion).
   geom::Mbb3D BoundsOf(size_t r) const {
-    return geom::Mbb3D(ax_[r] < bx_[r] ? ax_[r] : bx_[r],
-                       ay_[r] < by_[r] ? ay_[r] : by_[r], t0_[r],
-                       ax_[r] < bx_[r] ? bx_[r] : ax_[r],
-                       ay_[r] < by_[r] ? by_[r] : ay_[r], t1_[r]);
+    const SegmentBlock& b = block(r);
+    const size_t i = sub(r);
+    return geom::Mbb3D(b.ax[i] < b.bx[i] ? b.ax[i] : b.bx[i],
+                       b.ay[i] < b.by[i] ? b.ay[i] : b.by[i], b.t0[i],
+                       b.ax[i] < b.bx[i] ? b.bx[i] : b.ax[i],
+                       b.ay[i] < b.by[i] ? b.by[i] : b.ay[i], b.t1[i]);
   }
 
   SegmentRef RefOf(size_t r) const {
-    return {owner_[r], segment_index_[r]};
+    const SegmentBlock& b = block(r);
+    const size_t i = sub(r);
+    return {b.owner[i], b.segment_index[i]};
   }
 
+  size_t num_blocks() const { return blocks_.size(); }
+  /// Identity of block `b`, for the no-rebuild assertions in tests: two
+  /// epochs sharing a block return the same address.
+  const void* BlockIdentity(size_t b) const { return blocks_[b].get(); }
+
  private:
-  std::vector<size_t> offsets_;
-  std::vector<double> ax_, ay_, bx_, by_, t0_, t1_;
-  std::vector<TrajectoryId> owner_;
-  std::vector<uint32_t> segment_index_;
+  friend class SegmentArenaBuilder;
+
+  const SegmentBlock& block(size_t r) const {
+    return *blocks_[r >> SegmentBlock::kShift];
+  }
+  static size_t sub(size_t r) { return r & SegmentBlock::kMask; }
+
+  std::vector<std::shared_ptr<const SegmentBlock>> blocks_;
+  std::shared_ptr<const std::vector<size_t>> offsets_;
+  size_t rows_ = 0;
+};
+
+/// \brief The appendable side of the arena: `TrajectoryStore::Add` feeds
+/// one trajectory at a time into fixed-capacity column blocks, and
+/// `Snapshot` publishes an immutable epoch.
+///
+/// Concurrency contract: appends are externally serialized (they come from
+/// the store's single-writer `Add` path), but `Snapshot` may be called
+/// concurrently with an append, and any number of readers may sweep
+/// previously-published epochs while appends proceed — published rows are
+/// never rewritten, full blocks are never touched again, and the epoch
+/// switch copies only the offsets table and the block pointer list.
+class SegmentArenaBuilder {
+ public:
+  SegmentArenaBuilder() = default;
+  SegmentArenaBuilder(const SegmentArenaBuilder& o) { CopyFrom(o); }
+  SegmentArenaBuilder& operator=(const SegmentArenaBuilder& o) {
+    if (this != &o) CopyFrom(o);
+    return *this;
+  }
+  SegmentArenaBuilder(SegmentArenaBuilder&& o) noexcept {
+    MoveFrom(std::move(o));
+  }
+  SegmentArenaBuilder& operator=(SegmentArenaBuilder&& o) noexcept {
+    if (this != &o) MoveFrom(std::move(o));
+    return *this;
+  }
+
+  /// Appends trajectory `tid`'s segments; `tid` must equal the number of
+  /// trajectories appended so far (the store's id assignment).
+  void Append(const Trajectory& t, TrajectoryId tid);
+
+  /// Publishes (or re-returns, when nothing was appended since the last
+  /// call) the current epoch.
+  SegmentArena Snapshot() const;
+
+  SegmentArenaCounters counters() const;
+
+ private:
+  void CopyFrom(const SegmentArenaBuilder& o);
+  void MoveFrom(SegmentArenaBuilder&& o);
+
+  /// Guards the block list / offsets metadata against concurrent
+  /// `Snapshot`; row payloads need no lock (single writer, and readers
+  /// only see rows published before their epoch).
+  mutable std::mutex mu_;
+  std::vector<std::shared_ptr<SegmentBlock>> blocks_;
+  std::vector<size_t> offsets_{0};
+  size_t rows_ = 0;
+  mutable SegmentArenaCounters counters_;  // epochs_published bumps in const Snapshot.
+  mutable SegmentArena cached_epoch_;
+  mutable bool epoch_valid_ = false;
 };
 
 }  // namespace hermes::traj

@@ -18,6 +18,16 @@ using ObjectId = uint64_t;
 /// Identifier of a trajectory inside a `TrajectoryStore`.
 using TrajectoryId = uint64_t;
 
+/// \brief Reference to one 3D segment inside a store: (trajectory, index).
+struct SegmentRef {
+  TrajectoryId trajectory = 0;
+  uint32_t segment_index = 0;
+
+  bool operator==(const SegmentRef& o) const {
+    return trajectory == o.trajectory && segment_index == o.segment_index;
+  }
+};
+
 /// \brief A trajectory: the recorded movement of one object as an ordered
 /// polyline in (x, y, t) with strictly increasing timestamps.
 ///

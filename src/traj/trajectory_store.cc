@@ -18,6 +18,7 @@ StatusOr<TrajectoryId> TrajectoryStore::Add(Trajectory trajectory) {
   num_points_ += trajectory.size();
   by_object_[trajectory.object_id()].push_back(id);
   trajectories_.push_back(std::move(trajectory));
+  arena_.Append(trajectories_.back(), id);
   return id;
 }
 

@@ -7,19 +7,10 @@
 
 #include "common/status.h"
 #include "common/statusor.h"
+#include "traj/segment_arena.h"
 #include "traj/trajectory.h"
 
 namespace hermes::traj {
-
-/// \brief Reference to one 3D segment inside a store: (trajectory, index).
-struct SegmentRef {
-  TrajectoryId trajectory = 0;
-  uint32_t segment_index = 0;
-
-  bool operator==(const SegmentRef& o) const {
-    return trajectory == o.trajectory && segment_index == o.segment_index;
-  }
-};
 
 /// \brief The Moving Object Database (MOD): an append-only collection of
 /// trajectories with aggregate statistics and CSV import/export.
@@ -53,6 +44,18 @@ class TrajectoryStore {
   /// Resolves a segment reference to its geometry.
   geom::Segment3D Resolve(const SegmentRef& ref) const;
 
+  /// \brief The current epoch of the store's columnar segment arena.
+  ///
+  /// The arena is maintained incrementally: `Add` appends the new
+  /// trajectory's rows to fixed-capacity column blocks instead of
+  /// re-materializing the snapshot, and this call publishes (or re-returns)
+  /// an immutable epoch over the rows added so far. Callers may keep
+  /// sweeping an older epoch while further `Add`s proceed.
+  SegmentArena ArenaSnapshot() const { return arena_.Snapshot(); }
+
+  /// Append/epoch counters of the arena (observability + regression tests).
+  SegmentArenaCounters arena_counters() const { return arena_.counters(); }
+
   /// \brief Loads `obj_id,t,x,y` CSV rows (header optional). Rows of one
   /// object must be time-ordered; each object yields one trajectory.
   Status LoadCsv(const std::string& path);
@@ -64,6 +67,8 @@ class TrajectoryStore {
   std::vector<Trajectory> trajectories_;
   std::unordered_map<ObjectId, std::vector<TrajectoryId>> by_object_;
   size_t num_points_ = 0;
+  /// Columnar mirror of `trajectories_`, appended to by `Add`.
+  SegmentArenaBuilder arena_;
 };
 
 }  // namespace hermes::traj

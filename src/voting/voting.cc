@@ -98,7 +98,7 @@ void RunVoteKernel(const traj::SegmentArena& arena,
       std::vector<double>& votes = result->votes[tid];
       for (size_t r = arena.RowBegin(tid); r < arena.RowEnd(tid); ++r) {
         const geom::Segment3D seg = arena.SegmentOf(r);
-        double& vote = votes[arena.segment_index()[r]];
+        double& vote = votes[arena.segment_index(r)];
         for (size_t k = cands.offsets[r]; k < cands.offsets[r + 1]; ++k) {
           vote += VoteFor(seg, store.Get(cands.tids[k]), params);
         }
@@ -120,7 +120,7 @@ void RunVoteKernel(const traj::SegmentArena& arena,
 Status ProbeRow(const traj::SegmentArena& arena, const rtree::RTree3D& index,
                 double radius, size_t r, std::vector<uint64_t>* hits,
                 std::vector<traj::TrajectoryId>* candidates) {
-  const traj::TrajectoryId tid = arena.owner()[r];
+  const traj::TrajectoryId tid = arena.owner(r);
   const geom::Mbb3D query = arena.BoundsOf(r).Expanded(radius, 0.0);
   HERMES_RETURN_NOT_OK(
       index.SearchInto(query, rtree::QueryMode::kIntersects, hits));
@@ -272,7 +272,7 @@ StatusOr<VotingResult> ComputeVotingNaive(const traj::SegmentArena& arena,
       std::vector<double>& votes = result.votes[tid];
       for (size_t r = arena.RowBegin(tid); r < arena.RowEnd(tid); ++r) {
         const geom::Segment3D seg = arena.SegmentOf(r);
-        double& vote = votes[arena.segment_index()[r]];
+        double& vote = votes[arena.segment_index(r)];
         for (traj::TrajectoryId oid = 0; oid < n; ++oid) {
           if (oid == tid) continue;
           vote += VoteFor(seg, store.Get(oid), params);

@@ -9,14 +9,17 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "core/retratree.h"
 #include "core/s2t_clustering.h"
 #include "datagen/aircraft.h"
 #include "datagen/maritime.h"
 #include "datagen/urban.h"
 #include "exec/exec_context.h"
+#include "storage/env.h"
 
 namespace hermes::core {
 namespace {
@@ -174,6 +177,163 @@ TEST(DeterminismTest, NaiveEngineIsBitIdenticalAcrossThreadCounts) {
     ASSERT_TRUE(run.ok());
     ExpectBitIdentical(*base, *run,
                        "naive threads=" + std::to_string(threads));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Batch-ingest parity: ReTraTree::InsertBatch at any thread count must
+// produce the exact catalog of the sequential per-trajectory Insert loop —
+// sub-trajectory ids, representatives, members, outliers, and counters.
+// ---------------------------------------------------------------------------
+
+core::ReTraTreeParams IngestParams(const traj::TrajectoryStore& store,
+                                   const SigmaEps& se) {
+  const auto [t0, t1] = store.TimeDomain();
+  core::ReTraTreeParams p;
+  p.tau = (t1 - t0) / 2;
+  p.delta = p.tau / 4;
+  p.t_align = p.delta;
+  p.d_assign = se.epsilon;
+  p.gamma = 6;  // Small enough that re-clustering fires inside the batch.
+  p.origin = t0;
+  p.s2t.SetSigma(se.sigma).SetEpsilon(se.epsilon);
+  p.s2t.segmentation.min_part_length = 3;
+  p.s2t.voting.min_overlap_ratio = 0.3;
+  p.s2t.sampling.min_overlap_ratio = 0.3;
+  p.s2t.clustering.min_overlap_ratio = 0.3;
+  return p;
+}
+
+void ExpectSubTrajectoryBitIdentical(const traj::SubTrajectory& a,
+                                     const traj::SubTrajectory& b,
+                                     const std::string& what) {
+  ASSERT_EQ(a.id, b.id) << what;
+  ASSERT_EQ(a.source_trajectory, b.source_trajectory) << what;
+  ASSERT_EQ(a.object_id, b.object_id) << what;
+  ASSERT_EQ(a.first_sample_index, b.first_sample_index) << what;
+  ASSERT_EQ(a.mean_voting, b.mean_voting) << what;
+  ASSERT_EQ(a.points.size(), b.points.size()) << what;
+  for (size_t s = 0; s < a.points.size(); ++s) {
+    ASSERT_EQ(a.points[s].x, b.points[s].x) << what << " sample=" << s;
+    ASSERT_EQ(a.points[s].y, b.points[s].y) << what << " sample=" << s;
+    ASSERT_EQ(a.points[s].t, b.points[s].t) << what << " sample=" << s;
+  }
+}
+
+/// Full catalog comparison: L1/L2 structure, L3 representatives (with
+/// their persisted member lists), outlier buffers, and the
+/// order-independent maintenance counters. Timing fields are wall clocks
+/// and deliberately excluded.
+void ExpectTreesBitIdentical(const core::ReTraTree& base,
+                             const core::ReTraTree& run,
+                             const std::string& what) {
+  const core::ReTraTreeStats& bs = base.stats();
+  const core::ReTraTreeStats& rs = run.stats();
+  ASSERT_EQ(bs.pieces_inserted, rs.pieces_inserted) << what;
+  ASSERT_EQ(bs.assigned_to_existing, rs.assigned_to_existing) << what;
+  ASSERT_EQ(bs.sent_to_outliers, rs.sent_to_outliers) << what;
+  ASSERT_EQ(bs.s2t_runs, rs.s2t_runs) << what;
+  ASSERT_EQ(bs.representatives_created, rs.representatives_created) << what;
+  ASSERT_EQ(bs.reinserted_after_s2t, rs.reinserted_after_s2t) << what;
+  ASSERT_EQ(bs.records_written, rs.records_written) << what;
+
+  ASSERT_EQ(base.chunks().size(), run.chunks().size()) << what;
+  auto bc = base.chunks().begin();
+  auto rc = run.chunks().begin();
+  for (; bc != base.chunks().end(); ++bc, ++rc) {
+    ASSERT_EQ(bc->first, rc->first) << what;
+    ASSERT_EQ(bc->second.sub_chunks.size(), rc->second.sub_chunks.size())
+        << what << " chunk=" << bc->first;
+    auto bsc = bc->second.sub_chunks.begin();
+    auto rsc = rc->second.sub_chunks.begin();
+    for (; bsc != bc->second.sub_chunks.end(); ++bsc, ++rsc) {
+      const std::string at =
+          what + " sub-chunk=" + std::to_string(bsc->first);
+      ASSERT_EQ(bsc->first, rsc->first) << what;
+      const core::SubChunk& a = bsc->second;
+      const core::SubChunk& b = rsc->second;
+      ASSERT_EQ(a.outlier_partition, b.outlier_partition) << at;
+      ASSERT_EQ(a.outlier_count, b.outlier_count) << at;
+      ASSERT_EQ(a.recluster_watermark, b.recluster_watermark) << at;
+      ASSERT_EQ(a.derived_seq, b.derived_seq) << at;
+      ASSERT_EQ(a.rep_seq, b.rep_seq) << at;
+
+      auto a_outliers = base.ReadOutliers(a);
+      auto b_outliers = run.ReadOutliers(b);
+      ASSERT_TRUE(a_outliers.ok()) << at;
+      ASSERT_TRUE(b_outliers.ok()) << at;
+      ASSERT_EQ(a_outliers->size(), b_outliers->size()) << at;
+      for (size_t i = 0; i < a_outliers->size(); ++i) {
+        ExpectSubTrajectoryBitIdentical((*a_outliers)[i], (*b_outliers)[i],
+                                        at + " outlier=" + std::to_string(i));
+      }
+
+      ASSERT_EQ(a.representatives.size(), b.representatives.size()) << at;
+      for (size_t ri = 0; ri < a.representatives.size(); ++ri) {
+        const core::RepresentativeEntry& ae = *a.representatives[ri];
+        const core::RepresentativeEntry& be = *b.representatives[ri];
+        const std::string rat = at + " rep=" + std::to_string(ri);
+        ASSERT_EQ(ae.partition_name, be.partition_name) << rat;
+        ASSERT_EQ(ae.member_count, be.member_count) << rat;
+        ExpectSubTrajectoryBitIdentical(ae.representative, be.representative,
+                                        rat);
+        auto a_members = base.ReadMembers(ae);
+        auto b_members = run.ReadMembers(be);
+        ASSERT_TRUE(a_members.ok()) << rat;
+        ASSERT_TRUE(b_members.ok()) << rat;
+        ASSERT_EQ(a_members->size(), b_members->size()) << rat;
+        for (size_t i = 0; i < a_members->size(); ++i) {
+          ExpectSubTrajectoryBitIdentical(
+              (*a_members)[i], (*b_members)[i],
+              rat + " member=" + std::to_string(i));
+        }
+      }
+    }
+  }
+}
+
+TEST(DeterminismTest, BatchIngestMatchesSequentialAcrossThreadCounts) {
+  for (auto& sc : MakeScenarios()) {
+    SCOPED_TRACE(sc.name);
+    const SigmaEps& se = sc.settings.front();
+    const core::ReTraTreeParams params = IngestParams(sc.store, se);
+
+    // Baseline: the sequential per-trajectory Insert loop.
+    auto base_env = storage::Env::NewMemEnv();
+    auto base = std::move(core::ReTraTree::Open(base_env.get(), "base",
+                                                params))
+                    .value();
+    for (traj::TrajectoryId tid = 0; tid < sc.store.NumTrajectories();
+         ++tid) {
+      ASSERT_TRUE(base->Insert(sc.store.Get(tid), tid).ok());
+    }
+    ASSERT_GT(base->stats().pieces_inserted, 0u);
+    ASSERT_GE(base->stats().s2t_runs, 1u)
+        << "gamma never fired; the parity test would not exercise "
+           "re-clustering";
+    ASSERT_TRUE(base->Validate().ok());
+
+    for (size_t threads : {1u, 2u, 4u, 8u}) {
+      exec::ExecContext ctx(threads);
+      auto env = storage::Env::NewMemEnv();
+      auto tree = std::move(core::ReTraTree::Open(env.get(), "batch",
+                                                  params))
+                      .value();
+      ASSERT_TRUE(tree->InsertStore(sc.store, &ctx).ok());
+      ASSERT_TRUE(tree->Validate().ok());
+      ExpectTreesBitIdentical(
+          *base, *tree,
+          sc.name + " threads=" + std::to_string(threads));
+      // The batch really went through the two-phase pipeline.
+      const auto phases = ctx.stats().PhaseTimings();
+      EXPECT_EQ(phases.count("ingest_split"), 1u);
+      EXPECT_EQ(phases.count("ingest_apply"), 1u);
+      if (threads > 1) {
+        EXPECT_GT(ctx.stats().Counter("exec_fanouts"), 0);
+      }
+      EXPECT_GE(tree->stats().ingest_split_us, 0);
+      EXPECT_GE(tree->stats().ingest_apply_us, 0);
+    }
   }
 }
 

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <thread>
 #include <numeric>
 #include <stdexcept>
 #include <vector>
@@ -290,15 +291,17 @@ TEST(SegmentArenaTest, LayoutMatchesStore) {
       EXPECT_EQ(got.b.y, expected.b.y);
       EXPECT_EQ(got.b.t, expected.b.t);
       EXPECT_TRUE(arena.BoundsOf(r) == expected.Bounds());
-      EXPECT_EQ(arena.owner()[r], tid);
-      EXPECT_EQ(arena.segment_index()[r], i);
+      EXPECT_EQ(arena.owner(r), tid);
+      EXPECT_EQ(arena.segment_index(r), i);
       EXPECT_TRUE(arena.RefOf(r) ==
                   (SegmentRef{tid, static_cast<uint32_t>(i)}));
     }
   }
 }
 
-TEST(SegmentArenaTest, ParallelBuildIsByteIdentical) {
+TEST(SegmentArenaTest, SnapshotsAreIdenticalAcrossContexts) {
+  // The layout is a pure function of insertion order: snapshots taken
+  // through a parallel context and sequentially are the same epoch.
   TrajectoryStore store = datagen::MakeParallelLanes(
       4, 4, 40.0, 900.0, 10.0, 10.0, /*seed=*/8, /*jitter=*/1.5);
   const SegmentArena seq = SegmentArena::Build(store);
@@ -306,15 +309,110 @@ TEST(SegmentArenaTest, ParallelBuildIsByteIdentical) {
   const SegmentArena par = SegmentArena::Build(store, &ctx);
   ASSERT_EQ(par.num_segments(), seq.num_segments());
   EXPECT_EQ(par.offsets(), seq.offsets());
-  EXPECT_EQ(par.ax(), seq.ax());
-  EXPECT_EQ(par.ay(), seq.ay());
-  EXPECT_EQ(par.bx(), seq.bx());
-  EXPECT_EQ(par.by(), seq.by());
-  EXPECT_EQ(par.t0(), seq.t0());
-  EXPECT_EQ(par.t1(), seq.t1());
-  EXPECT_EQ(par.owner(), seq.owner());
-  EXPECT_EQ(par.segment_index(), seq.segment_index());
-  EXPECT_GT(ctx.stats().PhaseUs("arena_build"), 0);
+  for (size_t r = 0; r < seq.num_segments(); ++r) {
+    EXPECT_EQ(par.ax(r), seq.ax(r));
+    EXPECT_EQ(par.ay(r), seq.ay(r));
+    EXPECT_EQ(par.bx(r), seq.bx(r));
+    EXPECT_EQ(par.by(r), seq.by(r));
+    EXPECT_EQ(par.t0(r), seq.t0(r));
+    EXPECT_EQ(par.t1(r), seq.t1(r));
+    EXPECT_EQ(par.owner(r), seq.owner(r));
+    EXPECT_EQ(par.segment_index(r), seq.segment_index(r));
+  }
+  // An unchanged store re-publishes the cached epoch: same blocks.
+  ASSERT_EQ(par.num_blocks(), seq.num_blocks());
+  for (size_t b = 0; b < seq.num_blocks(); ++b) {
+    EXPECT_EQ(par.BlockIdentity(b), seq.BlockIdentity(b));
+  }
+  const auto phases = ctx.stats().PhaseTimings();
+  EXPECT_EQ(phases.count("arena_build"), 1u);
+}
+
+TEST(SegmentArenaTest, AppendsDoNotRebuildBlocks) {
+  TrajectoryStore store = datagen::MakeParallelLanes(
+      3, 3, 30.0, 600.0, 10.0, 10.0, /*seed=*/5, /*jitter=*/1.0);
+  const SegmentArena before = SegmentArena::Build(store);
+  const SegmentArenaCounters c0 = store.arena_counters();
+  EXPECT_EQ(c0.full_rebuilds, 0u);
+  EXPECT_EQ(c0.rows_appended, store.NumSegments());
+
+  // Append more trajectories: existing blocks must be reused, not
+  // re-materialized — the epoch switch only publishes new offsets.
+  Trajectory extra(99);
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(extra.Append({i * 5.0, 1.0, i * 10.0}).ok());
+  }
+  ASSERT_TRUE(store.Add(std::move(extra)).ok());
+  const SegmentArena after = SegmentArena::Build(store);
+  const SegmentArenaCounters c1 = store.arena_counters();
+  EXPECT_EQ(c1.full_rebuilds, 0u);
+  EXPECT_EQ(c1.rows_appended, store.NumSegments());
+  EXPECT_EQ(c1.epochs_published, c0.epochs_published + 1);
+
+  ASSERT_EQ(after.num_segments(), before.num_segments() + 7);
+  ASSERT_EQ(after.num_trajectories(), before.num_trajectories() + 1);
+  // Every block of the old epoch is shared by the new one (pointer
+  // identity — the rebuild-free guarantee).
+  ASSERT_GE(after.num_blocks(), before.num_blocks());
+  for (size_t b = 0; b < before.num_blocks(); ++b) {
+    EXPECT_EQ(after.BlockIdentity(b), before.BlockIdentity(b));
+  }
+  // The old epoch still reads its own rows (and never sees the append).
+  for (size_t r = 0; r < before.num_segments(); ++r) {
+    EXPECT_EQ(before.ax(r), after.ax(r));
+    EXPECT_EQ(before.t1(r), after.t1(r));
+  }
+}
+
+TEST(SegmentArenaTest, ConcurrentReadersSeeStableEpochsDuringAppends) {
+  // A reader sweeping a published epoch while the store keeps appending
+  // (and switching epochs) must observe bit-stable rows throughout.
+  TrajectoryStore store;
+  auto make_traj = [](ObjectId id, double y) {
+    Trajectory t(id);
+    for (int i = 0; i < 64; ++i) {
+      EXPECT_TRUE(t.Append({i * 2.0, y, i * 1.0}).ok());
+    }
+    return t;
+  };
+  for (int k = 0; k < 4; ++k) {
+    ASSERT_TRUE(store.Add(make_traj(k, k * 10.0)).ok());
+  }
+  const SegmentArena epoch = store.ArenaSnapshot();
+  std::vector<double> expected(epoch.num_segments());
+  for (size_t r = 0; r < epoch.num_segments(); ++r) expected[r] = epoch.ax(r);
+
+  std::atomic<bool> stop{false};
+  std::atomic<bool> mismatch{false};
+  std::thread reader([&] {
+    while (!stop.load()) {
+      for (size_t r = 0; r < epoch.num_segments(); ++r) {
+        if (epoch.ax(r) != expected[r]) {
+          mismatch.store(true);
+          return;
+        }
+      }
+      SegmentArena fresh = store.ArenaSnapshot();
+      // A concurrently-taken epoch is internally consistent: its row
+      // count matches its own offsets table.
+      if (fresh.num_segments() != fresh.offsets().back()) {
+        mismatch.store(true);
+        return;
+      }
+    }
+  });
+  for (int k = 4; k < 64; ++k) {
+    ASSERT_TRUE(store.Add(make_traj(k, k * 10.0)).ok());
+    if (k % 8 == 0) (void)store.ArenaSnapshot();
+  }
+  stop.store(true);
+  reader.join();
+  EXPECT_FALSE(mismatch.load());
+  EXPECT_EQ(store.arena_counters().full_rebuilds, 0u);
+  // The original epoch is untouched by all of it.
+  for (size_t r = 0; r < epoch.num_segments(); ++r) {
+    EXPECT_EQ(epoch.ax(r), expected[r]);
+  }
 }
 
 TEST(SegmentArenaTest, EmptyStoreAndPointTrajectories) {
@@ -336,7 +434,7 @@ TEST(SegmentArenaTest, EmptyStoreAndPointTrajectories) {
   EXPECT_EQ(arena.num_segments(), 1u);
   EXPECT_EQ(arena.RowBegin(0), arena.RowEnd(0));
   EXPECT_EQ(arena.RowEnd(1) - arena.RowBegin(1), 1u);
-  EXPECT_EQ(arena.owner()[0], 1u);
+  EXPECT_EQ(arena.owner(0), 1u);
 }
 
 }  // namespace

@@ -4,6 +4,7 @@
 
 #include "core/retratree.h"
 #include "datagen/noise.h"
+#include "exec/exec_context.h"
 #include "storage/env.h"
 #include "traj/distance.h"
 
@@ -228,6 +229,138 @@ TEST_F(ReTraTreeTest, InsertStoreProcessesEverything) {
   ASSERT_TRUE(tree_->InsertStore(store).ok());
   EXPECT_GT(tree_->stats().pieces_inserted, 0u);
   ASSERT_TRUE(tree_->Validate().ok());
+  // The batch path records its phase split even without an exec context.
+  EXPECT_GE(tree_->stats().ingest_split_us, 0);
+  EXPECT_GE(tree_->stats().ingest_apply_us, 0);
+}
+
+/// Shared comparison for the batch-vs-sequential edge cases below: same
+/// counters, same structure, same persisted pieces.
+void ExpectSameCatalog(const ReTraTree& a, const ReTraTree& b) {
+  ASSERT_EQ(a.stats().pieces_inserted, b.stats().pieces_inserted);
+  ASSERT_EQ(a.stats().sent_to_outliers, b.stats().sent_to_outliers);
+  ASSERT_EQ(a.stats().assigned_to_existing, b.stats().assigned_to_existing);
+  ASSERT_EQ(a.stats().s2t_runs, b.stats().s2t_runs);
+  ASSERT_EQ(a.TotalRepresentatives(), b.TotalRepresentatives());
+  ASSERT_EQ(a.chunks().size(), b.chunks().size());
+  auto ac = a.chunks().begin();
+  auto bc = b.chunks().begin();
+  for (; ac != a.chunks().end(); ++ac, ++bc) {
+    ASSERT_EQ(ac->first, bc->first);
+    ASSERT_EQ(ac->second.sub_chunks.size(), bc->second.sub_chunks.size());
+    auto as = ac->second.sub_chunks.begin();
+    auto bs = bc->second.sub_chunks.begin();
+    for (; as != ac->second.sub_chunks.end(); ++as, ++bs) {
+      ASSERT_EQ(as->first, bs->first);
+      ASSERT_EQ(as->second.outlier_count, bs->second.outlier_count);
+      auto a_out = a.ReadOutliers(as->second);
+      auto b_out = b.ReadOutliers(bs->second);
+      ASSERT_TRUE(a_out.ok());
+      ASSERT_TRUE(b_out.ok());
+      ASSERT_EQ(a_out->size(), b_out->size());
+      for (size_t i = 0; i < a_out->size(); ++i) {
+        ASSERT_EQ((*a_out)[i].id, (*b_out)[i].id);
+        ASSERT_EQ((*a_out)[i].points.size(), (*b_out)[i].points.size());
+      }
+    }
+  }
+}
+
+TEST_F(ReTraTreeTest, BatchInsertEmptyStoreIsNoOp) {
+  traj::TrajectoryStore empty;
+  exec::ExecContext ctx(4);
+  ASSERT_TRUE(tree_->InsertStore(empty, &ctx).ok());
+  EXPECT_TRUE(tree_->chunks().empty());
+  EXPECT_EQ(tree_->stats().pieces_inserted, 0u);
+}
+
+TEST_F(ReTraTreeTest, BatchInsertRejectsDegenerateTrajectoryUpfront) {
+  traj::TrajectoryStore store;
+  traj::Trajectory ok_traj(1);
+  ASSERT_TRUE(ok_traj.Append({0, 0, 0}).ok());
+  ASSERT_TRUE(ok_traj.Append({10, 0, 10}).ok());
+  ASSERT_TRUE(store.Add(std::move(ok_traj)).ok());
+  traj::Trajectory lone(2);
+  ASSERT_TRUE(lone.Append({0, 0, 50}).ok());
+  ASSERT_TRUE(store.Add(std::move(lone)).ok());
+  exec::ExecContext ctx(2);
+  EXPECT_TRUE(tree_->InsertStore(store, &ctx).IsInvalidArgument());
+  // The batch failed in the split phase: nothing was applied.
+  EXPECT_EQ(tree_->stats().pieces_inserted, 0u);
+}
+
+TEST_F(ReTraTreeTest, BatchSingleTrajectoryMatchesSequentialInsert) {
+  traj::TrajectoryStore store;
+  ASSERT_TRUE(store.Add(Line(7, 20.0, 0, 350)).ok());
+  auto seq_tree =
+      std::move(ReTraTree::Open(env_.get(), "seq1", SmallTreeParams()))
+          .value();
+  ASSERT_TRUE(seq_tree->Insert(store.Get(0), 0).ok());
+  exec::ExecContext ctx(4);
+  ASSERT_TRUE(tree_->InsertStore(store, &ctx).ok());
+  ExpectSameCatalog(*seq_tree, *tree_);
+  EXPECT_EQ(tree_->stats().pieces_inserted, 4u);  // delta=100 over [0,350].
+}
+
+TEST_F(ReTraTreeTest, BatchSplitsLongPiecesAcrossManySubChunks) {
+  // delta=500 with dt=1 puts ~500 samples in each sub-chunk: every
+  // sub-chunk piece exceeds the 300-sample record bound and splits with
+  // one overlapping sample, and the trajectory spans 4 sub-chunks.
+  ReTraTreeParams p = SmallTreeParams();
+  p.tau = 2000.0;
+  p.delta = 500.0;
+  p.gamma = 1000;  // No re-clustering: isolate the splitting behavior.
+  auto seq_tree = std::move(ReTraTree::Open(env_.get(), "seqlong", p)).value();
+  auto batch_tree =
+      std::move(ReTraTree::Open(env_.get(), "batchlong", p)).value();
+
+  traj::TrajectoryStore store;
+  ASSERT_TRUE(store.Add(Line(3, 0.0, 0, 1999, /*dt=*/1.0)).ok());
+  ASSERT_TRUE(seq_tree->Insert(store.Get(0), 0).ok());
+  exec::ExecContext ctx(4);
+  ASSERT_TRUE(batch_tree->InsertStore(store, &ctx).ok());
+
+  ExpectSameCatalog(*seq_tree, *batch_tree);
+  // 4 sub-chunks x (501 samples -> pieces of <=300 with 1-sample overlap).
+  EXPECT_EQ(batch_tree->chunks().begin()->second.sub_chunks.size(), 4u);
+  EXPECT_GT(batch_tree->stats().pieces_inserted, 4u);
+  ASSERT_TRUE(batch_tree->Validate().ok());
+}
+
+TEST_F(ReTraTreeTest, ReclusterFiresInsideParallelApply) {
+  // Co-moving objects across several sub-chunks with a tiny gamma: the
+  // apply fan-out re-clusters inside its tasks (nested S2T fan-out) and
+  // still matches the sequential loop.
+  traj::TrajectoryStore store;
+  for (int k = 0; k < 12; ++k) {
+    ASSERT_TRUE(store.Add(Line(k, k * 10.0, 0, 395)).ok());
+  }
+  auto seq_tree =
+      std::move(ReTraTree::Open(env_.get(), "seqrc", SmallTreeParams()))
+          .value();
+  for (traj::TrajectoryId tid = 0; tid < store.NumTrajectories(); ++tid) {
+    ASSERT_TRUE(seq_tree->Insert(store.Get(tid), tid).ok());
+  }
+  ASSERT_GE(seq_tree->stats().s2t_runs, 1u);
+
+  exec::ExecContext ctx(4);
+  auto batch_tree =
+      std::move(ReTraTree::Open(env_.get(), "batchrc", SmallTreeParams(),
+                                &ctx))
+          .value();
+  ASSERT_TRUE(batch_tree->InsertStore(store).ok());  // Uses the tree's ctx.
+  EXPECT_GE(batch_tree->stats().s2t_runs, 1u);
+  ExpectSameCatalog(*seq_tree, *batch_tree);
+  ASSERT_TRUE(batch_tree->Validate().ok());
+  // Representatives discovered inside apply tasks carry derived ids
+  // (bit 63) — disjoint from the prefix-sum piece-id space.
+  for (const auto& [ci, chunk] : batch_tree->chunks()) {
+    for (const auto& [si, sc] : chunk.sub_chunks) {
+      for (const auto& entry : sc.representatives) {
+        EXPECT_NE(entry->representative.id & (uint64_t{1} << 63), 0u);
+      }
+    }
+  }
 }
 
 TEST_F(ReTraTreeTest, SaveAndReopenRestoresStructure) {

@@ -429,6 +429,37 @@ TEST_F(SqlSessionTest, QutBuildsTreeAndAnswers) {
   ASSERT_TRUE(again.ok());
 }
 
+TEST_F(SqlSessionTest, ShowStatsExposesIngestPhasesAfterQut) {
+  // The tree build behind QUT runs the two-phase batch ingest; its
+  // split/apply wall times must surface in SHOW STATS — both on the
+  // sequential path (archived from the tree's stats) and with a live
+  // exec context (recorded by InsertBatch itself).
+  for (int threads : {1, 2}) {
+    SCOPED_TRACE(threads);
+    sql::Session session;
+    ASSERT_TRUE(session
+                    .Execute("SET hermes.threads = " +
+                             std::to_string(threads) + ";")
+                    .ok());
+    traj::TrajectoryStore lanes = datagen::MakeParallelLanes(
+        2, 6, 5000.0, 1600.0, 10.0, 10.0, /*seed=*/5, /*jitter=*/1.0);
+    ASSERT_TRUE(session.RegisterStore("lanes", std::move(lanes)).ok());
+    ASSERT_TRUE(
+        session.Execute("SELECT QUT(lanes, 0, 160, 80, 40, 12, 80, 8);")
+            .ok());
+    auto stats = session.Execute("SHOW STATS;");
+    ASSERT_TRUE(stats.ok());
+    bool saw_split = false;
+    bool saw_apply = false;
+    for (const auto& row : stats->rows) {
+      if (row[0] == Value::Str("ingest_split")) saw_split = true;
+      if (row[0] == Value::Str("ingest_apply")) saw_apply = true;
+    }
+    EXPECT_TRUE(saw_split);
+    EXPECT_TRUE(saw_apply);
+  }
+}
+
 TEST_F(SqlSessionTest, ArgumentCountValidatedWithPosition) {
   ASSERT_TRUE(session_.Execute("CREATE MOD d;").ok());
   EXPECT_TRUE(session_.Execute("SELECT QUT(d, 1, 2);").status()

@@ -1,73 +1,96 @@
 #!/usr/bin/env python3
-"""Warn-only diff of two BENCH_s2t.json files (perf-trajectory tracking).
+"""Diff two BENCH_*.json files (perf-trajectory tracking) with a gate.
 
-Usage: bench_diff.py OLD.json NEW.json [--threshold RATIO]
+Usage: bench_diff.py OLD.json NEW.json [--key f1,f2] [--warn-threshold R]
+                     [--fail-threshold R | --no-fail]
 
-Matches runs by (flights, threads) and compares wall_ms plus each
-per-phase *_ms field. Regressions beyond the threshold (default 1.25x)
-are printed as GitHub Actions ::warning:: lines; the exit code is always
-0 — CI hosts are noisy, so this records the trajectory without gating.
+Runs are matched by the --key fields (default: flights,threads — pass
+"mode,threads" for BENCH_ingest.json) and compared on wall_ms plus every
+other *_ms field present in both records, so new phase splits are picked
+up without editing this script.
+
+Two thresholds:
+  --warn-threshold (default 1.25x): regressions beyond it are printed as
+    GitHub Actions ::warning:: lines.
+  --fail-threshold (default 4.0x): regressions beyond it are printed as
+    ::error:: lines and the exit code is 1 — the gate. The default budget
+    is deliberately generous until runner variance is characterized;
+    tighten it per-repo via the CLI. --no-fail restores the historical
+    warn-only behavior.
 """
 
 import argparse
 import json
 import sys
 
-PHASES = [
-    "wall_ms",
-    "arena_build_ms",
-    "index_build_ms",
-    "voting_ms",
-    "voting_probe_ms",
-    "voting_kernel_ms",
-    "segmentation_ms",
-    "segmentation_dp_ms",
-    "segmentation_materialize_ms",
-    "sampling_ms",
-    "clustering_ms",
-]
 # Below this, ratios are timer noise, not signal.
 MIN_MS = 1.0
 
 
-def load_runs(path):
+def load_runs(path, key_fields):
     with open(path) as f:
         data = json.load(f)
-    return {(r["flights"], r["threads"]): r for r in data.get("runs", [])}
+    runs = {}
+    for r in data.get("runs", []):
+        if any(k not in r for k in key_fields):
+            continue
+        runs[tuple(r[k] for k in key_fields)] = r
+    return runs
 
 
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("old")
     parser.add_argument("new")
-    parser.add_argument("--threshold", type=float, default=1.25,
-                        help="warn when new > old * THRESHOLD (default 1.25)")
+    parser.add_argument("--key", default="flights,threads",
+                        help="comma-separated fields identifying a run "
+                             "(default: flights,threads)")
+    parser.add_argument("--warn-threshold", type=float, default=1.25,
+                        help="warn when new > old * R (default 1.25)")
+    parser.add_argument("--fail-threshold", type=float, default=4.0,
+                        help="fail (exit 1) when new > old * R "
+                             "(default 4.0)")
+    parser.add_argument("--no-fail", action="store_true",
+                        help="never exit non-zero (warn-only mode)")
     args = parser.parse_args()
+    key_fields = [k.strip() for k in args.key.split(",") if k.strip()]
 
     try:
-        old_runs = load_runs(args.old)
-        new_runs = load_runs(args.new)
+        old_runs = load_runs(args.old, key_fields)
+        new_runs = load_runs(args.new, key_fields)
     except (OSError, ValueError, KeyError) as e:
-        print(f"bench_diff: cannot compare ({e}); skipping")
-        return 0
+        # In gating mode an unreadable input must not silently pass the
+        # gate; callers that tolerate a missing baseline should test for
+        # the file before invoking (as CI does) or pass --no-fail.
+        if args.no_fail:
+            print(f"bench_diff: cannot compare ({e}); skipping")
+            return 0
+        print(f"::error title=bench_diff cannot compare::{e}")
+        return 1
 
     warned = 0
+    failed = 0
     compared = 0
     for key in sorted(set(old_runs) & set(new_runs)):
         old, new = old_runs[key], new_runs[key]
-        flights, threads = key
-        for phase in PHASES:
-            if phase not in old or phase not in new:
-                continue
+        point = " ".join(f"{k}={v}" for k, v in zip(key_fields, key))
+        phases = sorted(k for k in old
+                        if k.endswith("_ms") and k in new)
+        for phase in phases:
             o, n = float(old[phase]), float(new[phase])
             compared += 1
             if o < MIN_MS and n < MIN_MS:
                 continue
-            if n > max(o, MIN_MS) * args.threshold:
-                print(f"::warning title=bench_s2t regression::"
-                      f"flights={flights} threads={threads} {phase}: "
-                      f"{o:.3f}ms -> {n:.3f}ms "
-                      f"({n / max(o, 1e-9):.2f}x)")
+            ratio = n / max(o, 1e-9)
+            if n > max(o, MIN_MS) * args.fail_threshold and not args.no_fail:
+                print(f"::error title=bench regression over budget::"
+                      f"{point} {phase}: {o:.3f}ms -> {n:.3f}ms "
+                      f"({ratio:.2f}x > {args.fail_threshold:.2f}x budget)")
+                failed += 1
+            elif n > max(o, MIN_MS) * args.warn_threshold:
+                print(f"::warning title=bench regression::"
+                      f"{point} {phase}: {o:.3f}ms -> {n:.3f}ms "
+                      f"({ratio:.2f}x)")
                 warned += 1
     only_old = sorted(set(old_runs) - set(new_runs))
     only_new = sorted(set(new_runs) - set(old_runs))
@@ -77,8 +100,8 @@ def main():
         print(f"bench_diff: new points (no baseline): {only_new}")
     print(f"bench_diff: compared {compared} phase totals over "
           f"{len(set(old_runs) & set(new_runs))} matching points; "
-          f"{warned} regression warning(s)")
-    return 0
+          f"{warned} warning(s), {failed} over the fail budget")
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":
