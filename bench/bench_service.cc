@@ -1,0 +1,190 @@
+// Concurrent-clients service benchmark: N reader sessions sweeping
+// published snapshots (S2T_MEMBERS + RANGE) against one service::Server,
+// alone and while the background ingest worker drains batches. Every
+// sweep point is appended to `BENCH_service.json` (one record per
+// (mode, clients)), the third bench JSON the CI bench-gate diffs across
+// runs — alongside BENCH_s2t.json and BENCH_ingest.json.
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "datagen/maritime.h"
+#include "service/client_session.h"
+#include "service/server.h"
+
+namespace {
+
+using namespace hermes;
+
+int64_t NowUs() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+constexpr size_t kShips = 24;
+
+traj::TrajectoryStore MakeMod(size_t ships) {
+  datagen::MaritimeScenarioParams p;
+  p.num_ships = ships;
+  p.sample_dt = 300.0;
+  p.seed = 7;
+  auto scenario = datagen::GenerateMaritimeScenario(p);
+  return std::move(scenario->store);
+}
+
+struct ServiceRecord {
+  std::string mode;  // "query" (quiesced) or "mixed" (ingest running).
+  size_t clients = 0;
+  size_t queries = 0;
+  size_t ingested = 0;
+  double wall_ms = 0.0;
+  double queries_per_sec = 0.0;
+};
+
+std::vector<ServiceRecord>& Records() {
+  static auto* records = new std::vector<ServiceRecord>();
+  return *records;
+}
+
+/// One sweep: `clients` sessions, each issuing `kQueriesPerClient`
+/// alternating S2T_MEMBERS / RANGE statements. With `with_ingest`, the
+/// main thread simultaneously streams the back half of the fleet through
+/// the ingest queue and flushes.
+void RunSweep(benchmark::State& state, bool with_ingest) {
+  const traj::TrajectoryStore ships = MakeMod(kShips);
+  const auto [t0, t1] = ships.TimeDomain();
+  const size_t clients = static_cast<size_t>(state.range(0));
+  constexpr int kQueriesPerClient = 4;
+  const std::string members_sql = "SELECT S2T_MEMBERS(ships, 800, 1600);";
+  const std::string range_sql = "SELECT RANGE(ships, " + std::to_string(t0) +
+                                ", " + std::to_string(t1 + 1) + ");";
+
+  const size_t initial = with_ingest ? kShips / 2 : kShips;
+  size_t queries = 0;
+  size_t ingested = 0;
+  double wall_ms = 0.0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    service::ServerOptions opts;
+    opts.threads = 2;
+    auto server = std::move(service::Server::Start(std::move(opts))).value();
+    traj::TrajectoryStore seed;
+    for (traj::TrajectoryId tid = 0; tid < initial; ++tid) {
+      (void)seed.Add(ships.Get(tid));
+    }
+    (void)server->RegisterStore("ships", std::move(seed));
+    state.ResumeTiming();
+
+    const int64_t start = NowUs();
+    std::vector<std::thread> threads;
+    threads.reserve(clients);
+    for (size_t c = 0; c < clients; ++c) {
+      threads.emplace_back([&server, &members_sql, &range_sql] {
+        auto session = server->Connect();
+        for (int q = 0; q < kQueriesPerClient; ++q) {
+          auto table =
+              session->Execute(q % 2 == 0 ? members_sql : range_sql);
+          benchmark::DoNotOptimize(table);
+        }
+      });
+    }
+    if (with_ingest) {
+      for (traj::TrajectoryId tid = initial; tid < kShips; ++tid) {
+        std::vector<traj::Trajectory> batch;
+        batch.push_back(ships.Get(tid));
+        (void)server->EnqueueInsert("ships", std::move(batch));
+      }
+      (void)server->Flush();
+    }
+    for (auto& t : threads) t.join();
+    wall_ms = (NowUs() - start) / 1000.0;
+    queries = clients * kQueriesPerClient;
+    ingested = server->Stats().trajectories_ingested;
+    state.PauseTiming();
+    server->Shutdown();
+    state.ResumeTiming();
+  }
+
+  state.counters["clients"] = static_cast<double>(clients);
+  state.counters["queries"] = static_cast<double>(queries);
+  state.counters["ingested"] = static_cast<double>(ingested);
+
+  ServiceRecord rec;
+  rec.mode = with_ingest ? "mixed" : "query";
+  rec.clients = clients;
+  rec.queries = queries;
+  rec.ingested = ingested;
+  rec.wall_ms = wall_ms;
+  rec.queries_per_sec = wall_ms > 0 ? queries / (wall_ms / 1000.0) : 0.0;
+  Records().push_back(rec);
+}
+
+void BM_ServiceQueryClients(benchmark::State& state) {
+  RunSweep(state, /*with_ingest=*/false);
+}
+
+void BM_ServiceMixedClients(benchmark::State& state) {
+  RunSweep(state, /*with_ingest=*/true);
+}
+
+void WriteJson(const char* path) {
+  if (Records().empty()) {
+    // A filtered run that skipped the sweep must not clobber a previous
+    // measurement with an empty baseline.
+    std::fprintf(stderr, "no service records; leaving %s untouched\n", path);
+    return;
+  }
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return;
+  }
+  // Keep only the final (measured) record per (mode, clients) point.
+  std::vector<ServiceRecord> recs;
+  for (const auto& r : Records()) {
+    bool replaced = false;
+    for (auto& kept : recs) {
+      if (kept.mode == r.mode && kept.clients == r.clients) {
+        kept = r;
+        replaced = true;
+        break;
+      }
+    }
+    if (!replaced) recs.push_back(r);
+  }
+  std::fprintf(f, "{\n  \"bench\": \"service_clients\",\n  \"runs\": [\n");
+  for (size_t i = 0; i < recs.size(); ++i) {
+    const auto& r = recs[i];
+    std::fprintf(
+        f,
+        "    {\"mode\": \"%s\", \"clients\": %zu, \"queries\": %zu, "
+        "\"ingested\": %zu, \"wall_ms\": %.3f, "
+        "\"queries_per_sec\": %.2f}%s\n",
+        r.mode.c_str(), r.clients, r.queries, r.ingested, r.wall_ms,
+        r.queries_per_sec, i + 1 < recs.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+}
+
+}  // namespace
+
+BENCHMARK(BM_ServiceQueryClients)->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+BENCHMARK(BM_ServiceMixedClients)->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  WriteJson("BENCH_service.json");
+  return 0;
+}

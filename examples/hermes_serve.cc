@@ -1,0 +1,151 @@
+// The multi-session service in action: one `service::Server` owning a
+// shared maritime MOD, four concurrent client sessions issuing
+// S2T_MEMBERS / RANGE / QUT statements, and a writer session streaming
+// INSERTs through the background ingest worker — the embedded analogue of
+// many psql clients against Hermes@PostgreSQL while data arrives.
+//
+// Exits non-zero if any statement fails or any reader observes a
+// non-prefix state, so CI runs it as an end-to-end smoke test.
+
+#include <atomic>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "datagen/maritime.h"
+#include "service/client_session.h"
+#include "service/server.h"
+
+int main() {
+  using namespace hermes;
+
+  datagen::MaritimeScenarioParams mp;
+  mp.num_ships = 24;
+  mp.sample_dt = 300.0;
+  mp.seed = 4;
+  auto maritime = datagen::GenerateMaritimeScenario(mp);
+  if (!maritime.ok()) {
+    std::fprintf(stderr, "datagen failed: %s\n",
+                 maritime.status().ToString().c_str());
+    return 1;
+  }
+  const traj::TrajectoryStore ships = std::move(maritime->store);
+  const auto [t0, t1] = ships.TimeDomain();
+
+  service::ServerOptions opts;
+  opts.threads = 2;
+  opts.session_defaults.sigma = 800.0;
+  opts.session_defaults.epsilon = 1600.0;
+  auto server_or = service::Server::Start(std::move(opts));
+  if (!server_or.ok()) {
+    std::fprintf(stderr, "server start failed\n");
+    return 1;
+  }
+  auto server = std::move(*server_or);
+
+  // Seed the shared MOD with the first half of the fleet.
+  const size_t initial = ships.NumTrajectories() / 2;
+  traj::TrajectoryStore seed;
+  for (traj::TrajectoryId tid = 0; tid < initial; ++tid) {
+    if (!seed.Add(ships.Get(tid)).ok()) return 1;
+  }
+  if (!server->RegisterStore("ships", std::move(seed)).ok()) return 1;
+
+  std::atomic<int> failures{0};
+  std::atomic<bool> ingest_done{false};
+
+  // Four readers, each its own session (and two of them their own
+  // 2-thread exec context), querying while ingest proceeds.
+  const std::string range_sql = "SELECT RANGE(ships, " + std::to_string(t0) +
+                                ", " + std::to_string(t1 + 1) + ");";
+  std::vector<std::thread> readers;
+  for (int rix = 0; rix < 4; ++rix) {
+    readers.emplace_back([&, rix] {
+      auto session = server->Connect();
+      if (rix % 2 == 1 &&
+          !session->Execute("SET hermes.threads = 2;").ok()) {
+        ++failures;
+        return;
+      }
+      size_t last_rows = 0;
+      while (!ingest_done.load(std::memory_order_relaxed)) {
+        auto members = session->Execute("SELECT S2T_MEMBERS(ships);");
+        if (!members.ok()) {
+          std::fprintf(stderr, "reader %d: %s\n", rix,
+                       members.status().ToString().c_str());
+          ++failures;
+          return;
+        }
+        auto range = session->Execute(range_sql);
+        if (!range.ok()) {
+          ++failures;
+          return;
+        }
+        // Published snapshots are id-order prefixes: the qualifying-row
+        // count can only grow.
+        if (range->rows.size() < last_rows) {
+          std::fprintf(stderr, "reader %d: snapshot went backwards\n", rix);
+          ++failures;
+          return;
+        }
+        last_rows = range->rows.size();
+      }
+    });
+  }
+
+  // The writer: stream the back half through the ingest queue, then
+  // flush and run a QUT over the shared (incrementally caught-up) tree.
+  {
+    auto writer = server->Connect();
+    for (traj::TrajectoryId tid = initial; tid < ships.NumTrajectories();
+         ++tid) {
+      std::vector<traj::Trajectory> batch;
+      batch.push_back(ships.Get(tid));
+      if (!server->EnqueueInsert("ships", std::move(batch)).ok()) {
+        ++failures;
+        break;
+      }
+    }
+    if (!writer->Execute("FLUSH;").ok()) ++failures;
+    const double tau = (t1 - t0) / 2;
+    const std::string qut_sql =
+        "SELECT QUT(ships, " + std::to_string(t0) + ", " +
+        std::to_string(t1 + 1) + ", " + std::to_string(tau) + ", " +
+        std::to_string(tau / 4) + ", " + std::to_string(tau / 4) +
+        ", 1600, 8);";
+    auto qut = writer->Execute(qut_sql);
+    if (!qut.ok()) {
+      std::fprintf(stderr, "QUT failed: %s\n",
+                   qut.status().ToString().c_str());
+      ++failures;
+    } else {
+      std::printf("hermes=# %s\n%s\n", qut_sql.c_str(),
+                  qut->ToString().c_str());
+    }
+  }
+  ingest_done.store(true, std::memory_order_relaxed);
+  for (auto& t : readers) t.join();
+
+  // Final state + service counters.
+  auto session = server->Connect();
+  for (const char* stmt :
+       {"SELECT STATS(ships);", "SHOW SERVICE STATS;", "SHOW ALL;"}) {
+    auto table = session->Execute(stmt);
+    if (!table.ok()) {
+      std::fprintf(stderr, "%s failed: %s\n", stmt,
+                   table.status().ToString().c_str());
+      ++failures;
+      continue;
+    }
+    std::printf("hermes=# %s\n%s\n", stmt, table->ToString().c_str());
+  }
+
+  server->Shutdown();
+  if (failures.load() != 0) {
+    std::fprintf(stderr, "%d failure(s)\n", failures.load());
+    return 1;
+  }
+  std::printf("service demo OK\n");
+  return 0;
+}

@@ -48,7 +48,8 @@ std::vector<Convoy> DiscoverConvoys(const traj::TrajectoryStore& store,
     // Objects alive at t with their positions.
     std::vector<geom::Point2D> positions;
     std::vector<traj::ObjectId> ids;
-    for (const auto& traj : store.trajectories()) {
+    for (traj::TrajectoryId tid = 0; tid < store.NumTrajectories(); ++tid) {
+      const traj::Trajectory& traj = store.Get(tid);
       if (auto p = traj.PositionAt(t)) {
         positions.push_back(*p);
         ids.push_back(traj.object_id());

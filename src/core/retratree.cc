@@ -357,8 +357,20 @@ Status ReTraTree::InsertStore(const traj::TrajectoryStore& store,
 
 Status ReTraTree::InsertBatch(const traj::TrajectoryStore& store,
                               exec::ExecContext* exec) {
+  return InsertBatch(store, exec, 0, store.NumTrajectories());
+}
+
+Status ReTraTree::InsertBatch(const traj::TrajectoryStore& store,
+                              exec::ExecContext* exec,
+                              traj::TrajectoryId first, size_t count) {
   exec::ExecContext* ctx = exec != nullptr ? exec : exec_;
-  const size_t n = store.NumTrajectories();
+  if (first + count > store.NumTrajectories()) {
+    return Status::InvalidArgument(
+        "InsertBatch range [" + std::to_string(first) + ", " +
+        std::to_string(first + count) + ") exceeds store size " +
+        std::to_string(store.NumTrajectories()));
+  }
+  const size_t n = count;
   if (n == 0) return Status::OK();
 
   // ---- Phase 1: split. Pure per-trajectory work fans out; ids are then
@@ -370,14 +382,15 @@ Status ReTraTree::InsertBatch(const traj::TrajectoryStore& store,
                                    Status::OK());
   exec::ParallelFor(ctx, n, kSplitGrain,
                     [&](size_t begin, size_t end, size_t chunk) {
-    for (traj::TrajectoryId tid = begin; tid < end; ++tid) {
+    for (size_t i = begin; i < end; ++i) {
+      const traj::TrajectoryId tid = first + i;
       const traj::Trajectory& t = store.Get(tid);
       if (t.size() < 2) {
         split_status[chunk] = Status::InvalidArgument(
             "trajectory " + std::to_string(tid) + " needs >= 2 samples");
         return;
       }
-      const Status st = SplitTrajectory(t, tid, &per_traj[tid]);
+      const Status st = SplitTrajectory(t, tid, &per_traj[i]);
       if (!st.ok()) {
         split_status[chunk] = st;
         return;

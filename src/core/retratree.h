@@ -179,6 +179,16 @@ class ReTraTree {
   Status InsertBatch(const traj::TrajectoryStore& store,
                      exec::ExecContext* exec);
 
+  /// Range flavor for incremental ingest: inserts trajectories
+  /// [first, first + count) of `store`, with their store ids as the
+  /// provenance ids — exactly what the sequential `Insert` loop over that
+  /// range would do. The service's ingest worker drains each newly
+  /// appended batch into the shared tree through this without re-feeding
+  /// the whole store.
+  Status InsertBatch(const traj::TrajectoryStore& store,
+                     exec::ExecContext* exec, traj::TrajectoryId first,
+                     size_t count);
+
   const ReTraTreeParams& params() const { return params_; }
   const std::map<int64_t, Chunk>& chunks() const { return chunks_; }
   const ReTraTreeStats& stats() const { return stats_; }

@@ -86,6 +86,7 @@ std::string Gist::ComputeUnion(const GistNodeView& view) const {
 }
 
 Status Gist::Insert(const void* key, uint64_t datum) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (root_ == storage::kInvalidPage) {
     HERMES_ASSIGN_OR_RETURN(root_, NewNode(/*leaf=*/true));
     height_ = 1;
@@ -221,6 +222,7 @@ StatusOr<Gist::InsertResult> Gist::SplitNode(GistNodeView* view,
 Status Gist::Search(
     const void* query,
     const std::function<bool(const void*, uint64_t)>& fn) const {
+  std::lock_guard<std::mutex> lock(mu_);
   if (root_ == storage::kInvalidPage) return Status::OK();
   // Iterative DFS with an explicit stack: this is the hottest read path
   // (every voting range query descends here).
@@ -263,6 +265,7 @@ Status Gist::Search(
 }
 
 Status Gist::Delete(const void* key, uint64_t datum) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (root_ == storage::kInvalidPage) return Status::NotFound("empty tree");
   std::string new_union;
   HERMES_ASSIGN_OR_RETURN(bool found,
@@ -319,6 +322,7 @@ StatusOr<bool> Gist::DeleteRecursive(storage::PageId node_id, const void* key,
 Status Gist::BulkLoad(
     const std::vector<std::pair<std::string, uint64_t>>& entries,
     double fill_factor) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (root_ != storage::kInvalidPage) {
     return Status::InvalidArgument("BulkLoad requires an empty tree");
   }
@@ -380,6 +384,7 @@ Status Gist::BulkLoad(
 }
 
 Status Gist::Validate() const {
+  std::lock_guard<std::mutex> lock(mu_);
   if (root_ == storage::kInvalidPage) {
     if (num_entries_ != 0) return Status::Corruption("entries in empty tree");
     return Status::OK();
@@ -427,6 +432,7 @@ Status Gist::ValidateRecursive(storage::PageId node_id, uint32_t depth,
 }
 
 StatusOr<Gist::NodeSnapshot> Gist::ReadNode(storage::PageId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
   HERMES_ASSIGN_OR_RETURN(storage::Page * page, pager_->Fetch(id));
   storage::PinnedPage pin(pager_.get(), page);
   GistNodeView view(page, key_size_);
@@ -439,6 +445,9 @@ StatusOr<Gist::NodeSnapshot> Gist::ReadNode(storage::PageId id) const {
   return snap;
 }
 
-Status Gist::Flush() { return pager_->Flush(); }
+Status Gist::Flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pager_->Flush();
+}
 
 }  // namespace hermes::gist

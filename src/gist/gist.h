@@ -3,6 +3,7 @@
 
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -67,6 +68,12 @@ struct GistStats {
 /// Deletion removes leaf entries and tightens ancestor keys but does not
 /// merge underfull nodes (PostgreSQL's GiST makes the same trade-off;
 /// space is reclaimed by dropping the index file).
+///
+/// Thread safety: every tree operation serializes on an internal mutex
+/// (even `Search` mutates the pager's LRU state), so one handle may be
+/// shared by concurrent readers — the service layer's shared-tree read
+/// path. Concurrent searches of the same index interleave whole calls,
+/// never partial descents.
 class Gist {
  public:
   /// Opens or creates a GiST at `fname`. The op class must outlive the tree
@@ -148,6 +155,8 @@ class Gist {
 
   std::string ComputeUnion(const GistNodeView& view) const;
 
+  /// Serializes public tree operations (see the class comment).
+  mutable std::mutex mu_;
   std::unique_ptr<storage::Pager> pager_;
   const GistOpClass* opclass_;
   size_t key_size_;

@@ -1,0 +1,54 @@
+#include "service/ingest_queue.h"
+
+#include <iterator>
+#include <utility>
+
+namespace hermes::service {
+
+IngestQueue::IngestQueue(size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+StatusOr<uint64_t> IngestQueue::Push(IngestBatch batch) {
+  std::unique_lock<std::mutex> lock(mu_);
+  can_push_.wait(lock,
+                 [this] { return closed_ || pending_.size() < capacity_; });
+  if (closed_) {
+    return Status::ResourceExhausted("ingest queue closed (server shutdown)");
+  }
+  batch.seq = ++next_seq_;
+  const uint64_t seq = batch.seq;
+  pending_.push_back(std::move(batch));
+  can_pop_.notify_one();
+  return seq;
+}
+
+bool IngestQueue::PopAll(std::vector<IngestBatch>* out) {
+  out->clear();
+  std::unique_lock<std::mutex> lock(mu_);
+  can_pop_.wait(lock, [this] { return closed_ || !pending_.empty(); });
+  if (pending_.empty()) return false;  // Closed and drained.
+  out->assign(std::make_move_iterator(pending_.begin()),
+              std::make_move_iterator(pending_.end()));
+  pending_.clear();
+  can_push_.notify_all();
+  return true;
+}
+
+void IngestQueue::Close() {
+  std::lock_guard<std::mutex> lock(mu_);
+  closed_ = true;
+  can_push_.notify_all();
+  can_pop_.notify_all();
+}
+
+uint64_t IngestQueue::last_enqueued_seq() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_seq_;
+}
+
+size_t IngestQueue::depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pending_.size();
+}
+
+}  // namespace hermes::service

@@ -1,0 +1,68 @@
+#ifndef HERMES_SERVICE_INGEST_QUEUE_H_
+#define HERMES_SERVICE_INGEST_QUEUE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/statusor.h"
+#include "traj/trajectory.h"
+
+namespace hermes::service {
+
+/// \brief One queued unit of asynchronous ingest: the trajectories of one
+/// `INSERT INTO <mod> ...` statement, bound for one MOD.
+struct IngestBatch {
+  std::string mod;  ///< Canonical (upper-case) MOD name.
+  std::vector<traj::Trajectory> trajectories;
+  /// Monotonic ticket assigned by `Push`; `FLUSH` waits until the worker
+  /// reports every ticket issued before the flush as applied.
+  uint64_t seq = 0;
+};
+
+/// \brief Bounded MPSC queue between client sessions (producers) and the
+/// server's single ingest worker (consumer).
+///
+/// `Push` blocks while the queue is at capacity — backpressure instead of
+/// unbounded memory under ingest storms. `PopAll` hands the worker every
+/// pending batch at once so one drain amortizes the per-batch store
+/// snapshot republication.
+class IngestQueue {
+ public:
+  explicit IngestQueue(size_t capacity = 1024);
+
+  /// Enqueues `batch` (blocking while full) and returns its ticket.
+  /// `ResourceExhausted` once the queue is closed (server shutdown).
+  StatusOr<uint64_t> Push(IngestBatch batch);
+
+  /// Blocks until batches are pending — swapping them all, in enqueue
+  /// order, into `*out` — or the queue is closed and drained (returns
+  /// false, `*out` left empty).
+  bool PopAll(std::vector<IngestBatch>* out);
+
+  /// Fails later `Push`es and wakes the worker so it can drain the
+  /// remainder and exit. Idempotent.
+  void Close();
+
+  /// Ticket of the most recently enqueued batch (0 = none yet).
+  uint64_t last_enqueued_seq() const;
+
+  /// Batches currently pending (queued, not yet popped).
+  size_t depth() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable can_push_;
+  std::condition_variable can_pop_;
+  std::deque<IngestBatch> pending_;
+  const size_t capacity_;
+  uint64_t next_seq_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace hermes::service
+
+#endif  // HERMES_SERVICE_INGEST_QUEUE_H_

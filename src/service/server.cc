@@ -1,0 +1,428 @@
+#include "service/server.h"
+
+#include <algorithm>
+#include <cctype>
+#include <utility>
+
+#include "service/client_session.h"
+#include "sql/query_functions.h"
+
+namespace hermes::service {
+
+// ---------------------------------------------------------------------------
+// Construction / shutdown
+// ---------------------------------------------------------------------------
+
+Server::Server(ServerOptions options, storage::Env* env)
+    : options_(std::move(options)),
+      queue_(options_.ingest_queue_capacity) {
+  if (env == nullptr) {
+    owned_env_ = storage::Env::NewMemEnv();
+    env_ = owned_env_.get();
+  } else {
+    env_ = env;
+  }
+  exec_ = std::make_unique<exec::ExecContext>(
+      std::max<size_t>(options_.threads, 1));
+}
+
+StatusOr<std::unique_ptr<Server>> Server::Start(ServerOptions options,
+                                                storage::Env* env) {
+  if (options.threads > 1024) {
+    return Status::InvalidArgument("ServerOptions.threads out of range");
+  }
+  // Session defaults bypass the Set-path validators (Settings::Register
+  // only checks non-null), so enforce the same domains here — otherwise
+  // every session would silently run with values SET would reject.
+  const sql::HermesSettingDefaults& d = options.session_defaults;
+  if (d.threads < 1 || d.threads > 1024) {
+    return Status::InvalidArgument(
+        "session_defaults.threads must be in [1, 1024]");
+  }
+  if (!(d.sigma > 0.0) || !(d.epsilon > 0.0)) {
+    return Status::InvalidArgument(
+        "session_defaults.sigma/epsilon must be > 0");
+  }
+  if (d.use_index != 0 && d.use_index != 1) {
+    return Status::InvalidArgument("session_defaults.use_index must be 0/1");
+  }
+  auto server = std::unique_ptr<Server>(new Server(std::move(options), env));
+  server->worker_ = std::thread([s = server.get()] { s->WorkerLoop(); });
+  return server;
+}
+
+Server::~Server() { Shutdown(); }
+
+void Server::Shutdown() {
+  std::lock_guard<std::mutex> lock(shutdown_mu_);
+  if (!worker_.joinable()) return;  // Already shut down.
+  queue_.Close();
+  worker_.join();
+}
+
+std::unique_ptr<ClientSession> Server::Connect() {
+  sessions_opened_.fetch_add(1, std::memory_order_relaxed);
+  sessions_active_.fetch_add(1, std::memory_order_relaxed);
+  return std::unique_ptr<ClientSession>(new ClientSession(this));
+}
+
+void Server::OnSessionClosed() {
+  sessions_active_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Catalog
+// ---------------------------------------------------------------------------
+
+std::string Server::Canonical(const std::string& name) {
+  return sql::CanonicalModName(name);
+}
+
+std::shared_ptr<Server::SharedMod> Server::FindMod(
+    const std::string& canonical) const {
+  std::lock_guard<std::mutex> lock(catalog_mu_);
+  auto it = mods_.find(canonical);
+  return it == mods_.end() ? nullptr : it->second;
+}
+
+void Server::Republish(SharedMod* mod) {
+  auto pub = std::make_shared<SharedMod::Published>();
+  pub->store = mod->store.Snapshot();
+  // One pinned epoch per published snapshot: `epochs_pinned` counts it
+  // (plus every reader-held snapshot) until the last holder lets go.
+  pub->arena = pub->store.ArenaSnapshot();
+  {
+    std::lock_guard<std::mutex> lock(mod->published_mu);
+    mod->published = std::move(pub);
+  }
+  snapshots_published_.fetch_add(1, std::memory_order_relaxed);
+}
+
+Status Server::CreateMod(const std::string& name) {
+  const std::string key = Canonical(name);
+  std::lock_guard<std::mutex> lock(catalog_mu_);
+  if (mods_.count(key) > 0) {
+    return Status::AlreadyExists("MOD " + key + " exists");
+  }
+  auto mod = std::make_shared<SharedMod>();
+  {
+    std::unique_lock<std::shared_mutex> wlock(mod->mu);
+    Republish(mod.get());
+  }
+  mods_.emplace(key, std::move(mod));
+  return Status::OK();
+}
+
+Status Server::DropMod(const std::string& name) {
+  const std::string key = Canonical(name);
+  // Remove from the catalog first, then drain: any batch still queued
+  // for the MOD — enqueued before or racing the drop — fails the
+  // worker's catalog lookup and surfaces as an ingest error instead of
+  // being applied to (and silently lost with) the orphaned store.
+  {
+    std::lock_guard<std::mutex> lock(catalog_mu_);
+    if (mods_.erase(key) == 0) {
+      return Status::NotFound("no MOD named " + key);
+    }
+  }
+  return Flush();
+}
+
+Status Server::RegisterStore(const std::string& name,
+                             traj::TrajectoryStore store) {
+  const std::string key = Canonical(name);
+  auto mod = std::make_shared<SharedMod>();
+  {
+    std::unique_lock<std::shared_mutex> wlock(mod->mu);
+    mod->store = std::move(store);
+    Republish(mod.get());
+  }
+  std::lock_guard<std::mutex> lock(catalog_mu_);
+  mods_[key] = std::move(mod);
+  return Status::OK();
+}
+
+StatusOr<std::pair<size_t, size_t>> Server::LoadMod(const std::string& name,
+                                                    const std::string& path) {
+  const std::string key = Canonical(name);
+  std::shared_ptr<SharedMod> mod;
+  bool created = false;
+  {
+    std::lock_guard<std::mutex> lock(catalog_mu_);
+    auto it = mods_.find(key);
+    if (it == mods_.end()) {
+      // Publish the (empty) snapshot before the MOD becomes visible in
+      // the catalog: a concurrent SELECT racing the load must find a
+      // valid — if still empty — snapshot, never a null one.
+      auto fresh = std::make_shared<SharedMod>();
+      {
+        std::unique_lock<std::shared_mutex> wlock(fresh->mu);
+        Republish(fresh.get());
+      }
+      it = mods_.emplace(key, std::move(fresh)).first;
+      created = true;
+    }
+    mod = it->second;
+  }
+  std::unique_lock<std::shared_mutex> wlock(mod->mu);
+  Status load = mod->store.LoadCsv(path);
+  if (!load.ok()) {
+    if (created) {
+      // A failed load must not leave a phantom empty MOD behind.
+      std::lock_guard<std::mutex> lock(catalog_mu_);
+      auto it = mods_.find(key);
+      if (it != mods_.end() && it->second == mod) mods_.erase(it);
+    }
+    return load;
+  }
+  // The shared tree no longer matches the store; the next QUT rebuilds.
+  mod->tree.reset();
+  mod->tree_params.clear();
+  mod->tree_next = 0;
+  Republish(mod.get());
+  return std::make_pair(mod->store.NumTrajectories(), mod->store.NumPoints());
+}
+
+StatusOr<std::shared_ptr<const traj::TrajectoryStore>> Server::SnapshotMod(
+    const std::string& name) const {
+  auto mod = FindMod(Canonical(name));
+  if (mod == nullptr) {
+    return Status::NotFound("no MOD named " + Canonical(name));
+  }
+  std::lock_guard<std::mutex> lock(mod->published_mu);
+  if (mod->published == nullptr) {
+    // Every creation path republishes before catalog insertion; this
+    // guards the invariant instead of dereferencing null.
+    return Status::Internal("MOD " + Canonical(name) +
+                            " has no published snapshot");
+  }
+  // Aliased: the handle keeps the whole published snapshot — store plus
+  // pinned arena epoch — alive for as long as any cursor holds it.
+  return std::shared_ptr<const traj::TrajectoryStore>(mod->published,
+                                                      &mod->published->store);
+}
+
+// ---------------------------------------------------------------------------
+// Ingest
+// ---------------------------------------------------------------------------
+
+StatusOr<uint64_t> Server::EnqueueInsert(const std::string& name,
+                                         std::vector<traj::Trajectory> batch) {
+  const std::string key = Canonical(name);
+  if (FindMod(key) == nullptr) {
+    return Status::NotFound("no MOD named " + key);
+  }
+  // The ack means "queued for ingest", so preconditions the worker would
+  // hit asynchronously must fail *here*: the ReTraTree rejects pieces
+  // from <2-sample trajectories, and a poisoned queue entry would only
+  // ever surface as a service-wide ingest_errors count.
+  for (const traj::Trajectory& t : batch) {
+    if (t.size() < 2) {
+      return Status::InvalidArgument(
+          "trajectory for object " + std::to_string(t.object_id()) +
+          " needs >= 2 samples");
+    }
+  }
+  IngestBatch b;
+  b.mod = key;
+  b.trajectories = std::move(batch);
+  HERMES_ASSIGN_OR_RETURN(uint64_t seq, queue_.Push(std::move(b)));
+  batches_enqueued_.fetch_add(1, std::memory_order_relaxed);
+  return seq;
+}
+
+Status Server::Flush() {
+  // Every ticket in `target` was a successful Push, and the worker
+  // applies (or error-counts) all of them before exiting — even during
+  // shutdown — so the wait always terminates.
+  const uint64_t target = queue_.last_enqueued_seq();
+  std::unique_lock<std::mutex> lock(flush_mu_);
+  flush_cv_.wait(lock, [&] { return applied_seq_ >= target; });
+  flushes_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+void Server::WorkerLoop() {
+  std::vector<IngestBatch> batches;
+  while (queue_.PopAll(&batches)) {
+    uint64_t max_seq = 0;
+    // Dedup in arrival order so republication happens once per MOD per
+    // drain, after all of its batches applied.
+    std::vector<std::shared_ptr<SharedMod>> touched;
+    for (IngestBatch& b : batches) {
+      max_seq = std::max(max_seq, b.seq);
+      auto mod = FindMod(b.mod);
+      if (mod == nullptr) {
+        // Dropped (or never created) while queued.
+        ingest_errors_.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      std::unique_lock<std::shared_mutex> wlock(mod->mu);
+      size_t added = 0;
+      Status st = Status::OK();
+      for (traj::Trajectory& t : b.trajectories) {
+        auto r = mod->store.Add(std::move(t));
+        if (!r.ok()) {
+          st = r.status();
+          break;
+        }
+        ++added;
+      }
+      if (st.ok() && added > 0 && mod->tree != nullptr) {
+        // Keep the shared tree caught up so QUT sees queued inserts
+        // right after a FLUSH without a rebuild. Advance from the tree's
+        // own cursor (not the batch start) so a query-path catch-up that
+        // raced ahead is never double-applied.
+        const auto size =
+            static_cast<traj::TrajectoryId>(mod->store.NumTrajectories());
+        if (mod->tree_next < size) {
+          st = mod->tree->InsertBatch(mod->store, exec_.get(),
+                                      mod->tree_next, size - mod->tree_next);
+          if (st.ok()) {
+            mod->tree_next = size;
+            tree_catchups_.fetch_add(1, std::memory_order_relaxed);
+          } else {
+            // Partially mutated tree: drop it so the next QUT rebuilds
+            // cleanly instead of double-applying the range.
+            mod->tree.reset();
+            mod->tree_params.clear();
+            mod->tree_next = 0;
+          }
+        }
+      }
+      if (!st.ok()) {
+        ingest_errors_.fetch_add(1, std::memory_order_relaxed);
+      }
+      trajectories_ingested_.fetch_add(added, std::memory_order_relaxed);
+      batches_applied_.fetch_add(1, std::memory_order_relaxed);
+      bool seen = false;
+      for (const auto& m : touched) seen = seen || m == mod;
+      if (!seen) touched.push_back(std::move(mod));
+    }
+    for (const auto& mod : touched) {
+      std::unique_lock<std::shared_mutex> wlock(mod->mu);
+      Republish(mod.get());
+    }
+    {
+      std::lock_guard<std::mutex> lock(flush_mu_);
+      applied_seq_ = std::max(applied_seq_, max_seq);
+    }
+    flush_cv_.notify_all();
+  }
+  // Drained and closed: release any flusher that raced shutdown.
+  {
+    std::lock_guard<std::mutex> lock(flush_mu_);
+    applied_seq_ = std::max(applied_seq_, queue_.last_enqueued_seq());
+  }
+  flush_cv_.notify_all();
+}
+
+// ---------------------------------------------------------------------------
+// QUT over the shared tree
+// ---------------------------------------------------------------------------
+
+StatusOr<std::unique_ptr<sql::RowCursor>> Server::QutQuery(
+    const std::string& name, double wi, double we,
+    const std::vector<double>& tree_params, exec::ExecStats* session_stats) {
+  if (tree_params.size() != 5) {
+    return Status::InvalidArgument(
+        "QUT tree params must be (tau, delta, t, d, gamma), got " +
+        std::to_string(tree_params.size()) + " value(s)");
+  }
+  auto mod = FindMod(Canonical(name));
+  if (mod == nullptr) {
+    return Status::NotFound("no MOD named " + Canonical(name));
+  }
+  auto fresh = [&](const SharedMod& m) {
+    return m.tree != nullptr && m.tree_params == tree_params &&
+           m.tree_next == m.store.NumTrajectories();
+  };
+  {
+    // Fast path: fresh tree, query under the shared lock — concurrent
+    // QUT readers proceed in parallel (HeapFile/Gist are internally
+    // locked), while the ingest worker waits its turn.
+    std::shared_lock<std::shared_mutex> rlock(mod->mu);
+    if (fresh(*mod)) {
+      return sql::QutQuery(mod->tree.get(), wi, we, session_stats);
+    }
+  }
+  std::unique_lock<std::shared_mutex> wlock(mod->mu);
+  if (!fresh(*mod)) {
+    // A failed build or catch-up leaves a partially mutated tree behind;
+    // dropping it forces the next query into a clean rebuild instead of
+    // retrying a range into poisoned state.
+    auto drop_tree = [&mod] {
+      mod->tree.reset();
+      mod->tree_params.clear();
+      mod->tree_next = 0;
+    };
+    if (mod->tree == nullptr || mod->tree_params != tree_params) {
+      const core::ReTraTreeParams params =
+          sql::MakeQutTreeParams(tree_params);
+      const std::string dir = options_.data_dir + "/" + Canonical(name) +
+                              "_tree_" + std::to_string(mod->tree_seq++);
+      drop_tree();
+      HERMES_ASSIGN_OR_RETURN(
+          mod->tree, core::ReTraTree::Open(env_, dir, params, exec_.get()));
+      Status st = mod->tree->InsertBatch(mod->store, exec_.get(), 0,
+                                         mod->store.NumTrajectories());
+      if (!st.ok()) {
+        drop_tree();
+        return st;
+      }
+      mod->tree_params = tree_params;
+      mod->tree_next =
+          static_cast<traj::TrajectoryId>(mod->store.NumTrajectories());
+    } else {
+      // Same params, new trajectories: incremental catch-up.
+      const auto n =
+          static_cast<traj::TrajectoryId>(mod->store.NumTrajectories());
+      Status st = mod->tree->InsertBatch(mod->store, exec_.get(),
+                                         mod->tree_next, n - mod->tree_next);
+      if (!st.ok()) {
+        drop_tree();
+        return st;
+      }
+      mod->tree_next = n;
+      tree_catchups_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  return sql::QutQuery(mod->tree.get(), wi, we, session_stats);
+}
+
+// ---------------------------------------------------------------------------
+// Stats
+// ---------------------------------------------------------------------------
+
+ServiceStats Server::Stats() const {
+  ServiceStats s;
+  s.sessions_opened = sessions_opened_.load(std::memory_order_relaxed);
+  s.sessions_active = sessions_active_.load(std::memory_order_relaxed);
+  s.ingest_queue_depth = queue_.depth();
+  s.batches_enqueued = batches_enqueued_.load(std::memory_order_relaxed);
+  s.batches_applied = batches_applied_.load(std::memory_order_relaxed);
+  s.trajectories_ingested =
+      trajectories_ingested_.load(std::memory_order_relaxed);
+  s.ingest_errors = ingest_errors_.load(std::memory_order_relaxed);
+  s.flushes = flushes_.load(std::memory_order_relaxed);
+  s.snapshots_published = snapshots_published_.load(std::memory_order_relaxed);
+  s.tree_catchups = tree_catchups_.load(std::memory_order_relaxed);
+  std::vector<std::shared_ptr<SharedMod>> mods;
+  {
+    std::lock_guard<std::mutex> lock(catalog_mu_);
+    s.mods = mods_.size();
+    for (const auto& [name, mod] : mods_) mods.push_back(mod);
+  }
+  for (const auto& mod : mods) {
+    // The builder's counters are internally locked; safe against the
+    // worker's concurrent appends.
+    const traj::SegmentArenaCounters c = mod->store.arena_counters();
+    s.epochs_pinned += c.epochs_pinned;
+    s.epoch_pins += c.epoch_pins;
+  }
+  s.ingest_split_us = exec_->stats().PhaseUs("ingest_split");
+  s.ingest_apply_us = exec_->stats().PhaseUs("ingest_apply");
+  return s;
+}
+
+}  // namespace hermes::service

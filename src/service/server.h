@@ -1,0 +1,217 @@
+#ifndef HERMES_SERVICE_SERVER_H_
+#define HERMES_SERVICE_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/statusor.h"
+#include "core/retratree.h"
+#include "exec/exec_context.h"
+#include "service/ingest_queue.h"
+#include "sql/cursor.h"
+#include "sql/settings.h"
+#include "storage/env.h"
+#include "traj/trajectory_store.h"
+
+namespace hermes::service {
+
+class ClientSession;
+
+/// \brief Server configuration.
+struct ServerOptions {
+  /// Worker threads of the server's own `ExecContext` — used by the
+  /// ingest worker's `InsertBatch` drains and shared-tree builds. Client
+  /// sessions parallelize their *own* statements via their per-session
+  /// `hermes.threads`.
+  size_t threads = 1;
+  /// Directory under the server env for ReTraTree partitions.
+  std::string data_dir = "hermes_service";
+  /// Pending-batch bound of the ingest queue before `Push` blocks.
+  size_t ingest_queue_capacity = 1024;
+  /// Initial `hermes.*` settings of every new client session.
+  sql::HermesSettingDefaults session_defaults;
+};
+
+/// \brief Monotonic service counters, surfaced as `SHOW SERVICE STATS`.
+struct ServiceStats {
+  uint64_t sessions_opened = 0;
+  uint64_t sessions_active = 0;
+  uint64_t mods = 0;
+  uint64_t ingest_queue_depth = 0;
+  uint64_t batches_enqueued = 0;
+  uint64_t batches_applied = 0;
+  uint64_t trajectories_ingested = 0;
+  uint64_t ingest_errors = 0;
+  uint64_t flushes = 0;
+  uint64_t snapshots_published = 0;
+  uint64_t tree_catchups = 0;
+  /// Arena epoch pins summed over all MODs: `epochs_pinned` counts
+  /// snapshots readers currently hold (the server's published snapshot
+  /// itself keeps one per MOD), `epoch_pins` the total ever handed out.
+  uint64_t epochs_pinned = 0;
+  uint64_t epoch_pins = 0;
+  /// Cumulative batch-ingest phase split recorded on the server context
+  /// (µs): the worker's drains plus query-path shared-tree builds and
+  /// catch-ups, which run the same `InsertBatch` pipeline.
+  int64_t ingest_split_us = 0;
+  int64_t ingest_apply_us = 0;
+};
+
+/// \brief The multi-session service: a shared catalog of MODs, a
+/// background ingest worker, and a factory for `ClientSession`s.
+///
+/// Ownership / threading (see docs/ARCHITECTURE.md "Service layer"):
+///
+///  - The server owns the env, the catalog, one `ExecContext`, the
+///    `IngestQueue`, and the worker thread. It must outlive every
+///    `ClientSession` it connects.
+///  - Each MOD holds the writable store (touched only by the ingest
+///    worker and DDL, under the MOD's writer lock), the shared ReTraTree
+///    (readers take the lock shared for QUT; the worker takes it
+///    exclusive to append), and an immutable *published snapshot* swapped
+///    in after every drain. Query sessions read published snapshots only
+///    and therefore never block on — or race with — ingest.
+///  - `INSERT` statements from sessions enqueue; the worker drains them
+///    through `ReTraTree::InsertBatch` on the server context, then
+///    republishes. `FLUSH` blocks until every batch enqueued before it is
+///    applied and visible.
+class Server {
+ public:
+  /// Starts the service (spawns the ingest worker). `env` defaults to a
+  /// private in-memory environment; pass a Posix env to persist
+  /// partitions under `options.data_dir`.
+  static StatusOr<std::unique_ptr<Server>> Start(ServerOptions options,
+                                                 storage::Env* env = nullptr);
+
+  ~Server();
+
+  /// Closes the queue, drains what is pending, and joins the worker.
+  /// Idempotent. Sessions stay usable for queries; later `INSERT`s fail
+  /// with `ResourceExhausted` ("ingest queue closed").
+  void Shutdown();
+
+  /// Opens an independent client session (its own settings + exec
+  /// context + cursors). The server must outlive it.
+  std::unique_ptr<ClientSession> Connect();
+
+  // ---- Catalog DDL (serialized internally; sessions call these) ----
+  Status CreateMod(const std::string& name);
+  /// Removes the MOD from the catalog, then drains the queue: batches
+  /// still queued for it count as ingest errors (a dropped table
+  /// discards pending writes). Published snapshots already handed to
+  /// readers stay valid (shared ownership).
+  Status DropMod(const std::string& name);
+  /// Loads CSV into the MOD (created if absent); returns
+  /// (trajectories, points) totals after the load.
+  StatusOr<std::pair<size_t, size_t>> LoadMod(const std::string& name,
+                                              const std::string& path);
+  /// Registers a pre-built store, replacing any existing MOD of that
+  /// name (mirroring `sql::Session::RegisterStore`; use `CreateMod` for
+  /// the AlreadyExists-checked DDL path).
+  Status RegisterStore(const std::string& name, traj::TrajectoryStore store);
+
+  /// The MOD's current published snapshot: immutable, shared, keeps its
+  /// arena epoch pinned while any caller (or cursor) holds it.
+  StatusOr<std::shared_ptr<const traj::TrajectoryStore>> SnapshotMod(
+      const std::string& name) const;
+
+  /// Queues trajectories for asynchronous ingest; returns the flush
+  /// ticket. The data becomes query-visible when the worker republishes.
+  StatusOr<uint64_t> EnqueueInsert(const std::string& name,
+                                   std::vector<traj::Trajectory> batch);
+
+  /// Blocks until everything enqueued before the call is applied and
+  /// republished.
+  Status Flush();
+
+  /// QUT over the MOD's *shared* tree. The tree is built (or caught up
+  /// with trajectories ingested since) under the MOD's exclusive lock
+  /// when stale; fresh-tree queries run under a shared lock, so
+  /// concurrent QUT readers proceed in parallel (the storage read path
+  /// is internally locked). `tree_params` is (tau, delta, t, d, gamma).
+  StatusOr<std::unique_ptr<sql::RowCursor>> QutQuery(
+      const std::string& name, double wi, double we,
+      const std::vector<double>& tree_params, exec::ExecStats* session_stats);
+
+  /// Point-in-time service counters.
+  ServiceStats Stats() const;
+
+  const ServerOptions& options() const { return options_; }
+  exec::ExecContext* exec() { return exec_.get(); }
+
+ private:
+  friend class ClientSession;
+
+  struct SharedMod {
+    /// Writer lock: ingest drains and DDL exclusive; QUT queries shared.
+    /// Snapshot readers never take it.
+    std::shared_mutex mu;
+    traj::TrajectoryStore store;
+    std::unique_ptr<core::ReTraTree> tree;
+    std::vector<double> tree_params;
+    /// First store id not yet inserted into the tree (catch-up cursor).
+    traj::TrajectoryId tree_next = 0;
+    uint64_t tree_seq = 0;
+
+    /// One published snapshot: the store copy plus one pinned arena
+    /// epoch, so `epochs_pinned` reflects it (and every cursor-held
+    /// copy) until the last reader lets go.
+    struct Published {
+      traj::TrajectoryStore store;
+      traj::SegmentArena arena;
+    };
+    mutable std::mutex published_mu;
+    std::shared_ptr<const Published> published;
+  };
+
+  Server(ServerOptions options, storage::Env* env);
+
+  static std::string Canonical(const std::string& name);
+  std::shared_ptr<SharedMod> FindMod(const std::string& canonical) const;
+  /// Re-publishes the MOD's snapshot from its current store state. The
+  /// caller must hold the MOD's writer lock (or otherwise be the only
+  /// mutator).
+  void Republish(SharedMod* mod);
+  void WorkerLoop();
+  void OnSessionClosed();
+
+  ServerOptions options_;
+  std::unique_ptr<storage::Env> owned_env_;
+  storage::Env* env_;
+  std::unique_ptr<exec::ExecContext> exec_;
+
+  mutable std::mutex catalog_mu_;
+  std::map<std::string, std::shared_ptr<SharedMod>> mods_;
+
+  IngestQueue queue_;
+  std::thread worker_;
+  /// Serializes Shutdown against itself (dtor + explicit call).
+  std::mutex shutdown_mu_;
+
+  std::mutex flush_mu_;
+  std::condition_variable flush_cv_;
+  uint64_t applied_seq_ = 0;
+
+  // Counters (relaxed: monotonic observability, no ordering contract).
+  std::atomic<uint64_t> sessions_opened_{0};
+  std::atomic<uint64_t> sessions_active_{0};
+  std::atomic<uint64_t> batches_enqueued_{0};
+  std::atomic<uint64_t> batches_applied_{0};
+  std::atomic<uint64_t> trajectories_ingested_{0};
+  std::atomic<uint64_t> ingest_errors_{0};
+  std::atomic<uint64_t> flushes_{0};
+  std::atomic<uint64_t> snapshots_published_{0};
+  std::atomic<uint64_t> tree_catchups_{0};
+};
+
+}  // namespace hermes::service
+
+#endif  // HERMES_SERVICE_SERVER_H_

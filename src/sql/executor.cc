@@ -2,23 +2,13 @@
 
 #include <algorithm>
 #include <cctype>
-#include <chrono>
 #include <utility>
 
-#include "baselines/convoys.h"
-#include "baselines/toptics.h"
-#include "baselines/traclus.h"
-#include "core/s2t_clustering.h"
+#include "sql/query_functions.h"
 
 namespace hermes::sql {
 
 namespace {
-
-int64_t NowUs() {
-  return std::chrono::duration_cast<std::chrono::microseconds>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
-}
 
 /// Executor errors carry the statement location of the offending token,
 /// same shape as tokenizer/parser diagnostics.
@@ -26,40 +16,11 @@ std::string At(size_t pos, const std::string& tok) {
   return ErrorLocation(pos, tok);
 }
 
-/// Resolves a scalar: the literal itself, or the bound value of `$N`.
-StatusOr<Value> EvalScalar(const ScalarExpr& e,
-                           const std::vector<Value>& binds) {
-  if (e.param == 0) return e.value;
-  if (e.param > static_cast<int>(binds.size())) {
-    return Status::InvalidArgument("parameter $" + std::to_string(e.param) +
-                                   " not bound" + At(e.pos, e.text));
-  }
-  return binds[e.param - 1];
-}
-
-/// Resolves a scalar that must be numeric, widening ints to double.
-StatusOr<double> EvalNumber(const ScalarExpr& e,
-                            const std::vector<Value>& binds) {
-  HERMES_ASSIGN_OR_RETURN(Value v, EvalScalar(e, binds));
-  if (!v.is_numeric()) {
-    return Status::InvalidArgument(
-        std::string("expected a number, got ") + ValueTypeName(v.type()) +
-        At(e.pos, e.text));
-  }
-  return v.AsDouble();
-}
-
 std::unique_ptr<RowCursor> MakeCursor(Table table) {
-  return std::make_unique<TableCursor>(std::move(table));
+  return MakeTableCursor(std::move(table));
 }
 
-/// Single-column acknowledgment table ("CREATE MOD X", ...).
-Table Ack(std::string status) {
-  Table table;
-  table.columns = {{"status", ValueType::kString}};
-  table.rows = {{Value::Str(std::move(status))}};
-  return table;
-}
+Table Ack(std::string status) { return AckTable(std::move(status)); }
 
 }  // namespace
 
@@ -116,66 +77,20 @@ Session::Session(storage::Env* env, std::string data_dir)
 
 void Session::RegisterSettings() {
   // Registration of compile-time-known settings cannot fail; the (void)
-  // casts acknowledge the Status.
-  (void)settings_.Register(
-      "hermes.threads", Value::Int(1),
-      "worker threads for analytic statements (1 = sequential)",
-      [](const Value& v) {
-        if (v.AsInt() < 1 || v.AsInt() > 1024) {
-          return Status::InvalidArgument(
-              "hermes.threads must be an integer in [1, 1024], got " +
-              v.ToString());
-        }
-        return Status::OK();
-      },
-      [this](const Value& v) {
-        const auto n = static_cast<size_t>(v.AsInt());
+  // cast acknowledges the Status. The knobs themselves are shared with
+  // the service layer (`RegisterHermesSettings`); only the threads hook —
+  // what *this* owner does when its parallelism changes — is ours:
+  // lazily-built trees hold the old context, so drop them before the
+  // shared context swap.
+  (void)RegisterHermesSettings(
+      &settings_, HermesSettingDefaults{}, [this](size_t n) {
         if (n != threads_) {
           threads_ = n;
-          // A context's thread count is fixed at construction; changing
-          // the setting swaps in a fresh context (and pool) for later
-          // statements. Lazily-built trees hold the old context, so drop
-          // them too. The retiring context's phase timings fold into the
-          // session archive so SHOW STATS keeps accumulating.
           for (auto& [name, entry] : mods_) {
             entry.tree.reset();
             entry.tree_params.clear();
           }
-          if (exec_ != nullptr) {
-            for (const auto& [phase, us] : exec_->stats().PhaseTimings()) {
-              session_stats_.RecordPhaseUs(phase, us);
-            }
-          }
-          exec_ = threads_ > 1 ? std::make_unique<exec::ExecContext>(threads_)
-                               : nullptr;
-        }
-        return Status::OK();
-      });
-  auto positive = [](const char* name) {
-    return [name](const Value& v) {
-      if (!(v.AsDouble() > 0.0)) {
-        return Status::InvalidArgument(std::string(name) +
-                                       " must be > 0, got " + v.ToString());
-      }
-      return Status::OK();
-    };
-  };
-  (void)settings_.Register(
-      "hermes.sigma", Value::Double(100.0),
-      "default S2T spatial bandwidth sigma when the statement omits it",
-      positive("hermes.sigma"));
-  (void)settings_.Register(
-      "hermes.epsilon", Value::Double(200.0),
-      "default S2T cluster radius epsilon when the statement omits it",
-      positive("hermes.epsilon"));
-  (void)settings_.Register(
-      "hermes.use_index", Value::Int(1),
-      "voting engine: 1/on = pg3D-Rtree index probe, 0/off = naive sweep",
-      [](const Value& v) {
-        if (v.AsInt() != 0 && v.AsInt() != 1) {
-          return Status::InvalidArgument(
-              "hermes.use_index must be 0/1 (or off/on), got " +
-              v.ToString());
+          SwapExecContext(n, &exec_, &session_stats_);
         }
         return Status::OK();
       });
@@ -183,23 +98,15 @@ void Session::RegisterSettings() {
 
 Status Session::RegisterStore(const std::string& name,
                               traj::TrajectoryStore store) {
-  std::string key = name;
-  for (char& c : key) {
-    c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
-  }
   ModEntry entry;
   entry.store = std::move(store);
-  mods_[key] = std::move(entry);
+  mods_[CanonicalModName(name)] = std::move(entry);
   return Status::OK();
 }
 
 const traj::TrajectoryStore* Session::FindStore(
     const std::string& name) const {
-  std::string key = name;
-  for (char& c : key) {
-    c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
-  }
-  auto it = mods_.find(key);
+  auto it = mods_.find(CanonicalModName(name));
   return it == mods_.end() ? nullptr : &it->second.store;
 }
 
@@ -235,28 +142,8 @@ StatusOr<PreparedStatement> Session::Prepare(const std::string& sql) {
 }
 
 StatusOr<Table> Session::ExecuteScript(const std::string& sql) {
-  HERMES_ASSIGN_OR_RETURN(std::vector<Statement> stmts, ParseScript(sql));
-  if (stmts.empty()) return Status::InvalidArgument("empty script");
-  Table last;
-  for (size_t k = 0; k < stmts.size(); ++k) {
-    auto prefix = [&] { return "statement " + std::to_string(k + 1) + ": "; };
-    if (stmts[k].num_params > 0) {
-      return Status::InvalidArgument(
-          prefix() + "script statements cannot carry $N placeholders");
-    }
-    auto cursor = ExecuteStatement(stmts[k], {});
-    if (!cursor.ok()) {
-      return Status(cursor.status().code(),
-                    prefix() + cursor.status().message());
-    }
-    auto table = (*cursor)->ToTable();
-    if (!table.ok()) {
-      return Status(table.status().code(),
-                    prefix() + table.status().message());
-    }
-    last = std::move(*table);
-  }
-  return last;
+  return RunScript(
+      sql, [this](const Statement& stmt) { return ExecuteStatement(stmt, {}); });
 }
 
 // ---------------------------------------------------------------------------
@@ -300,20 +187,12 @@ StatusOr<std::unique_ptr<RowCursor>> Session::ExecuteStatement(
     }
     case Statement::Kind::kInsert: {
       HERMES_ASSIGN_OR_RETURN(ModEntry * entry, FindMod(stmt.mod));
-      // Group rows by object id; each group extends/creates a trajectory.
-      // For simplicity each INSERT materializes one trajectory per object.
-      std::map<uint64_t, traj::Trajectory> builders;
-      for (const auto& row : stmt.rows) {
-        std::array<double, 4> cell{};
-        for (int k = 0; k < 4; ++k) {
-          HERMES_ASSIGN_OR_RETURN(cell[k], EvalNumber(row[k], binds));
-        }
-        const auto obj = static_cast<traj::ObjectId>(cell[0]);
-        auto [bit, fresh] = builders.try_emplace(obj, traj::Trajectory(obj));
-        HERMES_RETURN_NOT_OK(bit->second.Append({cell[2], cell[3], cell[1]}));
-      }
+      // One trajectory per object id (the service session shares this row
+      // evaluation, but queues the result instead of adding inline).
+      HERMES_ASSIGN_OR_RETURN(std::vector<traj::Trajectory> batch,
+                              BuildInsertTrajectories(stmt, binds));
       size_t added = 0;
-      for (auto& [obj, t] : builders) {
+      for (traj::Trajectory& t : batch) {
         auto r = entry->store.Add(std::move(t));
         if (!r.ok()) return r.status();
         ++added;
@@ -340,6 +219,11 @@ StatusOr<std::unique_ptr<RowCursor>> Session::ExecuteStatement(
     }
     case Statement::Kind::kShow:
       return ExecuteShow(stmt);
+    case Statement::Kind::kFlush:
+      // Embedded sessions ingest synchronously — every INSERT already
+      // applied before its ack — so FLUSH acknowledges trivially. The
+      // service session overrides this with a real queue drain.
+      return MakeCursor(Ack("FLUSH"));
     case Statement::Kind::kSelect:
       return ExecuteSelect(stmt, binds);
   }
@@ -348,45 +232,15 @@ StatusOr<std::unique_ptr<RowCursor>> Session::ExecuteStatement(
 
 StatusOr<std::unique_ptr<RowCursor>> Session::ExecuteShow(
     const Statement& stmt) {
+  if (stmt.setting == "service.stats") {
+    return Status::NotSupported(
+        "SHOW SERVICE STATS needs a service session "
+        "(service::Server::Connect); this is an embedded sql::Session");
+  }
   if (stmt.setting == "stats") {
-    // Session-accumulated stats plus the live exec context's, merged.
-    std::map<std::string, int64_t> merged = session_stats_.PhaseTimings();
-    if (exec_ != nullptr) {
-      for (const auto& [phase, us] : exec_->stats().PhaseTimings()) {
-        merged[phase] += us;
-      }
-    }
-    Table table;
-    table.columns = {{"phase", ValueType::kString},
-                     {"total_us", ValueType::kInt}};
-    for (const auto& [phase, us] : merged) {
-      table.rows.push_back({Value::Str(phase), Value::Int(us)});
-    }
-    return MakeCursor(std::move(table));
+    return MakeCursor(PhaseStatsTable(session_stats_, exec_.get()));
   }
-
-  Table table;
-  table.columns = {{"name", ValueType::kString},
-                   {"value", ValueType::kNull},  // Native type per setting.
-                   {"type", ValueType::kString},
-                   {"description", ValueType::kString}};
-  auto row = [](const Settings::Setting& s) {
-    return std::vector<Value>{Value::Str(s.name), s.value,
-                              Value::Str(ValueTypeName(s.type())),
-                              Value::Str(s.description)};
-  };
-  if (stmt.setting == "all") {
-    for (const Settings::Setting* s : settings_.All()) {
-      table.rows.push_back(row(*s));
-    }
-    return MakeCursor(std::move(table));
-  }
-  const Settings::Setting* s = settings_.Find(stmt.setting);
-  if (s == nullptr) {
-    return Status::NotSupported("unrecognized setting " + stmt.setting +
-                                At(stmt.setting_pos, stmt.setting));
-  }
-  table.rows.push_back(row(*s));
+  HERMES_ASSIGN_OR_RETURN(Table table, SettingsShowTable(settings_, stmt));
   return MakeCursor(std::move(table));
 }
 
@@ -406,10 +260,7 @@ StatusOr<std::unique_ptr<RowCursor>> Session::ExecuteSelect(
           " must be bound to a string, got " + ValueTypeName(v.type()) +
           At(stmt.mod_pos, "$" + std::to_string(stmt.mod_param)));
     }
-    mod = v.AsString();
-    for (char& c : mod) {
-      c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
-    }
+    mod = CanonicalModName(v.AsString());
   }
   HERMES_ASSIGN_OR_RETURN(ModEntry * entry, FindMod(mod));
   auto at_fn = [&stmt] { return At(stmt.function_pos, stmt.function); };
@@ -423,153 +274,6 @@ StatusOr<std::unique_ptr<RowCursor>> Session::ExecuteSelect(
     args.push_back(v);
   }
 
-  if (stmt.function == "STATS") {
-    const auto [t0, t1] = entry->store.TimeDomain();
-    const geom::Mbb3D b = entry->store.Bounds();
-    Table table;
-    table.columns = {{"trajectories", ValueType::kInt},
-                     {"points", ValueType::kInt},
-                     {"segments", ValueType::kInt},
-                     {"t_min", ValueType::kDouble},
-                     {"t_max", ValueType::kDouble},
-                     {"x_min", ValueType::kDouble},
-                     {"x_max", ValueType::kDouble},
-                     {"y_min", ValueType::kDouble},
-                     {"y_max", ValueType::kDouble}};
-    table.rows = {
-        {Value::Int(static_cast<int64_t>(entry->store.NumTrajectories())),
-         Value::Int(static_cast<int64_t>(entry->store.NumPoints())),
-         Value::Int(static_cast<int64_t>(entry->store.NumSegments())),
-         Value::Double(t0), Value::Double(t1), Value::Double(b.min_x),
-         Value::Double(b.max_x), Value::Double(b.min_y),
-         Value::Double(b.max_y)}};
-    return MakeCursor(std::move(table));
-  }
-
-  if (stmt.function == "RANGE") {
-    if (args.size() != 2) {
-      return Status::InvalidArgument("RANGE(D, Wi, We) takes 2 numbers" +
-                                     at_fn());
-    }
-    const double wi = args[0];
-    const double we = args[1];
-    if (we <= wi) {
-      return Status::InvalidArgument("empty window" + at_fn());
-    }
-    // Streams one row per qualifying trajectory; the slice happens in
-    // Next(), so a caller reading k rows slices only ~k trajectories.
-    const traj::TrajectoryStore* store = &entry->store;
-    size_t idx = 0;
-    GeneratorCursor::Generator gen =
-        [store, wi, we, idx](std::vector<Value>* row) mutable
-        -> StatusOr<bool> {
-      const auto& trajs = store->trajectories();
-      while (idx < trajs.size()) {
-        const traj::Trajectory& t = trajs[idx++];
-        const traj::Trajectory sliced = t.Slice(wi, we);
-        if (sliced.size() >= 2) {
-          *row = {Value::Int(static_cast<int64_t>(t.object_id())),
-                  Value::Int(static_cast<int64_t>(sliced.size()))};
-          return true;
-        }
-      }
-      return false;
-    };
-    return std::unique_ptr<RowCursor>(std::make_unique<GeneratorCursor>(
-        std::vector<Column>{{"object_id", ValueType::kInt},
-                            {"points_in_window", ValueType::kInt}},
-        std::move(gen)));
-  }
-
-  if (stmt.function == "S2T" || stmt.function == "S2T_MEMBERS") {
-    if (args.size() > 2) {
-      return Status::InvalidArgument(
-          stmt.function + "(D[, sigma[, eps]]) takes at most 2 numbers" +
-          at_fn());
-    }
-    // Trailing args omitted -> session defaults (SET hermes.sigma/...).
-    const double sigma =
-        args.size() >= 1 ? args[0] : settings_.Get("hermes.sigma")->AsDouble();
-    const double eps = args.size() >= 2
-                           ? args[1]
-                           : settings_.Get("hermes.epsilon")->AsDouble();
-    core::S2TParams params;
-    params.SetSigma(sigma).SetEpsilon(eps);
-    params.use_index = settings_.Get("hermes.use_index")->AsInt() != 0;
-    core::S2TClustering s2t(params);
-    HERMES_ASSIGN_OR_RETURN(core::S2TResult result,
-                            s2t.Run(entry->store, exec_.get()));
-    // A live context records the s2t_* phases itself (core::RunPhases);
-    // exporting here too would double-count them in SHOW STATS.
-    if (exec_ == nullptr) result.timings.ExportTo(&session_stats_);
-
-    if (stmt.function == "S2T") {
-      Table table;
-      table.columns = {{"cluster_id", ValueType::kInt},
-                       {"size", ValueType::kInt},
-                       {"rep_object", ValueType::kInt},
-                       {"start", ValueType::kDouble},
-                       {"end", ValueType::kDouble}};
-      for (size_t ci = 0; ci < result.clustering.clusters.size(); ++ci) {
-        const auto& c = result.clustering.clusters[ci];
-        const auto& rep = result.sub_trajectories[c.representative];
-        table.rows.push_back(
-            {Value::Int(static_cast<int64_t>(ci)),
-             Value::Int(static_cast<int64_t>(c.members.size())),
-             Value::Int(static_cast<int64_t>(rep.object_id)),
-             Value::Double(rep.StartTime()), Value::Double(rep.EndTime())});
-      }
-      table.rows.push_back(
-          {Value::Str("outliers"),
-           Value::Int(static_cast<int64_t>(result.clustering.outliers.size())),
-           Value::Null(), Value::Null(), Value::Null()});
-      return MakeCursor(std::move(table));
-    }
-
-    // S2T_MEMBERS: one row per cluster member (clusters in order), then
-    // one per outlier with a NULL cluster_id. The clustering ran eagerly
-    // above (it is the dominant cost); rows materialize on demand.
-    struct MembersState {
-      core::S2TResult result;
-      size_t ci = 0, mi = 0, oi = 0;
-    };
-    auto state = std::make_shared<MembersState>();
-    state->result = std::move(result);
-    GeneratorCursor::Generator gen =
-        [state](std::vector<Value>* row) -> StatusOr<bool> {
-      const auto& r = state->result;
-      auto fill = [&](Value cluster_id, size_t sub_index) {
-        const traj::SubTrajectory& sub = r.sub_trajectories[sub_index];
-        *row = {std::move(cluster_id),
-                Value::Int(static_cast<int64_t>(sub.object_id)),
-                Value::Double(sub.StartTime()), Value::Double(sub.EndTime()),
-                Value::Int(static_cast<int64_t>(sub.points.size()))};
-      };
-      while (state->ci < r.clustering.clusters.size()) {
-        const auto& c = r.clustering.clusters[state->ci];
-        if (state->mi < c.members.size()) {
-          fill(Value::Int(static_cast<int64_t>(state->ci)),
-               c.members[state->mi++]);
-          return true;
-        }
-        ++state->ci;
-        state->mi = 0;
-      }
-      if (state->oi < r.clustering.outliers.size()) {
-        fill(Value::Null(), r.clustering.outliers[state->oi++]);
-        return true;
-      }
-      return false;
-    };
-    return std::unique_ptr<RowCursor>(std::make_unique<GeneratorCursor>(
-        std::vector<Column>{{"cluster_id", ValueType::kInt},
-                            {"object_id", ValueType::kInt},
-                            {"start", ValueType::kDouble},
-                            {"end", ValueType::kDouble},
-                            {"points", ValueType::kInt}},
-        std::move(gen)));
-  }
-
   if (stmt.function == "QUT") {
     if (args.size() != 7) {
       return Status::InvalidArgument(
@@ -580,13 +284,7 @@ StatusOr<std::unique_ptr<RowCursor>> Session::ExecuteSelect(
     const double we = args[1];
     const std::vector<double> tree_params(args.begin() + 2, args.end());
     if (entry->tree == nullptr || entry->tree_params != tree_params) {
-      core::ReTraTreeParams params;
-      params.tau = tree_params[0];
-      params.delta = tree_params[1];
-      params.t_align = tree_params[2];
-      params.d_assign = tree_params[3];
-      params.gamma = static_cast<size_t>(tree_params[4]);
-      params.s2t.SetSigma(params.d_assign).SetEpsilon(params.d_assign);
+      const core::ReTraTreeParams params = MakeQutTreeParams(tree_params);
       const std::string dir =
           data_dir_ + "/tree_" + std::to_string(tree_seq_++);
       HERMES_ASSIGN_OR_RETURN(
@@ -594,7 +292,7 @@ StatusOr<std::unique_ptr<RowCursor>> Session::ExecuteSelect(
       HERMES_RETURN_NOT_OK(
           entry->tree->InsertStore(entry->store, exec_.get()));
       entry->tree_params = tree_params;
-      // Same coverage as the S2T branch: without a live context (which
+      // Same coverage as the S2T path: without a live context (which
       // records for itself) the fresh tree's cumulative S2T timings — and
       // the batch-ingest phase split — are exactly this build's; archive
       // them for SHOW STATS.
@@ -606,119 +304,21 @@ StatusOr<std::unique_ptr<RowCursor>> Session::ExecuteSelect(
                                      entry->tree->stats().ingest_apply_us);
       }
     }
-    core::QuTClustering qut(entry->tree.get());
-    const int64_t t0 = NowUs();
-    HERMES_ASSIGN_OR_RETURN(core::QuTResult result, qut.Query(wi, we));
-    session_stats_.RecordPhaseUs("qut_query", NowUs() - t0);
-    Table table;
-    table.columns = {{"cluster_id", ValueType::kInt},
-                     {"pieces", ValueType::kInt},
-                     {"members", ValueType::kInt},
-                     {"start", ValueType::kDouble},
-                     {"end", ValueType::kDouble}};
-    for (size_t ci = 0; ci < result.clusters.size(); ++ci) {
-      const auto& c = result.clusters[ci];
-      table.rows.push_back(
-          {Value::Int(static_cast<int64_t>(ci)),
-           Value::Int(static_cast<int64_t>(c.representatives.size())),
-           Value::Int(static_cast<int64_t>(c.members.size())),
-           Value::Double(c.StartTime()), Value::Double(c.EndTime())});
-    }
-    table.rows.push_back(
-        {Value::Str("outliers"), Value::Null(),
-         Value::Int(static_cast<int64_t>(result.outliers.size())),
-         Value::Double(wi), Value::Double(we)});
-    return MakeCursor(std::move(table));
+    return QutQuery(entry->tree.get(), wi, we, &session_stats_);
   }
 
-  if (stmt.function == "TRACLUS") {
-    if (args.size() != 2) {
-      return Status::InvalidArgument(
-          "TRACLUS(D, eps, min_lns) takes 2 numbers" + at_fn());
-    }
-    baselines::TraclusParams params;
-    params.eps = args[0];
-    params.min_lns = static_cast<size_t>(args[1]);
-    const baselines::TraclusResult result =
-        baselines::RunTraclus(entry->store, params);
-    Table table;
-    table.columns = {{"cluster_id", ValueType::kInt},
-                     {"segments", ValueType::kInt},
-                     {"trajectories", ValueType::kInt},
-                     {"rep_points", ValueType::kInt}};
-    for (size_t ci = 0; ci < result.clusters.size(); ++ci) {
-      const auto& c = result.clusters[ci];
-      table.rows.push_back(
-          {Value::Int(static_cast<int64_t>(ci)),
-           Value::Int(static_cast<int64_t>(c.segment_indices.size())),
-           Value::Int(static_cast<int64_t>(c.distinct_trajectories)),
-           Value::Int(static_cast<int64_t>(c.representative.size()))});
-    }
-    table.rows.push_back(
-        {Value::Str("noise"),
-         Value::Int(static_cast<int64_t>(result.noise.size())), Value::Null(),
-         Value::Null()});
-    return MakeCursor(std::move(table));
-  }
-
-  if (stmt.function == "TOPTICS") {
-    if (args.size() != 2) {
-      return Status::InvalidArgument(
-          "TOPTICS(D, eps, min_pts) takes 2 numbers" + at_fn());
-    }
-    baselines::TOpticsParams params;
-    params.eps = args[0];
-    params.min_pts = static_cast<size_t>(args[1]);
-    const baselines::TOpticsResult result =
-        baselines::RunTOptics(entry->store, params);
-    Table table;
-    table.columns = {{"cluster_id", ValueType::kInt},
-                     {"trajectories", ValueType::kInt}};
-    std::vector<size_t> sizes(result.num_clusters, 0);
-    size_t noise = 0;
-    for (int label : result.labels) {
-      if (label >= 0) {
-        ++sizes[label];
-      } else {
-        ++noise;
-      }
-    }
-    for (size_t ci = 0; ci < sizes.size(); ++ci) {
-      table.rows.push_back({Value::Int(static_cast<int64_t>(ci)),
-                            Value::Int(static_cast<int64_t>(sizes[ci]))});
-    }
-    table.rows.push_back(
-        {Value::Str("noise"), Value::Int(static_cast<int64_t>(noise))});
-    return MakeCursor(std::move(table));
-  }
-
-  if (stmt.function == "CONVOYS") {
-    if (args.size() != 4) {
-      return Status::InvalidArgument(
-          "CONVOYS(D, eps, m, k, dt) takes 4 numbers" + at_fn());
-    }
-    baselines::ConvoyParams params;
-    params.eps = args[0];
-    params.m = static_cast<size_t>(args[1]);
-    params.k = static_cast<size_t>(args[2]);
-    params.snapshot_dt = args[3];
-    const auto convoys = baselines::DiscoverConvoys(entry->store, params);
-    Table table;
-    table.columns = {{"convoy_id", ValueType::kInt},
-                     {"objects", ValueType::kInt},
-                     {"start", ValueType::kDouble},
-                     {"end", ValueType::kDouble}};
-    for (size_t ci = 0; ci < convoys.size(); ++ci) {
-      table.rows.push_back(
-          {Value::Int(static_cast<int64_t>(ci)),
-           Value::Int(static_cast<int64_t>(convoys[ci].objects.size())),
-           Value::Double(convoys[ci].start_time),
-           Value::Double(convoys[ci].end_time)});
-    }
-    return MakeCursor(std::move(table));
-  }
-
-  return Status::NotSupported("unknown function " + stmt.function + at_fn());
+  // Everything else evaluates through the shared query functions — the
+  // same code path a service ClientSession runs over its snapshots. The
+  // embedded session's store outlives its cursors by contract, so a
+  // non-owning handle suffices.
+  QueryEnv env;
+  env.store = BorrowStore(&entry->store);
+  env.exec = exec_.get();
+  env.session_stats = &session_stats_;
+  env.default_sigma = settings_.Get("hermes.sigma")->AsDouble();
+  env.default_epsilon = settings_.Get("hermes.epsilon")->AsDouble();
+  env.use_index = settings_.Get("hermes.use_index")->AsInt() != 0;
+  return EvalSelectFunction(stmt.function, args, env, at_fn());
 }
 
 }  // namespace hermes::sql

@@ -160,10 +160,21 @@ StatusOr<Statement> ParseOne(TokenCursor* cur) {
       return Status::InvalidArgument("expected setting value" + At(v));
     }
   } else if (head == "SHOW") {
-    // SHOW hermes.<setting> | SHOW ALL | SHOW STATS.
+    // SHOW hermes.<setting> | SHOW ALL | SHOW STATS | SHOW SERVICE STATS.
     stmt.kind = Statement::Kind::kShow;
     HERMES_ASSIGN_OR_RETURN(stmt.setting,
                             ExpectSettingName(cur, &stmt.setting_pos));
+    if (stmt.setting == "service" &&
+        cur->Peek().kind == TokenKind::kIdentifier) {
+      // The two-word service pseudo-target, canonicalized with a dot so
+      // it cannot collide with a registered setting name.
+      HERMES_RETURN_NOT_OK(cur->ExpectKeyword("STATS"));
+      stmt.setting = "service.stats";
+    }
+  } else if (head == "FLUSH") {
+    // FLUSH: wait until every previously queued INSERT is applied and
+    // published (a no-op acknowledgment for synchronous-ingest sessions).
+    stmt.kind = Statement::Kind::kFlush;
   } else if (head == "SELECT") {
     stmt.kind = Statement::Kind::kSelect;
     const Token& fn = cur->Peek();

@@ -55,6 +55,8 @@ struct ScalarExpr {
 ///   SELECT QUT(name, Wi, We, tau, delta, t, d, gamma);
 ///   SET hermes.<setting> = value;             -- number|'string'|on|off
 ///   SHOW hermes.<setting>; | SHOW ALL; | SHOW STATS;
+///   SHOW SERVICE STATS;                       -- service-layer counters
+///   FLUSH;                                    -- drain queued async ingest
 struct Statement {
   enum class Kind {
     kCreateMod,
@@ -64,6 +66,7 @@ struct Statement {
     kSelect,
     kSet,
     kShow,
+    kFlush,
   };
   Kind kind = Kind::kSelect;
   std::string mod;       ///< Target MOD name (upper-cased).
@@ -78,7 +81,8 @@ struct Statement {
   std::vector<ScalarExpr> args;  ///< SELECT scalar arguments.
   std::string setting;   ///< SET/SHOW name, canonical lower-case
                          ///< ("hermes.threads"); SHOW also accepts the
-                         ///< pseudo-names "all" and "stats".
+                         ///< pseudo-names "all", "stats", and
+                         ///< "service.stats" (spelled SERVICE STATS).
   size_t setting_pos = 0;   ///< Byte offset of the setting name token.
   ScalarExpr set_value;     ///< SET right-hand side.
   int num_params = 0;    ///< Highest `$N` placeholder index (0 = none).

@@ -101,4 +101,53 @@ std::vector<const Settings::Setting*> Settings::All() const {
   return out;
 }
 
+Status RegisterHermesSettings(
+    Settings* settings, const HermesSettingDefaults& defaults,
+    std::function<Status(size_t)> on_threads_change) {
+  HERMES_RETURN_NOT_OK(settings->Register(
+      "hermes.threads", Value::Int(defaults.threads),
+      "worker threads for analytic statements (1 = sequential)",
+      [](const Value& v) {
+        if (v.AsInt() < 1 || v.AsInt() > 1024) {
+          return Status::InvalidArgument(
+              "hermes.threads must be an integer in [1, 1024], got " +
+              v.ToString());
+        }
+        return Status::OK();
+      },
+      [hook = std::move(on_threads_change)](const Value& v) {
+        if (!hook) return Status::OK();
+        return hook(static_cast<size_t>(v.AsInt()));
+      }));
+  auto positive = [](const char* name) {
+    return [name](const Value& v) {
+      if (!(v.AsDouble() > 0.0)) {
+        return Status::InvalidArgument(std::string(name) +
+                                       " must be > 0, got " + v.ToString());
+      }
+      return Status::OK();
+    };
+  };
+  HERMES_RETURN_NOT_OK(settings->Register(
+      "hermes.sigma", Value::Double(defaults.sigma),
+      "default S2T spatial bandwidth sigma when the statement omits it",
+      positive("hermes.sigma")));
+  HERMES_RETURN_NOT_OK(settings->Register(
+      "hermes.epsilon", Value::Double(defaults.epsilon),
+      "default S2T cluster radius epsilon when the statement omits it",
+      positive("hermes.epsilon")));
+  HERMES_RETURN_NOT_OK(settings->Register(
+      "hermes.use_index", Value::Int(defaults.use_index),
+      "voting engine: 1/on = pg3D-Rtree index probe, 0/off = naive sweep",
+      [](const Value& v) {
+        if (v.AsInt() != 0 && v.AsInt() != 1) {
+          return Status::InvalidArgument(
+              "hermes.use_index must be 0/1 (or off/on), got " +
+              v.ToString());
+        }
+        return Status::OK();
+      }));
+  return Status::OK();
+}
+
 }  // namespace hermes::sql

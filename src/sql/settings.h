@@ -71,6 +71,30 @@ class Settings {
   std::map<std::string, Setting> settings_;
 };
 
+/// \brief Defaults for the standard `hermes.*` knobs. The service server
+/// keeps one of these and hands it to every new client session, so fresh
+/// sessions start from the server's configuration while staying free to
+/// diverge via their own `SET`s.
+struct HermesSettingDefaults {
+  int64_t threads = 1;
+  double sigma = 100.0;
+  double epsilon = 200.0;
+  int64_t use_index = 1;
+};
+
+/// \brief Registers the standard `hermes.*` knobs (threads / sigma /
+/// epsilon / use_index) into `settings` with the shared validators.
+///
+/// Every owner — the embedded `sql::Session` and each
+/// `service::ClientSession` — registers into its *own* `Settings`
+/// instance: settings are session-scoped state, never process-global, so
+/// two sessions with different `hermes.threads` or bandwidths cannot
+/// interfere. `on_threads_change` (optional) fires after `hermes.threads`
+/// passes validation, letting the owner swap its `ExecContext`.
+Status RegisterHermesSettings(Settings* settings,
+                              const HermesSettingDefaults& defaults,
+                              std::function<Status(size_t)> on_threads_change);
+
 }  // namespace hermes::sql
 
 #endif  // HERMES_SQL_SETTINGS_H_

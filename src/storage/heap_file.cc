@@ -92,16 +92,16 @@ Status HeapFile::SaveMeta() {
   HERMES_ASSIGN_OR_RETURN(Page * meta, pager_->Fetch(0));
   PinnedPage pin(pager_.get(), meta);
   std::memcpy(meta->data.data() + kMetaTailOff, &tail_page_, 4);
-  char buf[8];
-  std::memcpy(buf, &live_records_, 8);
-  std::memcpy(meta->data.data() + kMetaLiveOff, buf, 8);
-  std::memcpy(buf, &total_records_, 8);
-  std::memcpy(meta->data.data() + kMetaTotalOff, buf, 8);
+  const uint64_t live = live_records_.load(std::memory_order_relaxed);
+  const uint64_t total = total_records_.load(std::memory_order_relaxed);
+  std::memcpy(meta->data.data() + kMetaLiveOff, &live, 8);
+  std::memcpy(meta->data.data() + kMetaTotalOff, &total, 8);
   pin.MarkDirty();
   return Status::OK();
 }
 
 StatusOr<RecordId> HeapFile::Append(const std::string& record) {
+  std::lock_guard<std::mutex> lock(mu_);
   const size_t need = record.size();
   if (need + kDataHeaderSize + kSlotSize > kPageSize) {
     return Status::InvalidArgument("record too large for a page");
@@ -145,6 +145,7 @@ StatusOr<RecordId> HeapFile::Append(const std::string& record) {
 }
 
 StatusOr<std::string> HeapFile::Read(const RecordId& rid) const {
+  std::lock_guard<std::mutex> lock(mu_);
   if (!rid.valid() || rid.page == 0 || rid.page >= pager_->num_pages()) {
     return Status::NotFound("invalid record id");
   }
@@ -161,6 +162,7 @@ StatusOr<std::string> HeapFile::Read(const RecordId& rid) const {
 }
 
 Status HeapFile::Delete(const RecordId& rid) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (!rid.valid() || rid.page == 0 || rid.page >= pager_->num_pages()) {
     return Status::NotFound("invalid record id");
   }
@@ -181,6 +183,7 @@ Status HeapFile::Delete(const RecordId& rid) {
 
 Status HeapFile::Scan(
     const std::function<bool(const RecordId&, const std::string&)>& fn) const {
+  std::lock_guard<std::mutex> lock(mu_);
   for (PageId pid = 1; pid < pager_->num_pages(); ++pid) {
     HERMES_ASSIGN_OR_RETURN(Page * page, pager_->Fetch(pid));
     PinnedPage pin(pager_.get(), page);
@@ -197,7 +200,10 @@ Status HeapFile::Scan(
   return Status::OK();
 }
 
-Status HeapFile::Flush() { return pager_->Flush(); }
+Status HeapFile::Flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pager_->Flush();
+}
 
 const PagerStats& HeapFile::io_stats() const { return pager_->stats(); }
 

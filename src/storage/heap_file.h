@@ -1,8 +1,10 @@
 #ifndef HERMES_STORAGE_HEAP_FILE_H_
 #define HERMES_STORAGE_HEAP_FILE_H_
 
+#include <atomic>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "common/status.h"
@@ -41,6 +43,12 @@ struct RecordId {
 /// page end, record bytes from the header). Records are immutable once
 /// written; `Delete` installs a tombstone. Space is reclaimed by dropping
 /// the whole partition, matching the engine's usage.
+///
+/// Thread safety: all record operations serialize on an internal mutex
+/// (the pager's buffer pool is not concurrency-safe), so one handle may be
+/// shared by concurrent readers — the service layer's shared-tree read
+/// path, where several sessions sweep the same partition at once. Writers
+/// still need external coordination against `PartitionManager::Drop`.
 class HeapFile {
  public:
   /// Opens or creates a heap file backed by `fname` under `env`.
@@ -64,9 +72,13 @@ class HeapFile {
       const;
 
   /// Number of live (non-deleted) records.
-  uint64_t live_records() const { return live_records_; }
+  uint64_t live_records() const {
+    return live_records_.load(std::memory_order_relaxed);
+  }
   /// Total appended records including tombstoned ones.
-  uint64_t total_records() const { return total_records_; }
+  uint64_t total_records() const {
+    return total_records_.load(std::memory_order_relaxed);
+  }
 
   Status Flush();
 
@@ -78,10 +90,13 @@ class HeapFile {
   Status LoadMeta();
   Status SaveMeta();
 
+  /// Serializes every pager access (reads mutate the buffer pool's LRU
+  /// state, so even read-read sharing needs it).
+  mutable std::mutex mu_;
   std::unique_ptr<Pager> pager_;
   PageId tail_page_ = kInvalidPage;  // Last data page (append target).
-  uint64_t live_records_ = 0;
-  uint64_t total_records_ = 0;
+  std::atomic<uint64_t> live_records_{0};
+  std::atomic<uint64_t> total_records_{0};
 };
 
 }  // namespace hermes::storage

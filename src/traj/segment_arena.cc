@@ -70,12 +70,19 @@ SegmentArena SegmentArenaBuilder::Snapshot() const {
     epoch_valid_ = true;
     ++counters_.epochs_published;
   }
-  return cached_epoch_;
+  // The internal cache itself is never pinned; every handed-out snapshot
+  // carries one pin that its copies share.
+  SegmentArena out = cached_epoch_;
+  out.pin_ = std::make_shared<const EpochPin>(pins_);
+  return out;
 }
 
 SegmentArenaCounters SegmentArenaBuilder::counters() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return counters_;
+  SegmentArenaCounters out = counters_;
+  out.epochs_pinned = pins_->live.load(std::memory_order_relaxed);
+  out.epoch_pins = pins_->total.load(std::memory_order_relaxed);
+  return out;
 }
 
 void SegmentArenaBuilder::CopyFrom(const SegmentArenaBuilder& o) {
@@ -91,6 +98,9 @@ void SegmentArenaBuilder::CopyFrom(const SegmentArenaBuilder& o) {
   counters_ = o.counters_;
   cached_epoch_ = o.cached_epoch_;
   epoch_valid_ = o.epoch_valid_;
+  // Copies (store snapshots) stay in the source's pin lineage so the
+  // service sees one fleet-wide pin count per MOD.
+  pins_ = o.pins_;
 }
 
 void SegmentArenaBuilder::MoveFrom(SegmentArenaBuilder&& o) {
@@ -101,12 +111,14 @@ void SegmentArenaBuilder::MoveFrom(SegmentArenaBuilder&& o) {
   counters_ = o.counters_;
   cached_epoch_ = std::move(o.cached_epoch_);
   epoch_valid_ = o.epoch_valid_;
+  pins_ = o.pins_;
   o.blocks_.clear();
   o.offsets_ = {0};
   o.rows_ = 0;
   o.counters_ = {};
   o.cached_epoch_ = {};
   o.epoch_valid_ = false;
+  o.pins_ = std::make_shared<EpochPinRegistry>();
 }
 
 }  // namespace hermes::traj

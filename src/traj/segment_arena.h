@@ -2,6 +2,7 @@
 #define HERMES_TRAJ_SEGMENT_ARENA_H_
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -41,6 +42,39 @@ struct SegmentArenaCounters {
   /// Full re-materializations of already-appended rows. The append path
   /// never performs one; the counter exists so tests can prove it.
   uint64_t full_rebuilds = 0;
+  /// Epoch pins: every `Snapshot()` hands out one pin, released when the
+  /// last copy of that snapshot dies. `epochs_pinned` is the live count
+  /// (readers currently sweeping an epoch), `epoch_pins` the total handed
+  /// out — the service layer's `SHOW SERVICE STATS` surfaces both.
+  uint64_t epochs_pinned = 0;
+  uint64_t epoch_pins = 0;
+};
+
+/// \brief Pin bookkeeping shared by one builder lineage (builder copies —
+/// e.g. store snapshots — share the registry, so a service reports one
+/// fleet-wide live-pin count per MOD regardless of how many snapshot
+/// copies exist).
+struct EpochPinRegistry {
+  std::atomic<uint64_t> live{0};
+  std::atomic<uint64_t> total{0};
+};
+
+/// \brief RAII pin: one per `Snapshot()` call, shared (via `shared_ptr`)
+/// by every copy of that snapshot; the registry's live count drops when
+/// the last copy is destroyed.
+class EpochPin {
+ public:
+  explicit EpochPin(std::shared_ptr<EpochPinRegistry> reg)
+      : reg_(std::move(reg)) {
+    reg_->live.fetch_add(1, std::memory_order_relaxed);
+    reg_->total.fetch_add(1, std::memory_order_relaxed);
+  }
+  ~EpochPin() { reg_->live.fetch_sub(1, std::memory_order_relaxed); }
+  EpochPin(const EpochPin&) = delete;
+  EpochPin& operator=(const EpochPin&) = delete;
+
+ private:
+  std::shared_ptr<EpochPinRegistry> reg_;
 };
 
 /// \brief Structure-of-arrays view of every 3D segment of a
@@ -133,6 +167,9 @@ class SegmentArena {
   std::vector<std::shared_ptr<const SegmentBlock>> blocks_;
   std::shared_ptr<const std::vector<size_t>> offsets_;
   size_t rows_ = 0;
+  /// Held while any copy of this published epoch is alive; null for
+  /// default-constructed arenas and the builder's internal cache.
+  std::shared_ptr<const EpochPin> pin_;
 };
 
 /// \brief The appendable side of the arena: `TrajectoryStore::Add` feeds
@@ -185,6 +222,9 @@ class SegmentArenaBuilder {
   mutable SegmentArenaCounters counters_;  // epochs_published bumps in const Snapshot.
   mutable SegmentArena cached_epoch_;
   mutable bool epoch_valid_ = false;
+  /// Shared by builder copies (see `EpochPinRegistry`).
+  std::shared_ptr<EpochPinRegistry> pins_ =
+      std::make_shared<EpochPinRegistry>();
 };
 
 }  // namespace hermes::traj

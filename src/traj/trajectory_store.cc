@@ -14,23 +14,46 @@ StatusOr<TrajectoryId> TrajectoryStore::Add(Trajectory trajectory) {
   if (trajectory.empty()) {
     return Status::InvalidArgument("empty trajectory");
   }
+  // The whole append happens under the snapshot lock, so a concurrent
+  // `Snapshot` sees the list and the arena at the same trajectory count.
+  std::lock_guard<std::mutex> lock(mu_);
   const TrajectoryId id = trajectories_.size();
   num_points_ += trajectory.size();
   by_object_[trajectory.object_id()].push_back(id);
-  trajectories_.push_back(std::move(trajectory));
-  arena_.Append(trajectories_.back(), id);
+  trajectories_.push_back(
+      std::make_shared<const Trajectory>(std::move(trajectory)));
+  arena_.Append(*trajectories_.back(), id);
   return id;
 }
 
 const Trajectory& TrajectoryStore::Get(TrajectoryId id) const {
   HERMES_CHECK(id < trajectories_.size()) << "trajectory id out of range";
-  return trajectories_[id];
+  return *trajectories_[id];
 }
 
 size_t TrajectoryStore::NumSegments() const {
   size_t n = 0;
-  for (const auto& t : trajectories_) n += t.NumSegments();
+  for (const auto& t : trajectories_) n += t->NumSegments();
   return n;
+}
+
+void TrajectoryStore::CopyFrom(const TrajectoryStore& o) {
+  std::lock_guard<std::mutex> lock(o.mu_);
+  trajectories_ = o.trajectories_;  // Shared immutable trajectories.
+  by_object_ = o.by_object_;
+  num_points_ = o.num_points_;
+  arena_ = o.arena_;  // Builder copy shares full blocks (own tail copy).
+}
+
+void TrajectoryStore::MoveFrom(TrajectoryStore&& o) {
+  std::lock_guard<std::mutex> lock(o.mu_);
+  trajectories_ = std::move(o.trajectories_);
+  by_object_ = std::move(o.by_object_);
+  num_points_ = o.num_points_;
+  arena_ = std::move(o.arena_);
+  o.trajectories_.clear();
+  o.by_object_.clear();
+  o.num_points_ = 0;
 }
 
 std::vector<TrajectoryId> TrajectoryStore::TrajectoriesOf(
@@ -42,17 +65,17 @@ std::vector<TrajectoryId> TrajectoryStore::TrajectoriesOf(
 
 geom::Mbb3D TrajectoryStore::Bounds() const {
   geom::Mbb3D box;
-  for (const auto& t : trajectories_) box.Extend(t.Bounds());
+  for (const auto& t : trajectories_) box.Extend(t->Bounds());
   return box;
 }
 
 std::pair<double, double> TrajectoryStore::TimeDomain() const {
   if (trajectories_.empty()) return {0.0, 0.0};
-  double lo = trajectories_.front().StartTime();
-  double hi = trajectories_.front().EndTime();
+  double lo = trajectories_.front()->StartTime();
+  double hi = trajectories_.front()->EndTime();
   for (const auto& t : trajectories_) {
-    lo = std::min(lo, t.StartTime());
-    hi = std::max(hi, t.EndTime());
+    lo = std::min(lo, t->StartTime());
+    hi = std::max(hi, t->EndTime());
   }
   return {lo, hi};
 }
@@ -114,10 +137,10 @@ Status TrajectoryStore::SaveCsv(const std::string& path) const {
   if (!out) return Status::IOError("cannot open " + path);
   out << "obj_id,t,x,y\n";
   for (const auto& t : trajectories_) {
-    for (const auto& p : t.samples()) {
+    for (const auto& p : t->samples()) {
       char buf[128];
       std::snprintf(buf, sizeof(buf), "%llu,%.6f,%.6f,%.6f\n",
-                    static_cast<unsigned long long>(t.object_id()), p.t, p.x,
+                    static_cast<unsigned long long>(t->object_id()), p.t, p.x,
                     p.y);
       out << buf;
     }

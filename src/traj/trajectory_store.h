@@ -1,6 +1,8 @@
 #ifndef HERMES_TRAJ_TRAJECTORY_STORE_H_
 #define HERMES_TRAJ_TRAJECTORY_STORE_H_
 
+#include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -18,9 +20,32 @@ namespace hermes::traj {
 /// This plays the role of the Hermes@PostgreSQL relation holding the raw
 /// trajectory data; on top of it the voting engine builds the pg3D-Rtree
 /// and the ReTraTree partitions its contents.
+///
+/// Concurrency contract (mirrors `SegmentArenaBuilder`): `Add`/`LoadCsv`
+/// calls are externally serialized — they come from a single writer (the
+/// service's ingest worker, or a single-threaded embedder). `Snapshot()`
+/// (and the copy constructor, which is the same operation) may run
+/// concurrently with the writer; every other accessor is safe on a
+/// quiesced store or on a snapshot, but must not race an in-flight `Add`.
+/// Trajectories are individually heap-allocated and immutable once added,
+/// so snapshots share them (and all full arena blocks) instead of copying
+/// sample data — a snapshot costs O(#trajectories) pointer copies, which
+/// the service amortizes over one ingest batch.
 class TrajectoryStore {
  public:
   TrajectoryStore() = default;
+  /// Copying IS snapshotting: locks `o` against its writer and shares the
+  /// immutable trajectory objects + arena blocks.
+  TrajectoryStore(const TrajectoryStore& o) { CopyFrom(o); }
+  TrajectoryStore& operator=(const TrajectoryStore& o) {
+    if (this != &o) CopyFrom(o);
+    return *this;
+  }
+  TrajectoryStore(TrajectoryStore&& o) noexcept { MoveFrom(std::move(o)); }
+  TrajectoryStore& operator=(TrajectoryStore&& o) noexcept {
+    if (this != &o) MoveFrom(std::move(o));
+    return *this;
+  }
 
   /// Adds a trajectory after validation; returns its id.
   StatusOr<TrajectoryId> Add(Trajectory trajectory);
@@ -30,7 +55,12 @@ class TrajectoryStore {
   size_t NumPoints() const { return num_points_; }
   size_t NumSegments() const;
 
-  const std::vector<Trajectory>& trajectories() const { return trajectories_; }
+  /// \brief An immutable read view for concurrent query execution: readers
+  /// sweep the snapshot (full `TrajectoryStore` interface) while the
+  /// writer keeps appending to `this`. The snapshot holds shared ownership
+  /// of every trajectory and arena block it can see, so it stays valid for
+  /// as long as the caller keeps it.
+  TrajectoryStore Snapshot() const { return *this; }
 
   /// Ids of all trajectories of one object (an object may have several
   /// recorded trips).
@@ -50,7 +80,9 @@ class TrajectoryStore {
   /// trajectory's rows to fixed-capacity column blocks instead of
   /// re-materializing the snapshot, and this call publishes (or re-returns)
   /// an immutable epoch over the rows added so far. Callers may keep
-  /// sweeping an older epoch while further `Add`s proceed.
+  /// sweeping an older epoch while further `Add`s proceed. The returned
+  /// epoch is pinned (see `SegmentArenaCounters::epochs_pinned`) until the
+  /// last copy of it is destroyed.
   SegmentArena ArenaSnapshot() const { return arena_.Snapshot(); }
 
   /// Append/epoch counters of the arena (observability + regression tests).
@@ -64,7 +96,13 @@ class TrajectoryStore {
   Status SaveCsv(const std::string& path) const;
 
  private:
-  std::vector<Trajectory> trajectories_;
+  void CopyFrom(const TrajectoryStore& o);
+  void MoveFrom(TrajectoryStore&& o);
+
+  /// Guards the pointer list / aggregate metadata against `Snapshot`
+  /// racing the writer (the pointed-to trajectories never need it).
+  mutable std::mutex mu_;
+  std::vector<std::shared_ptr<const Trajectory>> trajectories_;
   std::unordered_map<ObjectId, std::vector<TrajectoryId>> by_object_;
   size_t num_points_ = 0;
   /// Columnar mirror of `trajectories_`, appended to by `Add`.

@@ -38,7 +38,9 @@ TEST(AircraftTest, FlightsAreValidTrajectories) {
   auto scenario = GenerateAircraftScenario(p);
   ASSERT_TRUE(scenario.ok());
   EXPECT_EQ(scenario->store.NumTrajectories(), scenario->flights.size());
-  for (const auto& t : scenario->store.trajectories()) {
+  for (traj::TrajectoryId tid = 0; tid < scenario->store.NumTrajectories();
+       ++tid) {
+    const traj::Trajectory& t = scenario->store.Get(tid);
     EXPECT_TRUE(t.Validate().ok());
     EXPECT_GE(t.size(), 2u);
   }
@@ -168,7 +170,9 @@ TEST(UrbanTest, VehiclesFollowGrid) {
   EXPECT_GT(scenario->store.NumTrajectories(), 0u);
   // Manhattan routes: every sample lies on a grid line (x or y is a
   // multiple of the block length).
-  for (const auto& t : scenario->store.trajectories()) {
+  for (traj::TrajectoryId tid = 0; tid < scenario->store.NumTrajectories();
+       ++tid) {
+    const traj::Trajectory& t = scenario->store.Get(tid);
     for (const auto& s : t.samples()) {
       const double fx = std::fmod(s.x, p.block);
       const double fy = std::fmod(s.y, p.block);
@@ -195,7 +199,8 @@ TEST(NoiseTest, StaysWithinTimeBoundsAndValid) {
   ASSERT_TRUE(
       AddNoiseTrajectories(&store, 5, bounds, 10.0, 10.0, 3, 50).ok());
   EXPECT_EQ(store.NumTrajectories(), 5u);
-  for (const auto& t : store.trajectories()) {
+  for (traj::TrajectoryId tid = 0; tid < store.NumTrajectories(); ++tid) {
+    const traj::Trajectory& t = store.Get(tid);
     EXPECT_TRUE(t.Validate().ok());
     EXPECT_GE(t.StartTime(), 100.0);
     EXPECT_LE(t.EndTime(), 500.0);

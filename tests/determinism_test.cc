@@ -11,6 +11,7 @@
 
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/retratree.h"
@@ -335,6 +336,84 @@ TEST(DeterminismTest, BatchIngestMatchesSequentialAcrossThreadCounts) {
       EXPECT_GE(tree->stats().ingest_apply_us, 0);
     }
   }
+}
+
+// ---------------------------------------------------------------------------
+// Concurrent ingest + query at the traj layer: readers snapshotting the
+// store mid-ingest must see a clean id-order prefix, and S2T over that
+// snapshot must be bit-identical to a quiesced run over the same prefix.
+// This is the storage-level half of the service-layer guarantee
+// (tests/service_test.cc holds the SQL-level half); the TSan CI leg runs
+// both.
+// ---------------------------------------------------------------------------
+
+TEST(DeterminismTest, SnapshotReadersDuringIngestMatchQuiescedPrefixes) {
+  auto scenarios = MakeScenarios();
+  auto& sc = scenarios[1];  // maritime
+  const size_t total = sc.store.NumTrajectories();
+  const size_t initial = total / 2;
+  const S2TClustering s2t(MakeParams(sc.settings.front(), true));
+
+  // Quiesced baselines for every prefix a snapshot could land on.
+  std::vector<traj::TrajectoryStore> prefix_stores;
+  std::vector<S2TResult> baselines;
+  for (size_t k = initial; k <= total; ++k) {
+    traj::TrajectoryStore prefix;
+    for (traj::TrajectoryId tid = 0; tid < k; ++tid) {
+      ASSERT_TRUE(prefix.Add(sc.store.Get(tid)).ok());
+    }
+    exec::ExecContext one(1);
+    auto base = s2t.Run(prefix, &one);
+    ASSERT_TRUE(base.ok());
+    baselines.push_back(std::move(*base));
+    prefix_stores.push_back(std::move(prefix));
+  }
+
+  // Single writer appends the back half while readers keep snapshotting
+  // and clustering. Every reader result must equal the quiesced baseline
+  // of exactly its snapshot's trajectory count.
+  traj::TrajectoryStore live;
+  for (traj::TrajectoryId tid = 0; tid < initial; ++tid) {
+    ASSERT_TRUE(live.Add(sc.store.Get(tid)).ok());
+  }
+  constexpr int kReaders = 3;
+  constexpr int kRunsPerReader = 3;
+  std::vector<std::vector<std::pair<size_t, S2TResult>>> results(kReaders);
+  std::vector<std::string> failures(kReaders);
+  std::vector<std::thread> readers;
+  for (int rix = 0; rix < kReaders; ++rix) {
+    readers.emplace_back([&, rix] {
+      exec::ExecContext ctx(2);
+      for (int run = 0; run < kRunsPerReader; ++run) {
+        const traj::TrajectoryStore snap = live.Snapshot();
+        auto result = s2t.Run(snap, &ctx);
+        if (!result.ok()) {
+          failures[rix] = result.status().ToString();
+          return;
+        }
+        results[rix].emplace_back(snap.NumTrajectories(),
+                                  std::move(*result));
+      }
+    });
+  }
+  for (traj::TrajectoryId tid = initial; tid < total; ++tid) {
+    ASSERT_TRUE(live.Add(sc.store.Get(tid)).ok());
+  }
+  for (auto& t : readers) t.join();
+
+  for (int rix = 0; rix < kReaders; ++rix) {
+    ASSERT_EQ(failures[rix], "") << "reader " << rix;
+    for (auto& [k, result] : results[rix]) {
+      ASSERT_GE(k, initial);
+      ASSERT_LE(k, total);
+      ExpectBitIdentical(baselines[k - initial], result,
+                         "snapshot reader " + std::to_string(rix) +
+                             " prefix=" + std::to_string(k));
+    }
+  }
+  // The snapshots released their epochs; the builder lineage reports no
+  // stale pins once readers are done.
+  EXPECT_EQ(live.arena_counters().epochs_pinned, 0u);
 }
 
 TEST(DeterminismTest, RepeatedRunsAreBitIdentical) {

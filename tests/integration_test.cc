@@ -149,8 +149,9 @@ TEST(IntegrationTest, QutAndRangeRebuildSeeSameWindowData) {
   }
   for (const auto& o : qut_result->outliers) qut_objects.insert(o.object_id);
   std::set<traj::ObjectId> window_objects;
-  for (const auto& t : baseline->window_store.trajectories()) {
-    window_objects.insert(t.object_id());
+  for (traj::TrajectoryId tid = 0;
+       tid < baseline->window_store.NumTrajectories(); ++tid) {
+    window_objects.insert(baseline->window_store.Get(tid).object_id());
   }
   EXPECT_EQ(qut_objects, window_objects);
 }

@@ -1,0 +1,429 @@
+// Multi-session service layer: shared catalog, background ingest worker,
+// per-session settings, snapshot-isolated concurrent readers.
+//
+// The headline test is the acceptance criterion of the service PR: four
+// concurrent reader sessions issue S2T_MEMBERS / RANGE statements while
+// the ingest worker drains queued batches, and every result must be
+// *bit-identical* to a quiesced sequential run over one of the published
+// store prefixes — concurrency may change timing, never values. The file
+// runs under the TSan CI leg, so the same test doubles as the data-race
+// gate for the whole read path.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "datagen/maritime.h"
+#include "service/client_session.h"
+#include "service/ingest_queue.h"
+#include "service/server.h"
+#include "sql/executor.h"
+#include "sql/value.h"
+
+namespace hermes::service {
+namespace {
+
+using sql::Table;
+using sql::Value;
+using sql::ValueType;
+
+traj::TrajectoryStore MakeShips(size_t num_ships) {
+  datagen::MaritimeScenarioParams p;
+  p.num_ships = num_ships;
+  p.sample_dt = 300.0;
+  p.seed = 13;
+  auto s = datagen::GenerateMaritimeScenario(p);
+  return std::move(s->store);
+}
+
+/// First `k` trajectories of `full`, re-added in id order — exactly the
+/// store the service publishes after the batches summing to `k` applied.
+traj::TrajectoryStore Prefix(const traj::TrajectoryStore& full, size_t k) {
+  traj::TrajectoryStore out;
+  for (traj::TrajectoryId tid = 0; tid < k; ++tid) {
+    auto r = out.Add(full.Get(tid));
+    EXPECT_TRUE(r.ok());
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// IngestQueue
+// ---------------------------------------------------------------------------
+
+TEST(IngestQueueTest, PreservesOrderAndTickets) {
+  IngestQueue q(/*capacity=*/8);
+  for (int i = 0; i < 3; ++i) {
+    IngestBatch b;
+    b.mod = "M" + std::to_string(i);
+    auto seq = q.Push(std::move(b));
+    ASSERT_TRUE(seq.ok());
+    EXPECT_EQ(*seq, static_cast<uint64_t>(i + 1));
+  }
+  EXPECT_EQ(q.depth(), 3u);
+  EXPECT_EQ(q.last_enqueued_seq(), 3u);
+  std::vector<IngestBatch> got;
+  ASSERT_TRUE(q.PopAll(&got));
+  ASSERT_EQ(got.size(), 3u);
+  EXPECT_EQ(got[0].mod, "M0");
+  EXPECT_EQ(got[2].mod, "M2");
+  EXPECT_EQ(got[2].seq, 3u);
+  EXPECT_EQ(q.depth(), 0u);
+}
+
+TEST(IngestQueueTest, CloseFailsPushAndDrainsPops) {
+  IngestQueue q(4);
+  IngestBatch b;
+  b.mod = "X";
+  ASSERT_TRUE(q.Push(std::move(b)).ok());
+  q.Close();
+  IngestBatch after;
+  after.mod = "Y";
+  EXPECT_FALSE(q.Push(std::move(after)).ok());
+  std::vector<IngestBatch> got;
+  EXPECT_TRUE(q.PopAll(&got));  // The pre-close batch still drains.
+  EXPECT_EQ(got.size(), 1u);
+  EXPECT_FALSE(q.PopAll(&got));  // Closed and empty: worker exits.
+}
+
+TEST(IngestQueueTest, ConcurrentProducersAllArrive) {
+  IngestQueue q(/*capacity=*/2);  // Small: exercises backpressure blocking.
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 25;
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&q, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        IngestBatch b;
+        b.mod = "P" + std::to_string(p);
+        ASSERT_TRUE(q.Push(std::move(b)).ok());
+      }
+    });
+  }
+  size_t received = 0;
+  std::vector<IngestBatch> got;
+  while (received < kProducers * kPerProducer) {
+    ASSERT_TRUE(q.PopAll(&got));
+    received += got.size();
+  }
+  for (auto& t : producers) t.join();
+  EXPECT_EQ(received, static_cast<size_t>(kProducers * kPerProducer));
+  EXPECT_EQ(q.last_enqueued_seq(),
+            static_cast<uint64_t>(kProducers * kPerProducer));
+}
+
+// ---------------------------------------------------------------------------
+// Server lifecycle + SQL surface
+// ---------------------------------------------------------------------------
+
+TEST(ServiceTest, SqlLifecycleAcrossSessions) {
+  auto server = std::move(Server::Start(ServerOptions{})).value();
+  auto s1 = server->Connect();
+  auto s2 = server->Connect();
+
+  // DDL from one session is visible to the other (shared catalog).
+  ASSERT_TRUE(s1->Execute("CREATE MOD fleet;").ok());
+  EXPECT_FALSE(s2->Execute("CREATE MOD fleet;").ok());  // AlreadyExists.
+
+  // INSERT queues; FLUSH makes it query-visible — from either session.
+  auto ins = s1->Execute(
+      "INSERT INTO fleet VALUES (1, 0, 0, 0), (1, 60, 500, 0), "
+      "(2, 0, 0, 40), (2, 60, 500, 40);");
+  ASSERT_TRUE(ins.ok()) << ins.status().ToString();
+  EXPECT_EQ(ins->columns[1].name, "trajectories_queued");
+  EXPECT_EQ(ins->rows[0][1], Value::Int(2));
+  ASSERT_TRUE(s2->Execute("FLUSH;").ok());
+  auto stats = s2->Execute("SELECT STATS(fleet);");
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->rows[0][0], Value::Int(2));  // trajectories
+  EXPECT_EQ(stats->rows[0][1], Value::Int(4));  // points
+
+  // SHOW SERVICE STATS reflects the ingest.
+  auto svc = s1->Execute("SHOW SERVICE STATS;");
+  ASSERT_TRUE(svc.ok()) << svc.status().ToString();
+  int64_t ingested = -1, sessions = -1, published = -1;
+  for (const auto& row : svc->rows) {
+    if (row[0] == Value::Str("trajectories_ingested")) ingested = row[1].AsInt();
+    if (row[0] == Value::Str("sessions_active")) sessions = row[1].AsInt();
+    if (row[0] == Value::Str("snapshots_published")) published = row[1].AsInt();
+  }
+  EXPECT_EQ(ingested, 2);
+  EXPECT_EQ(sessions, 2);
+  EXPECT_GE(published, 2);  // CREATE + post-drain republish.
+
+  // DROP from session 2; session 1's next query fails cleanly.
+  ASSERT_TRUE(s2->Execute("DROP MOD fleet;").ok());
+  EXPECT_FALSE(s1->Execute("SELECT STATS(fleet);").ok());
+}
+
+TEST(ServiceTest, PerSessionSettingsDoNotInterfere) {
+  ServerOptions opts;
+  opts.session_defaults.sigma = 700.0;
+  auto server = std::move(Server::Start(std::move(opts))).value();
+  auto a = server->Connect();
+  auto b = server->Connect();
+
+  // Both sessions start from the server defaults...
+  EXPECT_EQ(a->settings().Get("hermes.sigma")->AsDouble(), 700.0);
+  EXPECT_EQ(b->settings().Get("hermes.sigma")->AsDouble(), 700.0);
+
+  // ...and diverge independently: a's SETs never leak into b.
+  ASSERT_TRUE(a->Execute("SET hermes.sigma = 111;").ok());
+  ASSERT_TRUE(a->Execute("SET hermes.threads = 4;").ok());
+  ASSERT_TRUE(a->Execute("SET hermes.use_index = off;").ok());
+  EXPECT_EQ(a->settings().Get("hermes.sigma")->AsDouble(), 111.0);
+  EXPECT_EQ(b->settings().Get("hermes.sigma")->AsDouble(), 700.0);
+  EXPECT_EQ(b->settings().Get("hermes.threads")->AsInt(), 1);
+  EXPECT_EQ(b->settings().Get("hermes.use_index")->AsInt(), 1);
+  EXPECT_NE(a->exec_context(), nullptr);
+  EXPECT_EQ(b->exec_context(), nullptr);
+
+  // Per-session validation still holds.
+  EXPECT_FALSE(a->Execute("SET hermes.threads = 0;").ok());
+}
+
+TEST(ServiceTest, CursorHoldsItsSnapshotWhileIngestPublishes) {
+  auto server = std::move(Server::Start(ServerOptions{})).value();
+  const traj::TrajectoryStore ships = MakeShips(6);
+  ASSERT_TRUE(server->RegisterStore("ships", Prefix(ships, 4)).ok());
+  auto session = server->Connect();
+
+  const auto [t0, t1] = ships.TimeDomain();
+  const std::string range = "SELECT RANGE(ships, " + std::to_string(t0) +
+                            ", " + std::to_string(t1 + 1) + ");";
+  auto cursor = session->ExecuteCursor(range);
+  ASSERT_TRUE(cursor.ok());
+  std::vector<Value> row;
+  auto first = (*cursor)->Next(&row);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(*first);
+
+  // Ingest two more trajectories and force visibility.
+  std::vector<traj::Trajectory> batch;
+  batch.push_back(ships.Get(4));
+  batch.push_back(ships.Get(5));
+  ASSERT_TRUE(server->EnqueueInsert("ships", std::move(batch)).ok());
+  ASSERT_TRUE(server->Flush().ok());
+
+  // The open cursor still sweeps its original 4-trajectory snapshot...
+  size_t rows = 1;
+  while (true) {
+    auto more = (*cursor)->Next(&row);
+    ASSERT_TRUE(more.ok());
+    if (!*more) break;
+    ++rows;
+  }
+  EXPECT_EQ(rows, 4u);
+  // ...while a fresh statement sees the published 6.
+  auto after = session->Execute(range);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->rows.size(), 6u);
+
+  // Pin accounting: the cursor's snapshot epoch was released; the
+  // server's own published snapshot keeps exactly one pin per MOD.
+  cursor->reset();
+  auto svc = session->Execute("SHOW SERVICE STATS;");
+  ASSERT_TRUE(svc.ok());
+  for (const auto& r : svc->rows) {
+    if (r[0] == Value::Str("arena_epochs_pinned")) {
+      EXPECT_EQ(r[1], Value::Int(1));
+    }
+  }
+}
+
+TEST(ServiceTest, QutUsesSharedTreeAndCatchesUpAfterIngest) {
+  auto server = std::move(Server::Start(ServerOptions{})).value();
+  const traj::TrajectoryStore ships = MakeShips(8);
+  ASSERT_TRUE(server->RegisterStore("ships", Prefix(ships, 6)).ok());
+  auto session = server->Connect();
+
+  const auto [t0, t1] = ships.TimeDomain();
+  const double tau = (t1 - t0) / 2, delta = tau / 4;
+  auto qut_sql = [&](const char* mod) {
+    return std::string("SELECT QUT(") + mod + ", " + std::to_string(t0) +
+           ", " + std::to_string(t1 + 1) + ", " + std::to_string(tau) + ", " +
+           std::to_string(delta) + ", " + std::to_string(delta) +
+           ", 900, 6);";
+  };
+  auto before = session->Execute(qut_sql("ships"));
+  ASSERT_TRUE(before.ok()) << before.status().ToString();
+
+  std::vector<traj::Trajectory> batch;
+  batch.push_back(ships.Get(6));
+  batch.push_back(ships.Get(7));
+  ASSERT_TRUE(server->EnqueueInsert("ships", std::move(batch)).ok());
+  ASSERT_TRUE(session->Execute("FLUSH;").ok());
+  auto after = session->Execute(qut_sql("ships"));
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+
+  // The worker (or query path) caught the shared tree up incrementally
+  // instead of rebuilding it.
+  EXPECT_GE(server->Stats().tree_catchups, 1u);
+
+  // Parity: a fresh server fed all 8 up front answers identically.
+  auto fresh = std::move(Server::Start(ServerOptions{})).value();
+  ASSERT_TRUE(fresh->RegisterStore("ships", Prefix(ships, 8)).ok());
+  auto fresh_session = fresh->Connect();
+  auto expected = fresh_session->Execute(qut_sql("ships"));
+  ASSERT_TRUE(expected.ok());
+  EXPECT_EQ(after->rows, expected->rows);
+}
+
+// ---------------------------------------------------------------------------
+// The acceptance criterion: concurrent readers + ingest worker,
+// bit-identical to quiesced sequential runs over published prefixes.
+// ---------------------------------------------------------------------------
+
+TEST(ServiceTest, ConcurrentReadersMatchQuiescedSequentialPrefixes) {
+  constexpr size_t kTotal = 16;
+  constexpr size_t kInitial = 8;
+  constexpr size_t kBatch = 2;
+  const traj::TrajectoryStore ships = MakeShips(kTotal);
+  const auto [t0, t1] = ships.TimeDomain();
+  const std::string members_sql = "SELECT S2T_MEMBERS(ships, 800, 1600);";
+  const std::string range_sql = "SELECT RANGE(ships, " + std::to_string(t0) +
+                                ", " + std::to_string(t1 + 1) + ");";
+
+  // Quiesced sequential baselines, one per possible published prefix
+  // (initial load, then whole batches in queue order — the worker never
+  // splits a batch across a republication).
+  std::vector<size_t> prefixes;
+  for (size_t k = kInitial; k <= kTotal; k += kBatch) prefixes.push_back(k);
+  std::vector<Table> expected_members;
+  std::vector<Table> expected_range;
+  for (size_t k : prefixes) {
+    sql::Session quiesced;
+    ASSERT_TRUE(quiesced.RegisterStore("ships", Prefix(ships, k)).ok());
+    auto m = quiesced.Execute(members_sql);
+    ASSERT_TRUE(m.ok()) << m.status().ToString();
+    expected_members.push_back(std::move(*m));
+    auto r = quiesced.Execute(range_sql);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    expected_range.push_back(std::move(*r));
+  }
+
+  ServerOptions opts;
+  opts.threads = 2;  // The ingest drains themselves fan out.
+  auto server = std::move(Server::Start(std::move(opts))).value();
+  ASSERT_TRUE(server->RegisterStore("ships", Prefix(ships, kInitial)).ok());
+
+  // 4 reader sessions × alternating S2T_MEMBERS / RANGE, concurrent with
+  // the ingest worker draining the remaining batches.
+  constexpr int kReaders = 4;
+  constexpr int kQueriesPerReader = 6;
+  struct ReaderResult {
+    bool is_members = false;
+    Table table;
+  };
+  std::vector<std::vector<ReaderResult>> results(kReaders);
+  std::vector<std::string> failures(kReaders);
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int rix = 0; rix < kReaders; ++rix) {
+    readers.emplace_back([&, rix] {
+      auto session = server->Connect();
+      // Two of the readers run their statements multi-threaded, so the
+      // per-session exec contexts overlap with the worker's.
+      if (rix % 2 == 1 &&
+          !session->Execute("SET hermes.threads = 2;").ok()) {
+        failures[rix] = "SET hermes.threads failed";
+        return;
+      }
+      for (int q = 0; q < kQueriesPerReader; ++q) {
+        const bool members = (q % 2 == 0);
+        auto table = session->Execute(members ? members_sql : range_sql);
+        if (!table.ok()) {
+          failures[rix] = table.status().ToString();
+          return;
+        }
+        results[rix].push_back({members, std::move(*table)});
+      }
+    });
+  }
+
+  // The single writer: queue the remaining trajectories in kBatch chunks.
+  for (size_t next = kInitial; next < kTotal; next += kBatch) {
+    std::vector<traj::Trajectory> batch;
+    for (size_t tid = next; tid < next + kBatch && tid < kTotal; ++tid) {
+      batch.push_back(ships.Get(tid));
+    }
+    ASSERT_TRUE(server->EnqueueInsert("ships", std::move(batch)).ok());
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  ASSERT_TRUE(server->Flush().ok());
+  for (auto& t : readers) t.join();
+
+  for (int rix = 0; rix < kReaders; ++rix) {
+    ASSERT_EQ(failures[rix], "") << "reader " << rix;
+    ASSERT_EQ(results[rix].size(), static_cast<size_t>(kQueriesPerReader));
+    for (size_t q = 0; q < results[rix].size(); ++q) {
+      const ReaderResult& got = results[rix][q];
+      const auto& expected = got.is_members ? expected_members : expected_range;
+      bool matched = false;
+      for (const Table& e : expected) {
+        if (got.table.rows == e.rows) {
+          matched = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(matched)
+          << "reader " << rix << " query " << q << " ("
+          << (got.is_members ? "S2T_MEMBERS" : "RANGE")
+          << ") matches no quiesced sequential prefix result:\n"
+          << got.table.ToString();
+    }
+  }
+
+  // Quiesced end state: both statements now equal the full-store
+  // baseline exactly.
+  auto session = server->Connect();
+  auto final_members = session->Execute(members_sql);
+  ASSERT_TRUE(final_members.ok());
+  EXPECT_EQ(final_members->rows, expected_members.back().rows);
+  auto final_range = session->Execute(range_sql);
+  ASSERT_TRUE(final_range.ok());
+  EXPECT_EQ(final_range->rows, expected_range.back().rows);
+
+  const ServiceStats stats = server->Stats();
+  EXPECT_EQ(stats.trajectories_ingested, kTotal - kInitial);
+  EXPECT_EQ(stats.ingest_errors, 0u);
+  EXPECT_GE(stats.batches_applied, 1u);
+}
+
+TEST(ServiceTest, SingleSampleInsertIsRejectedBeforeQueueing) {
+  auto server = std::move(Server::Start(ServerOptions{})).value();
+  auto session = server->Connect();
+  ASSERT_TRUE(session->Execute("CREATE MOD m;").ok());
+  // One sample can never form a segment (and would poison the shared
+  // tree's catch-up); the precondition fails at the ack, not in the
+  // worker.
+  auto bad = session->Execute("INSERT INTO m VALUES (7, 0, 0, 0);");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+  ASSERT_TRUE(session->Execute("FLUSH;").ok());
+  auto stats = session->Execute("SELECT STATS(m);");
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->rows[0][0], Value::Int(0));
+  EXPECT_EQ(server->Stats().ingest_errors, 0u);
+}
+
+TEST(ServiceTest, ShutdownRejectsLaterInsertsButKeepsQueries) {
+  auto server = std::move(Server::Start(ServerOptions{})).value();
+  ASSERT_TRUE(server->RegisterStore("ships", MakeShips(4)).ok());
+  auto session = server->Connect();
+  server->Shutdown();
+  EXPECT_FALSE(session->Execute("INSERT INTO ships VALUES (9, 0, 0, 0), "
+                                "(9, 60, 10, 0);")
+                   .ok());
+  auto stats = session->Execute("SELECT STATS(ships);");
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->rows[0][0], Value::Int(4));
+}
+
+}  // namespace
+}  // namespace hermes::service

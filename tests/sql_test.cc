@@ -1030,6 +1030,64 @@ TEST_F(SqlSessionTest, MaterializingStatementsStillCursor) {
 }
 
 // ---------------------------------------------------------------------------
+// Settings are session-scoped, never process-global
+// ---------------------------------------------------------------------------
+
+TEST(SessionScopingTest, SettingsInTwoSessionsDoNotInterfere) {
+  Session a;
+  Session b;
+  // Defaults are independent registries seeded from the same constants.
+  EXPECT_EQ(a.settings().Get("hermes.sigma")->AsDouble(), 100.0);
+  EXPECT_EQ(b.settings().Get("hermes.sigma")->AsDouble(), 100.0);
+
+  // Every hermes.* knob set in `a` — including the ones whose on-change
+  // hooks react (threads swaps the ExecContext) — must leave `b` at its
+  // defaults: the hooks mutate only their owning session.
+  ASSERT_TRUE(a.Execute("SET hermes.threads = 4;").ok());
+  ASSERT_TRUE(a.Execute("SET hermes.sigma = 42;").ok());
+  ASSERT_TRUE(a.Execute("SET hermes.epsilon = 84;").ok());
+  ASSERT_TRUE(a.Execute("SET hermes.use_index = off;").ok());
+  EXPECT_EQ(a.threads(), 4u);
+  EXPECT_NE(a.exec_context(), nullptr);
+  EXPECT_EQ(b.threads(), 1u);
+  EXPECT_EQ(b.exec_context(), nullptr);
+  EXPECT_EQ(b.settings().Get("hermes.threads")->AsInt(), 1);
+  EXPECT_EQ(b.settings().Get("hermes.sigma")->AsDouble(), 100.0);
+  EXPECT_EQ(b.settings().Get("hermes.epsilon")->AsDouble(), 200.0);
+  EXPECT_EQ(b.settings().Get("hermes.use_index")->AsInt(), 1);
+
+  // And each session's S2T picks up its *own* defaults: same MOD data,
+  // different bandwidths, independently resolved.
+  traj::TrajectoryStore lanes_a = datagen::MakeParallelLanes(
+      2, 3, 2000.0, 800.0, 10.0, 10.0, /*seed=*/5, /*jitter=*/1.0);
+  traj::TrajectoryStore lanes_b = lanes_a;
+  ASSERT_TRUE(a.RegisterStore("lanes", std::move(lanes_a)).ok());
+  ASSERT_TRUE(b.RegisterStore("lanes", std::move(lanes_b)).ok());
+  auto wide = b.Execute("SELECT S2T(lanes);");      // sigma=100, eps=200.
+  ASSERT_TRUE(wide.ok());
+  auto explicit_b = b.Execute("SELECT S2T(lanes, 100, 200);");
+  ASSERT_TRUE(explicit_b.ok());
+  EXPECT_EQ(wide->rows, explicit_b->rows);
+  auto narrow = a.Execute("SELECT S2T(lanes);");    // sigma=42, eps=84.
+  ASSERT_TRUE(narrow.ok());
+  auto explicit_a = a.Execute("SELECT S2T(lanes, 42, 84);");
+  ASSERT_TRUE(explicit_a.ok());
+  EXPECT_EQ(narrow->rows, explicit_a->rows);
+}
+
+TEST(SessionScopingTest, FlushIsANoOpAckAndServiceStatsNeedsAService) {
+  Session session;
+  // Embedded sessions apply INSERT synchronously, so FLUSH just acks.
+  auto flush = session.Execute("FLUSH;");
+  ASSERT_TRUE(flush.ok());
+  EXPECT_EQ(flush->rows[0][0], Value::Str("FLUSH"));
+  // SHOW SERVICE STATS is a service-session statement.
+  auto svc = session.Execute("SHOW SERVICE STATS;");
+  EXPECT_FALSE(svc.ok());
+  EXPECT_EQ(svc.status().code(), StatusCode::kNotSupported);
+}
+
+// ---------------------------------------------------------------------------
 // Thread-count invariance (unchanged contract)
 // ---------------------------------------------------------------------------
 
