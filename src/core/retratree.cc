@@ -500,6 +500,7 @@ Status ReTraTree::InsertPiece(SubChunk* sc, traj::SubTrajectory piece,
     ++stats_.records_written;
   }
   ++sc->outlier_count;
+  HERMES_RETURN_NOT_OK(ExtendHotSnapshot(&sc->hot_outliers, piece));
 
   if (allow_recluster && sc->outlier_count >= params_.gamma &&
       sc->outlier_count >= sc->recluster_watermark) {
@@ -520,14 +521,17 @@ Status ReTraTree::AppendMember(RepresentativeEntry* entry,
   }
   HERMES_RETURN_NOT_OK(entry->index->Insert(member.Bounds(), rid.Pack()));
   ++entry->member_count;
-  return Status::OK();
+  // Incremental catch-up extends a live hot snapshot the same way it just
+  // extended the Gist (no-op while the partition is cold).
+  return ExtendHotSnapshot(&entry->hot, member);
 }
 
 Status ReTraTree::ReclusterOutliers(SubChunk* sc,
                                     exec::ExecContext* ctx) {
-  // Read the buffered outliers back from disk.
+  // Drain the buffered outliers straight from disk — no hot promotion;
+  // the buffer is about to be dropped.
   HERMES_ASSIGN_OR_RETURN(std::vector<traj::SubTrajectory> buffered,
-                          ReadOutliers(*sc));
+                          ScanPartition(sc->outlier_partition));
 
   // Re-cluster them with S2T: each buffered piece acts as a trajectory of
   // the temporary MOD.
@@ -552,6 +556,12 @@ Status ReTraTree::ReclusterOutliers(SubChunk* sc,
   // Drop and recreate the outlier partition; survivors are re-appended.
   HERMES_RETURN_NOT_OK(partitions_->Drop(sc->outlier_partition));
   sc->outlier_count = 0;
+  {
+    // Any published snapshot described the dropped buffer; residues
+    // re-enter cold and the next read re-promotes.
+    std::lock_guard<std::mutex> lock(hot_mu_);
+    DemoteLocked(&sc->hot_outliers);
+  }
 
   // Back-propagate discovered representatives (clusters big enough).
   std::vector<bool> archived(result.sub_trajectories.size(), false);
@@ -649,11 +659,11 @@ std::vector<const SubChunk*> ReTraTree::SubChunksIn(double t0,
   return out;
 }
 
-StatusOr<std::vector<traj::SubTrajectory>> ReTraTree::ReadMembers(
-    const RepresentativeEntry& entry) const {
+StatusOr<std::vector<traj::SubTrajectory>> ReTraTree::ScanPartition(
+    const std::string& name) const {
   std::vector<traj::SubTrajectory> out;
   HERMES_ASSIGN_OR_RETURN(storage::HeapFile * hf,
-                          partitions_->GetOrCreate(entry.partition_name));
+                          partitions_->GetOrCreate(name));
   Status decode_status = Status::OK();
   HERMES_RETURN_NOT_OK(
       hf->Scan([&](const storage::RecordId&, const std::string& rec) {
@@ -673,14 +683,56 @@ StatusOr<std::vector<traj::SubTrajectory>> ReTraTree::ReadMembers(
   return out;
 }
 
+StatusOr<std::vector<traj::SubTrajectory>> ReTraTree::ReadMembers(
+    const RepresentativeEntry& entry) const {
+  if (HotSlot hot = std::atomic_load(&entry.hot)) {
+    qut_hot_probes_.fetch_add(1, std::memory_order_relaxed);
+    TouchHot(*hot);
+    return hot->members;
+  }
+  qut_cold_probes_.fetch_add(1, std::memory_order_relaxed);
+  HERMES_ASSIGN_OR_RETURN(std::vector<traj::SubTrajectory> out,
+                          ScanPartition(entry.partition_name));
+  MaybePromote(&entry.hot, out, /*with_index=*/true);
+  return out;
+}
+
 StatusOr<std::vector<traj::SubTrajectory>> ReTraTree::ReadMembersInWindow(
     const RepresentativeEntry& entry, double t0, double t1) const {
+  // Time-only range: unbounded spatial extent.
+  const double kBig = 1e18;
+  const geom::Mbb3D window(-kBig, -kBig, t0, kBig, kBig, t1);
+
+  HotSlot hot = std::atomic_load(&entry.hot);
+  if (hot == nullptr && hot_index_budget() != 0) {
+    // Promote-on-read: fault the partition in once, then serve this and
+    // every later window probe from the snapshot.
+    HERMES_ASSIGN_OR_RETURN(std::vector<traj::SubTrajectory> all,
+                            ScanPartition(entry.partition_name));
+    MaybePromote(&entry.hot, all, /*with_index=*/true);
+    hot = std::atomic_load(&entry.hot);
+  }
+  if (hot != nullptr) {
+    qut_hot_probes_.fetch_add(1, std::memory_order_relaxed);
+    TouchHot(*hot);
+    std::vector<uint64_t> ordinals;
+    hot->index->SearchInto(window, rtree::QueryMode::kIntersects, &ordinals);
+    // Ordinals are append order, exactly what sorting the cold path's
+    // packed RecordIds produces — so hot and cold window reads return
+    // the same members in the same order.
+    std::sort(ordinals.begin(), ordinals.end());
+    std::vector<traj::SubTrajectory> out;
+    out.reserve(ordinals.size());
+    for (uint64_t o : ordinals) {
+      out.push_back(hot->members[static_cast<size_t>(o)]);
+    }
+    return out;
+  }
+
+  qut_cold_probes_.fetch_add(1, std::memory_order_relaxed);
   std::vector<traj::SubTrajectory> out;
   HERMES_ASSIGN_OR_RETURN(storage::HeapFile * hf,
                           partitions_->GetOrCreate(entry.partition_name));
-  // Time-only range: unbounded spatial extent.
-  const double kBig = 1e18;
-  geom::Mbb3D window(-kBig, -kBig, t0, kBig, kBig, t1);
   HERMES_ASSIGN_OR_RETURN(std::vector<uint64_t> rids,
                           entry.index->Search(window));
   std::sort(rids.begin(), rids.end());
@@ -700,27 +752,170 @@ StatusOr<std::vector<traj::SubTrajectory>> ReTraTree::ReadMembersInWindow(
 
 StatusOr<std::vector<traj::SubTrajectory>> ReTraTree::ReadOutliers(
     const SubChunk& sc) const {
-  std::vector<traj::SubTrajectory> out;
-  if (!partitions_->Exists(sc.outlier_partition)) return out;
-  HERMES_ASSIGN_OR_RETURN(storage::HeapFile * hf,
-                          partitions_->GetOrCreate(sc.outlier_partition));
-  Status decode_status = Status::OK();
-  HERMES_RETURN_NOT_OK(
-      hf->Scan([&](const storage::RecordId&, const std::string& rec) {
-        auto st = DecodeSubTrajectory(rec);
-        if (!st.ok()) {
-          decode_status = st.status();
-          return false;
-        }
-        out.push_back(std::move(st).value());
-        return true;
-      }));
-  HERMES_RETURN_NOT_OK(decode_status);
-  {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    stats_.records_read += out.size();
+  if (HotSlot hot = std::atomic_load(&sc.hot_outliers)) {
+    qut_hot_probes_.fetch_add(1, std::memory_order_relaxed);
+    TouchHot(*hot);
+    return hot->members;
   }
+  qut_cold_probes_.fetch_add(1, std::memory_order_relaxed);
+  if (!partitions_->Exists(sc.outlier_partition)) {
+    // Promote the empty snapshot too, or every query re-counts this
+    // sub-chunk as a cold probe; a later outlier insert extends it in
+    // the same order the (then-created) heap partition would produce.
+    std::vector<traj::SubTrajectory> none;
+    MaybePromote(&sc.hot_outliers, none, /*with_index=*/false);
+    return none;
+  }
+  HERMES_ASSIGN_OR_RETURN(std::vector<traj::SubTrajectory> out,
+                          ScanPartition(sc.outlier_partition));
+  MaybePromote(&sc.hot_outliers, out, /*with_index=*/false);
   return out;
+}
+
+namespace {
+/// Bounds -> member ordinal index over a hot snapshot's members.
+/// Sequential on purpose: promotions run under the hot-tier mutex —
+/// sometimes from inside an apply fan-out task — and partitions are
+/// gamma-bounded small; the STR layout is thread-count independent
+/// either way (the parallel arena bulk load lives in
+/// `rtree::BuildMemSegmentIndex`).
+std::unique_ptr<rtree::MemRTree3D> BuildHotMemberIndex(
+    const std::vector<traj::SubTrajectory>& members) {
+  std::vector<std::pair<geom::Mbb3D, uint64_t>> items;
+  items.reserve(members.size());
+  for (size_t i = 0; i < members.size(); ++i) {
+    items.emplace_back(members[i].Bounds(), static_cast<uint64_t>(i));
+  }
+  return rtree::MemRTree3D::BulkLoad(std::move(items), /*fill_factor=*/0.9,
+                                     /*ctx=*/nullptr);
+}
+}  // namespace
+
+size_t ReTraTree::HotBytesOf(const HotPartition& hot) {
+  size_t bytes = sizeof(HotPartition);
+  bytes += hot.members.capacity() * sizeof(traj::SubTrajectory);
+  for (const auto& m : hot.members) {
+    bytes += m.points.size() * 3 * sizeof(double);
+  }
+  if (hot.index != nullptr) bytes += hot.index->bytes();
+  return bytes;
+}
+
+void ReTraTree::MaybePromote(HotSlot* slot,
+                             const std::vector<traj::SubTrajectory>& members,
+                             bool with_index) const {
+  if (hot_index_budget() == 0) return;
+  std::lock_guard<std::mutex> lock(hot_mu_);
+  const size_t budget = hot_index_budget_.load(std::memory_order_relaxed);
+  if (budget == 0) return;
+  if (std::atomic_load(slot) != nullptr) return;  // Lost a promote race.
+  auto hot = std::make_shared<HotPartition>();
+  hot->members = members;
+  if (with_index) hot->index = BuildHotMemberIndex(hot->members);
+  hot->bytes = HotBytesOf(*hot);
+  if (hot->bytes > budget) return;  // Never fits; stay cold.
+  hot->pin = std::make_unique<traj::EpochPin>(hot_pins_);
+  TouchHot(*hot);
+  hot_bytes_.fetch_add(hot->bytes, std::memory_order_relaxed);
+  hot_promotions_.fetch_add(1, std::memory_order_relaxed);
+  bool known = false;
+  for (HotSlot* s : hot_slots_) known = known || (s == slot);
+  if (!known) hot_slots_.push_back(slot);
+  std::atomic_store(slot, HotSlot(std::move(hot)));
+  EnforceBudgetLocked();
+}
+
+Status ReTraTree::ExtendHotSnapshot(HotSlot* slot,
+                                    const traj::SubTrajectory& member) const {
+  std::lock_guard<std::mutex> lock(hot_mu_);
+  HotSlot cur = std::atomic_load(slot);
+  if (cur == nullptr) return Status::OK();  // Cold: nothing to maintain.
+  // Roundtrip through the record encoding so the hot copy stays
+  // bit-identical to what a cold read would decode.
+  HERMES_ASSIGN_OR_RETURN(traj::SubTrajectory decoded,
+                          DecodeSubTrajectory(EncodeSubTrajectory(member)));
+  auto next = std::make_shared<HotPartition>();
+  next->members = cur->members;
+  next->members.push_back(std::move(decoded));
+  if (cur->index != nullptr) next->index = BuildHotMemberIndex(next->members);
+  next->bytes = HotBytesOf(*next);
+  next->pin = std::make_unique<traj::EpochPin>(hot_pins_);
+  next->last_access.store(cur->last_access.load(std::memory_order_relaxed),
+                          std::memory_order_relaxed);
+  hot_bytes_.fetch_add(next->bytes, std::memory_order_relaxed);
+  hot_bytes_.fetch_sub(cur->bytes, std::memory_order_relaxed);
+  std::atomic_store(slot, HotSlot(std::move(next)));
+  EnforceBudgetLocked();
+  return Status::OK();
+}
+
+void ReTraTree::DemoteLocked(HotSlot* slot) const {
+  HotSlot cur = std::atomic_load(slot);
+  if (cur == nullptr) return;
+  hot_bytes_.fetch_sub(cur->bytes, std::memory_order_relaxed);
+  hot_demotions_.fetch_add(1, std::memory_order_relaxed);
+  std::atomic_store(slot, HotSlot());
+}
+
+void ReTraTree::EnforceBudgetLocked() const {
+  const size_t budget = hot_index_budget_.load(std::memory_order_relaxed);
+  while (hot_bytes_.load(std::memory_order_relaxed) > budget) {
+    HotSlot* victim = nullptr;
+    uint64_t victim_access = 0;
+    for (HotSlot* s : hot_slots_) {
+      HotSlot cur = std::atomic_load(s);
+      if (cur == nullptr) continue;
+      const uint64_t a = cur->last_access.load(std::memory_order_relaxed);
+      if (victim == nullptr || a < victim_access) {
+        victim = s;
+        victim_access = a;
+      }
+    }
+    if (victim == nullptr) break;
+    DemoteLocked(victim);
+  }
+}
+
+void ReTraTree::SetHotIndexBudget(size_t bytes) {
+  std::lock_guard<std::mutex> lock(hot_mu_);
+  hot_index_budget_.store(bytes, std::memory_order_relaxed);
+  EnforceBudgetLocked();
+}
+
+HotTierStats ReTraTree::hot_stats() const {
+  HotTierStats s;
+  s.qut_hot_probes = qut_hot_probes_.load(std::memory_order_relaxed);
+  s.qut_cold_probes = qut_cold_probes_.load(std::memory_order_relaxed);
+  s.hot_promotions = hot_promotions_.load(std::memory_order_relaxed);
+  s.hot_demotions = hot_demotions_.load(std::memory_order_relaxed);
+  s.hot_index_bytes = hot_bytes_.load(std::memory_order_relaxed);
+  s.hot_partitions = hot_pins_->live.load(std::memory_order_relaxed);
+  s.hot_pins_total = hot_pins_->total.load(std::memory_order_relaxed);
+  return s;
+}
+
+ColdIoStats ReTraTree::cold_io_stats() const {
+  ColdIoStats s;
+  partitions_->ForEachOpen([&](const std::string&, storage::HeapFile* hf) {
+    const storage::PagerStats io = hf->io_stats();
+    s.heap_page_fetches += io.cache_hits + io.cache_misses;
+    const storage::LockStats ls = hf->lock_stats();
+    s.heap_lock_acquisitions +=
+        ls.shared_acquisitions + ls.exclusive_acquisitions;
+  });
+  for (const auto& [ci, chunk] : chunks_) {
+    for (const auto& [si, sc] : chunk.sub_chunks) {
+      for (const auto& entry : sc.representatives) {
+        s.index_nodes_visited += entry->index->stats().nodes_visited;
+        const storage::PagerStats io = entry->index->io_stats();
+        s.index_page_fetches += io.cache_hits + io.cache_misses;
+        const storage::LockStats ls = entry->index->lock_stats();
+        s.index_lock_acquisitions +=
+            ls.shared_acquisitions + ls.exclusive_acquisitions;
+      }
+    }
+  }
+  return s;
 }
 
 size_t ReTraTree::TotalRepresentatives() const {

@@ -1,6 +1,7 @@
 #ifndef HERMES_CORE_RETRATREE_H_
 #define HERMES_CORE_RETRATREE_H_
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -10,9 +11,11 @@
 #include "common/status.h"
 #include "common/statusor.h"
 #include "core/s2t_clustering.h"
+#include "rtree/mem_rtree3d.h"
 #include "rtree/rtree3d.h"
 #include "storage/env.h"
 #include "storage/partition_manager.h"
+#include "traj/segment_arena.h"
 #include "traj/sub_trajectory.h"
 #include "traj/trajectory_store.h"
 
@@ -70,6 +73,63 @@ struct ReTraTreeStats {
   S2TTimings s2t_timings;
 };
 
+/// Default `hermes.hot_index_budget`: bytes of hot-tier snapshots a tree
+/// may keep resident before LRU demotion kicks in.
+inline constexpr size_t kDefaultHotIndexBudget = size_t{64} << 20;
+
+/// \brief Immutable hot-tier snapshot of one on-disk partition: its
+/// decoded records in append (RecordId) order plus an in-memory pg3D
+/// R-tree over their bounds keyed by member ordinal.
+///
+/// Published with an atomic shared_ptr swap; a reader that loaded a
+/// snapshot keeps it (and its `EpochPin`) alive through its own reference
+/// until the probe finishes, so demotion/republish never invalidates an
+/// in-flight read.
+struct HotPartition {
+  /// Members in append order — the order the cold path yields too (it
+  /// sorts packed `RecordId`s, which are monotone in append order) —
+  /// stored as the Decode(Encode(...)) record roundtrip so hot and cold
+  /// reads are bit-identical.
+  std::vector<traj::SubTrajectory> members;
+  /// Bounds -> member ordinal; null for outlier snapshots (outlier reads
+  /// are always full scans).
+  std::unique_ptr<rtree::MemRTree3D> index;
+  /// Budget accounting, fixed at publication time.
+  size_t bytes = 0;
+  /// Lifecycle accounting in the tree's `EpochPinRegistry` (live = hot
+  /// snapshots still referenced somewhere, total = ever published).
+  std::unique_ptr<traj::EpochPin> pin;
+  /// LRU stamp of the last hot probe (tree-wide logical clock).
+  mutable std::atomic<uint64_t> last_access{0};
+};
+
+/// \brief Hot-tier observability counters (surfaced by `SHOW STATS` and
+/// `SHOW SERVICE STATS`).
+struct HotTierStats {
+  uint64_t qut_hot_probes = 0;
+  uint64_t qut_cold_probes = 0;
+  uint64_t hot_promotions = 0;
+  uint64_t hot_demotions = 0;
+  uint64_t hot_index_bytes = 0;
+  /// Snapshots still alive (pin registry live count: published minus
+  /// fully released — a demoted snapshot a reader still holds counts).
+  uint64_t hot_partitions = 0;
+  uint64_t hot_pins_total = 0;
+};
+
+/// \brief Cold-tier work aggregated across every open partition and
+/// per-partition index — page fetches and lock acquisitions. A warm
+/// hot-tier QUT probe must leave every field flat, which is how tests
+/// assert the probe path performs zero page reads and takes zero
+/// per-partition locks.
+struct ColdIoStats {
+  uint64_t heap_page_fetches = 0;  ///< Pager hits + misses (heap files).
+  uint64_t heap_lock_acquisitions = 0;
+  uint64_t index_nodes_visited = 0;
+  uint64_t index_page_fetches = 0;
+  uint64_t index_lock_acquisitions = 0;
+};
+
 /// \brief L3 entry: an in-memory representative plus its on-disk member
 /// partition ("pg3D-Rtree-k" in Fig. 2: heap file + 3D R-tree).
 struct RepresentativeEntry {
@@ -78,6 +138,11 @@ struct RepresentativeEntry {
   size_t member_count = 0;
   /// Per-partition member index over (x, y, t) bounds -> heap RecordId.
   std::unique_ptr<rtree::RTree3D> index;
+  /// Hot-tier snapshot (null = cold). Probes go through
+  /// `std::atomic_load` with no lock; publication swaps the pointer under
+  /// the tree's hot-tier mutex. Mutable because promotion is a caching
+  /// side effect of const read paths.
+  mutable std::shared_ptr<const HotPartition> hot;
 };
 
 /// \brief L2 node: one sub-chunk of the time domain with its
@@ -101,6 +166,10 @@ struct SubChunk {
   /// Sequence behind this sub-chunk's representative partition names
   /// ("sc<i>_r<seq>"); per-sub-chunk for the same reason.
   uint64_t rep_seq = 0;
+  /// Hot-tier snapshot of the outlier partition (see
+  /// `RepresentativeEntry::hot`); dropped when re-clustering rebuilds the
+  /// buffer.
+  mutable std::shared_ptr<const HotPartition> hot_outliers;
 };
 
 /// \brief L1 node: one temporal chunk holding its sub-chunks.
@@ -209,6 +278,29 @@ class ReTraTree {
   StatusOr<std::vector<traj::SubTrajectory>> ReadOutliers(
       const SubChunk& sc) const;
 
+  // ---- Hot index tier (docs/ARCHITECTURE.md "Hot/cold index tiers") ---
+  //
+  // The three read methods above transparently serve from an immutable
+  // in-memory snapshot when one is published for the partition (probe:
+  // one atomic load, zero locks, zero page I/O) and fall back to the
+  // file-backed heap + GiST otherwise, promoting the partition on the
+  // way out. Appends keep live snapshots coherent by republishing them;
+  // re-clustering drops the outlier snapshot with the buffer. Snapshots
+  // never change query results — only where the bytes are read from.
+
+  /// Sets the hot-tier byte budget. Shrinking demotes LRU snapshots
+  /// immediately; 0 disables the tier and demotes everything.
+  void SetHotIndexBudget(size_t bytes);
+  size_t hot_index_budget() const {
+    return hot_index_budget_.load(std::memory_order_relaxed);
+  }
+  HotTierStats hot_stats() const;
+  ColdIoStats cold_io_stats() const;
+  /// Registry every hot snapshot pins (tests watch live/total through it).
+  const std::shared_ptr<traj::EpochPinRegistry>& hot_pin_registry() const {
+    return hot_pins_;
+  }
+
   /// Total representatives across all sub-chunks.
   size_t TotalRepresentatives() const;
 
@@ -267,6 +359,37 @@ class ReTraTree {
   /// run fans out over `ctx` (results are bit-identical either way).
   Status ReclusterOutliers(SubChunk* sc, exec::ExecContext* ctx);
 
+  /// Full scan + decode of one partition, in append order (the shared
+  /// cold-read body of `ReadMembers`/`ReadOutliers` and the re-clustering
+  /// buffer drain). Counts the records read.
+  StatusOr<std::vector<traj::SubTrajectory>> ScanPartition(
+      const std::string& name) const;
+
+  using HotSlot = std::shared_ptr<const HotPartition>;
+
+  /// Publishes a snapshot for `slot` from just-decoded records (a cold
+  /// read's side effect). No-op when the tier is disabled, the slot
+  /// raced hot, or the snapshot alone exceeds the budget.
+  void MaybePromote(HotSlot* slot,
+                    const std::vector<traj::SubTrajectory>& members,
+                    bool with_index) const;
+  /// Copy-on-write republish of a live snapshot after an append — the
+  /// drain worker's incremental catch-up extends the hot tree the same
+  /// way it extends the Gist. No-op when the slot is cold.
+  Status ExtendHotSnapshot(HotSlot* slot,
+                           const traj::SubTrajectory& member) const;
+  /// Drops a live snapshot. Caller holds `hot_mu_`.
+  void DemoteLocked(HotSlot* slot) const;
+  /// LRU-demotes snapshots until the budget is met. Caller holds
+  /// `hot_mu_`.
+  void EnforceBudgetLocked() const;
+  void TouchHot(const HotPartition& hot) const {
+    hot.last_access.store(
+        hot_clock_.fetch_add(1, std::memory_order_relaxed) + 1,
+        std::memory_order_relaxed);
+  }
+  static size_t HotBytesOf(const HotPartition& hot);
+
   /// Id for a sub-trajectory derived by a re-clustering run (new
   /// representative, re-labeled member, or residue): bit 63 set, the
   /// zig-zagged sub-chunk index in bits [62:24], and the sub-chunk's own
@@ -283,9 +406,28 @@ class ReTraTree {
 
   std::map<int64_t, Chunk> chunks_;
   traj::SubTrajectoryId next_sub_id_ = 0;
-  mutable ReTraTreeStats stats_;  // Read paths count records read.
+  mutable ReTraTreeStats stats_;  // Cold read paths count records read.
   /// Serializes stats updates from concurrent apply tasks.
   mutable std::mutex stats_mu_;
+
+  // ---- Hot tier state. The probe path touches only the atomics and the
+  // per-slot shared_ptr (via std::atomic_load); hot_mu_ guards
+  // publication, demotion, budget changes, and the slot registry —
+  // it is never taken on a hot hit.
+  mutable std::mutex hot_mu_;
+  /// Every slot that ever published a snapshot (slot addresses are
+  /// stable: entries and sub-chunks are never destroyed while the tree
+  /// lives). Demoted slots stay listed holding null. Guarded by hot_mu_.
+  mutable std::vector<HotSlot*> hot_slots_;
+  std::atomic<size_t> hot_index_budget_{kDefaultHotIndexBudget};
+  mutable std::atomic<size_t> hot_bytes_{0};
+  mutable std::atomic<uint64_t> hot_clock_{0};
+  mutable std::atomic<uint64_t> qut_hot_probes_{0};
+  mutable std::atomic<uint64_t> qut_cold_probes_{0};
+  mutable std::atomic<uint64_t> hot_promotions_{0};
+  mutable std::atomic<uint64_t> hot_demotions_{0};
+  std::shared_ptr<traj::EpochPinRegistry> hot_pins_ =
+      std::make_shared<traj::EpochPinRegistry>();
 };
 
 }  // namespace hermes::core

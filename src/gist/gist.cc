@@ -86,7 +86,7 @@ std::string Gist::ComputeUnion(const GistNodeView& view) const {
 }
 
 Status Gist::Insert(const void* key, uint64_t datum) {
-  std::lock_guard<std::mutex> lock(mu_);
+  auto lock = storage::CountedExclusiveLock(mu_, &lock_counters_);
   if (root_ == storage::kInvalidPage) {
     HERMES_ASSIGN_OR_RETURN(root_, NewNode(/*leaf=*/true));
     height_ = 1;
@@ -166,7 +166,7 @@ StatusOr<Gist::InsertResult> Gist::InsertRecursive(storage::PageId node_id,
 
 StatusOr<Gist::InsertResult> Gist::SplitNode(GistNodeView* view,
                                              const void* key, uint64_t datum) {
-  ++stats_.splits;
+  splits_.fetch_add(1, std::memory_order_relaxed);
   const size_t n = view->num_entries();
   // Gather all keys (existing + pending) for PickSplit.
   std::vector<std::string> keys;
@@ -222,7 +222,7 @@ StatusOr<Gist::InsertResult> Gist::SplitNode(GistNodeView* view,
 Status Gist::Search(
     const void* query,
     const std::function<bool(const void*, uint64_t)>& fn) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  auto lock = storage::CountedSharedLock(mu_, &lock_counters_);
   if (root_ == storage::kInvalidPage) return Status::OK();
   // Iterative DFS with an explicit stack: this is the hottest read path
   // (every voting range query descends here).
@@ -242,14 +242,14 @@ Status Gist::Search(
     HERMES_ASSIGN_OR_RETURN(storage::Page * page, pager_->Fetch(node_id));
     storage::PinnedPage pin(pager_.get(), page);
     GistNodeView view(page, key_size_);
-    ++stats_.nodes_visited;
+    nodes_visited_.fetch_add(1, std::memory_order_relaxed);
 
     const bool leaf = view.is_leaf();
     const size_t n = view.num_entries();
     for (size_t i = 0; i < n; ++i) {
       if (!opclass_->Consistent(view.KeyAt(i), query, leaf)) continue;
       if (leaf) {
-        ++stats_.leaf_hits;
+        leaf_hits_.fetch_add(1, std::memory_order_relaxed);
         if (!fn(view.KeyAt(i), view.DatumAt(i))) return Status::OK();
       } else {
         const auto child = static_cast<storage::PageId>(view.DatumAt(i));
@@ -265,7 +265,7 @@ Status Gist::Search(
 }
 
 Status Gist::Delete(const void* key, uint64_t datum) {
-  std::lock_guard<std::mutex> lock(mu_);
+  auto lock = storage::CountedExclusiveLock(mu_, &lock_counters_);
   if (root_ == storage::kInvalidPage) return Status::NotFound("empty tree");
   std::string new_union;
   HERMES_ASSIGN_OR_RETURN(bool found,
@@ -322,7 +322,7 @@ StatusOr<bool> Gist::DeleteRecursive(storage::PageId node_id, const void* key,
 Status Gist::BulkLoad(
     const std::vector<std::pair<std::string, uint64_t>>& entries,
     double fill_factor) {
-  std::lock_guard<std::mutex> lock(mu_);
+  auto lock = storage::CountedExclusiveLock(mu_, &lock_counters_);
   if (root_ != storage::kInvalidPage) {
     return Status::InvalidArgument("BulkLoad requires an empty tree");
   }
@@ -384,7 +384,7 @@ Status Gist::BulkLoad(
 }
 
 Status Gist::Validate() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  auto lock = storage::CountedSharedLock(mu_, &lock_counters_);
   if (root_ == storage::kInvalidPage) {
     if (num_entries_ != 0) return Status::Corruption("entries in empty tree");
     return Status::OK();
@@ -432,7 +432,7 @@ Status Gist::ValidateRecursive(storage::PageId node_id, uint32_t depth,
 }
 
 StatusOr<Gist::NodeSnapshot> Gist::ReadNode(storage::PageId id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  auto lock = storage::CountedSharedLock(mu_, &lock_counters_);
   HERMES_ASSIGN_OR_RETURN(storage::Page * page, pager_->Fetch(id));
   storage::PinnedPage pin(pager_.get(), page);
   GistNodeView view(page, key_size_);
@@ -446,7 +446,7 @@ StatusOr<Gist::NodeSnapshot> Gist::ReadNode(storage::PageId id) const {
 }
 
 Status Gist::Flush() {
-  std::lock_guard<std::mutex> lock(mu_);
+  auto lock = storage::CountedExclusiveLock(mu_, &lock_counters_);
   return pager_->Flush();
 }
 

@@ -1,9 +1,10 @@
 #ifndef HERMES_GIST_GIST_H_
 #define HERMES_GIST_GIST_H_
 
+#include <atomic>
 #include <functional>
 #include <memory>
-#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -11,6 +12,7 @@
 #include "common/statusor.h"
 #include "gist/gist_page.h"
 #include "storage/env.h"
+#include "storage/lock_stats.h"
 #include "storage/pager.h"
 
 namespace hermes::gist {
@@ -69,11 +71,13 @@ struct GistStats {
 /// merge underfull nodes (PostgreSQL's GiST makes the same trade-off;
 /// space is reclaimed by dropping the index file).
 ///
-/// Thread safety: every tree operation serializes on an internal mutex
-/// (even `Search` mutates the pager's LRU state), so one handle may be
-/// shared by concurrent readers — the service layer's shared-tree read
-/// path. Concurrent searches of the same index interleave whole calls,
-/// never partial descents.
+/// Thread safety: tree operations take an internal reader/writer lock —
+/// `Search`/`Validate`/`ReadNode` shared, mutations exclusive — so one
+/// handle may be shared by concurrent readers without serializing them
+/// (the pager guards its own LRU state internally; the shared lock here
+/// only keeps readers of page payloads from racing writers). Lock traffic
+/// is counted in `lock_stats()` so the hot/cold tier split can assert the
+/// probe path stays lock-free.
 class Gist {
  public:
   /// Opens or creates a GiST at `fname`. The op class must outlive the tree
@@ -109,9 +113,23 @@ class Gist {
   storage::PageId root() const { return root_; }
   bool empty() const { return root_ == storage::kInvalidPage; }
 
-  const GistStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = GistStats{}; }
-  const storage::PagerStats& io_stats() const { return pager_->stats(); }
+  /// Point-in-time counter snapshots (by value: the search counters are
+  /// bumped under the *shared* lock, so a reference would race).
+  GistStats stats() const {
+    GistStats s;
+    s.nodes_visited = nodes_visited_.load(std::memory_order_relaxed);
+    s.leaf_hits = leaf_hits_.load(std::memory_order_relaxed);
+    s.splits = splits_.load(std::memory_order_relaxed);
+    return s;
+  }
+  void ResetStats() {
+    nodes_visited_.store(0, std::memory_order_relaxed);
+    leaf_hits_.store(0, std::memory_order_relaxed);
+    splits_.store(0, std::memory_order_relaxed);
+  }
+  storage::PagerStats io_stats() const { return pager_->stats(); }
+  storage::LockStats lock_stats() const { return lock_counters_.Snapshot(); }
+  void ResetLockStats() { lock_counters_.Reset(); }
 
   Status Flush();
 
@@ -155,8 +173,9 @@ class Gist {
 
   std::string ComputeUnion(const GistNodeView& view) const;
 
-  /// Serializes public tree operations (see the class comment).
-  mutable std::mutex mu_;
+  /// Reader/writer lock over public tree operations (see class comment).
+  mutable std::shared_mutex mu_;
+  mutable storage::LockStatsCounters lock_counters_;
   std::unique_ptr<storage::Pager> pager_;
   const GistOpClass* opclass_;
   size_t key_size_;
@@ -165,7 +184,10 @@ class Gist {
   uint32_t height_ = 0;  // 0 = empty; 1 = root is a leaf.
   uint64_t num_entries_ = 0;
 
-  mutable GistStats stats_;
+  /// Search counters run under the shared lock, hence atomic.
+  mutable std::atomic<uint64_t> nodes_visited_{0};
+  mutable std::atomic<uint64_t> leaf_hits_{0};
+  mutable std::atomic<uint64_t> splits_{0};
 };
 
 }  // namespace hermes::gist

@@ -62,9 +62,10 @@ class RTree3D {
   Status Validate() const { return gist_->Validate(); }
   Status Flush() { return gist_->Flush(); }
 
-  const gist::GistStats& stats() const { return gist_->stats(); }
+  gist::GistStats stats() const { return gist_->stats(); }
   void ResetStats() { gist_->ResetStats(); }
-  const storage::PagerStats& io_stats() const { return gist_->io_stats(); }
+  storage::PagerStats io_stats() const { return gist_->io_stats(); }
+  storage::LockStats lock_stats() const { return gist_->lock_stats(); }
 
  private:
   explicit RTree3D(std::unique_ptr<gist::Gist> tree) : gist_(std::move(tree)) {}

@@ -149,6 +149,11 @@ StatusOr<std::unique_ptr<sql::RowCursor>> ClientSession::ExecuteShow(
     row("arena_epoch_pins", s.epoch_pins);
     row("ingest_split_us", static_cast<uint64_t>(s.ingest_split_us));
     row("ingest_apply_us", static_cast<uint64_t>(s.ingest_apply_us));
+    row("qut_hot_probes", s.qut_hot_probes);
+    row("qut_cold_probes", s.qut_cold_probes);
+    row("hot_promotions", s.hot_promotions);
+    row("hot_demotions", s.hot_demotions);
+    row("hot_index_bytes", s.hot_index_bytes);
     return sql::MakeTableCursor(std::move(table));
   }
 

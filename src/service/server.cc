@@ -46,6 +46,10 @@ StatusOr<std::unique_ptr<Server>> Server::Start(ServerOptions options,
   if (d.use_index != 0 && d.use_index != 1) {
     return Status::InvalidArgument("session_defaults.use_index must be 0/1");
   }
+  if (d.hot_index_budget < 0) {
+    return Status::InvalidArgument(
+        "session_defaults.hot_index_budget must be >= 0 bytes");
+  }
   auto server = std::unique_ptr<Server>(new Server(std::move(options), env));
   server->worker_ = std::thread([s = server.get()] { s->WorkerLoop(); });
   return server;
@@ -364,6 +368,11 @@ StatusOr<std::unique_ptr<sql::RowCursor>> Server::QutQuery(
       drop_tree();
       HERMES_ASSIGN_OR_RETURN(
           mod->tree, core::ReTraTree::Open(env_, dir, params, exec_.get()));
+      // Shared trees are server-scoped resources, so the server's
+      // configured default governs their hot-tier budget (per-session
+      // `SET hermes.hot_index_budget` only affects embedded sessions).
+      mod->tree->SetHotIndexBudget(
+          static_cast<size_t>(options_.session_defaults.hot_index_budget));
       Status st = mod->tree->InsertBatch(mod->store, exec_.get(), 0,
                                          mod->store.NumTrajectories());
       if (!st.ok()) {
@@ -419,6 +428,18 @@ ServiceStats Server::Stats() const {
     const traj::SegmentArenaCounters c = mod->store.arena_counters();
     s.epochs_pinned += c.epochs_pinned;
     s.epoch_pins += c.epoch_pins;
+    // The tree pointer itself mutates under the MOD's writer lock
+    // (rebuilds, catch-up failures), so read it shared; the hot-tier
+    // counters behind it are atomics.
+    std::shared_lock<std::shared_mutex> rlock(mod->mu);
+    if (mod->tree != nullptr) {
+      const core::HotTierStats h = mod->tree->hot_stats();
+      s.qut_hot_probes += h.qut_hot_probes;
+      s.qut_cold_probes += h.qut_cold_probes;
+      s.hot_promotions += h.hot_promotions;
+      s.hot_demotions += h.hot_demotions;
+      s.hot_index_bytes += h.hot_index_bytes;
+    }
   }
   s.ingest_split_us = exec_->stats().PhaseUs("ingest_split");
   s.ingest_apply_us = exec_->stats().PhaseUs("ingest_apply");

@@ -63,6 +63,14 @@ struct ServiceStats {
   /// catch-ups, which run the same `InsertBatch` pipeline.
   int64_t ingest_split_us = 0;
   int64_t ingest_apply_us = 0;
+  /// Hot in-memory index tier, summed over every shared tree (see
+  /// `core::HotTierStats`): QUT probes served from hot snapshots vs the
+  /// on-disk heap+Gist cold path, promote/demote churn, resident bytes.
+  uint64_t qut_hot_probes = 0;
+  uint64_t qut_cold_probes = 0;
+  uint64_t hot_promotions = 0;
+  uint64_t hot_demotions = 0;
+  uint64_t hot_index_bytes = 0;
 };
 
 /// \brief The multi-session service: a shared catalog of MODs, a

@@ -238,7 +238,17 @@ StatusOr<std::unique_ptr<RowCursor>> Session::ExecuteShow(
         "(service::Server::Connect); this is an embedded sql::Session");
   }
   if (stmt.setting == "stats") {
-    return MakeCursor(PhaseStatsTable(session_stats_, exec_.get()));
+    Table table = PhaseStatsTable(session_stats_, exec_.get());
+    // Hot/cold tier counters ride along after the phase timings, summed
+    // over every built tree (counter value in the total_us column).
+    core::HotTierStats tier;
+    for (const auto& [name, entry] : mods_) {
+      if (entry.tree != nullptr) {
+        AccumulateHotTierStats(entry.tree->hot_stats(), &tier);
+      }
+    }
+    AppendHotTierRows(tier, &table);
+    return MakeCursor(std::move(table));
   }
   HERMES_ASSIGN_OR_RETURN(Table table, SettingsShowTable(settings_, stmt));
   return MakeCursor(std::move(table));
@@ -304,6 +314,10 @@ StatusOr<std::unique_ptr<RowCursor>> Session::ExecuteSelect(
                                      entry->tree->stats().ingest_apply_us);
       }
     }
+    // The budget knob applies on every query, not just at build time, so
+    // `SET hermes.hot_index_budget = 0` cold-disables an existing tree.
+    entry->tree->SetHotIndexBudget(static_cast<size_t>(
+        settings_.Get("hermes.hot_index_budget")->AsInt()));
     return QutQuery(entry->tree.get(), wi, we, &session_stats_);
   }
 

@@ -63,6 +63,7 @@ class PreparedStatement {
 ///   hermes.sigma      double  default S2T spatial bandwidth
 ///   hermes.epsilon    double  default S2T cluster radius
 ///   hermes.use_index  int     0/1 (off/on): pg3D-Rtree voting engine
+///   hermes.hot_index_budget int  hot in-memory tier bytes (0 = off)
 class Session {
  public:
   /// `env` defaults to a private in-memory environment; pass a Posix env

@@ -355,6 +355,31 @@ Table PhaseStatsTable(const exec::ExecStats& session_stats,
   return table;
 }
 
+void AccumulateHotTierStats(const core::HotTierStats& s,
+                            core::HotTierStats* total) {
+  total->qut_hot_probes += s.qut_hot_probes;
+  total->qut_cold_probes += s.qut_cold_probes;
+  total->hot_promotions += s.hot_promotions;
+  total->hot_demotions += s.hot_demotions;
+  total->hot_index_bytes += s.hot_index_bytes;
+  total->hot_partitions += s.hot_partitions;
+  total->hot_pins_total += s.hot_pins_total;
+}
+
+void AppendHotTierRows(const core::HotTierStats& tier, Table* table) {
+  auto row = [table](const char* name, uint64_t v) {
+    table->rows.push_back(
+        {Value::Str(name), Value::Int(static_cast<int64_t>(v))});
+  };
+  row("qut_hot_probes", tier.qut_hot_probes);
+  row("qut_cold_probes", tier.qut_cold_probes);
+  row("hot_promotions", tier.hot_promotions);
+  row("hot_demotions", tier.hot_demotions);
+  row("hot_index_bytes", tier.hot_index_bytes);
+  row("hot_partitions", tier.hot_partitions);
+  row("hot_pins_total", tier.hot_pins_total);
+}
+
 StatusOr<Table> SettingsShowTable(const Settings& settings,
                                   const Statement& stmt) {
   Table table;

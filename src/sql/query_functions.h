@@ -96,6 +96,17 @@ std::unique_ptr<RowCursor> MakeTableCursor(Table table);
 Table PhaseStatsTable(const exec::ExecStats& session_stats,
                       const exec::ExecContext* exec);
 
+/// Folds `s` into `total` field-by-field — `SHOW STATS` aggregates the
+/// hot-tier counters across every built ReTraTree (one per MOD here, one
+/// per shared MOD in the service catalog).
+void AccumulateHotTierStats(const core::HotTierStats& s,
+                            core::HotTierStats* total);
+
+/// Appends the hot/cold tier counter rows (`qut_hot_probes`,
+/// `qut_cold_probes`, `hot_index_bytes`, ...) to a `SHOW STATS`-shaped
+/// table: counter name in the phase column, value in the total column.
+void AppendHotTierRows(const core::HotTierStats& tier, Table* table);
+
 /// `SHOW hermes.<name>` / `SHOW ALL` table over a registry; unknown
 /// names fail with the statement's error location.
 StatusOr<Table> SettingsShowTable(const Settings& settings,

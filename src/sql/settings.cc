@@ -147,6 +147,18 @@ Status RegisterHermesSettings(
         }
         return Status::OK();
       }));
+  HERMES_RETURN_NOT_OK(settings->Register(
+      "hermes.hot_index_budget", Value::Int(defaults.hot_index_budget),
+      "bytes of in-memory hot-tier index snapshots per QUT tree "
+      "(0 disables the hot tier)",
+      [](const Value& v) {
+        if (v.AsInt() < 0) {
+          return Status::InvalidArgument(
+              "hermes.hot_index_budget must be >= 0 bytes, got " +
+              v.ToString());
+        }
+        return Status::OK();
+      }));
   return Status::OK();
 }
 

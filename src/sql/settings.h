@@ -80,6 +80,9 @@ struct HermesSettingDefaults {
   double sigma = 100.0;
   double epsilon = 200.0;
   int64_t use_index = 1;
+  /// Bytes of in-memory hot-tier index snapshots a ReTraTree may keep
+  /// (0 disables the hot tier); see core::kDefaultHotIndexBudget.
+  int64_t hot_index_budget = 64 * 1024 * 1024;
 };
 
 /// \brief Registers the standard `hermes.*` knobs (threads / sigma /

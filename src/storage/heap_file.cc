@@ -101,7 +101,7 @@ Status HeapFile::SaveMeta() {
 }
 
 StatusOr<RecordId> HeapFile::Append(const std::string& record) {
-  std::lock_guard<std::mutex> lock(mu_);
+  auto lock = CountedExclusiveLock(mu_, &lock_counters_);
   const size_t need = record.size();
   if (need + kDataHeaderSize + kSlotSize > kPageSize) {
     return Status::InvalidArgument("record too large for a page");
@@ -145,7 +145,7 @@ StatusOr<RecordId> HeapFile::Append(const std::string& record) {
 }
 
 StatusOr<std::string> HeapFile::Read(const RecordId& rid) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  auto lock = CountedSharedLock(mu_, &lock_counters_);
   if (!rid.valid() || rid.page == 0 || rid.page >= pager_->num_pages()) {
     return Status::NotFound("invalid record id");
   }
@@ -162,7 +162,7 @@ StatusOr<std::string> HeapFile::Read(const RecordId& rid) const {
 }
 
 Status HeapFile::Delete(const RecordId& rid) {
-  std::lock_guard<std::mutex> lock(mu_);
+  auto lock = CountedExclusiveLock(mu_, &lock_counters_);
   if (!rid.valid() || rid.page == 0 || rid.page >= pager_->num_pages()) {
     return Status::NotFound("invalid record id");
   }
@@ -183,7 +183,7 @@ Status HeapFile::Delete(const RecordId& rid) {
 
 Status HeapFile::Scan(
     const std::function<bool(const RecordId&, const std::string&)>& fn) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  auto lock = CountedSharedLock(mu_, &lock_counters_);
   for (PageId pid = 1; pid < pager_->num_pages(); ++pid) {
     HERMES_ASSIGN_OR_RETURN(Page * page, pager_->Fetch(pid));
     PinnedPage pin(pager_.get(), page);
@@ -201,10 +201,10 @@ Status HeapFile::Scan(
 }
 
 Status HeapFile::Flush() {
-  std::lock_guard<std::mutex> lock(mu_);
+  auto lock = CountedExclusiveLock(mu_, &lock_counters_);
   return pager_->Flush();
 }
 
-const PagerStats& HeapFile::io_stats() const { return pager_->stats(); }
+PagerStats HeapFile::io_stats() const { return pager_->stats(); }
 
 }  // namespace hermes::storage

@@ -4,11 +4,12 @@
 #include <atomic>
 #include <functional>
 #include <memory>
-#include <mutex>
+#include <shared_mutex>
 #include <string>
 
 #include "common/status.h"
 #include "common/statusor.h"
+#include "storage/lock_stats.h"
 #include "storage/pager.h"
 
 namespace hermes::storage {
@@ -44,11 +45,12 @@ struct RecordId {
 /// written; `Delete` installs a tombstone. Space is reclaimed by dropping
 /// the whole partition, matching the engine's usage.
 ///
-/// Thread safety: all record operations serialize on an internal mutex
-/// (the pager's buffer pool is not concurrency-safe), so one handle may be
-/// shared by concurrent readers — the service layer's shared-tree read
-/// path, where several sessions sweep the same partition at once. Writers
-/// still need external coordination against `PartitionManager::Drop`.
+/// Thread safety: record operations take an internal reader/writer lock —
+/// `Read`/`Scan` shared, `Append`/`Delete` exclusive — so one handle may be
+/// shared by concurrent readers without serializing them (the pager guards
+/// its own buffer pool internally). Lock traffic is counted in
+/// `lock_stats()`. Writers still need external coordination against
+/// `PartitionManager::Drop`.
 class HeapFile {
  public:
   /// Opens or creates a heap file backed by `fname` under `env`.
@@ -82,7 +84,10 @@ class HeapFile {
 
   Status Flush();
 
-  const PagerStats& io_stats() const;
+  /// Point-in-time counter snapshots (by value: they mutate concurrently).
+  PagerStats io_stats() const;
+  LockStats lock_stats() const { return lock_counters_.Snapshot(); }
+  void ResetLockStats() { lock_counters_.Reset(); }
 
  private:
   explicit HeapFile(std::unique_ptr<Pager> pager);
@@ -90,9 +95,9 @@ class HeapFile {
   Status LoadMeta();
   Status SaveMeta();
 
-  /// Serializes every pager access (reads mutate the buffer pool's LRU
-  /// state, so even read-read sharing needs it).
-  mutable std::mutex mu_;
+  /// Reader/writer lock over record operations (see class comment).
+  mutable std::shared_mutex mu_;
+  mutable LockStatsCounters lock_counters_;
   std::unique_ptr<Pager> pager_;
   PageId tail_page_ = kInvalidPage;  // Last data page (append target).
   std::atomic<uint64_t> live_records_{0};

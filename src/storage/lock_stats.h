@@ -1,0 +1,73 @@
+#ifndef HERMES_STORAGE_LOCK_STATS_H_
+#define HERMES_STORAGE_LOCK_STATS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <shared_mutex>
+
+namespace hermes::storage {
+
+/// \brief Point-in-time lock-contention counters for one reader/writer
+/// lock. "Contended" counts acquisitions that could not be satisfied by a
+/// try-lock and had to block — the before/after signal for the hot/cold
+/// tier work (a warm hot-tier QUT probe must leave these flat).
+struct LockStats {
+  uint64_t shared_acquisitions = 0;
+  uint64_t shared_contended = 0;
+  uint64_t exclusive_acquisitions = 0;
+  uint64_t exclusive_contended = 0;
+};
+
+/// \brief Atomic backing for `LockStats`, bumped on the (possibly shared)
+/// lock paths themselves, so counting never needs a lock of its own.
+struct LockStatsCounters {
+  std::atomic<uint64_t> shared_acquisitions{0};
+  std::atomic<uint64_t> shared_contended{0};
+  std::atomic<uint64_t> exclusive_acquisitions{0};
+  std::atomic<uint64_t> exclusive_contended{0};
+
+  LockStats Snapshot() const {
+    LockStats s;
+    s.shared_acquisitions = shared_acquisitions.load(std::memory_order_relaxed);
+    s.shared_contended = shared_contended.load(std::memory_order_relaxed);
+    s.exclusive_acquisitions =
+        exclusive_acquisitions.load(std::memory_order_relaxed);
+    s.exclusive_contended =
+        exclusive_contended.load(std::memory_order_relaxed);
+    return s;
+  }
+
+  void Reset() {
+    shared_acquisitions.store(0, std::memory_order_relaxed);
+    shared_contended.store(0, std::memory_order_relaxed);
+    exclusive_acquisitions.store(0, std::memory_order_relaxed);
+    exclusive_contended.store(0, std::memory_order_relaxed);
+  }
+};
+
+/// Takes `mu` shared, counting the acquisition and whether it had to block.
+inline std::shared_lock<std::shared_mutex> CountedSharedLock(
+    std::shared_mutex& mu, LockStatsCounters* counters) {
+  counters->shared_acquisitions.fetch_add(1, std::memory_order_relaxed);
+  if (mu.try_lock_shared()) {
+    return std::shared_lock<std::shared_mutex>(mu, std::adopt_lock);
+  }
+  counters->shared_contended.fetch_add(1, std::memory_order_relaxed);
+  return std::shared_lock<std::shared_mutex>(mu);
+}
+
+/// Takes `mu` exclusive, counting the acquisition and whether it blocked.
+inline std::unique_lock<std::shared_mutex> CountedExclusiveLock(
+    std::shared_mutex& mu, LockStatsCounters* counters) {
+  counters->exclusive_acquisitions.fetch_add(1, std::memory_order_relaxed);
+  if (mu.try_lock()) {
+    return std::unique_lock<std::shared_mutex>(mu, std::adopt_lock);
+  }
+  counters->exclusive_contended.fetch_add(1, std::memory_order_relaxed);
+  return std::unique_lock<std::shared_mutex>(mu);
+}
+
+}  // namespace hermes::storage
+
+#endif  // HERMES_STORAGE_LOCK_STATS_H_

@@ -28,8 +28,9 @@ Pager::Pager(Env* env, std::unique_ptr<RandomRWFile> file, size_t cache_pages)
 Pager::~Pager() { HERMES_CHECK_OK(Flush()); }
 
 StatusOr<Page*> Pager::Allocate() {
+  std::lock_guard<std::mutex> lock(mu_);
   HERMES_RETURN_NOT_OK(EvictIfNeeded());
-  const PageId id = num_pages_++;
+  const PageId id = num_pages_.fetch_add(1, std::memory_order_acq_rel);
   auto page = std::make_unique<Page>();
   page->id = id;
   page->dirty = true;  // New pages must reach disk even if untouched.
@@ -44,6 +45,7 @@ StatusOr<Page*> Pager::Allocate() {
 }
 
 StatusOr<Page*> Pager::Fetch(PageId id) {
+  std::lock_guard<std::mutex> lock(mu_);
   // Hot path: resident page, no recency bookkeeping.
   if (id < page_table_.size() && page_table_[id] != nullptr) {
     ++stats_.cache_hits;
@@ -51,9 +53,10 @@ StatusOr<Page*> Pager::Fetch(PageId id) {
     ++page->pins;
     return page;
   }
-  if (id >= num_pages_) {
-    return Status::OutOfRange("page " + std::to_string(id) + " of " +
-                              std::to_string(num_pages_));
+  if (id >= num_pages_.load(std::memory_order_relaxed)) {
+    return Status::OutOfRange(
+        "page " + std::to_string(id) + " of " +
+        std::to_string(num_pages_.load(std::memory_order_relaxed)));
   }
   ++stats_.cache_misses;
   HERMES_RETURN_NOT_OK(EvictIfNeeded());
@@ -73,6 +76,7 @@ StatusOr<Page*> Pager::Fetch(PageId id) {
 }
 
 void Pager::Unpin(Page* page, bool dirty) {
+  std::lock_guard<std::mutex> lock(mu_);
   HERMES_CHECK(page != nullptr && page->pins > 0) << "unbalanced Unpin";
   if (dirty) page->dirty = true;
   --page->pins;
@@ -115,6 +119,7 @@ Status Pager::WriteBack(Page* page) {
 }
 
 Status Pager::Flush() {
+  std::lock_guard<std::mutex> lock(mu_);
   for (auto& [id, page] : frames_) {
     if (page->dirty) {
       HERMES_RETURN_NOT_OK(WriteBack(page.get()));

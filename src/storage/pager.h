@@ -2,9 +2,11 @@
 #define HERMES_STORAGE_PAGER_H_
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <list>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 
@@ -43,6 +45,12 @@ struct PagerStats {
 /// partition files, matching the ReTraTree storage discipline). Page reads
 /// pin frames; callers must `Unpin` when done. Dirty pages are written back
 /// on eviction and on `Flush`.
+///
+/// Concurrency: the pool metadata (frames, LRU, pins, stats) mutates even
+/// on pure reads, so every entry point locks an internal mutex — which is
+/// what lets the owning `HeapFile`/`Gist` take only a *shared* lock on
+/// their read paths. Page *payloads* are not guarded here: the owner's
+/// reader/writer lock keeps readers of `Page::data` from racing writers.
 class Pager {
  public:
   /// Opens `fname` under `env`. `cache_pages` bounds the buffer pool.
@@ -67,11 +75,22 @@ class Pager {
   /// Writes back all dirty pages and syncs the file.
   Status Flush();
 
-  /// Number of pages in the file (allocated so far).
-  PageId num_pages() const { return num_pages_; }
+  /// Number of pages in the file (allocated so far). Lock-free: readers
+  /// use it for bounds checks without entering the pool mutex.
+  PageId num_pages() const {
+    return num_pages_.load(std::memory_order_acquire);
+  }
 
-  const PagerStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = PagerStats{}; }
+  /// Point-in-time counter snapshot (by value: the counters mutate under
+  /// the pool mutex, so a reference would race).
+  PagerStats stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
+  void ResetStats() {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_ = PagerStats{};
+  }
 
  private:
   Pager(Env* env, std::unique_ptr<RandomRWFile> file, size_t cache_pages);
@@ -82,7 +101,10 @@ class Pager {
   Env* env_;
   std::unique_ptr<RandomRWFile> file_;
   size_t cache_capacity_;
-  PageId num_pages_ = 0;
+  std::atomic<PageId> num_pages_{0};
+
+  /// Guards frames_/page_table_/lru_/pins/stats_ (see class comment).
+  mutable std::mutex mu_;
 
   std::unordered_map<PageId, std::unique_ptr<Page>> frames_;
   /// O(1) id -> frame fast path for the hot read paths (index descents);

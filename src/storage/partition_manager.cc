@@ -67,6 +67,16 @@ std::vector<std::string> PartitionManager::List() const {
   return std::vector<std::string>(names.begin(), names.end());
 }
 
+void PartitionManager::ForEachOpen(
+    const std::function<void(const std::string&, HeapFile*)>& fn) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, HeapFile*>> handles;
+  handles.reserve(open_.size());
+  for (const auto& [name, hf] : open_) handles.emplace_back(name, hf.get());
+  std::sort(handles.begin(), handles.end());
+  for (const auto& [name, hf] : handles) fn(name, hf);
+}
+
 Status PartitionManager::FlushAll() {
   std::lock_guard<std::mutex> lock(mu_);
   for (auto& [name, hf] : open_) {

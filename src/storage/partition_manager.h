@@ -1,6 +1,7 @@
 #ifndef HERMES_STORAGE_PARTITION_MANAGER_H_
 #define HERMES_STORAGE_PARTITION_MANAGER_H_
 
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -48,6 +49,13 @@ class PartitionManager {
 
   /// Flushes every open partition.
   Status FlushAll();
+
+  /// Visits every open partition handle under the catalog lock, in
+  /// deterministic (name-sorted) order. Used to aggregate per-partition
+  /// I/O and lock counters into tree-level observability stats; the
+  /// visitor must not call back into the manager.
+  void ForEachOpen(
+      const std::function<void(const std::string&, HeapFile*)>& fn) const;
 
   const std::string& dir() const { return dir_; }
 

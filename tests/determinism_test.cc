@@ -14,6 +14,7 @@
 #include <thread>
 #include <vector>
 
+#include "core/qut_clustering.h"
 #include "core/retratree.h"
 #include "core/s2t_clustering.h"
 #include "datagen/aircraft.h"
@@ -414,6 +415,85 @@ TEST(DeterminismTest, SnapshotReadersDuringIngestMatchQuiescedPrefixes) {
   // The snapshots released their epochs; the builder lineage reports no
   // stale pins once readers are done.
   EXPECT_EQ(live.arena_counters().epochs_pinned, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Hot/cold tier parity: a QUT answer served from the in-memory
+// MemRTree3D snapshots (hot tier) must be bit-identical to the
+// heap-file + Gist cold path — on every scenario, at every build thread
+// count, and both while the tier is promoting and once it is warm.
+// ---------------------------------------------------------------------------
+
+void ExpectQutBitIdentical(const core::QuTResult& a, const core::QuTResult& b,
+                           const std::string& what) {
+  ASSERT_EQ(a.clusters.size(), b.clusters.size()) << what;
+  for (size_t c = 0; c < a.clusters.size(); ++c) {
+    const std::string at = what + " cluster=" + std::to_string(c);
+    ASSERT_EQ(a.clusters[c].representatives.size(),
+              b.clusters[c].representatives.size())
+        << at;
+    for (size_t r = 0; r < a.clusters[c].representatives.size(); ++r) {
+      ExpectSubTrajectoryBitIdentical(a.clusters[c].representatives[r],
+                                      b.clusters[c].representatives[r],
+                                      at + " rep=" + std::to_string(r));
+    }
+    ASSERT_EQ(a.clusters[c].members.size(), b.clusters[c].members.size())
+        << at;
+    for (size_t m = 0; m < a.clusters[c].members.size(); ++m) {
+      ExpectSubTrajectoryBitIdentical(a.clusters[c].members[m],
+                                      b.clusters[c].members[m],
+                                      at + " member=" + std::to_string(m));
+    }
+  }
+  ASSERT_EQ(a.outliers.size(), b.outliers.size()) << what;
+  for (size_t o = 0; o < a.outliers.size(); ++o) {
+    ExpectSubTrajectoryBitIdentical(a.outliers[o], b.outliers[o],
+                                    what + " outlier=" + std::to_string(o));
+  }
+}
+
+TEST(DeterminismTest, HotTierQutMatchesColdAcrossThreadCounts) {
+  for (auto& sc : MakeScenarios()) {
+    SCOPED_TRACE(sc.name);
+    const SigmaEps& se = sc.settings.front();
+    const core::ReTraTreeParams params = IngestParams(sc.store, se);
+    // A window strictly inside the time domain, so boundary sub-chunks
+    // exercise the trimmed `ReadMembersInWindow` path on both tiers.
+    const auto [t0, t1] = sc.store.TimeDomain();
+    const double wi = t0 + (t1 - t0) * 0.2;
+    const double we = t0 + (t1 - t0) * 0.8;
+    std::unique_ptr<core::QuTResult> baseline;  // 1-thread cold answer.
+    for (size_t threads : {1u, 2u, 4u, 8u}) {
+      exec::ExecContext ctx(threads);
+      auto env = storage::Env::NewMemEnv();
+      auto tree =
+          std::move(core::ReTraTree::Open(env.get(), "tier", params)).value();
+      ASSERT_TRUE(tree->InsertStore(sc.store, &ctx).ok());
+      core::QuTClustering qut(tree.get());
+      const std::string at = sc.name + " threads=" + std::to_string(threads);
+
+      tree->SetHotIndexBudget(0);  // Cold tier only.
+      auto cold = qut.Query(wi, we);
+      ASSERT_TRUE(cold.ok()) << at;
+      EXPECT_EQ(tree->hot_stats().qut_hot_probes, 0u) << at;
+
+      tree->SetHotIndexBudget(core::kDefaultHotIndexBudget);
+      auto promote = qut.Query(wi, we);  // Promotes while it reads.
+      ASSERT_TRUE(promote.ok()) << at;
+      auto hot = qut.Query(wi, we);  // Served from the warm hot tier.
+      ASSERT_TRUE(hot.ok()) << at;
+      EXPECT_GT(tree->hot_stats().qut_hot_probes, 0u) << at;
+      EXPECT_GT(tree->hot_stats().hot_promotions, 0u) << at;
+
+      ExpectQutBitIdentical(*cold, *promote, at + " promote-pass");
+      ExpectQutBitIdentical(*cold, *hot, at + " hot-pass");
+      if (baseline == nullptr) {
+        baseline = std::make_unique<core::QuTResult>(std::move(*cold));
+      } else {
+        ExpectQutBitIdentical(*baseline, *hot, at + " vs 1-thread");
+      }
+    }
+  }
 }
 
 TEST(DeterminismTest, RepeatedRunsAreBitIdentical) {

@@ -1,0 +1,188 @@
+// The in-memory hot-tier pg3D R-tree: STR bulk-load layout determinism
+// across thread counts, probe parity against a brute-force scan for every
+// query mode, structural validation, and the epoch-pin accounting that
+// keeps published snapshots alive while readers hold them.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "datagen/aircraft.h"
+#include "exec/exec_context.h"
+#include "geom/mbb.h"
+#include "rtree/mem_rtree3d.h"
+#include "rtree/str_bulk_load.h"
+#include "traj/segment_arena.h"
+#include "traj/trajectory_store.h"
+
+namespace hermes::rtree {
+namespace {
+
+traj::TrajectoryStore MakeStore(size_t flights) {
+  datagen::AircraftScenarioParams p =
+      datagen::AircraftScenarioParams::Default();
+  p.num_flights = flights;
+  p.sample_dt = 40.0;
+  p.seed = 7;
+  auto scenario = datagen::GenerateAircraftScenario(p);
+  return std::move(scenario->store);
+}
+
+std::vector<std::pair<geom::Mbb3D, uint64_t>> ArenaItems(
+    const traj::SegmentArena& arena) {
+  std::vector<std::pair<geom::Mbb3D, uint64_t>> items(arena.num_segments());
+  for (size_t r = 0; r < arena.num_segments(); ++r) {
+    items[r] = {arena.BoundsOf(r), PackSegmentRef(arena.RefOf(r))};
+  }
+  return items;
+}
+
+/// Leaf-level predicate of `RTreeOpClass::Consistent` (closed boxes) —
+/// the ground truth `SearchInto` must reproduce.
+bool Matches(const geom::Mbb3D& item, const geom::Mbb3D& query,
+             QueryMode mode) {
+  switch (mode) {
+    case QueryMode::kIntersects:
+      return item.Intersects(query);
+    case QueryMode::kContainedBy:
+      return query.Contains(item);
+    case QueryMode::kContains:
+      return item.Contains(query);
+  }
+  return false;
+}
+
+TEST(MemRTreeTest, BulkLoadLayoutIsThreadCountIndependent) {
+  const traj::TrajectoryStore store = MakeStore(16);
+  const traj::SegmentArena arena = store.ArenaSnapshot();
+  ASSERT_GT(arena.num_segments(), 100u);
+
+  auto base = BuildMemSegmentIndex(arena, 0.9, /*ctx=*/nullptr);
+  ASSERT_NE(base, nullptr);
+  ASSERT_TRUE(base->Validate().ok());
+  EXPECT_EQ(base->num_entries(), arena.num_segments());
+  EXPECT_GT(base->height(), 1u);  // Enough entries to force real packing.
+  const uint64_t expected = base->Fingerprint();
+
+  for (size_t threads : {1u, 2u, 4u, 8u}) {
+    exec::ExecContext ctx(threads);
+    auto tree = BuildMemSegmentIndex(arena, 0.9, &ctx);
+    ASSERT_NE(tree, nullptr);
+    ASSERT_TRUE(tree->Validate().ok()) << "threads=" << threads;
+    EXPECT_EQ(tree->Fingerprint(), expected) << "threads=" << threads;
+    EXPECT_EQ(tree->num_nodes(), base->num_nodes()) << "threads=" << threads;
+    EXPECT_EQ(tree->bytes(), base->bytes()) << "threads=" << threads;
+  }
+}
+
+TEST(MemRTreeTest, SearchMatchesBruteForceForEveryMode) {
+  const traj::TrajectoryStore store = MakeStore(12);
+  const traj::SegmentArena arena = store.ArenaSnapshot();
+  const auto items = ArenaItems(arena);
+  auto tree = BuildMemSegmentIndex(arena);
+  ASSERT_NE(tree, nullptr);
+
+  // Probe boxes: the whole domain, octant slices, a thin temporal band,
+  // a single item's exact bounds (exercises kContains non-trivially),
+  // and a box far outside the domain.
+  geom::Mbb3D domain;
+  for (const auto& [box, datum] : items) domain.Extend(box);
+  std::vector<geom::Mbb3D> queries = {domain, items[items.size() / 2].first};
+  const double mx = (domain.min_x + domain.max_x) / 2;
+  const double my = (domain.min_y + domain.max_y) / 2;
+  const double mt = (domain.min_t + domain.max_t) / 2;
+  queries.push_back({domain.min_x, domain.min_y, domain.min_t, mx, my, mt});
+  queries.push_back({mx, my, mt, domain.max_x, domain.max_y, domain.max_t});
+  queries.push_back({domain.min_x, domain.min_y, mt - 1.0, domain.max_x,
+                     domain.max_y, mt + 1.0});
+  queries.push_back({domain.max_x + 10.0, domain.max_y + 10.0,
+                     domain.max_t + 10.0, domain.max_x + 20.0,
+                     domain.max_y + 20.0, domain.max_t + 20.0});
+
+  for (QueryMode mode : {QueryMode::kIntersects, QueryMode::kContainedBy,
+                         QueryMode::kContains}) {
+    for (size_t qi = 0; qi < queries.size(); ++qi) {
+      std::vector<uint64_t> expected;
+      for (const auto& [box, datum] : items) {
+        if (Matches(box, queries[qi], mode)) expected.push_back(datum);
+      }
+      std::vector<uint64_t> got;
+      tree->SearchInto(queries[qi], mode, &got);
+      std::sort(expected.begin(), expected.end());
+      std::sort(got.begin(), got.end());
+      EXPECT_EQ(got, expected)
+          << "mode=" << static_cast<int>(mode) << " query=" << qi;
+    }
+  }
+}
+
+TEST(MemRTreeTest, EmptyTree) {
+  auto tree = MemRTree3D::BulkLoad({});
+  ASSERT_NE(tree, nullptr);
+  EXPECT_EQ(tree->num_entries(), 0u);
+  EXPECT_EQ(tree->height(), 0u);
+  EXPECT_TRUE(tree->Validate().ok());
+  std::vector<uint64_t> out = {42};  // SearchInto must clear stale content.
+  tree->SearchInto({0, 0, 0, 1, 1, 1}, QueryMode::kIntersects, &out);
+  EXPECT_TRUE(out.empty());
+  // Two empty trees fingerprint identically.
+  EXPECT_EQ(tree->Fingerprint(), MemRTree3D::BulkLoad({})->Fingerprint());
+}
+
+TEST(MemRTreeTest, SingleItemTree) {
+  const geom::Mbb3D box{0, 0, 0, 10, 10, 10};
+  auto tree = MemRTree3D::BulkLoad({{box, 99}});
+  ASSERT_NE(tree, nullptr);
+  EXPECT_EQ(tree->num_entries(), 1u);
+  EXPECT_EQ(tree->height(), 1u);
+  ASSERT_TRUE(tree->Validate().ok());
+  std::vector<uint64_t> out;
+  tree->SearchInto({5, 5, 5, 6, 6, 6}, QueryMode::kIntersects, &out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], 99u);
+  tree->SearchInto({20, 20, 20, 30, 30, 30}, QueryMode::kIntersects, &out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(MemRTreeTest, BytesGrowWithEntries) {
+  const traj::TrajectoryStore small = MakeStore(4);
+  const traj::TrajectoryStore large = MakeStore(16);
+  auto empty = MemRTree3D::BulkLoad({});
+  auto a = BuildMemSegmentIndex(small.ArenaSnapshot());
+  auto b = BuildMemSegmentIndex(large.ArenaSnapshot());
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_GT(a->bytes(), empty->bytes());  // First node block allocated.
+  // Node storage is block-granular (64 nodes per bump-arena block), so
+  // a bigger tree may round to the same byte count — but never fewer.
+  EXPECT_GE(b->bytes(), a->bytes());
+  EXPECT_GT(b->num_nodes(), a->num_nodes());
+}
+
+TEST(MemRTreeTest, EpochPinAccounting) {
+  // The pin RAII the hot tier hangs its snapshots on: live rises with
+  // each pin, total never falls, live drops only when the *last* shared
+  // owner releases.
+  auto registry = std::make_shared<traj::EpochPinRegistry>();
+  EXPECT_EQ(registry->live.load(), 0u);
+  {
+    auto pin = std::make_shared<traj::EpochPin>(registry);
+    EXPECT_EQ(registry->live.load(), 1u);
+    EXPECT_EQ(registry->total.load(), 1u);
+    auto second = std::make_shared<traj::EpochPin>(registry);
+    EXPECT_EQ(registry->live.load(), 2u);
+    auto alias = second;  // Shared owner, not a new pin.
+    EXPECT_EQ(registry->live.load(), 2u);
+    second.reset();
+    EXPECT_EQ(registry->live.load(), 2u);  // `alias` still holds it.
+    alias.reset();
+    EXPECT_EQ(registry->live.load(), 1u);
+  }
+  EXPECT_EQ(registry->live.load(), 0u);
+  EXPECT_EQ(registry->total.load(), 2u);
+}
+
+}  // namespace
+}  // namespace hermes::rtree

@@ -203,6 +203,60 @@ TEST_F(QuTTest, StatsReportWork) {
   EXPECT_GE(result->stats.elapsed_us, 0);
 }
 
+TEST_F(QuTTest, WarmHotTierProbesWithoutColdIoOrLocks) {
+  QuTClustering qut(tree_.get());
+  // First pass promotes every partition the window touches (full and
+  // boundary sub-chunks both, so ReadMembers, ReadMembersInWindow, and
+  // ReadOutliers all go hot).
+  ASSERT_TRUE(qut.Query(50, 750).ok());
+  const ColdIoStats io_before = tree_->cold_io_stats();
+  const HotTierStats hot_before = tree_->hot_stats();
+  auto result = qut.Query(50, 750);
+  ASSERT_TRUE(result.ok());
+  const ColdIoStats io_after = tree_->cold_io_stats();
+  const HotTierStats hot_after = tree_->hot_stats();
+  // The tier's acceptance bar: a warm QUT probe performs zero heap-file
+  // page reads, zero Gist node visits/page reads, and zero per-partition
+  // lock acquisitions — the probe path is one atomic snapshot load.
+  EXPECT_EQ(io_after.heap_page_fetches, io_before.heap_page_fetches);
+  EXPECT_EQ(io_after.heap_lock_acquisitions, io_before.heap_lock_acquisitions);
+  EXPECT_EQ(io_after.index_nodes_visited, io_before.index_nodes_visited);
+  EXPECT_EQ(io_after.index_page_fetches, io_before.index_page_fetches);
+  EXPECT_EQ(io_after.index_lock_acquisitions,
+            io_before.index_lock_acquisitions);
+  EXPECT_GT(hot_after.qut_hot_probes, hot_before.qut_hot_probes);
+  EXPECT_EQ(hot_after.qut_cold_probes, hot_before.qut_cold_probes);
+  EXPECT_GT(hot_after.hot_index_bytes, 0u);
+  EXPECT_GT(hot_after.hot_partitions, 0u);
+}
+
+TEST_F(QuTTest, ZeroBudgetDisablesAndDemotesHotTier) {
+  QuTClustering qut(tree_.get());
+  ASSERT_TRUE(qut.Query(0, 800).ok());  // Promote.
+  ASSERT_GT(tree_->hot_stats().hot_index_bytes, 0u);
+  tree_->SetHotIndexBudget(0);  // Demote everything, disable promotion.
+  const HotTierStats demoted = tree_->hot_stats();
+  EXPECT_EQ(demoted.hot_index_bytes, 0u);
+  EXPECT_GT(demoted.hot_demotions, 0u);
+  const uint64_t hot_probes = demoted.qut_hot_probes;
+  auto result = qut.Query(0, 800);
+  ASSERT_TRUE(result.ok());
+  const HotTierStats after = tree_->hot_stats();
+  EXPECT_EQ(after.qut_hot_probes, hot_probes);  // All probes went cold.
+  EXPECT_GT(after.qut_cold_probes, demoted.qut_cold_probes);
+  EXPECT_EQ(after.hot_index_bytes, 0u);
+}
+
+TEST_F(QuTTest, HotSnapshotsReleaseTheirPins) {
+  QuTClustering qut(tree_.get());
+  ASSERT_TRUE(qut.Query(0, 800).ok());  // Promote.
+  const auto& pins = tree_->hot_pin_registry();
+  EXPECT_GT(pins->live.load(), 0u);
+  EXPECT_GE(pins->total.load(), pins->live.load());
+  tree_->SetHotIndexBudget(0);  // Demote: the only owners let go.
+  EXPECT_EQ(pins->live.load(), 0u);
+}
+
 TEST_F(QuTTest, SurvivesSaveAndReopen) {
   // Persist the tree, reopen it, and ask the same question: the answer
   // must match the pre-restart one.

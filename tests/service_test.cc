@@ -274,6 +274,53 @@ TEST(ServiceTest, QutUsesSharedTreeAndCatchesUpAfterIngest) {
   EXPECT_EQ(after->rows, expected->rows);
 }
 
+TEST(ServiceTest, ServiceStatsExposeHotTierCounters) {
+  auto server = std::move(Server::Start(ServerOptions{})).value();
+  const traj::TrajectoryStore ships = MakeShips(6);
+  ASSERT_TRUE(server->RegisterStore("ships", Prefix(ships, 6)).ok());
+  auto session = server->Connect();
+
+  const auto [t0, t1] = ships.TimeDomain();
+  const double tau = (t1 - t0) / 2, delta = tau / 4;
+  const std::string qut_sql =
+      "SELECT QUT(ships, " + std::to_string(t0) + ", " +
+      std::to_string(t1 + 1) + ", " + std::to_string(tau) + ", " +
+      std::to_string(delta) + ", " + std::to_string(delta) + ", 900, 6);";
+  // First query promotes (cold probes), second serves hot.
+  ASSERT_TRUE(session->Execute(qut_sql).ok());
+  ASSERT_TRUE(session->Execute(qut_sql).ok());
+
+  auto svc = session->Execute("SHOW SERVICE STATS;");
+  ASSERT_TRUE(svc.ok());
+  int64_t hot = -1, cold = -1, bytes = -1;
+  for (const auto& row : svc->rows) {
+    if (row[0] == Value::Str("qut_hot_probes")) hot = row[1].AsInt();
+    if (row[0] == Value::Str("qut_cold_probes")) cold = row[1].AsInt();
+    if (row[0] == Value::Str("hot_index_bytes")) bytes = row[1].AsInt();
+  }
+  EXPECT_GT(hot, 0);
+  EXPECT_GT(cold, 0);
+  EXPECT_GT(bytes, 0);
+
+  // A zero server budget keeps every shared tree cold.
+  ServerOptions cold_opts;
+  cold_opts.session_defaults.hot_index_budget = 0;
+  auto cold_server = std::move(Server::Start(std::move(cold_opts))).value();
+  ASSERT_TRUE(cold_server->RegisterStore("ships", Prefix(ships, 6)).ok());
+  auto cold_session = cold_server->Connect();
+  ASSERT_TRUE(cold_session->Execute(qut_sql).ok());
+  ASSERT_TRUE(cold_session->Execute(qut_sql).ok());
+  const ServiceStats cs = cold_server->Stats();
+  EXPECT_EQ(cs.qut_hot_probes, 0u);
+  EXPECT_GT(cs.qut_cold_probes, 0u);
+  EXPECT_EQ(cs.hot_index_bytes, 0u);
+
+  // Start-time validation mirrors the SET-path validator.
+  ServerOptions bad;
+  bad.session_defaults.hot_index_budget = -5;
+  EXPECT_TRUE(Server::Start(std::move(bad)).status().IsInvalidArgument());
+}
+
 // ---------------------------------------------------------------------------
 // The acceptance criterion: concurrent readers + ingest worker,
 // bit-identical to quiesced sequential runs over published prefixes.

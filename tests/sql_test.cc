@@ -631,6 +631,52 @@ TEST_F(SqlSessionTest, SetThreadsControlsSessionParallelism) {
   EXPECT_EQ(session_.exec_context(), nullptr);
 }
 
+TEST_F(SqlSessionTest, ShowStatsExposesHotTierCounters) {
+  traj::TrajectoryStore lanes = datagen::MakeParallelLanes(
+      2, 6, 5000.0, 1600.0, 10.0, 10.0, /*seed=*/5, /*jitter=*/1.0);
+  ASSERT_TRUE(session_.RegisterStore("lanes", std::move(lanes)).ok());
+  ASSERT_TRUE(
+      session_.Execute("SELECT QUT(lanes, 0, 160, 80, 40, 12, 80, 8);").ok());
+  // Second identical query: the tree is reused and the partitions the
+  // first query promoted now serve from the hot tier.
+  ASSERT_TRUE(
+      session_.Execute("SELECT QUT(lanes, 0, 160, 80, 40, 12, 80, 8);").ok());
+  auto stats = session_.Execute("SHOW STATS;");
+  ASSERT_TRUE(stats.ok());
+  int64_t hot = -1, cold = -1, bytes = -1, promotions = -1;
+  for (const auto& row : stats->rows) {
+    if (row[0] == Value::Str("qut_hot_probes")) hot = row[1].AsInt();
+    if (row[0] == Value::Str("qut_cold_probes")) cold = row[1].AsInt();
+    if (row[0] == Value::Str("hot_index_bytes")) bytes = row[1].AsInt();
+    if (row[0] == Value::Str("hot_promotions")) promotions = row[1].AsInt();
+  }
+  EXPECT_GT(hot, 0);
+  EXPECT_GT(cold, 0);  // The first (promoting) pass counted cold.
+  EXPECT_GT(bytes, 0);
+  EXPECT_GT(promotions, 0);
+}
+
+TEST_F(SqlSessionTest, HotIndexBudgetZeroKeepsQutCold) {
+  traj::TrajectoryStore lanes = datagen::MakeParallelLanes(
+      2, 6, 5000.0, 1600.0, 10.0, 10.0, /*seed=*/5, /*jitter=*/1.0);
+  ASSERT_TRUE(session_.RegisterStore("lanes", std::move(lanes)).ok());
+  ASSERT_TRUE(session_.Execute("SET hermes.hot_index_budget = 0;").ok());
+  ASSERT_TRUE(
+      session_.Execute("SELECT QUT(lanes, 0, 160, 80, 40, 12, 80, 8);").ok());
+  ASSERT_TRUE(
+      session_.Execute("SELECT QUT(lanes, 0, 160, 80, 40, 12, 80, 8);").ok());
+  auto stats = session_.Execute("SHOW STATS;");
+  ASSERT_TRUE(stats.ok());
+  for (const auto& row : stats->rows) {
+    if (row[0] == Value::Str("qut_hot_probes")) {
+      EXPECT_EQ(row[1], Value::Int(0));
+    }
+    if (row[0] == Value::Str("hot_index_bytes")) {
+      EXPECT_EQ(row[1], Value::Int(0));
+    }
+  }
+}
+
 TEST_F(SqlSessionTest, SettingsValidateAtTheBoundary) {
   // Regression: 0 / negative / non-integer / out-of-range values used to
   // slip through as silent casts; the registry must reject them all with
@@ -652,6 +698,11 @@ TEST_F(SqlSessionTest, SettingsValidateAtTheBoundary) {
   EXPECT_TRUE(session_.Execute("SET hermes.use_index = 2;")
                   .status()
                   .IsInvalidArgument());
+  EXPECT_TRUE(session_.Execute("SET hermes.hot_index_budget = -1;")
+                  .status()
+                  .IsInvalidArgument());
+  // 0 is in-domain: it disables the hot tier rather than being an error.
+  EXPECT_TRUE(session_.Execute("SET hermes.hot_index_budget = 0;").ok());
   // Unknown knobs are NotSupported (distinct from bad values).
   EXPECT_TRUE(session_.Execute("SET hermes.workers = 2;")
                   .status()
