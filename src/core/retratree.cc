@@ -693,7 +693,7 @@ StatusOr<std::vector<traj::SubTrajectory>> ReTraTree::ReadMembers(
   qut_cold_probes_.fetch_add(1, std::memory_order_relaxed);
   HERMES_ASSIGN_OR_RETURN(std::vector<traj::SubTrajectory> out,
                           ScanPartition(entry.partition_name));
-  MaybePromote(&entry.hot, out, /*with_index=*/true);
+  MaybePromote(&entry.hot, &entry.hot_unfit_budget, out, /*with_index=*/true);
   return out;
 }
 
@@ -704,12 +704,15 @@ StatusOr<std::vector<traj::SubTrajectory>> ReTraTree::ReadMembersInWindow(
   const geom::Mbb3D window(-kBig, -kBig, t0, kBig, kBig, t1);
 
   HotSlot hot = std::atomic_load(&entry.hot);
-  if (hot == nullptr && hot_index_budget() != 0) {
+  if (hot == nullptr && PromotionMightFit(entry.hot_unfit_budget)) {
     // Promote-on-read: fault the partition in once, then serve this and
-    // every later window probe from the snapshot.
+    // every later window probe from the snapshot. Skipped entirely when
+    // a failed fit is memoized — otherwise every window read would repay
+    // the full scan just to rediscover the snapshot doesn't fit.
     HERMES_ASSIGN_OR_RETURN(std::vector<traj::SubTrajectory> all,
                             ScanPartition(entry.partition_name));
-    MaybePromote(&entry.hot, all, /*with_index=*/true);
+    MaybePromote(&entry.hot, &entry.hot_unfit_budget, all,
+                 /*with_index=*/true);
     hot = std::atomic_load(&entry.hot);
   }
   if (hot != nullptr) {
@@ -763,12 +766,14 @@ StatusOr<std::vector<traj::SubTrajectory>> ReTraTree::ReadOutliers(
     // sub-chunk as a cold probe; a later outlier insert extends it in
     // the same order the (then-created) heap partition would produce.
     std::vector<traj::SubTrajectory> none;
-    MaybePromote(&sc.hot_outliers, none, /*with_index=*/false);
+    MaybePromote(&sc.hot_outliers, &sc.hot_outliers_unfit_budget, none,
+                 /*with_index=*/false);
     return none;
   }
   HERMES_ASSIGN_OR_RETURN(std::vector<traj::SubTrajectory> out,
                           ScanPartition(sc.outlier_partition));
-  MaybePromote(&sc.hot_outliers, out, /*with_index=*/false);
+  MaybePromote(&sc.hot_outliers, &sc.hot_outliers_unfit_budget, out,
+               /*with_index=*/false);
   return out;
 }
 
@@ -791,29 +796,44 @@ std::unique_ptr<rtree::MemRTree3D> BuildHotMemberIndex(
 }
 }  // namespace
 
-size_t ReTraTree::HotBytesOf(const HotPartition& hot) {
-  size_t bytes = sizeof(HotPartition);
-  bytes += hot.members.capacity() * sizeof(traj::SubTrajectory);
-  for (const auto& m : hot.members) {
+size_t ReTraTree::MemberBytes(const std::vector<traj::SubTrajectory>& members) {
+  size_t bytes = members.size() * sizeof(traj::SubTrajectory);
+  for (const auto& m : members) {
     bytes += m.points.size() * 3 * sizeof(double);
   }
+  return bytes;
+}
+
+size_t ReTraTree::HotBytesOf(const HotPartition& hot) {
+  size_t bytes = sizeof(HotPartition) + MemberBytes(hot.members);
   if (hot.index != nullptr) bytes += hot.index->bytes();
   return bytes;
 }
 
-void ReTraTree::MaybePromote(HotSlot* slot,
+void ReTraTree::MaybePromote(HotSlot* slot, std::atomic<size_t>* unfit_budget,
                              const std::vector<traj::SubTrajectory>& members,
                              bool with_index) const {
-  if (hot_index_budget() == 0) return;
+  if (!PromotionMightFit(*unfit_budget)) return;
   std::lock_guard<std::mutex> lock(hot_mu_);
   const size_t budget = hot_index_budget_.load(std::memory_order_relaxed);
   if (budget == 0) return;
   if (std::atomic_load(slot) != nullptr) return;  // Lost a promote race.
+  // The members alone blow the budget: record the failure (so reads stop
+  // re-scanning and re-measuring until the budget is raised) before
+  // paying for the copy or the index build.
+  if (sizeof(HotPartition) + MemberBytes(members) > budget) {
+    unfit_budget->store(budget, std::memory_order_relaxed);
+    return;
+  }
   auto hot = std::make_shared<HotPartition>();
   hot->members = members;
   if (with_index) hot->index = BuildHotMemberIndex(hot->members);
   hot->bytes = HotBytesOf(*hot);
-  if (hot->bytes > budget) return;  // Never fits; stay cold.
+  if (hot->bytes > budget) {  // Members fit but the index tips it over.
+    unfit_budget->store(budget, std::memory_order_relaxed);
+    return;
+  }
+  unfit_budget->store(0, std::memory_order_relaxed);
   hot->pin = std::make_unique<traj::EpochPin>(hot_pins_);
   TouchHot(*hot);
   hot_bytes_.fetch_add(hot->bytes, std::memory_order_relaxed);
@@ -830,10 +850,26 @@ Status ReTraTree::ExtendHotSnapshot(HotSlot* slot,
   std::lock_guard<std::mutex> lock(hot_mu_);
   HotSlot cur = std::atomic_load(slot);
   if (cur == nullptr) return Status::OK();  // Cold: nothing to maintain.
+  // Republishing copies every member and rebuilds the whole index under
+  // hot_mu_; past this size that O(n log n) tax per append serializes
+  // the tier tree-wide, so drop the snapshot and let the next read
+  // re-promote once instead.
+  if (cur->members.size() >= kMaxHotExtendMembers) {
+    DemoteLocked(slot);
+    return Status::OK();
+  }
   // Roundtrip through the record encoding so the hot copy stays
-  // bit-identical to what a cold read would decode.
-  HERMES_ASSIGN_OR_RETURN(traj::SubTrajectory decoded,
-                          DecodeSubTrajectory(EncodeSubTrajectory(member)));
+  // bit-identical to what a cold read would decode. On failure the
+  // record is already durable in the heap + Gist, so a still-published
+  // snapshot would silently hide it from hot reads: demote so the next
+  // read re-promotes from disk.
+  StatusOr<traj::SubTrajectory> decoded_or =
+      DecodeSubTrajectory(EncodeSubTrajectory(member));
+  if (!decoded_or.ok()) {
+    DemoteLocked(slot);
+    return decoded_or.status();
+  }
+  traj::SubTrajectory decoded = std::move(decoded_or).value();
   auto next = std::make_shared<HotPartition>();
   next->members = cur->members;
   next->members.push_back(std::move(decoded));

@@ -143,6 +143,11 @@ struct RepresentativeEntry {
   /// the tree's hot-tier mutex. Mutable because promotion is a caching
   /// side effect of const read paths.
   mutable std::shared_ptr<const HotPartition> hot;
+  /// Largest hot-tier budget under which this partition's snapshot was
+  /// measured not to fit (0 = never failed). Read paths consult it to
+  /// skip the promote-on-read scan + index build — which would fail
+  /// again — until the budget is raised past it.
+  mutable std::atomic<size_t> hot_unfit_budget{0};
 };
 
 /// \brief L2 node: one sub-chunk of the time domain with its
@@ -170,6 +175,9 @@ struct SubChunk {
   /// `RepresentativeEntry::hot`); dropped when re-clustering rebuilds the
   /// buffer.
   mutable std::shared_ptr<const HotPartition> hot_outliers;
+  /// Failed-promotion memo for the outlier snapshot (see
+  /// `RepresentativeEntry::hot_unfit_budget`).
+  mutable std::atomic<size_t> hot_outliers_unfit_budget{0};
 };
 
 /// \brief L1 node: one temporal chunk holding its sub-chunks.
@@ -367,15 +375,36 @@ class ReTraTree {
 
   using HotSlot = std::shared_ptr<const HotPartition>;
 
+  /// Largest snapshot `ExtendHotSnapshot` will republish instead of
+  /// demoting (see its comment).
+  static constexpr size_t kMaxHotExtendMembers = 4096;
+
   /// Publishes a snapshot for `slot` from just-decoded records (a cold
   /// read's side effect). No-op when the tier is disabled, the slot
-  /// raced hot, or the snapshot alone exceeds the budget.
-  void MaybePromote(HotSlot* slot,
+  /// raced hot, or the snapshot alone exceeds the budget — the latter is
+  /// recorded in `unfit_budget` (member bytes are estimated before the
+  /// index is built, so a hopeless promotion never pays the build).
+  void MaybePromote(HotSlot* slot, std::atomic<size_t>* unfit_budget,
                     const std::vector<traj::SubTrajectory>& members,
                     bool with_index) const;
+  /// True when promoting this slot could succeed: the tier is enabled
+  /// and no failed promotion has been recorded at (or above) the current
+  /// budget. Window reads consult this before paying the promote-on-read
+  /// full scan.
+  bool PromotionMightFit(const std::atomic<size_t>& unfit_budget) const {
+    const size_t budget = hot_index_budget();
+    if (budget == 0) return false;
+    const size_t failed_at = unfit_budget.load(std::memory_order_relaxed);
+    return failed_at == 0 || budget > failed_at;
+  }
   /// Copy-on-write republish of a live snapshot after an append — the
   /// drain worker's incremental catch-up extends the hot tree the same
-  /// way it extends the Gist. No-op when the slot is cold.
+  /// way it extends the Gist. No-op when the slot is cold. Past
+  /// `kMaxHotExtendMembers` the per-append rebuild tax outweighs the
+  /// tier's benefit, so the slot is demoted instead (the next read
+  /// re-promotes once); the slot is also demoted if the member fails the
+  /// encode/decode roundtrip, because the record is already durable and
+  /// a stale snapshot would silently hide it from hot reads.
   Status ExtendHotSnapshot(HotSlot* slot,
                            const traj::SubTrajectory& member) const;
   /// Drops a live snapshot. Caller holds `hot_mu_`.
@@ -389,6 +418,9 @@ class ReTraTree {
         std::memory_order_relaxed);
   }
   static size_t HotBytesOf(const HotPartition& hot);
+  /// Heap bytes of the decoded members alone (the index-free part of
+  /// `HotBytesOf`) — computable before copying them into a snapshot.
+  static size_t MemberBytes(const std::vector<traj::SubTrajectory>& members);
 
   /// Id for a sub-trajectory derived by a re-clustering run (new
   /// representative, re-labeled member, or residue): bit 63 set, the

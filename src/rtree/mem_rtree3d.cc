@@ -1,8 +1,10 @@
 #include "rtree/mem_rtree3d.h"
 
 #include <algorithm>
+#include <cassert>
 #include <cmath>
 #include <cstring>
+#include <iterator>
 
 #include "exec/parallel_for.h"
 #include "rtree/rtree3d.h"
@@ -100,9 +102,21 @@ void MemRTree3D::SearchInto(const geom::Mbb3D& box, QueryMode mode,
     return false;
   };
 
-  // Iterative DFS; a small inline stack covers any realistic height
-  // (fanout >= 2 per level).
-  size_t stack_buf[64];
+  // Iterative DFS. Popping a node frees one slot and pushes at most
+  // kFanout children, once per internal level, so worst-case occupancy
+  // is 1 + (height - 1) * (kFanout - 1). An inline buffer covers trees
+  // up to height 5; deeper ones (> ~500k entries at the default fill
+  // factor) spill the stack to the heap.
+  size_t inline_buf[64];
+  std::vector<size_t> heap_buf;
+  size_t* stack_buf = inline_buf;
+  const size_t capacity =
+      1 + static_cast<size_t>(height_ > 0 ? height_ - 1 : 0) *
+              (MemRTreeNode::kFanout - 1);
+  if (capacity > std::size(inline_buf)) {
+    heap_buf.resize(capacity);
+    stack_buf = heap_buf.data();
+  }
   size_t depth = 0;
   stack_buf[depth++] = root_;
   while (depth > 0) {
@@ -111,6 +125,7 @@ void MemRTree3D::SearchInto(const geom::Mbb3D& box, QueryMode mode,
       if (node.is_leaf) {
         if (leaf_consistent(node.bounds[i])) out->push_back(node.child[i]);
       } else if (internal_consistent(node.bounds[i])) {
+        assert(depth < capacity);
         stack_buf[depth++] = node.child[i];
       }
     }

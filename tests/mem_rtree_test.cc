@@ -118,6 +118,41 @@ TEST(MemRTreeTest, SearchMatchesBruteForceForEveryMode) {
   }
 }
 
+TEST(MemRTreeTest, DeepTreeSearchSpillsDfsStackToHeap) {
+  // A fill factor of 0.1 clamps per-node occupancy to the minimum of 2,
+  // so a few thousand entries build a tree past height 6 — where the
+  // DFS stack's worst-case occupancy, 1 + (height-1)*(kFanout-1),
+  // exceeds SearchInto's 64-slot inline buffer and the search must
+  // spill to a heap stack instead of writing past a fixed array (the
+  // default fill factor hits the same bound at ~500k+ entries).
+  const size_t n = 4096;
+  std::vector<std::pair<geom::Mbb3D, uint64_t>> items;
+  items.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const double x = static_cast<double>(i % 64);
+    const double y = static_cast<double>(i / 64);
+    items.push_back({{x, y, 0.0, x + 0.5, y + 0.5, 1.0}, i});
+  }
+  auto tree = MemRTree3D::BulkLoad(items, /*fill_factor=*/0.1);
+  ASSERT_NE(tree, nullptr);
+  ASSERT_TRUE(tree->Validate().ok());
+  ASSERT_GE(tree->height(), 6u);
+
+  std::vector<uint64_t> got;
+  tree->SearchInto({-1, -1, -1, 100, 100, 2}, QueryMode::kIntersects, &got);
+  EXPECT_EQ(got.size(), n);
+
+  const geom::Mbb3D window{10.0, 10.0, 0.0, 30.0, 40.0, 1.0};
+  std::vector<uint64_t> expected;
+  for (const auto& [box, datum] : items) {
+    if (box.Intersects(window)) expected.push_back(datum);
+  }
+  tree->SearchInto(window, QueryMode::kIntersects, &got);
+  std::sort(got.begin(), got.end());
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(got, expected);
+}
+
 TEST(MemRTreeTest, EmptyTree) {
   auto tree = MemRTree3D::BulkLoad({});
   ASSERT_NE(tree, nullptr);

@@ -247,6 +247,47 @@ TEST_F(QuTTest, ZeroBudgetDisablesAndDemotesHotTier) {
   EXPECT_EQ(after.hot_index_bytes, 0u);
 }
 
+TEST_F(QuTTest, OverBudgetPartitionDoesNotRepayPromotionPerWindowRead) {
+  // A tiny nonzero budget keeps the tier enabled but nothing fits.
+  const RepresentativeEntry* entry = nullptr;
+  for (const auto& [ci, chunk] : tree_->chunks()) {
+    for (const auto& [si, sc] : chunk.sub_chunks) {
+      for (const auto& e : sc.representatives) {
+        if (entry == nullptr && e->member_count > 0) entry = e.get();
+      }
+    }
+  }
+  ASSERT_NE(entry, nullptr);
+  tree_->SetHotIndexBudget(1);
+  const uint64_t promotions = tree_->hot_stats().hot_promotions;
+
+  // First window read pays the promote-on-read full scan, discovers the
+  // snapshot can never fit, and memoizes that.
+  const uint64_t read0 = tree_->stats().records_read;
+  auto first = tree_->ReadMembersInWindow(*entry, 0, 800);
+  ASSERT_TRUE(first.ok());
+  const uint64_t read1 = tree_->stats().records_read;
+  ASSERT_GT(first->size(), 0u);
+  EXPECT_GT(read1 - read0, first->size());  // Scan + cold windowed read.
+
+  // Later window reads skip the scan and go straight to the cold path:
+  // exactly the window's records, nothing else.
+  auto second = tree_->ReadMembersInWindow(*entry, 0, 800);
+  ASSERT_TRUE(second.ok());
+  const uint64_t read2 = tree_->stats().records_read;
+  EXPECT_EQ(second->size(), first->size());
+  EXPECT_EQ(read2 - read1, second->size());
+  EXPECT_EQ(tree_->hot_stats().hot_promotions, promotions);
+
+  // Raising the budget clears the memo: the next read promotes and
+  // serves hot.
+  tree_->SetHotIndexBudget(size_t{64} << 20);
+  auto third = tree_->ReadMembersInWindow(*entry, 0, 800);
+  ASSERT_TRUE(third.ok());
+  EXPECT_EQ(third->size(), first->size());
+  EXPECT_GT(tree_->hot_stats().hot_promotions, promotions);
+}
+
 TEST_F(QuTTest, HotSnapshotsReleaseTheirPins) {
   QuTClustering qut(tree_.get());
   ASSERT_TRUE(qut.Query(0, 800).ok());  // Promote.
