@@ -1,0 +1,100 @@
+#ifndef HERMES_COMMON_THREAD_ANNOTATIONS_H_
+#define HERMES_COMMON_THREAD_ANNOTATIONS_H_
+
+/// \file
+/// Clang thread-safety-analysis capability macros (no-ops elsewhere).
+///
+/// These wrap the attributes documented at
+/// https://clang.llvm.org/docs/ThreadSafetyAnalysis.html so the locking
+/// discipline of every concurrent class in the tree is machine-checked:
+/// Clang builds compile with `-Wthread-safety -Werror` (see the
+/// `thread-safety` CI leg), and GCC builds see empty macros. Annotate with
+/// the capability types from `common/mutex.h` — the raw `std::mutex` of
+/// libstdc++ carries no capability attribute, so annotating it directly
+/// would itself be a `-Wthread-safety-attributes` error under Clang.
+///
+/// Vocabulary (all variadic args are capability expressions, typically a
+/// mutex member like `mu_` or a member of a parameter like `mod->mu`):
+///
+///   GUARDED_BY(mu)      field: reads need `mu` held (shared suffices),
+///                       writes need it exclusively.
+///   PT_GUARDED_BY(mu)   pointer field: same, for the pointee.
+///   REQUIRES(mu)        function: caller must hold `mu` exclusively.
+///   REQUIRES_SHARED(mu) function: caller must hold `mu` at least shared.
+///   ACQUIRE/RELEASE     function acquires/releases `mu` itself (lock
+///                       helpers); `_SHARED` variants for reader locks.
+///   TRY_ACQUIRE(b, mu)  returns `b` exactly when `mu` was acquired.
+///   EXCLUDES(mu)        caller must NOT hold `mu` (non-reentrancy).
+///   CAPABILITY(name)    class is a capability (a lock).
+///   SCOPED_CAPABILITY   class is an RAII guard (ctor acquires, dtor
+///                       releases).
+///   ASSERT_CAPABILITY   function asserts `mu` is held (runtime check).
+///   RETURN_CAPABILITY   function returns a reference to `mu`.
+///   NO_THREAD_SAFETY_ANALYSIS  escape hatch; every use carries a comment
+///                       stating the external contract that replaces the
+///                       analysis.
+
+#if defined(__clang__) && !defined(SWIG)
+#define HERMES_THREAD_ANNOTATION_ATTRIBUTE(x) __attribute__((x))
+#else
+#define HERMES_THREAD_ANNOTATION_ATTRIBUTE(x)  // no-op
+#endif
+
+#define CAPABILITY(x) HERMES_THREAD_ANNOTATION_ATTRIBUTE(capability(x))
+
+#define SCOPED_CAPABILITY HERMES_THREAD_ANNOTATION_ATTRIBUTE(scoped_lockable)
+
+#define GUARDED_BY(x) HERMES_THREAD_ANNOTATION_ATTRIBUTE(guarded_by(x))
+
+#define PT_GUARDED_BY(x) HERMES_THREAD_ANNOTATION_ATTRIBUTE(pt_guarded_by(x))
+
+#define ACQUIRED_BEFORE(...) \
+  HERMES_THREAD_ANNOTATION_ATTRIBUTE(acquired_before(__VA_ARGS__))
+
+#define ACQUIRED_AFTER(...) \
+  HERMES_THREAD_ANNOTATION_ATTRIBUTE(acquired_after(__VA_ARGS__))
+
+#define REQUIRES(...) \
+  HERMES_THREAD_ANNOTATION_ATTRIBUTE(requires_capability(__VA_ARGS__))
+
+#define REQUIRES_SHARED(...) \
+  HERMES_THREAD_ANNOTATION_ATTRIBUTE(requires_shared_capability(__VA_ARGS__))
+
+#define ACQUIRE(...) \
+  HERMES_THREAD_ANNOTATION_ATTRIBUTE(acquire_capability(__VA_ARGS__))
+
+#define ACQUIRE_SHARED(...) \
+  HERMES_THREAD_ANNOTATION_ATTRIBUTE(acquire_shared_capability(__VA_ARGS__))
+
+#define RELEASE(...) \
+  HERMES_THREAD_ANNOTATION_ATTRIBUTE(release_capability(__VA_ARGS__))
+
+#define RELEASE_SHARED(...) \
+  HERMES_THREAD_ANNOTATION_ATTRIBUTE(release_shared_capability(__VA_ARGS__))
+
+#define RELEASE_GENERIC(...) \
+  HERMES_THREAD_ANNOTATION_ATTRIBUTE(release_generic_capability(__VA_ARGS__))
+
+#define TRY_ACQUIRE(...) \
+  HERMES_THREAD_ANNOTATION_ATTRIBUTE(try_acquire_capability(__VA_ARGS__))
+
+#define TRY_ACQUIRE_SHARED(...) \
+  HERMES_THREAD_ANNOTATION_ATTRIBUTE(                                        \
+      try_acquire_shared_capability(__VA_ARGS__))
+
+#define EXCLUDES(...) \
+  HERMES_THREAD_ANNOTATION_ATTRIBUTE(locks_excluded(__VA_ARGS__))
+
+#define ASSERT_CAPABILITY(x) \
+  HERMES_THREAD_ANNOTATION_ATTRIBUTE(assert_capability(x))
+
+#define ASSERT_SHARED_CAPABILITY(x) \
+  HERMES_THREAD_ANNOTATION_ATTRIBUTE(assert_shared_capability(x))
+
+#define RETURN_CAPABILITY(x) \
+  HERMES_THREAD_ANNOTATION_ATTRIBUTE(lock_returned(x))
+
+#define NO_THREAD_SAFETY_ANALYSIS \
+  HERMES_THREAD_ANNOTATION_ATTRIBUTE(no_thread_safety_analysis)
+
+#endif  // HERMES_COMMON_THREAD_ANNOTATIONS_H_

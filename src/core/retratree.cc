@@ -448,7 +448,7 @@ Status ReTraTree::InsertBatch(const traj::TrajectoryStore& store,
   const int64_t apply_us = NowUs() - apply_start;
 
   {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    common::MutexLock lock(&stats_mu_);
     stats_.ingest_split_us += split_us;
     stats_.ingest_apply_us += apply_us;
   }
@@ -480,7 +480,7 @@ Status ReTraTree::InsertPiece(SubChunk* sc, traj::SubTrajectory piece,
   }
   if (best != nullptr) {
     {
-      std::lock_guard<std::mutex> lock(stats_mu_);
+      common::MutexLock lock(&stats_mu_);
       ++stats_.pieces_inserted;
       ++stats_.assigned_to_existing;
     }
@@ -494,7 +494,7 @@ Status ReTraTree::InsertPiece(SubChunk* sc, traj::SubTrajectory piece,
                           hf->Append(EncodeSubTrajectory(piece)));
   (void)rid;
   {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    common::MutexLock lock(&stats_mu_);
     ++stats_.pieces_inserted;
     ++stats_.sent_to_outliers;
     ++stats_.records_written;
@@ -516,7 +516,7 @@ Status ReTraTree::AppendMember(RepresentativeEntry* entry,
   HERMES_ASSIGN_OR_RETURN(storage::RecordId rid,
                           hf->Append(EncodeSubTrajectory(member)));
   {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    common::MutexLock lock(&stats_mu_);
     ++stats_.records_written;
   }
   HERMES_RETURN_NOT_OK(entry->index->Insert(member.Bounds(), rid.Pack()));
@@ -548,7 +548,7 @@ Status ReTraTree::ReclusterOutliers(SubChunk* sc,
   S2TClustering s2t(params_.s2t);
   HERMES_ASSIGN_OR_RETURN(S2TResult result, s2t.Run(temp, ctx));
   {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    common::MutexLock lock(&stats_mu_);
     ++stats_.s2t_runs;
     stats_.s2t_timings += result.timings;
   }
@@ -559,7 +559,7 @@ Status ReTraTree::ReclusterOutliers(SubChunk* sc,
   {
     // Any published snapshot described the dropped buffer; residues
     // re-enter cold and the next read re-promotes.
-    std::lock_guard<std::mutex> lock(hot_mu_);
+    common::MutexLock lock(&hot_mu_);
     DemoteLocked(&sc->hot_outliers);
   }
 
@@ -588,7 +588,7 @@ Status ReTraTree::ReclusterOutliers(SubChunk* sc,
     RepresentativeEntry* raw = entry.get();
     sc->representatives.push_back(std::move(entry));
     {
-      std::lock_guard<std::mutex> lock(stats_mu_);
+      common::MutexLock lock(&stats_mu_);
       ++stats_.representatives_created;
     }
 
@@ -616,7 +616,7 @@ Status ReTraTree::ReclusterOutliers(SubChunk* sc,
     residue.source_trajectory = buffered[rbuf].source_trajectory;
     residue.object_id = buffered[rbuf].object_id;
     {
-      std::lock_guard<std::mutex> lock(stats_mu_);
+      common::MutexLock lock(&stats_mu_);
       ++stats_.reinserted_after_s2t;
     }
     HERMES_RETURN_NOT_OK(InsertPiece(sc, std::move(residue), false, ctx));
@@ -631,7 +631,7 @@ Status ReTraTree::ReclusterOutliers(SubChunk* sc,
       residue.source_trajectory = buffered[rbuf].source_trajectory;
       residue.object_id = buffered[rbuf].object_id;
       {
-        std::lock_guard<std::mutex> lock(stats_mu_);
+        common::MutexLock lock(&stats_mu_);
         ++stats_.reinserted_after_s2t;
       }
       HERMES_RETURN_NOT_OK(InsertPiece(sc, std::move(residue), false, ctx));
@@ -677,7 +677,7 @@ StatusOr<std::vector<traj::SubTrajectory>> ReTraTree::ScanPartition(
       }));
   HERMES_RETURN_NOT_OK(decode_status);
   {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    common::MutexLock lock(&stats_mu_);
     stats_.records_read += out.size();
   }
   return out;
@@ -747,7 +747,7 @@ StatusOr<std::vector<traj::SubTrajectory>> ReTraTree::ReadMembersInWindow(
     out.push_back(std::move(st));
   }
   {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    common::MutexLock lock(&stats_mu_);
     stats_.records_read += out.size();
   }
   return out;
@@ -814,7 +814,7 @@ void ReTraTree::MaybePromote(HotSlot* slot, std::atomic<size_t>* unfit_budget,
                              const std::vector<traj::SubTrajectory>& members,
                              bool with_index) const {
   if (!PromotionMightFit(*unfit_budget)) return;
-  std::lock_guard<std::mutex> lock(hot_mu_);
+  common::MutexLock lock(&hot_mu_);
   const size_t budget = hot_index_budget_.load(std::memory_order_relaxed);
   if (budget == 0) return;
   if (std::atomic_load(slot) != nullptr) return;  // Lost a promote race.
@@ -847,7 +847,7 @@ void ReTraTree::MaybePromote(HotSlot* slot, std::atomic<size_t>* unfit_budget,
 
 Status ReTraTree::ExtendHotSnapshot(HotSlot* slot,
                                     const traj::SubTrajectory& member) const {
-  std::lock_guard<std::mutex> lock(hot_mu_);
+  common::MutexLock lock(&hot_mu_);
   HotSlot cur = std::atomic_load(slot);
   if (cur == nullptr) return Status::OK();  // Cold: nothing to maintain.
   // Republishing copies every member and rebuilds the whole index under
@@ -913,7 +913,7 @@ void ReTraTree::EnforceBudgetLocked() const {
 }
 
 void ReTraTree::SetHotIndexBudget(size_t bytes) {
-  std::lock_guard<std::mutex> lock(hot_mu_);
+  common::MutexLock lock(&hot_mu_);
   hot_index_budget_.store(bytes, std::memory_order_relaxed);
   EnforceBudgetLocked();
 }

@@ -4,12 +4,13 @@
 #include <atomic>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
 #include "common/statusor.h"
+#include "common/thread_annotations.h"
 #include "core/s2t_clustering.h"
 #include "rtree/mem_rtree3d.h"
 #include "rtree/rtree3d.h"
@@ -268,7 +269,12 @@ class ReTraTree {
 
   const ReTraTreeParams& params() const { return params_; }
   const std::map<int64_t, Chunk>& chunks() const { return chunks_; }
-  const ReTraTreeStats& stats() const { return stats_; }
+  /// Snapshot of the ingest/read counters, copied under `stats_mu_` so a
+  /// caller never observes a torn update from a concurrent apply task.
+  ReTraTreeStats stats() const {
+    common::MutexLock lock(&stats_mu_);
+    return stats_;
+  }
 
   /// Sub-chunks whose interval intersects [t0, t1), ordered by time.
   std::vector<const SubChunk*> SubChunksIn(double t0, double t1) const;
@@ -407,11 +413,10 @@ class ReTraTree {
   /// a stale snapshot would silently hide it from hot reads.
   Status ExtendHotSnapshot(HotSlot* slot,
                            const traj::SubTrajectory& member) const;
-  /// Drops a live snapshot. Caller holds `hot_mu_`.
-  void DemoteLocked(HotSlot* slot) const;
-  /// LRU-demotes snapshots until the budget is met. Caller holds
-  /// `hot_mu_`.
-  void EnforceBudgetLocked() const;
+  /// Drops a live snapshot.
+  void DemoteLocked(HotSlot* slot) const REQUIRES(hot_mu_);
+  /// LRU-demotes snapshots until the budget is met.
+  void EnforceBudgetLocked() const REQUIRES(hot_mu_);
   void TouchHot(const HotPartition& hot) const {
     hot.last_access.store(
         hot_clock_.fetch_add(1, std::memory_order_relaxed) + 1,
@@ -438,19 +443,20 @@ class ReTraTree {
 
   std::map<int64_t, Chunk> chunks_;
   traj::SubTrajectoryId next_sub_id_ = 0;
-  mutable ReTraTreeStats stats_;  // Cold read paths count records read.
   /// Serializes stats updates from concurrent apply tasks.
-  mutable std::mutex stats_mu_;
+  mutable common::Mutex stats_mu_;
+  /// Cold read paths count records read.
+  mutable ReTraTreeStats stats_ GUARDED_BY(stats_mu_);
 
   // ---- Hot tier state. The probe path touches only the atomics and the
   // per-slot shared_ptr (via std::atomic_load); hot_mu_ guards
   // publication, demotion, budget changes, and the slot registry —
   // it is never taken on a hot hit.
-  mutable std::mutex hot_mu_;
+  mutable common::Mutex hot_mu_;
   /// Every slot that ever published a snapshot (slot addresses are
   /// stable: entries and sub-chunks are never destroyed while the tree
-  /// lives). Demoted slots stay listed holding null. Guarded by hot_mu_.
-  mutable std::vector<HotSlot*> hot_slots_;
+  /// lives). Demoted slots stay listed holding null.
+  mutable std::vector<HotSlot*> hot_slots_ GUARDED_BY(hot_mu_);
   std::atomic<size_t> hot_index_budget_{kDefaultHotIndexBudget};
   mutable std::atomic<size_t> hot_bytes_{0};
   mutable std::atomic<uint64_t> hot_clock_{0};

@@ -7,6 +7,8 @@
 #include <mutex>
 #include <string>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "exec/thread_pool.h"
 
 namespace hermes::exec {
@@ -20,41 +22,41 @@ namespace hermes::exec {
 class ExecStats {
  public:
   void RecordPhaseUs(const std::string& phase, int64_t us) {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::MutexLock lock(&mu_);
     phase_us_[phase] += us;
   }
   void AddCounter(const std::string& name, int64_t delta) {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::MutexLock lock(&mu_);
     counters_[name] += delta;
   }
 
   int64_t PhaseUs(const std::string& phase) const {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::MutexLock lock(&mu_);
     auto it = phase_us_.find(phase);
     return it == phase_us_.end() ? 0 : it->second;
   }
   int64_t Counter(const std::string& name) const {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::MutexLock lock(&mu_);
     auto it = counters_.find(name);
     return it == counters_.end() ? 0 : it->second;
   }
 
   /// Snapshot of all phase timings (for reports / benches).
   std::map<std::string, int64_t> PhaseTimings() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::MutexLock lock(&mu_);
     return phase_us_;
   }
 
   void Reset() {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::MutexLock lock(&mu_);
     phase_us_.clear();
     counters_.clear();
   }
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, int64_t> phase_us_;
-  std::map<std::string, int64_t> counters_;
+  mutable common::Mutex mu_;
+  std::map<std::string, int64_t> phase_us_ GUARDED_BY(mu_);
+  std::map<std::string, int64_t> counters_ GUARDED_BY(mu_);
 };
 
 /// \brief Handle threaded through the voting → segmentation → clustering

@@ -4,7 +4,9 @@
 #include <condition_variable>
 #include <exception>
 #include <memory>
-#include <mutex>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace hermes::exec {
 
@@ -39,10 +41,12 @@ struct FanOutState {
   /// Claim cursor: fetch_add hands each chunk to exactly one thread.
   std::atomic<size_t> next{0};
 
-  std::mutex mu;
+  common::Mutex mu;
   std::condition_variable cv;
-  size_t done = 0;  ///< Chunks finished or abandoned; guarded by mu.
-  std::exception_ptr error;  ///< First failure; guarded by mu.
+  /// Chunks finished or abandoned.
+  size_t done GUARDED_BY(mu) = 0;
+  /// First failure.
+  std::exception_ptr error GUARDED_BY(mu);
 };
 
 /// Claims and executes chunks until the cursor runs dry. Runs on the
@@ -60,7 +64,7 @@ void DrainChunks(FanOutState* s) {
     } catch (...) {
       eptr = std::current_exception();
     }
-    std::lock_guard<std::mutex> lock(s->mu);
+    common::MutexLock lock(&s->mu);
     ++s->done;
     if (eptr != nullptr && s->error == nullptr) {
       s->error = eptr;
@@ -113,8 +117,8 @@ void ParallelFor(ExecContext* ctx, size_t n, size_t grain,
   }
   DrainChunks(state.get());
 
-  std::unique_lock<std::mutex> lock(state->mu);
-  state->cv.wait(lock, [&]() { return state->done >= state->chunks; });
+  common::MutexLock lock(&state->mu);
+  while (state->done < state->chunks) lock.Wait(state->cv);
   if (state->error != nullptr) std::rethrow_exception(state->error);
 }
 

@@ -18,7 +18,7 @@ ThreadPool::ThreadPool(size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::MutexLock lock(&mu_);
     stop_ = true;
   }
   cv_.notify_all();
@@ -27,7 +27,7 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::Submit(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::MutexLock lock(&mu_);
     queue_.push_back(std::move(task));
   }
   cv_.notify_one();
@@ -38,8 +38,8 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this]() { return stop_ || !queue_.empty(); });
+      common::MutexLock lock(&mu_);
+      while (!stop_ && queue_.empty()) lock.Wait(cv_);
       if (queue_.empty()) return;  // stop_ set and queue drained.
       task = std::move(queue_.front());
       queue_.pop_front();

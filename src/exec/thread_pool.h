@@ -5,9 +5,11 @@
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace hermes::exec {
 
@@ -41,10 +43,12 @@ class ThreadPool {
  private:
   void WorkerLoop();
 
-  std::mutex mu_;
+  common::Mutex mu_;
   std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
-  bool stop_ = false;
+  std::deque<std::function<void()>> queue_ GUARDED_BY(mu_);
+  bool stop_ GUARDED_BY(mu_) = false;
+  /// Written only in the constructor, joined in the destructor (both
+  /// single-threaded by contract); `num_threads()` reads it freely.
   std::vector<std::thread> workers_;
 };
 

@@ -31,6 +31,9 @@ StatusOr<std::unique_ptr<Gist>> Gist::Open(storage::Env* env,
   HERMES_ASSIGN_OR_RETURN(std::unique_ptr<storage::Pager> pager,
                           storage::Pager::Open(env, fname, cache_pages));
   auto tree = std::unique_ptr<Gist>(new Gist(std::move(pager), opclass));
+  // The handle is not shared yet, but LoadMeta writes guarded state, so
+  // take the (uncontended) writer lock for the analysis.
+  common::WriterMutexLock lock(&tree->mu_);
   if (tree->pager_->num_pages() == 0) {
     HERMES_ASSIGN_OR_RETURN(storage::Page * meta, tree->pager_->Allocate());
     storage::PinnedPage pin(tree->pager_.get(), meta);
@@ -86,7 +89,7 @@ std::string Gist::ComputeUnion(const GistNodeView& view) const {
 }
 
 Status Gist::Insert(const void* key, uint64_t datum) {
-  auto lock = storage::CountedExclusiveLock(mu_, &lock_counters_);
+  storage::CountedExclusiveLock lock(mu_, &lock_counters_);
   if (root_ == storage::kInvalidPage) {
     HERMES_ASSIGN_OR_RETURN(root_, NewNode(/*leaf=*/true));
     height_ = 1;
@@ -222,7 +225,7 @@ StatusOr<Gist::InsertResult> Gist::SplitNode(GistNodeView* view,
 Status Gist::Search(
     const void* query,
     const std::function<bool(const void*, uint64_t)>& fn) const {
-  auto lock = storage::CountedSharedLock(mu_, &lock_counters_);
+  storage::CountedSharedLock lock(mu_, &lock_counters_);
   if (root_ == storage::kInvalidPage) return Status::OK();
   // Iterative DFS with an explicit stack: this is the hottest read path
   // (every voting range query descends here).
@@ -265,7 +268,7 @@ Status Gist::Search(
 }
 
 Status Gist::Delete(const void* key, uint64_t datum) {
-  auto lock = storage::CountedExclusiveLock(mu_, &lock_counters_);
+  storage::CountedExclusiveLock lock(mu_, &lock_counters_);
   if (root_ == storage::kInvalidPage) return Status::NotFound("empty tree");
   std::string new_union;
   HERMES_ASSIGN_OR_RETURN(bool found,
@@ -322,7 +325,7 @@ StatusOr<bool> Gist::DeleteRecursive(storage::PageId node_id, const void* key,
 Status Gist::BulkLoad(
     const std::vector<std::pair<std::string, uint64_t>>& entries,
     double fill_factor) {
-  auto lock = storage::CountedExclusiveLock(mu_, &lock_counters_);
+  storage::CountedExclusiveLock lock(mu_, &lock_counters_);
   if (root_ != storage::kInvalidPage) {
     return Status::InvalidArgument("BulkLoad requires an empty tree");
   }
@@ -384,7 +387,7 @@ Status Gist::BulkLoad(
 }
 
 Status Gist::Validate() const {
-  auto lock = storage::CountedSharedLock(mu_, &lock_counters_);
+  storage::CountedSharedLock lock(mu_, &lock_counters_);
   if (root_ == storage::kInvalidPage) {
     if (num_entries_ != 0) return Status::Corruption("entries in empty tree");
     return Status::OK();
@@ -432,7 +435,7 @@ Status Gist::ValidateRecursive(storage::PageId node_id, uint32_t depth,
 }
 
 StatusOr<Gist::NodeSnapshot> Gist::ReadNode(storage::PageId id) const {
-  auto lock = storage::CountedSharedLock(mu_, &lock_counters_);
+  storage::CountedSharedLock lock(mu_, &lock_counters_);
   HERMES_ASSIGN_OR_RETURN(storage::Page * page, pager_->Fetch(id));
   storage::PinnedPage pin(pager_.get(), page);
   GistNodeView view(page, key_size_);
@@ -446,7 +449,7 @@ StatusOr<Gist::NodeSnapshot> Gist::ReadNode(storage::PageId id) const {
 }
 
 Status Gist::Flush() {
-  auto lock = storage::CountedExclusiveLock(mu_, &lock_counters_);
+  storage::CountedExclusiveLock lock(mu_, &lock_counters_);
   return pager_->Flush();
 }
 

@@ -4,12 +4,13 @@
 #include <atomic>
 #include <functional>
 #include <memory>
-#include <shared_mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
 #include "common/statusor.h"
+#include "common/thread_annotations.h"
 #include "gist/gist_page.h"
 #include "storage/env.h"
 #include "storage/lock_stats.h"
@@ -108,10 +109,25 @@ class Gist {
   /// consistent, entry count matches).
   Status Validate() const;
 
-  uint64_t num_entries() const { return num_entries_; }
-  uint32_t height() const { return height_; }
-  storage::PageId root() const { return root_; }
-  bool empty() const { return root_ == storage::kInvalidPage; }
+  /// Structure accessors take the reader lock: they are called from
+  /// outside the tree (benches, the R-tree kNN seed) where a concurrent
+  /// root split must not be observed half-applied.
+  uint64_t num_entries() const {
+    common::ReaderMutexLock lock(&mu_);
+    return num_entries_;
+  }
+  uint32_t height() const {
+    common::ReaderMutexLock lock(&mu_);
+    return height_;
+  }
+  storage::PageId root() const {
+    common::ReaderMutexLock lock(&mu_);
+    return root_;
+  }
+  bool empty() const {
+    common::ReaderMutexLock lock(&mu_);
+    return root_ == storage::kInvalidPage;
+  }
 
   /// Point-in-time counter snapshots (by value: the search counters are
   /// bumped under the *shared* lock, so a reference would race).
@@ -145,9 +161,9 @@ class Gist {
  private:
   Gist(std::unique_ptr<storage::Pager> pager, const GistOpClass* opclass);
 
-  Status LoadMeta();
-  Status SaveMeta();
-  StatusOr<storage::PageId> NewNode(bool leaf);
+  Status LoadMeta() REQUIRES(mu_);
+  Status SaveMeta() REQUIRES(mu_);
+  StatusOr<storage::PageId> NewNode(bool leaf) REQUIRES(mu_);
 
   /// Result of a recursive insert into a subtree.
   struct InsertResult {
@@ -157,32 +173,36 @@ class Gist {
     storage::PageId right_page = storage::kInvalidPage;
   };
   StatusOr<InsertResult> InsertRecursive(storage::PageId node_id,
-                                         const void* key, uint64_t datum);
+                                         const void* key, uint64_t datum)
+      REQUIRES(mu_);
 
   /// Splits the full node `view` plus the pending entry into two nodes.
   StatusOr<InsertResult> SplitNode(GistNodeView* view, const void* key,
-                                   uint64_t datum);
+                                   uint64_t datum) REQUIRES(mu_);
 
   /// Returns true when found+removed; refreshed union in `new_union`.
   StatusOr<bool> DeleteRecursive(storage::PageId node_id, const void* key,
-                                 uint64_t datum, std::string* new_union);
+                                 uint64_t datum, std::string* new_union)
+      REQUIRES(mu_);
 
   Status ValidateRecursive(storage::PageId node_id, uint32_t depth,
                            const std::string* expected_cover,
-                           uint64_t* entries_seen) const;
+                           uint64_t* entries_seen) const REQUIRES_SHARED(mu_);
 
   std::string ComputeUnion(const GistNodeView& view) const;
 
   /// Reader/writer lock over public tree operations (see class comment).
-  mutable std::shared_mutex mu_;
+  mutable common::SharedMutex mu_;
   mutable storage::LockStatsCounters lock_counters_;
+  /// Never reassigned after construction; the pager locks internally, so
+  /// `io_stats()` reads it without `mu_`.
   std::unique_ptr<storage::Pager> pager_;
   const GistOpClass* opclass_;
   size_t key_size_;
 
-  storage::PageId root_ = storage::kInvalidPage;
-  uint32_t height_ = 0;  // 0 = empty; 1 = root is a leaf.
-  uint64_t num_entries_ = 0;
+  storage::PageId root_ GUARDED_BY(mu_) = storage::kInvalidPage;
+  uint32_t height_ GUARDED_BY(mu_) = 0;  // 0 = empty; 1 = root is a leaf.
+  uint64_t num_entries_ GUARDED_BY(mu_) = 0;
 
   /// Search counters run under the shared lock, hence atomic.
   mutable std::atomic<uint64_t> nodes_visited_{0};

@@ -9,9 +9,8 @@ IngestQueue::IngestQueue(size_t capacity)
     : capacity_(capacity == 0 ? 1 : capacity) {}
 
 StatusOr<uint64_t> IngestQueue::Push(IngestBatch batch) {
-  std::unique_lock<std::mutex> lock(mu_);
-  can_push_.wait(lock,
-                 [this] { return closed_ || pending_.size() < capacity_; });
+  common::MutexLock lock(&mu_);
+  while (!closed_ && pending_.size() >= capacity_) lock.Wait(can_push_);
   if (closed_) {
     return Status::ResourceExhausted("ingest queue closed (server shutdown)");
   }
@@ -24,8 +23,8 @@ StatusOr<uint64_t> IngestQueue::Push(IngestBatch batch) {
 
 bool IngestQueue::PopAll(std::vector<IngestBatch>* out) {
   out->clear();
-  std::unique_lock<std::mutex> lock(mu_);
-  can_pop_.wait(lock, [this] { return closed_ || !pending_.empty(); });
+  common::MutexLock lock(&mu_);
+  while (!closed_ && pending_.empty()) lock.Wait(can_pop_);
   if (pending_.empty()) return false;  // Closed and drained.
   out->assign(std::make_move_iterator(pending_.begin()),
               std::make_move_iterator(pending_.end()));
@@ -35,19 +34,19 @@ bool IngestQueue::PopAll(std::vector<IngestBatch>* out) {
 }
 
 void IngestQueue::Close() {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   closed_ = true;
   can_push_.notify_all();
   can_pop_.notify_all();
 }
 
 uint64_t IngestQueue::last_enqueued_seq() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   return next_seq_;
 }
 
 size_t IngestQueue::depth() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   return pending_.size();
 }
 

@@ -4,11 +4,12 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/statusor.h"
+#include "common/thread_annotations.h"
 #include "traj/trajectory.h"
 
 namespace hermes::service {
@@ -54,13 +55,13 @@ class IngestQueue {
   size_t depth() const;
 
  private:
-  mutable std::mutex mu_;
+  mutable common::Mutex mu_;
   std::condition_variable can_push_;
   std::condition_variable can_pop_;
-  std::deque<IngestBatch> pending_;
+  std::deque<IngestBatch> pending_ GUARDED_BY(mu_);
   const size_t capacity_;
-  uint64_t next_seq_ = 0;
-  bool closed_ = false;
+  uint64_t next_seq_ GUARDED_BY(mu_) = 0;
+  bool closed_ GUARDED_BY(mu_) = false;
 };
 
 }  // namespace hermes::service

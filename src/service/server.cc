@@ -58,7 +58,7 @@ StatusOr<std::unique_ptr<Server>> Server::Start(ServerOptions options,
 Server::~Server() { Shutdown(); }
 
 void Server::Shutdown() {
-  std::lock_guard<std::mutex> lock(shutdown_mu_);
+  common::MutexLock lock(&shutdown_mu_);
   if (!worker_.joinable()) return;  // Already shut down.
   queue_.Close();
   worker_.join();
@@ -84,7 +84,7 @@ std::string Server::Canonical(const std::string& name) {
 
 std::shared_ptr<Server::SharedMod> Server::FindMod(
     const std::string& canonical) const {
-  std::lock_guard<std::mutex> lock(catalog_mu_);
+  common::MutexLock lock(&catalog_mu_);
   auto it = mods_.find(canonical);
   return it == mods_.end() ? nullptr : it->second;
 }
@@ -96,21 +96,32 @@ void Server::Republish(SharedMod* mod) {
   // (plus every reader-held snapshot) until the last holder lets go.
   pub->arena = pub->store.ArenaSnapshot();
   {
-    std::lock_guard<std::mutex> lock(mod->published_mu);
+    common::MutexLock lock(&mod->published_mu);
     mod->published = std::move(pub);
   }
   snapshots_published_.fetch_add(1, std::memory_order_relaxed);
 }
 
+bool Server::TreeFresh(const SharedMod& m, const std::vector<double>& params) {
+  return m.tree != nullptr && m.tree_params == params &&
+         m.tree_next == m.store.NumTrajectories();
+}
+
+void Server::DropTree(SharedMod* mod) {
+  mod->tree.reset();
+  mod->tree_params.clear();
+  mod->tree_next = 0;
+}
+
 Status Server::CreateMod(const std::string& name) {
   const std::string key = Canonical(name);
-  std::lock_guard<std::mutex> lock(catalog_mu_);
+  common::MutexLock lock(&catalog_mu_);
   if (mods_.count(key) > 0) {
     return Status::AlreadyExists("MOD " + key + " exists");
   }
   auto mod = std::make_shared<SharedMod>();
   {
-    std::unique_lock<std::shared_mutex> wlock(mod->mu);
+    common::WriterMutexLock wlock(&mod->mu);
     Republish(mod.get());
   }
   mods_.emplace(key, std::move(mod));
@@ -124,7 +135,7 @@ Status Server::DropMod(const std::string& name) {
   // worker's catalog lookup and surfaces as an ingest error instead of
   // being applied to (and silently lost with) the orphaned store.
   {
-    std::lock_guard<std::mutex> lock(catalog_mu_);
+    common::MutexLock lock(&catalog_mu_);
     if (mods_.erase(key) == 0) {
       return Status::NotFound("no MOD named " + key);
     }
@@ -137,11 +148,11 @@ Status Server::RegisterStore(const std::string& name,
   const std::string key = Canonical(name);
   auto mod = std::make_shared<SharedMod>();
   {
-    std::unique_lock<std::shared_mutex> wlock(mod->mu);
+    common::WriterMutexLock wlock(&mod->mu);
     mod->store = std::move(store);
     Republish(mod.get());
   }
-  std::lock_guard<std::mutex> lock(catalog_mu_);
+  common::MutexLock lock(&catalog_mu_);
   mods_[key] = std::move(mod);
   return Status::OK();
 }
@@ -152,7 +163,7 @@ StatusOr<std::pair<size_t, size_t>> Server::LoadMod(const std::string& name,
   std::shared_ptr<SharedMod> mod;
   bool created = false;
   {
-    std::lock_guard<std::mutex> lock(catalog_mu_);
+    common::MutexLock lock(&catalog_mu_);
     auto it = mods_.find(key);
     if (it == mods_.end()) {
       // Publish the (empty) snapshot before the MOD becomes visible in
@@ -160,7 +171,7 @@ StatusOr<std::pair<size_t, size_t>> Server::LoadMod(const std::string& name,
       // valid — if still empty — snapshot, never a null one.
       auto fresh = std::make_shared<SharedMod>();
       {
-        std::unique_lock<std::shared_mutex> wlock(fresh->mu);
+        common::WriterMutexLock wlock(&fresh->mu);
         Republish(fresh.get());
       }
       it = mods_.emplace(key, std::move(fresh)).first;
@@ -168,12 +179,12 @@ StatusOr<std::pair<size_t, size_t>> Server::LoadMod(const std::string& name,
     }
     mod = it->second;
   }
-  std::unique_lock<std::shared_mutex> wlock(mod->mu);
+  common::WriterMutexLock wlock(&mod->mu);
   Status load = mod->store.LoadCsv(path);
   if (!load.ok()) {
     if (created) {
       // A failed load must not leave a phantom empty MOD behind.
-      std::lock_guard<std::mutex> lock(catalog_mu_);
+      common::MutexLock lock(&catalog_mu_);
       auto it = mods_.find(key);
       if (it != mods_.end() && it->second == mod) mods_.erase(it);
     }
@@ -193,7 +204,7 @@ StatusOr<std::shared_ptr<const traj::TrajectoryStore>> Server::SnapshotMod(
   if (mod == nullptr) {
     return Status::NotFound("no MOD named " + Canonical(name));
   }
-  std::lock_guard<std::mutex> lock(mod->published_mu);
+  common::MutexLock lock(&mod->published_mu);
   if (mod->published == nullptr) {
     // Every creation path republishes before catalog insertion; this
     // guards the invariant instead of dereferencing null.
@@ -240,8 +251,8 @@ Status Server::Flush() {
   // applies (or error-counts) all of them before exiting — even during
   // shutdown — so the wait always terminates.
   const uint64_t target = queue_.last_enqueued_seq();
-  std::unique_lock<std::mutex> lock(flush_mu_);
-  flush_cv_.wait(lock, [&] { return applied_seq_ >= target; });
+  common::MutexLock lock(&flush_mu_);
+  while (applied_seq_ < target) lock.Wait(flush_cv_);
   flushes_.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
 }
@@ -261,7 +272,7 @@ void Server::WorkerLoop() {
         ingest_errors_.fetch_add(1, std::memory_order_relaxed);
         continue;
       }
-      std::unique_lock<std::shared_mutex> wlock(mod->mu);
+      common::WriterMutexLock wlock(&mod->mu);
       size_t added = 0;
       Status st = Status::OK();
       for (traj::Trajectory& t : b.trajectories) {
@@ -304,18 +315,18 @@ void Server::WorkerLoop() {
       if (!seen) touched.push_back(std::move(mod));
     }
     for (const auto& mod : touched) {
-      std::unique_lock<std::shared_mutex> wlock(mod->mu);
+      common::WriterMutexLock wlock(&mod->mu);
       Republish(mod.get());
     }
     {
-      std::lock_guard<std::mutex> lock(flush_mu_);
+      common::MutexLock lock(&flush_mu_);
       applied_seq_ = std::max(applied_seq_, max_seq);
     }
     flush_cv_.notify_all();
   }
   // Drained and closed: release any flusher that raced shutdown.
   {
-    std::lock_guard<std::mutex> lock(flush_mu_);
+    common::MutexLock lock(&flush_mu_);
     applied_seq_ = std::max(applied_seq_, queue_.last_enqueued_seq());
   }
   flush_cv_.notify_all();
@@ -337,35 +348,26 @@ StatusOr<std::unique_ptr<sql::RowCursor>> Server::QutQuery(
   if (mod == nullptr) {
     return Status::NotFound("no MOD named " + Canonical(name));
   }
-  auto fresh = [&](const SharedMod& m) {
-    return m.tree != nullptr && m.tree_params == tree_params &&
-           m.tree_next == m.store.NumTrajectories();
-  };
   {
     // Fast path: fresh tree, query under the shared lock — concurrent
     // QUT readers proceed in parallel (HeapFile/Gist are internally
     // locked), while the ingest worker waits its turn.
-    std::shared_lock<std::shared_mutex> rlock(mod->mu);
-    if (fresh(*mod)) {
+    common::ReaderMutexLock rlock(&mod->mu);
+    if (TreeFresh(*mod, tree_params)) {
       return sql::QutQuery(mod->tree.get(), wi, we, session_stats);
     }
   }
-  std::unique_lock<std::shared_mutex> wlock(mod->mu);
-  if (!fresh(*mod)) {
+  common::WriterMutexLock wlock(&mod->mu);
+  if (!TreeFresh(*mod, tree_params)) {
     // A failed build or catch-up leaves a partially mutated tree behind;
-    // dropping it forces the next query into a clean rebuild instead of
-    // retrying a range into poisoned state.
-    auto drop_tree = [&mod] {
-      mod->tree.reset();
-      mod->tree_params.clear();
-      mod->tree_next = 0;
-    };
+    // dropping it (`DropTree`) forces the next query into a clean rebuild
+    // instead of retrying a range into poisoned state.
     if (mod->tree == nullptr || mod->tree_params != tree_params) {
       const core::ReTraTreeParams params =
           sql::MakeQutTreeParams(tree_params);
       const std::string dir = options_.data_dir + "/" + Canonical(name) +
                               "_tree_" + std::to_string(mod->tree_seq++);
-      drop_tree();
+      DropTree(mod.get());
       HERMES_ASSIGN_OR_RETURN(
           mod->tree, core::ReTraTree::Open(env_, dir, params, exec_.get()));
       // Shared trees are server-scoped resources, so the server's
@@ -376,7 +378,7 @@ StatusOr<std::unique_ptr<sql::RowCursor>> Server::QutQuery(
       Status st = mod->tree->InsertBatch(mod->store, exec_.get(), 0,
                                          mod->store.NumTrajectories());
       if (!st.ok()) {
-        drop_tree();
+        DropTree(mod.get());
         return st;
       }
       mod->tree_params = tree_params;
@@ -389,7 +391,7 @@ StatusOr<std::unique_ptr<sql::RowCursor>> Server::QutQuery(
       Status st = mod->tree->InsertBatch(mod->store, exec_.get(),
                                          mod->tree_next, n - mod->tree_next);
       if (!st.ok()) {
-        drop_tree();
+        DropTree(mod.get());
         return st;
       }
       mod->tree_next = n;
@@ -418,7 +420,7 @@ ServiceStats Server::Stats() const {
   s.tree_catchups = tree_catchups_.load(std::memory_order_relaxed);
   std::vector<std::shared_ptr<SharedMod>> mods;
   {
-    std::lock_guard<std::mutex> lock(catalog_mu_);
+    common::MutexLock lock(&catalog_mu_);
     s.mods = mods_.size();
     for (const auto& [name, mod] : mods_) mods.push_back(mod);
   }
@@ -431,7 +433,7 @@ ServiceStats Server::Stats() const {
     // The tree pointer itself mutates under the MOD's writer lock
     // (rebuilds, catch-up failures), so read it shared; the hot-tier
     // counters behind it are atomics.
-    std::shared_lock<std::shared_mutex> rlock(mod->mu);
+    common::ReaderMutexLock rlock(&mod->mu);
     if (mod->tree != nullptr) {
       const core::HotTierStats h = mod->tree->hot_stats();
       s.qut_hot_probes += h.qut_hot_probes;

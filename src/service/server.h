@@ -5,14 +5,14 @@
 #include <condition_variable>
 #include <map>
 #include <memory>
-#include <mutex>
-#include <shared_mutex>
 #include <string>
 #include <thread>
 #include <utility>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/statusor.h"
+#include "common/thread_annotations.h"
 #include "core/retratree.h"
 #include "exec/exec_context.h"
 #include "service/ingest_queue.h"
@@ -161,13 +161,13 @@ class Server {
   struct SharedMod {
     /// Writer lock: ingest drains and DDL exclusive; QUT queries shared.
     /// Snapshot readers never take it.
-    std::shared_mutex mu;
-    traj::TrajectoryStore store;
-    std::unique_ptr<core::ReTraTree> tree;
-    std::vector<double> tree_params;
+    common::SharedMutex mu;
+    traj::TrajectoryStore store GUARDED_BY(mu);
+    std::unique_ptr<core::ReTraTree> tree GUARDED_BY(mu);
+    std::vector<double> tree_params GUARDED_BY(mu);
     /// First store id not yet inserted into the tree (catch-up cursor).
-    traj::TrajectoryId tree_next = 0;
-    uint64_t tree_seq = 0;
+    traj::TrajectoryId tree_next GUARDED_BY(mu) = 0;
+    uint64_t tree_seq GUARDED_BY(mu) = 0;
 
     /// One published snapshot: the store copy plus one pinned arena
     /// epoch, so `epochs_pinned` reflects it (and every cursor-held
@@ -176,18 +176,24 @@ class Server {
       traj::TrajectoryStore store;
       traj::SegmentArena arena;
     };
-    mutable std::mutex published_mu;
-    std::shared_ptr<const Published> published;
+    /// Ordered strictly after `mu` (Republish swaps the snapshot while
+    /// holding the writer lock); never held across a wait.
+    mutable common::Mutex published_mu ACQUIRED_AFTER(mu);
+    std::shared_ptr<const Published> published GUARDED_BY(published_mu);
   };
 
   Server(ServerOptions options, storage::Env* env);
 
   static std::string Canonical(const std::string& name);
   std::shared_ptr<SharedMod> FindMod(const std::string& canonical) const;
-  /// Re-publishes the MOD's snapshot from its current store state. The
-  /// caller must hold the MOD's writer lock (or otherwise be the only
-  /// mutator).
-  void Republish(SharedMod* mod);
+  /// Re-publishes the MOD's snapshot from its current store state.
+  void Republish(SharedMod* mod) REQUIRES(mod->mu);
+  /// True when the MOD's shared tree matches `params` and has consumed
+  /// the whole store (no rebuild or catch-up needed before serving QUT).
+  static bool TreeFresh(const SharedMod& m, const std::vector<double>& params)
+      REQUIRES_SHARED(m.mu);
+  /// Drops a partially mutated tree so the next query rebuilds cleanly.
+  static void DropTree(SharedMod* mod) REQUIRES(mod->mu);
   void WorkerLoop();
   void OnSessionClosed();
 
@@ -196,17 +202,20 @@ class Server {
   storage::Env* env_;
   std::unique_ptr<exec::ExecContext> exec_;
 
-  mutable std::mutex catalog_mu_;
-  std::map<std::string, std::shared_ptr<SharedMod>> mods_;
+  mutable common::Mutex catalog_mu_;
+  std::map<std::string, std::shared_ptr<SharedMod>> mods_
+      GUARDED_BY(catalog_mu_);
 
   IngestQueue queue_;
+  /// Spawned once in `Start` (before any concurrent access exists) and
+  /// joined in `Shutdown` under `shutdown_mu_`.
   std::thread worker_;
   /// Serializes Shutdown against itself (dtor + explicit call).
-  std::mutex shutdown_mu_;
+  common::Mutex shutdown_mu_;
 
-  std::mutex flush_mu_;
+  common::Mutex flush_mu_;
   std::condition_variable flush_cv_;
-  uint64_t applied_seq_ = 0;
+  uint64_t applied_seq_ GUARDED_BY(flush_mu_) = 0;
 
   // Counters (relaxed: monotonic observability, no ordering contract).
   std::atomic<uint64_t> sessions_opened_{0};

@@ -4,7 +4,9 @@
 #include <cstdio>
 #include <filesystem>
 #include <map>
-#include <mutex>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace hermes::storage {
 
@@ -24,7 +26,7 @@ class PosixRWFile : public RandomRWFile {
   }
 
   Status ReadAt(uint64_t offset, size_t n, char* buf) const override {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::MutexLock lock(&mu_);
     if (std::fseek(f_, static_cast<long>(offset), SEEK_SET) != 0) {
       return Status::IOError("seek failed");
     }
@@ -34,7 +36,7 @@ class PosixRWFile : public RandomRWFile {
   }
 
   Status WriteAt(uint64_t offset, size_t n, const char* buf) override {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::MutexLock lock(&mu_);
     if (std::fseek(f_, static_cast<long>(offset), SEEK_SET) != 0) {
       return Status::IOError("seek failed");
     }
@@ -44,7 +46,7 @@ class PosixRWFile : public RandomRWFile {
   }
 
   StatusOr<uint64_t> Size() const override {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::MutexLock lock(&mu_);
     if (std::fseek(f_, 0, SEEK_END) != 0) return Status::IOError("seek failed");
     const long sz = std::ftell(f_);
     if (sz < 0) return Status::IOError("ftell failed");
@@ -52,14 +54,16 @@ class PosixRWFile : public RandomRWFile {
   }
 
   Status Sync() override {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::MutexLock lock(&mu_);
     if (std::fflush(f_) != 0) return Status::IOError("flush failed");
     return Status::OK();
   }
 
  private:
-  std::FILE* f_;
-  mutable std::mutex mu_;
+  /// Guarded: stdio seek+read/write pairs on one handle must not
+  /// interleave. The pointer itself is set once in the constructor.
+  std::FILE* f_ GUARDED_BY(mu_);
+  mutable common::Mutex mu_;
 };
 
 class PosixEnv : public Env {
@@ -113,8 +117,8 @@ class PosixEnv : public Env {
 // ---------------------------------------------------------------------------
 
 struct MemFileData {
-  std::vector<char> bytes;
-  std::mutex mu;
+  common::Mutex mu;
+  std::vector<char> bytes GUARDED_BY(mu);
 };
 
 class MemRWFile : public RandomRWFile {
@@ -123,21 +127,21 @@ class MemRWFile : public RandomRWFile {
       : data_(std::move(data)) {}
 
   Status ReadAt(uint64_t offset, size_t n, char* buf) const override {
-    std::lock_guard<std::mutex> lock(data_->mu);
+    common::MutexLock lock(&data_->mu);
     if (offset + n > data_->bytes.size()) return Status::IOError("short read");
     std::copy_n(data_->bytes.data() + offset, n, buf);
     return Status::OK();
   }
 
   Status WriteAt(uint64_t offset, size_t n, const char* buf) override {
-    std::lock_guard<std::mutex> lock(data_->mu);
+    common::MutexLock lock(&data_->mu);
     if (offset + n > data_->bytes.size()) data_->bytes.resize(offset + n);
     std::copy_n(buf, n, data_->bytes.data() + offset);
     return Status::OK();
   }
 
   StatusOr<uint64_t> Size() const override {
-    std::lock_guard<std::mutex> lock(data_->mu);
+    common::MutexLock lock(&data_->mu);
     return static_cast<uint64_t>(data_->bytes.size());
   }
 
@@ -151,19 +155,19 @@ class MemEnv : public Env {
  public:
   StatusOr<std::unique_ptr<RandomRWFile>> NewRWFile(
       const std::string& fname) override {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::MutexLock lock(&mu_);
     auto& slot = files_[fname];
     if (slot == nullptr) slot = std::make_shared<MemFileData>();
     return std::unique_ptr<RandomRWFile>(new MemRWFile(slot));
   }
 
   bool FileExists(const std::string& fname) const override {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::MutexLock lock(&mu_);
     return files_.count(fname) > 0;
   }
 
   Status DeleteFile(const std::string& fname) override {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::MutexLock lock(&mu_);
     if (files_.erase(fname) == 0) {
       return Status::NotFound("no such file " + fname);
     }
@@ -174,7 +178,7 @@ class MemEnv : public Env {
 
   StatusOr<std::vector<std::string>> ListDir(
       const std::string& dirname) const override {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::MutexLock lock(&mu_);
     std::vector<std::string> names;
     std::string prefix = dirname;
     if (!prefix.empty() && prefix.back() != '/') prefix += '/';
@@ -189,8 +193,8 @@ class MemEnv : public Env {
   }
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::shared_ptr<MemFileData>> files_;
+  mutable common::Mutex mu_;
+  std::map<std::string, std::shared_ptr<MemFileData>> files_ GUARDED_BY(mu_);
 };
 
 }  // namespace

@@ -58,6 +58,9 @@ StatusOr<std::unique_ptr<HeapFile>> HeapFile::Open(Env* env,
   HERMES_ASSIGN_OR_RETURN(std::unique_ptr<Pager> pager,
                           Pager::Open(env, fname, cache_pages));
   auto hf = std::unique_ptr<HeapFile>(new HeapFile(std::move(pager)));
+  // The handle is not shared yet, but LoadMeta writes guarded state, so
+  // take the (uncontended) writer lock for the analysis.
+  common::WriterMutexLock lock(&hf->mu_);
   if (hf->pager_->num_pages() == 0) {
     // Fresh file: write the meta page.
     HERMES_ASSIGN_OR_RETURN(Page * meta, hf->pager_->Allocate());
@@ -101,7 +104,7 @@ Status HeapFile::SaveMeta() {
 }
 
 StatusOr<RecordId> HeapFile::Append(const std::string& record) {
-  auto lock = CountedExclusiveLock(mu_, &lock_counters_);
+  CountedExclusiveLock lock(mu_, &lock_counters_);
   const size_t need = record.size();
   if (need + kDataHeaderSize + kSlotSize > kPageSize) {
     return Status::InvalidArgument("record too large for a page");
@@ -145,7 +148,7 @@ StatusOr<RecordId> HeapFile::Append(const std::string& record) {
 }
 
 StatusOr<std::string> HeapFile::Read(const RecordId& rid) const {
-  auto lock = CountedSharedLock(mu_, &lock_counters_);
+  CountedSharedLock lock(mu_, &lock_counters_);
   if (!rid.valid() || rid.page == 0 || rid.page >= pager_->num_pages()) {
     return Status::NotFound("invalid record id");
   }
@@ -162,7 +165,7 @@ StatusOr<std::string> HeapFile::Read(const RecordId& rid) const {
 }
 
 Status HeapFile::Delete(const RecordId& rid) {
-  auto lock = CountedExclusiveLock(mu_, &lock_counters_);
+  CountedExclusiveLock lock(mu_, &lock_counters_);
   if (!rid.valid() || rid.page == 0 || rid.page >= pager_->num_pages()) {
     return Status::NotFound("invalid record id");
   }
@@ -183,7 +186,7 @@ Status HeapFile::Delete(const RecordId& rid) {
 
 Status HeapFile::Scan(
     const std::function<bool(const RecordId&, const std::string&)>& fn) const {
-  auto lock = CountedSharedLock(mu_, &lock_counters_);
+  CountedSharedLock lock(mu_, &lock_counters_);
   for (PageId pid = 1; pid < pager_->num_pages(); ++pid) {
     HERMES_ASSIGN_OR_RETURN(Page * page, pager_->Fetch(pid));
     PinnedPage pin(pager_.get(), page);
@@ -201,7 +204,7 @@ Status HeapFile::Scan(
 }
 
 Status HeapFile::Flush() {
-  auto lock = CountedExclusiveLock(mu_, &lock_counters_);
+  CountedExclusiveLock lock(mu_, &lock_counters_);
   return pager_->Flush();
 }
 

@@ -4,11 +4,12 @@
 #include <atomic>
 #include <functional>
 #include <memory>
-#include <shared_mutex>
 #include <string>
 
+#include "common/mutex.h"
 #include "common/status.h"
 #include "common/statusor.h"
+#include "common/thread_annotations.h"
 #include "storage/lock_stats.h"
 #include "storage/pager.h"
 
@@ -92,14 +93,17 @@ class HeapFile {
  private:
   explicit HeapFile(std::unique_ptr<Pager> pager);
 
-  Status LoadMeta();
-  Status SaveMeta();
+  Status LoadMeta() REQUIRES(mu_);
+  Status SaveMeta() REQUIRES(mu_);
 
   /// Reader/writer lock over record operations (see class comment).
-  mutable std::shared_mutex mu_;
+  mutable common::SharedMutex mu_;
   mutable LockStatsCounters lock_counters_;
+  /// Never reassigned after construction; the pager locks internally, so
+  /// `io_stats()` reads it without `mu_`.
   std::unique_ptr<Pager> pager_;
-  PageId tail_page_ = kInvalidPage;  // Last data page (append target).
+  /// Last data page (append target).
+  PageId tail_page_ GUARDED_BY(mu_) = kInvalidPage;
   std::atomic<uint64_t> live_records_{0};
   std::atomic<uint64_t> total_records_{0};
 };

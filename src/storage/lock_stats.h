@@ -3,8 +3,9 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
-#include <shared_mutex>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace hermes::storage {
 
@@ -46,27 +47,50 @@ struct LockStatsCounters {
   }
 };
 
-/// Takes `mu` shared, counting the acquisition and whether it had to block.
-inline std::shared_lock<std::shared_mutex> CountedSharedLock(
-    std::shared_mutex& mu, LockStatsCounters* counters) {
-  counters->shared_acquisitions.fetch_add(1, std::memory_order_relaxed);
-  if (mu.try_lock_shared()) {
-    return std::shared_lock<std::shared_mutex>(mu, std::adopt_lock);
+/// \brief RAII shared guard over an annotated `SharedMutex`, counting the
+/// acquisition and whether it had to block. A scoped capability: holding
+/// one satisfies `REQUIRES_SHARED(mu)` for the guarded scope.
+class SCOPED_CAPABILITY CountedSharedLock {
+ public:
+  CountedSharedLock(common::SharedMutex& mu, LockStatsCounters* counters)
+      ACQUIRE_SHARED(mu)
+      : mu_(mu) {
+    counters->shared_acquisitions.fetch_add(1, std::memory_order_relaxed);
+    if (!mu_.try_lock_shared()) {
+      counters->shared_contended.fetch_add(1, std::memory_order_relaxed);
+      mu_.lock_shared();
+    }
   }
-  counters->shared_contended.fetch_add(1, std::memory_order_relaxed);
-  return std::shared_lock<std::shared_mutex>(mu);
-}
+  ~CountedSharedLock() RELEASE() { mu_.unlock_shared(); }
 
-/// Takes `mu` exclusive, counting the acquisition and whether it blocked.
-inline std::unique_lock<std::shared_mutex> CountedExclusiveLock(
-    std::shared_mutex& mu, LockStatsCounters* counters) {
-  counters->exclusive_acquisitions.fetch_add(1, std::memory_order_relaxed);
-  if (mu.try_lock()) {
-    return std::unique_lock<std::shared_mutex>(mu, std::adopt_lock);
+  CountedSharedLock(const CountedSharedLock&) = delete;
+  CountedSharedLock& operator=(const CountedSharedLock&) = delete;
+
+ private:
+  common::SharedMutex& mu_;
+};
+
+/// \brief RAII exclusive guard over an annotated `SharedMutex`, counting
+/// the acquisition and whether it blocked.
+class SCOPED_CAPABILITY CountedExclusiveLock {
+ public:
+  CountedExclusiveLock(common::SharedMutex& mu, LockStatsCounters* counters)
+      ACQUIRE(mu)
+      : mu_(mu) {
+    counters->exclusive_acquisitions.fetch_add(1, std::memory_order_relaxed);
+    if (!mu_.try_lock()) {
+      counters->exclusive_contended.fetch_add(1, std::memory_order_relaxed);
+      mu_.lock();
+    }
   }
-  counters->exclusive_contended.fetch_add(1, std::memory_order_relaxed);
-  return std::unique_lock<std::shared_mutex>(mu);
-}
+  ~CountedExclusiveLock() RELEASE() { mu_.unlock(); }
+
+  CountedExclusiveLock(const CountedExclusiveLock&) = delete;
+  CountedExclusiveLock& operator=(const CountedExclusiveLock&) = delete;
+
+ private:
+  common::SharedMutex& mu_;
+};
 
 }  // namespace hermes::storage
 

@@ -6,12 +6,14 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
 #include "common/statusor.h"
+#include "common/thread_annotations.h"
 #include "storage/env.h"
 
 namespace hermes::storage {
@@ -84,19 +86,19 @@ class Pager {
   /// Point-in-time counter snapshot (by value: the counters mutate under
   /// the pool mutex, so a reference would race).
   PagerStats stats() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::MutexLock lock(&mu_);
     return stats_;
   }
   void ResetStats() {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::MutexLock lock(&mu_);
     stats_ = PagerStats{};
   }
 
  private:
   Pager(Env* env, std::unique_ptr<RandomRWFile> file, size_t cache_pages);
 
-  Status EvictIfNeeded();
-  Status WriteBack(Page* page);
+  Status EvictIfNeeded() REQUIRES(mu_);
+  Status WriteBack(Page* page) REQUIRES(mu_);
 
   Env* env_;
   std::unique_ptr<RandomRWFile> file_;
@@ -104,18 +106,19 @@ class Pager {
   std::atomic<PageId> num_pages_{0};
 
   /// Guards frames_/page_table_/lru_/pins/stats_ (see class comment).
-  mutable std::mutex mu_;
+  mutable common::Mutex mu_;
 
-  std::unordered_map<PageId, std::unique_ptr<Page>> frames_;
+  std::unordered_map<PageId, std::unique_ptr<Page>> frames_ GUARDED_BY(mu_);
   /// O(1) id -> frame fast path for the hot read paths (index descents);
   /// entries are nullptr for non-resident pages.
-  std::vector<Page*> page_table_;
+  std::vector<Page*> page_table_ GUARDED_BY(mu_);
   /// Approximate recency order (refreshed on miss, not on every hit — a
   /// FIFO/LRU hybrid that keeps cache hits branch-cheap).
-  std::list<PageId> lru_;
-  std::unordered_map<PageId, std::list<PageId>::iterator> lru_pos_;
+  std::list<PageId> lru_ GUARDED_BY(mu_);
+  std::unordered_map<PageId, std::list<PageId>::iterator> lru_pos_
+      GUARDED_BY(mu_);
 
-  PagerStats stats_;
+  PagerStats stats_ GUARDED_BY(mu_);
 };
 
 /// \brief RAII pin guard.

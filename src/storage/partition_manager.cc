@@ -23,7 +23,7 @@ std::string PartitionManager::FileName(const std::string& name) const {
 }
 
 StatusOr<HeapFile*> PartitionManager::GetOrCreate(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   auto it = open_.find(name);
   if (it != open_.end()) return it->second.get();
   HERMES_ASSIGN_OR_RETURN(std::unique_ptr<HeapFile> hf,
@@ -34,13 +34,13 @@ StatusOr<HeapFile*> PartitionManager::GetOrCreate(const std::string& name) {
 }
 
 bool PartitionManager::Exists(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   if (open_.count(name) > 0) return true;
   return env_->FileExists(FileName(name));
 }
 
 Status PartitionManager::Drop(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   auto it = open_.find(name);
   if (it != open_.end()) {
     open_.erase(it);  // Destructor flushes; file is deleted next.
@@ -51,8 +51,10 @@ Status PartitionManager::Drop(const std::string& name) {
 }
 
 std::vector<std::string> PartitionManager::List() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   std::set<std::string> names;
+  // HERMES-LINT-ALLOW(unordered-iteration): names land in a std::set,
+  // which sorts them regardless of visit order.
   for (const auto& [name, hf] : open_) names.insert(name);
   auto on_disk = env_->ListDir(dir_);
   if (on_disk.ok()) {
@@ -69,16 +71,20 @@ std::vector<std::string> PartitionManager::List() const {
 
 void PartitionManager::ForEachOpen(
     const std::function<void(const std::string&, HeapFile*)>& fn) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   std::vector<std::pair<std::string, HeapFile*>> handles;
   handles.reserve(open_.size());
+  // HERMES-LINT-ALLOW(unordered-iteration): the collected handles are
+  // sorted by name below before the visitor sees them.
   for (const auto& [name, hf] : open_) handles.emplace_back(name, hf.get());
   std::sort(handles.begin(), handles.end());
   for (const auto& [name, hf] : handles) fn(name, hf);
 }
 
 Status PartitionManager::FlushAll() {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
+  // HERMES-LINT-ALLOW(unordered-iteration): each partition flushes to its
+  // own file; flush order cannot affect any file's contents.
   for (auto& [name, hf] : open_) {
     HERMES_RETURN_NOT_OK(hf->Flush());
   }

@@ -3,13 +3,14 @@
 
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
 #include "common/statusor.h"
+#include "common/thread_annotations.h"
 #include "storage/heap_file.h"
 
 namespace hermes::storage {
@@ -67,8 +68,9 @@ class PartitionManager {
   Env* env_;
   std::string dir_;
   /// Guards `open_` against concurrent GetOrCreate/Drop from apply tasks.
-  mutable std::mutex mu_;
-  std::unordered_map<std::string, std::unique_ptr<HeapFile>> open_;
+  mutable common::Mutex mu_;
+  std::unordered_map<std::string, std::unique_ptr<HeapFile>> open_
+      GUARDED_BY(mu_);
 };
 
 }  // namespace hermes::storage

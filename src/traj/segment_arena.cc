@@ -31,7 +31,7 @@ SegmentArena SegmentArena::Build(const TrajectoryStore& store,
 }
 
 void SegmentArenaBuilder::Append(const Trajectory& t, TrajectoryId tid) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   HERMES_CHECK(tid + 1 == offsets_.size())
       << "arena append out of order: tid " << tid << " with "
       << offsets_.size() - 1 << " trajectories appended";
@@ -60,7 +60,7 @@ void SegmentArenaBuilder::Append(const Trajectory& t, TrajectoryId tid) {
 }
 
 SegmentArena SegmentArenaBuilder::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   if (!epoch_valid_) {
     SegmentArena epoch;
     epoch.blocks_.assign(blocks_.begin(), blocks_.end());
@@ -78,7 +78,7 @@ SegmentArena SegmentArenaBuilder::Snapshot() const {
 }
 
 SegmentArenaCounters SegmentArenaBuilder::counters() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   SegmentArenaCounters out = counters_;
   out.epochs_pinned = pins_->live.load(std::memory_order_relaxed);
   out.epoch_pins = pins_->total.load(std::memory_order_relaxed);
@@ -86,7 +86,7 @@ SegmentArenaCounters SegmentArenaBuilder::counters() const {
 }
 
 void SegmentArenaBuilder::CopyFrom(const SegmentArenaBuilder& o) {
-  std::lock_guard<std::mutex> lock(o.mu_);
+  common::MutexLock lock(&o.mu_);
   blocks_ = o.blocks_;
   // Full blocks are immutable forever and may be shared; a partially
   // filled tail is still append-mutable in `o`, so the copy gets its own.
@@ -104,7 +104,7 @@ void SegmentArenaBuilder::CopyFrom(const SegmentArenaBuilder& o) {
 }
 
 void SegmentArenaBuilder::MoveFrom(SegmentArenaBuilder&& o) {
-  std::lock_guard<std::mutex> lock(o.mu_);
+  common::MutexLock lock(&o.mu_);
   blocks_ = std::move(o.blocks_);
   offsets_ = std::move(o.offsets_);
   rows_ = o.rows_;

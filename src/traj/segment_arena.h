@@ -5,9 +5,10 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "exec/exec_context.h"
 #include "geom/mbb.h"
 #include "geom/segment.h"
@@ -209,21 +210,27 @@ class SegmentArenaBuilder {
   SegmentArenaCounters counters() const;
 
  private:
-  void CopyFrom(const SegmentArenaBuilder& o);
-  void MoveFrom(SegmentArenaBuilder&& o);
+  // Like `TrajectoryStore::CopyFrom`: only the *source* builder is locked;
+  // `this` is exclusively owned by the constructing/assigning caller, an
+  // asymmetry the thread-safety analysis cannot express.
+  void CopyFrom(const SegmentArenaBuilder& o) NO_THREAD_SAFETY_ANALYSIS;
+  void MoveFrom(SegmentArenaBuilder&& o) NO_THREAD_SAFETY_ANALYSIS;
 
   /// Guards the block list / offsets metadata against concurrent
   /// `Snapshot`; row payloads need no lock (single writer, and readers
   /// only see rows published before their epoch).
-  mutable std::mutex mu_;
-  std::vector<std::shared_ptr<SegmentBlock>> blocks_;
-  std::vector<size_t> offsets_{0};
-  size_t rows_ = 0;
-  mutable SegmentArenaCounters counters_;  // epochs_published bumps in const Snapshot.
-  mutable SegmentArena cached_epoch_;
-  mutable bool epoch_valid_ = false;
-  /// Shared by builder copies (see `EpochPinRegistry`).
-  std::shared_ptr<EpochPinRegistry> pins_ =
+  mutable common::Mutex mu_;
+  std::vector<std::shared_ptr<SegmentBlock>> blocks_ GUARDED_BY(mu_);
+  std::vector<size_t> offsets_ GUARDED_BY(mu_){0};
+  size_t rows_ GUARDED_BY(mu_) = 0;
+  /// epochs_published bumps in const `Snapshot`.
+  mutable SegmentArenaCounters counters_ GUARDED_BY(mu_);
+  mutable SegmentArena cached_epoch_ GUARDED_BY(mu_);
+  mutable bool epoch_valid_ GUARDED_BY(mu_) = false;
+  /// Shared by builder copies (see `EpochPinRegistry`). The registry's
+  /// counters are atomics; the pointer itself is reassigned only under
+  /// `mu_` (or in CopyFrom/MoveFrom, which own `this` exclusively).
+  std::shared_ptr<EpochPinRegistry> pins_ GUARDED_BY(mu_) =
       std::make_shared<EpochPinRegistry>();
 };
 

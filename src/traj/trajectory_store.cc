@@ -16,7 +16,7 @@ StatusOr<TrajectoryId> TrajectoryStore::Add(Trajectory trajectory) {
   }
   // The whole append happens under the snapshot lock, so a concurrent
   // `Snapshot` sees the list and the arena at the same trajectory count.
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   const TrajectoryId id = trajectories_.size();
   num_points_ += trajectory.size();
   by_object_[trajectory.object_id()].push_back(id);
@@ -38,7 +38,7 @@ size_t TrajectoryStore::NumSegments() const {
 }
 
 void TrajectoryStore::CopyFrom(const TrajectoryStore& o) {
-  std::lock_guard<std::mutex> lock(o.mu_);
+  common::MutexLock lock(&o.mu_);
   trajectories_ = o.trajectories_;  // Shared immutable trajectories.
   by_object_ = o.by_object_;
   num_points_ = o.num_points_;
@@ -46,7 +46,7 @@ void TrajectoryStore::CopyFrom(const TrajectoryStore& o) {
 }
 
 void TrajectoryStore::MoveFrom(TrajectoryStore&& o) {
-  std::lock_guard<std::mutex> lock(o.mu_);
+  common::MutexLock lock(&o.mu_);
   trajectories_ = std::move(o.trajectories_);
   by_object_ = std::move(o.by_object_);
   num_points_ = o.num_points_;

@@ -2,13 +2,14 @@
 #define HERMES_TRAJ_TRAJECTORY_STORE_H_
 
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
 #include "common/statusor.h"
+#include "common/thread_annotations.h"
 #include "traj/segment_arena.h"
 #include "traj/trajectory.h"
 
@@ -50,10 +51,18 @@ class TrajectoryStore {
   /// Adds a trajectory after validation; returns its id.
   StatusOr<TrajectoryId> Add(Trajectory trajectory);
 
-  const Trajectory& Get(TrajectoryId id) const;
-  size_t NumTrajectories() const { return trajectories_.size(); }
-  size_t NumPoints() const { return num_points_; }
-  size_t NumSegments() const;
+  // The read accessors below carry NO_THREAD_SAFETY_ANALYSIS: they read
+  // guarded fields without `mu_` under the class contract (quiesced store
+  // or private snapshot — see the class comment). Taking the lock here
+  // would serialize concurrent snapshot readers on the writer's mutex for
+  // races that cannot occur; the annotation records the deliberate escape
+  // instead of hiding the fields from the analysis entirely.
+  const Trajectory& Get(TrajectoryId id) const NO_THREAD_SAFETY_ANALYSIS;
+  size_t NumTrajectories() const NO_THREAD_SAFETY_ANALYSIS {
+    return trajectories_.size();
+  }
+  size_t NumPoints() const NO_THREAD_SAFETY_ANALYSIS { return num_points_; }
+  size_t NumSegments() const NO_THREAD_SAFETY_ANALYSIS;
 
   /// \brief An immutable read view for concurrent query execution: readers
   /// sweep the snapshot (full `TrajectoryStore` interface) while the
@@ -64,12 +73,13 @@ class TrajectoryStore {
 
   /// Ids of all trajectories of one object (an object may have several
   /// recorded trips).
-  std::vector<TrajectoryId> TrajectoriesOf(ObjectId object) const;
+  std::vector<TrajectoryId> TrajectoriesOf(ObjectId object) const
+      NO_THREAD_SAFETY_ANALYSIS;
 
   /// Bounding box over the whole MOD.
-  geom::Mbb3D Bounds() const;
+  geom::Mbb3D Bounds() const NO_THREAD_SAFETY_ANALYSIS;
   /// [min start time, max end time] over the MOD; (0,0) when empty.
-  std::pair<double, double> TimeDomain() const;
+  std::pair<double, double> TimeDomain() const NO_THREAD_SAFETY_ANALYSIS;
 
   /// Resolves a segment reference to its geometry.
   geom::Segment3D Resolve(const SegmentRef& ref) const;
@@ -93,19 +103,28 @@ class TrajectoryStore {
   Status LoadCsv(const std::string& path);
 
   /// Writes the store as `obj_id,t,x,y` CSV.
-  Status SaveCsv(const std::string& path) const;
+  Status SaveCsv(const std::string& path) const NO_THREAD_SAFETY_ANALYSIS;
 
  private:
-  void CopyFrom(const TrajectoryStore& o);
-  void MoveFrom(TrajectoryStore&& o);
+  // CopyFrom/MoveFrom lock only the *source* store: `this` is a fresh or
+  // assignment-target object owned exclusively by the caller, so its
+  // fields need no lock. Thread-safety analysis cannot express that
+  // asymmetry (it would demand `mu_` for the writes to `this`), hence the
+  // deliberate escape.
+  void CopyFrom(const TrajectoryStore& o) NO_THREAD_SAFETY_ANALYSIS;
+  void MoveFrom(TrajectoryStore&& o) NO_THREAD_SAFETY_ANALYSIS;
 
   /// Guards the pointer list / aggregate metadata against `Snapshot`
   /// racing the writer (the pointed-to trajectories never need it).
-  mutable std::mutex mu_;
-  std::vector<std::shared_ptr<const Trajectory>> trajectories_;
-  std::unordered_map<ObjectId, std::vector<TrajectoryId>> by_object_;
-  size_t num_points_ = 0;
-  /// Columnar mirror of `trajectories_`, appended to by `Add`.
+  mutable common::Mutex mu_;
+  std::vector<std::shared_ptr<const Trajectory>> trajectories_
+      GUARDED_BY(mu_);
+  std::unordered_map<ObjectId, std::vector<TrajectoryId>> by_object_
+      GUARDED_BY(mu_);
+  size_t num_points_ GUARDED_BY(mu_) = 0;
+  /// Columnar mirror of `trajectories_`, appended to by `Add`. Internally
+  /// locked (its own `mu_`); reassigned only by CopyFrom/MoveFrom, which
+  /// own `this` exclusively, so it carries no GUARDED_BY.
   SegmentArenaBuilder arena_;
 };
 

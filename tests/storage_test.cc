@@ -111,8 +111,8 @@ TEST_P(EnvTest, PersistenceAcrossReopen) {
 INSTANTIATE_TEST_SUITE_P(Envs, EnvTest,
                          ::testing::Values(EnvCase{"posix", true},
                                            EnvCase{"mem", false}),
-                         [](const auto& info) {
-                           return std::string(info.param.name);
+                         [](const auto& param_info) {
+                           return std::string(param_info.param.name);
                          });
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,28 @@
+// Negative fixture: calls a REQUIRES(mu_) method without holding the
+// mutex. Under Clang with `-Wthread-safety -Werror` this translation
+// unit MUST fail to compile (ctest marks it WILL_FAIL).
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Guarded {
+ public:
+  void AddLocked(int v) REQUIRES(mu_) { value_ += v; }
+
+  // BUG (deliberate): the caller never acquires mu_ before calling the
+  // REQUIRES(mu_) helper.
+  void Add(int v) { AddLocked(v); }
+
+ private:
+  hermes::common::Mutex mu_;
+  int value_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Guarded g;
+  g.Add(1);
+  return 0;
+}

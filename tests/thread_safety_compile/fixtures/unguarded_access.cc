@@ -1,0 +1,26 @@
+// Negative fixture: writes a GUARDED_BY field without holding its mutex.
+// Under Clang with `-Wthread-safety -Werror` this translation unit MUST
+// fail to compile — the ctest entry is marked WILL_FAIL, so a compiler
+// that accepts it (i.e. a silently disabled analysis) fails the suite.
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Guarded {
+ public:
+  // BUG (deliberate): no lock around the guarded write.
+  void Set(int v) { value_ = v; }
+
+ private:
+  hermes::common::Mutex mu_;
+  int value_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Guarded g;
+  g.Set(1);
+  return 0;
+}

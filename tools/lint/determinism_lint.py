@@ -1,0 +1,299 @@
+#!/usr/bin/env python3
+"""Determinism linter for the Hermes C++ tree.
+
+The repository's contract is bit-identical query results at any thread
+count (see docs/ARCHITECTURE.md "Determinism"). This linter statically
+bans the usual ways that contract gets broken by accident:
+
+  raw-rng              Direct use of rand()/srand()/std::random_device &
+                       friends. All randomness must flow through the
+                       seeded, splittable generator in src/common/rng.*
+                       (src/datagen/ is also exempt: it owns its seeds).
+  wall-clock           Wall-clock reads (time(nullptr), system_clock,
+                       gettimeofday). Timing *stats* belong on
+                       steady_clock, which is allowed; wall clocks leak
+                       the run's start time into anything they touch.
+  pointer-sort         Sort comparators that compare raw pointer values.
+                       Heap addresses differ run to run, so the order is
+                       nondeterministic; compare a stable key instead.
+  unordered-iteration  Range-for over a std::unordered_map/unordered_set.
+                       Iteration order is unspecified (and differs across
+                       libstdc++/libc++ and seeds); anything built from
+                       such a loop inherits that order. Iterate a sorted
+                       copy, or escape the site if it is provably
+                       order-insensitive.
+  thread-id            std::this_thread::get_id / pthread_self. Thread
+                       identity must never select data or order results.
+
+Escape hatch: a site that is genuinely order-insensitive (e.g. flushing
+every dirty page, in any order, to position-addressed storage) carries
+
+    // HERMES-LINT-ALLOW(<rule>): <why this cannot affect results>
+
+on the same or the immediately preceding line. The rationale is part of
+the contract — an ALLOW without one still suppresses, but reviewers
+should reject it.
+
+Exit status: 0 when clean, 1 when findings were printed, 2 on usage
+errors. Run as `determinism_lint.py --root <repo>` (scans src/) or pass
+explicit files.
+"""
+
+import argparse
+import os
+import re
+import sys
+
+# Rule name -> short description used in finding messages.
+RULES = {
+    "raw-rng": "raw RNG outside common/rng + datagen",
+    "wall-clock": "wall-clock read",
+    "pointer-sort": "sort comparator ordering by pointer value",
+    "unordered-iteration": "iteration over unordered container",
+    "thread-id": "thread-identity dependence",
+}
+
+# Paths (relative, '/'-separated) where a rule does not apply at all.
+RULE_EXEMPT_PREFIXES = {
+    "raw-rng": ("src/common/rng.", "src/datagen/"),
+}
+
+ALLOW_RE = re.compile(r"HERMES-LINT-ALLOW\(\s*([a-z\-,\s]+?)\s*\)")
+
+SIMPLE_RULES = [
+    # (rule, compiled pattern, message)
+    ("raw-rng", re.compile(r"std::random_device|\brandom_device\b"),
+     "std::random_device is nondeterministic; use common::Rng"),
+    ("raw-rng", re.compile(r"\bs?rand\s*\("),
+     "rand()/srand() draw from hidden global state; use common::Rng"),
+    ("raw-rng", re.compile(r"\bd?rand48\s*\(|\brandom\s*\(\s*\)"),
+     "libc RNG; use common::Rng"),
+    ("wall-clock", re.compile(r"\btime\s*\(\s*(?:nullptr|NULL|0)\s*\)|std::time\s*\("),
+     "time() reads the wall clock; results must not depend on it"),
+    ("wall-clock", re.compile(r"\bsystem_clock\b|\bgettimeofday\s*\("),
+     "wall clock; use steady_clock for timings, never for results"),
+    ("thread-id", re.compile(r"this_thread::get_id|\bpthread_self\s*\("),
+     "thread identity must not influence data or ordering"),
+]
+
+SORT_CALL_RE = re.compile(r"\b(?:std::)?(?:stable_sort|partial_sort|sort|nth_element|min_element|max_element)\s*\(")
+LAMBDA_RE = re.compile(r"\[[^\]]*\]\s*\(([^)]*)\)\s*(?:->\s*\w+\s*)?\{([^}]*)\}")
+UNORDERED_DECL_RE = re.compile(r"\bunordered_(?:map|set|multimap|multiset)\s*<")
+IDENT_RE = re.compile(r"[A-Za-z_]\w*")
+RANGE_FOR_RE = re.compile(r"\bfor\s*\(")
+
+
+class Finding:
+    def __init__(self, path, line, rule, message):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self):
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def _allowed_rules(lines, idx):
+    """Rules escaped via HERMES-LINT-ALLOW on line `idx` or in the
+    contiguous comment block immediately above it (so the rationale may
+    wrap onto further comment lines)."""
+    allowed = set()
+    if 0 <= idx < len(lines):
+        m = ALLOW_RE.search(lines[idx])
+        if m:
+            allowed.update(r.strip() for r in m.group(1).split(","))
+    i = idx - 1
+    while i >= 0 and lines[i].lstrip().startswith("//"):
+        m = ALLOW_RE.search(lines[i])
+        if m:
+            allowed.update(r.strip() for r in m.group(1).split(","))
+        i -= 1
+    return allowed
+
+
+def _rule_exempt(rule, relpath):
+    rel = relpath.replace(os.sep, "/")
+    return any(rel.startswith(p) or ("/" + p) in rel
+               for p in RULE_EXEMPT_PREFIXES.get(rule, ()))
+
+
+def _strip_line_comment(line):
+    cut = line.find("//")
+    return line if cut < 0 else line[:cut]
+
+
+def _template_end(text, start):
+    """Index one past the '>' matching the '<' at text[start] ('<')."""
+    depth = 0
+    for i in range(start, len(text)):
+        c = text[i]
+        if c == "<":
+            depth += 1
+        elif c == ">":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+        elif c in ";{":
+            break  # Malformed / not a declaration; bail out.
+    return -1
+
+
+def _unordered_names(text):
+    """Identifiers declared with an unordered container type in `text`."""
+    names = set()
+    for m in UNORDERED_DECL_RE.finditer(text):
+        open_angle = text.find("<", m.start())
+        end = _template_end(text, open_angle)
+        if end < 0:
+            continue
+        # After the closing '>' of the type: skip annotation macros and
+        # whitespace, then take the declared identifier (if any).
+        rest = text[end:end + 160]
+        dm = re.match(r"\s*&?\s*([A-Za-z_]\w*)", rest)
+        if not dm:
+            continue
+        name = dm.group(1)
+        if name in ("const", "GUARDED_BY"):  # e.g. `unordered_map<...> x GUARDED_BY(...)`
+            dm2 = re.match(r"\s*([A-Za-z_]\w*)", rest[dm.end():])
+            if name == "const" and dm2:
+                name = dm2.group(1)
+            else:
+                continue
+        names.add(name)
+    return names
+
+
+def _check_pointer_sort(relpath, lines, findings):
+    """Flag sort-family comparators that order by raw pointer value."""
+    n = len(lines)
+    for i, line in enumerate(lines):
+        if not SORT_CALL_RE.search(_strip_line_comment(line)):
+            continue
+        window = " ".join(_strip_line_comment(l) for l in lines[i:i + 8])
+        for lam in LAMBDA_RE.finditer(window):
+            params, body = lam.group(1), lam.group(2)
+            ptr_params = []
+            for p in params.split(","):
+                p = p.strip()
+                if "*" in p:
+                    ids = IDENT_RE.findall(p)
+                    if ids:
+                        ptr_params.append(ids[-1])
+            if len(ptr_params) < 2:
+                continue
+            a, b = re.escape(ptr_params[0]), re.escape(ptr_params[1])
+            # A bare `a < b` / `b < a` on the pointer params themselves —
+            # `a->key < b->key` dereferences and is fine.
+            if re.search(rf"(?<![\w>.]){a}\s*[<>]\s*{b}(?!\s*->)|(?<![\w>.]){b}\s*[<>]\s*{a}(?!\s*->)", body):
+                if "pointer-sort" not in _allowed_rules(lines, i):
+                    findings.append(Finding(
+                        relpath, i + 1, "pointer-sort",
+                        "comparator orders by raw pointer value; compare a "
+                        "stable key instead"))
+    del n
+
+
+def _check_unordered_iteration(relpath, text, lines, findings, extra_decls=""):
+    names = _unordered_names(text) | _unordered_names(extra_decls)
+    if not names:
+        return
+    name_alt = "|".join(re.escape(s) for s in sorted(names))
+    # `for (... : container)` — optionally through obj. / obj-> / *.
+    iter_re = re.compile(
+        rf"\bfor\s*\([^;()]*:\s*\*?(?:[\w\]\[.>-]+(?:\.|->))?({name_alt})\s*\)")
+    for i, line in enumerate(lines):
+        code = _strip_line_comment(line)
+        m = iter_re.search(code)
+        if m is None and RANGE_FOR_RE.search(code) and code.rstrip().endswith((":",)):
+            # Range-for split across lines: join the next line.
+            joined = code + " " + (_strip_line_comment(lines[i + 1]) if i + 1 < len(lines) else "")
+            m = iter_re.search(joined)
+        if m is None:
+            continue
+        if "unordered-iteration" in _allowed_rules(lines, i):
+            continue
+        findings.append(Finding(
+            relpath, i + 1, "unordered-iteration",
+            f"range-for over unordered container '{m.group(1)}'; iterate a "
+            "sorted copy or prove order-insensitivity with an ALLOW"))
+
+
+def lint_text(relpath, text, extra_decls=""):
+    """Lints one file's contents; returns a list of Finding.
+
+    `extra_decls` carries declarations visible to this file but written
+    elsewhere (in practice: the paired header of a .cc, whose unordered
+    members the .cc iterates).
+    """
+    findings = []
+    lines = text.splitlines()
+    for i, line in enumerate(lines):
+        code = _strip_line_comment(line)
+        allowed = None  # Computed lazily; most lines match nothing.
+        for rule, pattern, message in SIMPLE_RULES:
+            if _rule_exempt(rule, relpath):
+                continue
+            if pattern.search(code):
+                if allowed is None:
+                    allowed = _allowed_rules(lines, i)
+                if rule in allowed:
+                    continue
+                findings.append(Finding(relpath, i + 1, rule, message))
+    _check_pointer_sort(relpath, lines, findings)
+    _check_unordered_iteration(relpath, text, lines, findings, extra_decls)
+    return findings
+
+
+def lint_file(root, relpath):
+    with open(os.path.join(root, relpath), encoding="utf-8") as f:
+        text = f.read()
+    extra = ""
+    if relpath.endswith(".cc"):
+        header = os.path.join(root, relpath[:-3] + ".h")
+        if os.path.exists(header):
+            with open(header, encoding="utf-8") as f:
+                extra = f.read()
+    return lint_text(relpath, text, extra)
+
+
+def collect_files(root, subdirs):
+    out = []
+    for sub in subdirs:
+        base = os.path.join(root, sub)
+        for dirpath, _, filenames in os.walk(base):
+            for fn in sorted(filenames):
+                if fn.endswith((".cc", ".h")):
+                    out.append(os.path.relpath(os.path.join(dirpath, fn), root))
+    return sorted(out)
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--root", default=".", help="repository root")
+    ap.add_argument("--dirs", nargs="*", default=["src"],
+                    help="directories under --root to scan (default: src)")
+    ap.add_argument("files", nargs="*",
+                    help="explicit files (relative to --root); overrides --dirs")
+    args = ap.parse_args(argv)
+
+    files = args.files or collect_files(args.root, args.dirs)
+    if not files:
+        print("determinism_lint: no files to scan", file=sys.stderr)
+        return 2
+
+    findings = []
+    for rel in files:
+        findings.extend(lint_file(args.root, rel))
+    for f in findings:
+        print(f)
+    if findings:
+        print(f"determinism_lint: {len(findings)} finding(s) in "
+              f"{len(files)} file(s)", file=sys.stderr)
+        return 1
+    print(f"determinism_lint: clean ({len(files)} files)", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

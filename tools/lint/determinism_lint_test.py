@@ -1,0 +1,173 @@
+#!/usr/bin/env python3
+"""Fixture tests for determinism_lint.py.
+
+For every rule: a violating snippet is flagged, an innocuous snippet
+passes, and a HERMES-LINT-ALLOW escape suppresses the finding. Run
+directly (`python3 determinism_lint_test.py`) or via ctest
+(`determinism_lint_selftest`).
+"""
+
+import os
+import sys
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import determinism_lint as lint  # noqa: E402
+
+
+def rules_of(findings):
+    return [f.rule for f in findings]
+
+
+class RawRngTest(unittest.TestCase):
+    def test_flags_random_device(self):
+        out = lint.lint_text("src/foo.cc", "std::random_device rd;\n")
+        self.assertEqual(rules_of(out), ["raw-rng"])
+
+    def test_flags_rand_and_srand(self):
+        out = lint.lint_text("src/foo.cc", "srand(42);\nint x = rand();\n")
+        self.assertEqual(rules_of(out), ["raw-rng", "raw-rng"])
+
+    def test_word_boundary_no_false_positive(self):
+        # 'operand(' / 'strand(' must not match rand(.
+        out = lint.lint_text("src/foo.cc", "auto v = operand(strand(1));\n")
+        self.assertEqual(out, [])
+
+    def test_exempt_in_rng_and_datagen(self):
+        for path in ("src/common/rng.cc", "src/datagen/maritime.cc"):
+            out = lint.lint_text(path, "std::random_device rd;\n")
+            self.assertEqual(out, [], path)
+
+    def test_escape_honored(self):
+        src = ("// HERMES-LINT-ALLOW(raw-rng): seeding doc example only\n"
+               "std::random_device rd;\n")
+        self.assertEqual(lint.lint_text("src/foo.cc", src), [])
+
+
+class WallClockTest(unittest.TestCase):
+    def test_flags_time_nullptr(self):
+        out = lint.lint_text("src/foo.cc", "auto t = time(nullptr);\n")
+        self.assertEqual(rules_of(out), ["wall-clock"])
+
+    def test_flags_system_clock(self):
+        out = lint.lint_text(
+            "src/foo.cc", "auto n = std::chrono::system_clock::now();\n")
+        self.assertEqual(rules_of(out), ["wall-clock"])
+
+    def test_steady_clock_allowed(self):
+        out = lint.lint_text(
+            "src/foo.cc", "auto n = std::chrono::steady_clock::now();\n")
+        self.assertEqual(out, [])
+
+    def test_escape_honored(self):
+        src = ("auto t = time(nullptr);  "
+               "// HERMES-LINT-ALLOW(wall-clock): log timestamp only\n")
+        self.assertEqual(lint.lint_text("src/foo.cc", src), [])
+
+
+class ThreadIdTest(unittest.TestCase):
+    def test_flags_get_id(self):
+        out = lint.lint_text(
+            "src/foo.cc", "auto id = std::this_thread::get_id();\n")
+        self.assertEqual(rules_of(out), ["thread-id"])
+
+    def test_plain_thread_use_allowed(self):
+        out = lint.lint_text("src/foo.cc", "std::thread t([] {}); t.join();\n")
+        self.assertEqual(out, [])
+
+    def test_escape_honored(self):
+        src = ("// HERMES-LINT-ALLOW(thread-id): debug log tag only\n"
+               "auto id = std::this_thread::get_id();\n")
+        self.assertEqual(lint.lint_text("src/foo.cc", src), [])
+
+
+class PointerSortTest(unittest.TestCase):
+    def test_flags_pointer_value_comparator(self):
+        src = ("std::sort(v.begin(), v.end(),\n"
+               "          [](const Node* a, const Node* b) { return a < b; });\n")
+        out = lint.lint_text("src/foo.cc", src)
+        self.assertEqual(rules_of(out), ["pointer-sort"])
+
+    def test_key_comparison_through_pointer_allowed(self):
+        src = ("std::sort(v.begin(), v.end(),\n"
+               "          [](const Node* a, const Node* b) {\n"
+               "            return a->key < b->key; });\n")
+        self.assertEqual(lint.lint_text("src/foo.cc", src), [])
+
+    def test_value_comparator_allowed(self):
+        src = ("std::sort(v.begin(), v.end(),\n"
+               "          [](const Item& a, const Item& b) { return a < b; });\n")
+        self.assertEqual(lint.lint_text("src/foo.cc", src), [])
+
+    def test_escape_honored(self):
+        src = ("// HERMES-LINT-ALLOW(pointer-sort): arena-ordered, stable\n"
+               "std::sort(v.begin(), v.end(),\n"
+               "          [](const Node* a, const Node* b) { return a < b; });\n")
+        self.assertEqual(lint.lint_text("src/foo.cc", src), [])
+
+
+class UnorderedIterationTest(unittest.TestCase):
+    def test_flags_range_for_over_local(self):
+        src = ("std::unordered_map<int, int> m;\n"
+               "for (const auto& [k, v] : m) out.push_back(k);\n")
+        out = lint.lint_text("src/foo.cc", src)
+        self.assertEqual(rules_of(out), ["unordered-iteration"])
+
+    def test_flags_member_declared_in_header(self):
+        header = "std::unordered_map<PageId, Page*> frames_ GUARDED_BY(mu_);\n"
+        src = "for (auto& [id, page] : frames_) Write(page);\n"
+        out = lint.lint_text("src/foo.cc", src, extra_decls=header)
+        self.assertEqual(rules_of(out), ["unordered-iteration"])
+
+    def test_ordered_map_allowed(self):
+        src = ("std::map<int, int> m;\n"
+               "for (const auto& [k, v] : m) out.push_back(k);\n")
+        self.assertEqual(lint.lint_text("src/foo.cc", src), [])
+
+    def test_lookup_without_iteration_allowed(self):
+        src = ("std::unordered_map<int, int> m;\n"
+               "auto it = m.find(3);\n")
+        self.assertEqual(lint.lint_text("src/foo.cc", src), [])
+
+    def test_escape_with_wrapped_rationale_honored(self):
+        src = ("std::unordered_map<int, int> m;\n"
+               "// HERMES-LINT-ALLOW(unordered-iteration): each write goes\n"
+               "// to its own slot, so order cannot matter.\n"
+               "for (auto& [k, v] : m) slots[k] = v;\n")
+        self.assertEqual(lint.lint_text("src/foo.cc", src), [])
+
+
+class EscapeScopeTest(unittest.TestCase):
+    def test_escape_does_not_leak_past_code(self):
+        # An ALLOW above unrelated code must not suppress later findings.
+        src = ("// HERMES-LINT-ALLOW(raw-rng): for the line below\n"
+               "std::random_device a;\n"
+               "int x = 0;\n"
+               "std::random_device b;\n")
+        out = lint.lint_text("src/foo.cc", src)
+        self.assertEqual(rules_of(out), ["raw-rng"])
+        self.assertEqual(out[0].line, 4)
+
+    def test_escape_only_named_rule(self):
+        src = ("// HERMES-LINT-ALLOW(wall-clock): wrong rule named\n"
+               "std::random_device rd;\n")
+        out = lint.lint_text("src/foo.cc", src)
+        self.assertEqual(rules_of(out), ["raw-rng"])
+
+
+class RepoIntegrationTest(unittest.TestCase):
+    def test_src_tree_is_clean(self):
+        root = os.path.normpath(
+            os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                         os.pardir, os.pardir))
+        files = lint.collect_files(root, ["src"])
+        self.assertGreater(len(files), 50)
+        findings = []
+        for rel in files:
+            findings.extend(lint.lint_file(root, rel))
+        self.assertEqual([str(f) for f in findings], [])
+
+
+if __name__ == "__main__":
+    unittest.main()
