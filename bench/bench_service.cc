@@ -4,16 +4,30 @@
 // sweep point is appended to `BENCH_service.json` (one record per
 // (mode, clients)), the third bench JSON the CI bench-gate diffs across
 // runs — alongside BENCH_s2t.json and BENCH_ingest.json.
+//
+// `--socket` switches to the wire-protocol sweep instead: a real
+// `net::NetServer` on loopback, 1/4/16/64 concurrent TCP connections of
+// synchronous round-trip requests, reporting requests/s and p50/p99
+// latency per connection count into `BENCH_net.json` (the fifth gated
+// bench JSON). `--socket_requests=N` overrides per-connection volume
+// (CI smoke uses a small N). google-benchmark flags are accepted and
+// ignored in socket mode so the shared bench-gate runner can pass its
+// usual `--benchmark_*` arguments.
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "datagen/maritime.h"
+#include "net/client.h"
+#include "net/net_server.h"
 #include "service/client_session.h"
 #include "service/server.h"
 
@@ -173,6 +187,151 @@ void WriteJson(const char* path) {
   std::fclose(f);
 }
 
+// ---------------------------------------------------------------------------
+// Socket mode (--socket): wire-protocol throughput / tail latency
+// ---------------------------------------------------------------------------
+
+struct NetRecord {
+  size_t connections = 0;
+  size_t requests = 0;
+  double wall_ms = 0.0;
+  double requests_per_sec = 0.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+};
+
+double Percentile(std::vector<int64_t>* lat_us, double p) {
+  if (lat_us->empty()) return 0.0;
+  const size_t idx = std::min(
+      lat_us->size() - 1,
+      static_cast<size_t>(p * static_cast<double>(lat_us->size() - 1)));
+  std::nth_element(lat_us->begin(),
+                   lat_us->begin() + static_cast<ptrdiff_t>(idx),
+                   lat_us->end());
+  return static_cast<double>((*lat_us)[idx]);
+}
+
+/// One sweep point: `connections` TCP clients, each issuing
+/// `requests_per_conn` synchronous round trips (a cheap RANGE, a STATS,
+/// and a PING in rotation — wire overhead dominates, which is what this
+/// bench measures).
+NetRecord RunSocketSweep(uint16_t port, size_t connections,
+                         size_t requests_per_conn,
+                         const std::string& range_sql) {
+  std::vector<std::vector<int64_t>> lat_per_conn(connections);
+  std::vector<std::thread> threads;
+  threads.reserve(connections);
+  const int64_t start = NowUs();
+  for (size_t c = 0; c < connections; ++c) {
+    threads.emplace_back([&, c] {
+      auto client_or = net::Client::Connect("127.0.0.1", port);
+      if (!client_or.ok()) return;
+      auto client = std::move(*client_or);
+      auto& lat = lat_per_conn[c];
+      lat.reserve(requests_per_conn);
+      for (size_t q = 0; q < requests_per_conn; ++q) {
+        const int64_t t0 = NowUs();
+        bool ok = false;
+        switch (q % 3) {
+          case 0:
+            ok = client->Execute(range_sql).ok();
+            break;
+          case 1:
+            ok = client->Execute("SELECT STATS(ships);").ok();
+            break;
+          default:
+            ok = client->Ping().ok();
+            break;
+        }
+        if (!ok) return;
+        lat.push_back(NowUs() - t0);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const double wall_ms = (NowUs() - start) / 1000.0;
+
+  std::vector<int64_t> all;
+  for (const auto& lat : lat_per_conn) {
+    all.insert(all.end(), lat.begin(), lat.end());
+  }
+  NetRecord rec;
+  rec.connections = connections;
+  rec.requests = all.size();
+  rec.wall_ms = wall_ms;
+  rec.requests_per_sec =
+      wall_ms > 0 ? static_cast<double>(all.size()) / (wall_ms / 1000.0)
+                  : 0.0;
+  rec.p50_us = Percentile(&all, 0.50);
+  rec.p99_us = Percentile(&all, 0.99);
+  return rec;
+}
+
+void WriteNetJson(const char* path, const std::vector<NetRecord>& recs) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"net_socket\",\n  \"runs\": [\n");
+  for (size_t i = 0; i < recs.size(); ++i) {
+    const auto& r = recs[i];
+    std::fprintf(f,
+                 "    {\"connections\": %zu, \"requests\": %zu, "
+                 "\"wall_ms\": %.3f, \"requests_per_sec\": %.2f, "
+                 "\"p50_us\": %.1f, \"p99_us\": %.1f}%s\n",
+                 r.connections, r.requests, r.wall_ms, r.requests_per_sec,
+                 r.p50_us, r.p99_us, i + 1 < recs.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+}
+
+int RunSocketMode(size_t requests_per_conn) {
+  const traj::TrajectoryStore ships = MakeMod(kShips);
+  const auto [t0, t1] = ships.TimeDomain();
+  const std::string range_sql = "SELECT RANGE(ships, " + std::to_string(t0) +
+                                ", " + std::to_string(t1 + 1) + ");";
+
+  service::ServerOptions opts;
+  opts.threads = 2;
+  auto server = std::move(service::Server::Start(std::move(opts))).value();
+  traj::TrajectoryStore seed;
+  for (traj::TrajectoryId tid = 0; tid < ships.NumTrajectories(); ++tid) {
+    (void)seed.Add(ships.Get(tid));
+  }
+  if (!server->RegisterStore("ships", std::move(seed)).ok()) return 1;
+  auto net_or = net::NetServer::Start(server.get(), net::NetServerOptions{});
+  if (!net_or.ok()) {
+    std::fprintf(stderr, "listen failed: %s\n",
+                 net_or.status().ToString().c_str());
+    return 1;
+  }
+  auto net = std::move(*net_or);
+
+  std::vector<NetRecord> recs;
+  for (const size_t connections : {1u, 4u, 16u, 64u}) {
+    // Warm-up pass primes snapshots and the kernel accept path; the
+    // second pass is the measurement.
+    (void)RunSocketSweep(net->port(), connections,
+                         std::max<size_t>(1, requests_per_conn / 4),
+                         range_sql);
+    NetRecord rec =
+        RunSocketSweep(net->port(), connections, requests_per_conn,
+                       range_sql);
+    std::printf(
+        "socket connections=%zu requests=%zu wall_ms=%.1f req/s=%.0f "
+        "p50_us=%.0f p99_us=%.0f\n",
+        rec.connections, rec.requests, rec.wall_ms, rec.requests_per_sec,
+        rec.p50_us, rec.p99_us);
+    recs.push_back(rec);
+  }
+  WriteNetJson("BENCH_net.json", recs);
+  net->Shutdown();
+  server->Shutdown();
+  return 0;
+}
+
 }  // namespace
 
 BENCHMARK(BM_ServiceQueryClients)->Arg(1)->Arg(2)->Arg(4)
@@ -181,6 +340,21 @@ BENCHMARK(BM_ServiceMixedClients)->Arg(1)->Arg(2)->Arg(4)
     ->Unit(benchmark::kMillisecond)->UseRealTime();
 
 int main(int argc, char** argv) {
+  // Socket mode is checked before google-benchmark sees the args: the CI
+  // bench-gate runner always passes `--benchmark_*` flags, which do not
+  // apply to the socket sweep and are ignored.
+  bool socket_mode = false;
+  size_t socket_requests = 512;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--socket") == 0) {
+      socket_mode = true;
+    } else if (std::strncmp(argv[i], "--socket_requests=", 18) == 0) {
+      socket_requests = static_cast<size_t>(std::atol(argv[i] + 18));
+      if (socket_requests == 0) socket_requests = 1;
+    }
+  }
+  if (socket_mode) return RunSocketMode(socket_requests);
+
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

@@ -1,24 +1,131 @@
-// The multi-session service in action: one `service::Server` owning a
-// shared maritime MOD, four concurrent client sessions issuing
-// S2T_MEMBERS / RANGE / QUT statements, and a writer session streaming
-// INSERTs through the background ingest worker — the embedded analogue of
-// many psql clients against Hermes@PostgreSQL while data arrives.
+// The Hermes service daemon / demo.
 //
-// Exits non-zero if any statement fails or any reader observes a
-// non-prefix state, so CI runs it as an end-to-end smoke test.
+// With no arguments, runs the in-process smoke demo: one
+// `service::Server` owning a shared maritime MOD, four concurrent client
+// sessions issuing S2T_MEMBERS / RANGE / QUT statements, and a writer
+// session streaming INSERTs through the background ingest worker — the
+// embedded analogue of many psql clients against Hermes@PostgreSQL while
+// data arrives. Exits non-zero if any statement fails or any reader
+// observes a non-prefix state, so CI runs it as an end-to-end smoke test.
+//
+// With `--port=N` (and optionally `--listen=ADDR`, default loopback), it
+// becomes a real daemon: the same seeded server fronted by the TCP wire
+// protocol (`net::NetServer`), serving until SIGINT/SIGTERM. Shutdown is
+// clean — stop accepting, finish in-flight statements, drain the ingest
+// queue (FLUSH), then stop the service.
+//
+//   hermes_serve --port=7878
+//   hermes_serve --listen=0.0.0.0 --port=7878 --ships=64
 
 #include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
+#include <cstdlib>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "datagen/maritime.h"
+#include "net/net_server.h"
 #include "service/client_session.h"
 #include "service/server.h"
 
-int main() {
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void OnSignal(int /*sig*/) { g_stop = 1; }
+
+/// Generates the demo fleet and starts a seeded service server.
+hermes::StatusOr<std::unique_ptr<hermes::service::Server>> StartSeeded(
+    size_t num_ships, hermes::traj::TrajectoryStore* ships_out) {
   using namespace hermes;
+  datagen::MaritimeScenarioParams mp;
+  mp.num_ships = num_ships;
+  mp.sample_dt = 300.0;
+  mp.seed = 4;
+  HERMES_ASSIGN_OR_RETURN(auto maritime,
+                          datagen::GenerateMaritimeScenario(mp));
+  *ships_out = std::move(maritime.store);
+
+  service::ServerOptions opts;
+  opts.threads = 2;
+  opts.session_defaults.sigma = 800.0;
+  opts.session_defaults.epsilon = 1600.0;
+  return service::Server::Start(std::move(opts));
+}
+
+/// `--port=N --listen=ADDR [--ships=K]`: serve the wire protocol until a
+/// signal, then drain and exit.
+int RunDaemon(const std::string& listen, int port, size_t num_ships) {
+  using namespace hermes;
+  traj::TrajectoryStore ships;
+  auto server_or = StartSeeded(num_ships, &ships);
+  if (!server_or.ok()) {
+    std::fprintf(stderr, "server start failed: %s\n",
+                 server_or.status().ToString().c_str());
+    return 1;
+  }
+  auto server = std::move(*server_or);
+  if (!server->RegisterStore("ships", std::move(ships)).ok()) return 1;
+
+  net::NetServerOptions nopts;
+  nopts.listen_addr = listen;
+  nopts.port = static_cast<uint16_t>(port);
+  auto net_or = net::NetServer::Start(server.get(), nopts);
+  if (!net_or.ok()) {
+    std::fprintf(stderr, "listen failed: %s\n",
+                 net_or.status().ToString().c_str());
+    return 1;
+  }
+  auto net = std::move(*net_or);
+
+  std::signal(SIGINT, OnSignal);
+  std::signal(SIGTERM, OnSignal);
+  std::printf("hermes_serve listening on %s:%u (MOD ships seeded)\n",
+              listen.c_str(), net->port());
+  std::fflush(stdout);
+  while (g_stop == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+
+  std::printf("signal received; draining...\n");
+  net->Shutdown();          // stop accepting, finish in-flight statements
+  if (!server->Flush().ok()) {
+    std::fprintf(stderr, "final flush failed\n");
+  }
+  server->Shutdown();       // drain the ingest queue and join the worker
+  std::printf("hermes_serve stopped cleanly\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace hermes;
+
+  std::string listen = "127.0.0.1";
+  int port = -1;
+  size_t daemon_ships = 24;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--listen=", 0) == 0) {
+      listen = arg.substr(9);
+    } else if (arg.rfind("--port=", 0) == 0) {
+      port = std::atoi(arg.c_str() + 7);
+    } else if (arg.rfind("--ships=", 0) == 0) {
+      daemon_ships = static_cast<size_t>(std::atol(arg.c_str() + 8));
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--listen=ADDR] [--port=N] [--ships=K]\n"
+                   "(no arguments: run the in-process smoke demo)\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (port >= 0) return RunDaemon(listen, port, daemon_ships);
 
   datagen::MaritimeScenarioParams mp;
   mp.num_ships = 24;

@@ -1,0 +1,171 @@
+#include "net/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace hermes::net {
+
+StatusOr<std::unique_ptr<Client>> Client::Connect(const std::string& host,
+                                                  uint16_t port) {
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  }
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    close(fd);
+    return Status::InvalidArgument("bad host address: " + host);
+  }
+  if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const int err = errno;
+    close(fd);
+    return Status::IOError("connect(" + host + ":" + std::to_string(port) +
+                           "): " + std::strerror(err));
+  }
+  const int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return std::unique_ptr<Client>(new Client(fd));
+}
+
+Client::~Client() {
+  if (fd_ >= 0) close(fd_);
+}
+
+void Client::CloseWrite() { shutdown(fd_, SHUT_WR); }
+
+Status Client::SendRaw(const void* data, size_t size) {
+  const char* p = static_cast<const char*>(data);
+  size_t off = 0;
+  while (off < size) {
+    const ssize_t w = send(fd_, p + off, size - off, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(std::string("send: ") + std::strerror(errno));
+    }
+    off += static_cast<size_t>(w);
+  }
+  return Status::OK();
+}
+
+Status Client::SendExecute(const std::string& sql) {
+  std::string frame;
+  AppendExecuteFrame(sql, &frame);
+  return SendRaw(frame.data(), frame.size());
+}
+
+Status Client::SendPrepare(uint32_t stmt_id, const std::string& sql) {
+  std::string frame;
+  AppendPrepareFrame(stmt_id, sql, &frame);
+  return SendRaw(frame.data(), frame.size());
+}
+
+Status Client::SendBindExecute(uint32_t stmt_id,
+                               const std::vector<sql::Value>& binds) {
+  std::string frame;
+  AppendBindExecuteFrame(stmt_id, binds, &frame);
+  return SendRaw(frame.data(), frame.size());
+}
+
+Status Client::SendFlush() {
+  std::string frame;
+  AppendFlushFrame(&frame);
+  return SendRaw(frame.data(), frame.size());
+}
+
+Status Client::SendPing() {
+  std::string frame;
+  AppendPingFrame(&frame);
+  return SendRaw(frame.data(), frame.size());
+}
+
+StatusOr<Response> Client::ReadResponse() {
+  for (;;) {
+    std::string body;
+    const FrameScan scan = ScanFrame(rbuf_, &roff_, &body);
+    if (scan == FrameScan::kFrame) {
+      if (roff_ == rbuf_.size()) {
+        rbuf_.clear();
+        roff_ = 0;
+      }
+      return DecodeResponse(body);
+    }
+    if (scan == FrameScan::kOversize) {
+      return Status::Corruption("oversize response frame");
+    }
+    char buf[16 * 1024];
+    const ssize_t r = read(fd_, buf, sizeof(buf));
+    if (r > 0) {
+      rbuf_.append(buf, static_cast<size_t>(r));
+      continue;
+    }
+    if (r < 0 && errno == EINTR) continue;
+    if (r == 0) {
+      return Status::IOError("connection closed by server");
+    }
+    return Status::IOError(std::string("read: ") + std::strerror(errno));
+  }
+}
+
+StatusOr<sql::Table> Client::ReadTable() {
+  HERMES_ASSIGN_OR_RETURN(Response resp, ReadResponse());
+  if (resp.op == Opcode::kError) {
+    return Status(resp.code, resp.message);
+  }
+  if (resp.op != Opcode::kTable) {
+    return Status::Corruption("expected TABLE response, got opcode " +
+                              std::to_string(static_cast<int>(resp.op)));
+  }
+  return std::move(resp.table);
+}
+
+StatusOr<sql::Table> Client::Execute(const std::string& sql) {
+  HERMES_RETURN_NOT_OK(SendExecute(sql));
+  return ReadTable();
+}
+
+StatusOr<uint16_t> Client::Prepare(uint32_t stmt_id, const std::string& sql) {
+  HERMES_RETURN_NOT_OK(SendPrepare(stmt_id, sql));
+  HERMES_ASSIGN_OR_RETURN(Response resp, ReadResponse());
+  if (resp.op == Opcode::kError) {
+    return Status(resp.code, resp.message);
+  }
+  if (resp.op != Opcode::kPrepared || resp.stmt_id != stmt_id) {
+    return Status::Corruption("bad PREPARED response");
+  }
+  return resp.num_params;
+}
+
+StatusOr<sql::Table> Client::BindExecute(
+    uint32_t stmt_id, const std::vector<sql::Value>& binds) {
+  HERMES_RETURN_NOT_OK(SendBindExecute(stmt_id, binds));
+  return ReadTable();
+}
+
+StatusOr<sql::Table> Client::Flush() {
+  HERMES_RETURN_NOT_OK(SendFlush());
+  return ReadTable();
+}
+
+Status Client::Ping() {
+  HERMES_RETURN_NOT_OK(SendPing());
+  HERMES_ASSIGN_OR_RETURN(Response resp, ReadResponse());
+  if (resp.op == Opcode::kError) {
+    return Status(resp.code, resp.message);
+  }
+  if (resp.op != Opcode::kPong) {
+    return Status::Corruption("expected PONG response");
+  }
+  return Status::OK();
+}
+
+}  // namespace hermes::net

@@ -1,0 +1,80 @@
+#ifndef HERMES_NET_CLIENT_H_
+#define HERMES_NET_CLIENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/statusor.h"
+#include "net/wire.h"
+#include "sql/value.h"
+
+namespace hermes::net {
+
+/// \brief Blocking TCP client for the Hermes wire protocol.
+///
+/// The synchronous calls (`Execute`, `Prepare`, `BindExecute`, `Flush`,
+/// `Ping`) send one request and wait for its response. For pipelining,
+/// use the split halves: `Send*` queues frames onto the socket without
+/// waiting, and `ReadResponse` pops the next response in request order.
+///
+/// A `kError` response surfaces as a non-OK Status carrying the server's
+/// code and message — so a socket client observes exactly what an
+/// in-process `ClientSession` caller would (same code, same message).
+///
+/// Not thread-safe: one Client per thread, like the session it fronts.
+class Client {
+ public:
+  static StatusOr<std::unique_ptr<Client>> Connect(const std::string& host,
+                                                   uint16_t port);
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  // --- Synchronous round-trips ---
+  StatusOr<sql::Table> Execute(const std::string& sql);
+  /// Registers `sql` under the client-chosen `stmt_id` (re-preparing an
+  /// id replaces it); returns the statement's parameter count.
+  StatusOr<uint16_t> Prepare(uint32_t stmt_id, const std::string& sql);
+  /// Binds `$1..$n` to `binds` in order and executes.
+  StatusOr<sql::Table> BindExecute(uint32_t stmt_id,
+                                   const std::vector<sql::Value>& binds);
+  /// Drains the server's async ingest queue (the FLUSH statement).
+  StatusOr<sql::Table> Flush();
+  Status Ping();
+
+  // --- Pipelined halves ---
+  Status SendExecute(const std::string& sql);
+  Status SendPrepare(uint32_t stmt_id, const std::string& sql);
+  Status SendBindExecute(uint32_t stmt_id,
+                         const std::vector<sql::Value>& binds);
+  Status SendFlush();
+  Status SendPing();
+  /// Writes raw bytes to the socket verbatim — torture-test hook for
+  /// malformed frames and deliberately dribbled partial writes.
+  Status SendRaw(const void* data, size_t size);
+
+  /// Blocks for the next response frame, in request order.
+  StatusOr<Response> ReadResponse();
+
+  /// Expects the next response to be a table (or error) — the decoded
+  /// form of `Execute`'s reply for a previously pipelined request.
+  StatusOr<sql::Table> ReadTable();
+
+  /// Half-closes the write side (`shutdown(SHUT_WR)`): the server drains
+  /// queued requests, flushes their responses, then closes.
+  void CloseWrite();
+
+ private:
+  explicit Client(int fd) : fd_(fd) {}
+
+  int fd_;
+  std::string rbuf_;
+  size_t roff_ = 0;
+};
+
+}  // namespace hermes::net
+
+#endif  // HERMES_NET_CLIENT_H_

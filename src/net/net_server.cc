@@ -1,0 +1,415 @@
+#include "net/net_server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace hermes::net {
+
+namespace {
+
+Status SetNonBlocking(int fd) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return Status::IOError(std::string("fcntl(O_NONBLOCK): ") +
+                           std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+bool WouldBlock(int err) { return err == EAGAIN || err == EWOULDBLOCK; }
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Lifecycle
+// ---------------------------------------------------------------------------
+
+NetServer::NetServer(service::Server* server, NetServerOptions options)
+    : server_(server), options_(std::move(options)) {}
+
+StatusOr<std::unique_ptr<NetServer>> NetServer::Start(
+    service::Server* server, NetServerOptions options) {
+  std::unique_ptr<NetServer> net(new NetServer(server, std::move(options)));
+  HERMES_RETURN_NOT_OK(net->Listen());
+  net->loop_ = std::thread([raw = net.get()] { raw->LoopThread(); });
+  return net;
+}
+
+Status NetServer::Listen() {
+  int pipefd[2];
+  if (pipe(pipefd) != 0) {
+    return Status::IOError(std::string("pipe: ") + std::strerror(errno));
+  }
+  wake_rd_ = pipefd[0];
+  wake_wr_ = pipefd[1];
+  HERMES_RETURN_NOT_OK(SetNonBlocking(wake_rd_));
+
+  listen_fd_ = socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  }
+  const int one = 1;
+  setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (inet_pton(AF_INET, options_.listen_addr.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("bad listen address: " +
+                                   options_.listen_addr);
+  }
+  if (bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    return Status::IOError("bind(" + options_.listen_addr + ":" +
+                           std::to_string(options_.port) +
+                           "): " + std::strerror(errno));
+  }
+  if (listen(listen_fd_, options_.backlog) != 0) {
+    return Status::IOError(std::string("listen: ") + std::strerror(errno));
+  }
+  HERMES_RETURN_NOT_OK(SetNonBlocking(listen_fd_));
+
+  socklen_t len = sizeof(addr);
+  if (getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) !=
+      0) {
+    return Status::IOError(std::string("getsockname: ") +
+                           std::strerror(errno));
+  }
+  port_ = ntohs(addr.sin_port);
+  return Status::OK();
+}
+
+NetServer::~NetServer() { Shutdown(); }
+
+void NetServer::Shutdown() {
+  {
+    common::MutexLock lock(&shutdown_mu_);
+    if (shut_down_) return;
+    shut_down_ = true;
+  }
+  stop_.store(true, std::memory_order_release);
+  WakeLoop();
+  if (loop_.joinable()) loop_.join();
+  // The loop has exited: conns_ is ours now. Abort workers (they finish
+  // at most the statement they are executing), join, and close sockets.
+  for (auto& conn : conns_) {
+    {
+      common::MutexLock lock(&conn->mu);
+      conn->abort = true;
+    }
+    conn->cv.notify_all();
+  }
+  for (auto& conn : conns_) {
+    if (conn->worker.joinable()) conn->worker.join();
+    if (conn->fd >= 0) close(conn->fd);
+  }
+  conns_.clear();
+  if (listen_fd_ >= 0) close(listen_fd_);
+  if (wake_rd_ >= 0) close(wake_rd_);
+  if (wake_wr_ >= 0) close(wake_wr_);
+  listen_fd_ = wake_rd_ = wake_wr_ = -1;
+}
+
+void NetServer::WakeLoop() {
+  const char b = 'w';
+  // A full pipe already guarantees a pending wakeup; EAGAIN is success.
+  ssize_t ignored = write(wake_wr_, &b, 1);
+  (void)ignored;
+}
+
+// ---------------------------------------------------------------------------
+// Event loop
+// ---------------------------------------------------------------------------
+
+void NetServer::LoopThread() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    // Move worker-produced response bytes into the write buffers and
+    // reap connections whose worker finished and output fully flushed.
+    for (size_t i = 0; i < conns_.size();) {
+      Connection* conn = conns_[i].get();
+      bool done;
+      {
+        common::MutexLock lock(&conn->mu);
+        if (!conn->outbox.empty()) {
+          conn->wbuf.append(conn->outbox);
+          conn->outbox.clear();
+        }
+        done = conn->worker_done;
+      }
+      if (!conn->wbuf.empty()) WriteReady(conn);
+      if (done && conn->woff == conn->wbuf.size()) {
+        bool empty_outbox;
+        {
+          common::MutexLock lock(&conn->mu);
+          empty_outbox = conn->outbox.empty();
+        }
+        if (empty_outbox) {
+          CloseConnection(conn);
+          conns_.erase(conns_.begin() + static_cast<ptrdiff_t>(i));
+          continue;
+        }
+      }
+      ++i;
+    }
+
+    std::vector<pollfd> fds;
+    fds.push_back({listen_fd_, POLLIN, 0});
+    fds.push_back({wake_rd_, POLLIN, 0});
+    for (const auto& conn : conns_) {
+      short events = 0;
+      if (!conn->stop_reading) events |= POLLIN;
+      if (conn->woff < conn->wbuf.size()) events |= POLLOUT;
+      fds.push_back({conn->fd, events, 0});
+    }
+
+    const int n = poll(fds.data(), fds.size(), /*timeout_ms=*/1000);
+    if (n < 0 && errno != EINTR) break;
+    if (n <= 0) continue;
+
+    if (fds[1].revents & POLLIN) {
+      char buf[256];
+      while (read(wake_rd_, buf, sizeof(buf)) > 0) {
+      }
+    }
+    if (fds[0].revents & POLLIN) AcceptReady();
+    // conns_ may have grown (accept) but existing order is stable; only
+    // the first `fds.size() - 2` entries were polled.
+    for (size_t i = 0; i + 2 < fds.size() && i < conns_.size(); ++i) {
+      Connection* conn = conns_[i].get();
+      if (fds[i + 2].fd != conn->fd) continue;  // defensive: stale slot
+      if (fds[i + 2].revents & (POLLIN | POLLHUP | POLLERR)) {
+        ReadReady(conn);
+      }
+      if (fds[i + 2].revents & POLLOUT) WriteReady(conn);
+    }
+  }
+}
+
+void NetServer::AcceptReady() {
+  for (;;) {
+    const int fd = accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // EAGAIN or transient accept failure: poll again later.
+    }
+    if (!SetNonBlocking(fd).ok()) {
+      close(fd);
+      continue;
+    }
+    const int one = 1;
+    setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    auto conn = std::make_unique<Connection>(fd);
+    conn->session = server_->Connect();
+    Connection* raw = conn.get();
+    conn->worker = std::thread([this, raw] { WorkerThread(raw); });
+    conns_.push_back(std::move(conn));
+  }
+}
+
+void NetServer::ReadReady(Connection* conn) {
+  bool input_closed = false;
+  char buf[16 * 1024];
+  for (;;) {
+    const ssize_t r = read(conn->fd, buf, sizeof(buf));
+    if (r > 0) {
+      conn->rbuf.append(buf, static_cast<size_t>(r));
+      continue;
+    }
+    if (r < 0 && errno == EINTR) continue;
+    if (r < 0 && WouldBlock(errno)) break;
+    // Peer EOF (r == 0) or hard error: either way no more requests will
+    // arrive. Already-queued requests still execute and their responses
+    // still flush — a client may shutdown(SHUT_WR) then read the tail.
+    input_closed = true;
+    break;
+  }
+
+  // Frame everything available; decoded requests (and decode errors)
+  // queue to the worker in arrival order.
+  bool queued = false;
+  {
+    common::MutexLock lock(&conn->mu);
+    std::string body;
+    for (;;) {
+      const FrameScan scan = ScanFrame(conn->rbuf, &conn->roff, &body,
+                                       options_.max_frame_bytes);
+      if (scan == FrameScan::kNeedMore) break;
+      if (scan == FrameScan::kOversize) {
+        // The length prefix itself is untrustworthy: answer once, then
+        // never frame this stream again; the connection closes after
+        // the error flushes.
+        conn->queue.push_back(Status::InvalidArgument(
+            "frame exceeds max_frame_bytes (" +
+            std::to_string(options_.max_frame_bytes) + ")"));
+        conn->stop_reading = true;
+        conn->input_done = true;
+        queued = true;
+        break;
+      }
+      conn->queue.push_back(DecodeRequest(body));
+      queued = true;
+    }
+    if (input_closed && !conn->input_done) {
+      conn->stop_reading = true;
+      conn->input_done = true;
+      queued = true;
+    }
+  }
+  // Consumed bytes compact away so a pipelining client cannot grow the
+  // buffer unboundedly across requests.
+  if (conn->roff > 0) {
+    conn->rbuf.erase(0, conn->roff);
+    conn->roff = 0;
+  }
+  if (queued) conn->cv.notify_all();
+}
+
+void NetServer::WriteReady(Connection* conn) {
+  while (conn->woff < conn->wbuf.size()) {
+    const ssize_t w =
+        send(conn->fd, conn->wbuf.data() + conn->woff,
+             conn->wbuf.size() - conn->woff, MSG_NOSIGNAL);
+    if (w > 0) {
+      conn->woff += static_cast<size_t>(w);
+      continue;
+    }
+    if (w < 0 && errno == EINTR) continue;
+    if (w < 0 && WouldBlock(errno)) return;  // Short write: resume on POLLOUT.
+    // Peer is gone; drop the remaining output and let the reaper close.
+    conn->wbuf.clear();
+    conn->woff = 0;
+    conn->stop_reading = true;
+    {
+      common::MutexLock lock(&conn->mu);
+      conn->input_done = true;
+    }
+    conn->cv.notify_all();
+    return;
+  }
+  if (conn->woff == conn->wbuf.size()) {
+    conn->wbuf.clear();
+    conn->woff = 0;
+  }
+}
+
+void NetServer::CloseConnection(Connection* conn) {
+  {
+    common::MutexLock lock(&conn->mu);
+    conn->abort = true;
+  }
+  conn->cv.notify_all();
+  if (conn->worker.joinable()) conn->worker.join();
+  if (conn->fd >= 0) close(conn->fd);
+  conn->fd = -1;
+}
+
+// ---------------------------------------------------------------------------
+// Per-connection worker
+// ---------------------------------------------------------------------------
+
+void NetServer::WorkerThread(Connection* conn) {
+  for (;;) {
+    StatusOr<Request> req{Request{}};
+    {
+      common::MutexLock lock(&conn->mu);
+      while (conn->queue.empty() && !conn->input_done && !conn->abort) {
+        lock.Wait(conn->cv);
+      }
+      if (conn->abort || (conn->queue.empty() && conn->input_done)) {
+        conn->worker_done = true;
+        break;
+      }
+      req = std::move(conn->queue.front());
+      conn->queue.pop_front();
+    }
+    std::string out;
+    HandleRequest(conn, req, &out);
+    {
+      common::MutexLock lock(&conn->mu);
+      conn->outbox.append(out);
+    }
+    WakeLoop();
+  }
+  WakeLoop();
+}
+
+void NetServer::HandleRequest(Connection* conn, const StatusOr<Request>& req,
+                              std::string* out) {
+  if (!req.ok()) {
+    AppendErrorFrame(req.status(), out);
+    return;
+  }
+  const Request& r = *req;
+  switch (r.op) {
+    case Opcode::kPing:
+      AppendPongFrame(out);
+      return;
+    case Opcode::kExecute:
+    case Opcode::kFlush: {
+      // FLUSH is spelled as a statement so its ack table — and its
+      // drain-the-ingest-queue semantics — match the SQL path exactly.
+      StatusOr<sql::Table> result =
+          conn->session->Execute(r.op == Opcode::kFlush ? "FLUSH" : r.sql);
+      if (!result.ok()) {
+        AppendErrorFrame(result.status(), out);
+      } else {
+        AppendTableFrame(*result, out);
+      }
+      return;
+    }
+    case Opcode::kPrepare: {
+      StatusOr<sql::PreparedStatement> prepared =
+          conn->session->Prepare(r.sql);
+      if (!prepared.ok()) {
+        AppendErrorFrame(prepared.status(), out);
+        return;
+      }
+      const uint16_t num_params =
+          static_cast<uint16_t>(prepared->num_params());
+      conn->prepared.insert_or_assign(r.stmt_id, std::move(*prepared));
+      AppendPreparedFrame(r.stmt_id, num_params, out);
+      return;
+    }
+    case Opcode::kBindExecute: {
+      auto it = conn->prepared.find(r.stmt_id);
+      if (it == conn->prepared.end()) {
+        AppendErrorFrame(
+            Status::NotFound("no prepared statement with id " +
+                             std::to_string(r.stmt_id)),
+            out);
+        return;
+      }
+      sql::PreparedStatement& ps = it->second;
+      for (size_t i = 0; i < r.binds.size(); ++i) {
+        Status st = ps.Bind(static_cast<int>(i) + 1, r.binds[i]);
+        if (!st.ok()) {
+          AppendErrorFrame(st, out);
+          return;
+        }
+      }
+      StatusOr<sql::Table> result = ps.Execute();
+      if (!result.ok()) {
+        AppendErrorFrame(result.status(), out);
+      } else {
+        AppendTableFrame(*result, out);
+      }
+      return;
+    }
+    default:
+      AppendErrorFrame(Status::InvalidArgument("response opcode in request"),
+                       out);
+      return;
+  }
+}
+
+}  // namespace hermes::net

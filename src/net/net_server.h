@@ -1,0 +1,147 @@
+#ifndef HERMES_NET_NET_SERVER_H_
+#define HERMES_NET_NET_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/statusor.h"
+#include "net/wire.h"
+#include "service/server.h"
+#include "service/client_session.h"
+
+namespace hermes::net {
+
+struct NetServerOptions {
+  /// IPv4 address to bind; loopback by default (a reverse proxy or mesh
+  /// fronts public traffic in the target deployment).
+  std::string listen_addr = "127.0.0.1";
+  /// 0 picks an ephemeral port; read it back via `port()`.
+  uint16_t port = 0;
+  /// Hard per-frame cap; a peer declaring more is disconnected (the
+  /// stream can no longer be framed once the prefix is untrusted).
+  uint32_t max_frame_bytes = kMaxFrameBytes;
+  int backlog = 128;
+};
+
+/// \brief TCP front end for `service::Server`: accepts connections,
+/// decodes wire-protocol frames, and executes them on per-connection
+/// `ClientSession`s.
+///
+/// Threading (see docs/ARCHITECTURE.md "Wire protocol"):
+///
+///  - One event-loop thread owns every socket: it accepts, reads and
+///    frames request bytes, and flushes response bytes — non-blocking
+///    fds throughout, with partial reads and short writes resumed on the
+///    next poll cycle.
+///  - Each connection owns one worker thread running its
+///    `ClientSession` (the session layer is one-thread-per-client by
+///    contract, like a PostgreSQL backend). The loop hands decoded
+///    requests to the worker over a small locked queue; the worker
+///    appends encoded responses to the connection outbox and wakes the
+///    loop through a self-pipe. Responses therefore flow back strictly
+///    in request order: pipelined clients may have many requests in
+///    flight, and answers never reorder.
+///  - A request that fails to decode (unknown opcode, truncated payload)
+///    still travels the queue as an error, so its ERROR response stays
+///    in pipeline order and the connection survives. An oversize length
+///    prefix is fatal to the connection only: one ERROR response is
+///    flushed, then the socket closes; the server and every other
+///    connection keep running.
+///
+/// The `service::Server` must outlive the NetServer. Destruction (or
+/// `Shutdown()`) stops accepting, aborts idle workers, finishes the
+/// request each busy worker is executing, and closes every socket.
+class NetServer {
+ public:
+  static StatusOr<std::unique_ptr<NetServer>> Start(service::Server* server,
+                                                    NetServerOptions options);
+  ~NetServer();
+
+  NetServer(const NetServer&) = delete;
+  NetServer& operator=(const NetServer&) = delete;
+
+  /// Stops the acceptor, closes every connection, joins all threads.
+  /// Idempotent.
+  void Shutdown();
+
+  /// The bound port (resolves option `port == 0` to the kernel's pick).
+  uint16_t port() const { return port_; }
+
+ private:
+  /// One accepted socket: loop-thread buffers plus the locked seam to
+  /// its worker thread.
+  struct Connection {
+    explicit Connection(int fd_in) : fd(fd_in) {}
+
+    // --- Event-loop-thread-only state (no lock needed) ---
+    int fd;
+    std::string rbuf;        ///< Unconsumed request bytes.
+    size_t roff = 0;         ///< Frames before this offset are consumed.
+    std::string wbuf;        ///< Response bytes being written.
+    size_t woff = 0;         ///< Bytes of `wbuf` already on the wire.
+    bool stop_reading = false;  ///< Framing poisoned or peer EOF.
+
+    // --- Loop <-> worker seam ---
+    common::Mutex mu;
+    std::condition_variable cv;  ///< Signals the worker: work / done / abort.
+    /// Decoded requests in arrival order; a failed decode rides along as
+    /// its error so responses keep pipeline order.
+    std::deque<StatusOr<Request>> queue GUARDED_BY(mu);
+    /// No further requests will ever be queued (peer EOF or poisoned
+    /// framing): the worker drains and exits.
+    bool input_done GUARDED_BY(mu) = false;
+    /// Server shutdown: the worker abandons queued requests and exits.
+    bool abort GUARDED_BY(mu) = false;
+    /// Encoded response frames not yet moved to `wbuf`.
+    std::string outbox GUARDED_BY(mu);
+    bool worker_done GUARDED_BY(mu) = false;
+
+    // --- Worker-thread-only state ---
+    std::thread worker;
+    std::unique_ptr<service::ClientSession> session;
+    /// Client-chosen statement ids; re-PREPARE on an id replaces it.
+    std::map<uint32_t, sql::PreparedStatement> prepared;
+  };
+
+  NetServer(service::Server* server, NetServerOptions options);
+
+  Status Listen();
+  void LoopThread();
+  void WorkerThread(Connection* conn);
+  /// Executes one decoded request, appending the response frame to `*out`.
+  void HandleRequest(Connection* conn, const StatusOr<Request>& req,
+                     std::string* out);
+  void AcceptReady();
+  /// Reads available bytes, frames them, queues decoded requests.
+  void ReadReady(Connection* conn);
+  /// Writes as much of `wbuf` as the socket accepts.
+  void WriteReady(Connection* conn);
+  void CloseConnection(Connection* conn);
+  void WakeLoop();
+
+  service::Server* server_;
+  NetServerOptions options_;
+  uint16_t port_ = 0;
+  int listen_fd_ = -1;
+  int wake_rd_ = -1;  ///< Self-pipe: workers & Shutdown wake the poll loop.
+  int wake_wr_ = -1;
+  std::atomic<bool> stop_{false};
+  std::thread loop_;
+  /// Owned by the loop thread after Start (only the loop touches it).
+  std::vector<std::unique_ptr<Connection>> conns_;
+  /// Serializes Shutdown against itself (dtor + explicit call).
+  common::Mutex shutdown_mu_;
+  bool shut_down_ GUARDED_BY(shutdown_mu_) = false;
+};
+
+}  // namespace hermes::net
+
+#endif  // HERMES_NET_NET_SERVER_H_

@@ -48,18 +48,31 @@ StatusOr<std::unique_ptr<sql::RowCursor>> ClientSession::ExecuteCursor(
   HERMES_ASSIGN_OR_RETURN(sql::Statement stmt, sql::ParseStatement(sql));
   if (stmt.num_params > 0) {
     return Status::InvalidArgument(
-        "service sessions do not support $N placeholders yet");
+        "statement has $N placeholders; use Prepare and Bind");
   }
-  return ExecuteStatement(stmt);
+  return ExecuteStatement(stmt, {});
+}
+
+StatusOr<sql::PreparedStatement> ClientSession::Prepare(
+    const std::string& sql) {
+  HERMES_ASSIGN_OR_RETURN(sql::Statement stmt, sql::ParseStatement(sql));
+  // The runner pins this session; the server (and this session) must
+  // outlive the handle, mirroring the cursor-lifetime contract.
+  return sql::PreparedStatement(
+      std::move(stmt),
+      [this](const sql::Statement& s, const std::vector<sql::Value>& b) {
+        return ExecuteStatement(s, b);
+      });
 }
 
 StatusOr<sql::Table> ClientSession::ExecuteScript(const std::string& sql) {
-  return sql::RunScript(
-      sql, [this](const sql::Statement& stmt) { return ExecuteStatement(stmt); });
+  return sql::RunScript(sql, [this](const sql::Statement& stmt) {
+    return ExecuteStatement(stmt, {});
+  });
 }
 
 StatusOr<std::unique_ptr<sql::RowCursor>> ClientSession::ExecuteStatement(
-    const sql::Statement& stmt) {
+    const sql::Statement& stmt, const std::vector<sql::Value>& binds) {
   using Kind = sql::Statement::Kind;
   switch (stmt.kind) {
     case Kind::kCreateMod: {
@@ -84,7 +97,7 @@ StatusOr<std::unique_ptr<sql::RowCursor>> ClientSession::ExecuteStatement(
     }
     case Kind::kInsert: {
       HERMES_ASSIGN_OR_RETURN(std::vector<traj::Trajectory> batch,
-                              sql::BuildInsertTrajectories(stmt, {}));
+                              sql::BuildInsertTrajectories(stmt, binds));
       const auto queued = static_cast<int64_t>(batch.size());
       HERMES_ASSIGN_OR_RETURN(uint64_t ticket,
                               server_->EnqueueInsert(stmt.mod,
@@ -102,7 +115,7 @@ StatusOr<std::unique_ptr<sql::RowCursor>> ClientSession::ExecuteStatement(
     }
     case Kind::kSet: {
       HERMES_ASSIGN_OR_RETURN(sql::Value v,
-                              sql::EvalScalar(stmt.set_value, {}));
+                              sql::EvalScalar(stmt.set_value, binds));
       Status st = settings_.Set(stmt.setting, std::move(v));
       if (!st.ok()) {
         return Status(st.code(),
@@ -118,7 +131,7 @@ StatusOr<std::unique_ptr<sql::RowCursor>> ClientSession::ExecuteStatement(
       return Ack("FLUSH");
     }
     case Kind::kSelect:
-      return ExecuteSelect(stmt);
+      return ExecuteSelect(stmt, binds);
   }
   return Status::Internal("unreachable");
 }
@@ -154,6 +167,8 @@ StatusOr<std::unique_ptr<sql::RowCursor>> ClientSession::ExecuteShow(
     row("hot_promotions", s.hot_promotions);
     row("hot_demotions", s.hot_demotions);
     row("hot_index_bytes", s.hot_index_bytes);
+    row("hot_partitions", s.hot_partitions);
+    row("hot_pins_total", s.hot_pins_total);
     return sql::MakeTableCursor(std::move(table));
   }
 
@@ -167,12 +182,15 @@ StatusOr<std::unique_ptr<sql::RowCursor>> ClientSession::ExecuteShow(
 }
 
 StatusOr<std::unique_ptr<sql::RowCursor>> ClientSession::ExecuteSelect(
-    const sql::Statement& stmt) {
+    const sql::Statement& stmt, const std::vector<sql::Value>& binds) {
+  // Shared `$N`-as-MOD-name resolution, identical to the embedded path.
+  HERMES_ASSIGN_OR_RETURN(std::string mod,
+                          sql::ResolveSelectModName(stmt, binds));
   auto at_fn = [&stmt] { return At(stmt.function_pos, stmt.function); };
   std::vector<double> args;
   args.reserve(stmt.args.size());
   for (const auto& arg : stmt.args) {
-    HERMES_ASSIGN_OR_RETURN(double v, sql::EvalNumber(arg, {}));
+    HERMES_ASSIGN_OR_RETURN(double v, sql::EvalNumber(arg, binds));
     args.push_back(v);
   }
 
@@ -183,14 +201,14 @@ StatusOr<std::unique_ptr<sql::RowCursor>> ClientSession::ExecuteSelect(
           at_fn());
     }
     const std::vector<double> tree_params(args.begin() + 2, args.end());
-    return server_->QutQuery(stmt.mod, args[0], args[1], tree_params,
+    return server_->QutQuery(mod, args[0], args[1], tree_params,
                              &session_stats_);
   }
 
   // Statement-level snapshot isolation: one published snapshot per
   // statement, owned by any cursor the statement returns.
   HERMES_ASSIGN_OR_RETURN(std::shared_ptr<const traj::TrajectoryStore> snap,
-                          server_->SnapshotMod(stmt.mod));
+                          server_->SnapshotMod(mod));
   sql::QueryEnv env;
   env.store = std::move(snap);
   env.exec = exec_.get();

@@ -10,6 +10,7 @@
 #include "service/server.h"
 #include "sql/cursor.h"
 #include "sql/parser.h"
+#include "sql/query_functions.h"
 #include "sql/settings.h"
 #include "sql/value.h"
 
@@ -53,6 +54,12 @@ class ClientSession {
   StatusOr<std::unique_ptr<sql::RowCursor>> ExecuteCursor(
       const std::string& sql);
 
+  /// Parses a statement with `$N` placeholders into a reusable handle
+  /// running against this session (same semantics as
+  /// `sql::Session::Prepare` — the wire protocol's PREPARE/BIND+EXECUTE
+  /// path). The handle must not outlive this session.
+  StatusOr<sql::PreparedStatement> Prepare(const std::string& sql);
+
   /// Executes a ';'-separated script, returning the last statement's
   /// table (same semantics as `sql::Session::ExecuteScript`).
   StatusOr<sql::Table> ExecuteScript(const std::string& sql);
@@ -71,11 +78,11 @@ class ClientSession {
   explicit ClientSession(Server* server);
 
   StatusOr<std::unique_ptr<sql::RowCursor>> ExecuteStatement(
-      const sql::Statement& stmt);
+      const sql::Statement& stmt, const std::vector<sql::Value>& binds);
   StatusOr<std::unique_ptr<sql::RowCursor>> ExecuteShow(
       const sql::Statement& stmt);
   StatusOr<std::unique_ptr<sql::RowCursor>> ExecuteSelect(
-      const sql::Statement& stmt);
+      const sql::Statement& stmt, const std::vector<sql::Value>& binds);
 
   Server* server_;
   sql::Settings settings_;

@@ -441,6 +441,8 @@ ServiceStats Server::Stats() const {
       s.hot_promotions += h.hot_promotions;
       s.hot_demotions += h.hot_demotions;
       s.hot_index_bytes += h.hot_index_bytes;
+      s.hot_partitions += h.hot_partitions;
+      s.hot_pins_total += h.hot_pins_total;
     }
   }
   s.ingest_split_us = exec_->stats().PhaseUs("ingest_split");

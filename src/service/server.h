@@ -71,6 +71,8 @@ struct ServiceStats {
   uint64_t hot_promotions = 0;
   uint64_t hot_demotions = 0;
   uint64_t hot_index_bytes = 0;
+  uint64_t hot_partitions = 0;
+  uint64_t hot_pins_total = 0;
 };
 
 /// \brief The multi-session service: a shared catalog of MODs, a

@@ -25,42 +25,6 @@ Table Ack(std::string status) { return AckTable(std::move(status)); }
 }  // namespace
 
 // ---------------------------------------------------------------------------
-// PreparedStatement
-// ---------------------------------------------------------------------------
-
-PreparedStatement::PreparedStatement(Session* session, Statement stmt)
-    : session_(session),
-      stmt_(std::move(stmt)),
-      binds_(static_cast<size_t>(stmt_.num_params)),
-      bound_(static_cast<size_t>(stmt_.num_params), false) {}
-
-Status PreparedStatement::Bind(int index, Value v) {
-  if (index < 1 || index > stmt_.num_params) {
-    return Status::InvalidArgument(
-        "bind index $" + std::to_string(index) + " out of range; statement "
-        "has " + std::to_string(stmt_.num_params) + " parameter(s)");
-  }
-  binds_[index - 1] = std::move(v);
-  bound_[index - 1] = true;
-  return Status::OK();
-}
-
-StatusOr<std::unique_ptr<RowCursor>> PreparedStatement::ExecuteCursor() {
-  for (size_t i = 0; i < bound_.size(); ++i) {
-    if (!bound_[i]) {
-      return Status::InvalidArgument("parameter $" + std::to_string(i + 1) +
-                                     " not bound");
-    }
-  }
-  return session_->ExecuteStatement(stmt_, binds_);
-}
-
-StatusOr<Table> PreparedStatement::Execute() {
-  HERMES_ASSIGN_OR_RETURN(std::unique_ptr<RowCursor> cursor, ExecuteCursor());
-  return cursor->ToTable();
-}
-
-// ---------------------------------------------------------------------------
 // Session: construction + registry
 // ---------------------------------------------------------------------------
 
@@ -138,7 +102,12 @@ StatusOr<std::unique_ptr<RowCursor>> Session::ExecuteCursor(
 
 StatusOr<PreparedStatement> Session::Prepare(const std::string& sql) {
   HERMES_ASSIGN_OR_RETURN(Statement stmt, ParseStatement(sql));
-  return PreparedStatement(this, std::move(stmt));
+  // The runner pins this session (it is neither movable nor copyable),
+  // so the handle stays valid for the session's whole life.
+  return PreparedStatement(
+      std::move(stmt), [this](const Statement& s, const std::vector<Value>& b) {
+        return ExecuteStatement(s, b);
+      });
 }
 
 StatusOr<Table> Session::ExecuteScript(const std::string& sql) {
@@ -260,18 +229,9 @@ StatusOr<std::unique_ptr<RowCursor>> Session::ExecuteShow(
 
 StatusOr<std::unique_ptr<RowCursor>> Session::ExecuteSelect(
     const Statement& stmt, const std::vector<Value>& binds) {
-  std::string mod = stmt.mod;
-  if (stmt.mod_param > 0) {
-    // The MOD position itself was a `$N`; its binding names the dataset.
-    const Value& v = binds[stmt.mod_param - 1];
-    if (v.type() != ValueType::kString) {
-      return Status::InvalidArgument(
-          "MOD placeholder $" + std::to_string(stmt.mod_param) +
-          " must be bound to a string, got " + ValueTypeName(v.type()) +
-          At(stmt.mod_pos, "$" + std::to_string(stmt.mod_param)));
-    }
-    mod = CanonicalModName(v.AsString());
-  }
+  // When the MOD position itself was a `$N`, its binding names the
+  // dataset (shared resolution with the service session).
+  HERMES_ASSIGN_OR_RETURN(std::string mod, ResolveSelectModName(stmt, binds));
   HERMES_ASSIGN_OR_RETURN(ModEntry * entry, FindMod(mod));
   auto at_fn = [&stmt] { return At(stmt.function_pos, stmt.function); };
 

@@ -12,46 +12,13 @@
 #include "exec/exec_context.h"
 #include "sql/cursor.h"
 #include "sql/parser.h"
+#include "sql/query_functions.h"
 #include "sql/settings.h"
 #include "sql/value.h"
 #include "storage/env.h"
 #include "traj/trajectory_store.h"
 
 namespace hermes::sql {
-
-class Session;
-
-/// \brief A parsed-once, execute-many statement handle.
-///
-/// `Session::Prepare` tokenizes and parses a statement with `$N`
-/// placeholders exactly once; `Bind` supplies typed values and `Execute` /
-/// `ExecuteCursor` run the cached parse tree — so maintenance loops and
-/// benches re-executing the same shape pay no per-call parsing.
-/// Bindings persist across executions; re-`Bind` to change one.
-class PreparedStatement {
- public:
-  /// Binds the 1-based placeholder `$index`. Fails with `InvalidArgument`
-  /// when `index` is outside [1, num_params()].
-  Status Bind(int index, Value v);
-
-  /// Executes with the current bindings; every placeholder must be bound.
-  StatusOr<Table> Execute();
-
-  /// Cursor-returning flavor (see `Session::ExecuteCursor`).
-  StatusOr<std::unique_ptr<RowCursor>> ExecuteCursor();
-
-  /// Number of distinct `$N` placeholders (the highest N).
-  int num_params() const { return stmt_.num_params; }
-
- private:
-  friend class Session;
-  PreparedStatement(Session* session, Statement stmt);
-
-  Session* session_;
-  Statement stmt_;
-  std::vector<Value> binds_;   ///< Slot i holds the value of `$(i+1)`.
-  std::vector<bool> bound_;
-};
 
 /// \brief An interactive Hermes session: named MODs, lazily-built
 /// ReTraTrees, a GUC-style settings registry, and statement execution —
@@ -115,8 +82,6 @@ class Session {
   const exec::ExecStats& stats() const { return session_stats_; }
 
  private:
-  friend class PreparedStatement;
-
   struct ModEntry {
     traj::TrajectoryStore store;
     std::unique_ptr<core::ReTraTree> tree;

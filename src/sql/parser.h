@@ -48,11 +48,11 @@ struct ScalarExpr {
 ///   DROP MOD name;
 ///   LOAD MOD name FROM 'file.csv';
 ///   INSERT INTO name VALUES (obj, t, x, y) [, (obj, t, x, y)]...;
-///   SELECT STATS(name);
-///   SELECT RANGE(name, Wi, We);
-///   SELECT S2T(name[, sigma[, eps]]);         -- defaults from settings
-///   SELECT S2T_MEMBERS(name[, sigma[, eps]]); -- one row per member
-///   SELECT QUT(name, Wi, We, tau, delta, t, d, gamma);
+///   SELECT STATS(D);                          -- D names a MOD (or `$N`)
+///   SELECT RANGE(D, Wi, We);
+///   SELECT S2T(D[, sigma[, eps]]);            -- defaults from settings
+///   SELECT S2T_MEMBERS(D[, sigma[, eps]]);    -- one row per member
+///   SELECT QUT(D, Wi, We, tau, delta, t, d, gamma);
 ///   SET hermes.<setting> = value;             -- number|'string'|on|off
 ///   SHOW hermes.<setting>; | SHOW ALL; | SHOW STATS;
 ///   SHOW SERVICE STATS;                       -- service-layer counters

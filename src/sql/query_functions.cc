@@ -32,6 +32,60 @@ std::shared_ptr<const traj::TrajectoryStore> BorrowStore(
       std::shared_ptr<const void>(), store);
 }
 
+// ---------------------------------------------------------------------------
+// PreparedStatement
+// ---------------------------------------------------------------------------
+
+PreparedStatement::PreparedStatement(Statement stmt, StatementRunner run)
+    : stmt_(std::move(stmt)),
+      run_(std::move(run)),
+      binds_(static_cast<size_t>(stmt_.num_params)),
+      bound_(static_cast<size_t>(stmt_.num_params), false) {}
+
+Status PreparedStatement::Bind(int index, Value v) {
+  if (index < 1 || index > stmt_.num_params) {
+    return Status::InvalidArgument(
+        "bind index $" + std::to_string(index) + " out of range; statement "
+        "has " + std::to_string(stmt_.num_params) + " parameter(s)");
+  }
+  binds_[index - 1] = std::move(v);
+  bound_[index - 1] = true;
+  return Status::OK();
+}
+
+StatusOr<std::unique_ptr<RowCursor>> PreparedStatement::ExecuteCursor() {
+  for (size_t i = 0; i < bound_.size(); ++i) {
+    if (!bound_[i]) {
+      return Status::InvalidArgument("parameter $" + std::to_string(i + 1) +
+                                     " not bound");
+    }
+  }
+  return run_(stmt_, binds_);
+}
+
+StatusOr<Table> PreparedStatement::Execute() {
+  HERMES_ASSIGN_OR_RETURN(std::unique_ptr<RowCursor> cursor, ExecuteCursor());
+  return cursor->ToTable();
+}
+
+StatusOr<std::string> ResolveSelectModName(const Statement& stmt,
+                                           const std::vector<Value>& binds) {
+  if (stmt.mod_param <= 0) return stmt.mod;
+  if (stmt.mod_param > static_cast<int>(binds.size())) {
+    return Status::InvalidArgument(
+        "parameter $" + std::to_string(stmt.mod_param) + " not bound" +
+        ErrorLocation(stmt.mod_pos, "$" + std::to_string(stmt.mod_param)));
+  }
+  const Value& v = binds[stmt.mod_param - 1];
+  if (v.type() != ValueType::kString) {
+    return Status::InvalidArgument(
+        "MOD placeholder $" + std::to_string(stmt.mod_param) +
+        " must be bound to a string, got " + ValueTypeName(v.type()) +
+        ErrorLocation(stmt.mod_pos, "$" + std::to_string(stmt.mod_param)));
+  }
+  return CanonicalModName(v.AsString());
+}
+
 std::string CanonicalModName(const std::string& name) {
   std::string key = name;
   for (char& c : key) {

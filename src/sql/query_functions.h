@@ -42,6 +42,55 @@ struct QueryEnv {
 std::shared_ptr<const traj::TrajectoryStore> BorrowStore(
     const traj::TrajectoryStore* store);
 
+/// \brief Executes one parsed statement with its bound `$N` values —
+/// the seam every frontend (embedded `sql::Session`, service
+/// `ClientSession`) exposes so `PreparedStatement` can run against any
+/// of them.
+using StatementRunner =
+    std::function<StatusOr<std::unique_ptr<RowCursor>>(
+        const Statement&, const std::vector<Value>&)>;
+
+/// \brief A parsed-once, execute-many statement handle.
+///
+/// `Prepare` (on either frontend) tokenizes and parses a statement with
+/// `$N` placeholders exactly once; `Bind` supplies typed values and
+/// `Execute` / `ExecuteCursor` run the cached parse tree through the
+/// owning frontend's `StatementRunner` — so maintenance loops, benches,
+/// and the wire protocol's BIND+EXECUTE fast path re-executing the same
+/// shape pay no per-call parsing. Bindings persist across executions;
+/// re-`Bind` to change one. The handle must not outlive the frontend the
+/// runner captures.
+class PreparedStatement {
+ public:
+  PreparedStatement(Statement stmt, StatementRunner run);
+
+  /// Binds the 1-based placeholder `$index`. Fails with `InvalidArgument`
+  /// when `index` is outside [1, num_params()].
+  Status Bind(int index, Value v);
+
+  /// Executes with the current bindings; every placeholder must be bound.
+  StatusOr<Table> Execute();
+
+  /// Cursor-returning flavor (see `Session::ExecuteCursor`).
+  StatusOr<std::unique_ptr<RowCursor>> ExecuteCursor();
+
+  /// Number of distinct `$N` placeholders (the highest N).
+  int num_params() const { return stmt_.num_params; }
+
+ private:
+  Statement stmt_;
+  StatementRunner run_;
+  std::vector<Value> binds_;   ///< Slot i holds the value of `$(i+1)`.
+  std::vector<bool> bound_;
+};
+
+/// Resolves the MOD a SELECT targets: the statement's literal name, or —
+/// when the MOD position was a `$N` placeholder — the canonicalized
+/// string it was bound to. Shared by both frontends so a prepared
+/// `SELECT RANGE($1, ...)` behaves identically embedded and served.
+StatusOr<std::string> ResolveSelectModName(const Statement& stmt,
+                                           const std::vector<Value>& binds);
+
 /// Canonical (ASCII upper-case) MOD name — the one catalog key rule the
 /// embedded session's map and the service server's catalog both follow.
 std::string CanonicalModName(const std::string& name);

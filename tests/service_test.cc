@@ -292,15 +292,20 @@ TEST(ServiceTest, ServiceStatsExposeHotTierCounters) {
 
   auto svc = session->Execute("SHOW SERVICE STATS;");
   ASSERT_TRUE(svc.ok());
-  int64_t hot = -1, cold = -1, bytes = -1;
+  int64_t hot = -1, cold = -1, bytes = -1, parts = -1, pins = -1;
   for (const auto& row : svc->rows) {
     if (row[0] == Value::Str("qut_hot_probes")) hot = row[1].AsInt();
     if (row[0] == Value::Str("qut_cold_probes")) cold = row[1].AsInt();
     if (row[0] == Value::Str("hot_index_bytes")) bytes = row[1].AsInt();
+    if (row[0] == Value::Str("hot_partitions")) parts = row[1].AsInt();
+    if (row[0] == Value::Str("hot_pins_total")) pins = row[1].AsInt();
   }
   EXPECT_GT(hot, 0);
   EXPECT_GT(cold, 0);
   EXPECT_GT(bytes, 0);
+  // The tier counters embedded SHOW STATS reports must ride along too.
+  EXPECT_GT(parts, 0);
+  EXPECT_GT(pins, 0);
 
   // A zero server budget keeps every shared tree cold.
   ServerOptions cold_opts;
@@ -470,6 +475,113 @@ TEST(ServiceTest, ShutdownRejectsLaterInsertsButKeepsQueries) {
   auto stats = session->Execute("SELECT STATS(ships);");
   ASSERT_TRUE(stats.ok());
   EXPECT_EQ(stats->rows[0][0], Value::Int(4));
+}
+
+// ---------------------------------------------------------------------------
+// Prepared statements (the wire protocol's PREPARE / BIND+EXECUTE path)
+// ---------------------------------------------------------------------------
+
+/// Regression for the old hard-rejection of `$N` statements in service
+/// sessions: Prepare/Bind/Execute through a ClientSession must match the
+/// embedded sql::Session bit-for-bit — typed cells, not rendered text.
+TEST(ServiceTest, PreparedStatementsMatchEmbeddedSessionBitForBit) {
+  const traj::TrajectoryStore ships = MakeShips(8);
+
+  sql::Session embedded;
+  ASSERT_TRUE(embedded.RegisterStore("ships", Prefix(ships, 8)).ok());
+  auto server = std::move(Server::Start(ServerOptions{})).value();
+  ASSERT_TRUE(server->RegisterStore("ships", Prefix(ships, 8)).ok());
+  auto session = server->Connect();
+
+  const auto same = [](const Table& got, const Table& want) {
+    ASSERT_EQ(got.columns.size(), want.columns.size());
+    for (size_t c = 0; c < want.columns.size(); ++c) {
+      EXPECT_EQ(got.columns[c].name, want.columns[c].name);
+      EXPECT_EQ(got.columns[c].type, want.columns[c].type);
+    }
+    ASSERT_EQ(got.rows.size(), want.rows.size());
+    for (size_t r = 0; r < want.rows.size(); ++r) {
+      for (size_t c = 0; c < want.rows[r].size(); ++c) {
+        EXPECT_TRUE(got.rows[r][c] == want.rows[r][c])
+            << "row " << r << " col " << c;
+      }
+    }
+  };
+
+  // The MOD position itself as `$1` plus numeric parameters — the shared
+  // ResolveSelectModName path on both frontends.
+  struct Case {
+    const char* stmt;
+    std::vector<Value> binds;  ///< $2.. — $1 is always the MOD name.
+  };
+  const std::vector<Case> cases = {
+      {"SELECT RANGE($1, $2, $3);",
+       {Value::Double(0.0), Value::Double(1e9)}},
+      {"SELECT STATS($1);", {}},
+      {"SELECT S2T($1, $2, $3);",
+       {Value::Double(100.0), Value::Double(200.0)}},
+  };
+  for (const auto& [stmt, extra] : cases) {
+    auto e = embedded.Prepare(stmt);
+    auto s = session->Prepare(stmt);
+    ASSERT_TRUE(e.ok()) << stmt;
+    ASSERT_TRUE(s.ok()) << stmt;
+    EXPECT_EQ(e->num_params(), s->num_params());
+    for (auto* ps : {&*e, &*s}) {
+      ASSERT_TRUE(ps->Bind(1, Value::Str("ships")).ok());
+      for (size_t i = 0; i < extra.size(); ++i) {
+        ASSERT_TRUE(ps->Bind(static_cast<int>(i) + 2, extra[i]).ok());
+      }
+    }
+    auto want = e->Execute();
+    auto got = s->Execute();
+    ASSERT_TRUE(want.ok()) << stmt;
+    ASSERT_TRUE(got.ok()) << stmt;
+    same(*got, *want);
+    // Re-execution with persistent binds is stable on both.
+    auto again = s->Execute();
+    ASSERT_TRUE(again.ok());
+    same(*again, *want);
+  }
+
+  // Plain ExecuteCursor still rejects unbound placeholders — but with the
+  // same message as the embedded session, not the old hard rejection.
+  auto direct = session->ExecuteCursor("SELECT STATS($1);");
+  ASSERT_FALSE(direct.ok());
+  EXPECT_EQ(direct.status().code(), StatusCode::kInvalidArgument);
+  auto edirect = embedded.ExecuteCursor("SELECT STATS($1);");
+  ASSERT_FALSE(edirect.ok());
+
+  // Unbound parameter and bad MOD-bind type fail identically.
+  auto e_hole = embedded.Prepare("SELECT STATS($1);");
+  auto s_hole = session->Prepare("SELECT STATS($1);");
+  ASSERT_TRUE(e_hole.ok());
+  ASSERT_TRUE(s_hole.ok());
+  EXPECT_EQ(e_hole->Execute().status().message(),
+            s_hole->Execute().status().message());
+  ASSERT_TRUE(e_hole->Bind(1, Value::Int(3)).ok());
+  ASSERT_TRUE(s_hole->Bind(1, Value::Int(3)).ok());
+  EXPECT_EQ(e_hole->Execute().status().message(),
+            s_hole->Execute().status().message());
+
+  // INSERT with $N binds: queued through the service, applied by FLUSH,
+  // and visible with the same STATS as the embedded synchronous insert.
+  auto e_ins = embedded.Prepare(
+      "INSERT INTO ships VALUES ($1, 0, 0, 0), ($1, 300, 50, 50);");
+  auto s_ins = session->Prepare(
+      "INSERT INTO ships VALUES ($1, 0, 0, 0), ($1, 300, 50, 50);");
+  ASSERT_TRUE(e_ins.ok());
+  ASSERT_TRUE(s_ins.ok());
+  ASSERT_TRUE(e_ins->Bind(1, Value::Int(123)).ok());
+  ASSERT_TRUE(s_ins->Bind(1, Value::Int(123)).ok());
+  ASSERT_TRUE(e_ins->Execute().ok());
+  ASSERT_TRUE(s_ins->Execute().ok());  // async ack (queued + ticket)
+  ASSERT_TRUE(session->Execute("FLUSH;").ok());
+  auto want_stats = embedded.Execute("SELECT STATS(ships);");
+  auto got_stats = session->Execute("SELECT STATS(ships);");
+  ASSERT_TRUE(want_stats.ok());
+  ASSERT_TRUE(got_stats.ok());
+  same(*got_stats, *want_stats);
 }
 
 }  // namespace
