@@ -16,6 +16,12 @@
 //
 //   hermes_serve --port=7878
 //   hermes_serve --listen=0.0.0.0 --port=7878 --ships=64
+//
+// With `--wal-dir=DIR` the daemon is durable: every acked INSERT is
+// write-ahead-logged with group commit, `CHECKPOINT` persists the
+// catalog, and a restart pointing at the same directory recovers the
+// acked state (the demo fleet is only seeded on first boot, never over a
+// recovered catalog).
 
 #include <atomic>
 #include <chrono>
@@ -31,6 +37,7 @@
 #include "net/net_server.h"
 #include "service/client_session.h"
 #include "service/server.h"
+#include "storage/env.h"
 
 namespace {
 
@@ -40,7 +47,8 @@ void OnSignal(int /*sig*/) { g_stop = 1; }
 
 /// Generates the demo fleet and starts a seeded service server.
 hermes::StatusOr<std::unique_ptr<hermes::service::Server>> StartSeeded(
-    size_t num_ships, hermes::traj::TrajectoryStore* ships_out) {
+    size_t num_ships, const std::string& wal_dir,
+    hermes::traj::TrajectoryStore* ships_out) {
   using namespace hermes;
   datagen::MaritimeScenarioParams mp;
   mp.num_ships = num_ships;
@@ -54,22 +62,33 @@ hermes::StatusOr<std::unique_ptr<hermes::service::Server>> StartSeeded(
   opts.threads = 2;
   opts.session_defaults.sigma = 800.0;
   opts.session_defaults.epsilon = 1600.0;
-  return service::Server::Start(std::move(opts));
+  opts.wal_dir = wal_dir;
+  // Durability needs a real filesystem; the default in-memory env dies
+  // with the process.
+  storage::Env* env = wal_dir.empty() ? nullptr : storage::Env::Posix();
+  return service::Server::Start(std::move(opts), env);
 }
 
 /// `--port=N --listen=ADDR [--ships=K]`: serve the wire protocol until a
 /// signal, then drain and exit.
-int RunDaemon(const std::string& listen, int port, size_t num_ships) {
+int RunDaemon(const std::string& listen, int port, size_t num_ships,
+              const std::string& wal_dir) {
   using namespace hermes;
   traj::TrajectoryStore ships;
-  auto server_or = StartSeeded(num_ships, &ships);
+  auto server_or = StartSeeded(num_ships, wal_dir, &ships);
   if (!server_or.ok()) {
     std::fprintf(stderr, "server start failed: %s\n",
                  server_or.status().ToString().c_str());
     return 1;
   }
   auto server = std::move(*server_or);
-  if (!server->RegisterStore("ships", std::move(ships)).ok()) return 1;
+  // A recovered catalog already holds the acked state — re-seeding the
+  // demo fleet would wipe what recovery just restored.
+  const bool recovered = server->SnapshotMod("ships").ok();
+  if (!recovered &&
+      !server->RegisterStore("ships", std::move(ships)).ok()) {
+    return 1;
+  }
 
   net::NetServerOptions nopts;
   nopts.listen_addr = listen;
@@ -84,8 +103,9 @@ int RunDaemon(const std::string& listen, int port, size_t num_ships) {
 
   std::signal(SIGINT, OnSignal);
   std::signal(SIGTERM, OnSignal);
-  std::printf("hermes_serve listening on %s:%u (MOD ships seeded)\n",
-              listen.c_str(), net->port());
+  std::printf("hermes_serve listening on %s:%u (MOD ships %s)\n",
+              listen.c_str(), net->port(),
+              recovered ? "recovered" : "seeded");
   std::fflush(stdout);
   while (g_stop == 0) {
     std::this_thread::sleep_for(std::chrono::milliseconds(100));
@@ -107,6 +127,7 @@ int main(int argc, char** argv) {
   using namespace hermes;
 
   std::string listen = "127.0.0.1";
+  std::string wal_dir;
   int port = -1;
   size_t daemon_ships = 24;
   for (int i = 1; i < argc; ++i) {
@@ -117,15 +138,18 @@ int main(int argc, char** argv) {
       port = std::atoi(arg.c_str() + 7);
     } else if (arg.rfind("--ships=", 0) == 0) {
       daemon_ships = static_cast<size_t>(std::atol(arg.c_str() + 8));
+    } else if (arg.rfind("--wal-dir=", 0) == 0) {
+      wal_dir = arg.substr(10);
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--listen=ADDR] [--port=N] [--ships=K]\n"
+                   "usage: %s [--listen=ADDR] [--port=N] [--ships=K] "
+                   "[--wal-dir=DIR]\n"
                    "(no arguments: run the in-process smoke demo)\n",
                    argv[0]);
       return 2;
     }
   }
-  if (port >= 0) return RunDaemon(listen, port, daemon_ships);
+  if (port >= 0) return RunDaemon(listen, port, daemon_ships, wal_dir);
 
   datagen::MaritimeScenarioParams mp;
   mp.num_ships = 24;

@@ -67,6 +67,11 @@ class Decoder {
   size_t remaining() const { return static_cast<size_t>(end_ - p_); }
   bool ok() const { return p_ <= end_; }
 
+  /// Current read position (for variable-length fields the caller copies
+  /// out itself after checking `remaining()`).
+  const char* data() const { return p_; }
+  void Skip(size_t n) { Advance(n); }
+
   uint16_t ReadFixed16() { return Advance(2), GetFixed16(p_ - 2); }
   uint32_t ReadFixed32() { return Advance(4), GetFixed32(p_ - 4); }
   uint64_t ReadFixed64() { return Advance(8), GetFixed64(p_ - 8); }

@@ -1,0 +1,50 @@
+#ifndef HERMES_COMMON_CRC32_H_
+#define HERMES_COMMON_CRC32_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace hermes::common {
+
+namespace crc32_internal {
+
+/// Standard reflected CRC-32 (IEEE 802.3, polynomial 0xEDB88320) — the
+/// checksum the WAL and checkpoint formats use to detect torn or
+/// corrupted records. Table-driven, one byte per step; built at compile
+/// time so the header stays dependency-free.
+constexpr std::array<uint32_t, 256> MakeTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+inline constexpr std::array<uint32_t, 256> kTable = MakeTable();
+
+}  // namespace crc32_internal
+
+/// CRC-32 of `data[0, n)`, continuing from `seed` (pass a previous call's
+/// result to checksum discontiguous pieces as one stream; 0 starts fresh).
+inline uint32_t Crc32(const char* data, size_t n, uint32_t seed = 0) {
+  uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (size_t i = 0; i < n; ++i) {
+    c = crc32_internal::kTable[(c ^ static_cast<uint8_t>(data[i])) & 0xFFu] ^
+        (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+inline uint32_t Crc32(const std::string& s, uint32_t seed = 0) {
+  return Crc32(s.data(), s.size(), seed);
+}
+
+}  // namespace hermes::common
+
+#endif  // HERMES_COMMON_CRC32_H_

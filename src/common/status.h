@@ -21,6 +21,7 @@ enum class StatusCode {
   kNotSupported,
   kInternal,
   kResourceExhausted,
+  kUnavailable,
 };
 
 /// \brief Human-readable name of a status code (e.g. "InvalidArgument").
@@ -71,6 +72,9 @@ class Status {
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   bool IsInvalidArgument() const {
@@ -86,6 +90,7 @@ class Status {
   bool IsResourceExhausted() const {
     return code_ == StatusCode::kResourceExhausted;
   }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
 
   StatusCode code() const { return code_; }
   const std::string& message() const { return msg_; }

@@ -3,6 +3,7 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -101,6 +102,24 @@ StatusOr<Response> Client::ReadResponse() {
     }
     if (scan == FrameScan::kOversize) {
       return Status::Corruption("oversize response frame");
+    }
+    if (receive_timeout_ms_ > 0) {
+      // Bound the wait for the next byte (not the whole response):
+      // what the deadline protects against is a hung or wedged server,
+      // which stops sending entirely.
+      pollfd pfd{fd_, POLLIN, 0};
+      int r = 0;
+      do {
+        r = poll(&pfd, 1, receive_timeout_ms_);
+      } while (r < 0 && errno == EINTR);
+      if (r == 0) {
+        return Status::IOError("receive timeout after " +
+                               std::to_string(receive_timeout_ms_) +
+                               "ms waiting for server response");
+      }
+      if (r < 0) {
+        return Status::IOError(std::string("poll: ") + std::strerror(errno));
+      }
     }
     char buf[16 * 1024];
     const ssize_t r = read(fd_, buf, sizeof(buf));

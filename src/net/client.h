@@ -67,12 +67,21 @@ class Client {
   /// queued requests, flushes their responses, then closes.
   void CloseWrite();
 
+  /// Bounds how long `ReadResponse` (and every synchronous round-trip)
+  /// waits for the next response byte. 0 (the default) blocks forever —
+  /// the historical behavior. On expiry the call fails with an
+  /// `IOError` and the connection should be abandoned: the
+  /// response stream's framing is still intact, but request/response
+  /// pairing is no longer knowable.
+  void set_receive_timeout_ms(int ms) { receive_timeout_ms_ = ms; }
+
  private:
   explicit Client(int fd) : fd_(fd) {}
 
   int fd_;
   std::string rbuf_;
   size_t roff_ = 0;
+  int receive_timeout_ms_ = 0;  ///< 0 = no deadline.
 };
 
 }  // namespace hermes::net

@@ -8,7 +8,9 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <utility>
 
@@ -162,6 +164,27 @@ void NetServer::LoopThread() {
       ++i;
     }
 
+    if (options_.idle_timeout_ms > 0) {
+      const auto now = std::chrono::steady_clock::now();
+      for (auto& conn : conns_) {
+        if (conn->stop_reading) continue;
+        const auto idle_ms =
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                now - conn->last_activity)
+                .count();
+        if (idle_ms < options_.idle_timeout_ms) continue;
+        // Expire through the peer-EOF path: queued requests still execute
+        // and their responses still flush; the reaper above closes the
+        // socket once the worker drains and the output hits the wire.
+        conn->stop_reading = true;
+        {
+          common::MutexLock lock(&conn->mu);
+          conn->input_done = true;
+        }
+        conn->cv.notify_all();
+      }
+    }
+
     std::vector<pollfd> fds;
     fds.push_back({listen_fd_, POLLIN, 0});
     fds.push_back({wake_rd_, POLLIN, 0});
@@ -172,7 +195,11 @@ void NetServer::LoopThread() {
       fds.push_back({conn->fd, events, 0});
     }
 
-    const int n = poll(fds.data(), fds.size(), /*timeout_ms=*/1000);
+    // A sub-second idle timeout needs a sub-second sweep cadence.
+    const int timeout_ms =
+        options_.idle_timeout_ms > 0 ? std::min(1000, options_.idle_timeout_ms)
+                                     : 1000;
+    const int n = poll(fds.data(), fds.size(), timeout_ms);
     if (n < 0 && errno != EINTR) break;
     if (n <= 0) continue;
 
@@ -209,6 +236,7 @@ void NetServer::AcceptReady() {
     const int one = 1;
     setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
     auto conn = std::make_unique<Connection>(fd);
+    conn->last_activity = std::chrono::steady_clock::now();
     conn->session = server_->Connect();
     Connection* raw = conn.get();
     conn->worker = std::thread([this, raw] { WorkerThread(raw); });
@@ -223,6 +251,7 @@ void NetServer::ReadReady(Connection* conn) {
     const ssize_t r = read(conn->fd, buf, sizeof(buf));
     if (r > 0) {
       conn->rbuf.append(buf, static_cast<size_t>(r));
+      conn->last_activity = std::chrono::steady_clock::now();
       continue;
     }
     if (r < 0 && errno == EINTR) continue;

@@ -2,6 +2,7 @@
 #define HERMES_NET_NET_SERVER_H_
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -29,6 +30,11 @@ struct NetServerOptions {
   /// stream can no longer be framed once the prefix is untrusted).
   uint32_t max_frame_bytes = kMaxFrameBytes;
   int backlog = 128;
+  /// Connections that have sent no request bytes for this long are
+  /// closed through the peer-EOF path: already-queued requests still
+  /// execute and their responses still flush before the socket closes.
+  /// 0 (the default) disables the sweep — the historical behavior.
+  int idle_timeout_ms = 0;
 };
 
 /// \brief TCP front end for `service::Server`: accepts connections,
@@ -88,6 +94,9 @@ class NetServer {
     std::string wbuf;        ///< Response bytes being written.
     size_t woff = 0;         ///< Bytes of `wbuf` already on the wire.
     bool stop_reading = false;  ///< Framing poisoned or peer EOF.
+    /// When the last inbound bytes arrived (accept counts); drives the
+    /// idle sweep. steady_clock so wall-clock jumps cannot expire peers.
+    std::chrono::steady_clock::time_point last_activity;
 
     // --- Loop <-> worker seam ---
     common::Mutex mu;

@@ -305,7 +305,7 @@ StatusOr<Response> DecodeResponse(const std::string& body) {
     case static_cast<uint8_t>(Opcode::kError): {
       resp.op = Opcode::kError;
       const uint8_t code = r.ReadU8();
-      if (code > static_cast<uint8_t>(StatusCode::kResourceExhausted)) {
+      if (code > static_cast<uint8_t>(StatusCode::kUnavailable)) {
         return Status::InvalidArgument("bad status code in ERROR frame");
       }
       resp.code = static_cast<StatusCode>(code);

@@ -130,6 +130,10 @@ StatusOr<std::unique_ptr<sql::RowCursor>> ClientSession::ExecuteStatement(
       HERMES_RETURN_NOT_OK(server_->Flush());
       return Ack("FLUSH");
     }
+    case Kind::kCheckpoint: {
+      HERMES_RETURN_NOT_OK(server_->Checkpoint());
+      return Ack("CHECKPOINT");
+    }
     case Kind::kSelect:
       return ExecuteSelect(stmt, binds);
   }
@@ -169,6 +173,13 @@ StatusOr<std::unique_ptr<sql::RowCursor>> ClientSession::ExecuteShow(
     row("hot_index_bytes", s.hot_index_bytes);
     row("hot_partitions", s.hot_partitions);
     row("hot_pins_total", s.hot_pins_total);
+    row("wal_records_appended", s.wal_records_appended);
+    row("wal_bytes_appended", s.wal_bytes_appended);
+    row("wal_syncs", s.wal_syncs);
+    row("wal_errors", s.wal_errors);
+    row("checkpoints_taken", s.checkpoints_taken);
+    row("wal_records_replayed", s.wal_records_replayed);
+    row("wal_torn_bytes_dropped", s.wal_torn_bytes_dropped);
     return sql::MakeTableCursor(std::move(table));
   }
 

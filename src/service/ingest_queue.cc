@@ -12,7 +12,10 @@ StatusOr<uint64_t> IngestQueue::Push(IngestBatch batch) {
   common::MutexLock lock(&mu_);
   while (!closed_ && pending_.size() >= capacity_) lock.Wait(can_push_);
   if (closed_) {
-    return Status::ResourceExhausted("ingest queue closed (server shutdown)");
+    // Distinct from the at-capacity backpressure path: a Push racing
+    // shutdown gets a retryable-elsewhere "service is gone" code, not a
+    // capacity error.
+    return Status::Unavailable("ingest queue closed (server shutdown)");
   }
   batch.seq = ++next_seq_;
   const uint64_t seq = batch.seq;

@@ -36,7 +36,7 @@ class IngestQueue {
   explicit IngestQueue(size_t capacity = 1024);
 
   /// Enqueues `batch` (blocking while full) and returns its ticket.
-  /// `ResourceExhausted` once the queue is closed (server shutdown).
+  /// `Unavailable` once the queue is closed (server shutdown).
   StatusOr<uint64_t> Push(IngestBatch batch);
 
   /// Blocks until batches are pending — swapping them all, in enqueue

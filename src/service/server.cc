@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "service/client_session.h"
+#include "service/wal_payloads.h"
 #include "sql/query_functions.h"
 
 namespace hermes::service {
@@ -51,6 +52,11 @@ StatusOr<std::unique_ptr<Server>> Server::Start(ServerOptions options,
         "session_defaults.hot_index_budget must be >= 0 bytes");
   }
   auto server = std::unique_ptr<Server>(new Server(std::move(options), env));
+  if (server->durable()) {
+    // Recovery runs single-threaded, before the worker (or any session)
+    // exists: checkpoint load + WAL tail replay, then a fresh segment.
+    HERMES_RETURN_NOT_OK(server->RecoverOrInit());
+  }
   server->worker_ = std::thread([s = server.get()] { s->WorkerLoop(); });
   return server;
 }
@@ -110,15 +116,21 @@ bool Server::TreeFresh(const SharedMod& m, const std::vector<double>& params) {
 void Server::DropTree(SharedMod* mod) {
   mod->tree.reset();
   mod->tree_params.clear();
+  mod->tree_dir.clear();
   mod->tree_next = 0;
 }
 
 Status Server::CreateMod(const std::string& name) {
   const std::string key = Canonical(name);
+  // wal_mu_ spans the whole [check, log+sync, apply] window so the WAL
+  // sees catalog mutations in exactly the order they take effect.
+  common::MutexLock wal_lock(&wal_mu_);
   common::MutexLock lock(&catalog_mu_);
   if (mods_.count(key) > 0) {
     return Status::AlreadyExists("MOD " + key + " exists");
   }
+  HERMES_RETURN_NOT_OK(WalLogAndSync(wal::RecordType::kCreateMod,
+                                     NamePayload(key)));
   auto mod = std::make_shared<SharedMod>();
   {
     common::WriterMutexLock wlock(&mod->mu);
@@ -135,17 +147,26 @@ Status Server::DropMod(const std::string& name) {
   // worker's catalog lookup and surfaces as an ingest error instead of
   // being applied to (and silently lost with) the orphaned store.
   {
+    common::MutexLock wal_lock(&wal_mu_);
     common::MutexLock lock(&catalog_mu_);
-    if (mods_.erase(key) == 0) {
+    if (mods_.count(key) == 0) {
       return Status::NotFound("no MOD named " + key);
     }
+    HERMES_RETURN_NOT_OK(WalLogAndSync(wal::RecordType::kDropMod,
+                                       NamePayload(key)));
+    mods_.erase(key);
   }
+  // Outside wal_mu_: the worker needs it to drain the queue.
   return Flush();
 }
 
 Status Server::RegisterStore(const std::string& name,
                              traj::TrajectoryStore store) {
   const std::string key = Canonical(name);
+  // Encode before taking the lock; the caller still owns `store`.
+  const std::string payload = durable() ? SwapPayload(key, store) : "";
+  common::MutexLock wal_lock(&wal_mu_);
+  HERMES_RETURN_NOT_OK(WalLogAndSync(wal::RecordType::kSwapStore, payload));
   auto mod = std::make_shared<SharedMod>();
   {
     common::WriterMutexLock wlock(&mod->mu);
@@ -160,6 +181,15 @@ Status Server::RegisterStore(const std::string& name,
 StatusOr<std::pair<size_t, size_t>> Server::LoadMod(const std::string& name,
                                                     const std::string& path) {
   const std::string key = Canonical(name);
+  // Parse the CSV into a scratch store up front: nothing is logged or
+  // visible until the whole file parsed, so a bad row can no longer
+  // leave a phantom (or half-loaded) MOD behind — and the parsed batch
+  // is what the WAL records, making replay independent of the CSV file
+  // still existing at its old path.
+  traj::TrajectoryStore parsed;
+  HERMES_RETURN_NOT_OK(parsed.LoadCsv(path));
+
+  common::MutexLock wal_lock(&wal_mu_);
   std::shared_ptr<SharedMod> mod;
   bool created = false;
   {
@@ -179,21 +209,31 @@ StatusOr<std::pair<size_t, size_t>> Server::LoadMod(const std::string& name,
     }
     mod = it->second;
   }
-  common::WriterMutexLock wlock(&mod->mu);
-  Status load = mod->store.LoadCsv(path);
-  if (!load.ok()) {
+  Status logged = Status::OK();
+  if (created) {
+    logged = WalAppend(wal::RecordType::kCreateMod, NamePayload(key));
+  }
+  if (logged.ok() && parsed.NumTrajectories() > 0) {
+    logged = WalAppend(wal::RecordType::kInsertBatch,
+                       InsertPayloadFromStore(key, parsed));
+  }
+  if (logged.ok()) logged = WalSync();
+  if (!logged.ok()) {
     if (created) {
-      // A failed load must not leave a phantom empty MOD behind.
+      // An unlogged create must not survive in memory either.
       common::MutexLock lock(&catalog_mu_);
       auto it = mods_.find(key);
       if (it != mods_.end() && it->second == mod) mods_.erase(it);
     }
-    return load;
+    return logged;
+  }
+  common::WriterMutexLock wlock(&mod->mu);
+  for (traj::TrajectoryId id = 0; id < parsed.NumTrajectories(); ++id) {
+    // Cannot fail: every trajectory already passed `Add` into `parsed`.
+    HERMES_RETURN_NOT_OK(mod->store.Add(parsed.Get(id)).status());
   }
   // The shared tree no longer matches the store; the next QUT rebuilds.
-  mod->tree.reset();
-  mod->tree_params.clear();
-  mod->tree_next = 0;
+  DropTree(mod.get());
   Republish(mod.get());
   return std::make_pair(mod->store.NumTrajectories(), mod->store.NumPoints());
 }
@@ -224,6 +264,11 @@ StatusOr<std::shared_ptr<const traj::TrajectoryStore>> Server::SnapshotMod(
 StatusOr<uint64_t> Server::EnqueueInsert(const std::string& name,
                                          std::vector<traj::Trajectory> batch) {
   const std::string key = Canonical(name);
+  if (wal_failed_.load(std::memory_order_relaxed)) {
+    return Status::IOError(
+        "WAL write failed; server is read-only (restart to recover the "
+        "durable prefix)");
+  }
   if (FindMod(key) == nullptr) {
     return Status::NotFound("no MOD named " + key);
   }
@@ -261,11 +306,41 @@ void Server::WorkerLoop() {
   std::vector<IngestBatch> batches;
   while (queue_.PopAll(&batches)) {
     uint64_t max_seq = 0;
+    for (const IngestBatch& b : batches) max_seq = std::max(max_seq, b.seq);
+
+    // Group commit: the whole drain is one durability unit — one WAL
+    // record per batch, then a single fsync, all before anything is
+    // applied. wal_mu_ stays held across the applies too, so a
+    // concurrent DDL commit cannot interleave between our append and
+    // our apply (WAL order == apply order). A FLUSH ticket therefore
+    // completes only after its batch is on disk.
+    common::MutexLock wal_lock(&wal_mu_);
+    Status group = Status::OK();
+    if (durable()) {
+      for (const IngestBatch& b : batches) {
+        group = WalAppend(wal::RecordType::kInsertBatch,
+                          InsertPayload(b.mod, b.trajectories));
+        if (!group.ok()) break;
+      }
+      if (group.ok()) group = WalSync();
+    }
+    if (!group.ok()) {
+      // Not durable ⇒ not applied: the live state keeps matching the
+      // durable prefix, the batches surface as ingest errors, and the
+      // flush ticket still resolves (Flush must not hang on an error).
+      ingest_errors_.fetch_add(batches.size(), std::memory_order_relaxed);
+      {
+        common::MutexLock lock(&flush_mu_);
+        applied_seq_ = std::max(applied_seq_, max_seq);
+      }
+      flush_cv_.notify_all();
+      continue;
+    }
+
     // Dedup in arrival order so republication happens once per MOD per
     // drain, after all of its batches applied.
     std::vector<std::shared_ptr<SharedMod>> touched;
     for (IngestBatch& b : batches) {
-      max_seq = std::max(max_seq, b.seq);
       auto mod = FindMod(b.mod);
       if (mod == nullptr) {
         // Dropped (or never created) while queued.
@@ -299,9 +374,7 @@ void Server::WorkerLoop() {
           } else {
             // Partially mutated tree: drop it so the next QUT rebuilds
             // cleanly instead of double-applying the range.
-            mod->tree.reset();
-            mod->tree_params.clear();
-            mod->tree_next = 0;
+            DropTree(mod.get());
           }
         }
       }
@@ -365,11 +438,15 @@ StatusOr<std::unique_ptr<sql::RowCursor>> Server::QutQuery(
     if (mod->tree == nullptr || mod->tree_params != tree_params) {
       const core::ReTraTreeParams params =
           sql::MakeQutTreeParams(tree_params);
+      // The recovery generation in the name keeps fresh trees from
+      // colliding with directories a crashed previous generation leaked.
       const std::string dir = options_.data_dir + "/" + Canonical(name) +
-                              "_tree_" + std::to_string(mod->tree_seq++);
+                              "_g" + std::to_string(gen_) + "_tree_" +
+                              std::to_string(mod->tree_seq++);
       DropTree(mod.get());
       HERMES_ASSIGN_OR_RETURN(
           mod->tree, core::ReTraTree::Open(env_, dir, params, exec_.get()));
+      mod->tree_dir = dir;
       // Shared trees are server-scoped resources, so the server's
       // configured default governs their hot-tier budget (per-session
       // `SET hermes.hot_index_budget` only affects embedded sessions).
@@ -447,6 +524,16 @@ ServiceStats Server::Stats() const {
   }
   s.ingest_split_us = exec_->stats().PhaseUs("ingest_split");
   s.ingest_apply_us = exec_->stats().PhaseUs("ingest_apply");
+  s.wal_records_appended =
+      wal_records_appended_.load(std::memory_order_relaxed);
+  s.wal_bytes_appended = wal_bytes_appended_.load(std::memory_order_relaxed);
+  s.wal_syncs = wal_syncs_.load(std::memory_order_relaxed);
+  s.wal_errors = wal_errors_.load(std::memory_order_relaxed);
+  s.checkpoints_taken = checkpoints_taken_.load(std::memory_order_relaxed);
+  s.wal_records_replayed =
+      wal_records_replayed_.load(std::memory_order_relaxed);
+  s.wal_torn_bytes_dropped =
+      wal_torn_bytes_dropped_.load(std::memory_order_relaxed);
   return s;
 }
 

@@ -20,6 +20,7 @@
 #include "sql/settings.h"
 #include "storage/env.h"
 #include "traj/trajectory_store.h"
+#include "wal/wal.h"
 
 namespace hermes::service {
 
@@ -38,6 +39,13 @@ struct ServerOptions {
   size_t ingest_queue_capacity = 1024;
   /// Initial `hermes.*` settings of every new client session.
   sql::HermesSettingDefaults session_defaults;
+  /// Directory (under the server env) for the ingest WAL and
+  /// checkpoints. Empty disables durability: no logging, no recovery,
+  /// `CHECKPOINT` is rejected — exactly the pre-WAL server. Non-empty
+  /// makes `Start` recover (checkpoint + WAL-tail replay) before the
+  /// ingest worker spawns, and every catalog mutation write-ahead-logged
+  /// with group commit (one fsync per worker drain).
+  std::string wal_dir;
 };
 
 /// \brief Monotonic service counters, surfaced as `SHOW SERVICE STATS`.
@@ -73,6 +81,19 @@ struct ServiceStats {
   uint64_t hot_index_bytes = 0;
   uint64_t hot_partitions = 0;
   uint64_t hot_pins_total = 0;
+  /// Durability counters (all zero on a non-WAL server). `wal_errors`
+  /// counting up means the server went read-only: a WAL append or fsync
+  /// failed, so mutations are rejected rather than applied undurably.
+  uint64_t wal_records_appended = 0;
+  uint64_t wal_bytes_appended = 0;
+  uint64_t wal_syncs = 0;
+  uint64_t wal_errors = 0;
+  uint64_t checkpoints_taken = 0;
+  /// Recovery: records replayed from the WAL tail at `Start`, and bytes
+  /// dropped as a torn (CRC-failing) tail — never-acked residue of a
+  /// crash mid-write.
+  uint64_t wal_records_replayed = 0;
+  uint64_t wal_torn_bytes_dropped = 0;
 };
 
 /// \brief The multi-session service: a shared catalog of MODs, a
@@ -105,7 +126,7 @@ class Server {
 
   /// Closes the queue, drains what is pending, and joins the worker.
   /// Idempotent. Sessions stay usable for queries; later `INSERT`s fail
-  /// with `ResourceExhausted` ("ingest queue closed").
+  /// with `Unavailable` ("ingest queue closed").
   void Shutdown();
 
   /// Opens an independent client session (its own settings + exec
@@ -142,6 +163,14 @@ class Server {
   /// republished.
   Status Flush();
 
+  /// Persists the full catalog (stores + tree catalogs) as a checkpoint,
+  /// atomically publishes its manifest, rotates the WAL, and deletes the
+  /// WAL prefix the checkpoint covers. Recovery then replays only the
+  /// post-checkpoint tail. `NotSupported` on a non-WAL server; an IO
+  /// failure leaves the previous manifest in force (recovery is from the
+  /// old checkpoint + a longer tail — never from a half-written one).
+  Status Checkpoint();
+
   /// QUT over the MOD's *shared* tree. The tree is built (or caught up
   /// with trajectories ingested since) under the MOD's exclusive lock
   /// when stale; fresh-tree queries run under a shared lock, so
@@ -167,6 +196,9 @@ class Server {
     traj::TrajectoryStore store GUARDED_BY(mu);
     std::unique_ptr<core::ReTraTree> tree GUARDED_BY(mu);
     std::vector<double> tree_params GUARDED_BY(mu);
+    /// Env directory backing `tree` (checkpoint manifests record it so
+    /// recovery can reopen the tree instead of rebuilding).
+    std::string tree_dir GUARDED_BY(mu);
     /// First store id not yet inserted into the tree (catch-up cursor).
     traj::TrajectoryId tree_next GUARDED_BY(mu) = 0;
     uint64_t tree_seq GUARDED_BY(mu) = 0;
@@ -199,12 +231,55 @@ class Server {
   void WorkerLoop();
   void OnSessionClosed();
 
+  // ---- Durability (implemented in durability.cc) ----
+  bool durable() const { return !options_.wal_dir.empty(); }
+  /// Recovery at `Start` (before the worker spawns): load the manifest's
+  /// checkpoint, replay the WAL tail in LSN order, open a fresh segment.
+  Status RecoverOrInit();
+  /// Appends one record; no-op OK on a non-WAL server. After any WAL
+  /// failure the error is sticky (`wal_error_`) and re-returned.
+  Status WalAppend(wal::RecordType type, const std::string& payload)
+      REQUIRES(wal_mu_);
+  /// Group-commit barrier: one fsync covering every append since the
+  /// last. No-op OK on a non-WAL server.
+  Status WalSync() REQUIRES(wal_mu_);
+  /// Append + sync, for single-record DDL commits.
+  Status WalLogAndSync(wal::RecordType type, const std::string& payload)
+      REQUIRES(wal_mu_);
+  /// Applies one replayed record to the catalog during recovery.
+  Status ReplayRecord(const wal::Record& rec);
+
   ServerOptions options_;
   std::unique_ptr<storage::Env> owned_env_;
   storage::Env* env_;
   std::unique_ptr<exec::ExecContext> exec_;
 
-  mutable common::Mutex catalog_mu_;
+  /// The durability lock. Held across each (WAL append…sync, apply)
+  /// window — the worker holds it for a whole drain, DDL for its single
+  /// commit — which makes WAL order identical to apply order: exactly
+  /// what lets recovery rebuild a bit-identical catalog by replaying in
+  /// LSN order. Taken on every mutation path even without a WAL (then
+  /// uncontended and the log calls no-op), so the locking regime does
+  /// not fork on configuration. Order: wal_mu_ → catalog_mu_ → mod->mu
+  /// → mod->published_mu; never held across `Flush`.
+  common::Mutex wal_mu_;
+  std::unique_ptr<wal::Writer> wal_ GUARDED_BY(wal_mu_);
+  /// Sticky first WAL failure: once an append or sync fails the durable
+  /// prefix is frozen, so every later mutation is rejected with this.
+  Status wal_error_ GUARDED_BY(wal_mu_);
+  /// Lock-free mirror of `!wal_error_.ok()` for fast-fail checks.
+  std::atomic<bool> wal_failed_{false};
+  /// Recovery generation: manifest's + 1 each `Start`. Baked into shared
+  /// tree directory names so a recovered catalog never collides with
+  /// stale tree dirs a crashed generation leaked (those leak harmlessly
+  /// until the next checkpoint cleanup). Written only before the worker
+  /// spawns.
+  uint64_t gen_ = 0;
+  uint64_t checkpoint_id_ GUARDED_BY(wal_mu_) = 0;
+  /// First WAL segment the current manifest covers (replay floor).
+  uint64_t wal_start_segment_ GUARDED_BY(wal_mu_) = 0;
+
+  mutable common::Mutex catalog_mu_ ACQUIRED_AFTER(wal_mu_);
   std::map<std::string, std::shared_ptr<SharedMod>> mods_
       GUARDED_BY(catalog_mu_);
 
@@ -229,6 +304,13 @@ class Server {
   std::atomic<uint64_t> flushes_{0};
   std::atomic<uint64_t> snapshots_published_{0};
   std::atomic<uint64_t> tree_catchups_{0};
+  std::atomic<uint64_t> wal_records_appended_{0};
+  std::atomic<uint64_t> wal_bytes_appended_{0};
+  std::atomic<uint64_t> wal_syncs_{0};
+  std::atomic<uint64_t> wal_errors_{0};
+  std::atomic<uint64_t> checkpoints_taken_{0};
+  std::atomic<uint64_t> wal_records_replayed_{0};
+  std::atomic<uint64_t> wal_torn_bytes_dropped_{0};
 };
 
 }  // namespace hermes::service

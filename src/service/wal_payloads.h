@@ -1,0 +1,72 @@
+#ifndef HERMES_SERVICE_WAL_PAYLOADS_H_
+#define HERMES_SERVICE_WAL_PAYLOADS_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/coding.h"
+#include "common/statusor.h"
+#include "traj/trajectory_io.h"
+
+namespace hermes::service {
+
+/// \brief Payload codecs for the service's WAL record types. A record's
+/// payload always starts with the canonical MOD name (u16 length +
+/// bytes); insert/swap payloads follow it with the trajectory_io batch
+/// encoding, so WAL replay and checkpoint store files share one format.
+
+inline void EncodeModName(const std::string& name, std::string* out) {
+  PutFixed16(out, static_cast<uint16_t>(name.size()));
+  out->append(name);
+}
+
+inline StatusOr<std::string> DecodeModName(Decoder* dec) {
+  if (dec->remaining() < 2) {
+    return Status::Corruption("truncated WAL payload (mod name length)");
+  }
+  const uint16_t n = dec->ReadFixed16();
+  if (dec->remaining() < n) {
+    return Status::Corruption("truncated WAL payload (mod name)");
+  }
+  std::string name(dec->data(), n);
+  dec->Skip(n);
+  return name;
+}
+
+/// kCreateMod / kDropMod payload: just the name.
+inline std::string NamePayload(const std::string& name) {
+  std::string out;
+  EncodeModName(name, &out);
+  return out;
+}
+
+/// kInsertBatch payload: name + encoded trajectory batch.
+inline std::string InsertPayload(const std::string& name,
+                                 const std::vector<traj::Trajectory>& batch) {
+  std::string out;
+  EncodeModName(name, &out);
+  traj::EncodeTrajectories(batch, &out);
+  return out;
+}
+
+/// kInsertBatch payload from a pre-parsed store (the CSV load path);
+/// `EncodeStore` emits the identical batch encoding.
+inline std::string InsertPayloadFromStore(const std::string& name,
+                                          const traj::TrajectoryStore& store) {
+  std::string out;
+  EncodeModName(name, &out);
+  traj::EncodeStore(store, &out);
+  return out;
+}
+
+/// kSwapStore payload: name + full store contents (same batch encoding —
+/// the semantic difference is replace-whole-MOD vs append).
+inline std::string SwapPayload(const std::string& name,
+                               const traj::TrajectoryStore& store) {
+  return InsertPayloadFromStore(name, store);
+}
+
+}  // namespace hermes::service
+
+#endif  // HERMES_SERVICE_WAL_PAYLOADS_H_

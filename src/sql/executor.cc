@@ -188,6 +188,11 @@ StatusOr<std::unique_ptr<RowCursor>> Session::ExecuteStatement(
     }
     case Statement::Kind::kShow:
       return ExecuteShow(stmt);
+    case Statement::Kind::kCheckpoint:
+      // Durability is a service-layer concern (mirrors SHOW SERVICE
+      // STATS): embedded sessions have no WAL to checkpoint.
+      return Status::NotSupported(
+          "CHECKPOINT is only available through a service session");
     case Statement::Kind::kFlush:
       // Embedded sessions ingest synchronously — every INSERT already
       // applied before its ack — so FLUSH acknowledges trivially. The

@@ -175,6 +175,10 @@ StatusOr<Statement> ParseOne(TokenCursor* cur) {
     // FLUSH: wait until every previously queued INSERT is applied and
     // published (a no-op acknowledgment for synchronous-ingest sessions).
     stmt.kind = Statement::Kind::kFlush;
+  } else if (head == "CHECKPOINT") {
+    // CHECKPOINT: persist the catalog and truncate the covered WAL
+    // prefix (service sessions on a WAL-enabled server only).
+    stmt.kind = Statement::Kind::kCheckpoint;
   } else if (head == "SELECT") {
     stmt.kind = Statement::Kind::kSelect;
     const Token& fn = cur->Peek();

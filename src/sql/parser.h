@@ -57,6 +57,7 @@ struct ScalarExpr {
 ///   SHOW hermes.<setting>; | SHOW ALL; | SHOW STATS;
 ///   SHOW SERVICE STATS;                       -- service-layer counters
 ///   FLUSH;                                    -- drain queued async ingest
+///   CHECKPOINT;                               -- persist catalog + truncate WAL
 struct Statement {
   enum class Kind {
     kCreateMod,
@@ -67,6 +68,7 @@ struct Statement {
     kSet,
     kShow,
     kFlush,
+    kCheckpoint,
   };
   Kind kind = Kind::kSelect;
   std::string mod;       ///< Target MOD name (upper-cased).

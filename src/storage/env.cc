@@ -1,5 +1,7 @@
 #include "storage/env.h"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <cstdio>
 #include <filesystem>
@@ -56,6 +58,9 @@ class PosixRWFile : public RandomRWFile {
   Status Sync() override {
     common::MutexLock lock(&mu_);
     if (std::fflush(f_) != 0) return Status::IOError("flush failed");
+    // A durability barrier, not just a stdio flush: the WAL's group
+    // commit acks FLUSH only after this returns.
+    if (fsync(fileno(f_)) != 0) return Status::IOError("fsync failed");
     return Status::OK();
   }
 
@@ -88,6 +93,16 @@ class PosixEnv : public Env {
     std::error_code ec;
     if (!fs::remove(fname, ec) || ec) {
       return Status::IOError("cannot delete " + fname);
+    }
+    return Status::OK();
+  }
+
+  Status RenameFile(const std::string& src, const std::string& dst) override {
+    std::error_code ec;
+    fs::rename(src, dst, ec);
+    if (ec) {
+      return Status::IOError("cannot rename " + src + " -> " + dst + ": " +
+                             ec.message());
     }
     return Status::OK();
   }
@@ -171,6 +186,20 @@ class MemEnv : public Env {
     if (files_.erase(fname) == 0) {
       return Status::NotFound("no such file " + fname);
     }
+    return Status::OK();
+  }
+
+  Status RenameFile(const std::string& src, const std::string& dst) override {
+    common::MutexLock lock(&mu_);
+    auto it = files_.find(src);
+    if (it == files_.end()) {
+      return Status::NotFound("no such file " + src);
+    }
+    if (src == dst) return Status::OK();
+    // Replace-on-rename, like POSIX rename(2). Handles already open on a
+    // replaced `dst` keep their old (now unlinked) contents.
+    files_[dst] = std::move(it->second);
+    files_.erase(src);
     return Status::OK();
   }
 

@@ -38,6 +38,10 @@ class Env {
 
   virtual bool FileExists(const std::string& fname) const = 0;
   virtual Status DeleteFile(const std::string& fname) = 0;
+  /// Atomically renames `src` to `dst`, replacing any existing `dst` —
+  /// the publication primitive of the checkpoint manifest: readers see
+  /// either the old manifest or the new one, never a partial write.
+  virtual Status RenameFile(const std::string& src, const std::string& dst) = 0;
   /// Creates a directory (and parents). No-op when it exists.
   virtual Status CreateDirs(const std::string& dirname) = 0;
   /// Lists regular files directly under `dirname` (names only, sorted).

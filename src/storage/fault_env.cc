@@ -1,0 +1,89 @@
+#include "storage/fault_env.h"
+
+#include <utility>
+
+namespace hermes::storage {
+
+// At namespace scope (not anonymous) so FaultInjectionEnv's friend
+// declaration actually grants it access to the failpoint atomics.
+class FaultRWFile : public RandomRWFile {
+ public:
+  FaultRWFile(std::unique_ptr<RandomRWFile> base, FaultInjectionEnv* env)
+      : base_(std::move(base)), env_(env) {}
+
+  Status ReadAt(uint64_t offset, size_t n, char* buf) const override {
+    return base_->ReadAt(offset, n, buf);
+  }
+
+  Status WriteAt(uint64_t offset, size_t n, const char* buf) override {
+    const int64_t budget =
+        env_->write_budget_.load(std::memory_order_relaxed);
+    size_t allowed = n;
+    if (budget >= 0) {
+      // Claim bytes from the shared budget; whatever does not fit is
+      // torn off the end of this write, mimicking a device that ran out
+      // of space (or a crash) mid-write.
+      int64_t cur = budget;
+      for (;;) {
+        const int64_t grant =
+            cur < static_cast<int64_t>(n) ? cur : static_cast<int64_t>(n);
+        if (env_->write_budget_.compare_exchange_weak(
+                cur, cur - grant, std::memory_order_relaxed)) {
+          allowed = static_cast<size_t>(grant);
+          break;
+        }
+        if (cur < 0) {  // Limit disabled concurrently.
+          allowed = n;
+          break;
+        }
+      }
+    }
+    if (allowed > 0) {
+      HERMES_RETURN_NOT_OK(base_->WriteAt(offset, allowed, buf));
+      env_->bytes_written_.fetch_add(allowed, std::memory_order_relaxed);
+    }
+    if (allowed < n) {
+      env_->writes_failed_.fetch_add(1, std::memory_order_relaxed);
+      return Status::IOError("injected write failure (budget exhausted, " +
+                             std::to_string(allowed) + "/" +
+                             std::to_string(n) + " bytes persisted)");
+    }
+    return Status::OK();
+  }
+
+  StatusOr<uint64_t> Size() const override { return base_->Size(); }
+
+  Status Sync() override {
+    if (env_->fail_syncs_.load(std::memory_order_relaxed)) {
+      return Status::IOError("injected fsync failure");
+    }
+    return base_->Sync();
+  }
+
+ private:
+  std::unique_ptr<RandomRWFile> base_;
+  FaultInjectionEnv* env_;
+};
+
+StatusOr<std::unique_ptr<RandomRWFile>> FaultInjectionEnv::NewRWFile(
+    const std::string& fname) {
+  HERMES_ASSIGN_OR_RETURN(std::unique_ptr<RandomRWFile> base,
+                          base_->NewRWFile(fname));
+  return std::unique_ptr<RandomRWFile>(
+      new FaultRWFile(std::move(base), this));
+}
+
+Status FaultInjectionEnv::RenameFile(const std::string& src,
+                                     const std::string& dst) {
+  // Rename consumes no byte budget (it is metadata), but a fully
+  // exhausted budget means "the disk is gone": fail the publication too,
+  // so a checkpoint cannot appear durable past an injected ENOSPC.
+  const int64_t budget = write_budget_.load(std::memory_order_relaxed);
+  if (budget == 0) {
+    writes_failed_.fetch_add(1, std::memory_order_relaxed);
+    return Status::IOError("injected rename failure (budget exhausted)");
+  }
+  return base_->RenameFile(src, dst);
+}
+
+}  // namespace hermes::storage

@@ -1,0 +1,90 @@
+#ifndef HERMES_STORAGE_FAULT_ENV_H_
+#define HERMES_STORAGE_FAULT_ENV_H_
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "storage/env.h"
+
+namespace hermes::storage {
+
+/// \brief Failpoint-driven `Env` decorator for crash-recovery tests.
+///
+/// Wraps a base environment (typically a `MemEnv`) and injects the
+/// failure modes a WAL must survive:
+///
+///  - **fsync failure** (`set_fail_syncs`): every `Sync()` returns
+///    `IOError` while set; the bytes may or may not be durable, exactly
+///    the ambiguity a real fsync error leaves behind.
+///  - **torn / short writes + ENOSPC + crash-after-N-bytes**
+///    (`set_write_budget`): a cumulative byte budget across all files.
+///    A write that would exceed the remaining budget persists only the
+///    prefix that fits (a torn write) and returns `IOError`; later
+///    writes fail outright. Setting the budget to N and then abandoning
+///    the writer simulates a crash after N durable bytes.
+///
+/// "Recovery" in tests = drop every handle opened through this wrapper
+/// and re-open the **base** env: whatever the failpoints let through is
+/// the disk image the crashed process left behind.
+///
+/// Thread-safe to the same degree as the base env: failpoint state is
+/// atomic, and the wrapper adds no locking of its own.
+class FaultInjectionEnv : public Env {
+ public:
+  /// `base` must outlive this wrapper and every file opened through it.
+  explicit FaultInjectionEnv(Env* base) : base_(base) {}
+
+  /// While true, every `Sync()` on files opened through this env fails.
+  void set_fail_syncs(bool on) {
+    fail_syncs_.store(on, std::memory_order_relaxed);
+  }
+
+  /// Limits the *total* bytes any future `WriteAt` calls may persist
+  /// (cumulative across files). Negative disables the limit.
+  void set_write_budget(int64_t bytes) {
+    write_budget_.store(bytes, std::memory_order_relaxed);
+  }
+
+  /// Bytes written through this env since construction.
+  uint64_t bytes_written() const {
+    return bytes_written_.load(std::memory_order_relaxed);
+  }
+  /// Writes rejected (fully or torn) by the budget failpoint.
+  uint64_t writes_failed() const {
+    return writes_failed_.load(std::memory_order_relaxed);
+  }
+
+  StatusOr<std::unique_ptr<RandomRWFile>> NewRWFile(
+      const std::string& fname) override;
+  bool FileExists(const std::string& fname) const override {
+    return base_->FileExists(fname);
+  }
+  Status DeleteFile(const std::string& fname) override {
+    return base_->DeleteFile(fname);
+  }
+  Status RenameFile(const std::string& src, const std::string& dst) override;
+  Status CreateDirs(const std::string& dirname) override {
+    return base_->CreateDirs(dirname);
+  }
+  StatusOr<std::vector<std::string>> ListDir(
+      const std::string& dirname) const override {
+    return base_->ListDir(dirname);
+  }
+
+ private:
+  friend class FaultRWFile;
+
+  Env* base_;
+  std::atomic<bool> fail_syncs_{false};
+  std::atomic<int64_t> write_budget_{-1};
+  std::atomic<uint64_t> bytes_written_{0};
+  std::atomic<uint64_t> writes_failed_{0};
+};
+
+}  // namespace hermes::storage
+
+#endif  // HERMES_STORAGE_FAULT_ENV_H_

@@ -56,6 +56,17 @@ void SegmentArenaBuilder::Append(const Trajectory& t, TrajectoryId tid) {
   }
   offsets_.push_back(rows_);
   counters_.rows_appended += segs;
+  if (epoch_valid_ && cached_epoch_.rows_ > 0 &&
+      pins_->live.load(std::memory_order_relaxed) == 0) {
+    // The epoch we are about to invalidate has no live readers: drop it
+    // now so its offsets table (O(#trajectories)) is not retained across
+    // an arbitrarily long gap until the next Snapshot. If a pin is still
+    // live the shared state must stay; the snapshot holders keep their
+    // own block/offsets references either way, this only frees the
+    // builder's cache.
+    cached_epoch_ = {};
+    ++counters_.epochs_reclaimed;
+  }
   epoch_valid_ = false;
 }
 

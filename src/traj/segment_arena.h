@@ -49,6 +49,10 @@ struct SegmentArenaCounters {
   /// out — the service layer's `SHOW SERVICE STATS` surfaces both.
   uint64_t epochs_pinned = 0;
   uint64_t epoch_pins = 0;
+  /// Times an append dropped the builder's stale cached epoch because no
+  /// reader held a pin — releasing the superseded offsets table (and any
+  /// tail block copy) instead of holding it until the next `Snapshot`.
+  uint64_t epochs_reclaimed = 0;
 };
 
 /// \brief Pin bookkeeping shared by one builder lineage (builder copies —

@@ -1,0 +1,77 @@
+#include "traj/trajectory_io.h"
+
+#include <utility>
+
+namespace hermes::traj {
+
+void EncodeTrajectory(const Trajectory& t, std::string* out) {
+  PutFixed64(out, t.object_id());
+  PutFixed32(out, static_cast<uint32_t>(t.size()));
+  for (const geom::Point3D& p : t.samples()) {
+    PutDouble(out, p.x);
+    PutDouble(out, p.y);
+    PutDouble(out, p.t);
+  }
+}
+
+StatusOr<Trajectory> DecodeTrajectory(Decoder* dec) {
+  if (dec->remaining() < 12) {
+    return Status::Corruption("truncated trajectory header");
+  }
+  const ObjectId obj = dec->ReadFixed64();
+  const uint32_t n = dec->ReadFixed32();
+  if (dec->remaining() < static_cast<size_t>(n) * 24) {
+    return Status::Corruption("truncated trajectory samples");
+  }
+  std::vector<geom::Point3D> samples;
+  samples.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    geom::Point3D p;
+    p.x = dec->ReadDouble();
+    p.y = dec->ReadDouble();
+    p.t = dec->ReadDouble();
+    samples.push_back(p);
+  }
+  Trajectory t(obj, std::move(samples));
+  HERMES_RETURN_NOT_OK(t.Validate());
+  return t;
+}
+
+void EncodeTrajectories(const std::vector<Trajectory>& batch,
+                        std::string* out) {
+  PutFixed32(out, static_cast<uint32_t>(batch.size()));
+  for (const Trajectory& t : batch) EncodeTrajectory(t, out);
+}
+
+StatusOr<std::vector<Trajectory>> DecodeTrajectories(Decoder* dec) {
+  if (dec->remaining() < 4) {
+    return Status::Corruption("truncated trajectory batch");
+  }
+  const uint32_t n = dec->ReadFixed32();
+  std::vector<Trajectory> batch;
+  for (uint32_t i = 0; i < n; ++i) {
+    HERMES_ASSIGN_OR_RETURN(Trajectory t, DecodeTrajectory(dec));
+    batch.push_back(std::move(t));
+  }
+  return batch;
+}
+
+void EncodeStore(const TrajectoryStore& store, std::string* out) {
+  const size_t n = store.NumTrajectories();
+  PutFixed32(out, static_cast<uint32_t>(n));
+  for (TrajectoryId id = 0; id < n; ++id) {
+    EncodeTrajectory(store.Get(id), out);
+  }
+}
+
+StatusOr<TrajectoryStore> DecodeStore(Decoder* dec) {
+  HERMES_ASSIGN_OR_RETURN(std::vector<Trajectory> batch,
+                          DecodeTrajectories(dec));
+  TrajectoryStore store;
+  for (Trajectory& t : batch) {
+    HERMES_RETURN_NOT_OK(store.Add(std::move(t)).status());
+  }
+  return store;
+}
+
+}  // namespace hermes::traj

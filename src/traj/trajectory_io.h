@@ -1,0 +1,49 @@
+#ifndef HERMES_TRAJ_TRAJECTORY_IO_H_
+#define HERMES_TRAJ_TRAJECTORY_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "common/coding.h"
+#include "common/status.h"
+#include "common/statusor.h"
+#include "traj/trajectory.h"
+#include "traj/trajectory_store.h"
+
+namespace hermes::traj {
+
+/// \brief Binary (de)serialization of trajectories and whole stores —
+/// the payload format shared by WAL insert-batch records and checkpoint
+/// store files.
+///
+/// Everything is little-endian fixed-width (common/coding.h), so an
+/// encode → decode round trip is bit-exact: doubles are memcpy'd, never
+/// formatted. A store is encoded as its trajectories in id order; since
+/// store ids are assigned in `Add` order and both the trajectory list
+/// and the segment arena depend only on that order, decoding (which
+/// re-`Add`s in sequence) reconstructs a store whose published state is
+/// bit-identical to the source — the property the recovery tests pin.
+
+/// Appends one trajectory: u64 object id, u32 sample count, then
+/// (x, y, t) doubles per sample.
+void EncodeTrajectory(const Trajectory& t, std::string* out);
+
+/// Decodes one trajectory from `dec`; fails on truncation or on samples
+/// violating the strictly-increasing-time invariant.
+StatusOr<Trajectory> DecodeTrajectory(Decoder* dec);
+
+/// Appends a batch: u32 count, then each trajectory.
+void EncodeTrajectories(const std::vector<Trajectory>& batch,
+                        std::string* out);
+StatusOr<std::vector<Trajectory>> DecodeTrajectories(Decoder* dec);
+
+/// Appends the whole store (u32 count + trajectories in id order). Safe
+/// on a quiesced store or a snapshot (the store's read contract).
+void EncodeStore(const TrajectoryStore& store, std::string* out);
+
+/// Rebuilds a store by re-adding the encoded trajectories in order.
+StatusOr<TrajectoryStore> DecodeStore(Decoder* dec);
+
+}  // namespace hermes::traj
+
+#endif  // HERMES_TRAJ_TRAJECTORY_IO_H_

@@ -17,65 +17,75 @@ StatusOr<TrajectoryId> TrajectoryStore::Add(Trajectory trajectory) {
   // The whole append happens under the snapshot lock, so a concurrent
   // `Snapshot` sees the list and the arena at the same trajectory count.
   common::MutexLock lock(&mu_);
-  const TrajectoryId id = trajectories_.size();
+  const TrajectoryId id = size_;
+  if ((size_ & TrajBlock::kMask) == 0) {
+    blocks_.push_back(std::make_shared<TrajBlock>());
+  }
   num_points_ += trajectory.size();
-  by_object_[trajectory.object_id()].push_back(id);
-  trajectories_.push_back(
-      std::make_shared<const Trajectory>(std::move(trajectory)));
-  arena_.Append(*trajectories_.back(), id);
+  auto& slot = blocks_.back()->slots[size_ & TrajBlock::kMask];
+  slot = std::make_shared<const Trajectory>(std::move(trajectory));
+  ++size_;
+  arena_.Append(*slot, id);
   return id;
 }
 
 const Trajectory& TrajectoryStore::Get(TrajectoryId id) const {
-  HERMES_CHECK(id < trajectories_.size()) << "trajectory id out of range";
-  return *trajectories_[id];
+  HERMES_CHECK(id < size_) << "trajectory id out of range";
+  return At(id);
 }
 
 size_t TrajectoryStore::NumSegments() const {
   size_t n = 0;
-  for (const auto& t : trajectories_) n += t->NumSegments();
+  for (TrajectoryId id = 0; id < size_; ++id) n += At(id).NumSegments();
   return n;
 }
 
 void TrajectoryStore::CopyFrom(const TrajectoryStore& o) {
   common::MutexLock lock(&o.mu_);
-  trajectories_ = o.trajectories_;  // Shared immutable trajectories.
-  by_object_ = o.by_object_;
+  blocks_ = o.blocks_;  // Shares every full (hence immutable) block.
+  if (!blocks_.empty() && (o.size_ & TrajBlock::kMask) != 0) {
+    // The tail block is still being appended to; give the snapshot its
+    // own copy so the writer's later slot stores cannot race readers.
+    blocks_.back() = std::make_shared<TrajBlock>(*o.blocks_.back());
+  }
+  size_ = o.size_;
   num_points_ = o.num_points_;
   arena_ = o.arena_;  // Builder copy shares full blocks (own tail copy).
 }
 
 void TrajectoryStore::MoveFrom(TrajectoryStore&& o) {
   common::MutexLock lock(&o.mu_);
-  trajectories_ = std::move(o.trajectories_);
-  by_object_ = std::move(o.by_object_);
+  blocks_ = std::move(o.blocks_);
+  size_ = o.size_;
   num_points_ = o.num_points_;
   arena_ = std::move(o.arena_);
-  o.trajectories_.clear();
-  o.by_object_.clear();
+  o.blocks_.clear();
+  o.size_ = 0;
   o.num_points_ = 0;
 }
 
 std::vector<TrajectoryId> TrajectoryStore::TrajectoriesOf(
     ObjectId object) const {
-  auto it = by_object_.find(object);
-  if (it == by_object_.end()) return {};
-  return it->second;
+  std::vector<TrajectoryId> ids;
+  for (TrajectoryId id = 0; id < size_; ++id) {
+    if (At(id).object_id() == object) ids.push_back(id);
+  }
+  return ids;
 }
 
 geom::Mbb3D TrajectoryStore::Bounds() const {
   geom::Mbb3D box;
-  for (const auto& t : trajectories_) box.Extend(t->Bounds());
+  for (TrajectoryId id = 0; id < size_; ++id) box.Extend(At(id).Bounds());
   return box;
 }
 
 std::pair<double, double> TrajectoryStore::TimeDomain() const {
-  if (trajectories_.empty()) return {0.0, 0.0};
-  double lo = trajectories_.front()->StartTime();
-  double hi = trajectories_.front()->EndTime();
-  for (const auto& t : trajectories_) {
-    lo = std::min(lo, t->StartTime());
-    hi = std::max(hi, t->EndTime());
+  if (size_ == 0) return {0.0, 0.0};
+  double lo = At(0).StartTime();
+  double hi = At(0).EndTime();
+  for (TrajectoryId id = 0; id < size_; ++id) {
+    lo = std::min(lo, At(id).StartTime());
+    hi = std::max(hi, At(id).EndTime());
   }
   return {lo, hi};
 }
@@ -136,11 +146,12 @@ Status TrajectoryStore::SaveCsv(const std::string& path) const {
   std::ofstream out(path);
   if (!out) return Status::IOError("cannot open " + path);
   out << "obj_id,t,x,y\n";
-  for (const auto& t : trajectories_) {
-    for (const auto& p : t->samples()) {
+  for (TrajectoryId id = 0; id < size_; ++id) {
+    const Trajectory& t = At(id);
+    for (const auto& p : t.samples()) {
       char buf[128];
       std::snprintf(buf, sizeof(buf), "%llu,%.6f,%.6f,%.6f\n",
-                    static_cast<unsigned long long>(t->object_id()), p.t, p.x,
+                    static_cast<unsigned long long>(t.object_id()), p.t, p.x,
                     p.y);
       out << buf;
     }

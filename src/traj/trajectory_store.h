@@ -1,9 +1,9 @@
 #ifndef HERMES_TRAJ_TRAJECTORY_STORE_H_
 #define HERMES_TRAJ_TRAJECTORY_STORE_H_
 
+#include <array>
 #include <memory>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "common/mutex.h"
@@ -14,6 +14,18 @@
 #include "traj/trajectory.h"
 
 namespace hermes::traj {
+
+/// \brief One fixed-capacity block of trajectory pointers. Blocks other
+/// than the last are full and immutable, so snapshots share them by
+/// `shared_ptr` instead of copying 512 refcounted pointers each — the
+/// same trick `SegmentBlock` plays for the columnar arena.
+struct TrajBlock {
+  static constexpr size_t kShift = 9;  ///< 512 trajectories per block.
+  static constexpr size_t kRows = size_t{1} << kShift;
+  static constexpr size_t kMask = kRows - 1;
+
+  std::array<std::shared_ptr<const Trajectory>, kRows> slots;
+};
 
 /// \brief The Moving Object Database (MOD): an append-only collection of
 /// trajectories with aggregate statistics and CSV import/export.
@@ -30,8 +42,11 @@ namespace hermes::traj {
 /// quiesced store or on a snapshot, but must not race an in-flight `Add`.
 /// Trajectories are individually heap-allocated and immutable once added,
 /// so snapshots share them (and all full arena blocks) instead of copying
-/// sample data — a snapshot costs O(#trajectories) pointer copies, which
-/// the service amortizes over one ingest batch.
+/// sample data. The pointer list itself is chunked into `TrajBlock`s:
+/// full blocks are shared wholesale and only the mutable tail block is
+/// copied, so a snapshot costs O(#blocks + tail) rather than
+/// O(#trajectories) — the difference between republish cost growing with
+/// total MOD size and growing with what changed since the last publish.
 class TrajectoryStore {
  public:
   TrajectoryStore() = default;
@@ -58,9 +73,7 @@ class TrajectoryStore {
   // races that cannot occur; the annotation records the deliberate escape
   // instead of hiding the fields from the analysis entirely.
   const Trajectory& Get(TrajectoryId id) const NO_THREAD_SAFETY_ANALYSIS;
-  size_t NumTrajectories() const NO_THREAD_SAFETY_ANALYSIS {
-    return trajectories_.size();
-  }
+  size_t NumTrajectories() const NO_THREAD_SAFETY_ANALYSIS { return size_; }
   size_t NumPoints() const NO_THREAD_SAFETY_ANALYSIS { return num_points_; }
   size_t NumSegments() const NO_THREAD_SAFETY_ANALYSIS;
 
@@ -72,7 +85,9 @@ class TrajectoryStore {
   TrajectoryStore Snapshot() const { return *this; }
 
   /// Ids of all trajectories of one object (an object may have several
-  /// recorded trips).
+  /// recorded trips). O(#trajectories) scan: the per-object index this
+  /// used to maintain cost every snapshot an O(#objects) map copy, and
+  /// nothing on the query path needs the grouping — only diagnostics do.
   std::vector<TrajectoryId> TrajectoriesOf(ObjectId object) const
       NO_THREAD_SAFETY_ANALYSIS;
 
@@ -114,13 +129,19 @@ class TrajectoryStore {
   void CopyFrom(const TrajectoryStore& o) NO_THREAD_SAFETY_ANALYSIS;
   void MoveFrom(TrajectoryStore&& o) NO_THREAD_SAFETY_ANALYSIS;
 
-  /// Guards the pointer list / aggregate metadata against `Snapshot`
+  /// Unsynchronized read of slot `id`; callers own the class's read
+  /// contract (quiesced store or private snapshot).
+  const Trajectory& At(TrajectoryId id) const NO_THREAD_SAFETY_ANALYSIS {
+    return *blocks_[id >> TrajBlock::kShift]->slots[id & TrajBlock::kMask];
+  }
+
+  /// Guards the block list / aggregate metadata against `Snapshot`
   /// racing the writer (the pointed-to trajectories never need it).
   mutable common::Mutex mu_;
-  std::vector<std::shared_ptr<const Trajectory>> trajectories_
-      GUARDED_BY(mu_);
-  std::unordered_map<ObjectId, std::vector<TrajectoryId>> by_object_
-      GUARDED_BY(mu_);
+  /// Chunked pointer list; `blocks_[i]` holds ids [i*kRows, (i+1)*kRows).
+  /// All blocks but the last are full and never mutated again.
+  std::vector<std::shared_ptr<TrajBlock>> blocks_ GUARDED_BY(mu_);
+  size_t size_ GUARDED_BY(mu_) = 0;
   size_t num_points_ GUARDED_BY(mu_) = 0;
   /// Columnar mirror of `trajectories_`, appended to by `Add`. Internally
   /// locked (its own `mu_`); reassigned only by CopyFrom/MoveFrom, which

@@ -1,0 +1,172 @@
+#include "wal/wal.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <utility>
+
+#include "common/coding.h"
+#include "common/crc32.h"
+
+namespace hermes::wal {
+
+namespace {
+
+/// len(u32) + crc(u32) precede the checksummed region; lsn(u64) + type(u8)
+/// precede the payload inside it.
+constexpr size_t kHeaderBytes = 4 + 4;
+constexpr size_t kChecksummedHeaderBytes = 8 + 1;
+
+std::string JoinPath(const std::string& dir, const std::string& name) {
+  if (dir.empty()) return name;
+  return dir.back() == '/' ? dir + name : dir + "/" + name;
+}
+
+}  // namespace
+
+std::string SegmentFileName(uint64_t id) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "wal_%06llu.log",
+                static_cast<unsigned long long>(id));
+  return buf;
+}
+
+bool ParseSegmentFileName(const std::string& name, uint64_t* id) {
+  if (name.size() < 9 || name.rfind("wal_", 0) != 0 ||
+      name.substr(name.size() - 4) != ".log") {
+    return false;
+  }
+  const std::string digits = name.substr(4, name.size() - 8);
+  if (digits.empty() ||
+      digits.find_first_not_of("0123456789") != std::string::npos) {
+    return false;
+  }
+  *id = std::stoull(digits);
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+StatusOr<std::unique_ptr<Writer>> Writer::Open(storage::Env* env,
+                                               const std::string& dir,
+                                               uint64_t segment_id,
+                                               uint64_t next_lsn) {
+  const std::string path = JoinPath(dir, SegmentFileName(segment_id));
+  // Segments are created exactly once (recovery always rotates to a
+  // fresh id), so an existing file is stale garbage from a removed
+  // future: drop it rather than appending after its bytes.
+  if (env->FileExists(path)) {
+    HERMES_RETURN_NOT_OK(env->DeleteFile(path));
+  }
+  HERMES_ASSIGN_OR_RETURN(std::unique_ptr<storage::RandomRWFile> file,
+                          env->NewRWFile(path));
+  return std::unique_ptr<Writer>(
+      new Writer(std::move(file), segment_id, next_lsn));
+}
+
+StatusOr<uint64_t> Writer::Append(RecordType type,
+                                  const std::string& payload) {
+  common::MutexLock lock(&mu_);
+  // After one failed append the segment's byte stream is untrustworthy
+  // (a prefix may be on disk); every later append must fail too, or a
+  // valid record written after the hole would be unreachable to the
+  // scanner anyway while looking durable to the caller.
+  HERMES_RETURN_NOT_OK(io_error_);
+
+  const uint64_t lsn = next_lsn_;
+  std::string rec;
+  rec.reserve(kHeaderBytes + kChecksummedHeaderBytes + payload.size());
+  PutFixed32(&rec,
+             static_cast<uint32_t>(kChecksummedHeaderBytes + payload.size()));
+  std::string body;
+  body.reserve(kChecksummedHeaderBytes + payload.size());
+  PutFixed64(&body, lsn);
+  body.push_back(static_cast<char>(type));
+  body.append(payload);
+  PutFixed32(&rec, common::Crc32(body));
+  rec.append(body);
+
+  Status st = file_->WriteAt(offset_, rec.size(), rec.data());
+  if (!st.ok()) {
+    io_error_ = st;
+    return st;
+  }
+  offset_ += rec.size();
+  ++next_lsn_;
+  return lsn;
+}
+
+Status Writer::Sync() {
+  common::MutexLock lock(&mu_);
+  HERMES_RETURN_NOT_OK(io_error_);
+  return file_->Sync();
+}
+
+uint64_t Writer::next_lsn() const {
+  common::MutexLock lock(&mu_);
+  return next_lsn_;
+}
+
+uint64_t Writer::bytes_appended() const {
+  common::MutexLock lock(&mu_);
+  return offset_;
+}
+
+// ---------------------------------------------------------------------------
+// Reader
+// ---------------------------------------------------------------------------
+
+StatusOr<SegmentScan> ReadSegment(storage::Env* env, const std::string& dir,
+                                  uint64_t segment_id) {
+  const std::string path = JoinPath(dir, SegmentFileName(segment_id));
+  if (!env->FileExists(path)) {
+    return Status::NotFound("no WAL segment " + path);
+  }
+  HERMES_ASSIGN_OR_RETURN(std::unique_ptr<storage::RandomRWFile> file,
+                          env->NewRWFile(path));
+  HERMES_ASSIGN_OR_RETURN(uint64_t size, file->Size());
+  std::string data(size, '\0');
+  if (size > 0) {
+    HERMES_RETURN_NOT_OK(file->ReadAt(0, size, data.data()));
+  }
+
+  SegmentScan scan;
+  size_t off = 0;
+  while (off + kHeaderBytes <= data.size()) {
+    const uint32_t len = GetFixed32(data.data() + off);
+    if (len < kChecksummedHeaderBytes ||
+        off + kHeaderBytes + len > data.size()) {
+      break;  // Torn length prefix or truncated body.
+    }
+    const uint32_t crc = GetFixed32(data.data() + off + 4);
+    const char* body = data.data() + off + kHeaderBytes;
+    if (common::Crc32(body, static_cast<size_t>(len)) != crc) {
+      break;  // Torn or corrupted record: drop it and everything after.
+    }
+    Record rec;
+    rec.lsn = GetFixed64(body);
+    rec.type = static_cast<RecordType>(static_cast<uint8_t>(body[8]));
+    rec.payload.assign(body + kChecksummedHeaderBytes,
+                       len - kChecksummedHeaderBytes);
+    scan.records.push_back(std::move(rec));
+    off += kHeaderBytes + len;
+  }
+  scan.valid_bytes = off;
+  scan.tail_bytes_dropped = data.size() - off;
+  return scan;
+}
+
+StatusOr<std::vector<uint64_t>> ListSegments(storage::Env* env,
+                                             const std::string& dir) {
+  HERMES_ASSIGN_OR_RETURN(std::vector<std::string> names, env->ListDir(dir));
+  std::vector<uint64_t> ids;
+  for (const std::string& name : names) {
+    uint64_t id = 0;
+    if (ParseSegmentFileName(name, &id)) ids.push_back(id);
+  }
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+}  // namespace hermes::wal

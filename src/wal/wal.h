@@ -1,0 +1,113 @@
+#ifndef HERMES_WAL_WAL_H_
+#define HERMES_WAL_WAL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/statusor.h"
+#include "common/thread_annotations.h"
+#include "storage/env.h"
+
+namespace hermes::wal {
+
+/// \brief What one WAL record describes. Values are part of the on-disk
+/// format — append only, never renumber.
+enum class RecordType : uint8_t {
+  kCreateMod = 1,   ///< payload: mod name
+  kDropMod = 2,     ///< payload: mod name
+  kInsertBatch = 3, ///< payload: mod name + encoded trajectory batch
+  kSwapStore = 4,   ///< payload: mod name + encoded full store contents
+};
+
+/// \brief One decoded WAL record.
+struct Record {
+  uint64_t lsn = 0;
+  RecordType type = RecordType::kInsertBatch;
+  std::string payload;
+};
+
+/// Segment file name for id `n` (e.g. "wal_000007.log").
+std::string SegmentFileName(uint64_t id);
+/// Parses a segment file name back to its id; false when `name` is not a
+/// WAL segment.
+bool ParseSegmentFileName(const std::string& name, uint64_t* id);
+
+/// \brief Appender over one WAL segment file.
+///
+/// Record layout (all little-endian):
+///
+///     u32 len      bytes from `crc` to the end of the payload
+///     u32 crc      CRC-32 over [lsn, type, payload]
+///     u64 lsn      monotonic sequence number, continues across segments
+///     u8  type     RecordType
+///     ...payload
+///
+/// `Append` assigns the LSN and writes the record at the running end
+/// offset; it does NOT sync. `Sync` is the durability barrier — group
+/// commit is N appends followed by one `Sync`. Both are internally
+/// locked, so the ingest worker and DDL paths may share one writer (the
+/// service layer additionally serializes append→apply windows to keep
+/// WAL order equal to apply order; see service::Server).
+class Writer {
+ public:
+  /// Creates (or truncating-overwrites via delete) segment `segment_id`
+  /// under `dir`. `next_lsn` seeds the LSN counter — recovery passes
+  /// last-replayed + 1 so LSNs never repeat across restarts.
+  static StatusOr<std::unique_ptr<Writer>> Open(storage::Env* env,
+                                                const std::string& dir,
+                                                uint64_t segment_id,
+                                                uint64_t next_lsn);
+
+  /// Appends one record; returns its LSN. Not yet durable until `Sync`.
+  StatusOr<uint64_t> Append(RecordType type, const std::string& payload);
+
+  /// Durability barrier over everything appended so far.
+  Status Sync();
+
+  uint64_t segment_id() const { return segment_id_; }
+  /// LSN the next `Append` will assign.
+  uint64_t next_lsn() const;
+  /// Bytes appended to this segment (records, not counting failures).
+  uint64_t bytes_appended() const;
+
+ private:
+  Writer(std::unique_ptr<storage::RandomRWFile> file, uint64_t segment_id,
+         uint64_t next_lsn)
+      : file_(std::move(file)), segment_id_(segment_id), next_lsn_(next_lsn) {}
+
+  mutable common::Mutex mu_;
+  std::unique_ptr<storage::RandomRWFile> file_ GUARDED_BY(mu_);
+  const uint64_t segment_id_;
+  uint64_t next_lsn_ GUARDED_BY(mu_);
+  uint64_t offset_ GUARDED_BY(mu_) = 0;
+
+  Status io_error_ GUARDED_BY(mu_);  ///< Sticky: first append IO failure.
+};
+
+/// \brief Result of scanning one segment during recovery.
+struct SegmentScan {
+  std::vector<Record> records;  ///< CRC-valid prefix, in append order.
+  /// Bytes after the valid prefix (a torn tail, or garbage after an
+  /// injected fault). Recovery drops them — they were never acked.
+  uint64_t tail_bytes_dropped = 0;
+  uint64_t valid_bytes = 0;     ///< Offset where the valid prefix ends.
+};
+
+/// Reads segment `segment_id` under `dir` and returns its CRC-valid
+/// record prefix. Scanning stops — without error — at the first record
+/// whose length prefix or CRC does not check out; a crash can only tear
+/// the unsynced tail, so everything before it is intact. A missing file
+/// is `NotFound`.
+StatusOr<SegmentScan> ReadSegment(storage::Env* env, const std::string& dir,
+                                  uint64_t segment_id);
+
+/// Segment ids present under `dir`, sorted ascending.
+StatusOr<std::vector<uint64_t>> ListSegments(storage::Env* env,
+                                             const std::string& dir);
+
+}  // namespace hermes::wal
+
+#endif  // HERMES_WAL_WAL_H_

@@ -39,6 +39,8 @@ TEST(StatusTest, AllConstructorsMapToPredicates) {
   EXPECT_TRUE(Status::NotSupported("x").IsNotSupported());
   EXPECT_TRUE(Status::Internal("x").IsInternal());
   EXPECT_TRUE(Status::ResourceExhausted("x").IsResourceExhausted());
+  EXPECT_TRUE(Status::Unavailable("x").IsUnavailable());
+  EXPECT_EQ(Status::Unavailable("x").ToString(), "Unavailable: x");
 }
 
 TEST(StatusTest, EqualityComparesCodeAndMessage) {

@@ -447,6 +447,44 @@ TEST(NetServerTest, HalfCloseDrainsPipelinedRequests) {
   EXPECT_FALSE(eof.ok());
 }
 
+// ---------------------------------------------------------------------------
+// Deadlines (both default-off: opt-in per rig / per client)
+// ---------------------------------------------------------------------------
+
+TEST(NetServerTest, IdleConnectionsAreSwept) {
+  NetServerOptions opts;
+  opts.idle_timeout_ms = 100;
+  Rig rig(opts);
+  auto client = rig.Connect();
+  // A connection with traffic is not idle: the round-trip stamps
+  // last_activity well inside the window.
+  ASSERT_TRUE(client->Ping().ok());
+  // Go quiet. The sweep expires the connection through the peer-EOF
+  // path, so the client observes a clean server-side close.
+  auto eof = client->ReadResponse();
+  ASSERT_FALSE(eof.ok());
+  EXPECT_TRUE(eof.status().IsIOError());
+  // The listener is untouched: fresh connections still serve.
+  auto fresh = rig.Connect();
+  EXPECT_TRUE(fresh->Ping().ok());
+}
+
+TEST(NetServerTest, ClientReceiveTimeoutExpiresWithoutResponse) {
+  Rig rig;
+  auto client = rig.Connect();
+  // A generous deadline never fires when the server answers.
+  client->set_receive_timeout_ms(5000);
+  ASSERT_TRUE(client->Ping().ok());
+  ASSERT_TRUE(client->Execute("SELECT STATS(SHIPS);").ok());
+  // No request in flight: no response will ever arrive, so the read
+  // deadline is the only thing standing between us and a hung test.
+  client->set_receive_timeout_ms(50);
+  auto resp = client->ReadResponse();
+  ASSERT_FALSE(resp.ok());
+  EXPECT_TRUE(resp.status().IsIOError());
+  EXPECT_NE(resp.status().message().find("timeout"), std::string::npos);
+}
+
 TEST(NetServerTest, ShutdownWithLiveConnections) {
   Rig rig;
   auto a = rig.Connect();

@@ -1,0 +1,401 @@
+// Crash recovery of the durable service: WAL replay, checkpoints, and
+// the fault-injected failure modes of ISSUE 9's acceptance criterion —
+// every FLUSH-acked trajectory survives a restart bit-identically, a
+// torn WAL tail is dropped (never half-applied), and a WAL that stops
+// accepting writes turns the server read-only instead of un-durable.
+//
+// "Crash" here = abandon the server's Env handles and re-open the same
+// base MemEnv: whatever the fault points let through is the disk image
+// the dead process left behind. The process-level SIGKILL variant is
+// tests/restart_test.cc, against the real daemon and filesystem.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "datagen/aircraft.h"
+#include "datagen/maritime.h"
+#include "datagen/urban.h"
+#include "service/client_session.h"
+#include "service/server.h"
+#include "storage/env.h"
+#include "storage/fault_env.h"
+#include "traj/trajectory_io.h"
+#include "wal/wal.h"
+
+namespace hermes::service {
+namespace {
+
+constexpr char kWalDir[] = "waldir";
+
+ServerOptions DurableOptions() {
+  ServerOptions opts;
+  opts.wal_dir = kWalDir;
+  return opts;
+}
+
+std::unique_ptr<Server> StartDurable(storage::Env* env) {
+  auto server = Server::Start(DurableOptions(), env);
+  EXPECT_TRUE(server.ok()) << server.status().message();
+  return std::move(server).value();
+}
+
+traj::TrajectoryStore MakeMaritime(size_t n) {
+  datagen::MaritimeScenarioParams p;
+  p.num_ships = n;
+  p.sample_dt = 300.0;
+  p.seed = 13;
+  return std::move(datagen::GenerateMaritimeScenario(p)->store);
+}
+
+traj::TrajectoryStore MakeAircraft(size_t n) {
+  datagen::AircraftScenarioParams p = datagen::AircraftScenarioParams::Default();
+  p.num_flights = n;
+  p.sample_dt = 60.0;
+  p.seed = 7;
+  return std::move(datagen::GenerateAircraftScenario(p)->store);
+}
+
+traj::TrajectoryStore MakeUrban(size_t n) {
+  datagen::UrbanScenarioParams p;
+  p.num_vehicles = n;
+  p.time_span = 600.0;
+  p.seed = 11;
+  return std::move(datagen::GenerateUrbanScenario(p)->store);
+}
+
+/// Trajectories [lo, hi) of `s`, as an ingest batch.
+std::vector<traj::Trajectory> Slice(const traj::TrajectoryStore& s, size_t lo,
+                                    size_t hi) {
+  std::vector<traj::Trajectory> out;
+  for (size_t i = lo; i < hi && i < s.NumTrajectories(); ++i) {
+    out.push_back(s.Get(static_cast<traj::TrajectoryId>(i)));
+  }
+  return out;
+}
+
+/// The MOD's published snapshot, binary-encoded — the bit-identity
+/// witness (trajectory_io's encode is bit-exact on doubles).
+std::string Encoded(Server* server, const std::string& mod) {
+  auto snap = server->SnapshotMod(mod);
+  EXPECT_TRUE(snap.ok()) << snap.status().message();
+  if (!snap.ok()) return "";
+  std::string out;
+  traj::EncodeStore(**snap, &out);
+  return out;
+}
+
+/// Creates `mod` and ingests all of `data` in `batches` FLUSH-acked
+/// batches.
+void Ingest(Server* server, const std::string& mod,
+            const traj::TrajectoryStore& data, size_t batches) {
+  ASSERT_TRUE(server->CreateMod(mod).ok());
+  const size_t n = data.NumTrajectories();
+  const size_t per = (n + batches - 1) / batches;
+  for (size_t lo = 0; lo < n; lo += per) {
+    ASSERT_TRUE(
+        server->EnqueueInsert(mod, Slice(data, lo, lo + per)).ok());
+  }
+  ASSERT_TRUE(server->Flush().ok());
+}
+
+// ---------------------------------------------------------------------------
+// Configuration gates
+// ---------------------------------------------------------------------------
+
+TEST(RecoveryTest, NonDurableServerRejectsCheckpoint) {
+  auto server = std::move(Server::Start(ServerOptions{})).value();
+  auto st = server->Checkpoint();
+  ASSERT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsNotSupported());
+
+  auto table = server->Connect()->Execute("CHECKPOINT;");
+  ASSERT_FALSE(table.ok());
+  EXPECT_TRUE(table.status().IsNotSupported());
+}
+
+// ---------------------------------------------------------------------------
+// WAL replay (no checkpoint): all three movement domains, bit-identical
+// ---------------------------------------------------------------------------
+
+TEST(RecoveryTest, WalReplayRestoresEveryDomainBitIdentical) {
+  auto env = storage::Env::NewMemEnv();
+  const traj::TrajectoryStore aircraft = MakeAircraft(6);
+  const traj::TrajectoryStore maritime = MakeMaritime(6);
+  const traj::TrajectoryStore urban = MakeUrban(6);
+
+  std::string want_air, want_sea, want_road;
+  {
+    auto server = StartDurable(env.get());
+    Ingest(server.get(), "flights", aircraft, 2);
+    Ingest(server.get(), "ships", maritime, 2);
+    Ingest(server.get(), "cars", urban, 2);
+    want_air = Encoded(server.get(), "flights");
+    want_sea = Encoded(server.get(), "ships");
+    want_road = Encoded(server.get(), "cars");
+    ASSERT_FALSE(want_air.empty());
+    // No Checkpoint: everything must come back from the WAL alone.
+  }
+
+  auto restarted = StartDurable(env.get());
+  EXPECT_EQ(Encoded(restarted.get(), "flights"), want_air);
+  EXPECT_EQ(Encoded(restarted.get(), "ships"), want_sea);
+  EXPECT_EQ(Encoded(restarted.get(), "cars"), want_road);
+
+  const ServiceStats stats = restarted->Stats();
+  EXPECT_EQ(stats.mods, 3u);
+  // 3 creates + 6 insert batches, replayed exactly once each.
+  EXPECT_EQ(stats.wal_records_replayed, 9u);
+  EXPECT_EQ(stats.wal_torn_bytes_dropped, 0u);
+
+  // The recovered server is a first-class durable server: ingest more,
+  // restart again, and the chain still replays bit-identically.
+  ASSERT_TRUE(
+      restarted->EnqueueInsert("ships", Slice(maritime, 0, 2)).ok());
+  ASSERT_TRUE(restarted->Flush().ok());
+  const std::string want_sea2 = Encoded(restarted.get(), "ships");
+  restarted.reset();
+
+  auto third = StartDurable(env.get());
+  EXPECT_EQ(Encoded(third.get(), "ships"), want_sea2);
+  EXPECT_EQ(Encoded(third.get(), "flights"), want_air);
+}
+
+TEST(RecoveryTest, DropAndRecreateReplayInLogOrder) {
+  auto env = storage::Env::NewMemEnv();
+  const traj::TrajectoryStore ships = MakeMaritime(6);
+  std::string want;
+  {
+    auto server = StartDurable(env.get());
+    Ingest(server.get(), "m", ships, 1);
+    ASSERT_TRUE(server->DropMod("m").ok());
+    // Recreate with different contents: replay must land on the second
+    // incarnation, not resurrect the first.
+    ASSERT_TRUE(server->CreateMod("m").ok());
+    ASSERT_TRUE(server->EnqueueInsert("m", Slice(ships, 2, 4)).ok());
+    ASSERT_TRUE(server->Flush().ok());
+    want = Encoded(server.get(), "m");
+  }
+  auto restarted = StartDurable(env.get());
+  EXPECT_EQ(Encoded(restarted.get(), "m"), want);
+  auto snap = restarted->SnapshotMod("m");
+  ASSERT_TRUE(snap.ok());
+  EXPECT_EQ((*snap)->NumTrajectories(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoints
+// ---------------------------------------------------------------------------
+
+TEST(RecoveryTest, CheckpointTruncatesWalAndBoundsReplay) {
+  auto env = storage::Env::NewMemEnv();
+  const traj::TrajectoryStore ships = MakeMaritime(8);
+  std::string want;
+  {
+    auto server = StartDurable(env.get());
+    Ingest(server.get(), "ships", ships, 4);
+    ASSERT_TRUE(server->Checkpoint().ok());
+    EXPECT_EQ(server->Stats().checkpoints_taken, 1u);
+
+    // Covered segments are gone; only the fresh one remains.
+    auto segments = wal::ListSegments(env.get(), kWalDir);
+    ASSERT_TRUE(segments.ok());
+    ASSERT_EQ(segments->size(), 1u);
+
+    // Post-checkpoint tail: one more acked batch.
+    ASSERT_TRUE(
+        server->EnqueueInsert("ships", Slice(ships, 0, 3)).ok());
+    ASSERT_TRUE(server->Flush().ok());
+    want = Encoded(server.get(), "ships");
+  }
+
+  auto restarted = StartDurable(env.get());
+  EXPECT_EQ(Encoded(restarted.get(), "ships"), want);
+  // Only the tail replays; the checkpoint carried the rest.
+  EXPECT_EQ(restarted->Stats().wal_records_replayed, 1u);
+
+  // A second checkpoint supersedes the first and cleans its store files.
+  ASSERT_TRUE(restarted->Checkpoint().ok());
+  auto names = env->ListDir(kWalDir);
+  ASSERT_TRUE(names.ok());
+  size_t ckpt_files = 0;
+  for (const std::string& name : *names) {
+    if (name.rfind("ckpt_", 0) == 0) ++ckpt_files;
+  }
+  EXPECT_EQ(ckpt_files, 1u);
+}
+
+TEST(RecoveryTest, CheckpointSqlStatement) {
+  auto env = storage::Env::NewMemEnv();
+  const traj::TrajectoryStore ships = MakeMaritime(6);
+  std::string want;
+  {
+    auto server = StartDurable(env.get());
+    Ingest(server.get(), "ships", ships, 2);
+    auto session = server->Connect();
+    auto ack = session->Execute("CHECKPOINT;");
+    ASSERT_TRUE(ack.ok()) << ack.status().message();
+    EXPECT_EQ(server->Stats().checkpoints_taken, 1u);
+    want = Encoded(server.get(), "ships");
+  }
+  auto restarted = StartDurable(env.get());
+  EXPECT_EQ(Encoded(restarted.get(), "ships"), want);
+  EXPECT_EQ(restarted->Stats().wal_records_replayed, 0u);
+}
+
+TEST(RecoveryTest, QutResultsSurviveCheckpointAndRestart) {
+  const std::string qut = "SELECT QUT(SHIPS, 0, 100000, 600, 2, 3, 400, 0.8);";
+  auto env = storage::Env::NewMemEnv();
+  const traj::TrajectoryStore ships = MakeMaritime(8);
+  sql::Table want;
+  {
+    auto server = StartDurable(env.get());
+    Ingest(server.get(), "ships", ships, 2);
+    auto got = server->Connect()->Execute(qut);
+    ASSERT_TRUE(got.ok()) << got.status().message();
+    want = std::move(got).value();
+    ASSERT_TRUE(server->Checkpoint().ok());  // persists the shared tree
+  }
+  auto restarted = StartDurable(env.get());
+  auto got = restarted->Connect()->Execute(qut);
+  ASSERT_TRUE(got.ok()) << got.status().message();
+  ASSERT_EQ(got->rows.size(), want.rows.size());
+  for (size_t r = 0; r < want.rows.size(); ++r) {
+    ASSERT_EQ(got->rows[r].size(), want.rows[r].size());
+    for (size_t c = 0; c < want.rows[r].size(); ++c) {
+      EXPECT_TRUE(got->rows[r][c] == want.rows[r][c])
+          << "row " << r << " col " << c;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection: torn writes, fsync failure, failed checkpoints
+// ---------------------------------------------------------------------------
+
+TEST(RecoveryTest, TornWalTailIsDroppedNeverHalfApplied) {
+  auto base = storage::Env::NewMemEnv();
+  storage::FaultInjectionEnv faulty(base.get());
+  const traj::TrajectoryStore ships = MakeMaritime(8);
+
+  std::string acked;
+  {
+    auto server = StartDurable(&faulty);
+    Ingest(server.get(), "ships", ships, 1);  // acked batch, durable
+    acked = Encoded(server.get(), "ships");
+
+    // The next batch's WAL append tears after 9 bytes — a crash
+    // mid-write. The batch must NOT be applied (it was never durable,
+    // so applying it would make FLUSH lie after recovery).
+    faulty.set_write_budget(9);
+    ASSERT_TRUE(
+        server->EnqueueInsert("ships", Slice(ships, 0, 4)).ok());
+    ASSERT_TRUE(server->Flush().ok());  // ticket completes: as an error
+    const ServiceStats stats = server->Stats();
+    EXPECT_GE(stats.wal_errors, 1u);
+    EXPECT_GE(stats.ingest_errors, 1u);
+    EXPECT_EQ(Encoded(server.get(), "ships"), acked);  // unchanged
+
+    // The server is read-only now: new ingest fast-fails.
+    auto rejected = server->EnqueueInsert("ships", Slice(ships, 0, 1));
+    ASSERT_FALSE(rejected.ok());
+    EXPECT_TRUE(rejected.status().IsIOError());
+    EXPECT_NE(rejected.status().message().find("read-only"),
+              std::string::npos);
+    // Reads keep working on the durable prefix.
+    EXPECT_TRUE(server->Connect()->Execute("SELECT STATS(SHIPS);").ok());
+  }
+
+  // Recover from the base env: the torn 9-byte tail is dropped by CRC,
+  // the acked prefix is intact, and the server writes again.
+  auto restarted = StartDurable(base.get());
+  EXPECT_EQ(Encoded(restarted.get(), "ships"), acked);
+  EXPECT_EQ(restarted->Stats().wal_torn_bytes_dropped, 9u);
+  ASSERT_TRUE(
+      restarted->EnqueueInsert("ships", Slice(ships, 0, 2)).ok());
+  ASSERT_TRUE(restarted->Flush().ok());
+  auto snap = restarted->SnapshotMod("ships");
+  ASSERT_TRUE(snap.ok());
+  EXPECT_EQ((*snap)->NumTrajectories(), ships.NumTrajectories() + 2);
+}
+
+TEST(RecoveryTest, FsyncFailureMakesServerReadOnly) {
+  auto base = storage::Env::NewMemEnv();
+  storage::FaultInjectionEnv faulty(base.get());
+  const traj::TrajectoryStore ships = MakeMaritime(6);
+
+  auto server = StartDurable(&faulty);
+  Ingest(server.get(), "ships", ships, 1);
+  const std::string acked = Encoded(server.get(), "ships");
+
+  // Group commit's fsync fails: the records' durability is unknowable,
+  // so the drain is rejected whole and the server goes read-only.
+  faulty.set_fail_syncs(true);
+  ASSERT_TRUE(server->EnqueueInsert("ships", Slice(ships, 0, 3)).ok());
+  ASSERT_TRUE(server->Flush().ok());
+  EXPECT_GE(server->Stats().wal_errors, 1u);
+  EXPECT_EQ(Encoded(server.get(), "ships"), acked);
+
+  // Clearing the failpoint does not resurrect it — the durable prefix
+  // froze at the failure; only a restart re-establishes it. DDL is
+  // rejected too.
+  faulty.set_fail_syncs(false);
+  EXPECT_FALSE(server->EnqueueInsert("ships", Slice(ships, 0, 1)).ok());
+  EXPECT_FALSE(server->CreateMod("another").ok());
+  EXPECT_FALSE(server->Checkpoint().ok());
+  server.reset();
+
+  // A failed fsync leaves durability UNKNOWABLE: the appended records
+  // may or may not be on disk (MemEnv persists them, so here they are).
+  // The recovery contract is one-sided — every acked trajectory must
+  // come back; never-acked ones may. The acked prefix must be
+  // bit-identical; the resurrected batch, if present, must be whole.
+  auto restarted = StartDurable(base.get());
+  auto snap = restarted->SnapshotMod("ships");
+  ASSERT_TRUE(snap.ok());
+  const size_t n = ships.NumTrajectories();
+  ASSERT_TRUE((*snap)->NumTrajectories() == n ||
+              (*snap)->NumTrajectories() == n + 3)
+      << (*snap)->NumTrajectories();
+  for (size_t i = 0; i < n; ++i) {
+    std::string got, want;
+    traj::EncodeTrajectory(
+        (*snap)->Get(static_cast<traj::TrajectoryId>(i)), &got);
+    traj::EncodeTrajectory(ships.Get(static_cast<traj::TrajectoryId>(i)),
+                           &want);
+    EXPECT_EQ(got, want) << "trajectory " << i;
+  }
+}
+
+TEST(RecoveryTest, FailedCheckpointLeavesOldManifestInForce) {
+  auto base = storage::Env::NewMemEnv();
+  storage::FaultInjectionEnv faulty(base.get());
+  const traj::TrajectoryStore ships = MakeMaritime(8);
+
+  std::string want;
+  {
+    auto server = StartDurable(&faulty);
+    Ingest(server.get(), "ships", ships, 2);
+    ASSERT_TRUE(server->Checkpoint().ok());
+    ASSERT_TRUE(
+        server->EnqueueInsert("ships", Slice(ships, 0, 3)).ok());
+    ASSERT_TRUE(server->Flush().ok());
+    want = Encoded(server.get(), "ships");
+
+    // Disk full: the second checkpoint cannot write its store blobs.
+    // It must fail without retracting the first checkpoint.
+    faulty.set_write_budget(0);
+    EXPECT_FALSE(server->Checkpoint().ok());
+  }
+
+  // Everything acked before the failed checkpoint recovers from the
+  // old manifest + the WAL tail it still covers.
+  auto restarted = StartDurable(base.get());
+  EXPECT_EQ(Encoded(restarted.get(), "ships"), want);
+}
+
+}  // namespace
+}  // namespace hermes::service

@@ -469,9 +469,14 @@ TEST(ServiceTest, ShutdownRejectsLaterInsertsButKeepsQueries) {
   ASSERT_TRUE(server->RegisterStore("ships", MakeShips(4)).ok());
   auto session = server->Connect();
   server->Shutdown();
-  EXPECT_FALSE(session->Execute("INSERT INTO ships VALUES (9, 0, 0, 0), "
-                                "(9, 60, 10, 0);")
-                   .ok());
+  // A Push racing (or following) Close() gets the distinct Unavailable
+  // code — not ResourceExhausted, which means "queue at capacity" and
+  // would tell a client to retry against a server that is gone.
+  const auto late = session->Execute("INSERT INTO ships VALUES (9, 0, 0, 0), "
+                                     "(9, 60, 10, 0);");
+  ASSERT_FALSE(late.ok());
+  EXPECT_TRUE(late.status().IsUnavailable()) << late.status().ToString();
+  EXPECT_FALSE(late.status().IsResourceExhausted());
   auto stats = session->Execute("SELECT STATS(ships);");
   ASSERT_TRUE(stats.ok());
   EXPECT_EQ(stats->rows[0][0], Value::Int(4));

@@ -406,6 +406,9 @@ class FaultyEnv : public Env {
   Status DeleteFile(const std::string& f) override {
     return base_->DeleteFile(f);
   }
+  Status RenameFile(const std::string& src, const std::string& dst) override {
+    return base_->RenameFile(src, dst);
+  }
   Status CreateDirs(const std::string& d) override {
     return base_->CreateDirs(d);
   }
