@@ -21,6 +21,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -30,6 +31,7 @@
 #include "net/net_server.h"
 #include "service/client_session.h"
 #include "service/server.h"
+#include "sql/statement_executor.h"
 
 namespace {
 
@@ -100,7 +102,10 @@ void RunSweep(benchmark::State& state, bool with_ingest) {
     threads.reserve(clients);
     for (size_t c = 0; c < clients; ++c) {
       threads.emplace_back([&server, &members_sql, &range_sql] {
-        auto session = server->Connect();
+        // Statements travel the backend-neutral executor API, exactly
+        // like the examples and the shard coordinator.
+        std::unique_ptr<sql::StatementExecutor> session =
+            service::MakeStatementExecutor(server->Connect());
         for (int q = 0; q < kQueriesPerClient; ++q) {
           auto table =
               session->Execute(q % 2 == 0 ? members_sql : range_sql);
@@ -213,8 +218,9 @@ double Percentile(std::vector<int64_t>* lat_us, double p) {
 
 /// One sweep point: `connections` TCP clients, each issuing
 /// `requests_per_conn` synchronous round trips (a cheap RANGE, a STATS,
-/// and a PING in rotation — wire overhead dominates, which is what this
-/// bench measures).
+/// and a FLUSH in rotation — wire overhead dominates, which is what this
+/// bench measures). Each connection drives the same
+/// `sql::StatementExecutor` API as every other backend.
 NetRecord RunSocketSweep(uint16_t port, size_t connections,
                          size_t requests_per_conn,
                          const std::string& range_sql) {
@@ -226,7 +232,8 @@ NetRecord RunSocketSweep(uint16_t port, size_t connections,
     threads.emplace_back([&, c] {
       auto client_or = net::Client::Connect("127.0.0.1", port);
       if (!client_or.ok()) return;
-      auto client = std::move(*client_or);
+      std::unique_ptr<sql::StatementExecutor> db =
+          net::MakeStatementExecutor(std::move(*client_or));
       auto& lat = lat_per_conn[c];
       lat.reserve(requests_per_conn);
       for (size_t q = 0; q < requests_per_conn; ++q) {
@@ -234,13 +241,13 @@ NetRecord RunSocketSweep(uint16_t port, size_t connections,
         bool ok = false;
         switch (q % 3) {
           case 0:
-            ok = client->Execute(range_sql).ok();
+            ok = db->Execute(range_sql).ok();
             break;
           case 1:
-            ok = client->Execute("SELECT STATS(ships);").ok();
+            ok = db->Execute("SELECT STATS(ships);").ok();
             break;
           default:
-            ok = client->Ping().ok();
+            ok = db->Flush().ok();
             break;
         }
         if (!ok) return;

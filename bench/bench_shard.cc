@@ -1,0 +1,220 @@
+// Sharded scatter–gather benchmark: the same mixed ingest+query workload
+// against a shard::Coordinator with 1, 2, and 4 shards. "query" mode runs
+// four concurrent sessions sweeping S2T_MEMBERS / RANGE over a quiesced
+// merged snapshot; "mixed" mode streams the back half of the fleet
+// through the routed INSERT path while the readers run. Every sweep
+// point is appended to `BENCH_shard.json` (one record per
+// (mode, shards)), diffed across runs by the CI bench-gate — the
+// scatter/merge overhead a shard adds is exactly what this gate watches.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "datagen/maritime.h"
+#include "service/service_config.h"
+#include "shard/coordinator.h"
+#include "sql/statement_executor.h"
+
+namespace {
+
+using namespace hermes;
+
+int64_t NowUs() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+constexpr size_t kShips = 24;
+constexpr size_t kClients = 4;
+
+traj::TrajectoryStore MakeMod(size_t ships) {
+  datagen::MaritimeScenarioParams p;
+  p.num_ships = ships;
+  p.sample_dt = 300.0;
+  p.seed = 7;
+  auto scenario = datagen::GenerateMaritimeScenario(p);
+  return std::move(scenario->store);
+}
+
+/// One trajectory through the routed statement plane: an
+/// all-placeholder INSERT with typed binds.
+Status InsertTrajectory(sql::StatementExecutor* db,
+                        const traj::Trajectory& t) {
+  std::string text = "INSERT INTO ships VALUES ";
+  std::vector<sql::Value> binds;
+  binds.reserve(t.size() * 4);
+  for (size_t i = 0; i < t.size(); ++i) {
+    const auto& p = t.samples()[i];
+    if (i > 0) text += ", ";
+    text += "($" + std::to_string(4 * i + 1) + ", $" +
+            std::to_string(4 * i + 2) + ", $" + std::to_string(4 * i + 3) +
+            ", $" + std::to_string(4 * i + 4) + ")";
+    binds.push_back(sql::Value::Int(static_cast<int64_t>(t.object_id())));
+    binds.push_back(sql::Value::Double(p.t));
+    binds.push_back(sql::Value::Double(p.x));
+    binds.push_back(sql::Value::Double(p.y));
+  }
+  text += ";";
+  HERMES_ASSIGN_OR_RETURN(sql::PreparedHandle handle, db->Prepare(text));
+  StatusOr<sql::Table> ack = db->BindExecute(handle.id, binds);
+  (void)db->ClosePrepared(handle.id);
+  return ack.status();
+}
+
+struct ShardRecord {
+  std::string mode;  // "query" (quiesced) or "mixed" (ingest running).
+  size_t shards = 0;
+  size_t queries = 0;
+  size_t ingested = 0;
+  double wall_ms = 0.0;
+  double queries_per_sec = 0.0;
+};
+
+std::vector<ShardRecord>& Records() {
+  static auto* records = new std::vector<ShardRecord>();
+  return *records;
+}
+
+/// One sweep: `state.range(0)` shards, `kClients` coordinator sessions
+/// each issuing alternating S2T_MEMBERS / RANGE statements. With
+/// `with_ingest`, the main thread simultaneously streams the back half
+/// of the fleet through the routed INSERT path and flushes.
+void RunSweep(benchmark::State& state, bool with_ingest) {
+  const traj::TrajectoryStore ships = MakeMod(kShips);
+  const auto [t0, t1] = ships.TimeDomain();
+  const size_t shards = static_cast<size_t>(state.range(0));
+  constexpr int kQueriesPerClient = 4;
+  const std::string members_sql = "SELECT S2T_MEMBERS(ships, 800, 1600);";
+  const std::string range_sql = "SELECT RANGE(ships, " + std::to_string(t0) +
+                                ", " + std::to_string(t1 + 1) + ");";
+
+  const size_t initial = with_ingest ? kShips / 2 : kShips;
+  size_t queries = 0;
+  size_t ingested = 0;
+  double wall_ms = 0.0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    service::ServiceConfig config;
+    config.shards = shards;
+    config.threads = 2;
+    auto coord = std::move(shard::Coordinator::Start(config)).value();
+    traj::TrajectoryStore seed;
+    for (traj::TrajectoryId tid = 0; tid < initial; ++tid) {
+      (void)seed.Add(ships.Get(tid));
+    }
+    (void)coord->RegisterStore("ships", std::move(seed));
+    state.ResumeTiming();
+
+    const int64_t start = NowUs();
+    std::vector<std::thread> threads;
+    threads.reserve(kClients);
+    for (size_t c = 0; c < kClients; ++c) {
+      threads.emplace_back([&coord, &members_sql, &range_sql] {
+        auto session = coord->Connect();
+        for (int q = 0; q < kQueriesPerClient; ++q) {
+          auto table =
+              session->Execute(q % 2 == 0 ? members_sql : range_sql);
+          benchmark::DoNotOptimize(table);
+        }
+      });
+    }
+    if (with_ingest) {
+      auto writer = coord->Connect();
+      for (traj::TrajectoryId tid = initial; tid < kShips; ++tid) {
+        (void)InsertTrajectory(writer.get(), ships.Get(tid));
+      }
+      (void)coord->Flush();
+    }
+    for (auto& t : threads) t.join();
+    wall_ms = (NowUs() - start) / 1000.0;
+    queries = kClients * kQueriesPerClient;
+    ingested = coord->Stats().total.trajectories_ingested;
+    state.PauseTiming();
+    coord->Shutdown();
+    state.ResumeTiming();
+  }
+
+  state.counters["shards"] = static_cast<double>(shards);
+  state.counters["queries"] = static_cast<double>(queries);
+  state.counters["ingested"] = static_cast<double>(ingested);
+
+  ShardRecord rec;
+  rec.mode = with_ingest ? "mixed" : "query";
+  rec.shards = shards;
+  rec.queries = queries;
+  rec.ingested = ingested;
+  rec.wall_ms = wall_ms;
+  rec.queries_per_sec = wall_ms > 0 ? queries / (wall_ms / 1000.0) : 0.0;
+  Records().push_back(rec);
+}
+
+void BM_ShardQueryClients(benchmark::State& state) {
+  RunSweep(state, /*with_ingest=*/false);
+}
+
+void BM_ShardMixedClients(benchmark::State& state) {
+  RunSweep(state, /*with_ingest=*/true);
+}
+
+void WriteJson(const char* path) {
+  if (Records().empty()) {
+    // A filtered run that skipped the sweep must not clobber a previous
+    // measurement with an empty baseline.
+    std::fprintf(stderr, "no shard records; leaving %s untouched\n", path);
+    return;
+  }
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return;
+  }
+  // Keep only the final (measured) record per (mode, shards) point.
+  std::vector<ShardRecord> recs;
+  for (const auto& r : Records()) {
+    bool replaced = false;
+    for (auto& kept : recs) {
+      if (kept.mode == r.mode && kept.shards == r.shards) {
+        kept = r;
+        replaced = true;
+        break;
+      }
+    }
+    if (!replaced) recs.push_back(r);
+  }
+  std::fprintf(f, "{\n  \"bench\": \"shard_scatter_gather\",\n  \"runs\": [\n");
+  for (size_t i = 0; i < recs.size(); ++i) {
+    const auto& r = recs[i];
+    std::fprintf(
+        f,
+        "    {\"mode\": \"%s\", \"shards\": %zu, \"queries\": %zu, "
+        "\"ingested\": %zu, \"wall_ms\": %.3f, "
+        "\"queries_per_sec\": %.2f}%s\n",
+        r.mode.c_str(), r.shards, r.queries, r.ingested, r.wall_ms,
+        r.queries_per_sec, i + 1 < recs.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+}
+
+}  // namespace
+
+BENCHMARK(BM_ShardQueryClients)->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+BENCHMARK(BM_ShardMixedClients)->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  WriteJson("BENCH_shard.json");
+  return 0;
+}

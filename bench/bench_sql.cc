@@ -12,26 +12,30 @@
 #include "datagen/noise.h"
 #include "sql/cursor.h"
 #include "sql/executor.h"
+#include "sql/statement_executor.h"
 
 namespace {
 
 using namespace hermes;
 
-sql::Session& SharedSession() {
-  static auto* session = [] {
+// All statement traffic goes through the backend-neutral
+// `sql::StatementExecutor` — what the bench measures is the statement
+// API any backend (embedded, service, shard coordinator, remote) pays.
+sql::StatementExecutor& SharedExecutor() {
+  static auto* executor = [] {
     auto* s = new sql::Session();
     traj::TrajectoryStore lanes = datagen::MakeParallelLanes(
         4, 64, 2000.0, 800.0, 10.0, 10.0, /*seed=*/17, /*jitter=*/1.0);
     (void)s->RegisterStore("lanes", std::move(lanes));
-    return s;
+    return sql::MakeSessionExecutor(s).release();
   }();
-  return *session;
+  return *executor;
 }
 
 void BM_SqlExecuteRange(benchmark::State& state) {
-  sql::Session& session = SharedSession();
+  sql::StatementExecutor& db = SharedExecutor();
   for (auto _ : state) {
-    auto result = session.Execute("SELECT RANGE(lanes, 0, 1000);");
+    auto result = db.Execute("SELECT RANGE(lanes, 0, 1000);");
     if (!result.ok()) state.SkipWithError("RANGE failed");
     benchmark::DoNotOptimize(result);
   }
@@ -39,28 +43,28 @@ void BM_SqlExecuteRange(benchmark::State& state) {
 BENCHMARK(BM_SqlExecuteRange);
 
 void BM_SqlPreparedRange(benchmark::State& state) {
-  sql::Session& session = SharedSession();
-  auto prepared = session.Prepare("SELECT RANGE(lanes, $1, $2);");
+  sql::StatementExecutor& db = SharedExecutor();
+  auto prepared = db.Prepare("SELECT RANGE(lanes, $1, $2);");
   if (!prepared.ok()) {
     state.SkipWithError("prepare failed");
     return;
   }
   for (auto _ : state) {
-    (void)prepared->Bind(1, sql::Value::Double(0.0));
-    (void)prepared->Bind(2, sql::Value::Double(1000.0));
-    auto result = prepared->Execute();
+    auto result = db.BindExecute(
+        prepared->id, {sql::Value::Double(0.0), sql::Value::Double(1000.0)});
     if (!result.ok()) state.SkipWithError("RANGE failed");
     benchmark::DoNotOptimize(result);
   }
+  (void)db.ClosePrepared(prepared->id);
 }
 BENCHMARK(BM_SqlPreparedRange);
 
 // Args: rows fetched before the cursor is dropped.
 void BM_SqlCursorRangeHead(benchmark::State& state) {
-  sql::Session& session = SharedSession();
+  sql::StatementExecutor& db = SharedExecutor();
   const auto head = static_cast<size_t>(state.range(0));
   for (auto _ : state) {
-    auto cursor = session.ExecuteCursor("SELECT RANGE(lanes, 0, 1000);");
+    auto cursor = db.ExecuteCursor("SELECT RANGE(lanes, 0, 1000);");
     if (!cursor.ok()) {
       state.SkipWithError("cursor failed");
       break;

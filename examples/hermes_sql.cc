@@ -16,10 +16,16 @@
 #include "datagen/maritime.h"
 #include "sql/cursor.h"
 #include "sql/executor.h"
+#include "sql/statement_executor.h"
 
 int main(int argc, char** argv) {
   using namespace hermes;
   sql::Session session;
+  // Every statement below travels the backend-neutral
+  // `sql::StatementExecutor` API — the same calls would drive a service
+  // session, a shard coordinator, or a remote `net::Client`.
+  std::unique_ptr<sql::StatementExecutor> db =
+      sql::MakeSessionExecutor(&session);
   int failures = 0;
 
   // Preload a maritime MOD so QUT/S2T have something realistic to chew on.
@@ -54,7 +60,7 @@ int main(int argc, char** argv) {
   };
   for (const char* stmt : script) {
     std::printf("hermes=# %s\n", stmt);
-    auto result = session.Execute(stmt);
+    auto result = db->Execute(stmt);
     if (result.ok()) {
       std::printf("%s\n", result->ToString().c_str());
     } else {
@@ -66,15 +72,15 @@ int main(int argc, char** argv) {
   // Prepared statement: parse `RANGE($1, $2)` once, execute per window —
   // the shape a maintenance loop or bench uses to skip per-call parsing.
   std::printf("hermes=# PREPARE win AS SELECT RANGE(ships, $1, $2);\n");
-  auto prepared = session.Prepare("SELECT RANGE(ships, $1, $2);");
+  auto prepared = db->Prepare("SELECT RANGE(ships, $1, $2);");
   if (!prepared.ok()) {
     std::printf("ERROR: %s\n", prepared.status().ToString().c_str());
     ++failures;
   } else {
     for (double w0 = 0.0; w0 < 3 * 1800.0; w0 += 1800.0) {
-      (void)prepared->Bind(1, sql::Value::Double(w0));
-      (void)prepared->Bind(2, sql::Value::Double(w0 + 1800.0));
-      auto windowed = prepared->Execute();
+      auto windowed = db->BindExecute(
+          prepared->id,
+          {sql::Value::Double(w0), sql::Value::Double(w0 + 1800.0)});
       if (!windowed.ok()) {
         std::printf("ERROR: %s\n", windowed.status().ToString().c_str());
         ++failures;
@@ -83,13 +89,14 @@ int main(int argc, char** argv) {
       std::printf("hermes=# EXECUTE win(%.0f, %.0f); -> %zu ships\n", w0,
                   w0 + 1800.0, windowed->rows.size());
     }
+    (void)db->ClosePrepared(prepared->id);
   }
 
   // Streaming cursor: peel the first rows of a large member listing
   // without materializing the rest.
   std::printf("\nhermes=# DECLARE c CURSOR FOR "
               "SELECT S2T_MEMBERS(ships, 800, 1600); FETCH 5;\n");
-  auto cursor = session.ExecuteCursor("SELECT S2T_MEMBERS(ships, 800, 1600);");
+  auto cursor = db->ExecuteCursor("SELECT S2T_MEMBERS(ships, 800, 1600);");
   if (!cursor.ok()) {
     std::printf("ERROR: %s\n", cursor.status().ToString().c_str());
     ++failures;
@@ -117,7 +124,7 @@ int main(int argc, char** argv) {
       std::printf("hermes=# ");
       if (!std::getline(std::cin, line) || line == "quit") break;
       if (line.empty()) continue;
-      auto result = session.Execute(line);
+      auto result = db->Execute(line);
       if (result.ok()) {
         std::printf("%s\n", result->ToString().c_str());
       } else {

@@ -89,6 +89,12 @@ Status Client::SendPing() {
   return SendRaw(frame.data(), frame.size());
 }
 
+Status Client::SendClosePrepared(uint32_t stmt_id) {
+  std::string frame;
+  AppendClosePreparedFrame(stmt_id, &frame);
+  return SendRaw(frame.data(), frame.size());
+}
+
 StatusOr<Response> Client::ReadResponse() {
   for (;;) {
     std::string body;
@@ -185,6 +191,64 @@ Status Client::Ping() {
     return Status::Corruption("expected PONG response");
   }
   return Status::OK();
+}
+
+Status Client::ClosePrepared(uint32_t stmt_id) {
+  HERMES_RETURN_NOT_OK(SendClosePrepared(stmt_id));
+  HERMES_ASSIGN_OR_RETURN(Response resp, ReadResponse());
+  if (resp.op == Opcode::kError) {
+    return Status(resp.code, resp.message);
+  }
+  if (resp.op != Opcode::kPong) {
+    return Status::Corruption("expected PONG response");
+  }
+  return Status::OK();
+}
+
+namespace {
+
+/// net::Client behind the backend-neutral statement API. The wire
+/// protocol already speaks id-based prepare, so the executor's handles
+/// are the wire statement ids themselves — no translation map needed.
+class ClientExecutor final : public sql::StatementExecutor {
+ public:
+  explicit ClientExecutor(std::unique_ptr<Client> client)
+      : client_(std::move(client)) {}
+
+  StatusOr<sql::Table> Execute(const std::string& sql) override {
+    return client_->Execute(sql);
+  }
+
+  StatusOr<sql::PreparedHandle> Prepare(const std::string& sql) override {
+    const uint32_t id = next_id_++;
+    HERMES_ASSIGN_OR_RETURN(uint16_t num_params, client_->Prepare(id, sql));
+    sql::PreparedHandle handle;
+    handle.id = id;
+    handle.num_params = num_params;
+    return handle;
+  }
+
+  StatusOr<sql::Table> BindExecute(
+      uint32_t id, const std::vector<sql::Value>& binds) override {
+    return client_->BindExecute(id, binds);
+  }
+
+  Status ClosePrepared(uint32_t id) override {
+    return client_->ClosePrepared(id);
+  }
+
+  Status Flush() override { return client_->Flush().status(); }
+
+ private:
+  std::unique_ptr<Client> client_;
+  uint32_t next_id_ = 1;
+};
+
+}  // namespace
+
+std::unique_ptr<sql::StatementExecutor> MakeStatementExecutor(
+    std::unique_ptr<Client> client) {
+  return std::make_unique<ClientExecutor>(std::move(client));
 }
 
 }  // namespace hermes::net

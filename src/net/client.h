@@ -8,6 +8,7 @@
 
 #include "common/statusor.h"
 #include "net/wire.h"
+#include "sql/statement_executor.h"
 #include "sql/value.h"
 
 namespace hermes::net {
@@ -44,6 +45,9 @@ class Client {
   /// Drains the server's async ingest queue (the FLUSH statement).
   StatusOr<sql::Table> Flush();
   Status Ping();
+  /// Drops the statement registered under `stmt_id`; later BindExecute
+  /// calls on it fail with NotFound, exactly like every other backend.
+  Status ClosePrepared(uint32_t stmt_id);
 
   // --- Pipelined halves ---
   Status SendExecute(const std::string& sql);
@@ -52,6 +56,7 @@ class Client {
                          const std::vector<sql::Value>& binds);
   Status SendFlush();
   Status SendPing();
+  Status SendClosePrepared(uint32_t stmt_id);
   /// Writes raw bytes to the socket verbatim — torture-test hook for
   /// malformed frames and deliberately dribbled partial writes.
   Status SendRaw(const void* data, size_t size);
@@ -83,6 +88,14 @@ class Client {
   size_t roff_ = 0;
   int receive_timeout_ms_ = 0;  ///< 0 = no deadline.
 };
+
+/// Wraps a connected wire client in the backend-neutral
+/// `sql::StatementExecutor` interface (owning the client). Prepare maps
+/// directly onto the wire protocol's client-chosen statement ids, so a
+/// remote backend is indistinguishable from an in-process one at the
+/// statement API.
+std::unique_ptr<sql::StatementExecutor> MakeStatementExecutor(
+    std::unique_ptr<Client> client);
 
 }  // namespace hermes::net
 

@@ -35,15 +35,37 @@ bool WouldBlock(int err) { return err == EAGAIN || err == EWOULDBLOCK; }
 // Lifecycle
 // ---------------------------------------------------------------------------
 
-NetServer::NetServer(service::Server* server, NetServerOptions options)
-    : server_(server), options_(std::move(options)) {}
+NetServerOptions MakeNetServerOptions(const service::ServiceConfig& config) {
+  NetServerOptions opts;
+  opts.listen_addr = config.listen_addr;
+  opts.port = config.port;
+  opts.max_frame_bytes =
+      config.max_frame_bytes == 0 ? kMaxFrameBytes : config.max_frame_bytes;
+  opts.backlog = config.backlog;
+  opts.idle_timeout_ms = config.idle_timeout_ms;
+  return opts;
+}
+
+NetServer::NetServer(SessionFactory factory, NetServerOptions options)
+    : factory_(std::move(factory)), options_(std::move(options)) {}
 
 StatusOr<std::unique_ptr<NetServer>> NetServer::Start(
-    service::Server* server, NetServerOptions options) {
-  std::unique_ptr<NetServer> net(new NetServer(server, std::move(options)));
+    SessionFactory factory, NetServerOptions options) {
+  if (!factory) {
+    return Status::InvalidArgument("NetServer requires a session factory");
+  }
+  std::unique_ptr<NetServer> net(
+      new NetServer(std::move(factory), std::move(options)));
   HERMES_RETURN_NOT_OK(net->Listen());
   net->loop_ = std::thread([raw = net.get()] { raw->LoopThread(); });
   return net;
+}
+
+StatusOr<std::unique_ptr<NetServer>> NetServer::Start(
+    service::Server* server, NetServerOptions options) {
+  return Start(
+      [server] { return service::MakeStatementExecutor(server->Connect()); },
+      std::move(options));
 }
 
 Status NetServer::Listen() {
@@ -237,7 +259,7 @@ void NetServer::AcceptReady() {
     setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
     auto conn = std::make_unique<Connection>(fd);
     conn->last_activity = std::chrono::steady_clock::now();
-    conn->session = server_->Connect();
+    conn->session = factory_();
     Connection* raw = conn.get();
     conn->worker = std::thread([this, raw] { WorkerThread(raw); });
     conns_.push_back(std::move(conn));
@@ -397,16 +419,20 @@ void NetServer::HandleRequest(Connection* conn, const StatusOr<Request>& req,
       return;
     }
     case Opcode::kPrepare: {
-      StatusOr<sql::PreparedStatement> prepared =
-          conn->session->Prepare(r.sql);
+      StatusOr<sql::PreparedHandle> prepared = conn->session->Prepare(r.sql);
       if (!prepared.ok()) {
         AppendErrorFrame(prepared.status(), out);
         return;
       }
-      const uint16_t num_params =
-          static_cast<uint16_t>(prepared->num_params());
-      conn->prepared.insert_or_assign(r.stmt_id, std::move(*prepared));
-      AppendPreparedFrame(r.stmt_id, num_params, out);
+      // Re-PREPARE on a wire id replaces the old statement; release the
+      // executor's handle so remote backends can reclaim theirs too.
+      auto it = conn->prepared.find(r.stmt_id);
+      if (it != conn->prepared.end()) {
+        (void)conn->session->ClosePrepared(it->second.id);
+      }
+      conn->prepared.insert_or_assign(r.stmt_id, *prepared);
+      AppendPreparedFrame(r.stmt_id,
+                          static_cast<uint16_t>(prepared->num_params), out);
       return;
     }
     case Opcode::kBindExecute: {
@@ -418,19 +444,30 @@ void NetServer::HandleRequest(Connection* conn, const StatusOr<Request>& req,
             out);
         return;
       }
-      sql::PreparedStatement& ps = it->second;
-      for (size_t i = 0; i < r.binds.size(); ++i) {
-        Status st = ps.Bind(static_cast<int>(i) + 1, r.binds[i]);
-        if (!st.ok()) {
-          AppendErrorFrame(st, out);
-          return;
-        }
-      }
-      StatusOr<sql::Table> result = ps.Execute();
+      StatusOr<sql::Table> result =
+          conn->session->BindExecute(it->second.id, r.binds);
       if (!result.ok()) {
         AppendErrorFrame(result.status(), out);
       } else {
         AppendTableFrame(*result, out);
+      }
+      return;
+    }
+    case Opcode::kClosePrepared: {
+      auto it = conn->prepared.find(r.stmt_id);
+      if (it == conn->prepared.end()) {
+        AppendErrorFrame(
+            Status::NotFound("no prepared statement with id " +
+                             std::to_string(r.stmt_id)),
+            out);
+        return;
+      }
+      const Status st = conn->session->ClosePrepared(it->second.id);
+      conn->prepared.erase(it);
+      if (!st.ok()) {
+        AppendErrorFrame(st, out);
+      } else {
+        AppendPongFrame(out);
       }
       return;
     }

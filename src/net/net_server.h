@@ -6,6 +6,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -15,8 +16,10 @@
 #include "common/mutex.h"
 #include "common/statusor.h"
 #include "net/wire.h"
-#include "service/server.h"
 #include "service/client_session.h"
+#include "service/server.h"
+#include "service/service_config.h"
+#include "sql/statement_executor.h"
 
 namespace hermes::net {
 
@@ -37,9 +40,16 @@ struct NetServerOptions {
   int idle_timeout_ms = 0;
 };
 
-/// \brief TCP front end for `service::Server`: accepts connections,
+/// Projects a validated `service::ServiceConfig`'s network scalars into
+/// the net layer's option struct (`max_frame_bytes == 0` resolves to the
+/// wire protocol's default cap).
+NetServerOptions MakeNetServerOptions(const service::ServiceConfig& config);
+
+/// \brief TCP front end for any statement backend: accepts connections,
 /// decodes wire-protocol frames, and executes them on per-connection
-/// `ClientSession`s.
+/// `sql::StatementExecutor`s produced by a session factory — an
+/// in-process `service::Server` session or a shard coordinator session,
+/// indistinguishable on the wire.
 ///
 /// Threading (see docs/ARCHITECTURE.md "Wire protocol"):
 ///
@@ -48,7 +58,7 @@ struct NetServerOptions {
 ///    fds throughout, with partial reads and short writes resumed on the
 ///    next poll cycle.
 ///  - Each connection owns one worker thread running its
-///    `ClientSession` (the session layer is one-thread-per-client by
+///    statement executor (the session layer is one-thread-per-client by
 ///    contract, like a PostgreSQL backend). The loop hands decoded
 ///    requests to the worker over a small locked queue; the worker
 ///    appends encoded responses to the connection outbox and wakes the
@@ -62,11 +72,19 @@ struct NetServerOptions {
 ///    flushed, then the socket closes; the server and every other
 ///    connection keep running.
 ///
-/// The `service::Server` must outlive the NetServer. Destruction (or
-/// `Shutdown()`) stops accepting, aborts idle workers, finishes the
-/// request each busy worker is executing, and closes every socket.
+/// Whatever backend the factory's executors reference must outlive the
+/// NetServer. Destruction (or `Shutdown()`) stops accepting, aborts idle
+/// workers, finishes the request each busy worker is executing, and
+/// closes every socket.
 class NetServer {
  public:
+  /// Produces one statement executor per accepted connection.
+  using SessionFactory =
+      std::function<std::unique_ptr<sql::StatementExecutor>()>;
+
+  static StatusOr<std::unique_ptr<NetServer>> Start(SessionFactory factory,
+                                                    NetServerOptions options);
+  /// Convenience: front an in-process `service::Server` directly.
   static StatusOr<std::unique_ptr<NetServer>> Start(service::Server* server,
                                                     NetServerOptions options);
   ~NetServer();
@@ -115,12 +133,13 @@ class NetServer {
 
     // --- Worker-thread-only state ---
     std::thread worker;
-    std::unique_ptr<service::ClientSession> session;
-    /// Client-chosen statement ids; re-PREPARE on an id replaces it.
-    std::map<uint32_t, sql::PreparedStatement> prepared;
+    std::unique_ptr<sql::StatementExecutor> session;
+    /// Client-chosen wire statement ids mapped to the executor's own
+    /// handles; re-PREPARE on a wire id replaces (and closes) the old one.
+    std::map<uint32_t, sql::PreparedHandle> prepared;
   };
 
-  NetServer(service::Server* server, NetServerOptions options);
+  NetServer(SessionFactory factory, NetServerOptions options);
 
   Status Listen();
   void LoopThread();
@@ -136,7 +155,7 @@ class NetServer {
   void CloseConnection(Connection* conn);
   void WakeLoop();
 
-  service::Server* server_;
+  SessionFactory factory_;
   NetServerOptions options_;
   uint16_t port_ = 0;
   int listen_fd_ = -1;

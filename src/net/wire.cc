@@ -167,6 +167,13 @@ void AppendPingFrame(std::string* dst) {
   PutFrame(dst, body);
 }
 
+void AppendClosePreparedFrame(uint32_t stmt_id, std::string* dst) {
+  std::string body;
+  body.push_back(static_cast<char>(Opcode::kClosePrepared));
+  PutFixed32(&body, stmt_id);
+  PutFrame(dst, body);
+}
+
 // --- Response encoding ---------------------------------------------------
 
 void AppendTableFrame(const sql::Table& table, std::string* dst) {
@@ -258,6 +265,11 @@ StatusOr<Request> DecodeRequest(const std::string& body) {
     case static_cast<uint8_t>(Opcode::kPing):
       req.op = Opcode::kPing;
       HERMES_RETURN_NOT_OK(r.Finish("PING"));
+      return req;
+    case static_cast<uint8_t>(Opcode::kClosePrepared):
+      req.op = Opcode::kClosePrepared;
+      req.stmt_id = r.ReadU32();
+      HERMES_RETURN_NOT_OK(r.Finish("CLOSE PREPARED"));
       return req;
     default:
       return Status::InvalidArgument("unknown request opcode " +

@@ -31,6 +31,7 @@ namespace hermes::net {
 ///                 bound to $1..$nbinds in order
 ///   kFlush        (empty)                          -- drain async ingest
 ///   kPing         (empty)
+///   kClosePrepared u32 stmt_id                     -- drop a prepared stmt
 ///
 /// Response opcodes (one response per request, in request order —
 /// pipelining-safe):
@@ -38,7 +39,8 @@ namespace hermes::net {
 ///              u8 column type); u32 nrows, nrows × ncols tagged values
 ///   kError     u8 StatusCode + string message
 ///   kPrepared  u32 stmt_id + u16 num_params        (answers kPrepare)
-///   kPong      (empty)                             (answers kPing)
+///   kPong      (empty)                             (answers kPing and
+///              kClosePrepared)
 ///
 /// The protocol is strictly client-speaks-first request/response; the
 /// server never pushes unsolicited frames.
@@ -49,6 +51,7 @@ enum class Opcode : uint8_t {
   kBindExecute = 0x03,
   kFlush = 0x04,
   kPing = 0x05,
+  kClosePrepared = 0x06,
   // Responses.
   kTable = 0x81,
   kError = 0x82,
@@ -66,7 +69,7 @@ inline constexpr uint32_t kMaxFrameBytes = 16u << 20;
 struct Request {
   Opcode op = Opcode::kPing;
   std::string sql;                ///< kExecute / kPrepare.
-  uint32_t stmt_id = 0;           ///< kPrepare / kBindExecute.
+  uint32_t stmt_id = 0;           ///< kPrepare / kBindExecute / kClosePrepared.
   std::vector<sql::Value> binds;  ///< kBindExecute, $1.. in order.
 };
 
@@ -90,6 +93,7 @@ void AppendBindExecuteFrame(uint32_t stmt_id,
                             std::string* dst);
 void AppendFlushFrame(std::string* dst);
 void AppendPingFrame(std::string* dst);
+void AppendClosePreparedFrame(uint32_t stmt_id, std::string* dst);
 
 void AppendTableFrame(const sql::Table& table, std::string* dst);
 void AppendErrorFrame(const Status& status, std::string* dst);

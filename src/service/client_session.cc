@@ -143,43 +143,10 @@ StatusOr<std::unique_ptr<sql::RowCursor>> ClientSession::ExecuteStatement(
 StatusOr<std::unique_ptr<sql::RowCursor>> ClientSession::ExecuteShow(
     const sql::Statement& stmt) {
   if (stmt.setting == "service.stats") {
-    const ServiceStats s = server_->Stats();
     sql::Table table;
     table.columns = {{"counter", sql::ValueType::kString},
                      {"value", sql::ValueType::kInt}};
-    auto row = [&table](const char* name, uint64_t v) {
-      table.rows.push_back(
-          {sql::Value::Str(name), sql::Value::Int(static_cast<int64_t>(v))});
-    };
-    row("sessions_opened", s.sessions_opened);
-    row("sessions_active", s.sessions_active);
-    row("mods", s.mods);
-    row("ingest_queue_depth", s.ingest_queue_depth);
-    row("batches_enqueued", s.batches_enqueued);
-    row("batches_applied", s.batches_applied);
-    row("trajectories_ingested", s.trajectories_ingested);
-    row("ingest_errors", s.ingest_errors);
-    row("flushes", s.flushes);
-    row("snapshots_published", s.snapshots_published);
-    row("tree_catchups", s.tree_catchups);
-    row("arena_epochs_pinned", s.epochs_pinned);
-    row("arena_epoch_pins", s.epoch_pins);
-    row("ingest_split_us", static_cast<uint64_t>(s.ingest_split_us));
-    row("ingest_apply_us", static_cast<uint64_t>(s.ingest_apply_us));
-    row("qut_hot_probes", s.qut_hot_probes);
-    row("qut_cold_probes", s.qut_cold_probes);
-    row("hot_promotions", s.hot_promotions);
-    row("hot_demotions", s.hot_demotions);
-    row("hot_index_bytes", s.hot_index_bytes);
-    row("hot_partitions", s.hot_partitions);
-    row("hot_pins_total", s.hot_pins_total);
-    row("wal_records_appended", s.wal_records_appended);
-    row("wal_bytes_appended", s.wal_bytes_appended);
-    row("wal_syncs", s.wal_syncs);
-    row("wal_errors", s.wal_errors);
-    row("checkpoints_taken", s.checkpoints_taken);
-    row("wal_records_replayed", s.wal_records_replayed);
-    row("wal_torn_bytes_dropped", s.wal_torn_bytes_dropped);
+    AppendServiceStatsRows(server_->Stats(), "", &table);
     return sql::MakeTableCursor(std::move(table));
   }
 
@@ -228,6 +195,41 @@ StatusOr<std::unique_ptr<sql::RowCursor>> ClientSession::ExecuteSelect(
   env.default_epsilon = settings_.Get("hermes.epsilon")->AsDouble();
   env.use_index = settings_.Get("hermes.use_index")->AsInt() != 0;
   return sql::EvalSelectFunction(stmt.function, args, env, at_fn());
+}
+
+namespace {
+
+/// ClientSession behind the backend-neutral statement API. Prepared
+/// statements live in the base-class id map; everything else delegates.
+class ClientSessionExecutor final : public sql::PreparedStatementMapExecutor {
+ public:
+  explicit ClientSessionExecutor(std::unique_ptr<ClientSession> session)
+      : session_(std::move(session)) {}
+
+  StatusOr<sql::Table> Execute(const std::string& sql) override {
+    return session_->Execute(sql);
+  }
+
+  StatusOr<std::unique_ptr<sql::RowCursor>> ExecuteCursor(
+      const std::string& sql) override {
+    return session_->ExecuteCursor(sql);
+  }
+
+ protected:
+  StatusOr<sql::PreparedStatement> PrepareStatement(
+      const std::string& sql) override {
+    return session_->Prepare(sql);
+  }
+
+ private:
+  std::unique_ptr<ClientSession> session_;
+};
+
+}  // namespace
+
+std::unique_ptr<sql::StatementExecutor> MakeStatementExecutor(
+    std::unique_ptr<ClientSession> session) {
+  return std::make_unique<ClientSessionExecutor>(std::move(session));
 }
 
 }  // namespace hermes::service

@@ -12,6 +12,7 @@
 #include "sql/parser.h"
 #include "sql/query_functions.h"
 #include "sql/settings.h"
+#include "sql/statement_executor.h"
 #include "sql/value.h"
 
 namespace hermes::service {
@@ -91,6 +92,13 @@ class ClientSession {
   size_t threads_ = 1;
   std::unique_ptr<exec::ExecContext> exec_;
 };
+
+/// Wraps a connected service session in the backend-neutral
+/// `sql::StatementExecutor` interface (owning the session), so callers —
+/// the shard coordinator, examples, benches — speak one statement API
+/// whether the backend is embedded, in-process service, or remote.
+std::unique_ptr<sql::StatementExecutor> MakeStatementExecutor(
+    std::unique_ptr<ClientSession> session);
 
 }  // namespace hermes::service
 

@@ -27,8 +27,7 @@ Server::Server(ServerOptions options, storage::Env* env)
       std::max<size_t>(options_.threads, 1));
 }
 
-StatusOr<std::unique_ptr<Server>> Server::Start(ServerOptions options,
-                                                storage::Env* env) {
+Status ValidateServerOptions(const ServerOptions& options) {
   if (options.threads > 1024) {
     return Status::InvalidArgument("ServerOptions.threads out of range");
   }
@@ -51,6 +50,12 @@ StatusOr<std::unique_ptr<Server>> Server::Start(ServerOptions options,
     return Status::InvalidArgument(
         "session_defaults.hot_index_budget must be >= 0 bytes");
   }
+  return Status::OK();
+}
+
+StatusOr<std::unique_ptr<Server>> Server::Start(ServerOptions options,
+                                                storage::Env* env) {
+  HERMES_RETURN_NOT_OK(ValidateServerOptions(options));
   auto server = std::unique_ptr<Server>(new Server(std::move(options), env));
   if (server->durable()) {
     // Recovery runs single-threaded, before the worker (or any session)
@@ -535,6 +540,77 @@ ServiceStats Server::Stats() const {
   s.wal_torn_bytes_dropped =
       wal_torn_bytes_dropped_.load(std::memory_order_relaxed);
   return s;
+}
+
+void AccumulateServiceStats(const ServiceStats& s, ServiceStats* total) {
+  total->sessions_opened += s.sessions_opened;
+  total->sessions_active += s.sessions_active;
+  // All shards broadcast DDL, so every shard reports the same catalog;
+  // the aggregate keeps the max rather than multiplying MODs by shards.
+  total->mods = std::max(total->mods, s.mods);
+  total->ingest_queue_depth += s.ingest_queue_depth;
+  total->batches_enqueued += s.batches_enqueued;
+  total->batches_applied += s.batches_applied;
+  total->trajectories_ingested += s.trajectories_ingested;
+  total->ingest_errors += s.ingest_errors;
+  total->flushes += s.flushes;
+  total->snapshots_published += s.snapshots_published;
+  total->tree_catchups += s.tree_catchups;
+  total->epochs_pinned += s.epochs_pinned;
+  total->epoch_pins += s.epoch_pins;
+  total->ingest_split_us += s.ingest_split_us;
+  total->ingest_apply_us += s.ingest_apply_us;
+  total->qut_hot_probes += s.qut_hot_probes;
+  total->qut_cold_probes += s.qut_cold_probes;
+  total->hot_promotions += s.hot_promotions;
+  total->hot_demotions += s.hot_demotions;
+  total->hot_index_bytes += s.hot_index_bytes;
+  total->hot_partitions += s.hot_partitions;
+  total->hot_pins_total += s.hot_pins_total;
+  total->wal_records_appended += s.wal_records_appended;
+  total->wal_bytes_appended += s.wal_bytes_appended;
+  total->wal_syncs += s.wal_syncs;
+  total->wal_errors += s.wal_errors;
+  total->checkpoints_taken += s.checkpoints_taken;
+  total->wal_records_replayed += s.wal_records_replayed;
+  total->wal_torn_bytes_dropped += s.wal_torn_bytes_dropped;
+}
+
+void AppendServiceStatsRows(const ServiceStats& s, const std::string& prefix,
+                            sql::Table* table) {
+  auto row = [table, &prefix](const char* name, uint64_t v) {
+    table->rows.push_back({sql::Value::Str(prefix + name),
+                           sql::Value::Int(static_cast<int64_t>(v))});
+  };
+  row("sessions_opened", s.sessions_opened);
+  row("sessions_active", s.sessions_active);
+  row("mods", s.mods);
+  row("ingest_queue_depth", s.ingest_queue_depth);
+  row("batches_enqueued", s.batches_enqueued);
+  row("batches_applied", s.batches_applied);
+  row("trajectories_ingested", s.trajectories_ingested);
+  row("ingest_errors", s.ingest_errors);
+  row("flushes", s.flushes);
+  row("snapshots_published", s.snapshots_published);
+  row("tree_catchups", s.tree_catchups);
+  row("arena_epochs_pinned", s.epochs_pinned);
+  row("arena_epoch_pins", s.epoch_pins);
+  row("ingest_split_us", static_cast<uint64_t>(s.ingest_split_us));
+  row("ingest_apply_us", static_cast<uint64_t>(s.ingest_apply_us));
+  row("qut_hot_probes", s.qut_hot_probes);
+  row("qut_cold_probes", s.qut_cold_probes);
+  row("hot_promotions", s.hot_promotions);
+  row("hot_demotions", s.hot_demotions);
+  row("hot_index_bytes", s.hot_index_bytes);
+  row("hot_partitions", s.hot_partitions);
+  row("hot_pins_total", s.hot_pins_total);
+  row("wal_records_appended", s.wal_records_appended);
+  row("wal_bytes_appended", s.wal_bytes_appended);
+  row("wal_syncs", s.wal_syncs);
+  row("wal_errors", s.wal_errors);
+  row("checkpoints_taken", s.checkpoints_taken);
+  row("wal_records_replayed", s.wal_records_replayed);
+  row("wal_torn_bytes_dropped", s.wal_torn_bytes_dropped);
 }
 
 }  // namespace hermes::service

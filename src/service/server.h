@@ -96,6 +96,23 @@ struct ServiceStats {
   uint64_t wal_torn_bytes_dropped = 0;
 };
 
+/// Validates an options struct the way `Server::Start` will (threads
+/// range, session-default domains). Shared with `ServiceConfig::Validate`
+/// so a sharded deployment rejects a bad configuration before any shard
+/// spawns.
+Status ValidateServerOptions(const ServerOptions& options);
+
+/// Folds `s` into `*total` field-by-field — the shard coordinator's
+/// `SHOW SERVICE STATS` aggregation (gauges like `ingest_queue_depth`
+/// sum too: the total is "pending anywhere").
+void AccumulateServiceStats(const ServiceStats& s, ServiceStats* total);
+
+/// Appends the `SHOW SERVICE STATS` counter rows to a (counter, value)
+/// table, each name prefixed with `prefix` ("" for the flat unsharded
+/// listing, "shard0." etc. for per-shard breakdown rows).
+void AppendServiceStatsRows(const ServiceStats& s, const std::string& prefix,
+                            sql::Table* table);
+
 /// \brief The multi-session service: a shared catalog of MODs, a
 /// background ingest worker, and a factory for `ClientSession`s.
 ///

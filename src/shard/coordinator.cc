@@ -1,0 +1,653 @@
+#include "shard/coordinator.h"
+
+#include <algorithm>
+#include <thread>
+#include <utility>
+
+#include "service/client_session.h"
+#include "sql/parser.h"
+#include "sql/query_functions.h"
+#include "sql/settings.h"
+
+namespace hermes::shard {
+
+namespace {
+
+Status ShardError(size_t k, const Status& st) {
+  return Status(st.code(),
+                "shard " + std::to_string(k) + ": " + st.message());
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Lifecycle
+// ---------------------------------------------------------------------------
+
+Coordinator::Coordinator(service::ServiceConfig config, storage::Env* env,
+                         std::unique_ptr<Partitioner> partitioner)
+    : config_(std::move(config)), partitioner_(std::move(partitioner)) {
+  if (env == nullptr) {
+    owned_env_ = storage::Env::NewMemEnv();
+    env = owned_env_.get();
+  }
+  env_ = env;
+  if (config_.threads > 1) {
+    exec_ = std::make_unique<exec::ExecContext>(config_.threads);
+  }
+}
+
+StatusOr<std::unique_ptr<Coordinator>> Coordinator::Start(
+    service::ServiceConfig config, storage::Env* env,
+    std::unique_ptr<Partitioner> partitioner) {
+  HERMES_RETURN_NOT_OK(config.Validate());
+  if (partitioner == nullptr) partitioner = MakeHashPartitioner();
+  std::unique_ptr<Coordinator> coord(
+      new Coordinator(std::move(config), env, std::move(partitioner)));
+  for (size_t k = 0; k < coord->config_.shards; ++k) {
+    StatusOr<std::unique_ptr<service::Server>> shard =
+        service::Server::Start(coord->config_.ShardServerOptions(k),
+                               coord->env_);
+    if (!shard.ok()) {
+      // Atomic startup: naming the failing shard, and unwinding the
+      // already-started ones (the coordinator destructor shuts them
+      // down), so a half-started topology never escapes.
+      return ShardError(k, shard.status());
+    }
+    coord->shards_.push_back(std::move(*shard));
+  }
+  return coord;
+}
+
+Coordinator::~Coordinator() { Shutdown(); }
+
+void Coordinator::Shutdown() {
+  {
+    common::MutexLock lock(&shutdown_mu_);
+    if (shut_down_) return;
+    shut_down_ = true;
+  }
+  for (auto& shard : shards_) shard->Shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// Data plane: routing, flush, stats
+// ---------------------------------------------------------------------------
+
+Status Coordinator::RegisterStore(const std::string& name,
+                                  traj::TrajectoryStore store) {
+  const size_t n = shards_.size();
+  std::vector<traj::TrajectoryStore> parts(n);
+  for (traj::TrajectoryId i = 0; i < store.NumTrajectories(); ++i) {
+    const traj::Trajectory& t = store.Get(i);
+    const size_t k = partitioner_->ShardOf(t.object_id(), n);
+    StatusOr<traj::TrajectoryId> added = parts[k].Add(t);
+    if (!added.ok()) return added.status();
+  }
+  // Every shard gets the MOD — possibly empty — so broadcast DDL and
+  // scattered queries never see a partial catalog.
+  for (size_t k = 0; k < n; ++k) {
+    Status st = shards_[k]->RegisterStore(name, std::move(parts[k]));
+    if (!st.ok()) return ShardError(k, st);
+  }
+  return Status::OK();
+}
+
+StatusOr<std::pair<size_t, size_t>> Coordinator::LoadMod(
+    const std::string& name, const std::string& path) {
+  traj::TrajectoryStore loaded;
+  HERMES_RETURN_NOT_OK(loaded.LoadCsv(path));
+  const std::string canonical = sql::CanonicalModName(name);
+  // Create-if-absent, in lockstep: the MOD exists on all shards or none.
+  if (!shards_[0]->SnapshotMod(canonical).ok()) {
+    for (size_t k = 0; k < shards_.size(); ++k) {
+      Status st = shards_[k]->CreateMod(canonical);
+      if (!st.ok()) return ShardError(k, st);
+    }
+  }
+  std::vector<std::vector<traj::Trajectory>> batches(shards_.size());
+  for (traj::TrajectoryId i = 0; i < loaded.NumTrajectories(); ++i) {
+    const traj::Trajectory& t = loaded.Get(i);
+    batches[partitioner_->ShardOf(t.object_id(), shards_.size())].push_back(t);
+  }
+  for (size_t k = 0; k < shards_.size(); ++k) {
+    if (batches[k].empty()) continue;
+    StatusOr<uint64_t> ticket =
+        shards_[k]->EnqueueInsert(canonical, std::move(batches[k]));
+    if (!ticket.ok()) return ShardError(k, ticket.status());
+  }
+  // LOAD acks with post-load totals, so make the rows visible first.
+  HERMES_RETURN_NOT_OK(Flush());
+  HERMES_ASSIGN_OR_RETURN(std::shared_ptr<const traj::TrajectoryStore> snap,
+                          GatherSnapshot(canonical));
+  return std::make_pair(snap->NumTrajectories(), snap->NumPoints());
+}
+
+Status Coordinator::Flush() {
+  for (size_t k = 0; k < shards_.size(); ++k) {
+    Status st = shards_[k]->Flush();
+    if (!st.ok()) return ShardError(k, st);
+  }
+  return Status::OK();
+}
+
+CoordinatorStats Coordinator::Stats() const {
+  CoordinatorStats cs;
+  cs.per_shard.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    cs.per_shard.push_back(shard->Stats());
+    service::AccumulateServiceStats(cs.per_shard.back(), &cs.total);
+  }
+  return cs;
+}
+
+// ---------------------------------------------------------------------------
+// Merged snapshots (the determinism keystone — see the class comment)
+// ---------------------------------------------------------------------------
+
+StatusOr<std::vector<std::shared_ptr<const traj::TrajectoryStore>>>
+Coordinator::ShardSnapshots(const std::string& canonical) const {
+  std::vector<std::shared_ptr<const traj::TrajectoryStore>> snaps;
+  snaps.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    // Errors pass through unprefixed: "no MOD named X" must read the
+    // same sharded and unsharded (the catalogs move in lockstep, so a
+    // miss is never specific to one shard).
+    HERMES_ASSIGN_OR_RETURN(auto snap, shard->SnapshotMod(canonical));
+    snaps.push_back(std::move(snap));
+  }
+  return snaps;
+}
+
+std::shared_ptr<Coordinator::MergedMod> Coordinator::FindOrCreateMerged(
+    const std::string& canonical) {
+  common::MutexLock lock(&merged_mu_);
+  auto it = merged_.find(canonical);
+  if (it == merged_.end()) {
+    it = merged_.emplace(canonical, std::make_shared<MergedMod>()).first;
+  }
+  return it->second;
+}
+
+Status Coordinator::RebuildMerged(
+    MergedMod* mm,
+    std::vector<std::shared_ptr<const traj::TrajectoryStore>> snaps) {
+  // Canonical order: ascending object id, stable within an object. An
+  // object lives entirely on one shard (the partitioner is a pure
+  // function of its id), so the stable sort preserves each object's
+  // shard-local — i.e. ingest — order, and the merge is a pure function
+  // of the data, not of the shard count.
+  struct Entry {
+    traj::ObjectId object;
+    size_t shard;
+    traj::TrajectoryId idx;
+  };
+  std::vector<Entry> entries;
+  for (size_t k = 0; k < snaps.size(); ++k) {
+    for (traj::TrajectoryId i = 0; i < snaps[k]->NumTrajectories(); ++i) {
+      entries.push_back({snaps[k]->Get(i).object_id(), k, i});
+    }
+  }
+  std::stable_sort(entries.begin(), entries.end(),
+                   [](const Entry& a, const Entry& b) {
+                     return a.object < b.object;
+                   });
+  traj::TrajectoryStore merged;
+  for (const Entry& e : entries) {
+    StatusOr<traj::TrajectoryId> added =
+        merged.Add(snaps[e.shard]->Get(e.idx));
+    if (!added.ok()) return added.status();
+  }
+  mm->merged =
+      std::make_shared<const traj::TrajectoryStore>(std::move(merged));
+  mm->sources = std::move(snaps);
+  // The old tree indexed the old merge; drop it so QUT rebuilds.
+  mm->tree.reset();
+  mm->tree_params.clear();
+  mm->tree_store.reset();
+  return Status::OK();
+}
+
+StatusOr<std::shared_ptr<const traj::TrajectoryStore>>
+Coordinator::GatherSnapshot(const std::string& name) {
+  const std::string canonical = sql::CanonicalModName(name);
+  HERMES_ASSIGN_OR_RETURN(auto snaps, ShardSnapshots(canonical));
+  std::shared_ptr<MergedMod> mm = FindOrCreateMerged(canonical);
+  {
+    // Fast path: every shard still publishes the snapshot the cache was
+    // merged from (pointer identity; `sources` holds them shared, so a
+    // pointer can never be recycled while we compare against it).
+    common::ReaderMutexLock rlock(&mm->mu);
+    if (mm->sources == snaps) return mm->merged;
+  }
+  common::WriterMutexLock wlock(&mm->mu);
+  if (mm->sources != snaps) {
+    HERMES_RETURN_NOT_OK(RebuildMerged(mm.get(), std::move(snaps)));
+  }
+  return mm->merged;
+}
+
+// ---------------------------------------------------------------------------
+// QUT over the merged tree
+// ---------------------------------------------------------------------------
+
+StatusOr<std::unique_ptr<sql::RowCursor>> Coordinator::QutQuery(
+    const std::string& name, double wi, double we,
+    const std::vector<double>& tree_params, exec::ExecStats* session_stats) {
+  if (tree_params.size() != 5) {
+    return Status::InvalidArgument(
+        "QUT tree params must be (tau, delta, t, d, gamma), got " +
+        std::to_string(tree_params.size()) + " value(s)");
+  }
+  // Refreshes the merged cache as a side effect, so the tree-freshness
+  // check below compares against the *current* merge.
+  HERMES_ASSIGN_OR_RETURN(std::shared_ptr<const traj::TrajectoryStore> snap,
+                          GatherSnapshot(name));
+  std::shared_ptr<MergedMod> mm =
+      FindOrCreateMerged(sql::CanonicalModName(name));
+  {
+    common::ReaderMutexLock rlock(&mm->mu);
+    if (mm->tree != nullptr && mm->tree_params == tree_params &&
+        mm->tree_store == mm->merged) {
+      return sql::QutQuery(mm->tree.get(), wi, we, session_stats);
+    }
+  }
+  common::WriterMutexLock wlock(&mm->mu);
+  (void)snap;  // Pinned so the gathered merge outlives the re-check above.
+  if (mm->tree == nullptr || mm->tree_params != tree_params ||
+      mm->tree_store != mm->merged) {
+    // Unlike the per-shard trees there is no incremental catch-up here:
+    // a changed merge can interleave *earlier* object ids, so the tree
+    // is rebuilt from the merged snapshot wholesale.
+    const core::ReTraTreeParams params = sql::MakeQutTreeParams(tree_params);
+    const std::string dir = config_.data_dir + "/coord_" +
+                            sql::CanonicalModName(name) + "_tree_" +
+                            std::to_string(mm->tree_seq++);
+    mm->tree.reset();
+    mm->tree_params.clear();
+    mm->tree_store.reset();
+    HERMES_ASSIGN_OR_RETURN(
+        mm->tree, core::ReTraTree::Open(env_, dir, params, exec_.get()));
+    mm->tree->SetHotIndexBudget(
+        static_cast<size_t>(config_.session_defaults.hot_index_budget));
+    Status st = mm->tree->InsertBatch(*mm->merged, exec_.get());
+    if (!st.ok()) {
+      mm->tree.reset();
+      return st;
+    }
+    mm->tree_params = tree_params;
+    mm->tree_store = mm->merged;
+  }
+  return sql::QutQuery(mm->tree.get(), wi, we, session_stats);
+}
+
+// ---------------------------------------------------------------------------
+// CoordinatorSession: the statement plane
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// One client's statement session against the coordinator: its own
+/// settings / exec context / stats (mirroring `service::ClientSession`),
+/// plus one `StatementExecutor` per shard — the *only* channel the
+/// scatter, route, and broadcast paths use to reach a shard, so swapping
+/// an in-process shard session for a remote `net::Client` executor
+/// changes nothing above this line.
+class CoordinatorSession final : public sql::PreparedStatementMapExecutor {
+ public:
+  explicit CoordinatorSession(Coordinator* coord) : coord_(coord) {
+    for (size_t k = 0; k < coord_->num_shards(); ++k) {
+      shards_.push_back(
+          service::MakeStatementExecutor(coord_->shard(k)->Connect()));
+    }
+    (void)sql::RegisterHermesSettings(
+        &settings_, coord_->config().session_defaults, [this](size_t n) {
+          if (n != threads_) {
+            threads_ = n;
+            sql::SwapExecContext(n, &exec_, &session_stats_);
+          }
+          return Status::OK();
+        });
+    threads_ =
+        static_cast<size_t>(coord_->config().session_defaults.threads);
+    if (threads_ > 1) exec_ = std::make_unique<exec::ExecContext>(threads_);
+  }
+
+  StatusOr<sql::Table> Execute(const std::string& sql) override {
+    HERMES_ASSIGN_OR_RETURN(std::unique_ptr<sql::RowCursor> cursor,
+                            ExecuteCursor(sql));
+    return cursor->ToTable();
+  }
+
+  StatusOr<std::unique_ptr<sql::RowCursor>> ExecuteCursor(
+      const std::string& sql) override {
+    HERMES_ASSIGN_OR_RETURN(sql::Statement stmt, sql::ParseStatement(sql));
+    if (stmt.num_params > 0) {
+      return Status::InvalidArgument(
+          "statement has $N placeholders; use Prepare and Bind");
+    }
+    return ExecuteStatement(stmt, {}, sql);
+  }
+
+ protected:
+  StatusOr<sql::PreparedStatement> PrepareStatement(
+      const std::string& sql) override {
+    HERMES_ASSIGN_OR_RETURN(sql::Statement stmt, sql::ParseStatement(sql));
+    // The runner keeps the statement *text*: scatter paths re-prepare it
+    // on each shard and bind there, so `$N` values round-trip typed
+    // (never through string formatting).
+    return sql::PreparedStatement(
+        std::move(stmt),
+        [this, sql](const sql::Statement& s,
+                    const std::vector<sql::Value>& b) {
+          return ExecuteStatement(s, b, sql);
+        });
+  }
+
+ private:
+  using ShardCall = std::function<StatusOr<sql::Table>(size_t)>;
+
+  /// Runs `call(k)` for every listed shard concurrently (shard 0's slot
+  /// inline, the rest on threads) and gathers results in *shard order* —
+  /// arrival order never leaks into result assembly.
+  std::vector<StatusOr<sql::Table>> FanOut(const std::vector<size_t>& ks,
+                                           const ShardCall& call) {
+    std::vector<StatusOr<sql::Table>> results(
+        ks.size(), StatusOr<sql::Table>(Status::Internal("shard not run")));
+    std::vector<std::thread> threads;
+    threads.reserve(ks.size() > 0 ? ks.size() - 1 : 0);
+    for (size_t i = 1; i < ks.size(); ++i) {
+      threads.emplace_back(
+          [&, i] { results[i] = call(ks[i]); });
+    }
+    if (!ks.empty()) results[0] = call(ks[0]);
+    for (auto& t : threads) t.join();
+    return results;
+  }
+
+  /// Executes `text` on shard `k` through its statement executor; with
+  /// binds it takes the PREPARE / BIND+EXECUTE path (typed values on the
+  /// wire, exact double round-trip).
+  StatusOr<sql::Table> ExecOnShard(size_t k, const std::string& text,
+                                   const std::vector<sql::Value>& binds) {
+    sql::StatementExecutor* ex = shards_[k].get();
+    if (binds.empty()) return ex->Execute(text);
+    HERMES_ASSIGN_OR_RETURN(sql::PreparedHandle handle, ex->Prepare(text));
+    StatusOr<sql::Table> result = ex->BindExecute(handle.id, binds);
+    (void)ex->ClosePrepared(handle.id);
+    return result;
+  }
+
+  /// Broadcasts one statement to every shard; first (lowest-index)
+  /// error wins, else shard 0's table — identical on all shards for the
+  /// DDL / FLUSH / CHECKPOINT statements that take this path.
+  StatusOr<std::unique_ptr<sql::RowCursor>> Broadcast(
+      const std::string& text, const std::vector<sql::Value>& binds) {
+    std::vector<size_t> ks(coord_->num_shards());
+    for (size_t k = 0; k < ks.size(); ++k) ks[k] = k;
+    std::vector<StatusOr<sql::Table>> results = FanOut(
+        ks, [&](size_t k) { return ExecOnShard(k, text, binds); });
+    for (auto& r : results) {
+      if (!r.ok()) return r.status();
+    }
+    return sql::MakeTableCursor(std::move(*results[0]));
+  }
+
+  StatusOr<std::unique_ptr<sql::RowCursor>> ExecuteStatement(
+      const sql::Statement& stmt, const std::vector<sql::Value>& binds,
+      const std::string& text) {
+    using Kind = sql::Statement::Kind;
+    switch (stmt.kind) {
+      // DDL and barriers broadcast: every shard's catalog moves in
+      // lockstep, which is what lets every other path assume a MOD
+      // exists on all shards or none.
+      case Kind::kCreateMod:
+      case Kind::kDropMod:
+      case Kind::kFlush:
+      case Kind::kCheckpoint:
+        return Broadcast(text, binds);
+      case Kind::kLoadMod: {
+        HERMES_ASSIGN_OR_RETURN(auto totals,
+                                coord_->LoadMod(stmt.mod, stmt.path));
+        sql::Table table;
+        table.columns = {{"status", sql::ValueType::kString},
+                         {"trajectories", sql::ValueType::kInt},
+                         {"points", sql::ValueType::kInt}};
+        table.rows = {
+            {sql::Value::Str("LOAD " + stmt.mod),
+             sql::Value::Int(static_cast<int64_t>(totals.first)),
+             sql::Value::Int(static_cast<int64_t>(totals.second))}};
+        return sql::MakeTableCursor(std::move(table));
+      }
+      case Kind::kInsert:
+        return ExecuteInsert(stmt, binds);
+      case Kind::kSet: {
+        HERMES_ASSIGN_OR_RETURN(sql::Value v,
+                                sql::EvalScalar(stmt.set_value, binds));
+        Status st = settings_.Set(stmt.setting, std::move(v));
+        if (!st.ok()) {
+          return Status(st.code(),
+                        st.message() +
+                            sql::ErrorLocation(stmt.setting_pos,
+                                               stmt.setting));
+        }
+        HERMES_ASSIGN_OR_RETURN(sql::Value stored,
+                                settings_.Get(stmt.setting));
+        return sql::MakeTableCursor(sql::AckTable(
+            "SET " + stmt.setting + " = " + stored.ToString()));
+      }
+      case Kind::kShow:
+        return ExecuteShow(stmt);
+      case Kind::kSelect:
+        return ExecuteSelect(stmt, binds, text);
+    }
+    return Status::Internal("unreachable");
+  }
+
+  StatusOr<std::unique_ptr<sql::RowCursor>> ExecuteInsert(
+      const sql::Statement& stmt, const std::vector<sql::Value>& binds) {
+    // Route each (obj, t, x, y) row to the shard owning its object, then
+    // re-issue one INSERT per involved shard through the statement
+    // plane: an all-placeholder body bound to the evaluated values, so
+    // doubles round-trip exactly. Row order is preserved per shard, and
+    // both sides group rows per object in ascending id order
+    // (`BuildInsertTrajectories`), so the merge reproduces the
+    // unsharded statement's trajectories bit-for-bit.
+    const size_t n = coord_->num_shards();
+    std::vector<std::string> texts(n);
+    std::vector<std::vector<sql::Value>> shard_binds(n);
+    for (const auto& row : stmt.rows) {
+      HERMES_ASSIGN_OR_RETURN(double obj, sql::EvalNumber(row[0], binds));
+      const size_t k = coord_->partitioner().ShardOf(
+          static_cast<traj::ObjectId>(obj), n);
+      std::string& text = texts[k];
+      std::vector<sql::Value>& vals = shard_binds[k];
+      text += text.empty() ? "INSERT INTO " + stmt.mod + " VALUES (" : ", (";
+      for (int c = 0; c < 4; ++c) {
+        HERMES_ASSIGN_OR_RETURN(sql::Value v, sql::EvalScalar(row[c], binds));
+        vals.push_back(std::move(v));
+        text += "$" + std::to_string(vals.size());
+        text += c < 3 ? ", " : ")";
+      }
+    }
+    std::vector<size_t> ks;
+    for (size_t k = 0; k < n; ++k) {
+      if (!texts[k].empty()) ks.push_back(k);
+    }
+    std::vector<StatusOr<sql::Table>> results = FanOut(ks, [&](size_t k) {
+      return ExecOnShard(k, texts[k] + ";", shard_binds[k]);
+    });
+    int64_t queued = 0;
+    int64_t ticket = 0;
+    for (size_t i = 0; i < results.size(); ++i) {
+      if (!results[i].ok()) return ShardError(ks[i], results[i].status());
+      // Per-shard ack: (status, trajectories_queued, ticket).
+      queued += results[i]->rows[0][1].AsInt();
+      ticket = std::max(ticket, results[i]->rows[0][2].AsInt());
+    }
+    sql::Table table;
+    table.columns = {{"status", sql::ValueType::kString},
+                     {"trajectories_queued", sql::ValueType::kInt},
+                     {"ticket", sql::ValueType::kInt}};
+    table.rows = {{sql::Value::Str("QUEUE INSERT " + stmt.mod),
+                   sql::Value::Int(queued), sql::Value::Int(ticket)}};
+    return sql::MakeTableCursor(std::move(table));
+  }
+
+  StatusOr<std::unique_ptr<sql::RowCursor>> ExecuteShow(
+      const sql::Statement& stmt) {
+    if (stmt.setting == "service.stats") {
+      const CoordinatorStats cs = coord_->Stats();
+      sql::Table table;
+      table.columns = {{"counter", sql::ValueType::kString},
+                       {"value", sql::ValueType::kInt}};
+      table.rows.push_back(
+          {sql::Value::Str("shards"),
+           sql::Value::Int(static_cast<int64_t>(coord_->num_shards()))});
+      service::AppendServiceStatsRows(cs.total, "", &table);
+      for (size_t k = 0; k < cs.per_shard.size(); ++k) {
+        service::AppendServiceStatsRows(
+            cs.per_shard[k], "shard" + std::to_string(k) + ".", &table);
+      }
+      return sql::MakeTableCursor(std::move(table));
+    }
+    if (stmt.setting == "stats") {
+      return sql::MakeTableCursor(
+          sql::PhaseStatsTable(session_stats_, exec_.get()));
+    }
+    HERMES_ASSIGN_OR_RETURN(sql::Table table,
+                            sql::SettingsShowTable(settings_, stmt));
+    return sql::MakeTableCursor(std::move(table));
+  }
+
+  StatusOr<std::unique_ptr<sql::RowCursor>> ExecuteSelect(
+      const sql::Statement& stmt, const std::vector<sql::Value>& binds,
+      const std::string& text) {
+    HERMES_ASSIGN_OR_RETURN(std::string mod,
+                            sql::ResolveSelectModName(stmt, binds));
+    const std::string at =
+        sql::ErrorLocation(stmt.function_pos, stmt.function);
+    std::vector<double> args;
+    args.reserve(stmt.args.size());
+    for (const auto& arg : stmt.args) {
+      HERMES_ASSIGN_OR_RETURN(double v, sql::EvalNumber(arg, binds));
+      args.push_back(v);
+    }
+
+    if (stmt.function == "QUT") {
+      if (args.size() != 7) {
+        return Status::InvalidArgument(
+            "QUT(D, Wi, We, tau, delta, t, d, gamma) takes 7 numbers" + at);
+      }
+      const std::vector<double> tree_params(args.begin() + 2, args.end());
+      return coord_->QutQuery(mod, args[0], args[1], tree_params,
+                              &session_stats_);
+    }
+    // RANGE and STATS decompose per shard: scatter–gather.
+    if (stmt.function == "RANGE") return ScatterRange(text, binds);
+    if (stmt.function == "STATS") return ScatterStats(text, binds);
+
+    // Clustering analytics (S2T, S2T_MEMBERS, TRACLUS, TOPTICS,
+    // CONVOYS) are global — a cluster may span shards — so they
+    // evaluate on the merged snapshot, which is bit-identical for any
+    // shard count.
+    HERMES_ASSIGN_OR_RETURN(std::shared_ptr<const traj::TrajectoryStore> snap,
+                            coord_->GatherSnapshot(mod));
+    sql::QueryEnv env;
+    env.store = std::move(snap);
+    env.exec = exec_.get();
+    env.session_stats = &session_stats_;
+    env.default_sigma = settings_.Get("hermes.sigma")->AsDouble();
+    env.default_epsilon = settings_.Get("hermes.epsilon")->AsDouble();
+    env.use_index = settings_.Get("hermes.use_index")->AsInt() != 0;
+    return sql::EvalSelectFunction(stmt.function, args, env, at);
+  }
+
+  /// Scatters the statement to every shard and merges row-wise: shard
+  /// tables concatenate in shard order, then a stable sort on the
+  /// object-id key (column 0) restores the canonical order — the same
+  /// order the merged snapshot would produce, never arrival order.
+  StatusOr<std::unique_ptr<sql::RowCursor>> ScatterRange(
+      const std::string& text, const std::vector<sql::Value>& binds) {
+    HERMES_ASSIGN_OR_RETURN(std::vector<sql::Table> tables,
+                            Scatter(text, binds));
+    sql::Table merged = std::move(tables[0]);
+    for (size_t k = 1; k < tables.size(); ++k) {
+      for (auto& row : tables[k].rows) merged.rows.push_back(std::move(row));
+    }
+    std::stable_sort(merged.rows.begin(), merged.rows.end(),
+                     [](const std::vector<sql::Value>& a,
+                        const std::vector<sql::Value>& b) {
+                       return a[0].AsInt() < b[0].AsInt();
+                     });
+    return sql::MakeTableCursor(std::move(merged));
+  }
+
+  /// Scatters STATS and folds the per-shard aggregates exactly: counts
+  /// sum, domains min/max. Empty shards are skipped — their (0, 0)
+  /// domain sentinels would otherwise poison the min/max.
+  StatusOr<std::unique_ptr<sql::RowCursor>> ScatterStats(
+      const std::string& text, const std::vector<sql::Value>& binds) {
+    HERMES_ASSIGN_OR_RETURN(std::vector<sql::Table> tables,
+                            Scatter(text, binds));
+    // Columns: trajectories, points, segments, t_min, t_max, x_min,
+    // x_max, y_min, y_max.
+    sql::Table merged = tables[0];
+    std::vector<sql::Value>& total = merged.rows[0];
+    bool seeded = total[0].AsInt() > 0;
+    for (size_t k = 1; k < tables.size(); ++k) {
+      const std::vector<sql::Value>& row = tables[k].rows[0];
+      if (row[0].AsInt() == 0) continue;
+      if (!seeded) {
+        total = row;
+        seeded = true;
+        continue;
+      }
+      for (int c = 0; c < 3; ++c) {
+        total[c] = sql::Value::Int(total[c].AsInt() + row[c].AsInt());
+      }
+      for (int c : {3, 5, 7}) {  // t_min, x_min, y_min
+        total[c] = sql::Value::Double(
+            std::min(total[c].AsDouble(), row[c].AsDouble()));
+      }
+      for (int c : {4, 6, 8}) {  // t_max, x_max, y_max
+        total[c] = sql::Value::Double(
+            std::max(total[c].AsDouble(), row[c].AsDouble()));
+      }
+    }
+    return sql::MakeTableCursor(std::move(merged));
+  }
+
+  /// Fans one statement out to every shard; fails on the first
+  /// (lowest-index) shard error, unprefixed — scattered statements fail
+  /// identically on every shard (lockstep catalogs, same validation).
+  StatusOr<std::vector<sql::Table>> Scatter(
+      const std::string& text, const std::vector<sql::Value>& binds) {
+    std::vector<size_t> ks(coord_->num_shards());
+    for (size_t k = 0; k < ks.size(); ++k) ks[k] = k;
+    std::vector<StatusOr<sql::Table>> results = FanOut(
+        ks, [&](size_t k) { return ExecOnShard(k, text, binds); });
+    std::vector<sql::Table> tables;
+    tables.reserve(results.size());
+    for (auto& r : results) {
+      if (!r.ok()) return r.status();
+      tables.push_back(std::move(*r));
+    }
+    return tables;
+  }
+
+  Coordinator* coord_;
+  std::vector<std::unique_ptr<sql::StatementExecutor>> shards_;
+  sql::Settings settings_;
+  exec::ExecStats session_stats_;
+  size_t threads_ = 1;
+  std::unique_ptr<exec::ExecContext> exec_;
+};
+
+}  // namespace
+
+std::unique_ptr<sql::StatementExecutor> Coordinator::Connect() {
+  return std::make_unique<CoordinatorSession>(this);
+}
+
+}  // namespace hermes::shard

@@ -1,0 +1,29 @@
+#include "shard/partitioner.h"
+
+namespace hermes::shard {
+
+namespace {
+
+class HashPartitioner final : public Partitioner {
+ public:
+  size_t ShardOf(uint64_t object_id, size_t num_shards) const override {
+    if (num_shards <= 1) return 0;
+    // FNV-1a, 64-bit, over the id's 8 little-endian bytes.
+    uint64_t h = 1469598103934665603ull;
+    for (int i = 0; i < 8; ++i) {
+      h ^= (object_id >> (8 * i)) & 0xffu;
+      h *= 1099511628211ull;
+    }
+    return static_cast<size_t>(h % num_shards);
+  }
+
+  std::string name() const override { return "hash"; }
+};
+
+}  // namespace
+
+std::unique_ptr<Partitioner> MakeHashPartitioner() {
+  return std::make_unique<HashPartitioner>();
+}
+
+}  // namespace hermes::shard
